@@ -1,0 +1,30 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benchmark harness.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace qdd::bench {
+
+/// Wall-clock milliseconds of a callable.
+inline double timeMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void rule() {
+  std::printf("------------------------------------------------------------"
+              "----------\n");
+}
+
+} // namespace qdd::bench

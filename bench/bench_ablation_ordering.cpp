@@ -1,0 +1,63 @@
+// Ablation: the variable order. The paper's canonicity statement is
+// explicitly "with respect to a given variable order" (Sec. III-C); this
+// bench shows the same function swinging between linear and exponential DD
+// sizes across orders, and greedy sifting recovering the good order
+// automatically.
+
+#include "BenchUtil.hpp"
+
+#include "qdd/dd/Reordering.hpp"
+
+#include <cmath>
+#include <complex>
+#include <cstdio>
+
+using namespace qdd;
+
+namespace {
+
+vEdge makeCopyState(Package& pkg, std::size_t k, bool interleaved) {
+  const std::size_t n = 2 * k;
+  std::vector<std::complex<double>> vec(1ULL << n, {0., 0.});
+  const double amp = 1. / std::sqrt(static_cast<double>(1ULL << k));
+  for (std::uint64_t x = 0; x < (1ULL << k); ++x) {
+    std::uint64_t index = 0;
+    for (std::size_t b = 0; b < k; ++b) {
+      if ((x >> b) & 1ULL) {
+        index |= interleaved ? (1ULL << (2 * b)) | (1ULL << (2 * b + 1))
+                             : (1ULL << b) | (1ULL << (k + b));
+      }
+    }
+    vec[index] = {amp, 0.};
+  }
+  return pkg.makeStateFromVector(vec);
+}
+
+} // namespace
+
+int main() {
+  bench::heading("variable-order ablation on the copy state sum_x |x>|x>");
+  std::printf("%-6s %-18s %-18s %-14s %-12s\n", "k", "interleaved order",
+              "separated order", "after sifting", "sift (ms)");
+  bench::rule();
+  for (const std::size_t k : {3U, 4U, 5U, 6U, 7U}) {
+    Package pkg(2 * k);
+    const std::size_t good = Package::size(makeCopyState(pkg, k, true));
+    const vEdge bad = makeCopyState(pkg, k, false);
+    const std::size_t badSize = Package::size(bad);
+    pkg.incRef(bad);
+    OrderedVector state = withIdentityOrder(bad);
+    std::size_t sifted = 0;
+    const double ms = bench::timeMs([&] {
+      sift(pkg, state);
+      sifted = Package::size(state.dd);
+    });
+    std::printf("%-6zu %-18zu %-18zu %-14zu %-12.2f\n", k, good, badSize,
+                sifted, ms);
+  }
+  std::printf("\nSame function, same canonicity — different orders: "
+              "pairing related qubits keeps the DD linear (2 nodes per "
+              "pair), separating them forces ~2^k nodes; sifting finds the "
+              "pairing automatically.\n");
+  return 0;
+}

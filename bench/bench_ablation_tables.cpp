@@ -1,0 +1,76 @@
+// Ablation: the compute tables (operation memoization, footnote 4 of the
+// paper). Runs identical workloads with memoization enabled and disabled
+// and reports the speedup — quantifying why DD packages "employ unique
+// tables and compute tables ... to reduce the number of computations
+// necessary".
+
+#include "BenchUtil.hpp"
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+
+#include <cstdio>
+
+using namespace qdd;
+
+int main() {
+  bench::heading("compute-table ablation: simulation");
+  std::printf("%-22s %-6s %-14s %-14s %-10s\n", "workload", "n", "with CT",
+              "without CT", "speedup");
+  bench::rule();
+
+  struct Case {
+    const char* name;
+    ir::QuantumComputation qc;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"qft", ir::builders::qft(12)});
+  cases.push_back({"grover", ir::builders::grover(10, 37)});
+  cases.push_back({"ghz", ir::builders::ghz(24)});
+  cases.push_back({"random", ir::builders::randomCliffordT(10, 300, 1)});
+
+  for (auto& c : cases) {
+    const std::size_t n = c.qc.numQubits();
+    double withMs = 0.;
+    double withoutMs = 0.;
+    {
+      Package pkg(n);
+      withMs = bench::timeMs(
+          [&] { (void)bridge::simulate(c.qc, pkg.makeZeroState(n), pkg); });
+    }
+    {
+      Package pkg(n);
+      pkg.setComputeTablesEnabled(false);
+      withoutMs = bench::timeMs(
+          [&] { (void)bridge::simulate(c.qc, pkg.makeZeroState(n), pkg); });
+    }
+    std::printf("%-22s %-6zu %10.2f ms %10.2f ms %9.1fx\n", c.name, n,
+                withMs, withoutMs, withoutMs / withMs);
+  }
+
+  bench::heading("compute-table ablation: functionality construction");
+  std::printf("%-22s %-6s %-14s %-14s %-10s\n", "workload", "n", "with CT",
+              "without CT", "speedup");
+  bench::rule();
+  for (const std::size_t n : {4U, 6U, 8U}) {
+    const auto qc = ir::builders::qft(n);
+    double withMs = 0.;
+    double withoutMs = 0.;
+    {
+      Package pkg(n);
+      withMs =
+          bench::timeMs([&] { (void)bridge::buildFunctionality(qc, pkg); });
+    }
+    {
+      Package pkg(n);
+      pkg.setComputeTablesEnabled(false);
+      withoutMs =
+          bench::timeMs([&] { (void)bridge::buildFunctionality(qc, pkg); });
+    }
+    std::printf("%-22s %-6zu %10.2f ms %10.2f ms %9.1fx\n", "qft matrix", n,
+                withMs, withoutMs, withoutMs / withMs);
+  }
+  std::printf("\nWithout memoization, repeated sub-computations on shared "
+              "nodes are recomputed exponentially often.\n");
+  return 0;
+}

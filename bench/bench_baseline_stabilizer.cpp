@@ -1,0 +1,106 @@
+// Three-way simulator comparison on Clifford workloads: decision diagrams
+// vs the dense state vector (exponential, universal) vs the stabilizer
+// tableau (polynomial, Clifford-only). Positions the DD approach between
+// the two baselines — general like the dense simulator, compact like the
+// tableau wherever structure exists.
+
+#include "BenchUtil.hpp"
+
+#include "qdd/baseline/DenseSimulator.hpp"
+#include "qdd/baseline/StabilizerSimulator.hpp"
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+
+#include <cstdio>
+#include <random>
+
+using namespace qdd;
+
+namespace {
+ir::QuantumComputation randomClifford(std::size_t n, std::size_t depth,
+                                      std::uint64_t seed) {
+  ir::QuantumComputation qc(n, 0, "clifford");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> gateDist(0, 4);
+  std::uniform_int_distribution<std::size_t> qubitDist(0, n - 1);
+  for (std::size_t k = 0; k < depth; ++k) {
+    const auto q = static_cast<Qubit>(qubitDist(rng));
+    switch (gateDist(rng)) {
+    case 0:
+      qc.h(q);
+      break;
+    case 1:
+      qc.s(q);
+      break;
+    case 2:
+      qc.x(q);
+      break;
+    case 3:
+      qc.z(q);
+      break;
+    default: {
+      Qubit t = q;
+      while (t == q) {
+        t = static_cast<Qubit>(qubitDist(rng));
+      }
+      qc.cx(q, t);
+      break;
+    }
+    }
+  }
+  return qc;
+}
+} // namespace
+
+int main() {
+  bench::heading("random Clifford circuits (depth = 20n): DD vs dense vs "
+                 "tableau");
+  std::printf("%-6s %-10s %-12s %-12s %-12s %-12s\n", "n", "gates",
+              "DD (ms)", "dense (ms)", "tableau(ms)", "final DD");
+  bench::rule();
+  for (const std::size_t n : {4U, 8U, 12U, 16U, 20U}) {
+    const auto qc = randomClifford(n, 20 * n, n);
+    double ddMs = 0.;
+    std::size_t ddNodes = 0;
+    {
+      Package pkg(n);
+      vEdge result;
+      ddMs = bench::timeMs(
+          [&] { result = bridge::simulate(qc, pkg.makeZeroState(n), pkg); });
+      ddNodes = Package::size(result);
+    }
+    double denseMs = -1.;
+    if (n <= 20) {
+      baseline::DenseStateVector dense(n);
+      denseMs = bench::timeMs([&] { dense.run(qc); });
+    }
+    baseline::StabilizerSimulator stab(n);
+    const double stabMs = bench::timeMs([&] { stab.run(qc); });
+    if (denseMs >= 0.) {
+      std::printf("%-6zu %-10zu %-12.2f %-12.2f %-12.2f %-12zu\n", n,
+                  qc.gateCount(), ddMs, denseMs, stabMs, ddNodes);
+    } else {
+      std::printf("%-6zu %-10zu %-12.2f %-12s %-12.2f %-12zu\n", n,
+                  qc.gateCount(), ddMs, "(2^n)", stabMs, ddNodes);
+    }
+  }
+  std::printf("\nGHZ circuits (maximal structure):\n");
+  std::printf("%-6s %-12s %-12s\n", "n", "DD (ms)", "tableau (ms)");
+  bench::rule();
+  for (const std::size_t n : {16U, 32U, 64U, 96U}) {
+    const auto qc = ir::builders::ghz(n);
+    Package pkg(n);
+    const double ddMs = bench::timeMs(
+        [&] { (void)bridge::simulate(qc, pkg.makeZeroState(n), pkg); });
+    baseline::StabilizerSimulator stab(n);
+    const double stabMs = bench::timeMs([&] { stab.run(qc); });
+    std::printf("%-6zu %-12.2f %-12.2f\n", n, ddMs, stabMs);
+  }
+  std::printf("\nThe tableau wins on arbitrary Clifford circuits (poly "
+              "always; random stabilizer states can even have exponential "
+              "DDs — the motivation for LIMDD-style successors); the "
+              "dense vector is universal but always exponential; DDs are "
+              "universal and match the tableau's scaling wherever states "
+              "are structured.\n");
+  return 0;
+}

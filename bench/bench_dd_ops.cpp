@@ -1,0 +1,163 @@
+// Google-benchmark micro-benchmarks for the decision-diagram package
+// primitives (footnote 4: unique tables and compute tables "reduce the
+// number of computations necessary" — these benches quantify the core ops).
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/dd/Package.hpp"
+#include "qdd/ir/Builders.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+namespace {
+
+using namespace qdd;
+
+void BM_ComplexTableLookup(benchmark::State& state) {
+  ComplexTable table;
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> dist(-1., 1.);
+  std::vector<ComplexValue> values;
+  values.reserve(1024);
+  for (int k = 0; k < 1024; ++k) {
+    values.emplace_back(dist(rng), dist(rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(values[i & 1023U]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ComplexTableLookup);
+
+void BM_MakeGateDD(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Package pkg(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pkg.makeGateDD(H_MAT, n, static_cast<Qubit>(n / 2)));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MakeGateDD)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void BM_MakeControlledGateDD(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Package pkg(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.makeGateDD(
+        X_MAT, n, {{0, true}, {static_cast<Qubit>(n - 1), true}},
+        static_cast<Qubit>(n / 2)));
+  }
+}
+BENCHMARK(BM_MakeControlledGateDD)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_ApplyGateGHZ(benchmark::State& state) {
+  // one H application to an n-qubit GHZ state (linear-size DD)
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Package pkg(n);
+  const vEdge ghz = pkg.makeGHZState(n);
+  pkg.incRef(ghz);
+  const mEdge h = pkg.makeGateDD(H_MAT, n, static_cast<Qubit>(n / 2));
+  pkg.incRef(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.multiply(h, ghz));
+    pkg.garbageCollect();
+  }
+}
+BENCHMARK(BM_ApplyGateGHZ)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_AddStates(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Package pkg(n);
+  const vEdge a = pkg.makeGHZState(n);
+  const vEdge b = pkg.makeWState(n);
+  pkg.incRef(a);
+  pkg.incRef(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.add(a, b));
+    pkg.garbageCollect();
+  }
+}
+BENCHMARK(BM_AddStates)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_KronIdentity(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Package pkg(n + 1);
+  const mEdge id = pkg.makeIdent(n);
+  const mEdge h = pkg.makeGateDD(H_MAT, 1, 0);
+  pkg.incRef(id);
+  pkg.incRef(h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.kron(id, h));
+    pkg.garbageCollect();
+  }
+}
+BENCHMARK(BM_KronIdentity)->RangeMultiplier(2)->Range(8, 32);
+
+void BM_SimulateGHZ(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto qc = ir::builders::ghz(n);
+  for (auto _ : state) {
+    Package pkg(n);
+    benchmark::DoNotOptimize(
+        bridge::simulate(qc, pkg.makeZeroState(n), pkg));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SimulateGHZ)->RangeMultiplier(2)->Range(8, 64)->Complexity();
+
+void BM_SimulateQFT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto qc = ir::builders::qft(n);
+  for (auto _ : state) {
+    Package pkg(n);
+    benchmark::DoNotOptimize(
+        bridge::simulate(qc, pkg.makeZeroState(n), pkg));
+  }
+}
+BENCHMARK(BM_SimulateQFT)->DenseRange(4, 14, 2);
+
+void BM_SampleGHZ(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Package pkg(n);
+  const vEdge ghz = pkg.makeGHZState(n);
+  pkg.incRef(ghz);
+  std::mt19937_64 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.sample(ghz, rng));
+  }
+}
+BENCHMARK(BM_SampleGHZ)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_MeasureCollapse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Package pkg(n);
+  std::mt19937_64 rng(7);
+  for (auto _ : state) {
+    vEdge ghz = pkg.makeGHZState(n);
+    pkg.incRef(ghz);
+    benchmark::DoNotOptimize(pkg.measureOneCollapsing(ghz, 0, rng));
+    pkg.decRef(ghz);
+    pkg.garbageCollect();
+  }
+}
+BENCHMARK(BM_MeasureCollapse)->RangeMultiplier(2)->Range(8, 32);
+
+void BM_InnerProduct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Package pkg(n);
+  const vEdge a = pkg.makeGHZState(n);
+  const vEdge b = pkg.makeWState(n);
+  pkg.incRef(a);
+  pkg.incRef(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pkg.innerProduct(a, b));
+  }
+}
+BENCHMARK(BM_InnerProduct)->RangeMultiplier(2)->Range(8, 64);
+
+} // namespace
+
+BENCHMARK_MAIN();

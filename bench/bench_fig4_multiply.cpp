@@ -1,0 +1,69 @@
+// Reproduces paper Fig. 4 / Ex. 9: the recursive matrix-vector
+// multiplication scheme on decision diagrams, validated against the dense
+// baseline and measured against it on structured workloads where the DD
+// recursion touches far fewer than 4^n sub-problems.
+
+#include "BenchUtil.hpp"
+
+#include "qdd/baseline/DenseSimulator.hpp"
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+
+#include <cmath>
+#include <complex>
+
+using namespace qdd;
+
+int main() {
+  bench::heading("Ex. 9: U * |phi> decomposed into sub-computations");
+  {
+    Package pkg(1);
+    // [U00 U01; U10 U11] * [a0; a1] on the simplest case: H |0>
+    const mEdge h = pkg.makeGateDD(H_MAT, 1, 0);
+    const vEdge zero = pkg.makeZeroState(1);
+    const vEdge result = pkg.multiply(h, zero);
+    std::printf("H|0> amplitudes: <0| = %s, <1| = %s (paper: both "
+                "1/sqrt2)\n",
+                pkg.getValueByIndex(result, 0).toString(4).c_str(),
+                pkg.getValueByIndex(result, 1).toString(4).c_str());
+  }
+
+  bench::heading("correctness: DD multiply vs dense multiply (random "
+                 "Clifford+T, 6 qubits, 80 gates)");
+  {
+    const auto qc = ir::builders::randomCliffordT(6, 80, 1);
+    Package pkg(6);
+    const vEdge dd = bridge::simulate(qc, pkg.makeZeroState(6), pkg);
+    baseline::DenseStateVector dense(6);
+    dense.run(qc);
+    double maxDiff = 0.;
+    const auto vec = pkg.getVector(dd);
+    for (std::size_t k = 0; k < vec.size(); ++k) {
+      maxDiff = std::max(maxDiff, std::abs(vec[k] - dense.amplitudes()[k]));
+    }
+    std::printf("max amplitude difference: %.3e\n", maxDiff);
+  }
+
+  bench::heading("gate application cost: DD vs dense state vector "
+                 "(GHZ preparation circuit)");
+  std::printf("%-6s %-16s %-16s %-12s\n", "n", "DD time (ms)",
+              "dense time (ms)", "DD nodes");
+  bench::rule();
+  for (std::size_t n = 4; n <= 24; n += 4) {
+    const auto qc = ir::builders::ghz(n);
+    Package pkg(n);
+    vEdge result;
+    const double ddMs = bench::timeMs(
+        [&] { result = bridge::simulate(qc, pkg.makeZeroState(n), pkg); });
+    double denseMs = -1.;
+    if (n <= 24) {
+      baseline::DenseStateVector dense(n);
+      denseMs = bench::timeMs([&] { dense.run(qc); });
+    }
+    std::printf("%-6zu %-16.3f %-16.3f %-12zu\n", n, ddMs, denseMs,
+                Package::size(result));
+  }
+  std::printf("\nThe DD walks its (linear-size) diagram per gate; the dense "
+              "baseline always touches all 2^n amplitudes.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces paper Fig. 7: the visualization options for decision diagrams
+// — (a) classic mode with annotated/dashed edges and 0-stubs, (b) the HLS
+// color wheel encoding complex phases, and (c) label-free colored edges
+// with magnitude-based thickness — and times each exporter.
+
+#include "BenchUtil.hpp"
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+#include "qdd/viz/Color.hpp"
+#include "qdd/viz/DotExporter.hpp"
+#include "qdd/viz/JsonExporter.hpp"
+#include "qdd/viz/SvgExporter.hpp"
+
+#include <cmath>
+
+using namespace qdd;
+
+int main() {
+  bench::heading("Fig. 7(b): HLS color wheel samples (phase -> color)");
+  std::printf("%-12s %-10s\n", "phase", "color");
+  bench::rule();
+  const char* names[] = {"0",      "pi/4",   "pi/2",  "3pi/4", "pi",
+                         "5pi/4",  "3pi/2",  "7pi/4"};
+  for (int k = 0; k < 8; ++k) {
+    const double phase = PI / 4. * k;
+    std::printf("%-12s %-10s\n", names[k],
+                viz::phaseToColor(phase).toHex().c_str());
+  }
+
+  // a state with weights covering several phases: the QFT applied to |001>
+  Package pkg(3);
+  const auto qft = ir::builders::qft(3);
+  const vEdge state =
+      bridge::simulate(qft, pkg.makeBasisState(3, {true, false, false}), pkg);
+  const viz::Graph graph = viz::buildGraph(state);
+
+  bench::heading("exporter matrix: style x encoding (QFT_3 |001> state DD)");
+  struct Mode {
+    const char* name;
+    viz::ExportOptions opts;
+  };
+  const Mode modes[] = {
+      {"classic + labels (Fig. 7a)",
+       {.style = viz::Style::Classic, .edgeLabels = true}},
+      {"classic + colors (Fig. 7c)",
+       {.style = viz::Style::Classic,
+        .edgeLabels = false,
+        .colored = true,
+        .magnitudeThickness = true}},
+      {"modern + colors",
+       {.style = viz::Style::Modern, .edgeLabels = false, .colored = true}},
+  };
+  std::printf("%-30s %-12s %-12s %-12s\n", "mode", "dot bytes", "svg bytes",
+              "time (ms)");
+  bench::rule();
+  for (const auto& mode : modes) {
+    std::string dot;
+    std::string svg;
+    const double ms = bench::timeMs([&] {
+      dot = viz::DotExporter(mode.opts).toDot(graph);
+      svg = viz::SvgExporter(mode.opts).toSvg(graph);
+    });
+    std::printf("%-30s %-12zu %-12zu %-12.3f\n", mode.name, dot.size(),
+                svg.size(), ms);
+  }
+
+  const std::string json = viz::JsonExporter().toJson(graph);
+  std::printf("\nJSON interchange export: %zu bytes (%zu nodes, %zu "
+              "edges)\n",
+              json.size(), graph.nodes.size(), graph.edges.size());
+
+  bench::heading("export scaling (GHZ states)");
+  std::printf("%-6s %-10s %-12s %-12s %-12s\n", "n", "nodes", "dot (ms)",
+              "svg (ms)", "json (ms)");
+  bench::rule();
+  Package big(64);
+  for (std::size_t n = 8; n <= 64; n *= 2) {
+    const viz::Graph g = viz::buildGraph(big.makeGHZState(n));
+    const double dotMs =
+        bench::timeMs([&] { (void)viz::DotExporter().toDot(g); });
+    const double svgMs =
+        bench::timeMs([&] { (void)viz::SvgExporter().toSvg(g); });
+    const double jsonMs =
+        bench::timeMs([&] { (void)viz::JsonExporter().toJson(g); });
+    std::printf("%-6zu %-10zu %-12.3f %-12.3f %-12.3f\n", n, g.nodes.size(),
+                dotMs, svgMs, jsonMs);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Simulation scaling study (Sec. III-B: "efficiently simulate quantum
+// circuits"): DD-based simulation vs the dense baseline across workload
+// classes and qubit counts, locating the crossover where structure makes
+// DDs win and where dense representations stay competitive.
+
+#include "BenchUtil.hpp"
+
+#include "qdd/baseline/DenseSimulator.hpp"
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+
+#include <cstdio>
+#include <functional>
+
+using namespace qdd;
+
+int main() {
+  struct Workload {
+    const char* name;
+    std::function<ir::QuantumComputation(std::size_t)> make;
+    std::vector<std::size_t> sizes;
+    std::size_t denseLimit;
+  };
+  const std::vector<Workload> workloads = {
+      {"ghz (structured)",
+       [](std::size_t n) { return ir::builders::ghz(n); },
+       {8, 16, 24, 32, 48, 64},
+       24},
+      {"bernstein-vazirani",
+       [](std::size_t n) { return ir::builders::bernsteinVazirani(n - 1,
+                                                                  0x5555555555555555ULL &
+                                                                      ((1ULL << (n - 1)) - 1)); },
+       {8, 16, 24, 32, 48},
+       24},
+      {"qft (dense state)",
+       [](std::size_t n) { return ir::builders::qft(n); },
+       {4, 8, 12, 16},
+       16},
+      {"random clifford+T",
+       [](std::size_t n) { return ir::builders::randomCliffordT(n, 20 * n, 3); },
+       {4, 8, 12, 16},
+       16},
+  };
+
+  std::printf("%-22s %-6s %-8s %-12s %-12s %-12s %-12s\n", "workload", "n",
+              "gates", "DD (ms)", "dense (ms)", "final DD", "peak DD");
+  bench::rule();
+  for (const auto& w : workloads) {
+    for (const std::size_t n : w.sizes) {
+      const auto qc = w.make(n);
+      Package pkg(qc.numQubits());
+      bridge::BuildStats stats;
+      vEdge result;
+      const double ddMs = bench::timeMs([&] {
+        result = bridge::simulate(qc, pkg.makeZeroState(qc.numQubits()), pkg,
+                                  stats);
+      });
+      double denseMs = -1.;
+      if (qc.numQubits() <= w.denseLimit) {
+        baseline::DenseStateVector dense(qc.numQubits());
+        denseMs = bench::timeMs([&] { dense.run(qc); });
+      }
+      if (denseMs >= 0.) {
+        std::printf("%-22s %-6zu %-8zu %-12.2f %-12.2f %-12zu %-12zu\n",
+                    w.name, n, qc.gateCount(), ddMs, denseMs,
+                    Package::size(result), stats.maxNodes);
+      } else {
+        std::printf("%-22s %-6zu %-8zu %-12.2f %-12s %-12zu %-12zu\n",
+                    w.name, n, qc.gateCount(), ddMs, "(2^n too big)",
+                    Package::size(result), stats.maxNodes);
+      }
+    }
+    bench::rule();
+  }
+  std::printf("Shape: for structured states (GHZ, BV) the DD simulates "
+              "sizes far beyond dense reach; for QFT/random circuits the "
+              "DD approaches worst case and dense vectors win at small n — "
+              "the strengths *and* limits the tool is meant to teach.\n");
+  return 0;
+}

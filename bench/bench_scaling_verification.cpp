@@ -1,0 +1,71 @@
+// Verification scaling study (Sec. III-C / [20]): equivalence checking via
+// full construction vs the alternating scheme vs simulation-based checking,
+// over qubit count and for both equivalent and non-equivalent instances.
+
+#include "BenchUtil.hpp"
+
+#include "qdd/ir/Builders.hpp"
+#include "qdd/verify/EquivalenceChecker.hpp"
+
+#include <cstdio>
+
+using namespace qdd;
+
+int main() {
+  bench::heading("equivalent instances: QFT_n vs compiled QFT_n");
+  std::printf("%-4s %-26s %-26s %-26s\n", "n", "construction (ms, peak)",
+              "alternating (ms, peak)", "simulation-16 (ms)");
+  bench::rule();
+  for (std::size_t n = 2; n <= 9; ++n) {
+    const auto qft = ir::builders::qft(n);
+    const auto compiled = ir::decomposeToNativeGates(qft, true);
+    const verify::EquivalenceChecker checker(qft, compiled);
+
+    Package p1(n);
+    verify::CheckResult cons;
+    const double consMs =
+        bench::timeMs([&] { cons = checker.checkByConstruction(p1); });
+    Package p2(n);
+    verify::CheckResult alt;
+    const double altMs = bench::timeMs(
+        [&] { alt = checker.checkAlternating(p2, verify::Strategy::BarrierSync); });
+    Package p3(n);
+    verify::CheckResult simr;
+    const double simMs =
+        bench::timeMs([&] { simr = checker.checkBySimulation(p3, 16); });
+
+    std::printf("%-4zu %8.2f ms, %-10zu %8.2f ms, %-10zu %8.2f ms\n", n,
+                consMs, cons.maxNodes, altMs, alt.maxNodes, simMs);
+    if (!cons.consideredEquivalent() || !alt.consideredEquivalent() ||
+        !simr.consideredEquivalent()) {
+      std::printf("UNEXPECTED verdict at n=%zu\n", n);
+    }
+  }
+
+  bench::heading("non-equivalent instances (random circuit + injected "
+                 "error)");
+  std::printf("%-4s %-22s %-22s %-22s\n", "n", "construction", "alternating",
+              "simulation");
+  bench::rule();
+  for (std::size_t n = 4; n <= 8; n += 2) {
+    const auto base = ir::builders::randomCliffordT(n, 20 * n, n);
+    auto broken = base;
+    broken.t(static_cast<Qubit>(n / 2));
+    const verify::EquivalenceChecker checker(base, broken);
+    Package p1(n);
+    const double consMs = bench::timeMs(
+        [&] { (void)checker.checkByConstruction(p1); });
+    Package p2(n);
+    const double altMs = bench::timeMs(
+        [&] { (void)checker.checkAlternating(p2); });
+    Package p3(n);
+    const double simMs = bench::timeMs(
+        [&] { (void)checker.checkBySimulation(p3, 16); });
+    std::printf("%-4zu %10.2f ms %15.2f ms %15.2f ms\n", n, consMs, altMs,
+                simMs);
+  }
+  std::printf("\nShape: simulation disproves fastest (a single "
+              "counterexample suffices); the alternating scheme dominates "
+              "construction on equivalent compiled circuits (Ex. 12).\n");
+  return 0;
+}

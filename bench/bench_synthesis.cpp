@@ -1,0 +1,97 @@
+// Synthesis harness: gate counts of transformation-based synthesis over
+// structured and random reversible functions, each result verified against
+// its specification with canonical decision diagrams — closing the loop
+// over all three design tasks the paper's abstract names (simulation,
+// synthesis, verification).
+
+#include "BenchUtil.hpp"
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/synth/Synthesis.hpp"
+
+#include <cstdio>
+#include <numeric>
+#include <random>
+
+using namespace qdd;
+
+namespace {
+
+bool verifySynthesis(const ir::QuantumComputation& qc,
+                     const std::vector<std::uint64_t>& perm) {
+  Package pkg(qc.numQubits());
+  const mEdge spec = synth::buildPermutationDD(pkg, perm);
+  const mEdge impl = bridge::buildFunctionality(qc, pkg);
+  return spec.p == impl.p && spec.w.approximatelyEquals(impl.w, 1e-9);
+}
+
+std::vector<std::uint64_t> increment(std::size_t n) {
+  std::vector<std::uint64_t> perm(1ULL << n);
+  for (std::size_t x = 0; x < perm.size(); ++x) {
+    perm[x] = (x + 1) & (perm.size() - 1);
+  }
+  return perm;
+}
+
+std::vector<std::uint64_t> bitReversal(std::size_t n) {
+  std::vector<std::uint64_t> perm(1ULL << n);
+  for (std::size_t x = 0; x < perm.size(); ++x) {
+    std::uint64_t rev = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+      rev |= ((x >> b) & 1ULL) << (n - 1 - b);
+    }
+    perm[x] = rev;
+  }
+  return perm;
+}
+
+std::vector<std::uint64_t> randomPermutation(std::size_t n,
+                                             std::uint64_t seed) {
+  std::vector<std::uint64_t> perm(1ULL << n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::mt19937_64 rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return perm;
+}
+
+} // namespace
+
+int main() {
+  bench::heading("transformation-based synthesis (MMD) + DD verification");
+  std::printf("%-16s %-6s %-10s %-12s %-12s %-10s\n", "function", "n",
+              "gates", "max ctrls", "synth (ms)", "verified");
+  bench::rule();
+  struct Case {
+    const char* name;
+    std::vector<std::uint64_t> perm;
+  };
+  std::vector<Case> cases;
+  for (const std::size_t n : {3U, 5U, 7U}) {
+    cases.push_back({"increment", increment(n)});
+  }
+  for (const std::size_t n : {3U, 5U, 7U}) {
+    cases.push_back({"bit-reversal", bitReversal(n)});
+  }
+  for (const std::size_t n : {3U, 4U, 5U, 6U}) {
+    cases.push_back({"random", randomPermutation(n, n)});
+  }
+  for (const auto& c : cases) {
+    std::size_t n = 0;
+    while ((1ULL << n) < c.perm.size()) {
+      ++n;
+    }
+    ir::QuantumComputation qc;
+    const double ms =
+        bench::timeMs([&] { qc = synth::synthesizePermutation(c.perm); });
+    const auto stats = synth::analyze(qc);
+    const bool ok = n <= 10 && verifySynthesis(qc, c.perm);
+    std::printf("%-16s %-6zu %-10zu %-12zu %-12.2f %-10s\n", c.name, n,
+                stats.gates, stats.maxControls, ms,
+                ok ? "yes (canonical DDs)" : "FAILED");
+  }
+  std::printf("\nStructured functions synthesize into short cascades; "
+              "random permutations approach the exponential worst case — "
+              "mirroring the compactness behaviour of the DDs "
+              "themselves.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Algorithm zoo: runs every circuit builder of the library through the
+// DD simulator and prints one summary row per algorithm — final state size,
+// peak intermediate size, and what the state looks like. A quick tour of
+// which quantum states decision diagrams represent compactly.
+//
+// Usage: ./examples/algorithm_zoo [max_qubits]   (default 10)
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+#include "qdd/viz/TextDump.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  using namespace qdd;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 10;
+
+  struct Entry {
+    std::string name;
+    ir::QuantumComputation qc;
+  };
+  std::vector<Entry> zoo;
+  zoo.push_back({"bell", ir::builders::bell()});
+  zoo.push_back({"ghz", ir::builders::ghz(n)});
+  zoo.push_back({"wstate", ir::builders::wState(n)});
+  zoo.push_back({"qft", ir::builders::qft(n)});
+  zoo.push_back({"grover", ir::builders::grover(std::min<std::size_t>(n, 12),
+                                                3)});
+  zoo.push_back({"bernstein-vazirani",
+                 ir::builders::bernsteinVazirani(n - 1, (1ULL << (n - 1)) - 1)});
+  zoo.push_back({"deutsch-jozsa", ir::builders::deutschJozsa(n - 1, true)});
+  zoo.push_back(
+      {"phase-estimation", ir::builders::phaseEstimation(n - 1, 5)});
+  zoo.push_back({"adder", ir::builders::rippleCarryAdder((n - 1) / 2)});
+  zoo.push_back({"random-clifford+T",
+                 ir::builders::randomCliffordT(n, 10 * n, 1)});
+
+  std::printf("%-22s %-8s %-8s %-10s %-10s %-10s\n", "algorithm", "qubits",
+              "gates", "final DD", "peak DD", "time (ms)");
+  std::printf("---------------------------------------------------------"
+              "-----------------\n");
+  for (const auto& entry : zoo) {
+    const std::size_t q = entry.qc.numQubits();
+    Package pkg(q);
+    bridge::BuildStats stats;
+    const auto start = std::chrono::steady_clock::now();
+    const vEdge state =
+        bridge::simulate(entry.qc, pkg.makeZeroState(q), pkg, stats);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    std::printf("%-22s %-8zu %-8zu %-10zu %-10zu %-10.2f\n",
+                entry.name.c_str(), q, entry.qc.gateCount(),
+                Package::size(state), stats.maxNodes, ms);
+  }
+  std::printf("\nStructured states (GHZ, W, basis-like results of BV/DJ/"
+              "QPE) stay linear; QFT output on |0..0> is a product state; "
+              "random circuits trend toward the exponential worst case.\n");
+  return 0;
+}

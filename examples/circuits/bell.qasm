@@ -1,0 +1,8 @@
+// Bell-pair preparation and measurement (paper Fig. 1(c) / Fig. 8)
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[1];
+cx q[1], q[0];
+measure q -> c;

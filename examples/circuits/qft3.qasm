@@ -1,0 +1,11 @@
+// Three-qubit Quantum Fourier Transform (paper Fig. 5(a))
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[2];
+cp(pi/2) q[1], q[2];
+cp(pi/4) q[0], q[2];
+h q[1];
+cp(pi/2) q[0], q[1];
+h q[0];
+swap q[0], q[2];

@@ -1,0 +1,20 @@
+// Compiled three-qubit QFT (paper Fig. 5(b)): controlled phases and the
+// SWAP rewritten into CNOTs + single-qubit phase gates; barriers mark the
+// original gate boundaries used by the alternating verification (Ex. 12).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[2];
+barrier q;
+p(pi/4) q[1]; cx q[1], q[2]; p(-pi/4) q[2]; cx q[1], q[2]; p(pi/4) q[2];
+barrier q;
+p(pi/8) q[0]; cx q[0], q[2]; p(-pi/8) q[2]; cx q[0], q[2]; p(pi/8) q[2];
+barrier q;
+h q[1];
+barrier q;
+p(pi/4) q[0]; cx q[0], q[1]; p(-pi/4) q[1]; cx q[0], q[1]; p(pi/4) q[1];
+barrier q;
+h q[0];
+barrier q;
+cx q[0], q[2]; cx q[2], q[0]; cx q[0], q[2];
+barrier q;

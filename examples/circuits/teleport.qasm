@@ -1,0 +1,21 @@
+// Quantum teleportation: q2 holds the payload, (q1,q0) share a Bell pair;
+// exercises measurement, classically controlled corrections, and reset.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c0[1];
+creg c1[1];
+// payload: arbitrary state on q2
+ry(0.9) q[2];
+rz(0.4) q[2];
+// Bell pair between q1 and q0
+h q[1];
+cx q[1], q[0];
+// Bell measurement of q2, q1
+cx q[2], q[1];
+h q[2];
+measure q[1] -> c0[0];
+measure q[2] -> c1[0];
+// corrections on q0
+if (c0 == 1) x q[0];
+if (c1 == 1) z q[0];

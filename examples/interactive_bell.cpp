@@ -1,0 +1,72 @@
+// Console reproduction of the tool's simulation tab on the paper's running
+// example (Fig. 8): steps through the Bell circuit, prints the DD after
+// every operation, pops the measurement "dialog" for qubit q0, and collapses
+// the state as in Ex. 13.
+//
+// By default the measurement outcome |1> is chosen (matching Fig. 8(d));
+// pass `--outcome 0` to pick |0>, or `--random` for a random outcome.
+
+#include "qdd/ir/Builders.hpp"
+#include "qdd/sim/SimulationSession.hpp"
+#include "qdd/viz/TextDump.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace {
+void show(qdd::Package& pkg, qdd::sim::SimulationSession& session,
+          const char* caption) {
+  std::printf("--- %s\n", caption);
+  std::printf("state: %s\n",
+              qdd::viz::toDirac(pkg, session.state()).c_str());
+  std::printf("%s\n",
+              qdd::viz::asciiDump(qdd::viz::buildGraph(session.state()))
+                  .c_str());
+}
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace qdd;
+
+  int forcedOutcome = 1;
+  bool randomOutcome = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--outcome") == 0 && a + 1 < argc) {
+      forcedOutcome = std::atoi(argv[++a]);
+    } else if (std::strcmp(argv[a], "--random") == 0) {
+      randomOutcome = true;
+    }
+  }
+
+  auto circuit = ir::builders::bell();
+  circuit.addClassicalRegister(2, "c");
+  circuit.measure(0, 0);
+
+  Package pkg(2);
+  sim::SimulationSession session(circuit, pkg, /*seed=*/1);
+  if (!randomOutcome) {
+    session.setOutcomeChooser([&](Qubit q, double p0, double p1) {
+      std::printf(">>> measurement dialog: qubit q%d is in superposition\n"
+                  ">>>   p(|0>) = %.1f%%   p(|1>) = %.1f%%   -> choosing "
+                  "|%d>\n",
+                  q, 100. * p0, 100. * p1, forcedOutcome);
+      return forcedOutcome;
+    });
+  }
+
+  show(pkg, session, "initial state |00> (Fig. 8(a))");
+  session.stepForward();
+  show(pkg, session, "after H on q1");
+  session.stepForward();
+  show(pkg, session, "after CNOT: Bell state (Fig. 8(b))");
+  session.stepForward();
+  show(pkg, session, "after measuring q0 (Fig. 8(d))");
+  std::printf("classical bits: c0=%d\n",
+              session.classicalBits()[0] ? 1 : 0);
+
+  // stepping backward works even across the (irreversible) measurement
+  session.stepBackward();
+  show(pkg, session, "one step back: Bell state restored");
+  return 0;
+}

@@ -1,0 +1,89 @@
+#pragma once
+
+#include "qdd/common/Definitions.hpp"
+#include "qdd/dd/GateMatrix.hpp"
+#include "qdd/ir/QuantumComputation.hpp"
+
+#include <complex>
+#include <random>
+#include <vector>
+
+namespace qdd::baseline {
+
+/// Dense state-vector simulator: the straightforward exponential
+/// representation the paper contrasts decision diagrams against
+/// ("state vectors and operation matrices of a quantum system are
+/// exponential in size", Sec. III). Serves as the reference oracle in tests
+/// and as the baseline in the benchmark harness.
+class DenseStateVector {
+public:
+  explicit DenseStateVector(std::size_t nqubits);
+  /// Starts from a caller-provided amplitude vector (length 2^n).
+  explicit DenseStateVector(std::vector<std::complex<double>> amplitudes);
+
+  [[nodiscard]] std::size_t qubits() const noexcept { return nqubits; }
+  [[nodiscard]] const std::vector<std::complex<double>>&
+  amplitudes() const noexcept {
+    return amps;
+  }
+
+  /// Applies a (multi-)controlled single-qubit gate.
+  void applyGate(const GateMatrix& mat, Qubit target,
+                 const QubitControls& controls = {});
+  void applySwap(Qubit a, Qubit b, const QubitControls& controls = {});
+  /// Applies a generic (uncontrolled) two-qubit gate; `t1` is the more
+  /// significant matrix index.
+  void applyTwoQubit(const TwoQubitGateMatrix& mat, Qubit t1, Qubit t0);
+
+  /// Applies one IR operation (unitary standard operations and barriers).
+  void apply(const ir::Operation& op);
+  /// Runs a purely unitary circuit.
+  void run(const ir::QuantumComputation& qc);
+
+  [[nodiscard]] double norm() const;
+  [[nodiscard]] double probabilityOfOne(Qubit q) const;
+  /// Measures qubit `q`, collapsing the state; returns the outcome.
+  int measure(Qubit q, std::mt19937_64& rng);
+  /// Collapses qubit `q` to a given outcome (must have non-zero probability).
+  void collapse(Qubit q, bool outcome);
+  /// Samples a bitstring q_{n-1}...q_0 without collapsing.
+  [[nodiscard]] std::string sample(std::mt19937_64& rng) const;
+
+private:
+  [[nodiscard]] bool controlsSatisfied(std::size_t index,
+                                       const QubitControls& controls) const;
+
+  std::size_t nqubits;
+  std::vector<std::complex<double>> amps;
+};
+
+/// Dense unitary-matrix builder: multiplies gate matrices into a full
+/// 2^n x 2^n system matrix (paper Sec. II, "determining U = U_{m-1} ... U_0").
+/// Row-major storage; intended for n <= ~10.
+class DenseUnitary {
+public:
+  explicit DenseUnitary(std::size_t nqubits);
+
+  [[nodiscard]] std::size_t qubits() const noexcept { return nqubits; }
+  [[nodiscard]] const std::vector<std::complex<double>>& matrix()
+      const noexcept {
+    return mat;
+  }
+
+  /// Left-multiplies the (controlled) gate onto the accumulated matrix.
+  void applyGate(const GateMatrix& gate, Qubit target,
+                 const QubitControls& controls = {});
+  void applySwap(Qubit a, Qubit b, const QubitControls& controls = {});
+  void apply(const ir::Operation& op);
+  void run(const ir::QuantumComputation& qc);
+
+  /// Max-norm distance to another unitary (for equivalence checking).
+  [[nodiscard]] double distance(const DenseUnitary& other) const;
+
+private:
+  std::size_t nqubits;
+  std::uint64_t dim;
+  std::vector<std::complex<double>> mat;
+};
+
+} // namespace qdd::baseline

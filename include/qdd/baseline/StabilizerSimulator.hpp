@@ -1,0 +1,71 @@
+#pragma once
+
+#include "qdd/common/Definitions.hpp"
+#include "qdd/ir/QuantumComputation.hpp"
+
+#include <random>
+#include <vector>
+
+namespace qdd::baseline {
+
+/// Stabilizer-tableau simulator (Aaronson-Gottesman "CHP") for Clifford
+/// circuits: polynomial in the number of qubits, but restricted to the
+/// Clifford gate set {H, S, CX} (+ derived X/Y/Z/Sdg/SWAP).
+///
+/// Serves as the second baseline next to the dense simulator: decision
+/// diagrams are compared against both the exponential-but-universal dense
+/// representation and this polynomial-but-restricted one, locating the DD
+/// approach between the two (see bench_baseline_stabilizer).
+class StabilizerSimulator {
+public:
+  explicit StabilizerSimulator(std::size_t nqubits);
+
+  [[nodiscard]] std::size_t qubits() const noexcept { return n; }
+
+  // --- primitive Clifford gates -----------------------------------------
+  void h(Qubit q);
+  void s(Qubit q);
+  void cx(Qubit control, Qubit target);
+  // --- derived gates ------------------------------------------------------
+  void sdg(Qubit q) { s(q); s(q); s(q); }
+  void z(Qubit q) { s(q); s(q); }
+  void x(Qubit q) { h(q); z(q); h(q); }
+  void y(Qubit q) { z(q); x(q); } // global phase irrelevant for stabilizers
+  void swap(Qubit a, Qubit b) { cx(a, b); cx(b, a); cx(a, b); }
+
+  /// Applies one IR operation. Throws std::invalid_argument for
+  /// non-Clifford gates (e.g. T) — that is the point of this baseline.
+  void apply(const ir::Operation& op);
+  /// Runs a purely unitary Clifford circuit.
+  void run(const ir::QuantumComputation& qc);
+
+  /// Measurement outcome classification for qubit q without collapsing.
+  enum class Outcome { Zero, One, Random };
+  [[nodiscard]] Outcome peek(Qubit q) const;
+  /// Probability of measuring |1> (0, 1, or 0.5 for stabilizer states).
+  [[nodiscard]] double probabilityOfOne(Qubit q) const;
+
+  /// Z-basis measurement with collapse.
+  int measure(Qubit q, std::mt19937_64& rng);
+
+  /// Samples all qubits (collapsing a copy), big-endian q_{n-1}...q_0.
+  [[nodiscard]] std::string sample(std::mt19937_64& rng) const;
+
+private:
+  [[nodiscard]] bool xBit(std::size_t row, std::size_t q) const {
+    return table[row * stride + q];
+  }
+  [[nodiscard]] bool zBit(std::size_t row, std::size_t q) const {
+    return table[row * stride + n + q];
+  }
+  /// Multiplies Pauli row `src` into row `dst` (the CHP "rowsum").
+  void rowsum(std::size_t dst, std::size_t src);
+
+  std::size_t n;
+  std::size_t stride; ///< 2n bits per row (x then z)
+  /// rows 0..n-1: destabilizers; rows n..2n-1: stabilizers
+  std::vector<bool> table;
+  std::vector<bool> phase; ///< r_i per row
+};
+
+} // namespace qdd::baseline

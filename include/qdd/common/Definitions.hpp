@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace qdd {
+
+/// Qubit index / decision-diagram level. Level 0 is the least-significant
+/// qubit q0; the paper uses big-endian labelling |q_{n-1} ... q_0>.
+using Qubit = std::int16_t;
+
+/// Level carried by terminal DD nodes.
+inline constexpr Qubit TERMINAL_LEVEL = -1;
+
+/// A (possibly negated) control qubit of a quantum operation.
+struct QubitControl {
+  Qubit qubit = 0;
+  bool positive = true; ///< false: negative control (active on |0>)
+
+  friend bool operator<(const QubitControl& a, const QubitControl& b) {
+    return a.qubit < b.qubit;
+  }
+  friend bool operator==(const QubitControl& a,
+                         const QubitControl& b) = default;
+};
+using QubitControls = std::vector<QubitControl>;
+
+} // namespace qdd

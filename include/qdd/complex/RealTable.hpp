@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace qdd {
+
+/// Canonical storage for the (non-negative) real parts of edge weights.
+///
+/// Every distinct real value occurring as the real or imaginary part of an
+/// edge weight is stored exactly once (up to a configurable tolerance).
+/// Canonicity of decision diagrams then reduces weight comparison to pointer
+/// comparison. Negative values are represented by tagging the least
+/// significant bit of the `Entry` pointer (see Complex.hpp); the table itself
+/// only ever stores values >= 0.
+///
+/// This is the lookup-table design of Zulehner, Hillmich, Wille:
+/// "How to efficiently handle complex values? Implementing decision diagrams
+/// for quantum computing" (ICCAD 2019) — reference [14] of the paper.
+class RealTable {
+public:
+  struct Entry {
+    double value = 0.;
+    Entry* next = nullptr;     ///< bucket chain
+    std::uint32_t ref = 0;     ///< reference count (from edges of live nodes)
+    bool immortal = false;     ///< never garbage collected (0, 1, 1/sqrt2)
+
+    Entry() = default;
+    explicit Entry(double v) : value(v) {}
+  };
+
+  /// Default tolerance used for value identification.
+  static constexpr double DEFAULT_TOLERANCE = 1e-10;
+
+  explicit RealTable(double tolerance = DEFAULT_TOLERANCE);
+  ~RealTable();
+
+  RealTable(const RealTable&) = delete;
+  RealTable& operator=(const RealTable&) = delete;
+
+  /// Shared immortal entries. These are statics so that `Complex::zero` and
+  /// `Complex::one` can be constant-initialized and compared by pointer
+  /// across packages.
+  static Entry& zero() noexcept { return zeroEntry; }
+  static Entry& one() noexcept { return oneEntry; }
+  static Entry& sqrt2over2() noexcept { return sqrt2Entry; }
+
+  /// Looks up `val` (must be >= 0) and returns the canonical entry,
+  /// inserting a new one if no entry lies within the tolerance.
+  Entry* lookup(double val);
+
+  [[nodiscard]] double tolerance() const noexcept { return tol; }
+  void setTolerance(double t) noexcept { tol = t; }
+
+  /// Number of (non-immortal) live entries.
+  [[nodiscard]] std::size_t size() const noexcept { return numEntries; }
+  [[nodiscard]] std::size_t peakSize() const noexcept { return peakEntries; }
+  [[nodiscard]] std::size_t lookups() const noexcept { return numLookups; }
+  [[nodiscard]] std::size_t hits() const noexcept { return numHits; }
+  [[nodiscard]] std::size_t collisions() const noexcept {
+    return numCollisions;
+  }
+
+  static void incRef(Entry* e) noexcept;
+  static void decRef(Entry* e) noexcept;
+
+  /// Removes all entries with a zero reference count. Returns the number of
+  /// collected entries. Pointers to collected entries become invalid; callers
+  /// (the DD package) must clear their compute tables afterwards.
+  std::size_t garbageCollect();
+
+  /// Returns true if a garbage collection is advisable (table grew large).
+  [[nodiscard]] bool possiblyNeedsCollection() const noexcept {
+    return numEntries > gcThreshold;
+  }
+
+  /// Removes every entry (used on package reset). Immortals survive.
+  void clear();
+
+private:
+  static constexpr std::size_t NBUCKETS = 1U << 16U; // power of two
+  static constexpr std::size_t INITIAL_ALLOC = 2048;
+  static constexpr std::size_t GC_INITIAL_THRESHOLD = 65536;
+
+  static Entry zeroEntry;
+  static Entry oneEntry;
+  static Entry sqrt2Entry;
+
+  [[nodiscard]] std::size_t bucketOf(double val) const noexcept;
+
+  Entry* allocate(double val);
+  void deallocate(Entry* e) noexcept;
+
+  std::vector<Entry*> table = std::vector<Entry*>(NBUCKETS, nullptr);
+  std::vector<std::unique_ptr<Entry[]>> chunks;
+  std::size_t chunkIndex = 0;  ///< next free slot in the current chunk
+  std::size_t chunkSize = INITIAL_ALLOC;
+  Entry* freeList = nullptr;
+
+  double tol;
+  std::size_t numEntries = 0;
+  std::size_t peakEntries = 0;
+  std::size_t numLookups = 0;
+  std::size_t numHits = 0;
+  std::size_t numCollisions = 0;
+  std::size_t gcThreshold = GC_INITIAL_THRESHOLD;
+};
+
+} // namespace qdd

@@ -1,0 +1,87 @@
+#pragma once
+
+#include "qdd/dd/Node.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace qdd {
+
+/// Direct-mapped memoization cache for DD operations (footnote 4 of the
+/// paper: "decision diagram packages employ unique tables and compute tables
+/// ... to reduce the number of computations necessary").
+///
+/// Keys are tuples of node pointers and canonical weight pointers; collisions
+/// simply overwrite (the cache is advisory). The table must be cleared
+/// whenever nodes may be recycled (after garbage collection).
+template <class LeftOperand, class RightOperand, class Result,
+          std::size_t NBUCKETS = (1U << 16U)>
+class ComputeTable {
+  static_assert((NBUCKETS & (NBUCKETS - 1)) == 0, "NBUCKETS must be 2^k");
+
+public:
+  struct Entry {
+    LeftOperand left;
+    RightOperand right;
+    Result result;
+    bool valid = false;
+  };
+
+  void insert(const LeftOperand& left, const RightOperand& right,
+              const Result& result) {
+    auto& slot = table[slotOf(left, right)];
+    slot = Entry{left, right, result, true};
+  }
+
+  /// Returns a pointer to the cached result or nullptr on miss.
+  const Result* lookup(const LeftOperand& left, const RightOperand& right) {
+    ++numLookups;
+    const auto& slot = table[slotOf(left, right)];
+    if (!slot.valid || !(slot.left == left) || !(slot.right == right)) {
+      return nullptr;
+    }
+    ++numHits;
+    return &slot.result;
+  }
+
+  void clear() {
+    for (auto& slot : table) {
+      slot.valid = false;
+    }
+  }
+
+  [[nodiscard]] std::size_t lookups() const noexcept { return numLookups; }
+  [[nodiscard]] std::size_t hits() const noexcept { return numHits; }
+  [[nodiscard]] double hitRatio() const noexcept {
+    return numLookups == 0
+               ? 0.
+               : static_cast<double>(numHits) / static_cast<double>(numLookups);
+  }
+
+private:
+  static std::size_t hashOperand(const void* p) noexcept {
+    return detail::ptrHash(p);
+  }
+  template <class Node>
+  static std::size_t hashOperand(const Edge<Node>& e) noexcept {
+    std::size_t h = detail::ptrHash(e.p);
+    h = detail::combineHash(h, detail::ptrHash(e.w.r));
+    h = detail::combineHash(h, detail::ptrHash(e.w.i));
+    return h;
+  }
+
+  std::size_t slotOf(const LeftOperand& left,
+                     const RightOperand& right) const noexcept {
+    const std::size_t h =
+        detail::combineHash(hashOperand(left), hashOperand(right));
+    return h & (NBUCKETS - 1);
+  }
+
+  // Heap-allocated: at 2^16 slots an Entry table is several MiB, far too
+  // large for automatic storage inside a Package object.
+  std::vector<Entry> table = std::vector<Entry>(NBUCKETS);
+  std::size_t numLookups = 0;
+  std::size_t numHits = 0;
+};
+
+} // namespace qdd

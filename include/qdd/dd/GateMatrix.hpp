@@ -1,0 +1,136 @@
+#pragma once
+
+#include "qdd/complex/ComplexValue.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace qdd {
+
+/// Row-major 2x2 single-qubit gate matrix [U00, U01, U10, U11].
+using GateMatrix = std::array<ComplexValue, 4>;
+
+/// Row-major 4x4 two-qubit gate matrix.
+using TwoQubitGateMatrix = std::array<ComplexValue, 16>;
+
+// --- constant single-qubit gates (paper Fig. 1) ---------------------------
+
+inline constexpr GateMatrix I_MAT{ComplexValue{1., 0.}, ComplexValue{0., 0.},
+                                  ComplexValue{0., 0.}, ComplexValue{1., 0.}};
+
+inline constexpr GateMatrix H_MAT{
+    ComplexValue{SQRT2_2, 0.}, ComplexValue{SQRT2_2, 0.},
+    ComplexValue{SQRT2_2, 0.}, ComplexValue{-SQRT2_2, 0.}};
+
+inline constexpr GateMatrix X_MAT{ComplexValue{0., 0.}, ComplexValue{1., 0.},
+                                  ComplexValue{1., 0.}, ComplexValue{0., 0.}};
+
+inline constexpr GateMatrix Y_MAT{ComplexValue{0., 0.}, ComplexValue{0., -1.},
+                                  ComplexValue{0., 1.}, ComplexValue{0., 0.}};
+
+inline constexpr GateMatrix Z_MAT{ComplexValue{1., 0.}, ComplexValue{0., 0.},
+                                  ComplexValue{0., 0.}, ComplexValue{-1., 0.}};
+
+/// S = P(pi/2) (paper Ex. 10).
+inline constexpr GateMatrix S_MAT{ComplexValue{1., 0.}, ComplexValue{0., 0.},
+                                  ComplexValue{0., 0.}, ComplexValue{0., 1.}};
+
+inline constexpr GateMatrix SDG_MAT{ComplexValue{1., 0.}, ComplexValue{0., 0.},
+                                    ComplexValue{0., 0.},
+                                    ComplexValue{0., -1.}};
+
+/// T = P(pi/4) (paper Ex. 10).
+inline const GateMatrix T_MAT{ComplexValue{1., 0.}, ComplexValue{0., 0.},
+                              ComplexValue{0., 0.},
+                              ComplexValue{SQRT2_2, SQRT2_2}};
+
+inline const GateMatrix TDG_MAT{ComplexValue{1., 0.}, ComplexValue{0., 0.},
+                                ComplexValue{0., 0.},
+                                ComplexValue{SQRT2_2, -SQRT2_2}};
+
+/// sqrt(X).
+inline constexpr GateMatrix SX_MAT{
+    ComplexValue{0.5, 0.5}, ComplexValue{0.5, -0.5}, ComplexValue{0.5, -0.5},
+    ComplexValue{0.5, 0.5}};
+
+inline constexpr GateMatrix SXDG_MAT{
+    ComplexValue{0.5, -0.5}, ComplexValue{0.5, 0.5}, ComplexValue{0.5, 0.5},
+    ComplexValue{0.5, -0.5}};
+
+/// V = sqrt(X) up to global phase conventions used by RevLib.
+inline constexpr GateMatrix V_MAT = SX_MAT;
+inline constexpr GateMatrix VDG_MAT = SXDG_MAT;
+
+// --- parameterized single-qubit gates --------------------------------------
+
+/// Phase gate P(theta) = diag(1, e^{i theta}); S = P(pi/2), T = P(pi/4).
+inline GateMatrix phaseMatrix(double theta) {
+  return {ComplexValue{1., 0.}, ComplexValue{0., 0.}, ComplexValue{0., 0.},
+          ComplexValue::fromPolar(1., theta)};
+}
+
+/// RX(theta) = exp(-i theta X / 2).
+inline GateMatrix rxMatrix(double theta) {
+  const double c = std::cos(theta / 2.);
+  const double s = std::sin(theta / 2.);
+  return {ComplexValue{c, 0.}, ComplexValue{0., -s}, ComplexValue{0., -s},
+          ComplexValue{c, 0.}};
+}
+
+/// RY(theta) = exp(-i theta Y / 2).
+inline GateMatrix ryMatrix(double theta) {
+  const double c = std::cos(theta / 2.);
+  const double s = std::sin(theta / 2.);
+  return {ComplexValue{c, 0.}, ComplexValue{-s, 0.}, ComplexValue{s, 0.},
+          ComplexValue{c, 0.}};
+}
+
+/// RZ(theta) = exp(-i theta Z / 2) = diag(e^{-i theta/2}, e^{i theta/2}).
+inline GateMatrix rzMatrix(double theta) {
+  return {ComplexValue::fromPolar(1., -theta / 2.), ComplexValue{0., 0.},
+          ComplexValue{0., 0.}, ComplexValue::fromPolar(1., theta / 2.)};
+}
+
+/// Generic U3(theta, phi, lambda) as defined by OpenQASM 2.0.
+inline GateMatrix u3Matrix(double theta, double phi, double lambda) {
+  const double c = std::cos(theta / 2.);
+  const double s = std::sin(theta / 2.);
+  return {ComplexValue{c, 0.}, -s * ComplexValue::fromPolar(1., lambda),
+          s * ComplexValue::fromPolar(1., phi),
+          c * ComplexValue::fromPolar(1., phi + lambda)};
+}
+
+/// U2(phi, lambda) = U3(pi/2, phi, lambda).
+inline GateMatrix u2Matrix(double phi, double lambda) {
+  return u3Matrix(PI / 2., phi, lambda);
+}
+
+// --- constant two-qubit gates (row-major, basis |00>,|01>,|10>,|11>) -------
+
+/// iSWAP: swaps the qubits and phases the exchanged excitations by i.
+inline constexpr TwoQubitGateMatrix ISWAP_MAT{
+    ComplexValue{1., 0.}, ComplexValue{}, ComplexValue{}, ComplexValue{},
+    ComplexValue{}, ComplexValue{}, ComplexValue{0., 1.}, ComplexValue{},
+    ComplexValue{}, ComplexValue{0., 1.}, ComplexValue{}, ComplexValue{},
+    ComplexValue{}, ComplexValue{}, ComplexValue{}, ComplexValue{1., 0.}};
+
+inline constexpr TwoQubitGateMatrix ISWAPDG_MAT{
+    ComplexValue{1., 0.}, ComplexValue{}, ComplexValue{}, ComplexValue{},
+    ComplexValue{}, ComplexValue{}, ComplexValue{0., -1.}, ComplexValue{},
+    ComplexValue{}, ComplexValue{0., -1.}, ComplexValue{}, ComplexValue{},
+    ComplexValue{}, ComplexValue{}, ComplexValue{}, ComplexValue{1., 0.}};
+
+/// Double-CNOT dcx(a, b) = CX(a -> b) followed by CX(b -> a), with `a` the
+/// more significant matrix index: |a b> -> |b, a xor b>.
+inline constexpr TwoQubitGateMatrix DCX_MAT{
+    ComplexValue{1., 0.}, ComplexValue{}, ComplexValue{}, ComplexValue{},
+    ComplexValue{}, ComplexValue{}, ComplexValue{1., 0.}, ComplexValue{},
+    ComplexValue{}, ComplexValue{}, ComplexValue{}, ComplexValue{1., 0.},
+    ComplexValue{}, ComplexValue{1., 0.}, ComplexValue{}, ComplexValue{}};
+
+/// Conjugate transpose of a 2x2 gate matrix.
+inline GateMatrix adjoint(const GateMatrix& m) {
+  return {m[0].conj(), m[2].conj(), m[1].conj(), m[3].conj()};
+}
+
+} // namespace qdd

@@ -1,0 +1,116 @@
+#pragma once
+
+#include "qdd/common/Definitions.hpp"
+#include "qdd/complex/Complex.hpp"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace qdd {
+
+template <class Node> struct Edge {
+  Node* p = nullptr;
+  Complex w = Complex::zero;
+
+  [[nodiscard]] bool isTerminal() const noexcept {
+    return p == Node::terminal();
+  }
+  [[nodiscard]] bool isZeroTerminal() const noexcept {
+    return isTerminal() && w.exactlyZero();
+  }
+  /// The canonical all-zero edge (0-stub).
+  [[nodiscard]] static Edge zero() noexcept {
+    return {Node::terminal(), Complex::zero};
+  }
+  /// Terminal edge with weight one.
+  [[nodiscard]] static Edge one() noexcept {
+    return {Node::terminal(), Complex::one};
+  }
+  [[nodiscard]] static Edge terminal(const Complex& weight) noexcept {
+    return {Node::terminal(), weight};
+  }
+
+  friend bool operator==(const Edge& a, const Edge& b) noexcept {
+    return a.p == b.p && a.w == b.w;
+  }
+};
+
+/// Decision-diagram node for state vectors: two successors, one per basis
+/// value of the qubit at this level (paper Sec. III-A).
+struct vNode {
+  std::array<Edge<vNode>, 2> e{};
+  vNode* next = nullptr;     ///< unique-table bucket chain
+  std::uint32_t ref = 0;     ///< incoming references (parents + user roots)
+  Qubit v = TERMINAL_LEVEL;  ///< qubit/level of this node
+
+  static vNode* terminal() noexcept { return &terminalNode; }
+  [[nodiscard]] bool isTerminal() const noexcept {
+    return this == &terminalNode;
+  }
+
+private:
+  static vNode terminalNode;
+};
+
+/// Decision-diagram node for operation matrices: four successors, one per
+/// (row, column) block U_ij of the matrix at this level (paper Sec. III-A).
+/// Successor order is [U00, U01, U10, U11].
+struct mNode {
+  std::array<Edge<mNode>, 4> e{};
+  mNode* next = nullptr;
+  std::uint32_t ref = 0;
+  Qubit v = TERMINAL_LEVEL;
+
+  static mNode* terminal() noexcept { return &terminalNode; }
+  [[nodiscard]] bool isTerminal() const noexcept {
+    return this == &terminalNode;
+  }
+
+private:
+  static mNode terminalNode;
+};
+
+using vEdge = Edge<vNode>;
+using mEdge = Edge<mNode>;
+
+/// Number of successors of a node of the given type.
+template <class Node> inline constexpr std::size_t RADIX = 0;
+template <> inline constexpr std::size_t RADIX<vNode> = 2;
+template <> inline constexpr std::size_t RADIX<mNode> = 4;
+
+namespace detail {
+inline std::size_t combineHash(std::size_t seed, std::size_t h) noexcept {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6U) + (seed >> 2U));
+}
+inline std::size_t ptrHash(const void* p) noexcept {
+  // Pointers are at least 8-byte aligned; discard the dead bits.
+  return reinterpret_cast<std::uintptr_t>(p) >> 3U;
+}
+} // namespace detail
+
+/// Structural hash of a node's children (successor pointers and canonical
+/// weight pointers). Because weights are table-canonical, equal sub-DDs
+/// always hash equally.
+template <class Node> std::size_t hashNode(const Node& n) noexcept {
+  std::size_t h = 0;
+  for (const auto& edge : n.e) {
+    h = detail::combineHash(h, detail::ptrHash(edge.p));
+    h = detail::combineHash(h, detail::ptrHash(edge.w.r));
+    h = detail::combineHash(h, detail::ptrHash(edge.w.i));
+  }
+  return h;
+}
+
+template <class Node>
+bool nodesStructurallyEqual(const Node& a, const Node& b) noexcept {
+  for (std::size_t k = 0; k < RADIX<Node>; ++k) {
+    if (!(a.e[k] == b.e[k])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace qdd

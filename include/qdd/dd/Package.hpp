@@ -1,0 +1,286 @@
+#pragma once
+
+#include "qdd/complex/Complex.hpp"
+#include "qdd/complex/ComplexValue.hpp"
+#include "qdd/dd/ComputeTable.hpp"
+#include "qdd/dd/GateMatrix.hpp"
+#include "qdd/dd/Node.hpp"
+#include "qdd/dd/UniqueTable.hpp"
+
+#include <array>
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace qdd {
+
+/// Normalization scheme applied when creating nodes (paper Sec. III-A and
+/// footnote 3).
+enum class NormalizationScheme : std::uint8_t {
+  /// Divide outgoing weights by the first weight of largest magnitude.
+  /// This is the scheme used throughout the paper's figures (e.g. the
+  /// Bell-state DD of Fig. 2(a) with root weight 1/sqrt(2) and inner
+  /// weights 1).
+  Largest,
+  /// Divide by the 2-norm of the outgoing weights (and make the first
+  /// non-zero weight real non-negative), so that squared edge weights are
+  /// directly branch probabilities — enabling the sampling scheme of [16]
+  /// (footnote 3). Applied to vector nodes only; matrices always use
+  /// `Largest`.
+  Norm,
+};
+
+/// The decision-diagram package: unique tables, compute tables, and the
+/// complex-number table, together with all DD construction and manipulation
+/// operations the paper describes (Sec. III) — representation of states and
+/// matrices, tensor products (Fig. 3), addition and matrix multiplication
+/// (Fig. 4), measurement/sampling ([16]), and the canonicity that underlies
+/// equivalence checking (Sec. III-C).
+class Package {
+public:
+  explicit Package(std::size_t nqubits,
+                   NormalizationScheme scheme = NormalizationScheme::Largest,
+                   double tolerance = RealTable::DEFAULT_TOLERANCE);
+
+  Package(const Package&) = delete;
+  Package& operator=(const Package&) = delete;
+
+  [[nodiscard]] std::size_t qubits() const noexcept { return nqubits; }
+  /// Grows the package to support at least `n` qubits.
+  void resize(std::size_t n);
+
+  [[nodiscard]] double tolerance() const noexcept { return cTable.tolerance(); }
+  [[nodiscard]] NormalizationScheme normalizationScheme() const noexcept {
+    return scheme;
+  }
+  ComplexTable& complexTable() noexcept { return cTable; }
+
+  /// Enables/disables operation memoization (footnote 4). Intended for
+  /// ablation studies only — see bench_ablation_tables.
+  void setComputeTablesEnabled(bool enabled) noexcept {
+    computeTablesEnabled = enabled;
+  }
+  [[nodiscard]] bool computeTablesAreEnabled() const noexcept {
+    return computeTablesEnabled;
+  }
+
+  // --- node construction (normalizing) ---------------------------------
+
+  /// Creates a canonical vector node at level `v` from the given successor
+  /// edges, applying the active normalization scheme. Returns the normalized
+  /// edge pointing to the (hash-consed) node.
+  vEdge makeVecNode(Qubit v, const std::array<vEdge, 2>& edges);
+  /// Creates a canonical matrix node at level `v`; successor order is
+  /// [U00, U01, U10, U11] as in the paper (Ex. 7).
+  mEdge makeMatNode(Qubit v, const std::array<mEdge, 4>& edges);
+
+  /// Interns a complex value in this package's weight table.
+  Complex lookup(const ComplexValue& c) { return cTable.lookup(c); }
+
+  // --- states ------------------------------------------------------------
+
+  /// |0...0> on `n` qubits.
+  vEdge makeZeroState(std::size_t n);
+  /// Computational basis state |bits>, where bits[k] is the value of qubit k.
+  vEdge makeBasisState(std::size_t n, const std::vector<bool>& bits);
+  /// (|0...0> + |1...1>)/sqrt(2) — the generalized Bell/GHZ state.
+  vEdge makeGHZState(std::size_t n);
+  /// Equal superposition of all single-excitation basis states.
+  vEdge makeWState(std::size_t n);
+  /// Builds a DD from a dense state vector of length 2^n (n >= 1).
+  vEdge makeStateFromVector(const std::vector<std::complex<double>>& vec);
+
+  // --- matrices ------------------------------------------------------------
+
+  /// Identity on qubits 0..n-1 (cached, reference-held by the package).
+  mEdge makeIdent(std::size_t n);
+  /// DD of a single-qubit gate applied to `target` on an `n`-qubit system
+  /// (the tensor-product extension of Ex. 3/Fig. 3 performed natively).
+  mEdge makeGateDD(const GateMatrix& mat, std::size_t n, Qubit target);
+  /// DD of a (multi-)controlled single-qubit gate.
+  mEdge makeGateDD(const GateMatrix& mat, std::size_t n,
+                   const QubitControls& controls, Qubit target);
+  /// DD of a (controlled) SWAP of qubits `t1` and `t2`.
+  mEdge makeSWAPDD(std::size_t n, const QubitControls& controls, Qubit t1,
+                   Qubit t2);
+  /// DD of an arbitrary two-qubit gate (row-major 4x4, with `t1` the
+  /// more-significant and `t0` the less-significant matrix index qubit).
+  mEdge makeTwoQubitGateDD(const TwoQubitGateMatrix& mat, std::size_t n,
+                           Qubit t1, Qubit t0);
+  /// Builds a DD from a dense row-major 2^n x 2^n matrix.
+  mEdge makeMatrixFromDense(const std::vector<std::complex<double>>& mat,
+                            std::size_t n);
+
+  // --- operations -----------------------------------------------------------
+
+  vEdge add(const vEdge& x, const vEdge& y);
+  mEdge add(const mEdge& x, const mEdge& y);
+  /// Matrix-vector product U|phi> (paper Ex. 9 / Fig. 4).
+  vEdge multiply(const mEdge& x, const vEdge& y);
+  /// Matrix-matrix product X*Y.
+  mEdge multiply(const mEdge& x, const mEdge& y);
+  /// Tensor product: `top` acts on the more-significant qubits, `bottom` on
+  /// the less-significant ones. Realized by terminal replacement (Ex. 8 /
+  /// Fig. 3).
+  mEdge kron(const mEdge& top, const mEdge& bottom);
+  vEdge kron(const vEdge& top, const vEdge& bottom);
+  mEdge conjugateTranspose(const mEdge& a);
+  /// <x|y>.
+  ComplexValue innerProduct(const vEdge& x, const vEdge& y);
+  /// |<x|y>|^2.
+  double fidelity(const vEdge& x, const vEdge& y);
+  /// Trace of the represented 2^n x 2^n matrix.
+  ComplexValue trace(const mEdge& a);
+  /// Partial trace over the qubits marked in `eliminate` (indexed by level).
+  /// The traced-out levels are removed from the diagram; the result acts on
+  /// the remaining qubits (compacted downwards). This is the operation the
+  /// paper invokes to describe reset semantics (Sec. IV-B).
+  mEdge partialTrace(const mEdge& a, const std::vector<bool>& eliminate);
+  /// <phi| U |phi>.
+  ComplexValue expectationValue(const mEdge& u, const vEdge& phi);
+  /// Applies a qubit permutation to a state: qubit k of the result is qubit
+  /// permutation[k] of the input (realized by multiplying SWAP DDs).
+  vEdge permuteQubits(const vEdge& e, const std::vector<Qubit>& permutation);
+  mEdge permuteQubits(const mEdge& e, const std::vector<Qubit>& permutation);
+
+  // --- element access / export ----------------------------------------------
+
+  /// Amplitude <i|phi> for basis-state index i (paper: "reconstructed from
+  /// the multiplication of the edge weights along the path").
+  ComplexValue getValueByIndex(const vEdge& e, std::uint64_t i);
+  /// Matrix entry U[row][col].
+  ComplexValue getMatrixEntry(const mEdge& e, std::uint64_t row,
+                              std::uint64_t col);
+  /// Dense export of a state (n <= 30 guarded by assertion of vector size).
+  std::vector<std::complex<double>> getVector(const vEdge& e);
+  /// Dense row-major export of a matrix.
+  std::vector<std::complex<double>> getMatrix(const mEdge& e);
+  /// Squared norm <phi|phi>.
+  double norm(const vEdge& e);
+
+  // --- measurement, collapse, reset (paper Sec. IV-B) -----------------------
+
+  /// Probability of reading |1> when measuring qubit `q`.
+  double probabilityOfOne(const vEdge& e, Qubit q);
+  /// Measures qubit `q`, collapses the state (updating `root` and reference
+  /// counts), and returns the outcome (0/1).
+  int measureOneCollapsing(vEdge& root, Qubit q, std::mt19937_64& rng);
+  /// Collapses qubit `q` to the given outcome (as if that outcome had been
+  /// measured). The outcome must have non-zero probability.
+  void forceMeasureOne(vEdge& root, Qubit q, bool outcome);
+  /// Measures all qubits; returns the result as a bitstring q_{n-1}...q_0.
+  /// If `collapse`, `root` is replaced by the post-measurement basis state.
+  std::string measureAll(vEdge& root, bool collapse, std::mt19937_64& rng);
+  /// Non-destructive single-shot sample (the paper stresses that classical
+  /// measurements "can be repeated on the same state").
+  std::string sample(const vEdge& root, std::mt19937_64& rng);
+  /// Repeated non-destructive sampling; returns counts per bitstring.
+  std::map<std::string, std::size_t> sampleCounts(const vEdge& root,
+                                                  std::size_t shots,
+                                                  std::mt19937_64& rng);
+  /// Resets qubit `q` to |0> probabilistically as described in Sec. IV-B:
+  /// the qubit is "measured", the surviving branch becomes the |0> branch.
+  /// Returns the implicit measurement outcome.
+  int resetQubit(vEdge& root, Qubit q, std::mt19937_64& rng);
+  /// Reset with a forced implicit outcome (for deterministic stepping UIs).
+  void resetQubitTo(vEdge& root, Qubit q, bool outcome);
+
+  // --- reference counting & garbage collection ----------------------------
+
+  void incRef(const vEdge& e) noexcept;
+  void decRef(const vEdge& e) noexcept;
+  void incRef(const mEdge& e) noexcept;
+  void decRef(const mEdge& e) noexcept;
+  /// Collects unreferenced nodes and weight-table entries. Returns true if a
+  /// collection actually ran. With `force == false` this is cheap and only
+  /// collects when tables have grown past their thresholds.
+  bool garbageCollect(bool force = false);
+
+  // --- statistics -----------------------------------------------------------
+
+  /// Number of nodes in the DD rooted at `e` (terminal not counted, per the
+  /// paper's convention in Ex. 6).
+  static std::size_t size(const vEdge& e);
+  static std::size_t size(const mEdge& e);
+
+  struct Stats {
+    std::size_t vectorNodes = 0;   ///< live vector nodes in the unique table
+    std::size_t matrixNodes = 0;   ///< live matrix nodes in the unique table
+    std::size_t peakVectorNodes = 0;
+    std::size_t peakMatrixNodes = 0;
+    std::size_t realTableEntries = 0;
+    std::size_t uniqueTableHitsV = 0;
+    std::size_t uniqueTableLookupsV = 0;
+    std::size_t uniqueTableHitsM = 0;
+    std::size_t uniqueTableLookupsM = 0;
+    std::size_t gcRuns = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+private:
+  template <class Node>
+  void incRefEdge(const Edge<Node>& e) noexcept;
+  template <class Node>
+  void decRefEdge(const Edge<Node>& e) noexcept;
+
+  vEdge normalizeLargest(Qubit v, std::array<vEdge, 2> edges);
+  vEdge normalizeNorm(Qubit v, std::array<vEdge, 2> edges);
+
+  vEdge makeStateFromVector(const std::complex<double>* begin,
+                            const std::complex<double>* end, Qubit level);
+  mEdge makeMatrixFromDense(const std::vector<std::complex<double>>& mat,
+                            std::size_t dim, std::size_t rowOff,
+                            std::size_t colOff, std::size_t blockDim,
+                            Qubit level);
+
+  vEdge multiply2(mNode* x, vNode* y);
+  mEdge multiply2(mNode* x, mNode* y);
+  ComplexValue innerProduct2(vNode* x, vNode* y);
+
+  void getVectorRec(const vEdge& e, ComplexValue amp, std::uint64_t index,
+                    std::vector<std::complex<double>>& out);
+  void getMatrixRec(const mEdge& e, ComplexValue amp, std::uint64_t row,
+                    std::uint64_t col, std::uint64_t dim,
+                    std::vector<std::complex<double>>& out);
+
+  /// Squared norm of the sub-DD under `p` (weight-1 root), memoized per call
+  /// into `cache`.
+  double nodeNorm(vNode* p, std::map<vNode*, double>& cache);
+
+  /// Collapse helper shared by measurement and reset.
+  void applyCollapse(vEdge& root, Qubit q, bool outcome, bool shiftToZero,
+                     double outcomeProbability);
+
+  mEdge partialTraceRec(const mEdge& a, const std::vector<bool>& eliminate,
+                        const std::vector<Qubit>& levelMap,
+                        std::map<const mNode*, mEdge>& memo);
+
+  std::size_t nqubits;
+  NormalizationScheme scheme;
+  bool computeTablesEnabled = true;
+
+  ComplexTable cTable;
+  UniqueTable<vNode> vTable;
+  UniqueTable<mNode> mTable;
+
+  // Table sizes: multiplication dominates (every gate application), so it
+  // gets the largest cache; the unary/rare operations get small ones to
+  // keep Package construction and GC-time clearing cheap.
+  ComputeTable<vEdge, vEdge, vEdge, (1U << 14U)> addVecTable;
+  ComputeTable<mEdge, mEdge, mEdge, (1U << 14U)> addMatTable;
+  ComputeTable<mNode*, vNode*, vEdge, (1U << 16U)> multMatVecTable;
+  ComputeTable<mNode*, mNode*, mEdge, (1U << 16U)> multMatMatTable;
+  ComputeTable<mNode*, mNode*, mEdge, (1U << 12U)> conjTransTable;
+  ComputeTable<vNode*, vNode*, ComplexValue, (1U << 12U)> innerProductTable;
+
+  /// idTable[k] is the identity DD on levels 0..k-1 (idTable[0] = 1-terminal
+  /// edge). Entries are reference-held by the package so they survive GC.
+  std::vector<mEdge> idTable;
+
+  std::size_t gcRuns = 0;
+};
+
+} // namespace qdd

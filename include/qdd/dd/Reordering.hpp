@@ -1,0 +1,56 @@
+#pragma once
+
+#include "qdd/dd/Package.hpp"
+
+#include <vector>
+
+namespace qdd {
+
+/// A state DD together with the qubit order it is represented under.
+/// `levelOfQubit[q]` gives the DD level that carries logical qubit q; the
+/// represented function is recoverable regardless of the order, but the
+/// *size* of the diagram can differ exponentially between orders — the
+/// paper's canonicity statement is explicitly "with respect to a given
+/// variable order" (Sec. III-C).
+struct OrderedVector {
+  vEdge dd;
+  std::vector<Qubit> levelOfQubit;
+
+  /// Amplitude of basis state |q_{n-1} ... q_0> (logical indexing).
+  [[nodiscard]] ComplexValue amplitude(Package& pkg,
+                                       std::uint64_t logicalIndex) const;
+};
+
+/// Wraps a DD in the identity order.
+OrderedVector withIdentityOrder(const vEdge& e);
+
+/// Exchanges the qubits at DD levels `level` and `level + 1` (the primitive
+/// move of dynamic reordering).
+void exchangeAdjacent(Package& pkg, OrderedVector& state, Qubit level);
+
+/// Moves logical qubit q to DD level `target` by adjacent exchanges.
+void moveQubitToLevel(Package& pkg, OrderedVector& state, Qubit q,
+                      Qubit target);
+
+/// Greedy sifting (Rudell-style): each qubit in turn is moved through all
+/// levels and left at the position minimizing the DD size. Returns the
+/// number of size-improving moves performed; `state` is updated in place.
+std::size_t sift(Package& pkg, OrderedVector& state);
+
+/// A matrix DD with its qubit order (same conventions as OrderedVector);
+/// level exchanges conjugate with SWAPs: M -> S M S.
+struct OrderedMatrix {
+  mEdge dd;
+  std::vector<Qubit> levelOfQubit;
+
+  [[nodiscard]] ComplexValue entry(Package& pkg, std::uint64_t logicalRow,
+                                   std::uint64_t logicalCol) const;
+};
+
+OrderedMatrix withIdentityOrder(const mEdge& e);
+void exchangeAdjacent(Package& pkg, OrderedMatrix& state, Qubit level);
+void moveQubitToLevel(Package& pkg, OrderedMatrix& state, Qubit q,
+                      Qubit target);
+std::size_t sift(Package& pkg, OrderedMatrix& state);
+
+} // namespace qdd

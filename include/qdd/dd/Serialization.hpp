@@ -1,0 +1,36 @@
+#pragma once
+
+#include "qdd/dd/Package.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace qdd {
+
+/// Text serialization of decision diagrams.
+///
+/// Format (line-oriented, human-readable, stable across versions):
+///
+///   qdd-vector 1            | qdd-matrix 1         (header: kind + version)
+///   root <id> <re> <im>                            (root node and weight)
+///   node <id> <level> {<child> <re> <im>}^radix    (one line per node,
+///                                                   children before parents;
+///                                                   child -1 = terminal,
+///                                                   weight 0 0 = 0-stub)
+///   end
+///
+/// Deserialization rebuilds the DD through the package's normalizing node
+/// constructors, so a round trip yields the canonical representative of the
+/// serialized function (pointer-identical to the original within the same
+/// package).
+void serialize(const vEdge& e, std::ostream& os);
+void serialize(const mEdge& e, std::ostream& os);
+std::string serializeToString(const vEdge& e);
+std::string serializeToString(const mEdge& e);
+
+vEdge deserializeVector(Package& pkg, std::istream& is);
+mEdge deserializeMatrix(Package& pkg, std::istream& is);
+vEdge deserializeVectorFromString(Package& pkg, const std::string& text);
+mEdge deserializeMatrixFromString(Package& pkg, const std::string& text);
+
+} // namespace qdd

@@ -1,0 +1,170 @@
+#pragma once
+
+#include "qdd/dd/Node.hpp"
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace qdd {
+
+/// Hash-consing table ensuring canonicity: structurally identical nodes at
+/// the same level are represented by a single object, so DD equality reduces
+/// to root-pointer comparison (the property paper Sec. III-C relies on for
+/// equivalence checking).
+///
+/// Node memory is chunk-allocated and recycled through a free list; garbage
+/// collection is reference-count based and sweeps levels top-down so that
+/// cascading releases complete in a single pass (children are always at
+/// strictly lower levels).
+template <class Node> class UniqueTable {
+public:
+  static constexpr std::size_t NBUCKETS = 1U << 14U;
+  static constexpr std::size_t INITIAL_ALLOC = 2048;
+  static constexpr std::size_t GC_INITIAL_THRESHOLD = 131072;
+
+  explicit UniqueTable(std::size_t nvars) : buckets(nvars) {
+    for (auto& level : buckets) {
+      level.assign(NBUCKETS, nullptr);
+    }
+  }
+
+  UniqueTable(const UniqueTable&) = delete;
+  UniqueTable& operator=(const UniqueTable&) = delete;
+
+  void resize(std::size_t nvars) {
+    const auto old = buckets.size();
+    buckets.resize(nvars);
+    for (std::size_t i = old; i < buckets.size(); ++i) {
+      buckets[i].assign(NBUCKETS, nullptr);
+    }
+  }
+
+  [[nodiscard]] std::size_t numLevels() const noexcept {
+    return buckets.size();
+  }
+
+  /// Returns a fresh (uninitialized) node to be filled by the caller and
+  /// passed to `lookup`.
+  Node* getNode() {
+    if (freeList != nullptr) {
+      Node* n = freeList;
+      freeList = n->next;
+      ++liveNodes;
+      return n;
+    }
+    if (chunks.empty() || chunkIndex == chunkSize) {
+      if (!chunks.empty()) {
+        chunkSize *= 2;
+      }
+      chunks.push_back(std::make_unique<Node[]>(chunkSize));
+      chunkIndex = 0;
+    }
+    ++liveNodes;
+    return &chunks.back()[chunkIndex++];
+  }
+
+  /// Returns a node to the free list (used when `lookup` finds an existing
+  /// equivalent node, and during garbage collection).
+  void returnNode(Node* n) noexcept {
+    n->next = freeList;
+    freeList = n;
+    assert(liveNodes > 0);
+    --liveNodes;
+  }
+
+  /// Looks up `candidate` (fully initialized, level set, children set) in the
+  /// table. If an equivalent node exists, `candidate` is recycled and the
+  /// existing node returned together with `inserted = false`. Otherwise the
+  /// candidate is inserted and returned with `inserted = true`.
+  Node* lookup(Node* candidate, bool& inserted) {
+    ++numLookups;
+    const auto level = static_cast<std::size_t>(candidate->v);
+    assert(level < buckets.size());
+    const std::size_t key = hashNode(*candidate) & (NBUCKETS - 1);
+    for (Node* n = buckets[level][key]; n != nullptr; n = n->next) {
+      if (nodesStructurallyEqual(*n, *candidate)) {
+        ++numHits;
+        returnNode(candidate);
+        inserted = false;
+        return n;
+      }
+    }
+    candidate->next = buckets[level][key];
+    buckets[level][key] = candidate;
+    ++numNodes;
+    peakNodes = std::max(peakNodes, numNodes);
+    inserted = true;
+    return candidate;
+  }
+
+  /// Sweeps all levels top-down, removing (and recycling) nodes with zero
+  /// reference count. The caller must decrement child references via the
+  /// provided callback when a node dies. Returns the number of collected
+  /// nodes.
+  template <class ReleaseChildren>
+  std::size_t garbageCollect(ReleaseChildren&& releaseChildren) {
+    std::size_t collected = 0;
+    for (auto level = buckets.size(); level-- > 0;) {
+      for (auto& bucket : buckets[level]) {
+        Node** link = &bucket;
+        while (*link != nullptr) {
+          Node* n = *link;
+          if (n->ref == 0) {
+            *link = n->next;
+            releaseChildren(n);
+            returnNode(n);
+            ++collected;
+          } else {
+            link = &n->next;
+          }
+        }
+      }
+    }
+    numNodes -= collected;
+    if (collected < numNodes / 8) {
+      gcThreshold *= 2;
+    }
+    return collected;
+  }
+
+  [[nodiscard]] bool possiblyNeedsCollection() const noexcept {
+    return numNodes > gcThreshold;
+  }
+
+  /// Number of nodes currently stored in the table.
+  [[nodiscard]] std::size_t size() const noexcept { return numNodes; }
+  [[nodiscard]] std::size_t peakSize() const noexcept { return peakNodes; }
+  [[nodiscard]] std::size_t lookups() const noexcept { return numLookups; }
+  [[nodiscard]] std::size_t hits() const noexcept { return numHits; }
+  /// Nodes alive at this moment (stored + handed out via getNode).
+  [[nodiscard]] std::size_t allocations() const noexcept { return liveNodes; }
+
+  /// Visits every node currently in the table.
+  template <class Visitor> void forEach(Visitor&& visit) const {
+    for (const auto& level : buckets) {
+      for (Node* bucket : level) {
+        for (Node* n = bucket; n != nullptr; n = n->next) {
+          visit(n);
+        }
+      }
+    }
+  }
+
+private:
+  std::vector<std::vector<Node*>> buckets;
+  std::vector<std::unique_ptr<Node[]>> chunks;
+  std::size_t chunkIndex = 0;
+  std::size_t chunkSize = INITIAL_ALLOC;
+  Node* freeList = nullptr;
+
+  std::size_t numNodes = 0;
+  std::size_t peakNodes = 0;
+  std::size_t liveNodes = 0;
+  std::size_t numLookups = 0;
+  std::size_t numHits = 0;
+  std::size_t gcThreshold = GC_INITIAL_THRESHOLD;
+};
+
+} // namespace qdd

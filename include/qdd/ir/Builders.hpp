@@ -1,0 +1,75 @@
+#pragma once
+
+#include "qdd/ir/QuantumComputation.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace qdd::ir {
+
+/// Circuit generators for the algorithms used throughout the paper and its
+/// evaluation reproduction.
+namespace builders {
+
+/// The two-qubit Bell circuit of Fig. 1(c): H on q1, CNOT(q1 -> q0).
+QuantumComputation bell();
+
+/// n-qubit GHZ-state preparation: H on q_{n-1}, then a CNOT cascade.
+QuantumComputation ghz(std::size_t n);
+
+/// Quantum Fourier Transform on n qubits (paper Fig. 5(a) for n = 3):
+/// Hadamards, controlled phase rotations P(pi/2^k), and final SWAPs.
+QuantumComputation qft(std::size_t n, bool includeSwaps = true);
+
+/// W-state preparation on n qubits (RY-based cascade).
+QuantumComputation wState(std::size_t n);
+
+/// Grover search: `iterations` Grover iterations marking basis state
+/// `marked` (bitstring q_{n-1}...q_0); pass iterations = 0 for the
+/// asymptotically optimal round count.
+QuantumComputation grover(std::size_t n, std::uint64_t marked,
+                          std::size_t iterations = 0);
+
+/// Bernstein-Vazirani for hidden string `s` on n data qubits (+1 ancilla).
+QuantumComputation bernsteinVazirani(std::size_t n, std::uint64_t s);
+
+/// Random circuit over the Clifford+T gate set {H, S, T, X, Z, CX} with the
+/// given number of layers; deterministic in `seed`.
+QuantumComputation randomCliffordT(std::size_t n, std::size_t depth,
+                                   std::uint64_t seed);
+
+/// Quantum phase estimation of the phase gate P(2*pi*theta) with
+/// theta = k / 2^precision, on `precision` counting qubits (0..precision-1)
+/// plus one eigenstate qubit (the most significant). Measuring the counting
+/// register yields k exactly.
+QuantumComputation phaseEstimation(std::size_t precision, std::uint64_t k);
+
+/// Deutsch-Jozsa on n data qubits (+1 ancilla). With `balanced`, the oracle
+/// is f(x) = x_0 (balanced); otherwise f is constant 0. Measuring the data
+/// register yields all-zero iff f is constant.
+QuantumComputation deutschJozsa(std::size_t n, bool balanced);
+
+/// Cuccaro ripple-carry adder: computes b <- a + b (mod 2^n) using a single
+/// ancilla carry qubit. Layout (LSB first): carry = q0, then interleaved
+/// a_i = q_{2i+1}, b_i = q_{2i+2}.
+QuantumComputation rippleCarryAdder(std::size_t n);
+
+} // namespace builders
+
+/// Rewrites a circuit onto a permuted qubit labelling: qubit k of the input
+/// becomes qubit `permutation[k]` of the result. Together with
+/// Package::permuteQubits this enables equivalence checking of circuits
+/// with different qubit orderings (the scenario the paper's tool refers to
+/// QCEC for, Sec. IV-C).
+QuantumComputation remapQubits(const QuantumComputation& qc,
+                               const std::vector<Qubit>& permutation);
+
+/// Compilation pass used for the verification scenario of Sec. III-C /
+/// Fig. 5(b): rewrites controlled phase gates and SWAPs into CNOTs plus
+/// single-qubit phase gates (the "native" gate set). With `insertBarriers`,
+/// a barrier is placed after each original gate's expansion — exactly the
+/// dashed synchronization points of Fig. 5(b) exploited in Ex. 12.
+QuantumComputation decomposeToNativeGates(const QuantumComputation& qc,
+                                          bool insertBarriers = false);
+
+} // namespace qdd::ir

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "qdd/ir/Operation.hpp"
+
+#include <cstdint>
+
+namespace qdd::ir {
+
+/// An operation applied only if a range of classical bits (obtained from
+/// measurements) holds a given value — OpenQASM's `if (c == v) gate ...;`
+/// (supported by the tool's simulation view, Sec. IV-B).
+class ClassicControlledOperation final : public Operation {
+public:
+  ClassicControlledOperation(std::unique_ptr<Operation> operation,
+                             std::size_t firstClbit, std::size_t numClbits,
+                             std::uint64_t expected);
+
+  ClassicControlledOperation(const ClassicControlledOperation& other);
+  ClassicControlledOperation&
+  operator=(const ClassicControlledOperation& other);
+
+  [[nodiscard]] std::unique_ptr<Operation> clone() const override {
+    return std::make_unique<ClassicControlledOperation>(*this);
+  }
+
+  [[nodiscard]] bool isUnitary() const override { return false; }
+  [[nodiscard]] bool isClassicControlledOperation() const override {
+    return true;
+  }
+
+  [[nodiscard]] const Operation& operation() const noexcept { return *op; }
+  [[nodiscard]] std::size_t firstClbit() const noexcept { return first; }
+  [[nodiscard]] std::size_t numClbits() const noexcept { return count; }
+  [[nodiscard]] std::uint64_t expectedValue() const noexcept {
+    return expected;
+  }
+
+  /// Evaluates the condition against the given classical register contents.
+  [[nodiscard]] bool
+  conditionSatisfied(const std::vector<bool>& classicalBits) const;
+
+  [[nodiscard]] std::vector<Qubit> usedQubits() const override {
+    return op->usedQubits();
+  }
+
+  void invert() override;
+
+  void dumpOpenQASM(std::ostream& os,
+                    const std::vector<std::string>& qubitNames,
+                    const std::vector<std::string>& clbitNames) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+private:
+  std::unique_ptr<Operation> op;
+  std::size_t first = 0;
+  std::size_t count = 0;
+  std::uint64_t expected = 0;
+};
+
+} // namespace qdd::ir

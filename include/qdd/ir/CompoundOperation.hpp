@@ -1,0 +1,48 @@
+#pragma once
+
+#include "qdd/ir/Operation.hpp"
+
+#include <vector>
+
+namespace qdd::ir {
+
+/// A named group of operations (e.g. an expanded user-defined QASM gate).
+class CompoundOperation final : public Operation {
+public:
+  explicit CompoundOperation(std::string label = "");
+  CompoundOperation(const CompoundOperation& other);
+  CompoundOperation& operator=(const CompoundOperation& other);
+
+  [[nodiscard]] std::unique_ptr<Operation> clone() const override {
+    return std::make_unique<CompoundOperation>(*this);
+  }
+
+  [[nodiscard]] bool isCompoundOperation() const override { return true; }
+  [[nodiscard]] bool isUnitary() const override;
+
+  void emplaceBack(std::unique_ptr<Operation> op) {
+    ops.emplace_back(std::move(op));
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Operation>>&
+  operations() const noexcept {
+    return ops;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
+  [[nodiscard]] const std::string& label() const noexcept { return groupLabel; }
+
+  [[nodiscard]] std::vector<Qubit> usedQubits() const override;
+
+  void invert() override;
+
+  void dumpOpenQASM(std::ostream& os,
+                    const std::vector<std::string>& qubitNames,
+                    const std::vector<std::string>& clbitNames) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+private:
+  std::vector<std::unique_ptr<Operation>> ops;
+  std::string groupLabel;
+};
+
+} // namespace qdd::ir

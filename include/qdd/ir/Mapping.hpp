@@ -1,0 +1,66 @@
+#pragma once
+
+#include "qdd/ir/QuantumComputation.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace qdd::ir {
+
+/// Undirected coupling-constraint graph over physical qubits — the device
+/// model behind the "mapping" compilation step the paper's verification
+/// scenario targets (Sec. III-C; refs [23]-[27]: "mapping quantum circuits
+/// to IBM QX architectures").
+class CouplingMap {
+public:
+  CouplingMap(std::size_t numPhysical,
+              std::vector<std::pair<Qubit, Qubit>> edges);
+
+  /// Linear chain 0-1-2-...-(n-1).
+  static CouplingMap linear(std::size_t n);
+  /// Ring 0-1-...-(n-1)-0.
+  static CouplingMap ring(std::size_t n);
+  /// rows x cols grid with nearest-neighbour connectivity.
+  static CouplingMap grid(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n; }
+  [[nodiscard]] bool connected(Qubit a, Qubit b) const;
+  /// BFS shortest path from a to b (inclusive); empty if disconnected.
+  [[nodiscard]] std::vector<Qubit> shortestPath(Qubit a, Qubit b) const;
+  [[nodiscard]] const std::vector<std::pair<Qubit, Qubit>>&
+  edges() const noexcept {
+    return edgeList;
+  }
+
+private:
+  std::size_t n;
+  std::vector<std::pair<Qubit, Qubit>> edgeList;
+  std::vector<std::vector<Qubit>> adjacency;
+};
+
+/// Result of mapping a circuit onto a coupling graph.
+struct MappingResult {
+  /// The routed circuit over physical qubits (all two-qubit interactions
+  /// respect the coupling map).
+  QuantumComputation mapped;
+  /// outputPosition[q] = physical wire holding logical qubit q at the end.
+  std::vector<Qubit> outputPosition;
+  /// Number of SWAP gates inserted by routing.
+  std::size_t addedSwaps = 0;
+
+  /// The mapped circuit with trailing SWAPs that restore logical ordering,
+  /// making it directly equivalent to the original circuit (used to verify
+  /// the compilation flow, paper ref. [28]).
+  [[nodiscard]] QuantumComputation mappedWithRestore() const;
+};
+
+/// Maps `qc` onto `coupling` with a trivial initial layout (logical qubit k
+/// starts on physical wire k) and greedy shortest-path SWAP routing.
+/// Supports single-qubit gates, two-qubit standard gates (one control + one
+/// target, or SWAP), measurements, resets, and barriers. Throws
+/// std::invalid_argument for gates acting on three or more qubits —
+/// decompose first (e.g. with decomposeToNativeGates).
+MappingResult mapToCoupling(const QuantumComputation& qc,
+                            const CouplingMap& coupling);
+
+} // namespace qdd::ir

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "qdd/ir/Operation.hpp"
+
+namespace qdd::ir {
+
+/// Measurements, resets, and barriers — the "special operations" of
+/// Sec. IV-B that do not correspond to the application of a unitary matrix
+/// and act as breakpoints when stepping through a simulation.
+class NonUnitaryOperation final : public Operation {
+public:
+  /// Measurement of `qubits[k]` into classical bit `clbits[k]`.
+  NonUnitaryOperation(std::vector<Qubit> qubits, std::vector<std::size_t> clbits);
+  /// Reset (OpType::Reset) or barrier (OpType::Barrier) on `qubits`.
+  NonUnitaryOperation(OpType t, std::vector<Qubit> qubits);
+
+  [[nodiscard]] std::unique_ptr<Operation> clone() const override {
+    return std::make_unique<NonUnitaryOperation>(*this);
+  }
+
+  [[nodiscard]] bool isUnitary() const override {
+    return opType == OpType::Barrier;
+  }
+  [[nodiscard]] bool isNonUnitaryOperation() const override { return true; }
+
+  [[nodiscard]] const std::vector<std::size_t>& classics() const noexcept {
+    return classicBits;
+  }
+
+  void invert() override;
+
+  void dumpOpenQASM(std::ostream& os,
+                    const std::vector<std::string>& qubitNames,
+                    const std::vector<std::string>& clbitNames) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+private:
+  std::vector<std::size_t> classicBits; ///< parallel to targets (Measure only)
+};
+
+} // namespace qdd::ir

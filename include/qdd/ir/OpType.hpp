@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qdd::ir {
+
+/// Types of operations occurring in quantum circuits.
+enum class OpType : std::uint8_t {
+  None,
+  // single-qubit unitaries
+  I,
+  H,
+  X,
+  Y,
+  Z,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  V,
+  Vdg,
+  SX,
+  SXdg,
+  RX,
+  RY,
+  RZ,
+  Phase, ///< P(theta) = diag(1, e^{i theta}); S = P(pi/2), T = P(pi/4)
+  U2,
+  U3,
+  // two-qubit unitaries
+  SWAP,
+  iSWAP,
+  iSWAPdg,
+  DCX, ///< double-CNOT: CX(a,b) followed by CX(b,a)
+  // non-unitary / structural
+  Measure,
+  Reset,
+  Barrier,
+  ClassicControlled,
+  Compound,
+};
+
+/// Short lower-case mnemonic, e.g. "h", "sdg", "p", "swap".
+std::string toString(OpType t);
+
+/// Number of angle parameters an operation of this type carries.
+std::size_t numParameters(OpType t);
+
+/// Number of target qubits (1 or 2) for unitary standard operations.
+std::size_t numTargets(OpType t);
+
+/// True for gate types describable by a unitary matrix.
+bool isUnitaryType(OpType t);
+
+/// True if the gate is its own inverse.
+bool isSelfInverse(OpType t);
+
+} // namespace qdd::ir

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "qdd/common/Definitions.hpp"
+#include "qdd/ir/OpType.hpp"
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+namespace qdd::ir {
+
+/// Abstract base for every element of a quantum circuit: standard (unitary)
+/// gates, non-unitary operations (measure/reset/barrier), classically
+/// controlled operations, and compound groups.
+class Operation {
+public:
+  Operation() = default;
+  Operation(const Operation&) = default;
+  Operation& operator=(const Operation&) = default;
+  virtual ~Operation() = default;
+
+  [[nodiscard]] virtual std::unique_ptr<Operation> clone() const = 0;
+
+  [[nodiscard]] OpType type() const noexcept { return opType; }
+  [[nodiscard]] const std::vector<Qubit>& targets() const noexcept {
+    return targetQubits;
+  }
+  [[nodiscard]] const QubitControls& controls() const noexcept {
+    return controlQubits;
+  }
+  [[nodiscard]] const std::vector<double>& parameters() const noexcept {
+    return params;
+  }
+
+  /// All qubits this operation touches (controls + targets).
+  [[nodiscard]] virtual std::vector<Qubit> usedQubits() const;
+
+  [[nodiscard]] virtual bool isUnitary() const { return true; }
+  [[nodiscard]] virtual bool isStandardOperation() const { return false; }
+  [[nodiscard]] virtual bool isNonUnitaryOperation() const { return false; }
+  [[nodiscard]] virtual bool isClassicControlledOperation() const {
+    return false;
+  }
+  [[nodiscard]] virtual bool isCompoundOperation() const { return false; }
+
+  /// In-place inversion. Throws std::logic_error for non-invertible
+  /// (non-unitary) operations.
+  virtual void invert() = 0;
+
+  /// Emits the OpenQASM 2.0 representation (newline-terminated) using the
+  /// given register names for flat qubit/clbit indices.
+  virtual void dumpOpenQASM(std::ostream& os,
+                            const std::vector<std::string>& qubitNames,
+                            const std::vector<std::string>& clbitNames)
+      const = 0;
+
+  /// Short human-readable description, e.g. "cp(pi/4) q1, q0".
+  [[nodiscard]] virtual std::string name() const;
+
+protected:
+  OpType opType = OpType::None;
+  std::vector<Qubit> targetQubits;
+  QubitControls controlQubits;
+  std::vector<double> params;
+};
+
+} // namespace qdd::ir

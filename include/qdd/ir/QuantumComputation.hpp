@@ -1,0 +1,189 @@
+#pragma once
+
+#include "qdd/ir/ClassicControlledOperation.hpp"
+#include "qdd/ir/CompoundOperation.hpp"
+#include "qdd/ir/NonUnitaryOperation.hpp"
+#include "qdd/ir/Operation.hpp"
+#include "qdd/ir/StandardOperation.hpp"
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qdd::ir {
+
+/// A named register mapped onto a contiguous range of flat (qu)bit indices.
+struct Register {
+  std::string name;
+  std::size_t start = 0;
+  std::size_t size = 0;
+
+  [[nodiscard]] bool contains(std::size_t flat) const noexcept {
+    return flat >= start && flat < start + size;
+  }
+};
+
+/// A quantum circuit: an ordered list of operations over flat qubit and
+/// classical-bit index spaces, together with register metadata for
+/// OpenQASM-faithful round-trips.
+class QuantumComputation {
+public:
+  QuantumComputation() = default;
+  /// Creates a circuit with a default register q[nq] (and c[nc] if nc > 0).
+  explicit QuantumComputation(std::size_t nq, std::size_t nc = 0,
+                              std::string name = "");
+
+  QuantumComputation(const QuantumComputation& other);
+  QuantumComputation& operator=(const QuantumComputation& other);
+  QuantumComputation(QuantumComputation&&) noexcept = default;
+  QuantumComputation& operator=(QuantumComputation&&) noexcept = default;
+
+  // --- structure -----------------------------------------------------------
+
+  [[nodiscard]] std::size_t numQubits() const noexcept { return nqubits; }
+  [[nodiscard]] std::size_t numClbits() const noexcept { return nclbits; }
+  [[nodiscard]] const std::string& name() const noexcept { return circuitName; }
+  void setName(std::string n) { circuitName = std::move(n); }
+
+  /// Appends a quantum register; returns the first flat index.
+  std::size_t addQubitRegister(std::size_t size, const std::string& name = "q");
+  /// Appends a classical register; returns the first flat index.
+  std::size_t addClassicalRegister(std::size_t size,
+                                   const std::string& name = "c");
+  [[nodiscard]] const std::vector<Register>& qubitRegisters() const noexcept {
+    return qregs;
+  }
+  [[nodiscard]] const std::vector<Register>&
+  classicalRegisters() const noexcept {
+    return cregs;
+  }
+  /// Finds a classical register by name (nullptr if absent).
+  [[nodiscard]] const Register* classicalRegister(const std::string& n) const;
+
+  // --- operation list --------------------------------------------------------
+
+  using OpList = std::vector<std::unique_ptr<Operation>>;
+  using iterator = OpList::iterator;
+  using const_iterator = OpList::const_iterator;
+
+  iterator begin() noexcept { return ops.begin(); }
+  iterator end() noexcept { return ops.end(); }
+  [[nodiscard]] const_iterator begin() const noexcept { return ops.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return ops.end(); }
+  [[nodiscard]] std::size_t size() const noexcept { return ops.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops.empty(); }
+  [[nodiscard]] const Operation& at(std::size_t k) const { return *ops.at(k); }
+
+  void emplaceBack(std::unique_ptr<Operation> op);
+  template <class Op, class... Args> void emplaceOp(Args&&... args) {
+    emplaceBack(std::make_unique<Op>(std::forward<Args>(args)...));
+  }
+
+  /// Number of gates; with `flatten`, compound operations count their
+  /// members and barriers are excluded.
+  [[nodiscard]] std::size_t gateCount(bool flatten = true) const;
+
+  /// True if every operation is unitary (no measurements/resets/classic
+  /// controls; barriers allowed).
+  [[nodiscard]] bool isPurelyUnitary() const;
+
+  // --- gate convenience methods ----------------------------------------------
+
+  void i(Qubit q) { addStandard(OpType::I, {}, {q}); }
+  void h(Qubit q) { addStandard(OpType::H, {}, {q}); }
+  void x(Qubit q) { addStandard(OpType::X, {}, {q}); }
+  void y(Qubit q) { addStandard(OpType::Y, {}, {q}); }
+  void z(Qubit q) { addStandard(OpType::Z, {}, {q}); }
+  void s(Qubit q) { addStandard(OpType::S, {}, {q}); }
+  void sdg(Qubit q) { addStandard(OpType::Sdg, {}, {q}); }
+  void t(Qubit q) { addStandard(OpType::T, {}, {q}); }
+  void tdg(Qubit q) { addStandard(OpType::Tdg, {}, {q}); }
+  void v(Qubit q) { addStandard(OpType::V, {}, {q}); }
+  void vdg(Qubit q) { addStandard(OpType::Vdg, {}, {q}); }
+  void sx(Qubit q) { addStandard(OpType::SX, {}, {q}); }
+  void sxdg(Qubit q) { addStandard(OpType::SXdg, {}, {q}); }
+  void rx(double theta, Qubit q) { addStandard(OpType::RX, {}, {q}, {theta}); }
+  void ry(double theta, Qubit q) { addStandard(OpType::RY, {}, {q}, {theta}); }
+  void rz(double theta, Qubit q) { addStandard(OpType::RZ, {}, {q}, {theta}); }
+  void phase(double theta, Qubit q) {
+    addStandard(OpType::Phase, {}, {q}, {theta});
+  }
+  void u2(double phi, double lambda, Qubit q) {
+    addStandard(OpType::U2, {}, {q}, {phi, lambda});
+  }
+  void u3(double theta, double phi, double lambda, Qubit q) {
+    addStandard(OpType::U3, {}, {q}, {theta, phi, lambda});
+  }
+
+  void cx(Qubit c, Qubit t) { addStandard(OpType::X, {{c, true}}, {t}); }
+  void cy(Qubit c, Qubit t) { addStandard(OpType::Y, {{c, true}}, {t}); }
+  void cz(Qubit c, Qubit t) { addStandard(OpType::Z, {{c, true}}, {t}); }
+  void ch(Qubit c, Qubit t) { addStandard(OpType::H, {{c, true}}, {t}); }
+  void cs(Qubit c, Qubit t) { addStandard(OpType::S, {{c, true}}, {t}); }
+  void ccx(Qubit c1, Qubit c2, Qubit t) {
+    addStandard(OpType::X, {{c1, true}, {c2, true}}, {t});
+  }
+  void mcx(const QubitControls& cs, Qubit t) { addStandard(OpType::X, cs, {t}); }
+  void cphase(double theta, Qubit c, Qubit t) {
+    addStandard(OpType::Phase, {{c, true}}, {t}, {theta});
+  }
+  void crz(double theta, Qubit c, Qubit t) {
+    addStandard(OpType::RZ, {{c, true}}, {t}, {theta});
+  }
+  void cry(double theta, Qubit c, Qubit t) {
+    addStandard(OpType::RY, {{c, true}}, {t}, {theta});
+  }
+  void swap(Qubit a, Qubit b) { addStandard(OpType::SWAP, {}, {a, b}); }
+  void iswap(Qubit a, Qubit b) { addStandard(OpType::iSWAP, {}, {a, b}); }
+  void iswapdg(Qubit a, Qubit b) {
+    addStandard(OpType::iSWAPdg, {}, {a, b});
+  }
+  void dcx(Qubit a, Qubit b) { addStandard(OpType::DCX, {}, {a, b}); }
+  void cswap(Qubit c, Qubit a, Qubit b) {
+    addStandard(OpType::SWAP, {{c, true}}, {a, b});
+  }
+
+  /// Generic controlled standard gate.
+  void addStandard(OpType t, const QubitControls& controls,
+                   std::vector<Qubit> targets, std::vector<double> params = {});
+
+  void measure(Qubit q, std::size_t clbit);
+  /// Measures every qubit k into classical bit k (adding classical bits if
+  /// necessary).
+  void measureAll();
+  void reset(Qubit q);
+  void barrier();                      ///< barrier on all qubits
+  void barrier(std::vector<Qubit> qs); ///< barrier on specific qubits
+  void classicControlled(std::unique_ptr<Operation> op, std::size_t firstClbit,
+                         std::size_t numClbits, std::uint64_t expected);
+
+  // --- transformations ---------------------------------------------------------
+
+  /// Returns the inverse circuit G^{-1} (reversed order, inverted gates).
+  /// Throws std::logic_error if a non-unitary operation is present
+  /// (barriers are dropped).
+  [[nodiscard]] QuantumComputation inverted() const;
+
+  // --- IO -------------------------------------------------------------------------
+
+  /// Emits the circuit as OpenQASM 2.0.
+  void dumpOpenQASM(std::ostream& os) const;
+  [[nodiscard]] std::string toOpenQASM() const;
+
+  /// Flat per-qubit wire names ("q[3]") for dumping operations.
+  [[nodiscard]] std::vector<std::string> qubitNames() const;
+  [[nodiscard]] std::vector<std::string> clbitNames() const;
+
+private:
+  void ensureQubit(Qubit q);
+
+  std::size_t nqubits = 0;
+  std::size_t nclbits = 0;
+  std::string circuitName;
+  std::vector<Register> qregs;
+  std::vector<Register> cregs;
+  OpList ops;
+};
+
+} // namespace qdd::ir

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "qdd/ir/Operation.hpp"
+
+#include <stdexcept>
+
+namespace qdd::ir {
+
+/// A (possibly multi-controlled) unitary gate from the standard gate set.
+class StandardOperation final : public Operation {
+public:
+  StandardOperation(OpType t, QubitControls controls, std::vector<Qubit> targets,
+                    std::vector<double> parameters = {});
+
+  /// Uncontrolled single-target convenience constructor.
+  StandardOperation(OpType t, Qubit target, std::vector<double> parameters = {})
+      : StandardOperation(t, {}, std::vector<Qubit>{target},
+                          std::move(parameters)) {}
+
+  [[nodiscard]] std::unique_ptr<Operation> clone() const override {
+    return std::make_unique<StandardOperation>(*this);
+  }
+
+  [[nodiscard]] bool isStandardOperation() const override { return true; }
+
+  void invert() override;
+
+  void dumpOpenQASM(std::ostream& os,
+                    const std::vector<std::string>& qubitNames,
+                    const std::vector<std::string>& clbitNames) const override;
+
+private:
+  void checkConsistency() const;
+};
+
+} // namespace qdd::ir

@@ -1,0 +1,52 @@
+#pragma once
+
+#include "qdd/parser/qasm/Token.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace qdd::qasm {
+
+/// Error raised on malformed input, carrying source position.
+class ParseError : public std::runtime_error {
+public:
+  ParseError(const std::string& message, std::size_t line, std::size_t col)
+      : std::runtime_error("qasm:" + std::to_string(line) + ":" +
+                           std::to_string(col) + ": " + message),
+        errorLine(line), errorCol(col) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return errorLine; }
+  [[nodiscard]] std::size_t col() const noexcept { return errorCol; }
+
+private:
+  std::size_t errorLine;
+  std::size_t errorCol;
+};
+
+/// Hand-written lexer for OpenQASM 2.0 (handles // comments, numbers,
+/// identifiers, keywords, and the punctuation of the grammar).
+class Lexer {
+public:
+  explicit Lexer(std::string source);
+
+  /// Scans and returns the next token.
+  Token next();
+
+private:
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  void skipWhitespaceAndComments();
+  Token makeToken(TokenKind k) const;
+  Token lexNumber();
+  Token lexIdentifierOrKeyword();
+  Token lexString();
+
+  std::string src;
+  std::size_t pos = 0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+  std::size_t tokLine = 1;
+  std::size_t tokCol = 1;
+};
+
+} // namespace qdd::qasm

@@ -1,0 +1,145 @@
+#pragma once
+
+#include "qdd/ir/QuantumComputation.hpp"
+#include "qdd/parser/qasm/Lexer.hpp"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qdd::qasm {
+
+/// Parses OpenQASM 2.0 source (the `.qasm` format accepted by the tool's
+/// algorithm boxes, Sec. IV-B) into a QuantumComputation.
+///
+/// Supported: qreg/creg, the builtin U/CX, the qelib1.inc standard gates
+/// (always available), user `gate` definitions (expanded into labelled
+/// compound operations), register broadcasting, measure/reset/barrier, and
+/// classically controlled operations `if (c == v) ...`.
+ir::QuantumComputation parse(const std::string& source,
+                             const std::string& name = "");
+
+/// Reads and parses a `.qasm` file.
+ir::QuantumComputation parseFile(const std::string& path);
+
+namespace detail {
+
+/// Arithmetic expression tree for gate parameters.
+struct Expr {
+  enum class Kind : std::uint8_t {
+    Number,
+    Pi,
+    Param,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Neg,
+    Sin,
+    Cos,
+    Tan,
+    Exp,
+    Ln,
+    Sqrt,
+  };
+  Kind kind = Kind::Number;
+  double number = 0.;
+  std::string param;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+};
+using ExprPtr = std::unique_ptr<Expr>;
+
+double evaluate(const Expr& e, const std::map<std::string, double>& env,
+                std::size_t line, std::size_t col);
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+public:
+  explicit Parser(std::string source, std::string name);
+  ir::QuantumComputation parse();
+
+private:
+  // --- grammar productions ------------------------------------------------
+  void parseHeader();
+  void parseStatement();
+  void parseQreg();
+  void parseCreg();
+  void parseGateDecl(bool opaque);
+  void parseInclude();
+  void parseMeasure();
+  void parseReset();
+  void parseBarrier();
+  void parseIf();
+  void parseGateCall();
+
+  // --- gate application ----------------------------------------------------
+  struct Operand {
+    std::string reg;
+    bool indexed = false;
+    std::size_t index = 0;
+    std::size_t line = 1;
+    std::size_t col = 1;
+  };
+  struct GateCall {
+    std::string name;
+    std::vector<ExprPtr> params;
+    std::vector<Operand> operands; ///< operand.reg holds formal names in decls
+    /// additional leading control operands from the `c(N) gate ...` prefix
+    std::size_t extraControls = 0;
+    std::size_t line = 1;
+    std::size_t col = 1;
+  };
+  struct GateDecl {
+    std::vector<std::string> paramNames;
+    std::vector<std::string> argNames;
+    std::vector<GateCall> body;
+    bool opaque = false;
+  };
+
+  GateCall parseCallTail(std::string gateName, bool inGateBody);
+  Operand parseOperand(bool inGateBody);
+  ExprPtr parseExpr();
+  ExprPtr parseAddSub();
+  ExprPtr parseMulDiv();
+  ExprPtr parsePow();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  /// Resolves register operands to flat indices with broadcasting and emits
+  /// the call into the circuit (possibly wrapped by `wrap`).
+  void emitCall(const GateCall& call,
+                const std::function<void(std::unique_ptr<ir::Operation>)>&
+                    sink);
+  /// Expands a single (non-broadcast) call into operations.
+  void expandCall(const GateCall& call, const std::vector<Qubit>& qubits,
+                  const std::map<std::string, double>& env,
+                  const std::function<void(std::unique_ptr<ir::Operation>)>&
+                      sink);
+  bool tryBuiltin(const std::string& name, const std::vector<double>& params,
+                  const std::vector<Qubit>& qubits, std::size_t extraControls,
+                  std::size_t line, std::size_t col,
+                  const std::function<void(std::unique_ptr<ir::Operation>)>&
+                      sink);
+
+  std::vector<Qubit> resolveQubit(const Operand& op) const;
+  std::vector<std::size_t> resolveClbit(const Operand& op) const;
+
+  // --- token handling ---------------------------------------------------------
+  void advanceToken();
+  Token expect(TokenKind k, const std::string& context);
+  [[nodiscard]] bool check(TokenKind k) const { return cur.kind == k; }
+  bool accept(TokenKind k);
+  [[noreturn]] void fail(const std::string& message) const;
+
+  Lexer lexer;
+  Token cur;
+  ir::QuantumComputation qc;
+  std::map<std::string, GateDecl> gateDecls;
+};
+
+} // namespace detail
+} // namespace qdd::qasm

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qdd::qasm {
+
+/// Token kinds of the OpenQASM 2.0 grammar subset supported by the parser.
+enum class TokenKind : std::uint8_t {
+  EndOfFile,
+  // literals and names
+  Identifier,
+  Real,
+  Integer,
+  StringLiteral,
+  // keywords
+  KwOpenqasm,
+  KwInclude,
+  KwQreg,
+  KwCreg,
+  KwGate,
+  KwOpaque,
+  KwMeasure,
+  KwReset,
+  KwBarrier,
+  KwIf,
+  KwPi,
+  KwU, // builtin U
+  KwCX, // builtin CX
+  // punctuation
+  Semicolon,
+  Comma,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Arrow,  // ->
+  Equals, // ==
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Caret,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::EndOfFile;
+  std::string text;    ///< identifier/string spelling
+  double realValue = 0.;
+  std::uint64_t intValue = 0;
+  std::size_t line = 1;
+  std::size_t col = 1;
+};
+
+/// Human-readable token-kind name for diagnostics.
+std::string toString(TokenKind k);
+
+} // namespace qdd::qasm

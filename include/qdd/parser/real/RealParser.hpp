@@ -1,0 +1,26 @@
+#pragma once
+
+#include "qdd/ir/QuantumComputation.hpp"
+
+#include <string>
+
+namespace qdd::real {
+
+/// Parses a RevLib `.real` reversible-circuit description (the second file
+/// format accepted by the tool's algorithm boxes, Sec. IV-B).
+///
+/// Supported directives: .version, .numvars, .variables, .inputs, .outputs,
+/// .constants, .garbage, .begin/.end; supported gates: tN (multi-controlled
+/// Toffoli; t1 = NOT, t2 = CNOT), fN (multi-controlled Fredkin/SWAP), v/v+
+/// (controlled square root of NOT). Negative controls are written with a
+/// leading '-'.
+///
+/// The first declared variable is mapped to the most-significant qubit
+/// q_{n-1} (matching the top circuit line, paper Sec. II conventions).
+ir::QuantumComputation parse(const std::string& source,
+                             const std::string& name = "");
+
+/// Reads and parses a `.real` file.
+ir::QuantumComputation parseFile(const std::string& path);
+
+} // namespace qdd::real

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "qdd/dd/GateMatrix.hpp"
+
+#include <string>
+#include <vector>
+
+namespace qdd::sim {
+
+/// A single-qubit quantum channel in Kraus form:
+/// rho -> sum_k E_k rho E_k^dagger with sum_k E_k^dagger E_k = I.
+///
+/// Channels are the payoff of the density-matrix representation
+/// (DensityMatrixSimulator): they cannot be expressed on the paper's
+/// pure-state decision diagrams at all.
+struct KrausChannel {
+  std::string name;
+  std::vector<GateMatrix> operators;
+
+  /// Verifies the completeness relation sum E^dagger E = I (within tol).
+  [[nodiscard]] bool isTracePreserving(double tol = 1e-9) const;
+};
+
+/// Depolarizing channel: with probability p the qubit is replaced by the
+/// maximally mixed state.
+KrausChannel depolarizing(double p);
+/// Amplitude damping (T1 decay): |1> decays to |0> with probability gamma.
+KrausChannel amplitudeDamping(double gamma);
+/// Phase damping (T2 dephasing) with probability lambda.
+KrausChannel phaseDamping(double lambda);
+/// Bit flip: X applied with probability p.
+KrausChannel bitFlip(double p);
+/// Phase flip: Z applied with probability p.
+KrausChannel phaseFlip(double p);
+
+/// Simple gate-level noise model: after every gate, the listed channels are
+/// applied to each qubit the gate touched.
+struct NoiseModel {
+  std::vector<KrausChannel> afterGate;
+
+  [[nodiscard]] bool empty() const noexcept { return afterGate.empty(); }
+};
+
+} // namespace qdd::sim

@@ -1,0 +1,121 @@
+#pragma once
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/dd/Package.hpp"
+#include "qdd/ir/QuantumComputation.hpp"
+
+#include <functional>
+#include <random>
+#include <vector>
+
+namespace qdd::sim {
+
+/// Interactive circuit-simulation session replicating the behaviour of the
+/// tool's simulation tab (paper Sec. IV-B): step forward/backward through the
+/// operations, run to the end (stopping at "special operations"), and
+/// resolve measurement/reset outcomes either randomly or through a
+/// caller-provided chooser (the tool's pop-up dialog).
+class SimulationSession {
+public:
+  /// Invoked when a qubit about to be measured/reset is in superposition;
+  /// receives the qubit and the probabilities of reading |0> and |1> and
+  /// returns the chosen outcome (0 or 1). Mirrors the pop-up dialog of the
+  /// tool ("displays the probabilities for obtaining |0> and |1>").
+  using OutcomeChooser = std::function<int(Qubit, double p0, double p1)>;
+
+  SimulationSession(const ir::QuantumComputation& circuit, Package& package,
+                    std::uint64_t seed = 0);
+  ~SimulationSession();
+
+  SimulationSession(const SimulationSession&) = delete;
+  SimulationSession& operator=(const SimulationSession&) = delete;
+
+  /// Replaces the random default with an explicit outcome chooser.
+  void setOutcomeChooser(OutcomeChooser chooser) {
+    outcomeChooser = std::move(chooser);
+  }
+
+  // --- inspection ---------------------------------------------------------
+
+  [[nodiscard]] const vEdge& state() const noexcept { return current; }
+  [[nodiscard]] const ir::QuantumComputation& circuit() const noexcept {
+    return qc;
+  }
+  /// Index of the operation the next stepForward() would apply.
+  [[nodiscard]] std::size_t position() const noexcept { return pos; }
+  [[nodiscard]] std::size_t numOperations() const noexcept {
+    return qc.size();
+  }
+  [[nodiscard]] bool atEnd() const noexcept { return pos == qc.size(); }
+  [[nodiscard]] bool atStart() const noexcept { return pos == 0; }
+  /// The operation the next stepForward() applies (nullptr at the end).
+  [[nodiscard]] const ir::Operation* nextOperation() const;
+  [[nodiscard]] const std::vector<bool>& classicalBits() const noexcept {
+    return classicals;
+  }
+
+  /// Current DD size and the peak over the whole session.
+  [[nodiscard]] std::size_t currentNodes() const;
+  [[nodiscard]] std::size_t peakNodes() const noexcept { return peak; }
+  /// DD size after each applied operation (for size-over-time plots).
+  [[nodiscard]] const std::vector<std::size_t>& nodeHistory() const noexcept {
+    return history;
+  }
+
+  // --- navigation (the -> / <- / |<< / >>| buttons) -------------------------
+
+  /// Applies the next operation; returns false at the end of the circuit.
+  bool stepForward();
+  /// Restores the state before the previously applied operation (works
+  /// across measurements/resets by snapshotting). Returns false at start.
+  bool stepBackward();
+  /// Steps forward until the end, stopping after "special operations"
+  /// (barrier breakpoints, measurements, resets). Returns steps taken.
+  std::size_t runToEnd();
+  /// Rewinds to the initial state. Returns steps taken.
+  std::size_t runToStart();
+
+private:
+  /// True if the operation acts as a breakpoint for runToEnd().
+  static bool isSpecial(const ir::Operation& op);
+  void applyUnitary(const ir::Operation& op);
+  void applyMeasurement(const ir::NonUnitaryOperation& op);
+  void applyReset(const ir::NonUnitaryOperation& op);
+  int chooseOutcome(Qubit q, double p1);
+  void pushSnapshot();
+
+  struct Snapshot {
+    vEdge state;
+    std::vector<bool> classicals;
+  };
+
+  ir::QuantumComputation qc; ///< owned copy: sessions outlive caller scopes
+  Package& pkg;
+  vEdge current;
+  std::vector<bool> classicals;
+  std::vector<Snapshot> snapshots; ///< one per applied operation
+  std::size_t pos = 0;
+  std::mt19937_64 rng;
+  OutcomeChooser outcomeChooser;
+  std::size_t peak = 0;
+  std::vector<std::size_t> history;
+};
+
+/// Result of repeated (weak) simulation.
+struct SamplingResult {
+  std::map<std::string, std::size_t> counts; ///< bitstring -> occurrences
+  std::size_t shots = 0;
+};
+
+/// Samples `shots` measurement outcomes from the circuit ([16]-style weak
+/// simulation): for circuits whose only non-unitary operations are final
+/// measurements, the state is simulated once and then sampled repeatedly
+/// (non-destructively); dynamic circuits (mid-circuit measurements, resets,
+/// classically controlled operations) fall back to per-shot execution.
+///
+/// The returned bitstrings run over the classical bits c_{m-1}...c_0 if the
+/// circuit measures, and over all qubits q_{n-1}...q_0 otherwise.
+SamplingResult sampleCircuit(const ir::QuantumComputation& qc,
+                             std::size_t shots, std::uint64_t seed = 0);
+
+} // namespace qdd::sim

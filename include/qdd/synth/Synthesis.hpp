@@ -1,0 +1,37 @@
+#pragma once
+
+#include "qdd/dd/Package.hpp"
+#include "qdd/ir/QuantumComputation.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qdd::synth {
+
+/// Transformation-based synthesis of reversible functions (the classic
+/// Miller-Maslov-Dueck algorithm) — covering the third DD design task the
+/// paper's abstract lists alongside simulation and verification
+/// ("decision diagrams provide a promising basis for many design tasks such
+/// as simulation, synthesis, verification"; refs [17]-[19]).
+///
+/// Input: a permutation over the 2^n basis states (truth table of a
+/// reversible function); output: a cascade of NOT / CNOT / multi-controlled
+/// Toffoli gates realizing it exactly. The result is verified against the
+/// specification with canonical decision diagrams (see
+/// buildPermutationDD / test_synthesis).
+ir::QuantumComputation
+synthesizePermutation(const std::vector<std::uint64_t>& permutation);
+
+/// Builds the DD of the permutation matrix P with P|x> = |permutation[x]>.
+/// Used as the golden specification when verifying synthesis results.
+mEdge buildPermutationDD(Package& pkg,
+                         const std::vector<std::uint64_t>& permutation);
+
+/// Statistics of a synthesized cascade.
+struct SynthesisStats {
+  std::size_t gates = 0;       ///< total gates in the cascade
+  std::size_t maxControls = 0; ///< largest control count of any gate
+};
+SynthesisStats analyze(const ir::QuantumComputation& qc);
+
+} // namespace qdd::synth

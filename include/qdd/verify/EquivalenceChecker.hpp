@@ -1,0 +1,91 @@
+#pragma once
+
+#include "qdd/dd/Package.hpp"
+#include "qdd/ir/QuantumComputation.hpp"
+
+#include <string>
+
+namespace qdd::verify {
+
+/// Verdict of an equivalence check (paper Sec. III-C).
+enum class Equivalence : std::uint8_t {
+  Equivalent,
+  EquivalentUpToGlobalPhase,
+  NotEquivalent,
+  /// Simulation runs can only ever prove non-equivalence; agreement on all
+  /// stimuli yields this verdict.
+  ProbablyEquivalent,
+};
+
+std::string toString(Equivalence e);
+
+/// Statistics gathered while checking.
+struct CheckResult {
+  Equivalence equivalence = Equivalence::NotEquivalent;
+  std::size_t maxNodes = 0;     ///< peak size of any intermediate DD
+  std::size_t finalNodes = 0;   ///< size of the final DD
+  std::size_t gatesApplied = 0; ///< total gate DDs multiplied
+  std::string method;
+
+  [[nodiscard]] bool consideredEquivalent() const noexcept {
+    return equivalence != Equivalence::NotEquivalent;
+  }
+};
+
+/// Gate-application strategies for the alternating scheme ([20], Ex. 12):
+/// the order in which gates from G and G'^{-1} are applied, aiming to keep
+/// the intermediate DD close to the identity.
+enum class Strategy : std::uint8_t {
+  /// Apply all of G, then all of G'^{-1} — equivalent to building the full
+  /// system matrix of G first (the paper's "21 nodes" reference point).
+  Sequential,
+  /// Alternate one gate from G with one gate from G'^{-1}.
+  OneToOne,
+  /// Alternate proportionally to the two gate counts (useful when a
+  /// compiled circuit has k gates per original gate).
+  Proportional,
+  /// Apply one gate from G, then gates from G'^{-1} up to the next barrier
+  /// — exactly the synchronization of Ex. 12 / Fig. 5(b).
+  BarrierSync,
+};
+
+std::string toString(Strategy s);
+
+/// Checks the equivalence of two quantum circuits with decision diagrams.
+///
+/// Both circuits must be purely unitary (barriers allowed) and act on the
+/// same number of qubits with the same qubit ordering — the same
+/// restrictions the paper's tool imposes (Sec. IV-C).
+class EquivalenceChecker {
+public:
+  EquivalenceChecker(const ir::QuantumComputation& first,
+                     const ir::QuantumComputation& second,
+                     double tolerance = 1e-9);
+
+  /// Reference scheme: build both system matrices and compare their
+  /// (canonical!) root pointers (paper Ex. 11).
+  CheckResult checkByConstruction(Package& pkg) const;
+
+  /// Alternating scheme: start from the identity, apply gates from G and
+  /// G'^{-1} according to `strategy`, and test whether the result resembles
+  /// the identity (paper Ex. 12, [20]).
+  CheckResult checkAlternating(Package& pkg,
+                               Strategy strategy = Strategy::Proportional)
+      const;
+
+  /// Simulation-based check with `numStimuli` random computational basis
+  /// states: cheap, and able to prove non-equivalence quickly.
+  CheckResult checkBySimulation(Package& pkg, std::size_t numStimuli = 16,
+                                std::uint64_t seed = 0) const;
+
+private:
+  /// Classifies a DD as identity / identity-up-to-phase / neither.
+  [[nodiscard]] Equivalence classifyAgainstIdentity(Package& pkg,
+                                                    const mEdge& e) const;
+
+  ir::QuantumComputation g1; ///< owned copies: the checker may outlive
+  ir::QuantumComputation g2; ///< the circuits it was constructed from
+  double tol;
+};
+
+} // namespace qdd::verify

@@ -1,0 +1,78 @@
+#pragma once
+
+#include "qdd/verify/EquivalenceChecker.hpp"
+
+#include <vector>
+
+namespace qdd::verify {
+
+/// Interactive counterpart of the tool's verification tab (paper Sec. IV-C /
+/// Fig. 9): two circuits are loaded side by side, and the user successively
+/// applies operations from the left circuit (from the left) and inverted
+/// operations from the right circuit (from the right) onto an identity DD,
+/// watching whether it stays close to the identity.
+class VerificationSession {
+public:
+  VerificationSession(const ir::QuantumComputation& left,
+                      const ir::QuantumComputation& right, Package& package);
+  ~VerificationSession();
+
+  VerificationSession(const VerificationSession&) = delete;
+  VerificationSession& operator=(const VerificationSession&) = delete;
+
+  [[nodiscard]] const mEdge& state() const noexcept { return current; }
+  /// Gates of the left circuit applied so far.
+  [[nodiscard]] std::size_t leftPosition() const noexcept { return posL; }
+  [[nodiscard]] std::size_t rightPosition() const noexcept { return posR; }
+  [[nodiscard]] std::size_t leftSize() const noexcept { return left.size(); }
+  [[nodiscard]] std::size_t rightSize() const noexcept {
+    return right.size();
+  }
+  [[nodiscard]] bool finished() const noexcept {
+    return posL == left.size() && posR == right.size();
+  }
+
+  /// Applies the next gate of the left circuit (barriers are skipped but
+  /// stop runLeftToBarrier). Returns false when exhausted.
+  bool stepLeft();
+  /// Applies the inverse of the next gate of the right circuit.
+  bool stepRight();
+  /// Undoes the most recent step (either side).
+  bool stepBack();
+  /// Applies right-circuit gates up to (and including) the next barrier.
+  std::size_t runRightToBarrier();
+  /// Runs the complete Ex. 12 schedule: one left gate, then right gates up
+  /// to the next barrier, until both circuits are exhausted.
+  CheckResult runToCompletion();
+
+  /// Current verdict for the accumulated DD (meaningful once finished()).
+  [[nodiscard]] Equivalence currentVerdict();
+  [[nodiscard]] std::size_t currentNodes() const;
+  [[nodiscard]] std::size_t peakNodes() const noexcept { return peak; }
+  [[nodiscard]] const std::vector<std::size_t>& nodeHistory() const noexcept {
+    return history;
+  }
+
+private:
+  struct Snapshot {
+    mEdge state;
+    std::size_t posL;
+    std::size_t posR;
+  };
+
+  void replace(const mEdge& next);
+  void record();
+
+  ir::QuantumComputation left;  ///< owned copies: sessions may outlive
+  ir::QuantumComputation right; ///< the circuits they were created from
+  Package& pkg;
+  mEdge current;
+  std::size_t posL = 0;
+  std::size_t posR = 0;
+  std::vector<Snapshot> snapshots;
+  std::size_t peak = 0;
+  std::vector<std::size_t> history;
+  double tol;
+};
+
+} // namespace qdd::verify

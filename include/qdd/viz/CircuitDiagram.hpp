@@ -1,0 +1,20 @@
+#pragma once
+
+#include "qdd/ir/QuantumComputation.hpp"
+
+#include <string>
+
+namespace qdd::viz {
+
+/// Renders a quantum circuit as ASCII art in the layout of the paper's
+/// circuit figures (Fig. 1(c), Fig. 5): one horizontal wire per qubit with
+/// the most significant qubit q_{n-1} on top, boxed gates, `*`/`o` for
+/// positive/negative controls, `X` (+) for CNOT targets, `x` for SWAP,
+/// `M` for measurements, `|` barriers drawn as dashed columns.
+///
+/// This is the console substitute for the web tool's algorithm/circuit
+/// display (Sec. IV-B).
+std::string circuitToAscii(const ir::QuantumComputation& qc,
+                           std::size_t maxWidth = 120);
+
+} // namespace qdd::viz

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "qdd/viz/Graph.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace qdd::viz {
+
+/// Node rendering style (paper Sec. IV-A / Fig. 7).
+enum class Style : std::uint8_t {
+  /// "Look and feel that is most similar to what is found in research
+  /// papers": circular nodes labelled q_i, dashed edges for weights != 1,
+  /// 0-stubs retracted into small stubs.
+  Classic,
+  /// "More modern look ... where the connection to the underlying state
+  /// vector is expressed in a more straight-forward fashion": box nodes with
+  /// one cell per successor.
+  Modern,
+};
+
+/// Options controlling decision-diagram export.
+struct ExportOptions {
+  Style style = Style::Classic;
+  /// Annotate edges with their complex weights. "The explicit annotation of
+  /// edge weights quickly requires lots of space"; disable to use color and
+  /// thickness instead.
+  bool edgeLabels = true;
+  /// Encode the complex phase of each weight via the HLS color wheel
+  /// (Fig. 7(b)-(c)).
+  bool colored = false;
+  /// Reflect the magnitude of each weight in the line thickness.
+  bool magnitudeThickness = false;
+  /// Label precision for weights.
+  int precision = 4;
+};
+
+/// Emits Graphviz DOT for a (vector or matrix) decision diagram.
+class DotExporter {
+public:
+  explicit DotExporter(ExportOptions options = {}) : opts(options) {}
+
+  [[nodiscard]] std::string toDot(const Graph& g) const;
+  void write(std::ostream& os, const Graph& g) const;
+
+  /// Convenience: export to a .dot file.
+  void writeFile(const std::string& path, const Graph& g) const;
+
+private:
+  ExportOptions opts;
+};
+
+} // namespace qdd::viz

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "qdd/viz/Graph.hpp"
+
+#include <string>
+
+namespace qdd::viz {
+
+/// Serializes a decision diagram as JSON — the data interchange format a
+/// web front-end (like the paper's tool) renders from. Every edge carries
+/// its complex weight in cartesian and polar form plus the Fig. 7(b) HLS
+/// color and a magnitude-based thickness, so a renderer needs no further
+/// computation.
+class JsonExporter {
+public:
+  explicit JsonExporter(int precision = 10) : precision(precision) {}
+
+  [[nodiscard]] std::string toJson(const Graph& g) const;
+  void writeFile(const std::string& path, const Graph& g) const;
+
+private:
+  int precision;
+};
+
+} // namespace qdd::viz

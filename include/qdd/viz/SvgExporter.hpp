@@ -1,0 +1,26 @@
+#pragma once
+
+#include "qdd/viz/DotExporter.hpp" // ExportOptions / Style
+#include "qdd/viz/Graph.hpp"
+
+#include <string>
+
+namespace qdd::viz {
+
+/// Self-contained SVG renderer for decision diagrams — no Graphviz
+/// dependency; this is the drawing backend substituting the web tool's
+/// canvas (see DESIGN.md). Nodes are placed on one horizontal band per
+/// level q_{n-1} (top) ... q_0, with the terminal at the bottom, mirroring
+/// the figures throughout the paper.
+class SvgExporter {
+public:
+  explicit SvgExporter(ExportOptions options = {}) : opts(options) {}
+
+  [[nodiscard]] std::string toSvg(const Graph& g) const;
+  void writeFile(const std::string& path, const Graph& g) const;
+
+private:
+  ExportOptions opts;
+};
+
+} // namespace qdd::viz

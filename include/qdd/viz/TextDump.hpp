@@ -1,0 +1,27 @@
+#pragma once
+
+#include "qdd/dd/Package.hpp"
+#include "qdd/viz/Graph.hpp"
+
+#include <complex>
+#include <string>
+#include <vector>
+
+namespace qdd::viz {
+
+/// Renders a state as a Dirac-notation sum, e.g.
+/// "0.7071|00> + 0.7071|11>" (paper Ex. 1).
+std::string toDirac(Package& pkg, const vEdge& state, int precision = 4,
+                    double cutoff = 1e-9);
+
+/// Pretty-prints a dense matrix in the omega notation of Fig. 5(c):
+/// entries that are powers of omega = e^{i pi / 4^...} scaled by a common
+/// 1/sqrt(2^n) factor print as "w^k". Falls back to numeric entries.
+std::string formatMatrixOmega(const std::vector<std::complex<double>>& mat,
+                              std::size_t n, int precision = 3);
+
+/// Plain-text structural dump of a decision diagram (one line per node),
+/// useful for terminal inspection and golden tests.
+std::string asciiDump(const Graph& g, int precision = 4);
+
+} // namespace qdd::viz

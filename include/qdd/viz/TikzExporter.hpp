@@ -1,0 +1,29 @@
+#pragma once
+
+#include "qdd/viz/DotExporter.hpp" // ExportOptions
+#include "qdd/viz/Graph.hpp"
+
+#include <string>
+
+namespace qdd::viz {
+
+/// Emits standalone LaTeX/TikZ code for a decision diagram in the exact
+/// visual language of the paper's figures ("classic mode offers a look and
+/// feel that is most similar to what is found in research papers",
+/// Sec. IV-A): circular q_i nodes, a boxed 1-terminal, dashed edges for
+/// weights != 1, short 0-stubs, and optional colored/thickness encoding.
+class TikzExporter {
+public:
+  explicit TikzExporter(ExportOptions options = {}) : opts(options) {}
+
+  /// TikZ picture body (usable inside any document).
+  [[nodiscard]] std::string toTikz(const Graph& g) const;
+  /// Complete compilable standalone .tex document.
+  [[nodiscard]] std::string toStandaloneDocument(const Graph& g) const;
+  void writeFile(const std::string& path, const Graph& g) const;
+
+private:
+  ExportOptions opts;
+};
+
+} // namespace qdd::viz

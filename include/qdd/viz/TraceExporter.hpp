@@ -1,0 +1,33 @@
+#pragma once
+
+#include "qdd/sim/SimulationSession.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace qdd::viz {
+
+/// Options for simulation-trace export.
+struct TraceOptions {
+  /// Embed the full decision diagram (nodes/edges/colors) of every step;
+  /// with false only Dirac strings and node counts are recorded.
+  bool includeDiagrams = true;
+  /// Random seed for measurement/reset outcomes.
+  std::uint64_t seed = 0;
+  int precision = 10;
+};
+
+/// Runs the circuit step by step and serializes the whole run as one JSON
+/// document: per operation its description, the resulting state in Dirac
+/// notation, the DD size, and (optionally) the full diagram in the
+/// JsonExporter format. This is the data feed for the tool's automated
+/// "slide show" mode (Sec. IV-B: "Start/Pause a slide show where the
+/// simulation advances step-by-step in an automated fashion").
+std::string exportSimulationTrace(const ir::QuantumComputation& qc,
+                                  Package& pkg, TraceOptions options = {});
+
+/// Convenience: writes the trace to a file.
+void writeSimulationTrace(const ir::QuantumComputation& qc, Package& pkg,
+                          const std::string& path, TraceOptions options = {});
+
+} // namespace qdd::viz

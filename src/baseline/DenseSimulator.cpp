@@ -1,0 +1,367 @@
+#include "qdd/baseline/DenseSimulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qdd::baseline {
+
+namespace {
+
+GateMatrix matrixFor(ir::OpType t, const std::vector<double>& p) {
+  switch (t) {
+  case ir::OpType::I:
+    return I_MAT;
+  case ir::OpType::H:
+    return H_MAT;
+  case ir::OpType::X:
+    return X_MAT;
+  case ir::OpType::Y:
+    return Y_MAT;
+  case ir::OpType::Z:
+    return Z_MAT;
+  case ir::OpType::S:
+    return S_MAT;
+  case ir::OpType::Sdg:
+    return SDG_MAT;
+  case ir::OpType::T:
+    return T_MAT;
+  case ir::OpType::Tdg:
+    return TDG_MAT;
+  case ir::OpType::V:
+    return V_MAT;
+  case ir::OpType::Vdg:
+    return VDG_MAT;
+  case ir::OpType::SX:
+    return SX_MAT;
+  case ir::OpType::SXdg:
+    return SXDG_MAT;
+  case ir::OpType::RX:
+    return rxMatrix(p.at(0));
+  case ir::OpType::RY:
+    return ryMatrix(p.at(0));
+  case ir::OpType::RZ:
+    return rzMatrix(p.at(0));
+  case ir::OpType::Phase:
+    return phaseMatrix(p.at(0));
+  case ir::OpType::U2:
+    return u2Matrix(p.at(0), p.at(1));
+  case ir::OpType::U3:
+    return u3Matrix(p.at(0), p.at(1), p.at(2));
+  default:
+    throw std::invalid_argument("DenseSimulator: no matrix for '" +
+                                ir::toString(t) + "'");
+  }
+}
+
+} // namespace
+
+// --- DenseStateVector ----------------------------------------------------------
+
+DenseStateVector::DenseStateVector(std::size_t numQubits)
+    : nqubits(numQubits), amps(1ULL << numQubits, {0., 0.}) {
+  if (numQubits == 0 || numQubits > 28) {
+    throw std::invalid_argument("DenseStateVector: unsupported qubit count");
+  }
+  amps[0] = {1., 0.};
+}
+
+DenseStateVector::DenseStateVector(
+    std::vector<std::complex<double>> amplitudes)
+    : nqubits(0), amps(std::move(amplitudes)) {
+  const std::size_t len = amps.size();
+  if (len < 2 || (len & (len - 1)) != 0) {
+    throw std::invalid_argument("DenseStateVector: length not a power of 2");
+  }
+  while ((1ULL << nqubits) < len) {
+    ++nqubits;
+  }
+}
+
+bool DenseStateVector::controlsSatisfied(
+    std::size_t index, const QubitControls& controls) const {
+  for (const auto& c : controls) {
+    const bool set = (index >> static_cast<unsigned>(c.qubit)) & 1ULL;
+    if (set != c.positive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void DenseStateVector::applyGate(const GateMatrix& mat, Qubit target,
+                                 const QubitControls& controls) {
+  const std::uint64_t tBit = 1ULL << static_cast<unsigned>(target);
+  const std::uint64_t dim = amps.size();
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    if ((i & tBit) != 0 || !controlsSatisfied(i, controls)) {
+      continue;
+    }
+    const std::uint64_t j = i | tBit;
+    const std::complex<double> a0 = amps[i];
+    const std::complex<double> a1 = amps[j];
+    amps[i] = mat[0].toStdComplex() * a0 + mat[1].toStdComplex() * a1;
+    amps[j] = mat[2].toStdComplex() * a0 + mat[3].toStdComplex() * a1;
+  }
+}
+
+void DenseStateVector::applySwap(Qubit a, Qubit b,
+                                 const QubitControls& controls) {
+  const std::uint64_t aBit = 1ULL << static_cast<unsigned>(a);
+  const std::uint64_t bBit = 1ULL << static_cast<unsigned>(b);
+  const std::uint64_t dim = amps.size();
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    if ((i & aBit) != 0 || (i & bBit) == 0 ||
+        !controlsSatisfied(i, controls)) {
+      continue;
+    }
+    std::swap(amps[i], (amps[(i | aBit) & ~bBit])); // |..0a..1b..> <-> |..1..0..>
+  }
+}
+
+void DenseStateVector::applyTwoQubit(const TwoQubitGateMatrix& mat, Qubit t1,
+                                     Qubit t0) {
+  const std::uint64_t b1 = 1ULL << static_cast<unsigned>(t1);
+  const std::uint64_t b0 = 1ULL << static_cast<unsigned>(t0);
+  const std::uint64_t dim = amps.size();
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    if ((i & b1) != 0 || (i & b0) != 0) {
+      continue; // handle each 4-tuple once, anchored at t1 = t0 = 0
+    }
+    const std::uint64_t i00 = i;
+    const std::uint64_t i01 = i | b0;
+    const std::uint64_t i10 = i | b1;
+    const std::uint64_t i11 = i | b1 | b0;
+    const std::complex<double> a[4] = {amps[i00], amps[i01], amps[i10],
+                                       amps[i11]};
+    const std::uint64_t idx[4] = {i00, i01, i10, i11};
+    for (int r = 0; r < 4; ++r) {
+      std::complex<double> sum = 0.;
+      for (int c = 0; c < 4; ++c) {
+        sum += mat[static_cast<std::size_t>(r * 4 + c)].toStdComplex() * a[c];
+      }
+      amps[idx[r]] = sum;
+    }
+  }
+}
+
+void DenseStateVector::apply(const ir::Operation& op) {
+  if (op.type() == ir::OpType::Barrier) {
+    return;
+  }
+  if (const auto* comp = dynamic_cast<const ir::CompoundOperation*>(&op)) {
+    for (const auto& sub : comp->operations()) {
+      apply(*sub);
+    }
+    return;
+  }
+  if (!op.isStandardOperation()) {
+    throw std::invalid_argument("DenseStateVector: cannot apply '" +
+                                op.name() + "'");
+  }
+  if (op.type() == ir::OpType::SWAP) {
+    applySwap(op.targets().at(0), op.targets().at(1), op.controls());
+    return;
+  }
+  if (op.type() == ir::OpType::iSWAP || op.type() == ir::OpType::iSWAPdg ||
+      op.type() == ir::OpType::DCX) {
+    if (!op.controls().empty()) {
+      throw std::invalid_argument("DenseStateVector: controlled " +
+                                  ir::toString(op.type()) +
+                                  " is not supported");
+    }
+    const TwoQubitGateMatrix& mat =
+        op.type() == ir::OpType::iSWAP
+            ? ISWAP_MAT
+            : (op.type() == ir::OpType::iSWAPdg ? ISWAPDG_MAT : DCX_MAT);
+    applyTwoQubit(mat, op.targets().at(0), op.targets().at(1));
+    return;
+  }
+  applyGate(matrixFor(op.type(), op.parameters()), op.targets().at(0),
+            op.controls());
+}
+
+void DenseStateVector::run(const ir::QuantumComputation& qc) {
+  if (qc.numQubits() != nqubits) {
+    throw std::invalid_argument("DenseStateVector: qubit count mismatch");
+  }
+  for (const auto& op : qc) {
+    apply(*op);
+  }
+}
+
+double DenseStateVector::norm() const {
+  double n2 = 0.;
+  for (const auto& a : amps) {
+    n2 += std::norm(a);
+  }
+  return n2;
+}
+
+double DenseStateVector::probabilityOfOne(Qubit q) const {
+  const std::uint64_t bit = 1ULL << static_cast<unsigned>(q);
+  double p = 0.;
+  for (std::uint64_t i = 0; i < amps.size(); ++i) {
+    if ((i & bit) != 0) {
+      p += std::norm(amps[i]);
+    }
+  }
+  return p / norm();
+}
+
+int DenseStateVector::measure(Qubit q, std::mt19937_64& rng) {
+  const double p1 = probabilityOfOne(q);
+  std::uniform_real_distribution<double> dist(0., 1.);
+  const bool outcome = dist(rng) < p1;
+  collapse(q, outcome);
+  return outcome ? 1 : 0;
+}
+
+void DenseStateVector::collapse(Qubit q, bool outcome) {
+  const std::uint64_t bit = 1ULL << static_cast<unsigned>(q);
+  const double p1 = probabilityOfOne(q);
+  const double p = outcome ? p1 : 1. - p1;
+  if (p <= 1e-12) {
+    throw std::invalid_argument("collapse: outcome has zero probability");
+  }
+  const double scale = 1. / std::sqrt(p);
+  for (std::uint64_t i = 0; i < amps.size(); ++i) {
+    const bool set = (i & bit) != 0;
+    if (set == outcome) {
+      amps[i] *= scale;
+    } else {
+      amps[i] = {0., 0.};
+    }
+  }
+}
+
+std::string DenseStateVector::sample(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> dist(0., norm());
+  double u = dist(rng);
+  std::uint64_t chosen = amps.size() - 1;
+  for (std::uint64_t i = 0; i < amps.size(); ++i) {
+    u -= std::norm(amps[i]);
+    if (u <= 0.) {
+      chosen = i;
+      break;
+    }
+  }
+  std::string bits(nqubits, '0');
+  for (std::size_t k = 0; k < nqubits; ++k) {
+    if ((chosen >> k) & 1ULL) {
+      bits[nqubits - 1 - k] = '1';
+    }
+  }
+  return bits;
+}
+
+// --- DenseUnitary ----------------------------------------------------------------
+
+DenseUnitary::DenseUnitary(std::size_t numQubits)
+    : nqubits(numQubits), dim(1ULL << numQubits),
+      mat(dim * dim, {0., 0.}) {
+  if (numQubits == 0 || numQubits > 13) {
+    throw std::invalid_argument("DenseUnitary: unsupported qubit count");
+  }
+  for (std::uint64_t k = 0; k < dim; ++k) {
+    mat[k * dim + k] = {1., 0.};
+  }
+}
+
+void DenseUnitary::applyGate(const GateMatrix& gate, Qubit target,
+                             const QubitControls& controls) {
+  // Left-multiplication acts on the rows; apply per column.
+  const std::uint64_t tBit = 1ULL << static_cast<unsigned>(target);
+  for (std::uint64_t col = 0; col < dim; ++col) {
+    for (std::uint64_t r = 0; r < dim; ++r) {
+      if ((r & tBit) != 0) {
+        continue;
+      }
+      bool satisfied = true;
+      for (const auto& c : controls) {
+        const bool set = (r >> static_cast<unsigned>(c.qubit)) & 1ULL;
+        if (set != c.positive) {
+          satisfied = false;
+          break;
+        }
+      }
+      if (!satisfied) {
+        continue;
+      }
+      const std::uint64_t r1 = r | tBit;
+      const auto a0 = mat[r * dim + col];
+      const auto a1 = mat[r1 * dim + col];
+      mat[r * dim + col] =
+          gate[0].toStdComplex() * a0 + gate[1].toStdComplex() * a1;
+      mat[r1 * dim + col] =
+          gate[2].toStdComplex() * a0 + gate[3].toStdComplex() * a1;
+    }
+  }
+}
+
+void DenseUnitary::applySwap(Qubit a, Qubit b, const QubitControls& controls) {
+  const std::uint64_t aBit = 1ULL << static_cast<unsigned>(a);
+  const std::uint64_t bBit = 1ULL << static_cast<unsigned>(b);
+  for (std::uint64_t col = 0; col < dim; ++col) {
+    for (std::uint64_t r = 0; r < dim; ++r) {
+      if ((r & aBit) != 0 || (r & bBit) == 0) {
+        continue;
+      }
+      bool satisfied = true;
+      for (const auto& c : controls) {
+        const bool set = (r >> static_cast<unsigned>(c.qubit)) & 1ULL;
+        if (set != c.positive) {
+          satisfied = false;
+          break;
+        }
+      }
+      if (!satisfied) {
+        continue;
+      }
+      std::swap(mat[r * dim + col], mat[((r | aBit) & ~bBit) * dim + col]);
+    }
+  }
+}
+
+void DenseUnitary::apply(const ir::Operation& op) {
+  if (op.type() == ir::OpType::Barrier) {
+    return;
+  }
+  if (const auto* comp = dynamic_cast<const ir::CompoundOperation*>(&op)) {
+    for (const auto& sub : comp->operations()) {
+      apply(*sub);
+    }
+    return;
+  }
+  if (!op.isStandardOperation()) {
+    throw std::invalid_argument("DenseUnitary: cannot apply '" + op.name() +
+                                "'");
+  }
+  if (op.type() == ir::OpType::SWAP) {
+    applySwap(op.targets().at(0), op.targets().at(1), op.controls());
+    return;
+  }
+  applyGate(matrixFor(op.type(), op.parameters()), op.targets().at(0),
+            op.controls());
+}
+
+void DenseUnitary::run(const ir::QuantumComputation& qc) {
+  if (qc.numQubits() != nqubits) {
+    throw std::invalid_argument("DenseUnitary: qubit count mismatch");
+  }
+  for (const auto& op : qc) {
+    apply(*op);
+  }
+}
+
+double DenseUnitary::distance(const DenseUnitary& other) const {
+  if (other.dim != dim) {
+    throw std::invalid_argument("DenseUnitary: dimension mismatch");
+  }
+  double maxDiff = 0.;
+  for (std::uint64_t k = 0; k < dim * dim; ++k) {
+    maxDiff = std::max(maxDiff, std::abs(mat[k] - other.mat[k]));
+  }
+  return maxDiff;
+}
+
+} // namespace qdd::baseline

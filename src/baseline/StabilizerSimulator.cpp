@@ -1,0 +1,257 @@
+#include "qdd/baseline/StabilizerSimulator.hpp"
+
+#include <stdexcept>
+
+namespace qdd::baseline {
+
+StabilizerSimulator::StabilizerSimulator(std::size_t nqubits)
+    : n(nqubits), stride(2 * nqubits), table(2 * nqubits * stride, false),
+      phase(2 * nqubits, false) {
+  if (n == 0) {
+    throw std::invalid_argument("StabilizerSimulator: no qubits");
+  }
+  // destabilizer i = X_i, stabilizer i = Z_i (the |0...0> state)
+  for (std::size_t i = 0; i < n; ++i) {
+    table[i * stride + i] = true;             // X part of destabilizer i
+    table[(n + i) * stride + n + i] = true;   // Z part of stabilizer i
+  }
+}
+
+void StabilizerSimulator::h(Qubit q) {
+  const auto qi = static_cast<std::size_t>(q);
+  for (std::size_t row = 0; row < 2 * n; ++row) {
+    const bool x = table[row * stride + qi];
+    const bool z = table[row * stride + n + qi];
+    if (x && z) {
+      phase[row] = !phase[row];
+    }
+    table[row * stride + qi] = z;
+    table[row * stride + n + qi] = x;
+  }
+}
+
+void StabilizerSimulator::s(Qubit q) {
+  const auto qi = static_cast<std::size_t>(q);
+  for (std::size_t row = 0; row < 2 * n; ++row) {
+    const bool x = table[row * stride + qi];
+    const bool z = table[row * stride + n + qi];
+    if (x && z) {
+      phase[row] = !phase[row];
+    }
+    table[row * stride + n + qi] = x != z;
+  }
+}
+
+void StabilizerSimulator::cx(Qubit control, Qubit target) {
+  const auto c = static_cast<std::size_t>(control);
+  const auto t = static_cast<std::size_t>(target);
+  for (std::size_t row = 0; row < 2 * n; ++row) {
+    const bool xc = table[row * stride + c];
+    const bool zc = table[row * stride + n + c];
+    const bool xt = table[row * stride + t];
+    const bool zt = table[row * stride + n + t];
+    if (xc && zt && (xt == zc)) {
+      phase[row] = !phase[row];
+    }
+    table[row * stride + t] = xt != xc;
+    table[row * stride + n + c] = zc != zt;
+  }
+}
+
+void StabilizerSimulator::apply(const ir::Operation& op) {
+  using ir::OpType;
+  if (op.type() == OpType::Barrier) {
+    return;
+  }
+  if (const auto* comp = dynamic_cast<const ir::CompoundOperation*>(&op)) {
+    for (const auto& sub : comp->operations()) {
+      apply(*sub);
+    }
+    return;
+  }
+  if (!op.isStandardOperation()) {
+    throw std::invalid_argument("StabilizerSimulator: cannot apply '" +
+                                op.name() + "'");
+  }
+  const auto& controls = op.controls();
+  const auto& targets = op.targets();
+  if (controls.empty()) {
+    switch (op.type()) {
+    case OpType::I:
+      return;
+    case OpType::H:
+      h(targets[0]);
+      return;
+    case OpType::S:
+      s(targets[0]);
+      return;
+    case OpType::Sdg:
+      sdg(targets[0]);
+      return;
+    case OpType::X:
+      x(targets[0]);
+      return;
+    case OpType::Y:
+      y(targets[0]);
+      return;
+    case OpType::Z:
+      z(targets[0]);
+      return;
+    case OpType::SWAP:
+      swap(targets[0], targets[1]);
+      return;
+    case OpType::iSWAP:
+      // iSWAP = SWAP . CZ . (S (x) S)
+      s(targets[0]);
+      s(targets[1]);
+      h(targets[1]);
+      cx(targets[0], targets[1]);
+      h(targets[1]);
+      swap(targets[0], targets[1]);
+      return;
+    case OpType::iSWAPdg:
+      // inverse of the above
+      swap(targets[0], targets[1]);
+      h(targets[1]);
+      cx(targets[0], targets[1]);
+      h(targets[1]);
+      sdg(targets[0]);
+      sdg(targets[1]);
+      return;
+    case OpType::DCX:
+      cx(targets[0], targets[1]);
+      cx(targets[1], targets[0]);
+      return;
+    default:
+      break;
+    }
+  } else if (controls.size() == 1 && controls[0].positive) {
+    switch (op.type()) {
+    case OpType::X:
+      cx(controls[0].qubit, targets[0]);
+      return;
+    case OpType::Z: // CZ = H_t CX H_t
+      h(targets[0]);
+      cx(controls[0].qubit, targets[0]);
+      h(targets[0]);
+      return;
+    default:
+      break;
+    }
+  }
+  throw std::invalid_argument("StabilizerSimulator: non-Clifford gate '" +
+                              op.name() + "'");
+}
+
+void StabilizerSimulator::run(const ir::QuantumComputation& qc) {
+  if (qc.numQubits() != n) {
+    throw std::invalid_argument("StabilizerSimulator: qubit count mismatch");
+  }
+  for (const auto& op : qc) {
+    apply(*op);
+  }
+}
+
+void StabilizerSimulator::rowsum(std::size_t dst, std::size_t src) {
+  // phase arithmetic: sum the CHP g(x1,z1,x2,z2) exponents (mod 4)
+  int g = 0;
+  for (std::size_t q = 0; q < n; ++q) {
+    const int x1 = table[src * stride + q] ? 1 : 0;
+    const int z1 = table[src * stride + n + q] ? 1 : 0;
+    const int x2 = table[dst * stride + q] ? 1 : 0;
+    const int z2 = table[dst * stride + n + q] ? 1 : 0;
+    if (x1 == 0 && z1 == 0) {
+      continue;
+    }
+    if (x1 == 1 && z1 == 1) {
+      g += z2 - x2;
+    } else if (x1 == 1) {
+      g += z2 * (2 * x2 - 1);
+    } else {
+      g += x2 * (1 - 2 * z2);
+    }
+  }
+  const int r = 2 * (phase[dst] ? 1 : 0) + 2 * (phase[src] ? 1 : 0) + g;
+  phase[dst] = ((r % 4) + 4) % 4 == 2;
+  for (std::size_t q = 0; q < 2 * n; ++q) {
+    table[dst * stride + q] =
+        table[dst * stride + q] != table[src * stride + q];
+  }
+}
+
+StabilizerSimulator::Outcome StabilizerSimulator::peek(Qubit q) const {
+  const auto qi = static_cast<std::size_t>(q);
+  for (std::size_t i = n; i < 2 * n; ++i) {
+    if (table[i * stride + qi]) {
+      return Outcome::Random;
+    }
+  }
+  // deterministic: reproduce the CHP scratch-row computation
+  StabilizerSimulator copy = *this;
+  const std::size_t scratch = 2 * n; // virtual extra row
+  copy.table.resize((2 * n + 1) * stride, false);
+  copy.phase.resize(2 * n + 1, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (copy.table[i * stride + qi]) {
+      copy.rowsum(scratch, i + n);
+    }
+  }
+  return copy.phase[scratch] ? Outcome::One : Outcome::Zero;
+}
+
+double StabilizerSimulator::probabilityOfOne(Qubit q) const {
+  switch (peek(q)) {
+  case Outcome::Zero:
+    return 0.;
+  case Outcome::One:
+    return 1.;
+  case Outcome::Random:
+    return 0.5;
+  }
+  return 0.;
+}
+
+int StabilizerSimulator::measure(Qubit q, std::mt19937_64& rng) {
+  const auto qi = static_cast<std::size_t>(q);
+  std::size_t p = 2 * n;
+  for (std::size_t i = n; i < 2 * n; ++i) {
+    if (table[i * stride + qi]) {
+      p = i;
+      break;
+    }
+  }
+  if (p < 2 * n) {
+    // random outcome
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      if (i != p && table[i * stride + qi]) {
+        rowsum(i, p);
+      }
+    }
+    // destabilizer p-n := old stabilizer p; stabilizer p := +-Z_q
+    for (std::size_t k = 0; k < stride; ++k) {
+      table[(p - n) * stride + k] = table[p * stride + k];
+      table[p * stride + k] = false;
+    }
+    phase[p - n] = phase[p];
+    std::uniform_int_distribution<int> coin(0, 1);
+    const int outcome = coin(rng);
+    phase[p] = outcome == 1;
+    table[p * stride + n + qi] = true;
+    return outcome;
+  }
+  // deterministic outcome
+  return peek(q) == Outcome::One ? 1 : 0;
+}
+
+std::string StabilizerSimulator::sample(std::mt19937_64& rng) const {
+  StabilizerSimulator copy = *this;
+  std::string bits(n, '0');
+  for (std::size_t q = 0; q < n; ++q) {
+    if (copy.measure(static_cast<Qubit>(q), rng) == 1) {
+      bits[n - 1 - q] = '1';
+    }
+  }
+  return bits;
+}
+
+} // namespace qdd::baseline

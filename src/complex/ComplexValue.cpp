@@ -1,0 +1,26 @@
+#include "qdd/complex/ComplexValue.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace qdd {
+
+std::string ComplexValue::toString(int precision) const {
+  std::ostringstream ss;
+  ss << std::setprecision(precision);
+  if (im == 0.) {
+    ss << re;
+  } else if (re == 0.) {
+    ss << im << "i";
+  } else {
+    ss << re << (im < 0. ? "-" : "+") << std::abs(im) << "i";
+  }
+  return ss.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ComplexValue& c) {
+  return os << c.toString();
+}
+
+} // namespace qdd

@@ -1,0 +1,232 @@
+#include "qdd/dd/Package.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qdd {
+
+// Squared norm of the sub-DD rooted at `p` (assuming a weight-1 incoming
+// edge). Memoized per call; works under any normalization scheme.
+double Package::nodeNorm(vNode* p, std::map<vNode*, double>& cache) {
+  if (p->isTerminal()) {
+    return 1.;
+  }
+  if (const auto it = cache.find(p); it != cache.end()) {
+    return it->second;
+  }
+  double sum = 0.;
+  for (const auto& child : p->e) {
+    if (child.w.exactlyZero()) {
+      continue;
+    }
+    sum += child.w.toValue().mag2() * nodeNorm(child.p, cache);
+  }
+  cache.emplace(p, sum);
+  return sum;
+}
+
+double Package::probabilityOfOne(const vEdge& e, Qubit q) {
+  if (e.w.exactlyZero()) {
+    throw std::invalid_argument("probabilityOfOne: zero state");
+  }
+  std::map<vNode*, double> normCache;
+  const double total = nodeNorm(e.p, normCache);
+  if (total <= 0.) {
+    throw std::invalid_argument("probabilityOfOne: zero state");
+  }
+  // g(p) = unnormalized probability mass of paths through the |1>-branch of
+  // level q, for the sub-DD rooted at p with weight 1.
+  std::unordered_map<vNode*, double> gCache;
+  auto g = [&](auto&& self, vNode* p) -> double {
+    if (p->isTerminal()) {
+      return 0.; // qubit level q never reached (zero-stub path)
+    }
+    if (const auto it = gCache.find(p); it != gCache.end()) {
+      return it->second;
+    }
+    double result = 0.;
+    if (p->v == q) {
+      const auto& oneChild = p->e[1];
+      if (!oneChild.w.exactlyZero()) {
+        result = oneChild.w.toValue().mag2() * nodeNorm(oneChild.p, normCache);
+      }
+    } else {
+      assert(p->v > q && "probabilityOfOne: qubit level skipped");
+      for (const auto& child : p->e) {
+        if (child.w.exactlyZero()) {
+          continue;
+        }
+        result += child.w.toValue().mag2() * self(self, child.p);
+      }
+    }
+    gCache.emplace(p, result);
+    return result;
+  };
+  return g(g, e.p) / total;
+}
+
+void Package::applyCollapse(vEdge& root, Qubit q, bool outcome,
+                            bool shiftToZero, double outcomeProbability) {
+  if (outcomeProbability <= tolerance()) {
+    throw std::invalid_argument("collapse: outcome has zero probability");
+  }
+  std::unordered_map<vNode*, vEdge> memo;
+  auto rec = [&](auto&& self, vNode* p) -> vEdge {
+    assert(!p->isTerminal() && "collapse: qubit level not present");
+    if (const auto it = memo.find(p); it != memo.end()) {
+      return it->second;
+    }
+    vEdge result;
+    if (p->v == q) {
+      const vEdge& kept = p->e[outcome ? 1 : 0];
+      if (kept.w.exactlyZero()) {
+        result = vEdge::zero();
+      } else if (shiftToZero || !outcome) {
+        // reset semantics: surviving branch becomes the |0> branch
+        result = makeVecNode(q, {kept, vEdge::zero()});
+      } else {
+        result = makeVecNode(q, {vEdge::zero(), kept});
+      }
+    } else {
+      assert(p->v > q && "collapse: qubit level skipped");
+      std::array<vEdge, 2> children{};
+      for (std::size_t k = 0; k < 2; ++k) {
+        const vEdge& child = p->e[k];
+        if (child.w.exactlyZero()) {
+          children[k] = vEdge::zero();
+          continue;
+        }
+        const vEdge sub = self(self, child.p);
+        if (sub.w.exactlyZero()) {
+          children[k] = vEdge::zero();
+          continue;
+        }
+        children[k] = {sub.p,
+                       lookup(sub.w.toValue() * child.w.toValue())};
+      }
+      result = makeVecNode(p->v, children);
+    }
+    memo.emplace(p, result);
+    return result;
+  };
+
+  const vEdge collapsed = rec(rec, root.p);
+  if (collapsed.w.exactlyZero()) {
+    throw std::logic_error("collapse: state vanished");
+  }
+  const ComplexValue newWeight = root.w.toValue() * collapsed.w.toValue() *
+                                 ComplexValue{1. / std::sqrt(outcomeProbability),
+                                              0.};
+  const vEdge newRoot{collapsed.p, lookup(newWeight)};
+  incRef(newRoot);
+  decRef(root);
+  root = newRoot;
+  garbageCollect();
+}
+
+int Package::measureOneCollapsing(vEdge& root, Qubit q,
+                                  std::mt19937_64& rng) {
+  const double p1 = probabilityOfOne(root, q);
+  std::uniform_real_distribution<double> dist(0., 1.);
+  const bool outcome = dist(rng) < p1;
+  applyCollapse(root, q, outcome, /*shiftToZero=*/false,
+                outcome ? p1 : 1. - p1);
+  return outcome ? 1 : 0;
+}
+
+void Package::forceMeasureOne(vEdge& root, Qubit q, bool outcome) {
+  const double p1 = probabilityOfOne(root, q);
+  applyCollapse(root, q, outcome, /*shiftToZero=*/false,
+                outcome ? p1 : 1. - p1);
+}
+
+int Package::resetQubit(vEdge& root, Qubit q, std::mt19937_64& rng) {
+  const double p1 = probabilityOfOne(root, q);
+  std::uniform_real_distribution<double> dist(0., 1.);
+  const bool outcome = dist(rng) < p1;
+  applyCollapse(root, q, outcome, /*shiftToZero=*/true,
+                outcome ? p1 : 1. - p1);
+  return outcome ? 1 : 0;
+}
+
+void Package::resetQubitTo(vEdge& root, Qubit q, bool outcome) {
+  const double p1 = probabilityOfOne(root, q);
+  applyCollapse(root, q, outcome, /*shiftToZero=*/true,
+                outcome ? p1 : 1. - p1);
+}
+
+std::string Package::sample(const vEdge& root, std::mt19937_64& rng) {
+  if (root.isTerminal()) {
+    throw std::invalid_argument("sample: terminal edge has no qubits");
+  }
+  std::map<vNode*, double> normCache;
+  std::uniform_real_distribution<double> dist(0., 1.);
+  const auto n = static_cast<std::size_t>(root.p->v) + 1;
+  std::string bits(n, '0');
+  const vNode* p = root.p;
+  while (p != nullptr && !p->isTerminal()) {
+    // Randomized single-path traversal ([16]): the squared magnitude of each
+    // successor (weighted by its subtree norm) gives the branch probability.
+    double mass[2] = {0., 0.};
+    for (std::size_t k = 0; k < 2; ++k) {
+      const auto& child = p->e[k];
+      if (child.w.exactlyZero()) {
+        continue;
+      }
+      mass[k] = child.w.toValue().mag2() * nodeNorm(child.p, normCache);
+    }
+    const double total = mass[0] + mass[1];
+    if (total <= 0.) {
+      throw std::logic_error("sample: zero-norm subtree");
+    }
+    const bool one = dist(rng) * total >= mass[0];
+    // string is printed q_{n-1} ... q_0 (big-endian, paper Sec. II)
+    bits[n - 1 - static_cast<std::size_t>(p->v)] = one ? '1' : '0';
+    p = p->e[one ? 1 : 0].p;
+  }
+  return bits;
+}
+
+std::map<std::string, std::size_t> Package::sampleCounts(const vEdge& root,
+                                                         std::size_t shots,
+                                                         std::mt19937_64& rng) {
+  std::map<std::string, std::size_t> counts;
+  for (std::size_t s = 0; s < shots; ++s) {
+    ++counts[sample(root, rng)];
+  }
+  return counts;
+}
+
+std::string Package::measureAll(vEdge& root, bool collapse,
+                                std::mt19937_64& rng) {
+  const std::string bits = sample(root, rng);
+  if (collapse) {
+    const auto n = bits.size();
+    std::vector<bool> state(n, false);
+    std::uint64_t index = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const bool one = bits[n - 1 - k] == '1';
+      state[k] = one;
+      if (one) {
+        index |= (1ULL << k);
+      }
+    }
+    // Preserve the global phase of the measured amplitude (as the paper's
+    // tool does when collapsing on measurement).
+    const ComplexValue amp = getValueByIndex(root, index);
+    vEdge basis = makeBasisState(n, state);
+    const double mag = amp.mag();
+    if (mag > tolerance()) {
+      basis.w = lookup(amp * (1. / mag));
+    }
+    incRef(basis);
+    decRef(root);
+    root = basis;
+    garbageCollect();
+  }
+  return bits;
+}
+
+} // namespace qdd

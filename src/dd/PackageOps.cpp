@@ -1,0 +1,636 @@
+#include "qdd/dd/Package.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qdd {
+
+// --- addition (paper Fig. 4, right) -----------------------------------------
+
+vEdge Package::add(const vEdge& x, const vEdge& y) {
+  if (x.w.exactlyZero()) {
+    return y;
+  }
+  if (y.w.exactlyZero()) {
+    return x;
+  }
+  if (x.p == y.p) {
+    const ComplexValue sum = x.w.toValue() + y.w.toValue();
+    if (sum.approximatelyZero(tolerance())) {
+      return vEdge::zero();
+    }
+    return {x.p, lookup(sum)};
+  }
+  // Addition is commutative; canonicalize the operand order for the cache.
+  const vEdge& a = (x.p < y.p) ? x : y;
+  const vEdge& b = (x.p < y.p) ? y : x;
+  if (const auto* cached =
+          computeTablesEnabled ? addVecTable.lookup(a, b) : nullptr) {
+    return *cached;
+  }
+
+  assert(!a.isTerminal() && !b.isTerminal() && a.p->v == b.p->v &&
+         "add: level misalignment");
+  const Qubit v = a.p->v;
+  std::array<vEdge, 2> r{};
+  for (std::size_t k = 0; k < 2; ++k) {
+    vEdge ea = a.p->e[k];
+    if (!ea.w.exactlyZero()) {
+      ea.w = lookup(a.w.toValue() * ea.w.toValue());
+    }
+    vEdge eb = b.p->e[k];
+    if (!eb.w.exactlyZero()) {
+      eb.w = lookup(b.w.toValue() * eb.w.toValue());
+    }
+    r[k] = add(ea, eb);
+  }
+  const vEdge result = makeVecNode(v, r);
+  if (computeTablesEnabled) {
+    addVecTable.insert(a, b, result);
+  }
+  return result;
+}
+
+mEdge Package::add(const mEdge& x, const mEdge& y) {
+  if (x.w.exactlyZero()) {
+    return y;
+  }
+  if (y.w.exactlyZero()) {
+    return x;
+  }
+  if (x.p == y.p) {
+    const ComplexValue sum = x.w.toValue() + y.w.toValue();
+    if (sum.approximatelyZero(tolerance())) {
+      return mEdge::zero();
+    }
+    return {x.p, lookup(sum)};
+  }
+  const mEdge& a = (x.p < y.p) ? x : y;
+  const mEdge& b = (x.p < y.p) ? y : x;
+  if (const auto* cached =
+          computeTablesEnabled ? addMatTable.lookup(a, b) : nullptr) {
+    return *cached;
+  }
+
+  assert(!a.isTerminal() && !b.isTerminal() && a.p->v == b.p->v &&
+         "add: level misalignment");
+  const Qubit v = a.p->v;
+  std::array<mEdge, 4> r{};
+  for (std::size_t k = 0; k < 4; ++k) {
+    mEdge ea = a.p->e[k];
+    if (!ea.w.exactlyZero()) {
+      ea.w = lookup(a.w.toValue() * ea.w.toValue());
+    }
+    mEdge eb = b.p->e[k];
+    if (!eb.w.exactlyZero()) {
+      eb.w = lookup(b.w.toValue() * eb.w.toValue());
+    }
+    r[k] = add(ea, eb);
+  }
+  const mEdge result = makeMatNode(v, r);
+  if (computeTablesEnabled) {
+    addMatTable.insert(a, b, result);
+  }
+  return result;
+}
+
+// --- multiplication (paper Ex. 9 / Fig. 4) ----------------------------------
+
+vEdge Package::multiply(const mEdge& x, const vEdge& y) {
+  if (x.w.exactlyZero() || y.w.exactlyZero()) {
+    return vEdge::zero();
+  }
+  const vEdge r = multiply2(x.p, y.p);
+  if (r.w.exactlyZero()) {
+    return vEdge::zero();
+  }
+  const ComplexValue w = x.w.toValue() * y.w.toValue() * r.w.toValue();
+  if (w.approximatelyZero(tolerance())) {
+    return vEdge::zero();
+  }
+  return {r.p, lookup(w)};
+}
+
+vEdge Package::multiply2(mNode* x, vNode* y) {
+  if (x->isTerminal()) {
+    assert(y->isTerminal() && "multiply: level misalignment");
+    return vEdge::one();
+  }
+  assert(!y->isTerminal() && x->v == y->v && "multiply: level misalignment");
+  if (const auto* cached =
+          computeTablesEnabled ? multMatVecTable.lookup(x, y) : nullptr) {
+    return *cached;
+  }
+
+  const Qubit v = x->v;
+  std::array<vEdge, 2> r{};
+  for (std::size_t i = 0; i < 2; ++i) {
+    vEdge sum = vEdge::zero();
+    for (std::size_t j = 0; j < 2; ++j) {
+      const mEdge& xe = x->e[2 * i + j];
+      const vEdge& ye = y->e[j];
+      if (xe.w.exactlyZero() || ye.w.exactlyZero()) {
+        continue;
+      }
+      vEdge m = multiply2(xe.p, ye.p);
+      if (m.w.exactlyZero()) {
+        continue;
+      }
+      const ComplexValue mw =
+          m.w.toValue() * xe.w.toValue() * ye.w.toValue();
+      if (mw.approximatelyZero(tolerance())) {
+        continue;
+      }
+      const vEdge term{m.p, lookup(mw)};
+      sum = sum.w.exactlyZero() ? term : add(sum, term);
+    }
+    r[i] = sum;
+  }
+  const vEdge result = makeVecNode(v, r);
+  if (computeTablesEnabled) {
+    multMatVecTable.insert(x, y, result);
+  }
+  return result;
+}
+
+mEdge Package::multiply(const mEdge& x, const mEdge& y) {
+  if (x.w.exactlyZero() || y.w.exactlyZero()) {
+    return mEdge::zero();
+  }
+  const mEdge r = multiply2(x.p, y.p);
+  if (r.w.exactlyZero()) {
+    return mEdge::zero();
+  }
+  const ComplexValue w = x.w.toValue() * y.w.toValue() * r.w.toValue();
+  if (w.approximatelyZero(tolerance())) {
+    return mEdge::zero();
+  }
+  return {r.p, lookup(w)};
+}
+
+mEdge Package::multiply2(mNode* x, mNode* y) {
+  if (x->isTerminal()) {
+    assert(y->isTerminal() && "multiply: level misalignment");
+    return mEdge::one();
+  }
+  assert(!y->isTerminal() && x->v == y->v && "multiply: level misalignment");
+  if (const auto* cached =
+          computeTablesEnabled ? multMatMatTable.lookup(x, y) : nullptr) {
+    return *cached;
+  }
+
+  const Qubit v = x->v;
+  std::array<mEdge, 4> r{};
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      mEdge sum = mEdge::zero();
+      for (std::size_t j = 0; j < 2; ++j) {
+        const mEdge& xe = x->e[2 * i + j];
+        const mEdge& ye = y->e[2 * j + k];
+        if (xe.w.exactlyZero() || ye.w.exactlyZero()) {
+          continue;
+        }
+        mEdge m = multiply2(xe.p, ye.p);
+        if (m.w.exactlyZero()) {
+          continue;
+        }
+        const ComplexValue mw =
+            m.w.toValue() * xe.w.toValue() * ye.w.toValue();
+        if (mw.approximatelyZero(tolerance())) {
+          continue;
+        }
+        const mEdge term{m.p, lookup(mw)};
+        sum = sum.w.exactlyZero() ? term : add(sum, term);
+      }
+      r[2 * i + k] = sum;
+    }
+  }
+  const mEdge result = makeMatNode(v, r);
+  if (computeTablesEnabled) {
+    multMatMatTable.insert(x, y, result);
+  }
+  return result;
+}
+
+// --- tensor product (paper Ex. 8 / Fig. 3) ----------------------------------
+
+namespace {
+/// Terminal replacement: walk `top`, re-label its levels `shift` levels up,
+/// and replace its (non-zero) terminal edges by the root of `bottom`.
+template <class Node, class MakeNode, class Lookup>
+Edge<Node> kronRec(const Edge<Node>& topEdge, Node* bottomRoot, Qubit shift,
+                   std::unordered_map<const Node*, Edge<Node>>& memo,
+                   MakeNode&& makeNode, Lookup&& lookup) {
+  if (topEdge.w.exactlyZero()) {
+    return Edge<Node>::zero();
+  }
+  if (topEdge.isTerminal()) {
+    return {bottomRoot, topEdge.w};
+  }
+  // The memo stores the replacement edge per *node*; the incoming edge
+  // weight is composed on top afterwards.
+  Edge<Node> nodeResult;
+  if (const auto it = memo.find(topEdge.p); it != memo.end()) {
+    nodeResult = it->second;
+  } else {
+    std::array<Edge<Node>, RADIX<Node>> children{};
+    for (std::size_t k = 0; k < RADIX<Node>; ++k) {
+      children[k] = kronRec(topEdge.p->e[k], bottomRoot, shift, memo, makeNode,
+                            lookup);
+    }
+    nodeResult = makeNode(static_cast<Qubit>(topEdge.p->v + shift), children);
+    memo.emplace(topEdge.p, nodeResult);
+  }
+  if (topEdge.w.exactlyOne()) {
+    return nodeResult;
+  }
+  return {nodeResult.p, lookup(nodeResult.w.toValue() * topEdge.w.toValue())};
+}
+} // namespace
+
+mEdge Package::kron(const mEdge& top, const mEdge& bottom) {
+  if (top.w.exactlyZero() || bottom.w.exactlyZero()) {
+    return mEdge::zero();
+  }
+  const Qubit shift =
+      bottom.isTerminal() ? 0 : static_cast<Qubit>(bottom.p->v + 1);
+  if (!top.isTerminal()) {
+    resize(static_cast<std::size_t>(top.p->v + shift) + 1);
+  }
+  std::unordered_map<const mNode*, mEdge> memo;
+  const mEdge r = kronRec(
+      mEdge{top.p, Complex::one}, bottom.p, shift, memo,
+      [this](Qubit v, const std::array<mEdge, 4>& es) {
+        return makeMatNode(v, es);
+      },
+      [this](const ComplexValue& c) { return lookup(c); });
+  const ComplexValue w = top.w.toValue() * bottom.w.toValue() * r.w.toValue();
+  if (w.approximatelyZero(tolerance())) {
+    return mEdge::zero();
+  }
+  return {r.p, lookup(w)};
+}
+
+vEdge Package::kron(const vEdge& top, const vEdge& bottom) {
+  if (top.w.exactlyZero() || bottom.w.exactlyZero()) {
+    return vEdge::zero();
+  }
+  const Qubit shift =
+      bottom.isTerminal() ? 0 : static_cast<Qubit>(bottom.p->v + 1);
+  if (!top.isTerminal()) {
+    resize(static_cast<std::size_t>(top.p->v + shift) + 1);
+  }
+  std::unordered_map<const vNode*, vEdge> memo;
+  const vEdge r = kronRec(
+      vEdge{top.p, Complex::one}, bottom.p, shift, memo,
+      [this](Qubit v, const std::array<vEdge, 2>& es) {
+        return makeVecNode(v, es);
+      },
+      [this](const ComplexValue& c) { return lookup(c); });
+  const ComplexValue w = top.w.toValue() * bottom.w.toValue() * r.w.toValue();
+  if (w.approximatelyZero(tolerance())) {
+    return vEdge::zero();
+  }
+  return {r.p, lookup(w)};
+}
+
+// --- conjugate transpose -----------------------------------------------------
+
+mEdge Package::conjugateTranspose(const mEdge& a) {
+  if (a.w.exactlyZero()) {
+    return mEdge::zero();
+  }
+  const ComplexValue wConj = a.w.toValue().conj();
+  if (a.isTerminal()) {
+    return mEdge::terminal(lookup(wConj));
+  }
+  if (const auto* cached =
+          computeTablesEnabled ? conjTransTable.lookup(a.p, a.p) : nullptr) {
+    return {cached->p, lookup(wConj * cached->w.toValue())};
+  }
+  // transpose: swap the off-diagonal successors; conjugate recursively
+  std::array<mEdge, 4> r{};
+  r[0] = conjugateTranspose({a.p->e[0].p, a.p->e[0].w});
+  r[1] = conjugateTranspose({a.p->e[2].p, a.p->e[2].w});
+  r[2] = conjugateTranspose({a.p->e[1].p, a.p->e[1].w});
+  r[3] = conjugateTranspose({a.p->e[3].p, a.p->e[3].w});
+  const mEdge result = makeMatNode(a.p->v, r);
+  if (computeTablesEnabled) {
+    conjTransTable.insert(a.p, a.p, result);
+  }
+  return {result.p, lookup(wConj * result.w.toValue())};
+}
+
+// --- inner product / fidelity -------------------------------------------------
+
+ComplexValue Package::innerProduct(const vEdge& x, const vEdge& y) {
+  if (x.w.exactlyZero() || y.w.exactlyZero()) {
+    return {0., 0.};
+  }
+  const ComplexValue sub = innerProduct2(x.p, y.p);
+  return x.w.toValue().conj() * y.w.toValue() * sub;
+}
+
+ComplexValue Package::innerProduct2(vNode* x, vNode* y) {
+  if (x->isTerminal()) {
+    assert(y->isTerminal() && "innerProduct: level misalignment");
+    return {1., 0.};
+  }
+  assert(!y->isTerminal() && x->v == y->v &&
+         "innerProduct: level misalignment");
+  if (const auto* cached =
+          computeTablesEnabled ? innerProductTable.lookup(x, y) : nullptr) {
+    return *cached;
+  }
+  ComplexValue sum{0., 0.};
+  for (std::size_t k = 0; k < 2; ++k) {
+    const vEdge& xe = x->e[k];
+    const vEdge& ye = y->e[k];
+    if (xe.w.exactlyZero() || ye.w.exactlyZero()) {
+      continue;
+    }
+    sum += xe.w.toValue().conj() * ye.w.toValue() *
+           innerProduct2(xe.p, ye.p);
+  }
+  if (computeTablesEnabled) {
+    innerProductTable.insert(x, y, sum);
+  }
+  return sum;
+}
+
+double Package::fidelity(const vEdge& x, const vEdge& y) {
+  return innerProduct(x, y).mag2();
+}
+
+// --- trace ----------------------------------------------------------------------
+
+namespace {
+ComplexValue traceRec(const mEdge& e,
+                      std::unordered_map<const mNode*, ComplexValue>& memo) {
+  if (e.w.exactlyZero()) {
+    return {0., 0.};
+  }
+  if (e.isTerminal()) {
+    return e.w.toValue();
+  }
+  ComplexValue sub;
+  if (const auto it = memo.find(e.p); it != memo.end()) {
+    sub = it->second;
+  } else {
+    sub = traceRec(e.p->e[0], memo) + traceRec(e.p->e[3], memo);
+    memo.emplace(e.p, sub);
+  }
+  return e.w.toValue() * sub;
+}
+} // namespace
+
+ComplexValue Package::trace(const mEdge& a) {
+  std::unordered_map<const mNode*, ComplexValue> memo;
+  return traceRec(a, memo);
+}
+
+// --- element access / export --------------------------------------------------
+
+ComplexValue Package::getValueByIndex(const vEdge& e, std::uint64_t i) {
+  ComplexValue amp = e.w.toValue();
+  const vNode* p = e.p;
+  while (!p->isTerminal()) {
+    if (amp.exactlyZero()) {
+      return {0., 0.};
+    }
+    const std::size_t bit = (i >> static_cast<unsigned>(p->v)) & 1ULL;
+    const vEdge& child = p->e[bit];
+    amp *= child.w.toValue();
+    p = child.p;
+  }
+  return amp;
+}
+
+ComplexValue Package::getMatrixEntry(const mEdge& e, std::uint64_t row,
+                                     std::uint64_t col) {
+  ComplexValue amp = e.w.toValue();
+  const mNode* p = e.p;
+  while (!p->isTerminal()) {
+    if (amp.exactlyZero()) {
+      return {0., 0.};
+    }
+    const std::size_t rbit = (row >> static_cast<unsigned>(p->v)) & 1ULL;
+    const std::size_t cbit = (col >> static_cast<unsigned>(p->v)) & 1ULL;
+    const mEdge& child = p->e[2 * rbit + cbit];
+    amp *= child.w.toValue();
+    p = child.p;
+  }
+  return amp;
+}
+
+void Package::getVectorRec(const vEdge& e, ComplexValue amp,
+                           std::uint64_t index,
+                           std::vector<std::complex<double>>& out) {
+  const ComplexValue w = amp * e.w.toValue();
+  if (w.exactlyZero()) {
+    return;
+  }
+  if (e.isTerminal()) {
+    out[index] = w.toStdComplex();
+    return;
+  }
+  const auto v = static_cast<unsigned>(e.p->v);
+  getVectorRec(e.p->e[0], w, index, out);
+  getVectorRec(e.p->e[1], w, index | (1ULL << v), out);
+}
+
+std::vector<std::complex<double>> Package::getVector(const vEdge& e) {
+  if (e.isTerminal()) {
+    throw std::invalid_argument("getVector: terminal edge has no qubits");
+  }
+  const auto n = static_cast<std::size_t>(e.p->v) + 1;
+  if (n > 26) {
+    throw std::invalid_argument("getVector: state too large for dense export");
+  }
+  std::vector<std::complex<double>> out(1ULL << n, {0., 0.});
+  getVectorRec(e, ComplexValue{1., 0.}, 0, out);
+  return out;
+}
+
+void Package::getMatrixRec(const mEdge& e, ComplexValue amp, std::uint64_t row,
+                           std::uint64_t col, std::uint64_t dim,
+                           std::vector<std::complex<double>>& out) {
+  const ComplexValue w = amp * e.w.toValue();
+  if (w.exactlyZero()) {
+    return;
+  }
+  if (e.isTerminal()) {
+    out[row * dim + col] = w.toStdComplex();
+    return;
+  }
+  const auto v = static_cast<unsigned>(e.p->v);
+  getMatrixRec(e.p->e[0], w, row, col, dim, out);
+  getMatrixRec(e.p->e[1], w, row, col | (1ULL << v), dim, out);
+  getMatrixRec(e.p->e[2], w, row | (1ULL << v), col, dim, out);
+  getMatrixRec(e.p->e[3], w, row | (1ULL << v), col | (1ULL << v), dim, out);
+}
+
+std::vector<std::complex<double>> Package::getMatrix(const mEdge& e) {
+  if (e.isTerminal()) {
+    throw std::invalid_argument("getMatrix: terminal edge has no qubits");
+  }
+  const auto n = static_cast<std::size_t>(e.p->v) + 1;
+  if (n > 13) {
+    throw std::invalid_argument("getMatrix: matrix too large for dense export");
+  }
+  const std::uint64_t dim = 1ULL << n;
+  std::vector<std::complex<double>> out(dim * dim, {0., 0.});
+  getMatrixRec(e, ComplexValue{1., 0.}, 0, 0, dim, out);
+  return out;
+}
+
+double Package::norm(const vEdge& e) {
+  std::map<vNode*, double> cache;
+  return e.w.toValue().mag2() * nodeNorm(e.p, cache);
+}
+
+// --- partial trace (paper Sec. IV-B: reset "corresponds to taking the
+// --- partial trace of the whole state") ---------------------------------------
+
+mEdge Package::partialTrace(const mEdge& a,
+                            const std::vector<bool>& eliminate) {
+  if (a.isTerminal()) {
+    return a;
+  }
+  const auto n = static_cast<std::size_t>(a.p->v) + 1;
+  if (eliminate.size() < n) {
+    throw std::invalid_argument("partialTrace: eliminate mask too short");
+  }
+  // new level of each kept qubit = number of kept qubits below it
+  std::vector<Qubit> levelMap(n, TERMINAL_LEVEL);
+  Qubit next = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (!eliminate[v]) {
+      levelMap[v] = next++;
+    }
+  }
+  std::map<const mNode*, mEdge> memo;
+  return partialTraceRec(a, eliminate, levelMap, memo);
+}
+
+mEdge Package::partialTraceRec(const mEdge& a,
+                               const std::vector<bool>& eliminate,
+                               const std::vector<Qubit>& levelMap,
+                               std::map<const mNode*, mEdge>& memo) {
+  if (a.w.exactlyZero()) {
+    return mEdge::zero();
+  }
+  if (a.isTerminal()) {
+    return a;
+  }
+  mEdge nodeResult;
+  if (const auto it = memo.find(a.p); it != memo.end()) {
+    nodeResult = it->second;
+  } else {
+    const auto v = static_cast<std::size_t>(a.p->v);
+    if (eliminate[v]) {
+      // trace this level out: sum the diagonal blocks
+      const mEdge d0 =
+          partialTraceRec(a.p->e[0], eliminate, levelMap, memo);
+      const mEdge d3 =
+          partialTraceRec(a.p->e[3], eliminate, levelMap, memo);
+      nodeResult = add(d0, d3);
+    } else {
+      std::array<mEdge, 4> children{};
+      for (std::size_t k = 0; k < 4; ++k) {
+        children[k] = partialTraceRec(a.p->e[k], eliminate, levelMap, memo);
+      }
+      nodeResult = makeMatNode(levelMap[v], children);
+    }
+    memo.emplace(a.p, nodeResult);
+  }
+  if (a.w.exactlyOne() || nodeResult.w.exactlyZero()) {
+    return nodeResult;
+  }
+  return {nodeResult.p, lookup(nodeResult.w.toValue() * a.w.toValue())};
+}
+
+// --- expectation values ---------------------------------------------------------
+
+ComplexValue Package::expectationValue(const mEdge& u, const vEdge& phi) {
+  return innerProduct(phi, multiply(u, phi));
+}
+
+// --- qubit permutations ----------------------------------------------------------
+
+namespace {
+/// Decomposes `permutation` into transpositions and reports each via `swap`.
+/// permutation[k] = original qubit that should end up at position k.
+template <class SwapFn>
+void applyPermutationAsSwaps(const std::vector<Qubit>& permutation,
+                             SwapFn&& swap) {
+  const auto n = permutation.size();
+  // current[k] = original qubit currently sitting at position k
+  std::vector<Qubit> current(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    current[k] = static_cast<Qubit>(k);
+  }
+  for (std::size_t target = 0; target < n; ++target) {
+    if (current[target] == permutation[target]) {
+      continue;
+    }
+    std::size_t from = target;
+    for (std::size_t k = target + 1; k < n; ++k) {
+      if (current[k] == permutation[target]) {
+        from = k;
+        break;
+      }
+    }
+    swap(static_cast<Qubit>(target), static_cast<Qubit>(from));
+    std::swap(current[target], current[from]);
+  }
+}
+
+std::vector<Qubit> validatePermutation(const std::vector<Qubit>& permutation,
+                                       std::size_t n) {
+  if (permutation.size() != n) {
+    throw std::invalid_argument("permuteQubits: permutation size mismatch");
+  }
+  std::vector<bool> seen(n, false);
+  for (const Qubit q : permutation) {
+    if (q < 0 || static_cast<std::size_t>(q) >= n || seen[static_cast<std::size_t>(q)]) {
+      throw std::invalid_argument("permuteQubits: not a permutation");
+    }
+    seen[static_cast<std::size_t>(q)] = true;
+  }
+  return permutation;
+}
+} // namespace
+
+vEdge Package::permuteQubits(const vEdge& e,
+                             const std::vector<Qubit>& permutation) {
+  if (e.isTerminal()) {
+    return e;
+  }
+  const auto n = static_cast<std::size_t>(e.p->v) + 1;
+  validatePermutation(permutation, n);
+  vEdge result = e;
+  applyPermutationAsSwaps(permutation, [&](Qubit a, Qubit b) {
+    result = multiply(makeSWAPDD(n, {}, a, b), result);
+  });
+  return result;
+}
+
+mEdge Package::permuteQubits(const mEdge& e,
+                             const std::vector<Qubit>& permutation) {
+  if (e.isTerminal()) {
+    return e;
+  }
+  const auto n = static_cast<std::size_t>(e.p->v) + 1;
+  validatePermutation(permutation, n);
+  mEdge result = e;
+  applyPermutationAsSwaps(permutation, [&](Qubit a, Qubit b) {
+    const mEdge swap = makeSWAPDD(n, {}, a, b);
+    // conjugate: P U P^T with P a (self-inverse) SWAP
+    result = multiply(swap, multiply(result, swap));
+  });
+  return result;
+}
+
+} // namespace qdd

@@ -1,0 +1,185 @@
+#include "qdd/dd/Reordering.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qdd {
+
+ComplexValue OrderedVector::amplitude(Package& pkg,
+                                      std::uint64_t logicalIndex) const {
+  // translate the logical basis index into the DD's level indexing
+  std::uint64_t physical = 0;
+  for (std::size_t q = 0; q < levelOfQubit.size(); ++q) {
+    if ((logicalIndex >> q) & 1ULL) {
+      physical |= 1ULL << static_cast<unsigned>(levelOfQubit[q]);
+    }
+  }
+  return pkg.getValueByIndex(dd, physical);
+}
+
+OrderedVector withIdentityOrder(const vEdge& e) {
+  OrderedVector state;
+  state.dd = e;
+  if (!e.isTerminal()) {
+    const auto n = static_cast<std::size_t>(e.p->v) + 1;
+    state.levelOfQubit.resize(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      state.levelOfQubit[q] = static_cast<Qubit>(q);
+    }
+  }
+  return state;
+}
+
+void exchangeAdjacent(Package& pkg, OrderedVector& state, Qubit level) {
+  const auto n = state.levelOfQubit.size();
+  if (level < 0 || static_cast<std::size_t>(level) + 1 >= n) {
+    throw std::invalid_argument("exchangeAdjacent: level out of range");
+  }
+  // Exchanging the *contents* of two adjacent wires while also swapping
+  // their labels leaves the represented function unchanged. The caller is
+  // expected to hold a reference on state.dd; the invariant is maintained.
+  const mEdge swap = pkg.makeSWAPDD(n, {}, level, level + 1);
+  const vEdge next = pkg.multiply(swap, state.dd);
+  pkg.incRef(next);
+  pkg.decRef(state.dd);
+  state.dd = next;
+  for (auto& l : state.levelOfQubit) {
+    if (l == level) {
+      l = static_cast<Qubit>(level + 1);
+    } else if (l == level + 1) {
+      l = level;
+    }
+  }
+  pkg.garbageCollect();
+}
+
+void moveQubitToLevel(Package& pkg, OrderedVector& state, Qubit q,
+                      Qubit target) {
+  if (q < 0 || static_cast<std::size_t>(q) >= state.levelOfQubit.size() ||
+      target < 0 ||
+      static_cast<std::size_t>(target) >= state.levelOfQubit.size()) {
+    throw std::invalid_argument("moveQubitToLevel: out of range");
+  }
+  while (state.levelOfQubit[static_cast<std::size_t>(q)] < target) {
+    exchangeAdjacent(pkg, state,
+                     state.levelOfQubit[static_cast<std::size_t>(q)]);
+  }
+  while (state.levelOfQubit[static_cast<std::size_t>(q)] > target) {
+    exchangeAdjacent(
+        pkg, state,
+        static_cast<Qubit>(
+            state.levelOfQubit[static_cast<std::size_t>(q)] - 1));
+  }
+}
+
+namespace {
+/// Shared Rudell-style sweep over both ordered representations.
+template <class State>
+std::size_t siftImpl(Package& pkg, State& state) {
+  const auto n = state.levelOfQubit.size();
+  if (n < 2) {
+    return 0;
+  }
+  std::size_t improvements = 0;
+  for (std::size_t q = 0; q < n; ++q) {
+    const auto qubit = static_cast<Qubit>(q);
+    const std::size_t before = Package::size(state.dd);
+    std::size_t bestSize = before;
+    Qubit bestLevel = state.levelOfQubit[q];
+    // sweep the qubit through every level, recording the best position
+    for (Qubit level = 0; level < static_cast<Qubit>(n); ++level) {
+      moveQubitToLevel(pkg, state, qubit, level);
+      const std::size_t size = Package::size(state.dd);
+      if (size < bestSize) {
+        bestSize = size;
+        bestLevel = level;
+      }
+    }
+    moveQubitToLevel(pkg, state, qubit, bestLevel);
+    if (bestSize < before) {
+      ++improvements;
+    }
+  }
+  return improvements;
+}
+} // namespace
+
+std::size_t sift(Package& pkg, OrderedVector& state) {
+  return siftImpl(pkg, state);
+}
+
+// --- matrices ------------------------------------------------------------------
+
+ComplexValue OrderedMatrix::entry(Package& pkg, std::uint64_t logicalRow,
+                                  std::uint64_t logicalCol) const {
+  std::uint64_t physRow = 0;
+  std::uint64_t physCol = 0;
+  for (std::size_t q = 0; q < levelOfQubit.size(); ++q) {
+    const auto level = static_cast<unsigned>(levelOfQubit[q]);
+    if ((logicalRow >> q) & 1ULL) {
+      physRow |= 1ULL << level;
+    }
+    if ((logicalCol >> q) & 1ULL) {
+      physCol |= 1ULL << level;
+    }
+  }
+  return pkg.getMatrixEntry(dd, physRow, physCol);
+}
+
+OrderedMatrix withIdentityOrder(const mEdge& e) {
+  OrderedMatrix state;
+  state.dd = e;
+  if (!e.isTerminal()) {
+    const auto n = static_cast<std::size_t>(e.p->v) + 1;
+    state.levelOfQubit.resize(n);
+    for (std::size_t q = 0; q < n; ++q) {
+      state.levelOfQubit[q] = static_cast<Qubit>(q);
+    }
+  }
+  return state;
+}
+
+void exchangeAdjacent(Package& pkg, OrderedMatrix& state, Qubit level) {
+  const auto n = state.levelOfQubit.size();
+  if (level < 0 || static_cast<std::size_t>(level) + 1 >= n) {
+    throw std::invalid_argument("exchangeAdjacent: level out of range");
+  }
+  const mEdge swap = pkg.makeSWAPDD(n, {}, level, level + 1);
+  const mEdge next = pkg.multiply(swap, pkg.multiply(state.dd, swap));
+  pkg.incRef(next);
+  pkg.decRef(state.dd);
+  state.dd = next;
+  for (auto& l : state.levelOfQubit) {
+    if (l == level) {
+      l = static_cast<Qubit>(level + 1);
+    } else if (l == level + 1) {
+      l = level;
+    }
+  }
+  pkg.garbageCollect();
+}
+
+void moveQubitToLevel(Package& pkg, OrderedMatrix& state, Qubit q,
+                      Qubit target) {
+  if (q < 0 || static_cast<std::size_t>(q) >= state.levelOfQubit.size() ||
+      target < 0 ||
+      static_cast<std::size_t>(target) >= state.levelOfQubit.size()) {
+    throw std::invalid_argument("moveQubitToLevel: out of range");
+  }
+  while (state.levelOfQubit[static_cast<std::size_t>(q)] < target) {
+    exchangeAdjacent(pkg, state,
+                     state.levelOfQubit[static_cast<std::size_t>(q)]);
+  }
+  while (state.levelOfQubit[static_cast<std::size_t>(q)] > target) {
+    exchangeAdjacent(
+        pkg, state,
+        static_cast<Qubit>(
+            state.levelOfQubit[static_cast<std::size_t>(q)] - 1));
+  }
+}
+
+std::size_t sift(Package& pkg, OrderedMatrix& state) {
+  return siftImpl(pkg, state);
+}
+
+} // namespace qdd

@@ -1,0 +1,430 @@
+#include "qdd/ir/Builders.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace qdd::ir {
+
+namespace {
+constexpr double PI_LOCAL = 3.14159265358979323846;
+}
+
+namespace builders {
+
+QuantumComputation bell() {
+  QuantumComputation qc(2, 0, "bell");
+  qc.h(1);
+  qc.cx(1, 0);
+  return qc;
+}
+
+QuantumComputation ghz(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("ghz: need at least one qubit");
+  }
+  QuantumComputation qc(n, 0, "ghz" + std::to_string(n));
+  const auto top = static_cast<Qubit>(n - 1);
+  qc.h(top);
+  for (Qubit q = top; q > 0; --q) {
+    qc.cx(q, q - 1);
+  }
+  return qc;
+}
+
+QuantumComputation qft(std::size_t n, bool includeSwaps) {
+  if (n == 0) {
+    throw std::invalid_argument("qft: need at least one qubit");
+  }
+  QuantumComputation qc(n, 0, "qft" + std::to_string(n));
+  // Paper Fig. 5(a) (n = 3): H on q2, S(q2) controlled by q1, T(q2)
+  // controlled by q0; H on q1, S(q1) controlled by q0; H on q0; SWAP q2,q0.
+  for (Qubit i = static_cast<Qubit>(n - 1); i >= 0; --i) {
+    qc.h(i);
+    for (Qubit j = static_cast<Qubit>(i - 1); j >= 0; --j) {
+      const double theta = PI_LOCAL / static_cast<double>(1ULL << (i - j));
+      qc.cphase(theta, j, i);
+    }
+  }
+  if (includeSwaps) {
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      qc.swap(static_cast<Qubit>(k), static_cast<Qubit>(n - 1 - k));
+    }
+  }
+  return qc;
+}
+
+QuantumComputation wState(std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("wState: need at least one qubit");
+  }
+  QuantumComputation qc(n, 0, "wstate" + std::to_string(n));
+  const auto top = static_cast<Qubit>(n - 1);
+  qc.x(top);
+  // Spread the excitation down the register: moving from qubit k to k-1
+  // with amplitude split sqrt(k/(k+1)) leaves amplitude 1/sqrt(k+1) behind.
+  for (Qubit k = top; k > 0; --k) {
+    const double frac =
+        static_cast<double>(k) / static_cast<double>(k + 1);
+    const double theta = 2. * std::asin(std::sqrt(frac));
+    qc.cry(theta, k, k - 1);
+    qc.cx(k - 1, k);
+  }
+  return qc;
+}
+
+QuantumComputation grover(std::size_t n, std::uint64_t marked,
+                          std::size_t iterations) {
+  if (n == 0 || n > 63) {
+    throw std::invalid_argument("grover: invalid qubit count");
+  }
+  if (marked >= (1ULL << n)) {
+    throw std::invalid_argument("grover: marked state out of range");
+  }
+  if (iterations == 0) {
+    iterations = static_cast<std::size_t>(
+        std::floor(PI_LOCAL / 4. * std::sqrt(static_cast<double>(1ULL << n))));
+    iterations = std::max<std::size_t>(iterations, 1);
+  }
+  QuantumComputation qc(n, 0, "grover" + std::to_string(n));
+  for (std::size_t q = 0; q < n; ++q) {
+    qc.h(static_cast<Qubit>(q));
+  }
+  for (std::size_t round = 0; round < iterations; ++round) {
+    // Oracle: phase-flip the marked state via a multi-controlled Z with
+    // negative controls where the marked bit is 0.
+    QubitControls oracleControls;
+    for (std::size_t q = 0; q + 1 < n; ++q) {
+      oracleControls.push_back(
+          {static_cast<Qubit>(q), ((marked >> q) & 1ULL) != 0});
+    }
+    const auto top = static_cast<Qubit>(n - 1);
+    if (((marked >> (n - 1)) & 1ULL) == 0) {
+      qc.x(top);
+    }
+    qc.addStandard(OpType::Z, oracleControls, {top});
+    if (((marked >> (n - 1)) & 1ULL) == 0) {
+      qc.x(top);
+    }
+    // Diffusion operator: H^n X^n (MCZ) X^n H^n.
+    for (std::size_t q = 0; q < n; ++q) {
+      qc.h(static_cast<Qubit>(q));
+    }
+    for (std::size_t q = 0; q < n; ++q) {
+      qc.x(static_cast<Qubit>(q));
+    }
+    QubitControls diffControls;
+    for (std::size_t q = 0; q + 1 < n; ++q) {
+      diffControls.push_back({static_cast<Qubit>(q), true});
+    }
+    qc.addStandard(OpType::Z, diffControls, {static_cast<Qubit>(n - 1)});
+    for (std::size_t q = 0; q < n; ++q) {
+      qc.x(static_cast<Qubit>(q));
+    }
+    for (std::size_t q = 0; q < n; ++q) {
+      qc.h(static_cast<Qubit>(q));
+    }
+  }
+  return qc;
+}
+
+QuantumComputation bernsteinVazirani(std::size_t n, std::uint64_t s) {
+  if (n == 0 || n > 62) {
+    throw std::invalid_argument("bernsteinVazirani: invalid qubit count");
+  }
+  if (s >= (1ULL << n)) {
+    throw std::invalid_argument("bernsteinVazirani: hidden string too long");
+  }
+  // data qubits 0..n-1, ancilla qubit n (prepared in |->)
+  QuantumComputation qc(n + 1, 0, "bv" + std::to_string(n));
+  const auto anc = static_cast<Qubit>(n);
+  qc.x(anc);
+  qc.h(anc);
+  for (std::size_t q = 0; q < n; ++q) {
+    qc.h(static_cast<Qubit>(q));
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    if (((s >> q) & 1ULL) != 0) {
+      qc.cx(static_cast<Qubit>(q), anc);
+    }
+  }
+  for (std::size_t q = 0; q < n; ++q) {
+    qc.h(static_cast<Qubit>(q));
+  }
+  return qc;
+}
+
+QuantumComputation randomCliffordT(std::size_t n, std::size_t depth,
+                                   std::uint64_t seed) {
+  if (n == 0) {
+    throw std::invalid_argument("randomCliffordT: invalid qubit count");
+  }
+  QuantumComputation qc(n, 0, "random" + std::to_string(n));
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> gateDist(0, 5);
+  std::uniform_int_distribution<std::size_t> qubitDist(0, n - 1);
+  for (std::size_t layer = 0; layer < depth; ++layer) {
+    const auto q = static_cast<Qubit>(qubitDist(rng));
+    switch (gateDist(rng)) {
+    case 0:
+      qc.h(q);
+      break;
+    case 1:
+      qc.s(q);
+      break;
+    case 2:
+      qc.t(q);
+      break;
+    case 3:
+      qc.x(q);
+      break;
+    case 4:
+      qc.z(q);
+      break;
+    default: {
+      if (n == 1) {
+        qc.h(q);
+        break;
+      }
+      Qubit tgt = q;
+      while (tgt == q) {
+        tgt = static_cast<Qubit>(qubitDist(rng));
+      }
+      qc.cx(q, tgt);
+      break;
+    }
+    }
+  }
+  return qc;
+}
+
+QuantumComputation phaseEstimation(std::size_t precision, std::uint64_t k) {
+  if (precision == 0 || precision > 62) {
+    throw std::invalid_argument("phaseEstimation: invalid precision");
+  }
+  if (k >= (1ULL << precision)) {
+    throw std::invalid_argument("phaseEstimation: k out of range");
+  }
+  const double theta = static_cast<double>(k) /
+                       static_cast<double>(1ULL << precision);
+  // counting qubits 0..precision-1, eigenstate qubit = precision
+  QuantumComputation qc(precision + 1, 0, "qpe" + std::to_string(precision));
+  const auto eigen = static_cast<Qubit>(precision);
+  qc.x(eigen); // |1> is the P(phi) eigenstate with eigenvalue e^{i phi}
+  for (std::size_t j = 0; j < precision; ++j) {
+    qc.h(static_cast<Qubit>(j));
+  }
+  // controlled-U^{2^j}: U = P(2 pi theta)
+  for (std::size_t j = 0; j < precision; ++j) {
+    const double angle = 2. * PI_LOCAL * theta *
+                         static_cast<double>(1ULL << j);
+    qc.cphase(angle, static_cast<Qubit>(j), eigen);
+  }
+  // inverse QFT on the counting register: the counting state is
+  // (1/sqrt(2^m)) sum_x e^{2 pi i theta x} |x>, which the inverse of the
+  // (swap-including) QFT maps exactly onto |k>
+  const QuantumComputation iqft = qft(precision, true).inverted();
+  for (const auto& op : iqft) {
+    qc.emplaceBack(op->clone());
+  }
+  return qc;
+}
+
+QuantumComputation deutschJozsa(std::size_t n, bool balanced) {
+  if (n == 0) {
+    throw std::invalid_argument("deutschJozsa: invalid qubit count");
+  }
+  QuantumComputation qc(n + 1, 0, "dj" + std::to_string(n));
+  const auto anc = static_cast<Qubit>(n);
+  qc.x(anc);
+  qc.h(anc);
+  for (std::size_t q = 0; q < n; ++q) {
+    qc.h(static_cast<Qubit>(q));
+  }
+  if (balanced) {
+    qc.cx(0, anc); // f(x) = x_0
+  }
+  // constant oracle: nothing to do
+  for (std::size_t q = 0; q < n; ++q) {
+    qc.h(static_cast<Qubit>(q));
+  }
+  return qc;
+}
+
+QuantumComputation rippleCarryAdder(std::size_t n) {
+  if (n == 0 || n > 15) {
+    throw std::invalid_argument("rippleCarryAdder: invalid operand size");
+  }
+  // Cuccaro adder without the final carry-out qubit: b <- (a + b) mod 2^n.
+  // Layout: q0 = incoming carry (|0>), a_i = q_{2i+1}, b_i = q_{2i+2}.
+  QuantumComputation qc(2 * n + 1, 0, "adder" + std::to_string(n));
+  const auto a = [](std::size_t i) { return static_cast<Qubit>(2 * i + 1); };
+  const auto b = [](std::size_t i) { return static_cast<Qubit>(2 * i + 2); };
+  const auto c = [&](std::size_t i) {
+    return i == 0 ? Qubit{0} : a(i - 1);
+  };
+  // MAJ cascade
+  for (std::size_t i = 0; i < n; ++i) {
+    qc.cx(a(i), b(i));
+    qc.cx(a(i), c(i));
+    qc.ccx(c(i), b(i), a(i));
+  }
+  // (no carry-out qubit: the topmost majority result stays on a_{n-1})
+  // UMA cascade (2-CNOT variant)
+  for (std::size_t i = n; i-- > 0;) {
+    qc.ccx(c(i), b(i), a(i));
+    qc.cx(a(i), c(i));
+    qc.cx(c(i), b(i));
+  }
+  return qc;
+}
+
+} // namespace builders
+
+namespace {
+
+std::unique_ptr<Operation> remapOperation(const Operation& op,
+                                          const std::vector<Qubit>& perm) {
+  const auto mapQubit = [&](Qubit q) {
+    if (q < 0 || static_cast<std::size_t>(q) >= perm.size()) {
+      throw std::invalid_argument("remapQubits: qubit out of range");
+    }
+    return perm[static_cast<std::size_t>(q)];
+  };
+  const auto mapTargets = [&](const std::vector<Qubit>& ts) {
+    std::vector<Qubit> out;
+    out.reserve(ts.size());
+    for (const Qubit t : ts) {
+      out.push_back(mapQubit(t));
+    }
+    return out;
+  };
+
+  if (op.isStandardOperation()) {
+    QubitControls controls;
+    for (const auto& c : op.controls()) {
+      controls.push_back({mapQubit(c.qubit), c.positive});
+    }
+    return std::make_unique<StandardOperation>(
+        op.type(), controls, mapTargets(op.targets()), op.parameters());
+  }
+  if (const auto* nu = dynamic_cast<const NonUnitaryOperation*>(&op)) {
+    if (nu->type() == OpType::Measure) {
+      return std::make_unique<NonUnitaryOperation>(mapTargets(nu->targets()),
+                                                   nu->classics());
+    }
+    return std::make_unique<NonUnitaryOperation>(nu->type(),
+                                                 mapTargets(nu->targets()));
+  }
+  if (const auto* cc = dynamic_cast<const ClassicControlledOperation*>(&op)) {
+    return std::make_unique<ClassicControlledOperation>(
+        remapOperation(cc->operation(), perm), cc->firstClbit(),
+        cc->numClbits(), cc->expectedValue());
+  }
+  if (const auto* comp = dynamic_cast<const CompoundOperation*>(&op)) {
+    auto out = std::make_unique<CompoundOperation>(comp->label());
+    for (const auto& sub : comp->operations()) {
+      out->emplaceBack(remapOperation(*sub, perm));
+    }
+    return out;
+  }
+  throw std::invalid_argument("remapQubits: unsupported operation type");
+}
+
+} // namespace
+
+QuantumComputation remapQubits(const QuantumComputation& qc,
+                               const std::vector<Qubit>& permutation) {
+  if (permutation.size() != qc.numQubits()) {
+    throw std::invalid_argument("remapQubits: permutation size mismatch");
+  }
+  std::vector<bool> seen(permutation.size(), false);
+  for (const Qubit q : permutation) {
+    if (q < 0 || static_cast<std::size_t>(q) >= permutation.size() ||
+        seen[static_cast<std::size_t>(q)]) {
+      throw std::invalid_argument("remapQubits: not a permutation");
+    }
+    seen[static_cast<std::size_t>(q)] = true;
+  }
+  QuantumComputation out(qc.numQubits(), qc.numClbits(),
+                         qc.name().empty() ? "" : qc.name() + "_remapped");
+  for (const auto& op : qc) {
+    out.emplaceBack(remapOperation(*op, permutation));
+  }
+  return out;
+}
+
+QuantumComputation decomposeToNativeGates(const QuantumComputation& qc,
+                                          bool insertBarriers) {
+  QuantumComputation out(qc.numQubits(), qc.numClbits(),
+                         qc.name().empty() ? "compiled"
+                                           : qc.name() + "_compiled");
+  const auto emitBarrier = [&] {
+    if (insertBarriers) {
+      out.barrier();
+    }
+  };
+  for (const auto& op : qc) {
+    if (!op->isStandardOperation()) {
+      out.emplaceBack(op->clone());
+      emitBarrier();
+      continue;
+    }
+    const auto& controls = op->controls();
+    const auto& targets = op->targets();
+    const auto& params = op->parameters();
+
+    if (op->type() == OpType::SWAP && controls.empty()) {
+      // SWAP -> 3 CNOTs (Ex. 10: "not native to any current quantum
+      // computer")
+      out.cx(targets[0], targets[1]);
+      out.cx(targets[1], targets[0]);
+      out.cx(targets[0], targets[1]);
+      emitBarrier();
+      continue;
+    }
+    if (controls.size() == 1 && controls[0].positive &&
+        (op->type() == OpType::Phase || op->type() == OpType::S ||
+         op->type() == OpType::Sdg || op->type() == OpType::T ||
+         op->type() == OpType::Tdg || op->type() == OpType::Z)) {
+      // controlled phase rotation -> CNOTs + phase gates (Fig. 5(b))
+      double theta = 0.;
+      switch (op->type()) {
+      case OpType::Phase:
+        theta = params[0];
+        break;
+      case OpType::S:
+        theta = PI_LOCAL / 2.;
+        break;
+      case OpType::Sdg:
+        theta = -PI_LOCAL / 2.;
+        break;
+      case OpType::T:
+        theta = PI_LOCAL / 4.;
+        break;
+      case OpType::Tdg:
+        theta = -PI_LOCAL / 4.;
+        break;
+      case OpType::Z:
+        theta = PI_LOCAL;
+        break;
+      default:
+        break;
+      }
+      const Qubit c = controls[0].qubit;
+      const Qubit t = targets[0];
+      out.phase(theta / 2., c);
+      out.cx(c, t);
+      out.phase(-theta / 2., t);
+      out.cx(c, t);
+      out.phase(theta / 2., t);
+      emitBarrier();
+      continue;
+    }
+    out.emplaceBack(op->clone());
+    emitBarrier();
+  }
+  return out;
+}
+
+} // namespace qdd::ir

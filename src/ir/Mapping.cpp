@@ -1,0 +1,250 @@
+#include "qdd/ir/Mapping.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace qdd::ir {
+
+// --- CouplingMap -------------------------------------------------------------
+
+CouplingMap::CouplingMap(std::size_t numPhysical,
+                         std::vector<std::pair<Qubit, Qubit>> edges)
+    : n(numPhysical), edgeList(std::move(edges)), adjacency(numPhysical) {
+  if (n == 0) {
+    throw std::invalid_argument("CouplingMap: no physical qubits");
+  }
+  for (const auto& [a, b] : edgeList) {
+    if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= n ||
+        static_cast<std::size_t>(b) >= n || a == b) {
+      throw std::invalid_argument("CouplingMap: invalid edge");
+    }
+    adjacency[static_cast<std::size_t>(a)].push_back(b);
+    adjacency[static_cast<std::size_t>(b)].push_back(a);
+  }
+}
+
+CouplingMap CouplingMap::linear(std::size_t n) {
+  std::vector<std::pair<Qubit, Qubit>> edges;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    edges.emplace_back(static_cast<Qubit>(k), static_cast<Qubit>(k + 1));
+  }
+  return {n, std::move(edges)};
+}
+
+CouplingMap CouplingMap::ring(std::size_t n) {
+  if (n < 3) {
+    return linear(n);
+  }
+  std::vector<std::pair<Qubit, Qubit>> edges;
+  for (std::size_t k = 0; k < n; ++k) {
+    edges.emplace_back(static_cast<Qubit>(k),
+                       static_cast<Qubit>((k + 1) % n));
+  }
+  return {n, std::move(edges)};
+}
+
+CouplingMap CouplingMap::grid(std::size_t rows, std::size_t cols) {
+  std::vector<std::pair<Qubit, Qubit>> edges;
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Qubit>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        edges.emplace_back(at(r, c), at(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        edges.emplace_back(at(r, c), at(r + 1, c));
+      }
+    }
+  }
+  return {rows * cols, std::move(edges)};
+}
+
+bool CouplingMap::connected(Qubit a, Qubit b) const {
+  const auto& neighbours = adjacency[static_cast<std::size_t>(a)];
+  return std::find(neighbours.begin(), neighbours.end(), b) !=
+         neighbours.end();
+}
+
+std::vector<Qubit> CouplingMap::shortestPath(Qubit a, Qubit b) const {
+  if (a == b) {
+    return {a};
+  }
+  std::vector<Qubit> parent(n, -1);
+  std::deque<Qubit> queue{a};
+  parent[static_cast<std::size_t>(a)] = a;
+  while (!queue.empty()) {
+    const Qubit cur = queue.front();
+    queue.pop_front();
+    for (const Qubit next : adjacency[static_cast<std::size_t>(cur)]) {
+      if (parent[static_cast<std::size_t>(next)] != -1) {
+        continue;
+      }
+      parent[static_cast<std::size_t>(next)] = cur;
+      if (next == b) {
+        std::vector<Qubit> path{b};
+        Qubit walk = b;
+        while (walk != a) {
+          walk = parent[static_cast<std::size_t>(walk)];
+          path.push_back(walk);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(next);
+    }
+  }
+  return {};
+}
+
+// --- mapping -------------------------------------------------------------------
+
+namespace {
+
+/// Tracks the logical<->physical correspondence during routing.
+struct Layout {
+  std::vector<Qubit> logToPhys; ///< position of each logical qubit
+  std::vector<Qubit> physToLog; ///< logical qubit on each physical wire
+
+  explicit Layout(std::size_t n) : logToPhys(n), physToLog(n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      logToPhys[k] = static_cast<Qubit>(k);
+      physToLog[k] = static_cast<Qubit>(k);
+    }
+  }
+  void swapPhysical(Qubit a, Qubit b) {
+    const Qubit la = physToLog[static_cast<std::size_t>(a)];
+    const Qubit lb = physToLog[static_cast<std::size_t>(b)];
+    std::swap(physToLog[static_cast<std::size_t>(a)],
+              physToLog[static_cast<std::size_t>(b)]);
+    logToPhys[static_cast<std::size_t>(la)] = b;
+    logToPhys[static_cast<std::size_t>(lb)] = a;
+  }
+};
+
+} // namespace
+
+QuantumComputation MappingResult::mappedWithRestore() const {
+  QuantumComputation restored = mapped;
+  // outputPosition[q] = physical wire of logical qubit q; append SWAPs to
+  // bring every logical qubit back to wire q.
+  std::vector<Qubit> position = outputPosition;
+  for (Qubit q = 0; q < static_cast<Qubit>(position.size()); ++q) {
+    if (position[static_cast<std::size_t>(q)] == q) {
+      continue;
+    }
+    const Qubit from = position[static_cast<std::size_t>(q)];
+    restored.swap(from, q);
+    // the logical qubit previously on wire q moves to `from`
+    for (auto& p : position) {
+      if (p == q) {
+        p = from;
+        break;
+      }
+    }
+    position[static_cast<std::size_t>(q)] = q;
+  }
+  return restored;
+}
+
+MappingResult mapToCoupling(const QuantumComputation& qc,
+                            const CouplingMap& coupling) {
+  const std::size_t n = qc.numQubits();
+  if (coupling.size() < n) {
+    throw std::invalid_argument(
+        "mapToCoupling: device has fewer qubits than the circuit");
+  }
+  MappingResult result;
+  result.mapped =
+      QuantumComputation(coupling.size(), qc.numClbits(),
+                         qc.name().empty() ? "mapped" : qc.name() + "_mapped");
+  Layout layout(coupling.size());
+
+  const auto emitSwapChainTo = [&](Qubit physA, Qubit physB) -> Qubit {
+    // move the qubit on physA adjacent to physB; returns its new position
+    const auto path = coupling.shortestPath(physA, physB);
+    if (path.empty()) {
+      throw std::invalid_argument("mapToCoupling: disconnected device");
+    }
+    for (std::size_t k = 0; k + 2 < path.size(); ++k) {
+      result.mapped.swap(path[k], path[k + 1]);
+      layout.swapPhysical(path[k], path[k + 1]);
+      ++result.addedSwaps;
+    }
+    return path.size() >= 2 ? path[path.size() - 2] : physA;
+  };
+
+  for (const auto& op : qc) {
+    const auto used = op->usedQubits();
+    if (op->type() == OpType::Barrier) {
+      std::vector<Qubit> physQubits;
+      for (const Qubit q : op->targets()) {
+        physQubits.push_back(layout.logToPhys[static_cast<std::size_t>(q)]);
+      }
+      result.mapped.barrier(std::move(physQubits));
+      continue;
+    }
+    if (const auto* nu =
+            dynamic_cast<const NonUnitaryOperation*>(op.get())) {
+      std::vector<Qubit> physQubits;
+      for (const Qubit q : nu->targets()) {
+        physQubits.push_back(layout.logToPhys[static_cast<std::size_t>(q)]);
+      }
+      if (nu->type() == OpType::Measure) {
+        result.mapped.emplaceBack(std::make_unique<NonUnitaryOperation>(
+            std::move(physQubits), nu->classics()));
+      } else {
+        result.mapped.emplaceBack(std::make_unique<NonUnitaryOperation>(
+            nu->type(), std::move(physQubits)));
+      }
+      continue;
+    }
+    if (!op->isStandardOperation()) {
+      throw std::invalid_argument("mapToCoupling: unsupported operation '" +
+                                  op->name() + "' (decompose first)");
+    }
+    if (used.size() > 2) {
+      throw std::invalid_argument(
+          "mapToCoupling: gate acts on more than two qubits (decompose "
+          "first)");
+    }
+    if (used.size() == 1) {
+      const Qubit phys = layout.logToPhys[static_cast<std::size_t>(used[0])];
+      result.mapped.addStandard(op->type(), {}, {phys}, op->parameters());
+      continue;
+    }
+    // two-qubit gate: route the first operand next to the second
+    const bool twoTargets = op->targets().size() == 2;
+    Qubit physA;
+    Qubit physB;
+    if (twoTargets) {
+      physA = layout.logToPhys[static_cast<std::size_t>(op->targets()[0])];
+      physB = layout.logToPhys[static_cast<std::size_t>(op->targets()[1])];
+    } else {
+      physA = layout.logToPhys[static_cast<std::size_t>(
+          op->controls()[0].qubit)];
+      physB = layout.logToPhys[static_cast<std::size_t>(op->targets()[0])];
+    }
+    if (!coupling.connected(physA, physB)) {
+      physA = emitSwapChainTo(physA, physB);
+    }
+    if (twoTargets) {
+      result.mapped.addStandard(op->type(), {}, {physA, physB},
+                                op->parameters());
+    } else {
+      result.mapped.addStandard(op->type(),
+                                {{physA, op->controls()[0].positive}},
+                                {physB}, op->parameters());
+    }
+  }
+
+  result.outputPosition.assign(n, 0);
+  for (std::size_t q = 0; q < n; ++q) {
+    result.outputPosition[q] = layout.logToPhys[q];
+  }
+  return result;
+}
+
+} // namespace qdd::ir

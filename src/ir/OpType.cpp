@@ -1,0 +1,127 @@
+#include "qdd/ir/OpType.hpp"
+
+#include <stdexcept>
+
+namespace qdd::ir {
+
+std::string toString(OpType t) {
+  switch (t) {
+  case OpType::None:
+    return "none";
+  case OpType::I:
+    return "id";
+  case OpType::H:
+    return "h";
+  case OpType::X:
+    return "x";
+  case OpType::Y:
+    return "y";
+  case OpType::Z:
+    return "z";
+  case OpType::S:
+    return "s";
+  case OpType::Sdg:
+    return "sdg";
+  case OpType::T:
+    return "t";
+  case OpType::Tdg:
+    return "tdg";
+  case OpType::V:
+    return "v";
+  case OpType::Vdg:
+    return "vdg";
+  case OpType::SX:
+    return "sx";
+  case OpType::SXdg:
+    return "sxdg";
+  case OpType::RX:
+    return "rx";
+  case OpType::RY:
+    return "ry";
+  case OpType::RZ:
+    return "rz";
+  case OpType::Phase:
+    return "p";
+  case OpType::U2:
+    return "u2";
+  case OpType::U3:
+    return "u3";
+  case OpType::SWAP:
+    return "swap";
+  case OpType::iSWAP:
+    return "iswap";
+  case OpType::iSWAPdg:
+    return "iswapdg";
+  case OpType::DCX:
+    return "dcx";
+  case OpType::Measure:
+    return "measure";
+  case OpType::Reset:
+    return "reset";
+  case OpType::Barrier:
+    return "barrier";
+  case OpType::ClassicControlled:
+    return "if";
+  case OpType::Compound:
+    return "compound";
+  }
+  throw std::invalid_argument("unknown OpType");
+}
+
+std::size_t numParameters(OpType t) {
+  switch (t) {
+  case OpType::RX:
+  case OpType::RY:
+  case OpType::RZ:
+  case OpType::Phase:
+    return 1;
+  case OpType::U2:
+    return 2;
+  case OpType::U3:
+    return 3;
+  default:
+    return 0;
+  }
+}
+
+std::size_t numTargets(OpType t) {
+  switch (t) {
+  case OpType::SWAP:
+  case OpType::iSWAP:
+  case OpType::iSWAPdg:
+  case OpType::DCX:
+    return 2;
+  default:
+    return 1;
+  }
+}
+
+bool isUnitaryType(OpType t) {
+  switch (t) {
+  case OpType::None:
+  case OpType::Measure:
+  case OpType::Reset:
+  case OpType::Barrier:
+  case OpType::ClassicControlled:
+  case OpType::Compound:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool isSelfInverse(OpType t) {
+  switch (t) {
+  case OpType::I:
+  case OpType::H:
+  case OpType::X:
+  case OpType::Y:
+  case OpType::Z:
+  case OpType::SWAP:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace qdd::ir

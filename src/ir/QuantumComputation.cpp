@@ -1,0 +1,245 @@
+#include "qdd/ir/QuantumComputation.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qdd::ir {
+
+QuantumComputation::QuantumComputation(std::size_t nq, std::size_t nc,
+                                       std::string name)
+    : circuitName(std::move(name)) {
+  if (nq > 0) {
+    addQubitRegister(nq);
+  }
+  if (nc > 0) {
+    addClassicalRegister(nc);
+  }
+}
+
+QuantumComputation::QuantumComputation(const QuantumComputation& other)
+    : nqubits(other.nqubits), nclbits(other.nclbits),
+      circuitName(other.circuitName), qregs(other.qregs), cregs(other.cregs) {
+  ops.reserve(other.ops.size());
+  for (const auto& op : other.ops) {
+    ops.emplace_back(op->clone());
+  }
+}
+
+QuantumComputation&
+QuantumComputation::operator=(const QuantumComputation& other) {
+  if (this != &other) {
+    *this = QuantumComputation(other);
+  }
+  return *this;
+}
+
+std::size_t QuantumComputation::addQubitRegister(std::size_t size,
+                                                 const std::string& name) {
+  for (const auto& r : qregs) {
+    if (r.name == name) {
+      throw std::invalid_argument("duplicate quantum register: " + name);
+    }
+  }
+  const std::size_t start = nqubits;
+  qregs.push_back({name, start, size});
+  nqubits += size;
+  return start;
+}
+
+std::size_t QuantumComputation::addClassicalRegister(std::size_t size,
+                                                     const std::string& name) {
+  for (const auto& r : cregs) {
+    if (r.name == name) {
+      throw std::invalid_argument("duplicate classical register: " + name);
+    }
+  }
+  const std::size_t start = nclbits;
+  cregs.push_back({name, start, size});
+  nclbits += size;
+  return start;
+}
+
+const Register*
+QuantumComputation::classicalRegister(const std::string& n) const {
+  for (const auto& r : cregs) {
+    if (r.name == n) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void QuantumComputation::emplaceBack(std::unique_ptr<Operation> op) {
+  for (const auto q : op->usedQubits()) {
+    ensureQubit(q);
+  }
+  ops.emplace_back(std::move(op));
+}
+
+void QuantumComputation::ensureQubit(Qubit q) {
+  if (q < 0) {
+    throw std::invalid_argument("negative qubit index");
+  }
+  if (static_cast<std::size_t>(q) >= nqubits) {
+    throw std::invalid_argument("operation references qubit " +
+                                std::to_string(q) + " but circuit has only " +
+                                std::to_string(nqubits) + " qubits");
+  }
+}
+
+namespace {
+std::size_t countRecursive(const Operation& op) {
+  if (op.type() == OpType::Barrier) {
+    return 0;
+  }
+  if (const auto* comp = dynamic_cast<const CompoundOperation*>(&op)) {
+    std::size_t count = 0;
+    for (const auto& sub : comp->operations()) {
+      count += countRecursive(*sub);
+    }
+    return count;
+  }
+  return 1;
+}
+} // namespace
+
+std::size_t QuantumComputation::gateCount(bool flatten) const {
+  if (!flatten) {
+    return ops.size();
+  }
+  std::size_t count = 0;
+  for (const auto& op : ops) {
+    count += countRecursive(*op);
+  }
+  return count;
+}
+
+bool QuantumComputation::isPurelyUnitary() const {
+  return std::all_of(ops.begin(), ops.end(),
+                     [](const auto& op) { return op->isUnitary(); });
+}
+
+void QuantumComputation::addStandard(OpType t, const QubitControls& controls,
+                                     std::vector<Qubit> targets,
+                                     std::vector<double> params) {
+  emplaceBack(std::make_unique<StandardOperation>(
+      t, controls, std::move(targets), std::move(params)));
+}
+
+void QuantumComputation::measure(Qubit q, std::size_t clbit) {
+  if (clbit >= nclbits) {
+    throw std::invalid_argument("measure: classical bit out of range");
+  }
+  emplaceBack(std::make_unique<NonUnitaryOperation>(
+      std::vector<Qubit>{q}, std::vector<std::size_t>{clbit}));
+}
+
+void QuantumComputation::measureAll() {
+  if (nclbits < nqubits) {
+    addClassicalRegister(nqubits - nclbits, "meas");
+  }
+  std::vector<Qubit> qs;
+  std::vector<std::size_t> cs;
+  for (std::size_t k = 0; k < nqubits; ++k) {
+    qs.push_back(static_cast<Qubit>(k));
+    cs.push_back(k);
+  }
+  emplaceBack(std::make_unique<NonUnitaryOperation>(std::move(qs),
+                                                    std::move(cs)));
+}
+
+void QuantumComputation::reset(Qubit q) {
+  emplaceBack(std::make_unique<NonUnitaryOperation>(OpType::Reset,
+                                                    std::vector<Qubit>{q}));
+}
+
+void QuantumComputation::barrier() {
+  std::vector<Qubit> qs;
+  for (std::size_t k = 0; k < nqubits; ++k) {
+    qs.push_back(static_cast<Qubit>(k));
+  }
+  barrier(std::move(qs));
+}
+
+void QuantumComputation::barrier(std::vector<Qubit> qs) {
+  emplaceBack(
+      std::make_unique<NonUnitaryOperation>(OpType::Barrier, std::move(qs)));
+}
+
+void QuantumComputation::classicControlled(std::unique_ptr<Operation> op,
+                                           std::size_t firstClbit,
+                                           std::size_t numClbits,
+                                           std::uint64_t expected) {
+  emplaceBack(std::make_unique<ClassicControlledOperation>(
+      std::move(op), firstClbit, numClbits, expected));
+}
+
+QuantumComputation QuantumComputation::inverted() const {
+  QuantumComputation inv;
+  inv.nqubits = nqubits;
+  inv.nclbits = nclbits;
+  inv.qregs = qregs;
+  inv.cregs = cregs;
+  inv.circuitName = circuitName.empty() ? "" : circuitName + "_inv";
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    const auto& op = *it;
+    if (op->type() == OpType::Barrier) {
+      continue;
+    }
+    if (!op->isUnitary()) {
+      throw std::logic_error("inverted: circuit contains non-unitary "
+                             "operation '" +
+                             op->name() + "'");
+    }
+    auto copy = op->clone();
+    copy->invert();
+    inv.ops.emplace_back(std::move(copy));
+  }
+  return inv;
+}
+
+std::vector<std::string> QuantumComputation::qubitNames() const {
+  std::vector<std::string> names(nqubits);
+  for (const auto& r : qregs) {
+    for (std::size_t k = 0; k < r.size; ++k) {
+      names[r.start + k] = r.name + "[" + std::to_string(k) + "]";
+    }
+  }
+  return names;
+}
+
+std::vector<std::string> QuantumComputation::clbitNames() const {
+  std::vector<std::string> names(nclbits);
+  for (const auto& r : cregs) {
+    for (std::size_t k = 0; k < r.size; ++k) {
+      names[r.start + k] = r.name + "[" + std::to_string(k) + "]";
+    }
+  }
+  return names;
+}
+
+void QuantumComputation::dumpOpenQASM(std::ostream& os) const {
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  for (const auto& r : qregs) {
+    os << "qreg " << r.name << "[" << r.size << "];\n";
+  }
+  for (const auto& r : cregs) {
+    os << "creg " << r.name << "[" << r.size << "];\n";
+  }
+  const auto qn = qubitNames();
+  const auto cn = clbitNames();
+  for (const auto& op : ops) {
+    op->dumpOpenQASM(os, qn, cn);
+  }
+}
+
+std::string QuantumComputation::toOpenQASM() const {
+  std::ostringstream ss;
+  dumpOpenQASM(ss);
+  return ss.str();
+}
+
+} // namespace qdd::ir

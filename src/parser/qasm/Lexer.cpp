@@ -1,0 +1,268 @@
+#include "qdd/parser/qasm/Lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace qdd::qasm {
+
+std::string toString(TokenKind k) {
+  switch (k) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Real:
+    return "real literal";
+  case TokenKind::Integer:
+    return "integer literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwOpenqasm:
+    return "'OPENQASM'";
+  case TokenKind::KwInclude:
+    return "'include'";
+  case TokenKind::KwQreg:
+    return "'qreg'";
+  case TokenKind::KwCreg:
+    return "'creg'";
+  case TokenKind::KwGate:
+    return "'gate'";
+  case TokenKind::KwOpaque:
+    return "'opaque'";
+  case TokenKind::KwMeasure:
+    return "'measure'";
+  case TokenKind::KwReset:
+    return "'reset'";
+  case TokenKind::KwBarrier:
+    return "'barrier'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwPi:
+    return "'pi'";
+  case TokenKind::KwU:
+    return "'U'";
+  case TokenKind::KwCX:
+    return "'CX'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Equals:
+    return "'=='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Caret:
+    return "'^'";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string source) : src(std::move(source)) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = peek();
+  ++pos;
+  if (c == '\n') {
+    ++line;
+    col = 1;
+  } else {
+    ++col;
+  }
+  return c;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (true) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') {
+        advance();
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::makeToken(TokenKind k) const {
+  Token t;
+  t.kind = k;
+  t.line = tokLine;
+  t.col = tokCol;
+  return t;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  tokLine = line;
+  tokCol = col;
+  const char c = peek();
+  if (c == '\0') {
+    return makeToken(TokenKind::EndOfFile);
+  }
+  if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+    return lexNumber();
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+    return lexIdentifierOrKeyword();
+  }
+  if (c == '"') {
+    return lexString();
+  }
+  advance();
+  switch (c) {
+  case ';':
+    return makeToken(TokenKind::Semicolon);
+  case ',':
+    return makeToken(TokenKind::Comma);
+  case '(':
+    return makeToken(TokenKind::LParen);
+  case ')':
+    return makeToken(TokenKind::RParen);
+  case '{':
+    return makeToken(TokenKind::LBrace);
+  case '}':
+    return makeToken(TokenKind::RBrace);
+  case '[':
+    return makeToken(TokenKind::LBracket);
+  case ']':
+    return makeToken(TokenKind::RBracket);
+  case '+':
+    return makeToken(TokenKind::Plus);
+  case '*':
+    return makeToken(TokenKind::Star);
+  case '/':
+    return makeToken(TokenKind::Slash);
+  case '^':
+    return makeToken(TokenKind::Caret);
+  case '-':
+    if (peek() == '>') {
+      advance();
+      return makeToken(TokenKind::Arrow);
+    }
+    return makeToken(TokenKind::Minus);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::Equals);
+    }
+    throw ParseError("unexpected '='; did you mean '=='?", tokLine, tokCol);
+  default:
+    throw ParseError(std::string("unexpected character '") + c + "'", tokLine,
+                     tokCol);
+  }
+}
+
+Token Lexer::lexNumber() {
+  std::string text;
+  bool isReal = false;
+  while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+    text += advance();
+  }
+  if (peek() == '.') {
+    isReal = true;
+    text += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      text += advance();
+    }
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    isReal = true;
+    text += advance();
+    if (peek() == '+' || peek() == '-') {
+      text += advance();
+    }
+    if (std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      throw ParseError("malformed exponent in numeric literal", tokLine,
+                       tokCol);
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      text += advance();
+    }
+  }
+  Token t = makeToken(isReal ? TokenKind::Real : TokenKind::Integer);
+  t.text = text;
+  if (isReal) {
+    t.realValue = std::strtod(text.c_str(), nullptr);
+  } else {
+    t.intValue = std::strtoull(text.c_str(), nullptr, 10);
+    t.realValue = static_cast<double>(t.intValue);
+  }
+  return t;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) != 0 ||
+         peek() == '_') {
+    text += advance();
+  }
+  static const std::unordered_map<std::string, TokenKind> KEYWORDS = {
+      {"OPENQASM", TokenKind::KwOpenqasm},
+      {"include", TokenKind::KwInclude},
+      {"qreg", TokenKind::KwQreg},
+      {"creg", TokenKind::KwCreg},
+      {"gate", TokenKind::KwGate},
+      {"opaque", TokenKind::KwOpaque},
+      {"measure", TokenKind::KwMeasure},
+      {"reset", TokenKind::KwReset},
+      {"barrier", TokenKind::KwBarrier},
+      {"if", TokenKind::KwIf},
+      {"pi", TokenKind::KwPi},
+      {"U", TokenKind::KwU},
+      {"CX", TokenKind::KwCX},
+  };
+  Token t;
+  if (const auto it = KEYWORDS.find(text); it != KEYWORDS.end()) {
+    t = makeToken(it->second);
+  } else {
+    t = makeToken(TokenKind::Identifier);
+  }
+  t.text = text;
+  return t;
+}
+
+Token Lexer::lexString() {
+  advance(); // opening quote
+  std::string text;
+  while (peek() != '"') {
+    if (peek() == '\0' || peek() == '\n') {
+      throw ParseError("unterminated string literal", tokLine, tokCol);
+    }
+    text += advance();
+  }
+  advance(); // closing quote
+  Token t = makeToken(TokenKind::StringLiteral);
+  t.text = text;
+  return t;
+}
+
+} // namespace qdd::qasm

@@ -1,0 +1,759 @@
+#include "qdd/parser/qasm/Parser.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace qdd::qasm {
+
+ir::QuantumComputation parse(const std::string& source,
+                             const std::string& name) {
+  detail::Parser p(source, name);
+  return p.parse();
+}
+
+ir::QuantumComputation parseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return parse(ss.str(), name);
+}
+
+namespace detail {
+
+namespace {
+constexpr double PI_LOCAL = 3.14159265358979323846;
+}
+
+double evaluate(const Expr& e, const std::map<std::string, double>& env,
+                std::size_t line, std::size_t col) {
+  switch (e.kind) {
+  case Expr::Kind::Number:
+    return e.number;
+  case Expr::Kind::Pi:
+    return PI_LOCAL;
+  case Expr::Kind::Param: {
+    const auto it = env.find(e.param);
+    if (it == env.end()) {
+      throw ParseError("unknown parameter '" + e.param + "'", line, col);
+    }
+    return it->second;
+  }
+  case Expr::Kind::Add:
+    return evaluate(*e.lhs, env, line, col) + evaluate(*e.rhs, env, line, col);
+  case Expr::Kind::Sub:
+    return evaluate(*e.lhs, env, line, col) - evaluate(*e.rhs, env, line, col);
+  case Expr::Kind::Mul:
+    return evaluate(*e.lhs, env, line, col) * evaluate(*e.rhs, env, line, col);
+  case Expr::Kind::Div: {
+    const double d = evaluate(*e.rhs, env, line, col);
+    if (d == 0.) {
+      throw ParseError("division by zero in parameter expression", line, col);
+    }
+    return evaluate(*e.lhs, env, line, col) / d;
+  }
+  case Expr::Kind::Pow:
+    return std::pow(evaluate(*e.lhs, env, line, col),
+                    evaluate(*e.rhs, env, line, col));
+  case Expr::Kind::Neg:
+    return -evaluate(*e.lhs, env, line, col);
+  case Expr::Kind::Sin:
+    return std::sin(evaluate(*e.lhs, env, line, col));
+  case Expr::Kind::Cos:
+    return std::cos(evaluate(*e.lhs, env, line, col));
+  case Expr::Kind::Tan:
+    return std::tan(evaluate(*e.lhs, env, line, col));
+  case Expr::Kind::Exp:
+    return std::exp(evaluate(*e.lhs, env, line, col));
+  case Expr::Kind::Ln:
+    return std::log(evaluate(*e.lhs, env, line, col));
+  case Expr::Kind::Sqrt:
+    return std::sqrt(evaluate(*e.lhs, env, line, col));
+  }
+  throw ParseError("invalid expression", line, col);
+}
+
+Parser::Parser(std::string source, std::string name)
+    : lexer(std::move(source)) {
+  qc.setName(std::move(name));
+  advanceToken();
+}
+
+void Parser::advanceToken() { cur = lexer.next(); }
+
+Token Parser::expect(TokenKind k, const std::string& context) {
+  if (cur.kind != k) {
+    fail("expected " + qasm::toString(k) + " " + context + ", got " +
+         qasm::toString(cur.kind));
+  }
+  Token t = cur;
+  advanceToken();
+  return t;
+}
+
+bool Parser::accept(TokenKind k) {
+  if (cur.kind == k) {
+    advanceToken();
+    return true;
+  }
+  return false;
+}
+
+void Parser::fail(const std::string& message) const {
+  throw ParseError(message, cur.line, cur.col);
+}
+
+ir::QuantumComputation Parser::parse() {
+  parseHeader();
+  while (!check(TokenKind::EndOfFile)) {
+    parseStatement();
+  }
+  return std::move(qc);
+}
+
+void Parser::parseHeader() {
+  expect(TokenKind::KwOpenqasm, "at start of file");
+  const Token version = cur;
+  if (!accept(TokenKind::Real) && !accept(TokenKind::Integer)) {
+    fail("expected version number after OPENQASM");
+  }
+  if (version.realValue < 2. || version.realValue >= 3.) {
+    throw ParseError("unsupported OpenQASM version (expected 2.x)",
+                     version.line, version.col);
+  }
+  expect(TokenKind::Semicolon, "after version");
+}
+
+void Parser::parseStatement() {
+  switch (cur.kind) {
+  case TokenKind::KwInclude:
+    parseInclude();
+    break;
+  case TokenKind::KwQreg:
+    parseQreg();
+    break;
+  case TokenKind::KwCreg:
+    parseCreg();
+    break;
+  case TokenKind::KwGate:
+    parseGateDecl(false);
+    break;
+  case TokenKind::KwOpaque:
+    parseGateDecl(true);
+    break;
+  case TokenKind::KwMeasure:
+    parseMeasure();
+    break;
+  case TokenKind::KwReset:
+    parseReset();
+    break;
+  case TokenKind::KwBarrier:
+    parseBarrier();
+    break;
+  case TokenKind::KwIf:
+    parseIf();
+    break;
+  case TokenKind::Identifier:
+  case TokenKind::KwU:
+  case TokenKind::KwCX:
+    parseGateCall();
+    break;
+  default:
+    fail("unexpected " + qasm::toString(cur.kind));
+  }
+}
+
+void Parser::parseInclude() {
+  advanceToken();
+  const Token file = expect(TokenKind::StringLiteral, "after include");
+  expect(TokenKind::Semicolon, "after include");
+  if (file.text != "qelib1.inc") {
+    throw ParseError("only qelib1.inc includes are supported (got \"" +
+                         file.text + "\")",
+                     file.line, file.col);
+  }
+  // qelib1 gates are built in; nothing to do.
+}
+
+void Parser::parseQreg() {
+  advanceToken();
+  const Token name = expect(TokenKind::Identifier, "after qreg");
+  expect(TokenKind::LBracket, "in qreg declaration");
+  const Token size = expect(TokenKind::Integer, "as register size");
+  expect(TokenKind::RBracket, "in qreg declaration");
+  expect(TokenKind::Semicolon, "after qreg declaration");
+  if (size.intValue == 0) {
+    throw ParseError("register size must be positive", size.line, size.col);
+  }
+  qc.addQubitRegister(size.intValue, name.text);
+}
+
+void Parser::parseCreg() {
+  advanceToken();
+  const Token name = expect(TokenKind::Identifier, "after creg");
+  expect(TokenKind::LBracket, "in creg declaration");
+  const Token size = expect(TokenKind::Integer, "as register size");
+  expect(TokenKind::RBracket, "in creg declaration");
+  expect(TokenKind::Semicolon, "after creg declaration");
+  if (size.intValue == 0) {
+    throw ParseError("register size must be positive", size.line, size.col);
+  }
+  qc.addClassicalRegister(size.intValue, name.text);
+}
+
+void Parser::parseGateDecl(bool opaque) {
+  advanceToken();
+  const Token name = expect(TokenKind::Identifier, "as gate name");
+  GateDecl decl;
+  decl.opaque = opaque;
+  if (accept(TokenKind::LParen)) {
+    if (!check(TokenKind::RParen)) {
+      do {
+        decl.paramNames.push_back(
+            expect(TokenKind::Identifier, "as gate parameter").text);
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "after gate parameters");
+  }
+  do {
+    decl.argNames.push_back(
+        expect(TokenKind::Identifier, "as gate argument").text);
+  } while (accept(TokenKind::Comma));
+
+  if (opaque) {
+    expect(TokenKind::Semicolon, "after opaque declaration");
+  } else {
+    expect(TokenKind::LBrace, "to open gate body");
+    while (!check(TokenKind::RBrace)) {
+      if (check(TokenKind::KwBarrier)) {
+        advanceToken();
+        GateCall call;
+        call.name = "barrier";
+        call.line = cur.line;
+        call.col = cur.col;
+        if (!check(TokenKind::Semicolon)) {
+          do {
+            call.operands.push_back(parseOperand(true));
+          } while (accept(TokenKind::Comma));
+        }
+        expect(TokenKind::Semicolon, "after barrier");
+        decl.body.push_back(std::move(call));
+        continue;
+      }
+      std::string gateName;
+      if (check(TokenKind::KwU)) {
+        gateName = "U";
+        advanceToken();
+      } else if (check(TokenKind::KwCX)) {
+        gateName = "CX";
+        advanceToken();
+      } else {
+        gateName = expect(TokenKind::Identifier, "as gate name").text;
+      }
+      decl.body.push_back(parseCallTail(std::move(gateName), true));
+    }
+    expect(TokenKind::RBrace, "to close gate body");
+  }
+  if (gateDecls.contains(name.text)) {
+    throw ParseError("redefinition of gate '" + name.text + "'", name.line,
+                     name.col);
+  }
+  gateDecls.emplace(name.text, std::move(decl));
+}
+
+Parser::Operand Parser::parseOperand(bool inGateBody) {
+  Operand op;
+  op.line = cur.line;
+  op.col = cur.col;
+  op.reg = expect(TokenKind::Identifier, "as operand").text;
+  if (accept(TokenKind::LBracket)) {
+    if (inGateBody) {
+      throw ParseError("indexed operands are not allowed inside gate bodies",
+                       op.line, op.col);
+    }
+    const Token idx = expect(TokenKind::Integer, "as operand index");
+    expect(TokenKind::RBracket, "after operand index");
+    op.indexed = true;
+    op.index = idx.intValue;
+  }
+  return op;
+}
+
+Parser::GateCall Parser::parseCallTail(std::string gateName, bool inGateBody) {
+  GateCall call;
+  call.name = std::move(gateName);
+  call.line = cur.line;
+  call.col = cur.col;
+  if (accept(TokenKind::LParen)) {
+    if (!check(TokenKind::RParen)) {
+      do {
+        call.params.push_back(parseExpr());
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "after gate parameters");
+  }
+  do {
+    call.operands.push_back(parseOperand(inGateBody));
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::Semicolon, "after gate call");
+  return call;
+}
+
+// --- expressions --------------------------------------------------------------
+
+ExprPtr Parser::parseExpr() { return parseAddSub(); }
+
+ExprPtr Parser::parseAddSub() {
+  ExprPtr lhs = parseMulDiv();
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    const bool add = check(TokenKind::Plus);
+    advanceToken();
+    auto node = std::make_unique<Expr>();
+    node->kind = add ? Expr::Kind::Add : Expr::Kind::Sub;
+    node->lhs = std::move(lhs);
+    node->rhs = parseMulDiv();
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseMulDiv() {
+  ExprPtr lhs = parseUnary();
+  while (check(TokenKind::Star) || check(TokenKind::Slash)) {
+    const bool mul = check(TokenKind::Star);
+    advanceToken();
+    auto node = std::make_unique<Expr>();
+    node->kind = mul ? Expr::Kind::Mul : Expr::Kind::Div;
+    node->lhs = std::move(lhs);
+    node->rhs = parseUnary();
+    lhs = std::move(node);
+  }
+  return lhs;
+}
+
+// Unary minus binds looser than '^', so -pi^2 parses as -(pi^2).
+ExprPtr Parser::parseUnary() {
+  if (accept(TokenKind::Minus)) {
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::Neg;
+    node->lhs = parseUnary();
+    return node;
+  }
+  if (accept(TokenKind::Plus)) {
+    return parseUnary();
+  }
+  return parsePow();
+}
+
+ExprPtr Parser::parsePow() {
+  ExprPtr lhs = parsePrimary();
+  if (check(TokenKind::Caret)) {
+    advanceToken();
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::Pow;
+    node->lhs = std::move(lhs);
+    node->rhs = parseUnary(); // right-associative, signed exponents allowed
+    return node;
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parsePrimary() {
+  if (check(TokenKind::Real) || check(TokenKind::Integer)) {
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::Number;
+    node->number = cur.realValue;
+    advanceToken();
+    return node;
+  }
+  if (accept(TokenKind::KwPi)) {
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::Pi;
+    return node;
+  }
+  if (accept(TokenKind::LParen)) {
+    ExprPtr inner = parseExpr();
+    expect(TokenKind::RParen, "in parameter expression");
+    return inner;
+  }
+  if (check(TokenKind::Identifier)) {
+    const std::string name = cur.text;
+    const std::size_t line = cur.line;
+    const std::size_t col = cur.col;
+    advanceToken();
+    static const std::map<std::string, Expr::Kind> FUNCS = {
+        {"sin", Expr::Kind::Sin}, {"cos", Expr::Kind::Cos},
+        {"tan", Expr::Kind::Tan}, {"exp", Expr::Kind::Exp},
+        {"ln", Expr::Kind::Ln},   {"sqrt", Expr::Kind::Sqrt}};
+    if (const auto it = FUNCS.find(name); it != FUNCS.end()) {
+      expect(TokenKind::LParen, "after function name");
+      auto node = std::make_unique<Expr>();
+      node->kind = it->second;
+      node->lhs = parseExpr();
+      expect(TokenKind::RParen, "after function argument");
+      return node;
+    }
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::Param;
+    node->param = name;
+    (void)line;
+    (void)col;
+    return node;
+  }
+  fail("expected parameter expression");
+}
+
+// --- statements -----------------------------------------------------------------
+
+void Parser::parseMeasure() {
+  advanceToken();
+  const Operand qop = parseOperand(false);
+  expect(TokenKind::Arrow, "in measure statement");
+  const Operand cop = parseOperand(false);
+  expect(TokenKind::Semicolon, "after measure statement");
+  const auto qubits = resolveQubit(qop);
+  const auto clbits = resolveClbit(cop);
+  if (qubits.size() != clbits.size()) {
+    throw ParseError("measure: register size mismatch", qop.line, qop.col);
+  }
+  qc.emplaceBack(std::make_unique<ir::NonUnitaryOperation>(qubits, clbits));
+}
+
+void Parser::parseReset() {
+  advanceToken();
+  const Operand op = parseOperand(false);
+  expect(TokenKind::Semicolon, "after reset statement");
+  qc.emplaceBack(std::make_unique<ir::NonUnitaryOperation>(ir::OpType::Reset,
+                                                           resolveQubit(op)));
+}
+
+void Parser::parseBarrier() {
+  advanceToken();
+  std::vector<Qubit> qubits;
+  if (!check(TokenKind::Semicolon)) {
+    do {
+      const auto resolved = resolveQubit(parseOperand(false));
+      qubits.insert(qubits.end(), resolved.begin(), resolved.end());
+    } while (accept(TokenKind::Comma));
+  } else {
+    for (std::size_t k = 0; k < qc.numQubits(); ++k) {
+      qubits.push_back(static_cast<Qubit>(k));
+    }
+  }
+  expect(TokenKind::Semicolon, "after barrier statement");
+  qc.emplaceBack(std::make_unique<ir::NonUnitaryOperation>(
+      ir::OpType::Barrier, std::move(qubits)));
+}
+
+void Parser::parseIf() {
+  advanceToken();
+  expect(TokenKind::LParen, "after if");
+  const Token reg = expect(TokenKind::Identifier, "as classical register");
+  expect(TokenKind::Equals, "in if condition");
+  const Token value = expect(TokenKind::Integer, "as comparison value");
+  expect(TokenKind::RParen, "after if condition");
+
+  const ir::Register* creg = qc.classicalRegister(reg.text);
+  if (creg == nullptr) {
+    throw ParseError("unknown classical register '" + reg.text + "'",
+                     reg.line, reg.col);
+  }
+
+  // the controlled operation: a gate call
+  std::string gateName;
+  if (check(TokenKind::KwU)) {
+    gateName = "U";
+    advanceToken();
+  } else if (check(TokenKind::KwCX)) {
+    gateName = "CX";
+    advanceToken();
+  } else {
+    gateName = expect(TokenKind::Identifier, "as gate name after if").text;
+  }
+  const GateCall call = parseCallTail(std::move(gateName), false);
+  emitCall(call, [&](std::unique_ptr<ir::Operation> op) {
+    qc.classicControlled(std::move(op), creg->start, creg->size,
+                         value.intValue);
+  });
+}
+
+void Parser::parseGateCall() {
+  std::string gateName;
+  if (check(TokenKind::KwU)) {
+    gateName = "U";
+    advanceToken();
+  } else if (check(TokenKind::KwCX)) {
+    gateName = "CX";
+    advanceToken();
+  } else {
+    gateName = cur.text;
+    advanceToken();
+  }
+  // Multi-control prefix `c(N) gate ...` — the form the OpenQASM writer
+  // emits for gates with more controls than qelib1 covers.
+  std::size_t extraControls = 0;
+  if (gateName == "c" && check(TokenKind::LParen)) {
+    advanceToken();
+    const Token count = expect(TokenKind::Integer, "as control count");
+    expect(TokenKind::RParen, "after control count");
+    extraControls = count.intValue;
+    if (extraControls == 0) {
+      fail("control count must be positive");
+    }
+    if (check(TokenKind::KwU)) {
+      gateName = "U";
+      advanceToken();
+    } else if (check(TokenKind::KwCX)) {
+      gateName = "CX";
+      advanceToken();
+    } else {
+      gateName = expect(TokenKind::Identifier, "as controlled gate").text;
+    }
+  }
+  GateCall call = parseCallTail(std::move(gateName), false);
+  call.extraControls = extraControls;
+  emitCall(call, [&](std::unique_ptr<ir::Operation> op) {
+    qc.emplaceBack(std::move(op));
+  });
+}
+
+// --- resolution & expansion --------------------------------------------------------
+
+std::vector<Qubit> Parser::resolveQubit(const Operand& op) const {
+  for (const auto& r : qc.qubitRegisters()) {
+    if (r.name != op.reg) {
+      continue;
+    }
+    if (op.indexed) {
+      if (op.index >= r.size) {
+        throw ParseError("qubit index out of range for register '" + op.reg +
+                             "'",
+                         op.line, op.col);
+      }
+      return {static_cast<Qubit>(r.start + op.index)};
+    }
+    std::vector<Qubit> all;
+    for (std::size_t k = 0; k < r.size; ++k) {
+      all.push_back(static_cast<Qubit>(r.start + k));
+    }
+    return all;
+  }
+  throw ParseError("unknown quantum register '" + op.reg + "'", op.line,
+                   op.col);
+}
+
+std::vector<std::size_t> Parser::resolveClbit(const Operand& op) const {
+  for (const auto& r : qc.classicalRegisters()) {
+    if (r.name != op.reg) {
+      continue;
+    }
+    if (op.indexed) {
+      if (op.index >= r.size) {
+        throw ParseError("bit index out of range for register '" + op.reg +
+                             "'",
+                         op.line, op.col);
+      }
+      return {r.start + op.index};
+    }
+    std::vector<std::size_t> all;
+    for (std::size_t k = 0; k < r.size; ++k) {
+      all.push_back(r.start + k);
+    }
+    return all;
+  }
+  throw ParseError("unknown classical register '" + op.reg + "'", op.line,
+                   op.col);
+}
+
+void Parser::emitCall(
+    const GateCall& call,
+    const std::function<void(std::unique_ptr<ir::Operation>)>& sink) {
+  // Resolve operands (with broadcasting over same-size registers).
+  std::vector<std::vector<Qubit>> resolved;
+  std::size_t broadcast = 1;
+  for (const auto& op : call.operands) {
+    resolved.push_back(resolveQubit(op));
+    if (resolved.back().size() > 1) {
+      if (broadcast != 1 && resolved.back().size() != broadcast) {
+        throw ParseError("register size mismatch in broadcast", op.line,
+                         op.col);
+      }
+      broadcast = resolved.back().size();
+    }
+  }
+  std::map<std::string, double> emptyEnv;
+  for (std::size_t b = 0; b < broadcast; ++b) {
+    std::vector<Qubit> qubits;
+    qubits.reserve(resolved.size());
+    for (const auto& r : resolved) {
+      qubits.push_back(r.size() == 1 ? r[0] : r[b]);
+    }
+    // duplicate-operand check
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+      for (std::size_t j = i + 1; j < qubits.size(); ++j) {
+        if (qubits[i] == qubits[j]) {
+          throw ParseError("duplicate qubit operand in gate call", call.line,
+                           call.col);
+        }
+      }
+    }
+    expandCall(call, qubits, emptyEnv, sink);
+  }
+}
+
+void Parser::expandCall(
+    const GateCall& call, const std::vector<Qubit>& qubits,
+    const std::map<std::string, double>& env,
+    const std::function<void(std::unique_ptr<ir::Operation>)>& sink) {
+  std::vector<double> params;
+  params.reserve(call.params.size());
+  for (const auto& p : call.params) {
+    params.push_back(evaluate(*p, env, call.line, call.col));
+  }
+  if (call.name == "barrier") {
+    sink(std::make_unique<ir::NonUnitaryOperation>(ir::OpType::Barrier,
+                                                   qubits));
+    return;
+  }
+  if (tryBuiltin(call.name, params, qubits, call.extraControls, call.line,
+                 call.col, sink)) {
+    return;
+  }
+  if (call.extraControls > 0) {
+    throw ParseError("the c(N) control prefix only applies to builtin gates",
+                     call.line, call.col);
+  }
+  const auto it = gateDecls.find(call.name);
+  if (it == gateDecls.end()) {
+    throw ParseError("unknown gate '" + call.name + "'", call.line, call.col);
+  }
+  const GateDecl& decl = it->second;
+  if (decl.opaque) {
+    throw ParseError("cannot apply opaque gate '" + call.name + "'",
+                     call.line, call.col);
+  }
+  if (params.size() != decl.paramNames.size()) {
+    throw ParseError("gate '" + call.name + "' expects " +
+                         std::to_string(decl.paramNames.size()) +
+                         " parameter(s)",
+                     call.line, call.col);
+  }
+  if (qubits.size() != decl.argNames.size()) {
+    throw ParseError("gate '" + call.name + "' expects " +
+                         std::to_string(decl.argNames.size()) + " operand(s)",
+                     call.line, call.col);
+  }
+  std::map<std::string, double> innerEnv;
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    innerEnv[decl.paramNames[k]] = params[k];
+  }
+  std::map<std::string, Qubit> argMap;
+  for (std::size_t k = 0; k < qubits.size(); ++k) {
+    argMap[decl.argNames[k]] = qubits[k];
+  }
+  // Expand the body into a labelled compound operation, so that steppers and
+  // visualizers treat one source-level gate as one step (as the tool does).
+  auto compound = std::make_unique<ir::CompoundOperation>(call.name);
+  for (const auto& bodyCall : decl.body) {
+    std::vector<Qubit> bodyQubits;
+    bodyQubits.reserve(bodyCall.operands.size());
+    for (const auto& formal : bodyCall.operands) {
+      const auto mapped = argMap.find(formal.reg);
+      if (mapped == argMap.end()) {
+        throw ParseError("unknown gate argument '" + formal.reg + "'",
+                         formal.line, formal.col);
+      }
+      bodyQubits.push_back(mapped->second);
+    }
+    expandCall(bodyCall, bodyQubits, innerEnv,
+               [&](std::unique_ptr<ir::Operation> op) {
+                 compound->emplaceBack(std::move(op));
+               });
+  }
+  if (compound->size() == 1) {
+    // single-operation gates need no grouping
+    sink(compound->operations().front()->clone());
+  } else {
+    sink(std::move(compound));
+  }
+}
+
+bool Parser::tryBuiltin(
+    const std::string& name, const std::vector<double>& params,
+    const std::vector<Qubit>& qubits, std::size_t extraControls,
+    std::size_t line, std::size_t col,
+    const std::function<void(std::unique_ptr<ir::Operation>)>& sink) {
+  using ir::OpType;
+  using ir::StandardOperation;
+
+  struct Builtin {
+    OpType type;
+    std::size_t numParams;
+    std::size_t numControls;
+    std::size_t numTargets;
+  };
+  static const std::map<std::string, Builtin> BUILTINS = {
+      {"U", {OpType::U3, 3, 0, 1}},      {"u3", {OpType::U3, 3, 0, 1}},
+      {"u2", {OpType::U2, 2, 0, 1}},     {"u1", {OpType::Phase, 1, 0, 1}},
+      {"p", {OpType::Phase, 1, 0, 1}},   {"id", {OpType::I, 0, 0, 1}},
+      {"x", {OpType::X, 0, 0, 1}},       {"y", {OpType::Y, 0, 0, 1}},
+      {"z", {OpType::Z, 0, 0, 1}},       {"h", {OpType::H, 0, 0, 1}},
+      {"s", {OpType::S, 0, 0, 1}},       {"sdg", {OpType::Sdg, 0, 0, 1}},
+      {"t", {OpType::T, 0, 0, 1}},       {"tdg", {OpType::Tdg, 0, 0, 1}},
+      {"sx", {OpType::SX, 0, 0, 1}},     {"sxdg", {OpType::SXdg, 0, 0, 1}},
+      {"v", {OpType::V, 0, 0, 1}},       {"vdg", {OpType::Vdg, 0, 0, 1}},
+      {"rx", {OpType::RX, 1, 0, 1}},     {"ry", {OpType::RY, 1, 0, 1}},
+      {"rz", {OpType::RZ, 1, 0, 1}},     {"CX", {OpType::X, 0, 1, 1}},
+      {"cx", {OpType::X, 0, 1, 1}},      {"cy", {OpType::Y, 0, 1, 1}},
+      {"cz", {OpType::Z, 0, 1, 1}},      {"ch", {OpType::H, 0, 1, 1}},
+      {"cs", {OpType::S, 0, 1, 1}},      {"csdg", {OpType::Sdg, 0, 1, 1}},
+      {"crx", {OpType::RX, 1, 1, 1}},    {"cry", {OpType::RY, 1, 1, 1}},
+      {"crz", {OpType::RZ, 1, 1, 1}},    {"cp", {OpType::Phase, 1, 1, 1}},
+      {"cu1", {OpType::Phase, 1, 1, 1}}, {"cu3", {OpType::U3, 3, 1, 1}},
+      {"ccx", {OpType::X, 0, 2, 1}},     {"swap", {OpType::SWAP, 0, 0, 2}},
+      {"cswap", {OpType::SWAP, 0, 1, 2}},
+      {"iswap", {OpType::iSWAP, 0, 0, 2}},
+      {"iswapdg", {OpType::iSWAPdg, 0, 0, 2}},
+      {"dcx", {OpType::DCX, 0, 0, 2}},
+  };
+  const auto it = BUILTINS.find(name);
+  if (it == BUILTINS.end()) {
+    return false;
+  }
+  const Builtin& b = it->second;
+  const std::size_t numControls = b.numControls + extraControls;
+  if (params.size() != b.numParams) {
+    throw ParseError("gate '" + name + "' expects " +
+                         std::to_string(b.numParams) + " parameter(s)",
+                     line, col);
+  }
+  if (qubits.size() != numControls + b.numTargets) {
+    throw ParseError("gate '" + name + "' expects " +
+                         std::to_string(numControls + b.numTargets) +
+                         " operand(s)",
+                     line, col);
+  }
+  QubitControls controls;
+  for (std::size_t k = 0; k < numControls; ++k) {
+    controls.push_back({qubits[k], true});
+  }
+  std::vector<Qubit> targets(qubits.begin() +
+                                 static_cast<std::ptrdiff_t>(numControls),
+                             qubits.end());
+  sink(std::make_unique<StandardOperation>(b.type, controls,
+                                           std::move(targets), params));
+  return true;
+}
+
+} // namespace detail
+} // namespace qdd::qasm

@@ -1,0 +1,199 @@
+#include "qdd/parser/real/RealParser.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace qdd::real {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("real:" + std::to_string(line) + ": " + message);
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::istringstream ss(text);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (ss >> tok) {
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+} // namespace
+
+ir::QuantumComputation parse(const std::string& source,
+                             const std::string& name) {
+  ir::QuantumComputation qc;
+  qc.setName(name);
+
+  std::map<std::string, Qubit> variables;
+  std::size_t numvars = 0;
+  bool inBody = false;
+  bool ended = false;
+
+  std::istringstream in(source);
+  std::string lineText;
+  std::size_t lineNo = 0;
+  while (std::getline(in, lineText)) {
+    ++lineNo;
+    // strip comments
+    if (const auto hash = lineText.find('#'); hash != std::string::npos) {
+      lineText.resize(hash);
+    }
+    const auto tokens = tokenize(lineText);
+    if (tokens.empty() || ended) {
+      continue;
+    }
+    const std::string& head = tokens[0];
+
+    if (head[0] == '.') {
+      if (head == ".version" || head == ".inputs" || head == ".outputs" ||
+          head == ".constants" || head == ".garbage" ||
+          head == ".inputbus" || head == ".outputbus" || head == ".define") {
+        continue; // metadata we do not act on
+      }
+      if (head == ".numvars") {
+        if (tokens.size() != 2) {
+          fail(lineNo, ".numvars expects one argument");
+        }
+        numvars = std::stoul(tokens[1]);
+        if (numvars == 0) {
+          fail(lineNo, "number of variables must be positive");
+        }
+        qc.addQubitRegister(numvars, "q");
+        continue;
+      }
+      if (head == ".variables") {
+        if (numvars == 0) {
+          fail(lineNo, ".variables before .numvars");
+        }
+        if (tokens.size() != numvars + 1) {
+          fail(lineNo, "variable count does not match .numvars");
+        }
+        for (std::size_t k = 1; k < tokens.size(); ++k) {
+          // first variable = topmost line = most-significant qubit
+          const auto q = static_cast<Qubit>(numvars - k);
+          if (!variables.emplace(tokens[k], q).second) {
+            fail(lineNo, "duplicate variable '" + tokens[k] + "'");
+          }
+        }
+        continue;
+      }
+      if (head == ".begin") {
+        if (variables.empty()) {
+          fail(lineNo, ".begin before variable declarations");
+        }
+        inBody = true;
+        continue;
+      }
+      if (head == ".end") {
+        ended = true;
+        continue;
+      }
+      fail(lineNo, "unknown directive '" + head + "'");
+    }
+
+    if (!inBody) {
+      fail(lineNo, "gate line before .begin");
+    }
+
+    // gate line: mnemonic operand...
+    const std::string& mnemonic = head;
+    QubitControls controls;
+    std::vector<Qubit> operands;
+    for (std::size_t k = 1; k < tokens.size(); ++k) {
+      std::string var = tokens[k];
+      bool positive = true;
+      if (!var.empty() && var[0] == '-') {
+        positive = false;
+        var = var.substr(1);
+      }
+      const auto it = variables.find(var);
+      if (it == variables.end()) {
+        fail(lineNo, "unknown variable '" + var + "'");
+      }
+      operands.push_back(it->second);
+      if (!positive) {
+        // remember polarity positionally; resolved below
+        controls.push_back({it->second, false});
+      }
+    }
+    const auto isNegative = [&](Qubit q) {
+      for (const auto& c : controls) {
+        if (c.qubit == q) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    const auto makeControls = [&](std::size_t count) {
+      QubitControls cs;
+      for (std::size_t k = 0; k < count; ++k) {
+        cs.push_back({operands[k], !isNegative(operands[k])});
+      }
+      return cs;
+    };
+
+    if (mnemonic.size() >= 2 && mnemonic[0] == 't') {
+      const std::size_t arity = std::stoul(mnemonic.substr(1));
+      if (arity == 0 || operands.size() != arity) {
+        fail(lineNo, "gate '" + mnemonic + "' expects " +
+                         std::to_string(arity) + " operands");
+      }
+      qc.addStandard(ir::OpType::X, makeControls(arity - 1),
+                     {operands[arity - 1]});
+      continue;
+    }
+    if (mnemonic.size() >= 2 && mnemonic[0] == 'f') {
+      const std::size_t arity = std::stoul(mnemonic.substr(1));
+      if (arity < 2 || operands.size() != arity) {
+        fail(lineNo, "gate '" + mnemonic + "' expects " +
+                         std::to_string(arity) + " operands");
+      }
+      qc.addStandard(ir::OpType::SWAP, makeControls(arity - 2),
+                     {operands[arity - 2], operands[arity - 1]});
+      continue;
+    }
+    if (mnemonic == "v" || mnemonic == "v+") {
+      if (operands.size() < 1) {
+        fail(lineNo, "gate 'v' expects at least one operand");
+      }
+      qc.addStandard(mnemonic == "v" ? ir::OpType::V : ir::OpType::Vdg,
+                     makeControls(operands.size() - 1), {operands.back()});
+      continue;
+    }
+    fail(lineNo, "unsupported gate '" + mnemonic + "'");
+  }
+  if (inBody && !ended) {
+    fail(lineNo, "missing .end");
+  }
+  if (qc.numQubits() == 0) {
+    fail(lineNo, "no variables declared");
+  }
+  return qc;
+}
+
+ir::QuantumComputation parseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open file: " + path);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string name = path;
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+  if (const auto dot = name.find_last_of('.'); dot != std::string::npos) {
+    name = name.substr(0, dot);
+  }
+  return parse(ss.str(), name);
+}
+
+} // namespace qdd::real

@@ -1,0 +1,238 @@
+#include "qdd/sim/DensityMatrixSimulator.hpp"
+
+#include "qdd/bridge/DDBuilder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qdd::sim {
+
+namespace {
+constexpr double PROB_EPS = 1e-12;
+} // namespace
+
+DensityMatrixSimulator::DensityMatrixSimulator(
+    const ir::QuantumComputation& circuit, Package& package)
+    : qc(circuit), pkg(package) {
+  if (qc.numQubits() == 0) {
+    throw std::invalid_argument("DensityMatrixSimulator: empty circuit");
+  }
+  pkg.resize(qc.numQubits());
+  // rho = |0...0><0...0| = product of the per-qubit |0><0| projectors
+  GateMatrix p0{};
+  p0[0] = ComplexValue{1., 0.};
+  mEdge rho = pkg.makeGateDD(p0, qc.numQubits(), 0);
+  for (std::size_t q = 1; q < qc.numQubits(); ++q) {
+    rho = pkg.multiply(
+        pkg.makeGateDD(p0, qc.numQubits(), static_cast<Qubit>(q)), rho);
+  }
+  pkg.incRef(rho);
+  branches.push_back({rho, std::vector<bool>(qc.numClbits(), false)});
+}
+
+DensityMatrixSimulator::~DensityMatrixSimulator() {
+  for (auto& branch : branches) {
+    pkg.decRef(branch.rho);
+  }
+}
+
+mEdge DensityMatrixSimulator::projector(Qubit q, bool outcome) {
+  GateMatrix p{};
+  p[outcome ? 3 : 0] = ComplexValue{1., 0.};
+  return pkg.makeGateDD(p, qc.numQubits(), q);
+}
+
+void DensityMatrixSimulator::applyUnitary(const ir::Operation& op,
+                                          Branch& branch) {
+  const mEdge u = bridge::getDD(op, qc.numQubits(), pkg);
+  const mEdge udg = pkg.conjugateTranspose(u);
+  const mEdge next = pkg.multiply(u, pkg.multiply(branch.rho, udg));
+  pkg.incRef(next);
+  pkg.decRef(branch.rho);
+  branch.rho = next;
+}
+
+void DensityMatrixSimulator::setNoiseModel(NoiseModel model) {
+  if (executed) {
+    throw std::logic_error("setNoiseModel: simulation already executed");
+  }
+  for (const auto& channel : model.afterGate) {
+    if (!channel.isTracePreserving()) {
+      throw std::invalid_argument("setNoiseModel: channel '" + channel.name +
+                                  "' is not trace preserving");
+    }
+  }
+  noise = std::move(model);
+}
+
+void DensityMatrixSimulator::applyChannel(const KrausChannel& channel,
+                                          Qubit q, Branch& branch) {
+  // rho -> sum_k E_k rho E_k^dagger
+  mEdge sum = mEdge::zero();
+  for (const auto& kraus : channel.operators) {
+    const mEdge e = pkg.makeGateDD(kraus, qc.numQubits(), q);
+    const mEdge edg = pkg.conjugateTranspose(e);
+    sum = pkg.add(sum, pkg.multiply(e, pkg.multiply(branch.rho, edg)));
+  }
+  pkg.incRef(sum);
+  pkg.decRef(branch.rho);
+  branch.rho = sum;
+}
+
+void DensityMatrixSimulator::applyNoiseAfter(const ir::Operation& op,
+                                             Branch& branch) {
+  if (noise.empty()) {
+    return;
+  }
+  for (const Qubit q : op.usedQubits()) {
+    for (const auto& channel : noise.afterGate) {
+      applyChannel(channel, q, branch);
+    }
+  }
+}
+
+void DensityMatrixSimulator::applyReset(Qubit q, Branch& branch) {
+  // rho -> P0 rho P0 + X P1 rho P1 X   (exact, no dialog required)
+  const mEdge p0 = projector(q, false);
+  const mEdge p1 = projector(q, true);
+  const mEdge x = pkg.makeGateDD(X_MAT, qc.numQubits(), q);
+  const mEdge keep = pkg.multiply(p0, pkg.multiply(branch.rho, p0));
+  const mEdge flip = pkg.multiply(
+      x, pkg.multiply(p1, pkg.multiply(branch.rho, pkg.multiply(p1, x))));
+  const mEdge next = pkg.add(keep, flip);
+  pkg.incRef(next);
+  pkg.decRef(branch.rho);
+  branch.rho = next;
+}
+
+std::vector<DensityMatrixSimulator::Branch>
+DensityMatrixSimulator::applyMeasure(const ir::NonUnitaryOperation& op,
+                                     Branch branch) {
+  std::vector<Branch> current;
+  current.push_back(std::move(branch));
+  for (std::size_t k = 0; k < op.targets().size(); ++k) {
+    const Qubit q = op.targets()[k];
+    const std::size_t clbit = op.classics()[k];
+    std::vector<Branch> next;
+    for (auto& b : current) {
+      for (const bool outcome : {false, true}) {
+        const mEdge p = projector(q, outcome);
+        const mEdge projected =
+            pkg.multiply(p, pkg.multiply(b.rho, p));
+        const double prob = pkg.trace(projected).re;
+        if (prob <= PROB_EPS) {
+          continue;
+        }
+        Branch nb;
+        nb.rho = projected;
+        pkg.incRef(nb.rho);
+        nb.classicals = b.classicals;
+        if (clbit < nb.classicals.size()) {
+          nb.classicals[clbit] = outcome;
+        }
+        next.push_back(std::move(nb));
+      }
+      pkg.decRef(b.rho);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+void DensityMatrixSimulator::run() {
+  if (executed) {
+    throw std::logic_error("DensityMatrixSimulator: already executed");
+  }
+  executed = true;
+  for (const auto& op : qc) {
+    switch (op->type()) {
+    case ir::OpType::Barrier:
+      break;
+    case ir::OpType::Measure: {
+      const auto& m = static_cast<const ir::NonUnitaryOperation&>(*op);
+      std::vector<Branch> next;
+      for (auto& branch : branches) {
+        auto split = applyMeasure(m, std::move(branch));
+        for (auto& b : split) {
+          next.push_back(std::move(b));
+        }
+      }
+      branches = std::move(next);
+      break;
+    }
+    case ir::OpType::Reset: {
+      for (auto& branch : branches) {
+        for (const Qubit q : op->targets()) {
+          applyReset(q, branch);
+        }
+      }
+      break;
+    }
+    case ir::OpType::ClassicControlled: {
+      const auto& cc =
+          static_cast<const ir::ClassicControlledOperation&>(*op);
+      for (auto& branch : branches) {
+        if (cc.conditionSatisfied(branch.classicals)) {
+          applyUnitary(cc.operation(), branch);
+        }
+      }
+      break;
+    }
+    default:
+      for (auto& branch : branches) {
+        applyUnitary(*op, branch);
+        applyNoiseAfter(*op, branch);
+      }
+      break;
+    }
+    pkg.garbageCollect();
+  }
+}
+
+mEdge DensityMatrixSimulator::densityMatrix() {
+  mEdge sum = mEdge::zero();
+  for (const auto& branch : branches) {
+    sum = pkg.add(sum, branch.rho);
+  }
+  const double total = pkg.trace(sum).re;
+  if (total > PROB_EPS && std::abs(total - 1.) > PROB_EPS) {
+    sum.w = pkg.lookup(sum.w.toValue() * (1. / total));
+  }
+  return sum;
+}
+
+double DensityMatrixSimulator::probabilityOfOne(Qubit q) {
+  double p = 0.;
+  double total = 0.;
+  const mEdge p1 = projector(q, true);
+  for (const auto& branch : branches) {
+    p += pkg.trace(pkg.multiply(p1, branch.rho)).re;
+    total += pkg.trace(branch.rho).re;
+  }
+  return total > PROB_EPS ? p / total : 0.;
+}
+
+std::map<std::string, double>
+DensityMatrixSimulator::classicalDistribution() {
+  std::map<std::string, double> dist;
+  if (qc.numClbits() == 0) {
+    return dist;
+  }
+  for (const auto& branch : branches) {
+    std::string bits(qc.numClbits(), '0');
+    for (std::size_t c = 0; c < qc.numClbits(); ++c) {
+      if (branch.classicals[c]) {
+        bits[qc.numClbits() - 1 - c] = '1';
+      }
+    }
+    dist[bits] += pkg.trace(branch.rho).re;
+  }
+  return dist;
+}
+
+double DensityMatrixSimulator::purity() {
+  const mEdge rho = densityMatrix();
+  return pkg.trace(pkg.multiply(rho, rho)).re;
+}
+
+} // namespace qdd::sim

@@ -1,0 +1,108 @@
+#include "qdd/sim/NoiseModel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qdd::sim {
+
+bool KrausChannel::isTracePreserving(double tol) const {
+  // sum_k E_k^dagger E_k == I
+  double s00r = 0.;
+  double s00i = 0.;
+  double s01r = 0.;
+  double s01i = 0.;
+  double s11r = 0.;
+  double s11i = 0.;
+  for (const auto& e : operators) {
+    // (E^dagger E)_{ij} = sum_m conj(E_{mi}) E_{mj}
+    const ComplexValue e00 = e[0];
+    const ComplexValue e01 = e[1];
+    const ComplexValue e10 = e[2];
+    const ComplexValue e11 = e[3];
+    const ComplexValue d00 = e00.conj() * e00 + e10.conj() * e10;
+    const ComplexValue d01 = e00.conj() * e01 + e10.conj() * e11;
+    const ComplexValue d11 = e01.conj() * e01 + e11.conj() * e11;
+    s00r += d00.re;
+    s00i += d00.im;
+    s01r += d01.re;
+    s01i += d01.im;
+    s11r += d11.re;
+    s11i += d11.im;
+  }
+  return std::abs(s00r - 1.) <= tol && std::abs(s00i) <= tol &&
+         std::abs(s01r) <= tol && std::abs(s01i) <= tol &&
+         std::abs(s11r - 1.) <= tol && std::abs(s11i) <= tol;
+}
+
+namespace {
+void checkProbability(double p, const char* what) {
+  if (p < 0. || p > 1.) {
+    throw std::invalid_argument(std::string(what) +
+                                ": probability must be in [0, 1]");
+  }
+}
+} // namespace
+
+KrausChannel depolarizing(double p) {
+  checkProbability(p, "depolarizing");
+  const double keep = std::sqrt(1. - 3. * p / 4.);
+  const double err = std::sqrt(p / 4.);
+  KrausChannel ch{"depolarizing", {}};
+  ch.operators.push_back({ComplexValue{keep, 0.}, ComplexValue{},
+                          ComplexValue{}, ComplexValue{keep, 0.}});
+  ch.operators.push_back({ComplexValue{}, ComplexValue{err, 0.},
+                          ComplexValue{err, 0.}, ComplexValue{}}); // X
+  ch.operators.push_back({ComplexValue{}, ComplexValue{0., -err},
+                          ComplexValue{0., err}, ComplexValue{}}); // Y
+  ch.operators.push_back({ComplexValue{err, 0.}, ComplexValue{},
+                          ComplexValue{}, ComplexValue{-err, 0.}}); // Z
+  return ch;
+}
+
+KrausChannel amplitudeDamping(double gamma) {
+  checkProbability(gamma, "amplitudeDamping");
+  KrausChannel ch{"amplitude-damping", {}};
+  ch.operators.push_back({ComplexValue{1., 0.}, ComplexValue{},
+                          ComplexValue{},
+                          ComplexValue{std::sqrt(1. - gamma), 0.}});
+  ch.operators.push_back({ComplexValue{}, ComplexValue{std::sqrt(gamma), 0.},
+                          ComplexValue{}, ComplexValue{}});
+  return ch;
+}
+
+KrausChannel phaseDamping(double lambda) {
+  checkProbability(lambda, "phaseDamping");
+  KrausChannel ch{"phase-damping", {}};
+  ch.operators.push_back({ComplexValue{1., 0.}, ComplexValue{},
+                          ComplexValue{},
+                          ComplexValue{std::sqrt(1. - lambda), 0.}});
+  ch.operators.push_back({ComplexValue{}, ComplexValue{}, ComplexValue{},
+                          ComplexValue{std::sqrt(lambda), 0.}});
+  return ch;
+}
+
+KrausChannel bitFlip(double p) {
+  checkProbability(p, "bitFlip");
+  const double keep = std::sqrt(1. - p);
+  const double flip = std::sqrt(p);
+  KrausChannel ch{"bit-flip", {}};
+  ch.operators.push_back({ComplexValue{keep, 0.}, ComplexValue{},
+                          ComplexValue{}, ComplexValue{keep, 0.}});
+  ch.operators.push_back({ComplexValue{}, ComplexValue{flip, 0.},
+                          ComplexValue{flip, 0.}, ComplexValue{}});
+  return ch;
+}
+
+KrausChannel phaseFlip(double p) {
+  checkProbability(p, "phaseFlip");
+  const double keep = std::sqrt(1. - p);
+  const double flip = std::sqrt(p);
+  KrausChannel ch{"phase-flip", {}};
+  ch.operators.push_back({ComplexValue{keep, 0.}, ComplexValue{},
+                          ComplexValue{}, ComplexValue{keep, 0.}});
+  ch.operators.push_back({ComplexValue{flip, 0.}, ComplexValue{},
+                          ComplexValue{}, ComplexValue{-flip, 0.}});
+  return ch;
+}
+
+} // namespace qdd::sim

@@ -1,0 +1,272 @@
+#include "qdd/sim/SimulationSession.hpp"
+
+#include <stdexcept>
+
+namespace qdd::sim {
+
+SimulationSession::SimulationSession(const ir::QuantumComputation& circuit,
+                                     Package& package, std::uint64_t seed)
+    : qc(circuit), pkg(package), rng(seed) {
+  if (qc.numQubits() == 0) {
+    throw std::invalid_argument("SimulationSession: circuit has no qubits");
+  }
+  pkg.resize(qc.numQubits());
+  current = pkg.makeZeroState(qc.numQubits());
+  pkg.incRef(current);
+  classicals.assign(qc.numClbits(), false);
+  peak = Package::size(current);
+}
+
+SimulationSession::~SimulationSession() {
+  pkg.decRef(current);
+  for (const auto& snap : snapshots) {
+    pkg.decRef(snap.state);
+  }
+}
+
+const ir::Operation* SimulationSession::nextOperation() const {
+  return atEnd() ? nullptr : &qc.at(pos);
+}
+
+std::size_t SimulationSession::currentNodes() const {
+  return Package::size(current);
+}
+
+bool SimulationSession::isSpecial(const ir::Operation& op) {
+  switch (op.type()) {
+  case ir::OpType::Barrier:
+  case ir::OpType::Measure:
+  case ir::OpType::Reset:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void SimulationSession::pushSnapshot() {
+  pkg.incRef(current);
+  snapshots.push_back({current, classicals});
+}
+
+int SimulationSession::chooseOutcome(Qubit q, double p1) {
+  const double tol = pkg.tolerance();
+  if (p1 <= tol) {
+    return 0; // deterministic, no dialog (as in the tool)
+  }
+  if (p1 >= 1. - tol) {
+    return 1;
+  }
+  if (outcomeChooser) {
+    const int outcome = outcomeChooser(q, 1. - p1, p1);
+    if (outcome != 0 && outcome != 1) {
+      throw std::invalid_argument("outcome chooser must return 0 or 1");
+    }
+    return outcome;
+  }
+  std::uniform_real_distribution<double> dist(0., 1.);
+  return dist(rng) < p1 ? 1 : 0;
+}
+
+void SimulationSession::applyUnitary(const ir::Operation& op) {
+  const mEdge gate = bridge::getDD(op, qc.numQubits(), pkg);
+  const vEdge next = pkg.multiply(gate, current);
+  pkg.incRef(next);
+  pkg.decRef(current);
+  current = next;
+}
+
+void SimulationSession::applyMeasurement(const ir::NonUnitaryOperation& op) {
+  const auto& qubits = op.targets();
+  const auto& clbits = op.classics();
+  for (std::size_t k = 0; k < qubits.size(); ++k) {
+    const Qubit q = qubits[k];
+    const double p1 = pkg.probabilityOfOne(current, q);
+    const int outcome = chooseOutcome(q, p1);
+    pkg.forceMeasureOne(current, q, outcome == 1);
+    classicals.at(clbits[k]) = (outcome == 1);
+  }
+}
+
+void SimulationSession::applyReset(const ir::NonUnitaryOperation& op) {
+  for (const Qubit q : op.targets()) {
+    const double p1 = pkg.probabilityOfOne(current, q);
+    const int outcome = chooseOutcome(q, p1);
+    pkg.resetQubitTo(current, q, outcome == 1);
+  }
+}
+
+bool SimulationSession::stepForward() {
+  if (atEnd()) {
+    return false;
+  }
+  const ir::Operation& op = qc.at(pos);
+  pushSnapshot();
+  switch (op.type()) {
+  case ir::OpType::Barrier:
+    break; // no-op; serves as breakpoint only
+  case ir::OpType::Measure:
+    applyMeasurement(static_cast<const ir::NonUnitaryOperation&>(op));
+    break;
+  case ir::OpType::Reset:
+    applyReset(static_cast<const ir::NonUnitaryOperation&>(op));
+    break;
+  case ir::OpType::ClassicControlled: {
+    const auto& cc = static_cast<const ir::ClassicControlledOperation&>(op);
+    if (cc.conditionSatisfied(classicals)) {
+      applyUnitary(cc.operation());
+    }
+    break;
+  }
+  default:
+    applyUnitary(op);
+    break;
+  }
+  ++pos;
+  const std::size_t nodes = Package::size(current);
+  peak = std::max(peak, nodes);
+  history.push_back(nodes);
+  pkg.garbageCollect();
+  return true;
+}
+
+bool SimulationSession::stepBackward() {
+  if (atStart()) {
+    return false;
+  }
+  Snapshot snap = snapshots.back();
+  snapshots.pop_back();
+  pkg.decRef(current);
+  current = snap.state; // snapshot already holds a reference
+  classicals = std::move(snap.classicals);
+  --pos;
+  if (!history.empty()) {
+    history.pop_back();
+  }
+  return true;
+}
+
+std::size_t SimulationSession::runToEnd() {
+  std::size_t steps = 0;
+  while (!atEnd()) {
+    const ir::Operation& op = qc.at(pos);
+    stepForward();
+    ++steps;
+    if (isSpecial(op)) {
+      // barriers, measurements, and resets act as breakpoints (Sec. IV-B)
+      break;
+    }
+  }
+  return steps;
+}
+
+std::size_t SimulationSession::runToStart() {
+  std::size_t steps = 0;
+  while (stepBackward()) {
+    ++steps;
+  }
+  return steps;
+}
+
+// --- sampling ([16]) ------------------------------------------------------------
+
+namespace {
+
+bool isDynamic(const ir::QuantumComputation& qc) {
+  bool seenMeasure = false;
+  for (const auto& op : qc) {
+    switch (op->type()) {
+    case ir::OpType::Reset:
+    case ir::OpType::ClassicControlled:
+      return true;
+    case ir::OpType::Measure:
+      seenMeasure = true;
+      break;
+    case ir::OpType::Barrier:
+      break;
+    default:
+      if (seenMeasure) {
+        return true; // unitary after measurement: mid-circuit measurement
+      }
+      break;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+SamplingResult sampleCircuit(const ir::QuantumComputation& qc,
+                             std::size_t shots, std::uint64_t seed) {
+  SamplingResult result;
+  result.shots = shots;
+  std::mt19937_64 rng(seed);
+
+  // Collect the (final) measurement map qubit -> classical bit.
+  std::vector<std::pair<Qubit, std::size_t>> measurements;
+  for (const auto& op : qc) {
+    if (op->type() == ir::OpType::Measure) {
+      const auto& m = static_cast<const ir::NonUnitaryOperation&>(*op);
+      for (std::size_t k = 0; k < m.targets().size(); ++k) {
+        measurements.emplace_back(m.targets()[k], m.classics()[k]);
+      }
+    }
+  }
+
+  if (!isDynamic(qc)) {
+    // Weak simulation: one strong pass, then repeated non-destructive
+    // sampling from the final decision diagram.
+    Package pkg(qc.numQubits());
+    // strip measurements (they are all final)
+    ir::QuantumComputation stripped(qc.numQubits(), qc.numClbits(),
+                                    qc.name());
+    for (const auto& op : qc) {
+      if (op->type() != ir::OpType::Measure) {
+        stripped.emplaceBack(op->clone());
+      }
+    }
+    const vEdge finalState =
+        bridge::simulate(stripped, pkg.makeZeroState(qc.numQubits()), pkg);
+    pkg.incRef(finalState);
+    for (std::size_t s = 0; s < shots; ++s) {
+      const std::string qubitString = pkg.sample(finalState, rng);
+      if (measurements.empty()) {
+        ++result.counts[qubitString];
+        continue;
+      }
+      const std::size_t n = qc.numQubits();
+      std::string bits(qc.numClbits(), '0');
+      for (const auto& [q, c] : measurements) {
+        bits[qc.numClbits() - 1 - c] =
+            qubitString[n - 1 - static_cast<std::size_t>(q)];
+      }
+      ++result.counts[bits];
+    }
+    pkg.decRef(finalState);
+    return result;
+  }
+
+  // Dynamic circuit: execute shot by shot. One shared package across all
+  // shots — constructing the unique/compute tables per shot would dominate.
+  std::uniform_int_distribution<std::uint64_t> seeder;
+  Package pkg(qc.numQubits());
+  for (std::size_t s = 0; s < shots; ++s) {
+    SimulationSession session(qc, pkg, seeder(rng));
+    while (session.stepForward()) {
+    }
+    if (measurements.empty()) {
+      std::mt19937_64 sampleRng(seeder(rng));
+      ++result.counts[pkg.sample(session.state(), sampleRng)];
+      continue;
+    }
+    std::string bits(qc.numClbits(), '0');
+    for (std::size_t c = 0; c < qc.numClbits(); ++c) {
+      if (session.classicalBits()[c]) {
+        bits[qc.numClbits() - 1 - c] = '1';
+      }
+    }
+    ++result.counts[bits];
+  }
+  return result;
+}
+
+} // namespace qdd::sim

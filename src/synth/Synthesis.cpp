@@ -1,0 +1,138 @@
+#include "qdd/synth/Synthesis.hpp"
+
+#include <algorithm>
+#include <complex>
+#include <stdexcept>
+
+namespace qdd::synth {
+
+namespace {
+
+std::size_t log2Exact(std::size_t len) {
+  std::size_t n = 0;
+  while ((1ULL << n) < len) {
+    ++n;
+  }
+  if ((1ULL << n) != len) {
+    throw std::invalid_argument(
+        "synthesizePermutation: table length must be a power of two");
+  }
+  return n;
+}
+
+void validatePermutation(const std::vector<std::uint64_t>& permutation) {
+  std::vector<bool> seen(permutation.size(), false);
+  for (const std::uint64_t v : permutation) {
+    if (v >= permutation.size() || seen[v]) {
+      throw std::invalid_argument(
+          "synthesizePermutation: not a permutation");
+    }
+    seen[v] = true;
+  }
+}
+
+/// A multi-controlled X recorded during the MMD sweep.
+struct Gate {
+  std::uint64_t controls = 0; ///< bit mask of (positive) control qubits
+  Qubit target = 0;
+};
+
+void applyToTable(std::vector<std::uint64_t>& f, const Gate& g) {
+  for (auto& y : f) {
+    if ((y & g.controls) == g.controls) {
+      y ^= (1ULL << static_cast<unsigned>(g.target));
+    }
+  }
+}
+
+} // namespace
+
+ir::QuantumComputation
+synthesizePermutation(const std::vector<std::uint64_t>& permutation) {
+  if (permutation.size() < 2) {
+    throw std::invalid_argument("synthesizePermutation: empty table");
+  }
+  const std::size_t n = log2Exact(permutation.size());
+  if (n > 20) {
+    throw std::invalid_argument("synthesizePermutation: table too large");
+  }
+  validatePermutation(permutation);
+
+  std::vector<std::uint64_t> f = permutation;
+  std::vector<Gate> gates;
+
+  // Miller-Maslov-Dueck: walk the truth table in increasing input order and
+  // fix f(x) = x by applying gates on the *output side*; rows already fixed
+  // are provably untouched (their value x' < x can never contain the
+  // control set of any gate emitted while fixing row x).
+  for (std::uint64_t x = 0; x < f.size(); ++x) {
+    std::uint64_t y = f[x];
+    if (y == x) {
+      continue;
+    }
+    // step 1: set every bit of x missing in y (controls = ones(y))
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::uint64_t bit = 1ULL << p;
+      if ((x & bit) != 0 && (y & bit) == 0) {
+        const Gate g{y, static_cast<Qubit>(p)};
+        applyToTable(f, g);
+        gates.push_back(g);
+        y |= bit;
+      }
+    }
+    // step 2: clear every surplus bit of y (controls = ones(x))
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::uint64_t bit = 1ULL << p;
+      if ((x & bit) == 0 && (y & bit) != 0) {
+        const Gate g{x, static_cast<Qubit>(p)};
+        applyToTable(f, g);
+        gates.push_back(g);
+        y &= ~bit;
+      }
+    }
+  }
+
+  // The recorded gates transform f into the identity from the output side;
+  // the circuit realizing f is their reverse (all gates are self-inverse).
+  ir::QuantumComputation qc(n, 0, "synthesized");
+  for (auto it = gates.rbegin(); it != gates.rend(); ++it) {
+    QubitControls controls;
+    for (std::size_t p = 0; p < n; ++p) {
+      if ((it->controls >> p) & 1ULL) {
+        controls.push_back({static_cast<Qubit>(p), true});
+      }
+    }
+    qc.addStandard(ir::OpType::X, controls, {it->target});
+  }
+  return qc;
+}
+
+mEdge buildPermutationDD(Package& pkg,
+                         const std::vector<std::uint64_t>& permutation) {
+  const std::size_t n = log2Exact(permutation.size());
+  validatePermutation(permutation);
+  if (n > 12) {
+    throw std::invalid_argument("buildPermutationDD: too many qubits for "
+                                "dense construction");
+  }
+  const std::size_t dim = permutation.size();
+  std::vector<std::complex<double>> mat(dim * dim, {0., 0.});
+  for (std::size_t col = 0; col < dim; ++col) {
+    mat[permutation[col] * dim + col] = {1., 0.};
+  }
+  return pkg.makeMatrixFromDense(mat, n);
+}
+
+SynthesisStats analyze(const ir::QuantumComputation& qc) {
+  SynthesisStats stats;
+  for (const auto& op : qc) {
+    if (op->type() == ir::OpType::Barrier) {
+      continue;
+    }
+    ++stats.gates;
+    stats.maxControls = std::max(stats.maxControls, op->controls().size());
+  }
+  return stats;
+}
+
+} // namespace qdd::synth

@@ -1,0 +1,388 @@
+// qdd-tool: console counterpart of the paper's web tool
+// (https://iic.jku.at/eda/research/quantum_dd/tool), substituting the
+// browser UI with a terminal REPL (see DESIGN.md). Three modes mirror the
+// tool's tabs:
+//
+//   qdd-tool sim <circuit.{qasm,real}>        interactive simulation
+//   qdd-tool verify <left.qasm> <right.qasm>  interactive verification
+//   qdd-tool show <circuit.{qasm,real}>       one-shot: final DD + exports
+//
+// Interactive commands (simulation):
+//   f / step      step one operation forward        (the -> button)
+//   b / back      step one operation backward       (the <- button)
+//   e / end       run to end or next breakpoint     (the >>| button)
+//   s / start     rewind to the start               (the |<< button)
+//   d / dd        print the current DD
+//   v / state     print the state in Dirac notation
+//   x / export    write dd.dot / dd.svg / dd.json
+//   q / quit
+//
+// Measurement/reset outcomes are resolved via a prompt showing the
+// probabilities — the console version of the tool's pop-up dialog.
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+#include "qdd/ir/Mapping.hpp"
+#include "qdd/parser/qasm/Parser.hpp"
+#include "qdd/parser/real/RealParser.hpp"
+#include "qdd/synth/Synthesis.hpp"
+#include "qdd/sim/SimulationSession.hpp"
+#include "qdd/verify/VerificationSession.hpp"
+#include "qdd/viz/CircuitDiagram.hpp"
+#include "qdd/viz/DotExporter.hpp"
+#include "qdd/viz/TraceExporter.hpp"
+#include "qdd/viz/JsonExporter.hpp"
+#include "qdd/viz/SvgExporter.hpp"
+#include "qdd/viz/TextDump.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace qdd;
+
+ir::QuantumComputation load(const std::string& path) {
+  if (path.size() >= 5 && path.substr(path.size() - 5) == ".real") {
+    return real::parseFile(path);
+  }
+  return qasm::parseFile(path);
+}
+
+void exportAll(const viz::Graph& g, const std::string& prefix) {
+  viz::DotExporter({.style = viz::Style::Classic}).writeFile(prefix + ".dot",
+                                                             g);
+  viz::SvgExporter({.style = viz::Style::Classic,
+                    .edgeLabels = false,
+                    .colored = true,
+                    .magnitudeThickness = true})
+      .writeFile(prefix + ".svg", g);
+  viz::JsonExporter().writeFile(prefix + ".json", g);
+  std::printf("wrote %s.dot, %s.svg, %s.json\n", prefix.c_str(),
+              prefix.c_str(), prefix.c_str());
+}
+
+int promptOutcome(Qubit q, double p0, double p1) {
+  std::printf("qubit q%d is in superposition:\n"
+              "  [0] measure |0>  (probability %.2f%%)\n"
+              "  [1] measure |1>  (probability %.2f%%)\n"
+              "choice> ",
+              q, 100. * p0, 100. * p1);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line == "0" || line == "1") {
+      return line[0] - '0';
+    }
+    std::printf("please answer 0 or 1> ");
+  }
+  return p1 >= p0 ? 1 : 0; // EOF: deterministic fallback
+}
+
+void printState(Package& pkg, const vEdge& state) {
+  std::printf("state: %s  (%zu nodes)\n",
+              viz::toDirac(pkg, state).c_str(), Package::size(state));
+}
+
+int runSim(const std::string& path) {
+  const auto qc = load(path);
+  std::printf("loaded '%s': %zu qubits, %zu operations\n", path.c_str(),
+              qc.numQubits(), qc.size());
+  std::printf("%s\n", viz::circuitToAscii(qc).c_str());
+  Package pkg(qc.numQubits());
+  sim::SimulationSession session(qc, pkg);
+  session.setOutcomeChooser(promptOutcome);
+
+  printState(pkg, session.state());
+  std::printf("(f)orward (b)ack (e)nd (s)tart (d)d (v)state e(x)port "
+              "(q)uit\n");
+  std::string line;
+  std::printf("> ");
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) {
+      std::printf("> ");
+      continue;
+    }
+    const char c = line[0];
+    if (c == 'q') {
+      break;
+    }
+    switch (c) {
+    case 'f': {
+      if (const auto* op = session.nextOperation()) {
+        std::printf("applying: %s\n", op->name().c_str());
+      }
+      if (!session.stepForward()) {
+        std::printf("(already at the end)\n");
+      }
+      printState(pkg, session.state());
+      break;
+    }
+    case 'b':
+      if (!session.stepBackward()) {
+        std::printf("(already at the start)\n");
+      }
+      printState(pkg, session.state());
+      break;
+    case 'e': {
+      const std::size_t steps = session.runToEnd();
+      std::printf("advanced %zu operation(s); position %zu/%zu\n", steps,
+                  session.position(), session.numOperations());
+      printState(pkg, session.state());
+      break;
+    }
+    case 's':
+      session.runToStart();
+      printState(pkg, session.state());
+      break;
+    case 'd':
+      std::printf("%s",
+                  viz::asciiDump(viz::buildGraph(session.state())).c_str());
+      break;
+    case 'v':
+      printState(pkg, session.state());
+      break;
+    case 'x':
+      exportAll(viz::buildGraph(session.state()), "dd");
+      break;
+    default:
+      std::printf("unknown command '%c'\n", c);
+      break;
+    }
+    std::printf("> ");
+  }
+  return 0;
+}
+
+int runVerify(const std::string& leftPath, const std::string& rightPath) {
+  const auto left = load(leftPath);
+  const auto right = load(rightPath);
+  std::printf("left  '%s': %zu qubits, %zu operations\n", leftPath.c_str(),
+              left.numQubits(), left.size());
+  std::printf("right '%s': %zu qubits, %zu operations\n", rightPath.c_str(),
+              right.numQubits(), right.size());
+  Package pkg(left.numQubits());
+  verify::VerificationSession session(left, right, pkg);
+  std::printf("starting from the identity (%zu nodes)\n",
+              session.currentNodes());
+  std::printf("(l)eft-step (r)ight-step (R)ight-to-barrier (b)ack (a)uto "
+              "(d)d e(x)port (q)uit\n");
+
+  std::string line;
+  std::printf("> ");
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) {
+      std::printf("> ");
+      continue;
+    }
+    const char c = line[0];
+    if (c == 'q') {
+      break;
+    }
+    switch (c) {
+    case 'l':
+      if (!session.stepLeft()) {
+        std::printf("(left circuit exhausted)\n");
+      }
+      break;
+    case 'r':
+      if (!session.stepRight()) {
+        std::printf("(right circuit exhausted)\n");
+      }
+      break;
+    case 'R':
+      std::printf("applied %zu right gate(s)\n", session.runRightToBarrier());
+      break;
+    case 'b':
+      if (!session.stepBack()) {
+        std::printf("(at the start)\n");
+      }
+      break;
+    case 'a': {
+      const auto result = session.runToCompletion();
+      std::printf("result: %s (peak %zu nodes)\n",
+                  toString(result.equivalence).c_str(), result.maxNodes);
+      break;
+    }
+    case 'd':
+      std::printf("%s",
+                  viz::asciiDump(viz::buildGraph(session.state())).c_str());
+      break;
+    case 'x':
+      exportAll(viz::buildGraph(session.state()), "dd");
+      break;
+    default:
+      std::printf("unknown command '%c'\n", c);
+      break;
+    }
+    std::printf("[L %zu/%zu | R %zu/%zu] %zu nodes%s\n",
+                session.leftPosition(), session.leftSize(),
+                session.rightPosition(), session.rightSize(),
+                session.currentNodes(),
+                session.currentVerdict() ==
+                        verify::Equivalence::Equivalent
+                    ? " = identity"
+                    : "");
+    if (session.finished()) {
+      std::printf("both circuits exhausted; verdict: %s\n",
+                  toString(session.currentVerdict()).c_str());
+    }
+    std::printf("> ");
+  }
+  return 0;
+}
+
+int runMap(const std::string& path, const std::string& device) {
+  const auto qc = load(path);
+  ir::CouplingMap cm = ir::CouplingMap::linear(qc.numQubits());
+  if (device == "ring") {
+    cm = ir::CouplingMap::ring(qc.numQubits());
+  } else if (device.rfind("grid", 0) == 0) {
+    // gridRxC, e.g. grid2x3
+    const auto xPos = device.find('x');
+    if (xPos == std::string::npos) {
+      std::fprintf(stderr, "grid device needs the form gridRxC\n");
+      return 2;
+    }
+    const auto rows = std::strtoul(device.c_str() + 4, nullptr, 10);
+    const auto cols = std::strtoul(device.c_str() + xPos + 1, nullptr, 10);
+    cm = ir::CouplingMap::grid(rows, cols);
+  } else if (device != "linear") {
+    std::fprintf(stderr, "unknown device '%s' (linear | ring | gridRxC)\n",
+                 device.c_str());
+    return 2;
+  }
+  const auto result = ir::mapToCoupling(qc, cm);
+  std::printf("// mapped '%s' onto %s: %zu -> %zu gates (%zu SWAPs "
+              "inserted)\n",
+              path.c_str(), device.c_str(), qc.gateCount(),
+              result.mapped.gateCount(), result.addedSwaps);
+  std::printf("%s", result.mapped.toOpenQASM().c_str());
+
+  // verify the flow end to end (paper ref. [28])
+  if (qc.isPurelyUnitary() && cm.size() == qc.numQubits()) {
+    Package pkg(qc.numQubits());
+    const verify::EquivalenceChecker checker(qc,
+                                             result.mappedWithRestore());
+    std::printf("// verification (alternating scheme): %s\n",
+                toString(checker.checkAlternating(pkg).equivalence).c_str());
+  }
+  return 0;
+}
+
+int runSynth(const std::string& path) {
+  // the file lists the permutation images f(0) f(1) ... f(2^n - 1),
+  // whitespace separated; '#' starts a comment
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<std::uint64_t> perm;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ss(line);
+    std::uint64_t v = 0;
+    while (ss >> v) {
+      perm.push_back(v);
+    }
+  }
+  const auto qc = synth::synthesizePermutation(perm);
+  const auto stats = synth::analyze(qc);
+  std::printf("// synthesized %zu-entry permutation: %zu gates (max %zu "
+              "controls)\n",
+              perm.size(), stats.gates, stats.maxControls);
+  std::printf("%s", qc.toOpenQASM().c_str());
+  // verify against the spec via canonical DDs
+  Package pkg(qc.numQubits());
+  const mEdge spec = synth::buildPermutationDD(pkg, perm);
+  const mEdge impl = bridge::buildFunctionality(qc, pkg);
+  std::printf("// verification: %s\n",
+              spec.p == impl.p && spec.w.approximatelyEquals(impl.w, 1e-9)
+                  ? "cascade realizes the specification (canonical DDs)"
+                  : "MISMATCH");
+  return 0;
+}
+
+int runTrace(const std::string& path, const std::string& outPath) {
+  const auto qc = load(path);
+  Package pkg(qc.numQubits());
+  viz::writeSimulationTrace(qc, pkg, outPath);
+  std::printf("wrote step-by-step simulation trace of '%s' (%zu operations) "
+              "to %s\n",
+              path.c_str(), qc.size(), outPath.c_str());
+  return 0;
+}
+
+int runShow(const std::string& path) {
+  const auto qc = load(path);
+  Package pkg(qc.numQubits());
+  if (qc.isPurelyUnitary()) {
+    const mEdge u = bridge::buildFunctionality(qc, pkg);
+    std::printf("functionality DD of '%s': %zu nodes\n", path.c_str(),
+                Package::size(u));
+    std::printf("%s", viz::asciiDump(viz::buildGraph(u)).c_str());
+    exportAll(viz::buildGraph(u), "dd");
+  } else {
+    sim::SimulationSession session(qc, pkg);
+    while (session.stepForward()) {
+    }
+    printState(pkg, session.state());
+    exportAll(viz::buildGraph(session.state()), "dd");
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  %s sim <circuit.{qasm,real}>\n"
+                 "  %s verify <left.{qasm,real}> <right.{qasm,real}>\n"
+                 "  %s show <circuit.{qasm,real}>\n"
+                 "  %s trace <circuit.{qasm,real}> [out.json]\n"
+                 "  %s map <circuit.{qasm,real}> [linear|ring|gridRxC]\n"
+                 "  %s synth <permutation.txt>\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+    return 2;
+  }
+  try {
+    const std::string mode = argv[1];
+    if (mode == "sim") {
+      return runSim(argv[2]);
+    }
+    if (mode == "verify") {
+      if (argc < 4) {
+        std::fprintf(stderr, "verify needs two circuit files\n");
+        return 2;
+      }
+      return runVerify(argv[2], argv[3]);
+    }
+    if (mode == "show") {
+      return runShow(argv[2]);
+    }
+    if (mode == "trace") {
+      return runTrace(argv[2], argc > 3 ? argv[3] : "trace.json");
+    }
+    if (mode == "map") {
+      return runMap(argv[2], argc > 3 ? argv[3] : "linear");
+    }
+    if (mode == "synth") {
+      return runSynth(argv[2]);
+    }
+    std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,152 @@
+#include "qdd/verify/VerificationSession.hpp"
+
+#include "qdd/bridge/DDBuilder.hpp"
+
+#include <stdexcept>
+
+namespace qdd::verify {
+
+VerificationSession::VerificationSession(const ir::QuantumComputation& l,
+                                         const ir::QuantumComputation& r,
+                                         Package& package)
+    : left(l), right(r), pkg(package), tol(1e-9) {
+  if (left.numQubits() != right.numQubits() || left.numQubits() == 0) {
+    throw std::invalid_argument(
+        "VerificationSession: circuits must act on the same qubits");
+  }
+  if (!left.isPurelyUnitary() || !right.isPurelyUnitary()) {
+    throw std::invalid_argument(
+        "VerificationSession: non-unitary operations are not supported "
+        "(Sec. IV-C)");
+  }
+  pkg.resize(left.numQubits());
+  current = pkg.makeIdent(left.numQubits());
+  pkg.incRef(current);
+  peak = Package::size(current);
+}
+
+VerificationSession::~VerificationSession() {
+  pkg.decRef(current);
+  for (const auto& snap : snapshots) {
+    pkg.decRef(snap.state);
+  }
+}
+
+void VerificationSession::replace(const mEdge& next) {
+  pkg.incRef(current);
+  snapshots.push_back({current, posL, posR});
+  pkg.incRef(next);
+  pkg.decRef(current);
+  current = next;
+}
+
+void VerificationSession::record() {
+  const std::size_t nodes = Package::size(current);
+  peak = std::max(peak, nodes);
+  history.push_back(nodes);
+  pkg.garbageCollect();
+}
+
+bool VerificationSession::stepLeft() {
+  while (posL < left.size() &&
+         left.at(posL).type() == ir::OpType::Barrier) {
+    ++posL;
+  }
+  if (posL == left.size()) {
+    return false;
+  }
+  const mEdge gate = bridge::getDD(left.at(posL), left.numQubits(), pkg);
+  replace(pkg.multiply(gate, current));
+  ++posL;
+  record();
+  return true;
+}
+
+bool VerificationSession::stepRight() {
+  while (posR < right.size() &&
+         right.at(posR).type() == ir::OpType::Barrier) {
+    ++posR;
+  }
+  if (posR == right.size()) {
+    return false;
+  }
+  const mEdge gate =
+      bridge::getInverseDD(right.at(posR), right.numQubits(), pkg);
+  replace(pkg.multiply(current, gate));
+  ++posR;
+  record();
+  return true;
+}
+
+bool VerificationSession::stepBack() {
+  if (snapshots.empty()) {
+    return false;
+  }
+  Snapshot snap = snapshots.back();
+  snapshots.pop_back();
+  pkg.decRef(current);
+  current = snap.state;
+  posL = snap.posL;
+  posR = snap.posR;
+  if (!history.empty()) {
+    history.pop_back();
+  }
+  return true;
+}
+
+std::size_t VerificationSession::runRightToBarrier() {
+  std::size_t steps = 0;
+  while (posR < right.size()) {
+    if (right.at(posR).type() == ir::OpType::Barrier) {
+      ++posR; // consume the barrier; it is the breakpoint
+      break;
+    }
+    if (!stepRight()) {
+      break;
+    }
+    ++steps;
+  }
+  return steps;
+}
+
+CheckResult VerificationSession::runToCompletion() {
+  CheckResult result;
+  result.method = "session/barrier-sync";
+  while (!finished()) {
+    const std::size_t before = history.size();
+    stepLeft();
+    runRightToBarrier();
+    if (history.size() == before && !finished()) {
+      // neither side progressed (no barriers left): drain the right side
+      if (!stepRight()) {
+        break;
+      }
+    }
+  }
+  result.maxNodes = peak;
+  result.finalNodes = currentNodes();
+  result.gatesApplied = history.size();
+  result.equivalence = currentVerdict();
+  return result;
+}
+
+Equivalence VerificationSession::currentVerdict() {
+  const mEdge id = pkg.makeIdent(left.numQubits());
+  if (current.p != id.p) {
+    return Equivalence::NotEquivalent;
+  }
+  const ComplexValue w = current.w.toValue();
+  if (w.approximatelyEquals(ComplexValue{1., 0.}, tol)) {
+    return Equivalence::Equivalent;
+  }
+  if (std::abs(w.mag() - 1.) <= tol) {
+    return Equivalence::EquivalentUpToGlobalPhase;
+  }
+  return Equivalence::NotEquivalent;
+}
+
+std::size_t VerificationSession::currentNodes() const {
+  return Package::size(current);
+}
+
+} // namespace qdd::verify

@@ -1,0 +1,253 @@
+#include "qdd/viz/CircuitDiagram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace qdd::viz {
+
+namespace {
+
+constexpr double PI_LOCAL = 3.14159265358979323846;
+
+std::string angleLabel(double angle) {
+  constexpr double EPS = 1e-9;
+  for (int den = 1; den <= 32; den *= 2) {
+    for (int num = -8 * den; num <= 8 * den; ++num) {
+      if (num == 0) {
+        continue;
+      }
+      if (std::abs(angle - PI_LOCAL * num / den) < EPS) {
+        std::ostringstream label;
+        if (num == -1) {
+          label << "-pi";
+        } else if (num == 1) {
+          label << "pi";
+        } else {
+          label << num << "pi";
+        }
+        if (den > 1) {
+          label << "/" << den;
+        }
+        return label.str();
+      }
+    }
+  }
+  std::ostringstream ss;
+  ss.precision(3);
+  ss << angle;
+  return ss.str();
+}
+
+std::string gateLabel(const ir::Operation& op) {
+  using ir::OpType;
+  switch (op.type()) {
+  case OpType::Phase:
+    return "P(" + angleLabel(op.parameters()[0]) + ")";
+  case OpType::RX:
+  case OpType::RY:
+  case OpType::RZ: {
+    std::string base = ir::toString(op.type());
+    base[0] = 'R';
+    return base + "(" + angleLabel(op.parameters()[0]) + ")";
+  }
+  case OpType::U2:
+    return "U2";
+  case OpType::U3:
+    return "U3";
+  case OpType::S:
+    return "S";
+  case OpType::Sdg:
+    return "S+";
+  case OpType::T:
+    return "T";
+  case OpType::Tdg:
+    return "T+";
+  default: {
+    std::string s = ir::toString(op.type());
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return s;
+  }
+  }
+}
+
+struct Column {
+  /// per-qubit cell text (empty = plain wire)
+  std::vector<std::string> cells;
+  /// per-qubit flag: part of the vertical connector span
+  std::vector<bool> connected;
+  bool barrier = false;
+  std::size_t width = 1;
+};
+
+Column makeColumn(const ir::Operation& op, std::size_t n) {
+  Column col;
+  col.cells.assign(n, "");
+  col.connected.assign(n, false);
+
+  using ir::OpType;
+  if (op.type() == OpType::Barrier) {
+    col.barrier = true;
+    for (const Qubit q : op.targets()) {
+      col.connected[static_cast<std::size_t>(q)] = true;
+    }
+    col.width = 1;
+    return col;
+  }
+  if (const auto* comp = dynamic_cast<const ir::CompoundOperation*>(&op)) {
+    std::string label = "[";
+    label += comp->label().empty() ? "GRP" : comp->label();
+    label += "]";
+    for (const Qubit q : comp->usedQubits()) {
+      col.cells[static_cast<std::size_t>(q)] = label;
+    }
+  } else if (const auto* cc =
+                 dynamic_cast<const ir::ClassicControlledOperation*>(&op)) {
+    std::string label = "[if ";
+    label += gateLabel(cc->operation());
+    label += "]";
+    for (const Qubit q : cc->usedQubits()) {
+      col.cells[static_cast<std::size_t>(q)] = label;
+    }
+  } else if (op.type() == OpType::Measure) {
+    for (const Qubit q : op.targets()) {
+      col.cells[static_cast<std::size_t>(q)] = "[M]";
+    }
+  } else if (op.type() == OpType::Reset) {
+    for (const Qubit q : op.targets()) {
+      col.cells[static_cast<std::size_t>(q)] = "[|0>]";
+    }
+  } else {
+    // standard gate: controls and targets
+    for (const auto& c : op.controls()) {
+      col.cells[static_cast<std::size_t>(c.qubit)].assign(
+          1, c.positive ? '*' : 'o');
+    }
+    if (op.type() == OpType::SWAP) {
+      col.cells[static_cast<std::size_t>(op.targets()[0])].assign(1, 'x');
+      col.cells[static_cast<std::size_t>(op.targets()[1])].assign(1, 'x');
+    } else if (op.targets().size() == 2) {
+      std::string label = "[";
+      label += gateLabel(op);
+      label += "]";
+      col.cells[static_cast<std::size_t>(op.targets()[0])] = label;
+      col.cells[static_cast<std::size_t>(op.targets()[1])] = label;
+    } else if (op.type() == OpType::X && !op.controls().empty()) {
+      col.cells[static_cast<std::size_t>(op.targets()[0])] = "(+)";
+    } else {
+      std::string label = "[";
+      label += gateLabel(op);
+      label += "]";
+      col.cells[static_cast<std::size_t>(op.targets()[0])] = label;
+    }
+  }
+
+  // connector span over all involved qubits
+  const auto used = op.usedQubits();
+  if (!used.empty()) {
+    const auto lo = static_cast<std::size_t>(
+        *std::min_element(used.begin(), used.end()));
+    const auto hi = static_cast<std::size_t>(
+        *std::max_element(used.begin(), used.end()));
+    for (std::size_t q = lo; q <= hi; ++q) {
+      col.connected[q] = true;
+    }
+  }
+  for (const auto& cell : col.cells) {
+    col.width = std::max(col.width, cell.size());
+  }
+  return col;
+}
+
+} // namespace
+
+std::string circuitToAscii(const ir::QuantumComputation& qc,
+                           std::size_t maxWidth) {
+  const std::size_t n = qc.numQubits();
+  if (n == 0) {
+    return "(empty circuit)\n";
+  }
+  std::vector<Column> columns;
+  columns.reserve(qc.size());
+  for (const auto& op : qc) {
+    columns.push_back(makeColumn(*op, n));
+  }
+
+  // row indices: qubit q lives on text row 2*(n-1-q); gap rows in between
+  const std::size_t rows = 2 * n - 1;
+  std::ostringstream out;
+  std::size_t begin = 0;
+  const std::size_t labelWidth = 6; // "q127: "
+  while (begin < columns.size() || begin == 0) {
+    // select columns fitting into maxWidth
+    std::size_t width = labelWidth;
+    std::size_t end = begin;
+    while (end < columns.size() && width + columns[end].width + 2 <= maxWidth) {
+      width += columns[end].width + 2;
+      ++end;
+    }
+    if (end == begin && begin < columns.size()) {
+      end = begin + 1; // at least one column per bank
+    }
+
+    std::vector<std::string> lines(rows);
+    for (std::size_t q = 0; q < n; ++q) {
+      std::string label = "q";
+      label += std::to_string(n - 1 - q);
+      label += ":";
+      label.resize(labelWidth, ' ');
+      lines[2 * q] = label;
+    }
+    for (std::size_t r = 1; r < rows; r += 2) {
+      lines[r] = std::string(labelWidth, ' ');
+    }
+
+    for (std::size_t c = begin; c < end; ++c) {
+      const Column& col = columns[c];
+      for (std::size_t q = 0; q < n; ++q) {
+        const std::size_t row = 2 * (n - 1 - q);
+        std::string cell = col.cells[q];
+        const char pad = col.barrier ? '-' : '-';
+        if (cell.empty()) {
+          if (col.barrier && col.connected[q]) {
+            cell.assign(1, '!');
+          } else if (col.connected[q]) {
+            cell.assign(1, '|'); // connector crossing an uninvolved wire
+          }
+        }
+        // center the cell in the column
+        std::string field(col.width + 2, pad);
+        const std::size_t off = (field.size() - cell.size()) / 2;
+        for (std::size_t k = 0; k < cell.size(); ++k) {
+          field[off + k] = cell[k];
+        }
+        lines[row] += field;
+      }
+      for (std::size_t q = 0; q + 1 < n; ++q) {
+        // gap row between display rows q and q+1 (qubits n-1-q, n-2-q)
+        const std::size_t row = 2 * q + 1;
+        const bool connect =
+            (col.barrier || (col.connected[n - 1 - q] &&
+                             col.connected[n - 2 - q]));
+        std::string field(col.width + 2, ' ');
+        if (connect) {
+          field[(field.size()) / 2] = col.barrier ? '!' : '|';
+        }
+        lines[row] += field;
+      }
+    }
+    for (const auto& line : lines) {
+      out << line << "\n";
+    }
+    if (end >= columns.size()) {
+      break;
+    }
+    out << "\n";
+    begin = end;
+  }
+  return out.str();
+}
+
+} // namespace qdd::viz

@@ -1,0 +1,70 @@
+#include "qdd/viz/Color.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace qdd::viz {
+
+std::string Rgb::toHex() const {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+namespace {
+double hueToChannel(double p, double q, double t) {
+  if (t < 0.) {
+    t += 1.;
+  }
+  if (t > 1.) {
+    t -= 1.;
+  }
+  if (t < 1. / 6.) {
+    return p + (q - p) * 6. * t;
+  }
+  if (t < 1. / 2.) {
+    return q;
+  }
+  if (t < 2. / 3.) {
+    return p + (q - p) * (2. / 3. - t) * 6.;
+  }
+  return p;
+}
+
+std::uint8_t toByte(double v) {
+  return static_cast<std::uint8_t>(
+      std::lround(std::clamp(v, 0., 1.) * 255.));
+}
+} // namespace
+
+Rgb hlsToRgb(double hue, double lightness, double saturation) {
+  hue = hue - std::floor(hue); // wrap into [0,1)
+  lightness = std::clamp(lightness, 0., 1.);
+  saturation = std::clamp(saturation, 0., 1.);
+  if (saturation == 0.) {
+    const std::uint8_t g = toByte(lightness);
+    return {g, g, g};
+  }
+  const double q = lightness < 0.5
+                       ? lightness * (1. + saturation)
+                       : lightness + saturation - lightness * saturation;
+  const double p = 2. * lightness - q;
+  return {toByte(hueToChannel(p, q, hue + 1. / 3.)),
+          toByte(hueToChannel(p, q, hue)),
+          toByte(hueToChannel(p, q, hue - 1. / 3.))};
+}
+
+Rgb phaseToColor(double phase) {
+  double normalized = phase / (2. * PI);
+  normalized -= std::floor(normalized); // [0, 1)
+  return hlsToRgb(normalized, 0.5, 1.);
+}
+
+Rgb weightToColor(const ComplexValue& w) { return phaseToColor(w.arg()); }
+
+double magnitudeToThickness(double magnitude, double min, double span) {
+  return min + span * std::clamp(magnitude, 0., 1.);
+}
+
+} // namespace qdd::viz

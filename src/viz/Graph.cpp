@@ -1,0 +1,56 @@
+#include "qdd/viz/Graph.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+namespace qdd::viz {
+
+namespace {
+
+template <class Node> Graph build(const Edge<Node>& root, bool isMatrix) {
+  Graph g;
+  g.isMatrix = isMatrix;
+  g.radix = RADIX<Node>;
+  g.rootWeight = root.w.toValue();
+  if (root.isTerminal() || root.w.exactlyZero()) {
+    return g;
+  }
+  std::unordered_map<const Node*, std::size_t> ids;
+  std::deque<const Node*> queue;
+  const auto idOf = [&](const Node* p) {
+    const auto it = ids.find(p);
+    if (it != ids.end()) {
+      return it->second;
+    }
+    const std::size_t id = g.nodes.size();
+    ids.emplace(p, id);
+    g.nodes.push_back({id, p->v});
+    queue.push_back(p);
+    return id;
+  };
+  g.rootNode = idOf(root.p);
+  while (!queue.empty()) {
+    const Node* p = queue.front();
+    queue.pop_front();
+    const std::size_t from = ids.at(p);
+    for (std::size_t k = 0; k < RADIX<Node>; ++k) {
+      const auto& child = p->e[k];
+      Graph::Edge edge;
+      edge.from = from;
+      edge.port = k;
+      edge.weight = child.w.toValue();
+      edge.zeroStub = child.w.exactlyZero();
+      edge.to = (edge.zeroStub || child.isTerminal()) ? Graph::TERMINAL_ID
+                                                      : idOf(child.p);
+      g.edges.push_back(edge);
+    }
+  }
+  return g;
+}
+
+} // namespace
+
+Graph buildGraph(const vEdge& root) { return build(root, false); }
+Graph buildGraph(const mEdge& root) { return build(root, true); }
+
+} // namespace qdd::viz

@@ -1,0 +1,77 @@
+#include "qdd/viz/JsonExporter.hpp"
+
+#include "qdd/viz/Color.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qdd::viz {
+
+namespace {
+
+std::string num(double v, int precision) {
+  std::ostringstream ss;
+  ss.precision(precision);
+  ss << v;
+  return ss.str();
+}
+
+std::string weightJson(const ComplexValue& w, int precision) {
+  std::ostringstream ss;
+  ss << "{\"re\": " << num(w.re, precision) << ", \"im\": "
+     << num(w.im, precision) << ", \"mag\": " << num(w.mag(), precision)
+     << ", \"phase\": " << num(w.arg(), precision) << ", \"color\": \""
+     << weightToColor(w).toHex() << "\", \"thickness\": "
+     << num(magnitudeToThickness(w.mag()), 3) << "}";
+  return ss.str();
+}
+
+} // namespace
+
+std::string JsonExporter::toJson(const Graph& g) const {
+  std::ostringstream ss;
+  ss << "{\n";
+  ss << "  \"kind\": \"" << (g.isMatrix ? "matrix" : "vector") << "\",\n";
+  ss << "  \"radix\": " << g.radix << ",\n";
+  if (g.empty()) {
+    ss << "  \"zero\": true,\n  \"nodes\": [],\n  \"edges\": []\n}\n";
+    return ss.str();
+  }
+  ss << "  \"root\": {\"node\": " << g.rootNode
+     << ", \"weight\": " << weightJson(g.rootWeight, precision) << "},\n";
+  ss << "  \"nodes\": [\n";
+  for (std::size_t k = 0; k < g.nodes.size(); ++k) {
+    ss << "    {\"id\": " << g.nodes[k].id
+       << ", \"level\": " << g.nodes[k].level << ", \"label\": \"q"
+       << g.nodes[k].level << "\"}" << (k + 1 < g.nodes.size() ? "," : "")
+       << "\n";
+  }
+  ss << "  ],\n";
+  ss << "  \"edges\": [\n";
+  for (std::size_t k = 0; k < g.edges.size(); ++k) {
+    const auto& e = g.edges[k];
+    ss << "    {\"from\": " << e.from << ", \"port\": " << e.port;
+    if (e.zeroStub) {
+      ss << ", \"zeroStub\": true";
+    } else {
+      ss << ", \"to\": "
+         << (e.to == Graph::TERMINAL_ID ? std::string("\"terminal\"")
+                                        : std::to_string(e.to))
+         << ", \"weight\": " << weightJson(e.weight, precision);
+    }
+    ss << "}" << (k + 1 < g.edges.size() ? "," : "") << "\n";
+  }
+  ss << "  ]\n}\n";
+  return ss.str();
+}
+
+void JsonExporter::writeFile(const std::string& path, const Graph& g) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open file for writing: " + path);
+  }
+  out << toJson(g);
+}
+
+} // namespace qdd::viz

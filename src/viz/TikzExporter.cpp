@@ -1,0 +1,175 @@
+#include "qdd/viz/TikzExporter.hpp"
+
+#include "qdd/viz/Color.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace qdd::viz {
+
+namespace {
+
+std::string tikzWeight(const ComplexValue& w, int precision) {
+  // LaTeX-friendly rendering of the frequent 1/sqrt(2)^k weights
+  constexpr double TOL = 1e-9;
+  double mag = w.mag();
+  if (std::abs(w.im) <= TOL) {
+    const char* sign = w.re < 0 ? "-" : "";
+    for (int k = 1; k <= 6; ++k) {
+      if (std::abs(mag - std::pow(2., -k / 2.)) <= TOL) {
+        if (k % 2 == 0) {
+          return std::string(sign) + "\\nicefrac{1}{" +
+                 std::to_string(1 << (k / 2)) + "}";
+        }
+        return std::string(sign) + "\\nicefrac{1}{\\sqrt{" +
+               std::to_string(1 << k) + "}}";
+      }
+    }
+  }
+  std::ostringstream ss;
+  ss.precision(precision);
+  ss << "$" << w.toString(precision) << "$";
+  return ss.str();
+}
+
+std::string colorDef(const Rgb& c, const std::string& name) {
+  std::ostringstream ss;
+  ss << "\\definecolor{" << name << "}{RGB}{" << static_cast<int>(c.r) << ","
+     << static_cast<int>(c.g) << "," << static_cast<int>(c.b) << "}\n";
+  return ss.str();
+}
+
+} // namespace
+
+std::string TikzExporter::toTikz(const Graph& g) const {
+  std::ostringstream ss;
+  ss << "\\begin{tikzpicture}[\n"
+        "  ddnode/.style={circle, draw, minimum size=7mm, inner sep=0pt},\n"
+        "  terminal/.style={rectangle, draw, minimum size=5mm},\n"
+        "  >=stealth]\n";
+  if (g.empty()) {
+    ss << "  \\node[terminal] (zero) {$0$};\n\\end{tikzpicture}\n";
+    return ss.str();
+  }
+
+  // layout: one row per level (top = highest), evenly spaced columns
+  std::map<Qubit, std::vector<std::size_t>, std::greater<>> byLevel;
+  for (const auto& node : g.nodes) {
+    byLevel[node.level].push_back(node.id);
+  }
+  std::map<std::size_t, std::pair<double, double>> pos;
+  double y = 0.;
+  for (const auto& [level, ids] : byLevel) {
+    double x = -(static_cast<double>(ids.size()) - 1.) / 2. * 2.;
+    for (const std::size_t id : ids) {
+      pos[id] = {x, y};
+      x += 2.;
+    }
+    y -= 1.8;
+  }
+
+  // color preamble (one definition per distinct edge color)
+  std::map<std::string, std::string> colorNames;
+  const auto colorOf = [&](const ComplexValue& w) {
+    const std::string hex = weightToColor(w).toHex();
+    auto it = colorNames.find(hex);
+    if (it == colorNames.end()) {
+      const std::string name = "ddc" + std::to_string(colorNames.size());
+      it = colorNames.emplace(hex, name).first;
+      ss << "  " << colorDef(weightToColor(w), name);
+    }
+    return it->second;
+  };
+
+  // nodes
+  for (const auto& node : g.nodes) {
+    const auto [x, ny] = pos.at(node.id);
+    ss << "  \\node[ddnode] (n" << node.id << ") at (" << x << "," << ny
+       << ") {$q_" << node.level << "$};\n";
+  }
+  ss << "  \\node[terminal] (t) at (0," << (y - 0.2) << ") {$1$};\n";
+
+  const auto edgeStyle = [&](const ComplexValue& w) {
+    std::string style;
+    if (opts.colored) {
+      style += colorOf(w);
+    }
+    if (!(w.re == 1. && w.im == 0.) && !opts.colored) {
+      style += std::string(style.empty() ? "" : ", ") + "dashed";
+    }
+    if (opts.magnitudeThickness) {
+      std::ostringstream t;
+      t.precision(2);
+      t << std::fixed << "line width=" << 0.3 + 1.0 * std::min(w.mag(), 1.)
+        << "pt";
+      style += std::string(style.empty() ? "" : ", ") + t.str();
+    }
+    return style;
+  };
+
+  // root edge from above the root node
+  {
+    const auto& [x, ry] = pos.at(g.rootNode);
+    ss << "  \\draw[->" << (edgeStyle(g.rootWeight).empty() ? "" : ", ")
+       << edgeStyle(g.rootWeight) << "] (" << x << "," << (ry + 1.2)
+       << ") -- (n" << g.rootNode << ")";
+    if (opts.edgeLabels && !(g.rootWeight.re == 1. && g.rootWeight.im == 0.)) {
+      ss << " node[midway, right] {" << tikzWeight(g.rootWeight, opts.precision)
+         << "}";
+    }
+    ss << ";\n";
+  }
+
+  // edges; 0-stubs as short lines ending in a dot
+  for (const auto& edge : g.edges) {
+    const double frac =
+        g.radix == 2 ? (edge.port == 0 ? -0.3 : 0.3)
+                     : (-0.45 + 0.3 * static_cast<double>(edge.port));
+    if (edge.zeroStub) {
+      ss << "  \\draw (n" << edge.from << ".south) ++(" << frac
+         << ",0) -- ++(" << frac * 0.6 << ",-0.35) node[circle, fill, inner "
+            "sep=0.6pt] {};\n";
+      continue;
+    }
+    std::string target = "t";
+    if (edge.to != Graph::TERMINAL_ID) {
+      target = "n";
+      target += std::to_string(edge.to);
+    }
+    const std::string style = edgeStyle(edge.weight);
+    ss << "  \\draw[->" << (style.empty() ? "" : ", ") << style << "] (n"
+       << edge.from << ".south) ++(" << frac << ",0) .. controls +(" << frac
+       << ",-0.6) .. (" << target << ")";
+    if (opts.edgeLabels && !(edge.weight.re == 1. && edge.weight.im == 0.)) {
+      ss << " node[midway, " << (frac < 0 ? "left" : "right") << "] {"
+         << tikzWeight(edge.weight, opts.precision) << "}";
+    }
+    ss << ";\n";
+  }
+  ss << "\\end{tikzpicture}\n";
+  return ss.str();
+}
+
+std::string TikzExporter::toStandaloneDocument(const Graph& g) const {
+  std::ostringstream ss;
+  ss << "\\documentclass[tikz,border=5pt]{standalone}\n"
+        "\\usepackage{nicefrac}\n"
+        "\\begin{document}\n"
+     << toTikz(g) << "\\end{document}\n";
+  return ss.str();
+}
+
+void TikzExporter::writeFile(const std::string& path, const Graph& g) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open file for writing: " + path);
+  }
+  out << toStandaloneDocument(g);
+}
+
+} // namespace qdd::viz

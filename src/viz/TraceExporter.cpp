@@ -1,0 +1,112 @@
+#include "qdd/viz/TraceExporter.hpp"
+
+#include "qdd/viz/JsonExporter.hpp"
+#include "qdd/viz/TextDump.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qdd::viz {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    default:
+      out += c;
+      break;
+    }
+  }
+  return out;
+}
+
+/// Indents every line of a JSON fragment for embedding.
+std::string indent(const std::string& text, const std::string& pad) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!first) {
+      out << "\n";
+    }
+    out << pad << line;
+    first = false;
+  }
+  return out.str();
+}
+
+} // namespace
+
+std::string exportSimulationTrace(const ir::QuantumComputation& qc,
+                                  Package& pkg, TraceOptions options) {
+  sim::SimulationSession session(qc, pkg, options.seed);
+  const JsonExporter diagrams(options.precision);
+
+  std::ostringstream ss;
+  ss << "{\n";
+  ss << "  \"circuit\": \"" << jsonEscape(qc.name()) << "\",\n";
+  ss << "  \"qubits\": " << qc.numQubits() << ",\n";
+  ss << "  \"clbits\": " << qc.numClbits() << ",\n";
+  ss << "  \"operations\": " << qc.size() << ",\n";
+  ss << "  \"steps\": [\n";
+
+  const auto emitStep = [&](std::size_t index, const std::string& opName,
+                            bool last) {
+    ss << "    {\n";
+    ss << "      \"index\": " << index << ",\n";
+    ss << "      \"operation\": \"" << jsonEscape(opName) << "\",\n";
+    ss << "      \"state\": \""
+       << jsonEscape(toDirac(pkg, session.state(), 4)) << "\",\n";
+    ss << "      \"nodes\": " << session.currentNodes();
+    if (options.includeDiagrams) {
+      ss << ",\n      \"dd\":\n"
+         << indent(diagrams.toJson(buildGraph(session.state())), "      ");
+    } else {
+      ss << "\n";
+    }
+    ss << "    }" << (last ? "" : ",") << "\n";
+  };
+
+  emitStep(0, "(initial state)", qc.size() == 0);
+  std::size_t index = 1;
+  while (!session.atEnd()) {
+    const std::string opName = session.nextOperation()->name();
+    session.stepForward();
+    emitStep(index, opName, index == qc.size());
+    ++index;
+  }
+
+  ss << "  ],\n";
+  ss << "  \"peakNodes\": " << session.peakNodes() << ",\n";
+  ss << "  \"classicalBits\": \"";
+  for (std::size_t c = qc.numClbits(); c-- > 0;) {
+    ss << (session.classicalBits()[c] ? '1' : '0');
+  }
+  ss << "\"\n}\n";
+  return ss.str();
+}
+
+void writeSimulationTrace(const ir::QuantumComputation& qc, Package& pkg,
+                          const std::string& path, TraceOptions options) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open file for writing: " + path);
+  }
+  out << exportSimulationTrace(qc, pkg, options);
+}
+
+} // namespace qdd::viz

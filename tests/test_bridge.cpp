@@ -1,0 +1,215 @@
+#include "qdd/baseline/DenseSimulator.hpp"
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+#include "qdd/parser/qasm/Parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+namespace qdd {
+namespace {
+
+constexpr double EPS = 1e-9;
+
+void expectStatesMatch(Package& pkg, const vEdge& dd,
+                       const baseline::DenseStateVector& dense) {
+  const auto a = pkg.getVector(dd);
+  const auto& b = dense.amplitudes();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_NEAR(a[k].real(), b[k].real(), EPS) << "index " << k;
+    EXPECT_NEAR(a[k].imag(), b[k].imag(), EPS) << "index " << k;
+  }
+}
+
+TEST(Bridge, BellCircuitSimulation) {
+  // Paper Ex. 5 / Ex. 13 precondition.
+  Package pkg(2);
+  const auto qc = ir::builders::bell();
+  const vEdge result = bridge::simulate(qc, pkg.makeZeroState(2), pkg);
+  const auto vec = pkg.getVector(result);
+  EXPECT_NEAR(vec[0].real(), SQRT2_2, EPS);
+  EXPECT_NEAR(vec[3].real(), SQRT2_2, EPS);
+  EXPECT_NEAR(std::abs(vec[1]), 0., EPS);
+  EXPECT_NEAR(std::abs(vec[2]), 0., EPS);
+}
+
+TEST(Bridge, QftFunctionalityMatchesFig5c) {
+  // Paper Fig. 5(c): QFT_3 matrix entries are omega^(r*c)/sqrt(8) with
+  // omega = e^{i pi/4}.
+  Package pkg(3);
+  const auto qc = ir::builders::qft(3);
+  const mEdge u = bridge::buildFunctionality(qc, pkg);
+  const auto mat = pkg.getMatrix(u);
+  const double amp = 1. / std::sqrt(8.);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      const double phase = PI / 4. * static_cast<double>((r * c) % 8);
+      EXPECT_NEAR(mat[r * 8 + c].real(), amp * std::cos(phase), EPS)
+          << r << "," << c;
+      EXPECT_NEAR(mat[r * 8 + c].imag(), amp * std::sin(phase), EPS)
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(Bridge, QftMatrixDDHas21Nodes) {
+  // Paper Ex. 12: "building the entire system matrix" for the 3-qubit QFT
+  // requires 21 nodes (the maximum 1 + 4 + 16).
+  Package pkg(3);
+  const auto qc = ir::builders::qft(3);
+  const mEdge u = bridge::buildFunctionality(qc, pkg);
+  EXPECT_EQ(Package::size(u), 21U);
+}
+
+TEST(Bridge, CompiledQftHasSameFunctionality) {
+  // Paper Ex. 11: the decision diagrams of Fig. 5(a) and Fig. 5(b) coincide
+  // (canonicity!), so both circuits are equivalent.
+  Package pkg(3);
+  const auto qft = ir::builders::qft(3);
+  const auto compiled = ir::decomposeToNativeGates(qft, true);
+  const mEdge u1 = bridge::buildFunctionality(qft, pkg);
+  const mEdge u2 = bridge::buildFunctionality(compiled, pkg);
+  EXPECT_EQ(u1.p, u2.p); // canonical: same root pointer
+  EXPECT_TRUE(u1.w.approximatelyEquals(u2.w, EPS));
+}
+
+TEST(Bridge, SimulationMatchesDenseBaselineOnRandomCircuits) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto qc = ir::builders::randomCliffordT(5, 60, seed);
+    Package pkg(5);
+    const vEdge result = bridge::simulate(qc, pkg.makeZeroState(5), pkg);
+    baseline::DenseStateVector dense(5);
+    dense.run(qc);
+    expectStatesMatch(pkg, result, dense);
+  }
+}
+
+TEST(Bridge, FunctionalityMatchesDenseUnitary) {
+  const auto qc = ir::builders::randomCliffordT(4, 40, 7);
+  Package pkg(4);
+  const mEdge u = bridge::buildFunctionality(qc, pkg);
+  baseline::DenseUnitary dense(4);
+  dense.run(qc);
+  const auto mat = pkg.getMatrix(u);
+  const auto& expected = dense.matrix();
+  for (std::size_t k = 0; k < mat.size(); ++k) {
+    EXPECT_NEAR(mat[k].real(), expected[k].real(), EPS);
+    EXPECT_NEAR(mat[k].imag(), expected[k].imag(), EPS);
+  }
+}
+
+TEST(Bridge, GroverAmplifiesMarkedState) {
+  const std::uint64_t marked = 5;
+  const auto qc = ir::builders::grover(4, marked);
+  Package pkg(4);
+  const vEdge result = bridge::simulate(qc, pkg.makeZeroState(4), pkg);
+  const auto vec = pkg.getVector(result);
+  double pMarked = std::norm(vec[marked]);
+  EXPECT_GT(pMarked, 0.9);
+}
+
+TEST(Bridge, BernsteinVaziraniRecoversHiddenString) {
+  const std::uint64_t hidden = 0b1011;
+  const auto qc = ir::builders::bernsteinVazirani(4, hidden);
+  Package pkg(5);
+  const vEdge result = bridge::simulate(qc, pkg.makeZeroState(5), pkg);
+  const auto vec = pkg.getVector(result);
+  // data qubits should deterministically read the hidden string
+  double pHidden = 0.;
+  for (std::size_t k = 0; k < vec.size(); ++k) {
+    if ((k & 0xFULL) == hidden) {
+      pHidden += std::norm(vec[k]);
+    }
+  }
+  EXPECT_NEAR(pHidden, 1., EPS);
+}
+
+TEST(Bridge, WStateBuilderMatchesDirectConstruction) {
+  for (std::size_t n = 2; n <= 6; ++n) {
+    const auto qc = ir::builders::wState(n);
+    Package pkg(n);
+    const vEdge circuitState =
+        bridge::simulate(qc, pkg.makeZeroState(n), pkg);
+    const vEdge direct = pkg.makeWState(n);
+    EXPECT_GT(pkg.fidelity(circuitState, direct), 1. - 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Bridge, GhzDDStaysSmallWhileDenseIsExponential) {
+  // The compactness claim of Sec. III-A, on the paper's own example state.
+  const std::size_t n = 20;
+  const auto qc = ir::builders::ghz(n);
+  Package pkg(n);
+  bridge::BuildStats stats;
+  const vEdge result =
+      bridge::simulate(qc, pkg.makeZeroState(n), pkg, stats);
+  EXPECT_EQ(Package::size(result), 2 * n - 1); // linear, not 2^n
+  EXPECT_LE(stats.maxNodes, 2 * n);
+}
+
+TEST(Bridge, NonUnitaryOperationRejected) {
+  ir::QuantumComputation qc(1, 1);
+  qc.h(0);
+  qc.measure(0, 0);
+  Package pkg(1);
+  EXPECT_THROW((void)bridge::simulate(qc, pkg.makeZeroState(1), pkg),
+               std::invalid_argument);
+}
+
+TEST(Bridge, CompoundOperationFromParser) {
+  const auto qc = qasm::parse(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+gate bellpair a, b { h a; cx a, b; }
+bellpair q[1], q[0];
+)");
+  Package pkg(2);
+  const vEdge result = bridge::simulate(qc, pkg.makeZeroState(2), pkg);
+  const auto vec = pkg.getVector(result);
+  EXPECT_NEAR(vec[0].real(), SQRT2_2, EPS);
+  EXPECT_NEAR(vec[3].real(), SQRT2_2, EPS);
+}
+
+TEST(Bridge, InverseDDUndoesGate) {
+  Package pkg(3);
+  const ir::StandardOperation op(ir::OpType::T, {{2, true}}, {0});
+  const mEdge g = bridge::getDD(op, 3, pkg);
+  const mEdge gInv = bridge::getInverseDD(op, 3, pkg);
+  const mEdge prod = pkg.multiply(gInv, g);
+  const mEdge id = pkg.makeIdent(3);
+  EXPECT_EQ(prod.p, id.p);
+  EXPECT_TRUE(prod.w.approximatelyOne(EPS));
+}
+
+TEST(BaselineDense, MeasurementCollapse) {
+  baseline::DenseStateVector sv(2);
+  sv.applyGate(H_MAT, 1);
+  sv.applyGate(X_MAT, 0, {{1, true}});
+  EXPECT_NEAR(sv.probabilityOfOne(0), 0.5, EPS);
+  sv.collapse(0, true);
+  EXPECT_NEAR(std::norm(sv.amplitudes()[3]), 1., EPS);
+}
+
+TEST(BaselineDense, SwapGate) {
+  baseline::DenseStateVector sv(2);
+  sv.applyGate(X_MAT, 0); // |01>
+  sv.applySwap(0, 1);     // -> |10>
+  EXPECT_NEAR(std::norm(sv.amplitudes()[2]), 1., EPS);
+}
+
+TEST(BaselineDense, UnitaryDistance) {
+  const auto qft = ir::builders::qft(3);
+  const auto compiled = ir::decomposeToNativeGates(qft);
+  baseline::DenseUnitary u1(3);
+  baseline::DenseUnitary u2(3);
+  u1.run(qft);
+  u2.run(compiled);
+  EXPECT_LT(u1.distance(u2), 1e-10);
+}
+
+} // namespace
+} // namespace qdd

@@ -1,0 +1,216 @@
+#include "qdd/complex/Complex.hpp"
+#include "qdd/complex/ComplexValue.hpp"
+#include "qdd/complex/RealTable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace qdd {
+namespace {
+
+TEST(ComplexValue, BasicArithmetic) {
+  const ComplexValue a{1., 2.};
+  const ComplexValue b{3., -1.};
+  EXPECT_EQ(a + b, ComplexValue(4., 1.));
+  EXPECT_EQ(a - b, ComplexValue(-2., 3.));
+  EXPECT_EQ(a * b, ComplexValue(5., 5.));
+  const ComplexValue q = a / b;
+  EXPECT_NEAR(q.re, 0.1, 1e-12);
+  EXPECT_NEAR(q.im, 0.7, 1e-12);
+}
+
+TEST(ComplexValue, MagnitudeAndArgument) {
+  const ComplexValue c{3., 4.};
+  EXPECT_DOUBLE_EQ(c.mag2(), 25.);
+  EXPECT_DOUBLE_EQ(c.mag(), 5.);
+  const ComplexValue i{0., 1.};
+  EXPECT_NEAR(i.arg(), PI / 2., 1e-12);
+}
+
+TEST(ComplexValue, SelfDivisionIsExactlyOne) {
+  // The normalization code relies on w/w == 1 exactly.
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(-2., 2.);
+  for (int k = 0; k < 1000; ++k) {
+    const ComplexValue w{dist(rng), dist(rng)};
+    if (w.mag2() < 1e-12) {
+      continue;
+    }
+    const ComplexValue r = w / w;
+    EXPECT_EQ(r.re, 1.);
+    EXPECT_EQ(r.im, 0.);
+  }
+}
+
+TEST(ComplexValue, Conjugate) {
+  const ComplexValue c{1., -2.};
+  EXPECT_EQ(c.conj(), ComplexValue(1., 2.));
+  EXPECT_EQ((-c), ComplexValue(-1., 2.));
+}
+
+TEST(ComplexValue, FromPolar) {
+  const ComplexValue c = ComplexValue::fromPolar(2., PI / 2.);
+  EXPECT_NEAR(c.re, 0., 1e-12);
+  EXPECT_NEAR(c.im, 2., 1e-12);
+}
+
+TEST(ComplexValue, ToString) {
+  EXPECT_EQ(ComplexValue(1., 0.).toString(), "1");
+  EXPECT_EQ(ComplexValue(0., -1.).toString(), "-1i");
+  EXPECT_EQ(ComplexValue(0.5, 0.25).toString(), "0.5+0.25i");
+  EXPECT_EQ(ComplexValue(0.5, -0.25).toString(), "0.5-0.25i");
+}
+
+TEST(RealTable, ImmortalConstants) {
+  RealTable table;
+  EXPECT_EQ(table.lookup(0.), &RealTable::zero());
+  EXPECT_EQ(table.lookup(1.), &RealTable::one());
+  EXPECT_EQ(table.lookup(SQRT2_2), &RealTable::sqrt2over2());
+  // within tolerance of the constants
+  EXPECT_EQ(table.lookup(1e-12), &RealTable::zero());
+  EXPECT_EQ(table.lookup(1. - 1e-12), &RealTable::one());
+  EXPECT_EQ(table.size(), 0U);
+}
+
+TEST(RealTable, CanonicalWithinTolerance) {
+  RealTable table;
+  auto* a = table.lookup(0.3);
+  auto* b = table.lookup(0.3 + 1e-12);
+  auto* c = table.lookup(0.3 - 1e-12);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(table.size(), 1U);
+  auto* d = table.lookup(0.300001);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(table.size(), 2U);
+}
+
+TEST(RealTable, ManyDistinctValues) {
+  RealTable table;
+  std::vector<RealTable::Entry*> entries;
+  for (int k = 1; k <= 10000; ++k) {
+    entries.push_back(table.lookup(static_cast<double>(k) / 10001.));
+  }
+  EXPECT_EQ(table.size(), 10000U);
+  // all lookups resolve to the same entries again
+  for (int k = 1; k <= 10000; ++k) {
+    EXPECT_EQ(table.lookup(static_cast<double>(k) / 10001.),
+              entries[static_cast<std::size_t>(k - 1)]);
+  }
+}
+
+TEST(RealTable, ValuesAboveOne) {
+  RealTable table;
+  auto* a = table.lookup(2.);
+  auto* b = table.lookup(123456.789);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.lookup(2.), a);
+  EXPECT_EQ(table.lookup(123456.789), b);
+  EXPECT_DOUBLE_EQ(a->value, 2.);
+}
+
+TEST(RealTable, BucketBoundaryStraddling) {
+  RealTable table(1e-6);
+  // Values whose tolerance window crosses a bucket boundary must still be
+  // identified.
+  const double boundary = 0.5; // bucket edges are multiples of 1/32768
+  auto* a = table.lookup(boundary - 1e-7);
+  auto* b = table.lookup(boundary + 1e-7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RealTable, RefCountingAndGarbageCollection) {
+  RealTable table;
+  auto* a = table.lookup(0.123);
+  auto* b = table.lookup(0.456);
+  RealTable::incRef(a);
+  EXPECT_EQ(table.size(), 2U);
+  const std::size_t collected = table.garbageCollect();
+  EXPECT_EQ(collected, 1U); // only b collected
+  EXPECT_EQ(table.size(), 1U);
+  EXPECT_EQ(table.lookup(0.123), a);
+  RealTable::decRef(a);
+  table.garbageCollect();
+  EXPECT_EQ(table.size(), 0U);
+  (void)b;
+}
+
+TEST(RealTable, ImmortalsSurviveGC) {
+  RealTable table;
+  table.garbageCollect();
+  EXPECT_EQ(table.lookup(1.), &RealTable::one());
+  EXPECT_EQ(table.lookup(0.), &RealTable::zero());
+}
+
+TEST(Complex, SignTagging) {
+  RealTable table;
+  auto* half = table.lookup(0.5);
+  EXPECT_FALSE(Complex::isNegative(half));
+  auto* negHalf = Complex::flipSign(half);
+  EXPECT_TRUE(Complex::isNegative(negHalf));
+  EXPECT_EQ(Complex::aligned(negHalf), half);
+  EXPECT_DOUBLE_EQ(Complex::val(negHalf), -0.5);
+  EXPECT_DOUBLE_EQ(Complex::val(half), 0.5);
+  EXPECT_EQ(Complex::flipSign(negHalf), half);
+}
+
+TEST(Complex, ZeroHasNoNegative) {
+  auto* zero = &RealTable::zero();
+  EXPECT_EQ(Complex::flipSign(zero), zero);
+}
+
+TEST(Complex, Constants) {
+  EXPECT_TRUE(Complex::zero.exactlyZero());
+  EXPECT_TRUE(Complex::one.exactlyOne());
+  EXPECT_FALSE(Complex::one.exactlyZero());
+  EXPECT_FALSE(Complex::zero.exactlyOne());
+  EXPECT_EQ(Complex::zero.toValue(), ComplexValue(0., 0.));
+  EXPECT_EQ(Complex::one.toValue(), ComplexValue(1., 0.));
+}
+
+TEST(Complex, NegationAndConjugationArePointerOps) {
+  ComplexTable table;
+  const Complex c = table.lookup(0.25, 0.75);
+  const Complex neg = -c;
+  EXPECT_DOUBLE_EQ(neg.real(), -0.25);
+  EXPECT_DOUBLE_EQ(neg.imag(), -0.75);
+  EXPECT_EQ(Complex::aligned(neg.r), Complex::aligned(c.r));
+  const Complex cc = c.conj();
+  EXPECT_DOUBLE_EQ(cc.real(), 0.25);
+  EXPECT_DOUBLE_EQ(cc.imag(), -0.75);
+  EXPECT_EQ(cc.r, c.r);
+}
+
+TEST(ComplexTable, CanonicalLookup) {
+  ComplexTable table;
+  const Complex a = table.lookup(0.6, -0.8);
+  const Complex b = table.lookup(0.6 + 1e-12, -0.8 - 1e-12);
+  EXPECT_EQ(a, b);
+  const Complex c = table.lookup(-0.6, 0.8);
+  EXPECT_EQ(c, -a);
+}
+
+TEST(ComplexTable, NegativeValuesShareMagnitudeEntries) {
+  ComplexTable table;
+  const Complex a = table.lookup(0.37, 0.);
+  const Complex b = table.lookup(-0.37, 0.);
+  EXPECT_EQ(Complex::aligned(a.r), Complex::aligned(b.r));
+  EXPECT_EQ(table.realTable().size(), 1U);
+}
+
+TEST(ComplexTable, RoundTripRandomValues) {
+  ComplexTable table;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-1., 1.);
+  for (int k = 0; k < 1000; ++k) {
+    const ComplexValue v{dist(rng), dist(rng)};
+    const Complex c = table.lookup(v);
+    EXPECT_TRUE(c.toValue().approximatelyEquals(v, 1e-9));
+  }
+}
+
+} // namespace
+} // namespace qdd

@@ -1,0 +1,187 @@
+// Tests for the density-matrix simulator: agreement with pure-state
+// simulation on unitary circuits, exact classical distributions on dynamic
+// circuits, exact reset semantics, and the purity drop that motivates the
+// paper's Sec. IV-B remark about partial traces and mixed states.
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+#include "qdd/parser/qasm/Parser.hpp"
+#include "qdd/sim/DensityMatrixSimulator.hpp"
+#include "qdd/sim/SimulationSession.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qdd::sim {
+namespace {
+
+constexpr double EPS = 1e-9;
+
+TEST(DensitySim, PureUnitaryCircuitMatchesStateVector) {
+  const auto qc = ir::builders::randomCliffordT(4, 40, 11);
+  Package pkg(4);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.run();
+  EXPECT_EQ(dsim.numBranches(), 1U);
+  EXPECT_NEAR(dsim.purity(), 1., EPS); // still a pure state
+
+  // rho must equal |psi><psi| of the pure-state simulation
+  const vEdge psi = bridge::simulate(qc, pkg.makeZeroState(4), pkg);
+  const auto vec = pkg.getVector(psi);
+  const auto rho = pkg.getMatrix(dsim.densityMatrix());
+  for (std::size_t r = 0; r < vec.size(); ++r) {
+    for (std::size_t c = 0; c < vec.size(); ++c) {
+      const auto expected = vec[r] * std::conj(vec[c]);
+      EXPECT_NEAR(std::abs(rho[r * vec.size() + c] - expected), 0., 1e-8);
+    }
+  }
+}
+
+TEST(DensitySim, ProbabilitiesMatchPureSimulation) {
+  const auto qc = ir::builders::qft(4);
+  Package pkg(4);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.run();
+  const vEdge psi = bridge::simulate(qc, pkg.makeZeroState(4), pkg);
+  for (Qubit q = 0; q < 4; ++q) {
+    EXPECT_NEAR(dsim.probabilityOfOne(q), pkg.probabilityOfOne(psi, q), EPS);
+  }
+}
+
+TEST(DensitySim, MeasurementBranchesExactDistribution) {
+  // Bell measurement: exact 50/50 over {00, 11}
+  auto qc = ir::builders::bell();
+  qc.addClassicalRegister(2, "c");
+  qc.measure(0, 0);
+  qc.measure(1, 1);
+  Package pkg(2);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.run();
+  EXPECT_EQ(dsim.numBranches(), 2U); // impossible outcomes pruned
+  const auto dist = dsim.classicalDistribution();
+  ASSERT_EQ(dist.size(), 2U);
+  EXPECT_NEAR(dist.at("00"), 0.5, EPS);
+  EXPECT_NEAR(dist.at("11"), 0.5, EPS);
+}
+
+TEST(DensitySim, ClassicallyControlledCorrection) {
+  // measure-and-correct: outcome distribution collapses onto |1> on q1
+  const auto qc = qasm::parse(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+measure q[0] -> c[0];
+if (c == 1) x q[1];
+measure q[1] -> c[1];
+)");
+  Package pkg(2);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.run();
+  const auto dist = dsim.classicalDistribution();
+  ASSERT_EQ(dist.size(), 2U);
+  EXPECT_NEAR(dist.at("00"), 0.5, EPS);
+  EXPECT_NEAR(dist.at("11"), 0.5, EPS);
+}
+
+TEST(DensitySim, ResetIsExactAndDeterministic) {
+  // reset of a superposed qubit: no dialog, no sampling — the |1> branch
+  // is folded onto |0> exactly
+  const auto qc = qasm::parse(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+h q[0];
+reset q[0];
+)");
+  Package pkg(1);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.run();
+  EXPECT_EQ(dsim.numBranches(), 1U);
+  EXPECT_NEAR(dsim.probabilityOfOne(0), 0., EPS);
+  EXPECT_NEAR(dsim.purity(), 1., EPS); // |0><0| is pure
+}
+
+TEST(DensitySim, ResetOfEntangledQubitCreatesMixedState) {
+  // The paper's Sec. IV-B: "the partial trace maps pure states to mixed
+  // states". Resetting one half of a Bell pair leaves the other half
+  // maximally mixed — purity drops to 1/2.
+  auto qc = ir::builders::bell();
+  qc.reset(0);
+  Package pkg(2);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.run();
+  EXPECT_NEAR(dsim.purity(), 0.5, EPS);
+  // q0 is |0> again; q1 is maximally mixed
+  EXPECT_NEAR(dsim.probabilityOfOne(0), 0., EPS);
+  EXPECT_NEAR(dsim.probabilityOfOne(1), 0.5, EPS);
+}
+
+TEST(DensitySim, TeleportationExactDistribution) {
+  const auto qc = qasm::parse(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c0[1];
+creg c1[1];
+ry(0.9) q[2];
+h q[1];
+cx q[1], q[0];
+cx q[2], q[1];
+h q[2];
+measure q[1] -> c0[0];
+measure q[2] -> c1[0];
+if (c0 == 1) x q[0];
+if (c1 == 1) z q[0];
+)");
+  Package pkg(3);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.run();
+  // all four outcome pairs occur with probability 1/4
+  const auto dist = dsim.classicalDistribution();
+  ASSERT_EQ(dist.size(), 4U);
+  for (const auto& [bits, p] : dist) {
+    EXPECT_NEAR(p, 0.25, EPS) << bits;
+  }
+  // payload delivered: p(q0 = 1) equals sin^2(0.45)
+  const double expected = std::sin(0.45) * std::sin(0.45);
+  EXPECT_NEAR(dsim.probabilityOfOne(0), expected, EPS);
+}
+
+TEST(DensitySim, AgreesWithSamplingStatistics) {
+  // the exact distribution matches the sampling fallback statistically
+  const auto qc = qasm::parse(R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+ry(1.1) q[0];
+measure q[0] -> c[0];
+if (c == 1) h q[1];
+measure q[1] -> c[1];
+)");
+  Package pkg(2);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.run();
+  const auto exact = dsim.classicalDistribution();
+  const auto sampled = sampleCircuit(qc, 20000, 77);
+  for (const auto& [bits, p] : exact) {
+    const double measured =
+        sampled.counts.contains(bits)
+            ? static_cast<double>(sampled.counts.at(bits)) / 20000.
+            : 0.;
+    EXPECT_NEAR(measured, p, 0.02) << bits;
+  }
+}
+
+TEST(DensitySim, RunTwiceRejected) {
+  Package pkg(2);
+  DensityMatrixSimulator dsim(ir::builders::bell(), pkg);
+  dsim.run();
+  EXPECT_THROW(dsim.run(), std::logic_error);
+}
+
+} // namespace
+} // namespace qdd::sim

@@ -1,0 +1,224 @@
+// Tests for the extension features: partial trace, expectation values,
+// qubit permutations (DD-level and IR-level), and the compute-table
+// ablation toggle.
+
+#include "qdd/baseline/DenseSimulator.hpp"
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+#include "qdd/verify/EquivalenceChecker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <random>
+
+namespace qdd {
+namespace {
+
+constexpr double EPS = 1e-9;
+
+TEST(PartialTrace, FullTraceMatchesTrace) {
+  Package pkg(3);
+  const auto qc = ir::builders::randomCliffordT(3, 25, 3);
+  const mEdge u = bridge::buildFunctionality(qc, pkg);
+  const mEdge traced = pkg.partialTrace(u, {true, true, true});
+  ASSERT_TRUE(traced.isTerminal());
+  const ComplexValue full = pkg.trace(u);
+  EXPECT_NEAR(traced.w.real(), full.re, EPS);
+  EXPECT_NEAR(traced.w.imag(), full.im, EPS);
+}
+
+TEST(PartialTrace, IdentityFactorsOut) {
+  // tr_{q0}(A (x) I2) = 2 * A for A acting on the upper qubits
+  Package pkg(3);
+  const mEdge a = pkg.makeGateDD(H_MAT, 2, 1);
+  const mEdge full = pkg.kron(a, pkg.makeIdent(1));
+  const mEdge reduced = pkg.partialTrace(full, {true, false, false});
+  EXPECT_EQ(reduced.p, a.p);
+  EXPECT_NEAR(reduced.w.toValue().mag(), 2. * a.w.toValue().mag(), EPS);
+}
+
+TEST(PartialTrace, AgainstDenseDefinition) {
+  Package pkg(2);
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> dist(-1., 1.);
+  std::vector<std::complex<double>> mat(16);
+  for (auto& v : mat) {
+    v = {dist(rng), dist(rng)};
+  }
+  const mEdge e = pkg.makeMatrixFromDense(mat, 2);
+  // trace out q0 (the least significant qubit / inner 2x2 blocks)
+  const mEdge reduced = pkg.partialTrace(e, {true, false});
+  const auto r = pkg.getMatrix(reduced);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      const std::complex<double> expected =
+          mat[(2 * i + 0) * 4 + (2 * j + 0)] +
+          mat[(2 * i + 1) * 4 + (2 * j + 1)];
+      EXPECT_NEAR(std::abs(r[i * 2 + j] - expected), 0., EPS);
+    }
+  }
+  // trace out q1 (the most significant qubit / outer blocks)
+  const mEdge reducedTop = pkg.partialTrace(e, {false, true});
+  const auto rt = pkg.getMatrix(reducedTop);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      const std::complex<double> expected =
+          mat[(0 + i) * 4 + (0 + j)] + mat[(2 + i) * 4 + (2 + j)];
+      EXPECT_NEAR(std::abs(rt[i * 2 + j] - expected), 0., EPS);
+    }
+  }
+}
+
+TEST(PartialTrace, MaskTooShortThrows) {
+  Package pkg(2);
+  const mEdge id = pkg.makeIdent(2);
+  EXPECT_THROW(pkg.partialTrace(id, {true}), std::invalid_argument);
+}
+
+TEST(ExpectationValue, PauliZOnBellState) {
+  Package pkg(2);
+  const vEdge bell = pkg.makeGHZState(2);
+  const mEdge z0 = pkg.makeGateDD(Z_MAT, 2, 0);
+  // <Z_0> on the Bell state is 0
+  EXPECT_NEAR(pkg.expectationValue(z0, bell).re, 0., EPS);
+  // <Z_0 Z_1> = 1 (perfect correlation)
+  const mEdge z1 = pkg.makeGateDD(Z_MAT, 2, 1);
+  const mEdge zz = pkg.multiply(z0, z1);
+  EXPECT_NEAR(pkg.expectationValue(zz, bell).re, 1., EPS);
+}
+
+TEST(ExpectationValue, EnergyOfBasisState) {
+  Package pkg(1);
+  const vEdge one = pkg.makeBasisState(1, {true});
+  const mEdge z = pkg.makeGateDD(Z_MAT, 1, 0);
+  EXPECT_NEAR(pkg.expectationValue(z, one).re, -1., EPS);
+}
+
+TEST(PermuteQubits, VectorReversal) {
+  Package pkg(3);
+  // |q2 q1 q0> = |011> -> reversed -> |110>
+  const vEdge state = pkg.makeBasisState(3, {true, true, false});
+  const vEdge reversed = pkg.permuteQubits(state, {2, 1, 0});
+  const auto vec = pkg.getVector(reversed);
+  // original index 3 (q0=1,q1=1,q2=0); reversed: q0=0,q1=1,q2=1 -> index 6
+  EXPECT_NEAR(std::abs(vec[6]), 1., EPS);
+}
+
+TEST(PermuteQubits, IdentityPermutationIsNoop) {
+  Package pkg(3);
+  const vEdge state = pkg.makeGHZState(3);
+  const vEdge same = pkg.permuteQubits(state, {0, 1, 2});
+  EXPECT_EQ(same.p, state.p);
+}
+
+TEST(PermuteQubits, MatrixConjugation) {
+  Package pkg(2);
+  // CX(control q1, target q0) permuted by swapping qubits = CX(control q0,
+  // target q1)
+  const mEdge cx10 = pkg.makeGateDD(X_MAT, 2, {{1, true}}, 0);
+  const mEdge permuted = pkg.permuteQubits(cx10, {1, 0});
+  const mEdge cx01 = pkg.makeGateDD(X_MAT, 2, {{0, true}}, 1);
+  EXPECT_EQ(permuted.p, cx01.p);
+  EXPECT_TRUE(permuted.w.approximatelyEquals(cx01.w, EPS));
+}
+
+TEST(PermuteQubits, InvalidPermutationThrows) {
+  Package pkg(2);
+  const vEdge state = pkg.makeGHZState(2);
+  EXPECT_THROW(pkg.permuteQubits(state, {0}), std::invalid_argument);
+  EXPECT_THROW(pkg.permuteQubits(state, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(pkg.permuteQubits(state, {0, 5}), std::invalid_argument);
+}
+
+TEST(RemapQubits, RemappedCircuitMatchesPermutedFunctionality) {
+  const auto qc = ir::builders::qft(3);
+  const std::vector<Qubit> perm{2, 0, 1};
+  const auto remapped = ir::remapQubits(qc, perm);
+  Package pkg(3);
+  const mEdge u = bridge::buildFunctionality(qc, pkg);
+  const mEdge ur = bridge::buildFunctionality(remapped, pkg);
+  // permuting the original functionality must reproduce the remapped one:
+  // position k of the permuted operator carries original qubit inv(perm)[k]
+  std::vector<Qubit> inverse(3);
+  for (std::size_t k = 0; k < 3; ++k) {
+    inverse[static_cast<std::size_t>(perm[k])] = static_cast<Qubit>(k);
+  }
+  const mEdge permuted = pkg.permuteQubits(u, inverse);
+  EXPECT_EQ(permuted.p, ur.p);
+  EXPECT_TRUE(permuted.w.approximatelyEquals(ur.w, EPS));
+}
+
+TEST(RemapQubits, EnablesCrossOrderingVerification) {
+  // the "different variable ordering" scenario from Sec. IV-C: G2 is G1
+  // written with its qubits relabelled; after remapping back, standard
+  // equivalence checking succeeds.
+  const auto g1 = ir::builders::qft(4);
+  const std::vector<Qubit> perm{3, 2, 1, 0};
+  const auto g2 = ir::remapQubits(g1, perm);
+  {
+    // naive check must fail (different orderings!)
+    Package pkg(4);
+    const verify::EquivalenceChecker naive(g1, g2);
+    EXPECT_EQ(naive.checkByConstruction(pkg).equivalence,
+              verify::Equivalence::NotEquivalent);
+  }
+  {
+    // after undoing the relabelling, circuits match
+    std::vector<Qubit> inverse(4);
+    for (std::size_t k = 0; k < 4; ++k) {
+      inverse[static_cast<std::size_t>(perm[k])] = static_cast<Qubit>(k);
+    }
+    const auto g2back = ir::remapQubits(g2, inverse);
+    Package pkg(4);
+    const verify::EquivalenceChecker checker(g1, g2back);
+    EXPECT_EQ(checker.checkByConstruction(pkg).equivalence,
+              verify::Equivalence::Equivalent);
+  }
+}
+
+TEST(RemapQubits, HandlesAllOperationKinds) {
+  ir::QuantumComputation qc(3, 2);
+  qc.h(0);
+  qc.ccx(0, 1, 2);
+  qc.barrier();
+  qc.measure(2, 0);
+  qc.reset(1);
+  qc.classicControlled(
+      std::make_unique<ir::StandardOperation>(ir::OpType::X, Qubit{1}), 0, 2,
+      1);
+  const auto remapped = ir::remapQubits(qc, {2, 1, 0});
+  ASSERT_EQ(remapped.size(), qc.size());
+  EXPECT_EQ(remapped.at(0).targets()[0], 2);
+  EXPECT_EQ(remapped.at(3).targets()[0], 0);   // measure q2 -> q0
+  const auto* cc = dynamic_cast<const ir::ClassicControlledOperation*>(
+      &remapped.at(5));
+  ASSERT_NE(cc, nullptr);
+  EXPECT_EQ(cc->operation().targets()[0], 1);
+}
+
+TEST(RemapQubits, InvalidPermutations) {
+  const auto qc = ir::builders::bell();
+  EXPECT_THROW(ir::remapQubits(qc, {0}), std::invalid_argument);
+  EXPECT_THROW(ir::remapQubits(qc, {1, 1}), std::invalid_argument);
+}
+
+TEST(ComputeTableAblation, ResultsIdenticalWithoutMemoization) {
+  const auto qc = ir::builders::qft(5);
+  Package with(5);
+  Package without(5);
+  without.setComputeTablesEnabled(false);
+  EXPECT_FALSE(without.computeTablesAreEnabled());
+  const mEdge u1 = bridge::buildFunctionality(qc, with);
+  const mEdge u2 = bridge::buildFunctionality(qc, without);
+  EXPECT_EQ(Package::size(u1), Package::size(u2));
+  const auto m1 = with.getMatrix(u1);
+  const auto m2 = without.getMatrix(u2);
+  for (std::size_t k = 0; k < m1.size(); ++k) {
+    EXPECT_NEAR(std::abs(m1[k] - m2[k]), 0., EPS);
+  }
+}
+
+} // namespace
+} // namespace qdd

@@ -1,0 +1,177 @@
+// End-to-end integration tests over the sample circuit files shipped in
+// examples/circuits/: parsing, simulation, verification, and the tool
+// pipeline from file to exported diagram.
+
+#include "qdd/baseline/DenseSimulator.hpp"
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+#include "qdd/parser/qasm/Parser.hpp"
+#include "qdd/parser/real/RealParser.hpp"
+#include "qdd/sim/SimulationSession.hpp"
+#include "qdd/verify/EquivalenceChecker.hpp"
+#include "qdd/viz/DotExporter.hpp"
+#include "qdd/viz/TextDump.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#ifndef QDD_CIRCUITS_DIR
+#error "QDD_CIRCUITS_DIR must be defined by the build system"
+#endif
+
+namespace qdd {
+namespace {
+
+const std::string CIRCUITS = QDD_CIRCUITS_DIR;
+
+TEST(Integration, BellQasmFile) {
+  const auto qc = qasm::parseFile(CIRCUITS + "/bell.qasm");
+  EXPECT_EQ(qc.numQubits(), 2U);
+  EXPECT_EQ(qc.name(), "bell");
+  const auto result = sim::sampleCircuit(qc, 1000, 5);
+  ASSERT_EQ(result.counts.size(), 2U);
+  EXPECT_TRUE(result.counts.contains("00"));
+  EXPECT_TRUE(result.counts.contains("11"));
+}
+
+TEST(Integration, QftFileMatchesBuilder) {
+  const auto fromFile = qasm::parseFile(CIRCUITS + "/qft3.qasm");
+  const auto fromBuilder = ir::builders::qft(3);
+  Package pkg(3);
+  const verify::EquivalenceChecker checker(fromFile, fromBuilder);
+  EXPECT_EQ(checker.checkByConstruction(pkg).equivalence,
+            verify::Equivalence::Equivalent);
+}
+
+TEST(Integration, HandWrittenCompiledQftReproducesEx12) {
+  const auto qft = qasm::parseFile(CIRCUITS + "/qft3.qasm");
+  const auto compiled = qasm::parseFile(CIRCUITS + "/qft3_compiled.qasm");
+  Package pkg(3);
+  const verify::EquivalenceChecker checker(qft, compiled);
+  const auto result =
+      checker.checkAlternating(pkg, verify::Strategy::BarrierSync);
+  EXPECT_EQ(result.equivalence, verify::Equivalence::Equivalent);
+  EXPECT_LE(result.maxNodes, 9U); // paper Ex. 12
+}
+
+TEST(Integration, TeleportationDeliversPayload) {
+  const auto qc = qasm::parseFile(CIRCUITS + "/teleport.qasm");
+  ASSERT_EQ(qc.numQubits(), 3U);
+  // expected payload: ry(0.9) rz(0.4) |0>
+  ir::QuantumComputation payload(1);
+  payload.ry(0.9, 0);
+  payload.rz(0.4, 0);
+  baseline::DenseStateVector expected(1);
+  expected.run(payload);
+  const auto a = expected.amplitudes();
+
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Package pkg(3);
+    sim::SimulationSession session(qc, pkg, seed);
+    while (session.stepForward()) {
+    }
+    // after teleportation q0 carries the payload; q1, q2 are classical
+    const auto vec = pkg.getVector(session.state());
+    std::uint64_t base = 0; // index with q0 = 0 holding the amplitude mass
+    double best = -1.;
+    for (std::uint64_t idx = 0; idx < 8; idx += 2) {
+      const double mass = std::norm(vec[idx]) + std::norm(vec[idx | 1ULL]);
+      if (mass > best) {
+        best = mass;
+        base = idx;
+      }
+    }
+    // fidelity between (vec[base], vec[base+1]) and the payload, up to a
+    // global phase
+    const std::complex<double> ip =
+        std::conj(vec[base]) * a[0] + std::conj(vec[base | 1ULL]) * a[1];
+    EXPECT_NEAR(std::abs(ip), 1., 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Integration, ToffoliRealFileAgainstDense) {
+  const auto qc = real::parseFile(CIRCUITS + "/toffoli.real");
+  EXPECT_EQ(qc.numQubits(), 3U);
+  Package pkg(3);
+  const mEdge u = bridge::buildFunctionality(qc, pkg);
+  baseline::DenseUnitary dense(3);
+  dense.run(qc);
+  const auto mat = pkg.getMatrix(u);
+  const auto& expected = dense.matrix();
+  for (std::size_t k = 0; k < mat.size(); ++k) {
+    EXPECT_NEAR(std::abs(mat[k] - expected[k]), 0., 1e-10);
+  }
+  // reversible circuits map basis states to basis states: permutation matrix
+  for (std::size_t c = 0; c < 8; ++c) {
+    double colSum = 0.;
+    for (std::size_t r = 0; r < 8; ++r) {
+      colSum += std::abs(mat[r * 8 + c]);
+    }
+    EXPECT_NEAR(colSum, 1., 1e-10);
+  }
+}
+
+TEST(Integration, FileToDiagramPipeline) {
+  // the qdd-tool "show" pipeline: parse -> build -> export
+  const auto qc = qasm::parseFile(CIRCUITS + "/qft3.qasm");
+  Package pkg(3);
+  const mEdge u = bridge::buildFunctionality(qc, pkg);
+  const viz::Graph g = viz::buildGraph(u);
+  EXPECT_EQ(g.nodes.size(), 21U);
+  const std::string dot = viz::DotExporter().toDot(g);
+  EXPECT_NE(dot.find("q2"), std::string::npos);
+  const std::string omega = viz::formatMatrixOmega(pkg.getMatrix(u), 3);
+  EXPECT_NE(omega.find("w = e^(i*pi/4)"), std::string::npos);
+}
+
+TEST(Integration, DumpedBuilderCircuitsReparse) {
+  // every builder circuit survives a dump/parse round trip semantically
+  const std::vector<ir::QuantumComputation> circuits = {
+      ir::builders::bell(),         ir::builders::ghz(4),
+      ir::builders::qft(4),         ir::builders::wState(4),
+      ir::builders::grover(3, 5),   ir::builders::bernsteinVazirani(3, 5),
+      ir::builders::randomCliffordT(4, 30, 2),
+  };
+  for (const auto& qc : circuits) {
+    const auto reparsed = qasm::parse(qc.toOpenQASM(), qc.name());
+    ASSERT_EQ(reparsed.numQubits(), qc.numQubits()) << qc.name();
+    Package pkg(qc.numQubits());
+    const verify::EquivalenceChecker checker(qc, reparsed);
+    EXPECT_EQ(checker.checkByConstruction(pkg).equivalence,
+              verify::Equivalence::Equivalent)
+        << qc.name();
+  }
+}
+
+TEST(Integration, GarbageCollectionUnderSustainedLoad) {
+  // long-running session with frequent forced collections stays correct
+  const std::size_t n = 8;
+  Package pkg(n);
+  vEdge state = pkg.makeZeroState(n);
+  pkg.incRef(state);
+  std::mt19937_64 rng(3);
+  const auto qc = ir::builders::randomCliffordT(n, 400, 12);
+  std::size_t step = 0;
+  for (const auto& op : qc) {
+    const mEdge gate = bridge::getDD(*op, n, pkg);
+    const vEdge next = pkg.multiply(gate, state);
+    pkg.incRef(next);
+    pkg.decRef(state);
+    state = next;
+    if (++step % 10 == 0) {
+      pkg.garbageCollect(true);
+    }
+  }
+  EXPECT_NEAR(pkg.norm(state), 1., 1e-9);
+  baseline::DenseStateVector dense(n);
+  dense.run(qc);
+  const auto vec = pkg.getVector(state);
+  for (std::size_t k = 0; k < vec.size(); ++k) {
+    EXPECT_NEAR(std::abs(vec[k] - dense.amplitudes()[k]), 0., 1e-8);
+  }
+}
+
+} // namespace
+} // namespace qdd

@@ -1,0 +1,272 @@
+#include "qdd/ir/Builders.hpp"
+#include "qdd/ir/QuantumComputation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace qdd::ir {
+namespace {
+
+constexpr double PI_T = 3.14159265358979323846;
+
+TEST(IrQuantumComputation, BasicConstruction) {
+  QuantumComputation qc(3, 3, "demo");
+  qc.h(0);
+  qc.cx(0, 1);
+  qc.measure(1, 1);
+  EXPECT_EQ(qc.numQubits(), 3U);
+  EXPECT_EQ(qc.numClbits(), 3U);
+  EXPECT_EQ(qc.size(), 3U);
+  EXPECT_EQ(qc.gateCount(), 3U);
+  EXPECT_FALSE(qc.isPurelyUnitary());
+}
+
+TEST(IrQuantumComputation, BarriersExcludedFromGateCount) {
+  QuantumComputation qc(2);
+  qc.h(0);
+  qc.barrier();
+  qc.x(1);
+  EXPECT_EQ(qc.gateCount(), 2U);
+  EXPECT_EQ(qc.size(), 3U);
+  EXPECT_TRUE(qc.isPurelyUnitary());
+}
+
+TEST(IrQuantumComputation, RegistersAndNames) {
+  QuantumComputation qc;
+  qc.addQubitRegister(2, "a");
+  qc.addQubitRegister(3, "b");
+  qc.addClassicalRegister(2, "c");
+  EXPECT_EQ(qc.numQubits(), 5U);
+  const auto names = qc.qubitNames();
+  EXPECT_EQ(names[0], "a[0]");
+  EXPECT_EQ(names[2], "b[0]");
+  EXPECT_EQ(names[4], "b[2]");
+  EXPECT_THROW(qc.addQubitRegister(1, "a"), std::invalid_argument);
+  EXPECT_NE(qc.classicalRegister("c"), nullptr);
+  EXPECT_EQ(qc.classicalRegister("nope"), nullptr);
+}
+
+TEST(IrQuantumComputation, QubitOutOfRangeRejected) {
+  QuantumComputation qc(2);
+  EXPECT_THROW(qc.h(5), std::invalid_argument);
+  EXPECT_THROW(qc.cx(0, 3), std::invalid_argument);
+}
+
+TEST(IrStandardOperation, Validation) {
+  EXPECT_THROW(StandardOperation(OpType::X, {{0, true}}, {0}),
+               std::invalid_argument);
+  EXPECT_THROW(StandardOperation(OpType::RX, {}, {0}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(StandardOperation(OpType::H, {}, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(StandardOperation(OpType::SWAP, {}, {1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      StandardOperation(OpType::X, {{1, true}, {1, false}}, {0}),
+      std::invalid_argument);
+  EXPECT_THROW(StandardOperation(OpType::Measure, {}, {0}),
+               std::invalid_argument);
+}
+
+TEST(IrStandardOperation, InvertInvolution) {
+  // inverting twice restores the original operation
+  std::vector<StandardOperation> ops = {
+      {OpType::H, 0},
+      {OpType::S, 1},
+      {OpType::Tdg, 0},
+      {OpType::RX, 0, {0.7}},
+      {OpType::Phase, 1, {1.3}},
+      {OpType::U3, 0, {0.3, 0.5, 0.7}},
+  };
+  ops.emplace_back(OpType::SWAP, QubitControls{}, std::vector<Qubit>{0, 1});
+  for (const auto& op : ops) {
+    auto copy = op.clone();
+    copy->invert();
+    copy->invert();
+    if (op.type() == OpType::U2) {
+      continue; // U2 inverts into U3; double inversion is not syntactic
+    }
+    EXPECT_EQ(copy->type(), op.type());
+    ASSERT_EQ(copy->parameters().size(), op.parameters().size());
+    for (std::size_t k = 0; k < op.parameters().size(); ++k) {
+      EXPECT_NEAR(copy->parameters()[k], op.parameters()[k], 1e-12);
+    }
+  }
+}
+
+TEST(IrOperations, UsedQubits) {
+  const StandardOperation op(OpType::X, {{2, true}, {0, false}}, {1});
+  const auto used = op.usedQubits();
+  EXPECT_EQ(used, (std::vector<Qubit>{0, 1, 2}));
+}
+
+TEST(IrNonUnitary, MeasureValidation) {
+  EXPECT_THROW(NonUnitaryOperation(std::vector<Qubit>{0, 1},
+                                   std::vector<std::size_t>{0}),
+               std::invalid_argument);
+  EXPECT_THROW(NonUnitaryOperation(OpType::H, std::vector<Qubit>{0}),
+               std::invalid_argument);
+  NonUnitaryOperation reset(OpType::Reset, std::vector<Qubit>{0});
+  EXPECT_FALSE(reset.isUnitary());
+  EXPECT_THROW(reset.invert(), std::logic_error);
+  NonUnitaryOperation barrier(OpType::Barrier, std::vector<Qubit>{0, 1});
+  EXPECT_TRUE(barrier.isUnitary());
+  EXPECT_NO_THROW(barrier.invert());
+}
+
+TEST(IrClassicControlled, ConditionEvaluation) {
+  auto inner = std::make_unique<StandardOperation>(OpType::X, Qubit{0});
+  const ClassicControlledOperation op(std::move(inner), 0, 2, 2);
+  EXPECT_TRUE(op.conditionSatisfied({false, true}));
+  EXPECT_FALSE(op.conditionSatisfied({true, false}));
+  EXPECT_FALSE(op.conditionSatisfied({false, false}));
+  EXPECT_FALSE(op.isUnitary());
+  auto copy = op.clone();
+  EXPECT_TRUE(copy->isClassicControlledOperation());
+}
+
+TEST(IrCompound, InvertReversesOrder) {
+  CompoundOperation comp("grp");
+  comp.emplaceBack(std::make_unique<StandardOperation>(OpType::S, Qubit{0}));
+  comp.emplaceBack(std::make_unique<StandardOperation>(OpType::H, Qubit{1}));
+  comp.invert();
+  EXPECT_EQ(comp.operations()[0]->type(), OpType::H);
+  EXPECT_EQ(comp.operations()[1]->type(), OpType::Sdg);
+}
+
+TEST(IrInversion, InvertedCircuitReversesGates) {
+  QuantumComputation qc(2);
+  qc.h(1);
+  qc.cx(1, 0);
+  qc.t(0);
+  const QuantumComputation inv = qc.inverted();
+  ASSERT_EQ(inv.size(), 3U);
+  EXPECT_EQ(inv.at(0).type(), OpType::Tdg);
+  EXPECT_EQ(inv.at(1).type(), OpType::X);
+  EXPECT_EQ(inv.at(2).type(), OpType::H);
+}
+
+TEST(IrInversion, NonUnitaryRejected) {
+  QuantumComputation qc(1, 1);
+  qc.h(0);
+  qc.measure(0, 0);
+  EXPECT_THROW((void)qc.inverted(), std::logic_error);
+}
+
+TEST(IrBuilders, BellMatchesFig1c) {
+  const auto qc = builders::bell();
+  ASSERT_EQ(qc.size(), 2U);
+  EXPECT_EQ(qc.at(0).type(), OpType::H);
+  EXPECT_EQ(qc.at(0).targets()[0], 1);
+  EXPECT_EQ(qc.at(1).type(), OpType::X);
+  ASSERT_EQ(qc.at(1).controls().size(), 1U);
+  EXPECT_EQ(qc.at(1).controls()[0].qubit, 1);
+  EXPECT_EQ(qc.at(1).targets()[0], 0);
+}
+
+TEST(IrBuilders, QftThreeQubitsMatchesFig5a) {
+  const auto qc = builders::qft(3);
+  // H q2, cp(pi/2) q1->q2, cp(pi/4) q0->q2, H q1, cp(pi/2) q0->q1, H q0,
+  // SWAP q0 q2
+  ASSERT_EQ(qc.size(), 7U);
+  EXPECT_EQ(qc.at(0).type(), OpType::H);
+  EXPECT_EQ(qc.at(0).targets()[0], 2);
+  EXPECT_EQ(qc.at(1).type(), OpType::Phase);
+  EXPECT_NEAR(qc.at(1).parameters()[0], PI_T / 2., 1e-12); // S
+  EXPECT_EQ(qc.at(2).type(), OpType::Phase);
+  EXPECT_NEAR(qc.at(2).parameters()[0], PI_T / 4., 1e-12); // T
+  EXPECT_EQ(qc.at(6).type(), OpType::SWAP);
+}
+
+TEST(IrBuilders, GhzGateCount) {
+  const auto qc = builders::ghz(5);
+  EXPECT_EQ(qc.gateCount(), 5U); // 1 H + 4 CX
+  EXPECT_EQ(qc.numQubits(), 5U);
+}
+
+TEST(IrBuilders, GroverValidation) {
+  EXPECT_THROW(builders::grover(2, 7), std::invalid_argument);
+  const auto qc = builders::grover(3, 5);
+  EXPECT_EQ(qc.numQubits(), 3U);
+  EXPECT_GT(qc.gateCount(), 0U);
+}
+
+TEST(IrBuilders, RandomCliffordTDeterministic) {
+  const auto a = builders::randomCliffordT(4, 50, 42);
+  const auto b = builders::randomCliffordT(4, 50, 42);
+  EXPECT_EQ(a.toOpenQASM(), b.toOpenQASM());
+  const auto c = builders::randomCliffordT(4, 50, 43);
+  EXPECT_NE(a.toOpenQASM(), c.toOpenQASM());
+}
+
+TEST(IrDecompose, SwapBecomesThreeCnots) {
+  QuantumComputation qc(2);
+  qc.swap(0, 1);
+  const auto compiled = decomposeToNativeGates(qc);
+  EXPECT_EQ(compiled.gateCount(), 3U);
+  for (const auto& op : compiled) {
+    EXPECT_EQ(op->type(), OpType::X);
+    EXPECT_EQ(op->controls().size(), 1U);
+  }
+}
+
+TEST(IrDecompose, ControlledPhaseBecomesNative) {
+  QuantumComputation qc(2);
+  qc.cphase(PI_T / 4., 0, 1);
+  const auto compiled = decomposeToNativeGates(qc);
+  // p(theta/2) c; cx; p(-theta/2) t; cx; p(theta/2) t  (Fig. 5(b))
+  EXPECT_EQ(compiled.gateCount(), 5U);
+  EXPECT_EQ(compiled.at(0).type(), OpType::Phase);
+  EXPECT_NEAR(compiled.at(0).parameters()[0], PI_T / 8., 1e-12);
+  EXPECT_EQ(compiled.at(1).type(), OpType::X);
+  EXPECT_NEAR(compiled.at(2).parameters()[0], -PI_T / 8., 1e-12);
+}
+
+TEST(IrDecompose, BarriersMarkOriginalGateBoundaries) {
+  const auto qft = builders::qft(3);
+  const auto compiled = decomposeToNativeGates(qft, true);
+  std::size_t barriers = 0;
+  for (const auto& op : compiled) {
+    if (op->type() == OpType::Barrier) {
+      ++barriers;
+    }
+  }
+  EXPECT_EQ(barriers, qft.size()); // one barrier per original gate
+}
+
+TEST(IrQasmDump, ContainsDeclarationsAndGates) {
+  QuantumComputation qc(2, 2, "dump");
+  qc.h(0);
+  qc.cx(0, 1);
+  qc.cphase(PI_T / 2., 0, 1);
+  qc.measure(0, 0);
+  qc.barrier();
+  const std::string qasm = qc.toOpenQASM();
+  EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(qasm.find("qreg q[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("creg c[2];"), std::string::npos);
+  EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("cx q[0], q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("cp(pi/2) q[0], q[1];"), std::string::npos);
+  EXPECT_NE(qasm.find("measure q[0] -> c[0];"), std::string::npos);
+  EXPECT_NE(qasm.find("barrier q[0], q[1];"), std::string::npos);
+}
+
+TEST(IrQasmDump, NegativeControlsWrappedInX) {
+  QuantumComputation qc(2);
+  qc.addStandard(OpType::X, {{1, false}}, {0});
+  const std::string qasm = qc.toOpenQASM();
+  // negative control emitted as x-conjugated positive control
+  const auto firstX = qasm.find("x q[1];");
+  ASSERT_NE(firstX, std::string::npos);
+  const auto cx = qasm.find("cx q[1], q[0];");
+  ASSERT_NE(cx, std::string::npos);
+  const auto secondX = qasm.find("x q[1];", cx);
+  EXPECT_NE(secondX, std::string::npos);
+  EXPECT_LT(firstX, cx);
+}
+
+} // namespace
+} // namespace qdd::ir

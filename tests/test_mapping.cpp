@@ -1,0 +1,205 @@
+// Tests for coupling maps and the SWAP-routing mapper, including the
+// verification of mapping results — the compilation-flow scenario the
+// paper's Sec. III-C motivates (refs [23]-[28]).
+
+#include "qdd/ir/Builders.hpp"
+#include "qdd/ir/Mapping.hpp"
+#include "qdd/verify/EquivalenceChecker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qdd::ir {
+namespace {
+
+bool respectsCoupling(const QuantumComputation& qc, const CouplingMap& cm) {
+  for (const auto& op : qc) {
+    const auto used = op->usedQubits();
+    if (used.size() == 2 && op->isStandardOperation()) {
+      if (!cm.connected(used[0], used[1])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(CouplingMap, Topologies) {
+  const CouplingMap lin = CouplingMap::linear(4);
+  EXPECT_TRUE(lin.connected(0, 1));
+  EXPECT_TRUE(lin.connected(2, 1));
+  EXPECT_FALSE(lin.connected(0, 3));
+  const CouplingMap ring = CouplingMap::ring(4);
+  EXPECT_TRUE(ring.connected(3, 0));
+  const CouplingMap grid = CouplingMap::grid(2, 3);
+  EXPECT_EQ(grid.size(), 6U);
+  EXPECT_TRUE(grid.connected(0, 3));  // vertical
+  EXPECT_TRUE(grid.connected(1, 2));  // horizontal
+  EXPECT_FALSE(grid.connected(0, 4)); // diagonal
+}
+
+TEST(CouplingMap, ShortestPath) {
+  const CouplingMap lin = CouplingMap::linear(5);
+  const auto path = lin.shortestPath(0, 4);
+  EXPECT_EQ(path, (std::vector<Qubit>{0, 1, 2, 3, 4}));
+  const CouplingMap ring = CouplingMap::ring(6);
+  EXPECT_EQ(ring.shortestPath(0, 5).size(), 2U); // around the back
+  EXPECT_EQ(ring.shortestPath(2, 2), (std::vector<Qubit>{2}));
+}
+
+TEST(CouplingMap, Validation) {
+  EXPECT_THROW(CouplingMap(0, {}), std::invalid_argument);
+  EXPECT_THROW(CouplingMap(2, {{0, 5}}), std::invalid_argument);
+  EXPECT_THROW(CouplingMap(2, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(Mapping, AdjacentGatesPassThrough) {
+  QuantumComputation qc(3);
+  qc.h(0);
+  qc.cx(0, 1);
+  qc.cx(1, 2);
+  const auto result = mapToCoupling(qc, CouplingMap::linear(3));
+  EXPECT_EQ(result.addedSwaps, 0U);
+  EXPECT_EQ(result.mapped.gateCount(), qc.gateCount());
+  EXPECT_EQ(result.outputPosition, (std::vector<Qubit>{0, 1, 2}));
+}
+
+TEST(Mapping, DistantGateGetsRouted) {
+  QuantumComputation qc(4);
+  qc.cx(0, 3);
+  const auto result = mapToCoupling(qc, CouplingMap::linear(4));
+  EXPECT_GT(result.addedSwaps, 0U);
+  EXPECT_TRUE(respectsCoupling(result.mapped, CouplingMap::linear(4)));
+}
+
+TEST(Mapping, MappedCircuitEquivalentAfterRestore) {
+  // the [28] scenario: verify the result of the mapping flow with DDs
+  for (const std::size_t n : {3U, 4U, 5U}) {
+    const auto qft = builders::qft(n);
+    const auto result = mapToCoupling(qft, CouplingMap::linear(n));
+    EXPECT_TRUE(respectsCoupling(result.mapped, CouplingMap::linear(n)))
+        << "n=" << n;
+    const auto restored = result.mappedWithRestore();
+    Package pkg(n);
+    const verify::EquivalenceChecker checker(qft, restored);
+    EXPECT_EQ(checker.checkByConstruction(pkg).equivalence,
+              verify::Equivalence::Equivalent)
+        << "n=" << n;
+  }
+}
+
+TEST(Mapping, AlternatingSchemeVerifiesMappedCircuits) {
+  const auto qc = builders::randomCliffordT(5, 60, 21);
+  const auto result = mapToCoupling(qc, CouplingMap::ring(5));
+  const auto restored = result.mappedWithRestore();
+  Package pkg(5);
+  const verify::EquivalenceChecker checker(qc, restored);
+  const auto res = checker.checkAlternating(pkg, verify::Strategy::Proportional);
+  EXPECT_EQ(res.equivalence, verify::Equivalence::Equivalent);
+}
+
+TEST(Mapping, DetectsBrokenMapping) {
+  const auto qc = builders::qft(4);
+  auto result = mapToCoupling(qc, CouplingMap::linear(4));
+  auto broken = result.mappedWithRestore();
+  broken.z(2); // inject an error into the "compiler output"
+  Package pkg(4);
+  const verify::EquivalenceChecker checker(qc, broken);
+  EXPECT_EQ(checker.checkByConstruction(pkg).equivalence,
+            verify::Equivalence::NotEquivalent);
+}
+
+TEST(Mapping, GridTopology) {
+  const auto qc = builders::randomCliffordT(6, 80, 9);
+  const CouplingMap grid = CouplingMap::grid(2, 3);
+  const auto result = mapToCoupling(qc, grid);
+  EXPECT_TRUE(respectsCoupling(result.mapped, grid));
+  const auto restored = result.mappedWithRestore();
+  Package pkg(6);
+  const verify::EquivalenceChecker checker(qc, restored);
+  EXPECT_EQ(checker.checkBySimulation(pkg, 8).equivalence,
+            verify::Equivalence::ProbablyEquivalent);
+}
+
+TEST(Mapping, MeasurementsFollowTheirQubits) {
+  QuantumComputation qc(3, 3);
+  qc.cx(0, 2); // forces routing on a linear device
+  qc.measure(0, 0);
+  const auto result = mapToCoupling(qc, CouplingMap::linear(3));
+  // find the measure operation and check it targets logical qubit 0's wire
+  const Qubit expected = result.outputPosition[0];
+  bool found = false;
+  for (const auto& op : result.mapped) {
+    if (op->type() == OpType::Measure) {
+      EXPECT_EQ(op->targets()[0], expected);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Mapping, SwapGatesRoutedToo) {
+  QuantumComputation qc(4);
+  qc.swap(0, 3);
+  const auto result = mapToCoupling(qc, CouplingMap::linear(4));
+  EXPECT_TRUE(respectsCoupling(result.mapped, CouplingMap::linear(4)));
+  const auto restored = result.mappedWithRestore();
+  Package pkg(4);
+  const verify::EquivalenceChecker checker(qc, restored);
+  EXPECT_EQ(checker.checkByConstruction(pkg).equivalence,
+            verify::Equivalence::Equivalent);
+}
+
+TEST(Mapping, RejectsUnsupportedInputs) {
+  QuantumComputation toffoli(3);
+  toffoli.ccx(0, 1, 2);
+  EXPECT_THROW(mapToCoupling(toffoli, CouplingMap::linear(3)),
+               std::invalid_argument);
+  QuantumComputation big(5);
+  big.h(4);
+  EXPECT_THROW(mapToCoupling(big, CouplingMap::linear(3)),
+               std::invalid_argument);
+}
+
+TEST(Mapping, DecomposeFirstThenMapWorks) {
+  // the full flow: Toffoli-bearing circuit -> native gates -> mapped
+  QuantumComputation qc(3);
+  qc.h(2);
+  qc.ccx(2, 1, 0); // not directly mappable
+  qc.cphase(0.7, 0, 2);
+  // decompose the Toffoli via controlled-phase identities? Our pass keeps
+  // ccx; instead express it manually with the standard 2-qubit+T network.
+  QuantumComputation flat(3);
+  flat.h(2);
+  flat.h(0);
+  flat.cx(1, 0);
+  flat.tdg(0);
+  flat.cx(2, 0);
+  flat.t(0);
+  flat.cx(1, 0);
+  flat.tdg(0);
+  flat.cx(2, 0);
+  flat.t(1);
+  flat.t(0);
+  flat.h(0);
+  flat.cx(2, 1);
+  flat.t(2);
+  flat.tdg(1);
+  flat.cx(2, 1);
+  flat.cphase(0.7, 0, 2);
+  {
+    // sanity: `flat` realizes the same function as `qc`
+    Package pkg(3);
+    const verify::EquivalenceChecker checker(qc, flat);
+    ASSERT_EQ(checker.checkByConstruction(pkg).equivalence,
+              verify::Equivalence::Equivalent);
+  }
+  const auto result = mapToCoupling(flat, CouplingMap::linear(3));
+  const auto restored = result.mappedWithRestore();
+  Package pkg(3);
+  const verify::EquivalenceChecker checker(qc, restored);
+  EXPECT_EQ(checker.checkByConstruction(pkg).equivalence,
+            verify::Equivalence::Equivalent);
+}
+
+} // namespace
+} // namespace qdd::ir

@@ -1,0 +1,134 @@
+// Tests for the Kraus-channel noise model on the density-matrix engine.
+
+#include "qdd/ir/Builders.hpp"
+#include "qdd/sim/DensityMatrixSimulator.hpp"
+#include "qdd/sim/NoiseModel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qdd::sim {
+namespace {
+
+constexpr double EPS = 1e-9;
+
+TEST(NoiseChannels, AllBuiltinsAreTracePreserving) {
+  for (const double p : {0., 0.1, 0.5, 1.}) {
+    EXPECT_TRUE(depolarizing(p).isTracePreserving()) << p;
+    EXPECT_TRUE(amplitudeDamping(p).isTracePreserving()) << p;
+    EXPECT_TRUE(phaseDamping(p).isTracePreserving()) << p;
+    EXPECT_TRUE(bitFlip(p).isTracePreserving()) << p;
+    EXPECT_TRUE(phaseFlip(p).isTracePreserving()) << p;
+  }
+}
+
+TEST(NoiseChannels, InvalidProbabilityRejected) {
+  EXPECT_THROW(depolarizing(-0.1), std::invalid_argument);
+  EXPECT_THROW(amplitudeDamping(1.5), std::invalid_argument);
+}
+
+TEST(NoiseChannels, NonTracePreservingChannelRejected) {
+  KrausChannel bogus{"bogus", {H_MAT, H_MAT}}; // sums to 2I
+  EXPECT_FALSE(bogus.isTracePreserving());
+  Package pkg(1);
+  ir::QuantumComputation qc(1);
+  qc.x(0);
+  DensityMatrixSimulator dsim(qc, pkg);
+  EXPECT_THROW(dsim.setNoiseModel({{bogus}}), std::invalid_argument);
+}
+
+TEST(NoiseSim, ZeroStrengthNoiseIsNoiseless) {
+  const auto qc = ir::builders::qft(3);
+  Package pkg(3);
+  DensityMatrixSimulator noisy(qc, pkg);
+  noisy.setNoiseModel({{depolarizing(0.)}});
+  noisy.run();
+  EXPECT_NEAR(noisy.purity(), 1., EPS);
+}
+
+TEST(NoiseSim, BitFlipProbabilityOne) {
+  // bitFlip(1) after an X gate flips it straight back
+  ir::QuantumComputation qc(1);
+  qc.x(0);
+  Package pkg(1);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.setNoiseModel({{bitFlip(1.)}});
+  dsim.run();
+  EXPECT_NEAR(dsim.probabilityOfOne(0), 0., EPS);
+  EXPECT_NEAR(dsim.purity(), 1., EPS); // deterministic flip stays pure
+}
+
+TEST(NoiseSim, AmplitudeDampingDecaysExcitedState) {
+  // |1> through m idle gates with damping gamma: p1 = (1-gamma)^m
+  const double gamma = 0.2;
+  const std::size_t m = 5;
+  ir::QuantumComputation qc(1);
+  qc.x(0);
+  for (std::size_t k = 0; k < m - 1; ++k) {
+    qc.i(0); // identity gates just trigger the after-gate noise
+  }
+  Package pkg(1);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.setNoiseModel({{amplitudeDamping(gamma)}});
+  dsim.run();
+  EXPECT_NEAR(dsim.probabilityOfOne(0), std::pow(1. - gamma, m), 1e-9);
+}
+
+TEST(NoiseSim, DepolarizingDrivesToMaximallyMixed) {
+  ir::QuantumComputation qc(1);
+  qc.h(0);
+  for (int k = 0; k < 40; ++k) {
+    qc.i(0);
+  }
+  Package pkg(1);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.setNoiseModel({{depolarizing(0.3)}});
+  dsim.run();
+  EXPECT_NEAR(dsim.probabilityOfOne(0), 0.5, 1e-6);
+  EXPECT_NEAR(dsim.purity(), 0.5, 1e-6); // fully mixed single qubit
+}
+
+TEST(NoiseSim, PhaseDampingKillsCoherenceNotPopulation) {
+  // H|0> has p1 = 0.5; dephasing keeps populations but destroys the
+  // off-diagonals, so purity decays toward 1/2
+  ir::QuantumComputation qc(1);
+  qc.h(0);
+  for (int k = 0; k < 30; ++k) {
+    qc.i(0);
+  }
+  Package pkg(1);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.setNoiseModel({{phaseDamping(0.25)}});
+  dsim.run();
+  EXPECT_NEAR(dsim.probabilityOfOne(0), 0.5, EPS); // populations untouched
+  EXPECT_NEAR(dsim.purity(), 0.5, 1e-4);
+  // off-diagonal of rho is (1-lambda)^(31/2)-ish small
+  const auto rho = pkg.getMatrix(dsim.densityMatrix());
+  EXPECT_LT(std::abs(rho[1]), 1e-2);
+}
+
+TEST(NoiseSim, NoisyGhzFidelityDecays) {
+  const auto qc = ir::builders::ghz(3);
+  Package pkg(3);
+  DensityMatrixSimulator noisy(qc, pkg);
+  noisy.setNoiseModel({{depolarizing(0.05)}});
+  noisy.run();
+  const double purity = noisy.purity();
+  EXPECT_LT(purity, 1.);
+  EXPECT_GT(purity, 0.5);
+  // the GHZ correlation survives partially: p(q0=1) stays 1/2 by symmetry
+  EXPECT_NEAR(noisy.probabilityOfOne(0), 0.5, 1e-6);
+}
+
+TEST(NoiseSim, SetNoiseAfterRunRejected) {
+  Package pkg(1);
+  ir::QuantumComputation qc(1);
+  qc.x(0);
+  DensityMatrixSimulator dsim(qc, pkg);
+  dsim.run();
+  EXPECT_THROW(dsim.setNoiseModel({{bitFlip(0.1)}}), std::logic_error);
+}
+
+} // namespace
+} // namespace qdd::sim

@@ -1,0 +1,101 @@
+#include "qdd/parser/real/RealParser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qdd::real {
+namespace {
+
+TEST(RealParser, ToffoliNetwork) {
+  const auto qc = parse(R"(
+# a tiny reversible circuit
+.version 2.0
+.numvars 3
+.variables a b c
+.begin
+t1 a
+t2 a b
+t3 a b c
+.end
+)");
+  EXPECT_EQ(qc.numQubits(), 3U);
+  ASSERT_EQ(qc.size(), 3U);
+  // first variable 'a' maps to the most-significant qubit q2
+  EXPECT_EQ(qc.at(0).type(), ir::OpType::X);
+  EXPECT_TRUE(qc.at(0).controls().empty());
+  EXPECT_EQ(qc.at(0).targets()[0], 2);
+  EXPECT_EQ(qc.at(1).controls().size(), 1U);
+  EXPECT_EQ(qc.at(1).controls()[0].qubit, 2);
+  EXPECT_EQ(qc.at(1).targets()[0], 1);
+  EXPECT_EQ(qc.at(2).controls().size(), 2U);
+  EXPECT_EQ(qc.at(2).targets()[0], 0);
+}
+
+TEST(RealParser, NegativeControls) {
+  const auto qc = parse(R"(
+.numvars 2
+.variables a b
+.begin
+t2 -a b
+.end
+)");
+  ASSERT_EQ(qc.size(), 1U);
+  EXPECT_FALSE(qc.at(0).controls()[0].positive);
+}
+
+TEST(RealParser, FredkinAndV) {
+  const auto qc = parse(R"(
+.numvars 3
+.variables a b c
+.begin
+f2 a b
+f3 a b c
+v a b
+v+ a b
+.end
+)");
+  ASSERT_EQ(qc.size(), 4U);
+  EXPECT_EQ(qc.at(0).type(), ir::OpType::SWAP);
+  EXPECT_TRUE(qc.at(0).controls().empty());
+  EXPECT_EQ(qc.at(1).type(), ir::OpType::SWAP);
+  EXPECT_EQ(qc.at(1).controls().size(), 1U);
+  EXPECT_EQ(qc.at(2).type(), ir::OpType::V);
+  EXPECT_EQ(qc.at(3).type(), ir::OpType::Vdg);
+}
+
+TEST(RealParser, MetadataIgnored) {
+  const auto qc = parse(R"(
+.version 2.0
+.numvars 2
+.variables x y
+.inputs x y
+.outputs x y
+.constants --
+.garbage --
+.begin
+t1 x
+.end
+)");
+  EXPECT_EQ(qc.size(), 1U);
+}
+
+TEST(RealParser, Errors) {
+  EXPECT_THROW((void)parse(".numvars 0\n"), std::runtime_error);
+  EXPECT_THROW((void)parse(".variables a\n"), std::runtime_error);
+  EXPECT_THROW((void)parse(".numvars 2\n.variables a\n"), std::runtime_error);
+  EXPECT_THROW((void)parse(".numvars 1\n.variables a\nt1 a\n"),
+               std::runtime_error); // gate before .begin
+  EXPECT_THROW(
+      (void)parse(".numvars 1\n.variables a\n.begin\nt1 b\n.end\n"),
+      std::runtime_error); // unknown variable
+  EXPECT_THROW(
+      (void)parse(".numvars 1\n.variables a\n.begin\nq1 a\n.end\n"),
+      std::runtime_error); // unsupported gate
+  EXPECT_THROW(
+      (void)parse(".numvars 2\n.variables a b\n.begin\nt3 a b\n.end\n"),
+      std::runtime_error); // arity mismatch
+  EXPECT_THROW((void)parse(".numvars 1\n.variables a\n.begin\nt1 a\n"),
+               std::runtime_error); // missing .end
+}
+
+} // namespace
+} // namespace qdd::real

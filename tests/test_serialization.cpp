@@ -1,0 +1,192 @@
+// Round-trip and error-path tests for the decision-diagram serialization
+// format.
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/dd/Serialization.hpp"
+#include "qdd/ir/Builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qdd {
+namespace {
+
+constexpr double EPS = 1e-9;
+
+TEST(Serialization, VectorRoundTripSamePackage) {
+  Package pkg(3);
+  const vEdge original = pkg.makeGHZState(3);
+  pkg.incRef(original);
+  const std::string text = serializeToString(original);
+  const vEdge restored = deserializeVectorFromString(pkg, text);
+  // canonical: deserializing into the same package yields the same node
+  EXPECT_EQ(restored.p, original.p);
+  EXPECT_TRUE(restored.w.approximatelyEquals(original.w, EPS));
+}
+
+TEST(Serialization, VectorRoundTripFreshPackage) {
+  Package source(4);
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dist(-1., 1.);
+  std::vector<std::complex<double>> vec(16);
+  double n2 = 0.;
+  for (auto& a : vec) {
+    a = {dist(rng), dist(rng)};
+    n2 += std::norm(a);
+  }
+  for (auto& a : vec) {
+    a /= std::sqrt(n2);
+  }
+  const vEdge original = source.makeStateFromVector(vec);
+  const std::string text = serializeToString(original);
+
+  Package target(4);
+  const vEdge restored = deserializeVectorFromString(target, text);
+  const auto restoredVec = target.getVector(restored);
+  for (std::size_t k = 0; k < vec.size(); ++k) {
+    EXPECT_NEAR(std::abs(restoredVec[k] - vec[k]), 0., 1e-8);
+  }
+}
+
+TEST(Serialization, MatrixRoundTrip) {
+  Package pkg(3);
+  const auto qft = ir::builders::qft(3);
+  const mEdge original = bridge::buildFunctionality(qft, pkg);
+  pkg.incRef(original);
+  const std::string text = serializeToString(original);
+
+  Package target(3);
+  const mEdge restored = deserializeMatrixFromString(target, text);
+  EXPECT_EQ(Package::size(restored), 21U);
+  const auto a = pkg.getMatrix(original);
+  const auto b = target.getMatrix(restored);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_NEAR(std::abs(a[k] - b[k]), 0., 1e-9);
+  }
+}
+
+TEST(Serialization, CrossSchemeRoundTrip) {
+  // serialize under Largest normalization, deserialize into a Norm package
+  Package source(3, NormalizationScheme::Largest);
+  const vEdge original = source.makeWState(3);
+  const std::string text = serializeToString(original);
+  Package target(3, NormalizationScheme::Norm);
+  const vEdge restored = deserializeVectorFromString(target, text);
+  const auto a = source.getVector(original);
+  const auto b = target.getVector(restored);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_NEAR(std::abs(a[k] - b[k]), 0., 1e-9);
+  }
+}
+
+TEST(Serialization, ZeroAndTerminalEdges) {
+  Package pkg(2);
+  {
+    const std::string text = serializeToString(vEdge::zero());
+    const vEdge restored = deserializeVectorFromString(pkg, text);
+    EXPECT_TRUE(restored.w.exactlyZero());
+  }
+  {
+    const std::string text = serializeToString(vEdge::one());
+    const vEdge restored = deserializeVectorFromString(pkg, text);
+    EXPECT_TRUE(restored.isTerminal());
+    EXPECT_TRUE(restored.w.exactlyOne());
+  }
+}
+
+TEST(Serialization, SharedNodesSerializedOnce) {
+  Package pkg(4);
+  const vEdge ghz = pkg.makeGHZState(4);
+  const std::string text = serializeToString(ghz);
+  // GHZ_4 has 7 nodes; exactly 7 "node" lines expected
+  std::size_t nodeLines = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find("node ", pos)) != std::string::npos) {
+    ++nodeLines;
+    pos += 5;
+  }
+  EXPECT_EQ(nodeLines, 7U);
+}
+
+TEST(Serialization, MalformedInputsRejected) {
+  Package pkg(2);
+  EXPECT_THROW((void)deserializeVectorFromString(pkg, ""),
+               std::runtime_error);
+  EXPECT_THROW((void)deserializeVectorFromString(pkg, "qdd-matrix 1\n"),
+               std::runtime_error);
+  EXPECT_THROW((void)deserializeVectorFromString(pkg, "qdd-vector 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      (void)deserializeVectorFromString(pkg, "qdd-vector 1\nroot 0 1 0\n"),
+      std::runtime_error); // missing end + undefined node
+  EXPECT_THROW((void)deserializeVectorFromString(
+                   pkg, "qdd-vector 1\nroot 0 1 0\nnode 0 0 7 1 0 -1 0 0\n"
+                        "end\n"),
+               std::runtime_error); // child referenced before definition
+  EXPECT_THROW((void)deserializeVectorFromString(
+                   pkg, "qdd-vector 1\nroot 0 1 0\nbogus\nend\n"),
+               std::runtime_error);
+}
+
+TEST(Serialization, StreamInterface) {
+  Package pkg(2);
+  const vEdge bell = pkg.makeGHZState(2);
+  std::stringstream ss;
+  serialize(bell, ss);
+  const vEdge restored = deserializeVector(pkg, ss);
+  EXPECT_EQ(restored.p, bell.p);
+}
+
+
+// property sweep: every builder circuit's final state round-trips
+class SerializationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializationSweep, BuilderStatesRoundTrip) {
+  const int which = GetParam();
+  ir::QuantumComputation qc;
+  switch (which) {
+  case 0:
+    qc = ir::builders::bell();
+    break;
+  case 1:
+    qc = ir::builders::ghz(6);
+    break;
+  case 2:
+    qc = ir::builders::wState(5);
+    break;
+  case 3:
+    qc = ir::builders::qft(5);
+    break;
+  case 4:
+    qc = ir::builders::grover(5, 17);
+    break;
+  case 5:
+    qc = ir::builders::phaseEstimation(4, 9);
+    break;
+  default:
+    qc = ir::builders::randomCliffordT(5, 60, static_cast<std::uint64_t>(which));
+    break;
+  }
+  Package source(qc.numQubits());
+  const vEdge state =
+      bridge::simulate(qc, source.makeZeroState(qc.numQubits()), source);
+  source.incRef(state);
+  const std::string text = serializeToString(state);
+
+  Package target(qc.numQubits());
+  const vEdge restored = deserializeVectorFromString(target, text);
+  target.incRef(restored);
+  EXPECT_EQ(Package::size(state), Package::size(restored)) << which;
+  const auto a = source.getVector(state);
+  const auto b = target.getVector(restored);
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_NEAR(std::abs(a[k] - b[k]), 0., 1e-8) << which << ":" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Builders, SerializationSweep,
+                         ::testing::Range(0, 10));
+
+} // namespace
+} // namespace qdd

@@ -1,0 +1,212 @@
+// Stress and adversarial tests: table pressure, tolerance boundaries, wide
+// registers, long-running sessions, and parser robustness against malformed
+// input.
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+#include "qdd/parser/qasm/Parser.hpp"
+#include "qdd/sim/SimulationSession.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace qdd {
+namespace {
+
+TEST(Stress, WideRegisters) {
+  // 128 qubits: far beyond dense reach; linear structures must stay exact
+  Package pkg(128);
+  const vEdge ghz = pkg.makeGHZState(128);
+  EXPECT_EQ(Package::size(ghz), 255U);
+  EXPECT_NEAR(pkg.norm(ghz), 1., 1e-9);
+  EXPECT_NEAR(pkg.getValueByIndex(ghz, 0).re, SQRT2_2, 1e-9);
+  EXPECT_NEAR(pkg.probabilityOfOne(ghz, 127), 0.5, 1e-9);
+  std::mt19937_64 rng(1);
+  const std::string bits = pkg.sample(ghz, rng);
+  EXPECT_EQ(bits.size(), 128U);
+  EXPECT_TRUE(bits == std::string(128, '0') || bits == std::string(128, '1'));
+}
+
+TEST(Stress, ResizeOnDemand) {
+  Package pkg(2);
+  EXPECT_EQ(pkg.qubits(), 2U);
+  const vEdge big = pkg.makeGHZState(40); // grows automatically
+  EXPECT_EQ(pkg.qubits(), 40U);
+  EXPECT_EQ(Package::size(big), 79U);
+}
+
+TEST(Stress, UniqueTablePressure) {
+  // thousands of distinct random states; canonicity must hold throughout
+  Package pkg(6);
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> dist(-1., 1.);
+  std::vector<vEdge> kept;
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::complex<double>> vec(64);
+    double n2 = 0.;
+    for (auto& a : vec) {
+      a = {dist(rng), dist(rng)};
+      n2 += std::norm(a);
+    }
+    for (auto& a : vec) {
+      a /= std::sqrt(n2);
+    }
+    const vEdge e = pkg.makeStateFromVector(vec);
+    if (round % 50 == 0) {
+      pkg.incRef(e);
+      kept.push_back(e);
+    }
+    // rebuilding the same vector must find the identical node
+    const vEdge again = pkg.makeStateFromVector(vec);
+    ASSERT_EQ(e.p, again.p);
+    pkg.garbageCollect();
+  }
+  EXPECT_TRUE(pkg.garbageCollect(true));
+  for (const auto& e : kept) {
+    EXPECT_NEAR(pkg.norm(e), 1., 1e-9);
+    pkg.decRef(e);
+  }
+}
+
+TEST(Stress, ToleranceBoundary) {
+  // amplitudes differing below the tolerance unify to the same node
+  Package pkg(1, NormalizationScheme::Largest, 1e-6);
+  const vEdge a = pkg.makeStateFromVector({{0.6, 0.}, {0.8, 0.}});
+  const vEdge b = pkg.makeStateFromVector({{0.6 + 1e-9, 0.}, {0.8, 0.}});
+  EXPECT_EQ(a.p, b.p);
+  EXPECT_EQ(a.w, b.w);
+  // well above the tolerance they must stay distinct
+  const vEdge c = pkg.makeStateFromVector({{0.61, 0.}, {0.7923, 0.}});
+  EXPECT_FALSE(a.p == c.p && a.w == c.w);
+}
+
+TEST(Stress, LongSimulationSessionMemoryBounded) {
+  // 2000-gate session with snapshots; after rewinding and collecting, the
+  // live node count returns to a small baseline
+  const std::size_t n = 6;
+  const auto qc = ir::builders::randomCliffordT(n, 2000, 8);
+  Package pkg(n);
+  sim::SimulationSession session(qc, pkg);
+  while (session.stepForward()) {
+  }
+  EXPECT_NEAR(pkg.norm(session.state()), 1., 1e-8);
+  session.runToStart();
+  pkg.garbageCollect(true);
+  const auto stats = pkg.stats();
+  // only the |0...0> state and pinned identity DDs remain referenced
+  EXPECT_LT(stats.vectorNodes, 50U);
+}
+
+TEST(Stress, RepeatedCollapseAndReset) {
+  Package pkg(4);
+  std::mt19937_64 rng(3);
+  vEdge state = pkg.makeGHZState(4);
+  pkg.incRef(state);
+  for (int round = 0; round < 200; ++round) {
+    // re-superpose, then measure/reset a random qubit
+    const mEdge h = pkg.makeGateDD(H_MAT, 4, static_cast<Qubit>(round % 4));
+    const vEdge next = pkg.multiply(h, state);
+    pkg.incRef(next);
+    pkg.decRef(state);
+    state = next;
+    if (round % 2 == 0) {
+      pkg.measureOneCollapsing(state, static_cast<Qubit>((round + 1) % 4),
+                               rng);
+    } else {
+      pkg.resetQubit(state, static_cast<Qubit>((round + 1) % 4), rng);
+    }
+    ASSERT_NEAR(pkg.norm(state), 1., 1e-8) << "round " << round;
+  }
+}
+
+TEST(Stress, ParserRejectsGarbageWithoutCrashing) {
+  // deterministic fuzz: random printable garbage must raise ParseError (or
+  // parse cleanly), never crash
+  std::mt19937_64 rng(4);
+  std::uniform_int_distribution<int> charDist(32, 126);
+  std::uniform_int_distribution<int> lenDist(1, 200);
+  for (int round = 0; round < 500; ++round) {
+    std::string source = "OPENQASM 2.0;\nqreg q[3];\n";
+    const int len = lenDist(rng);
+    for (int k = 0; k < len; ++k) {
+      source += static_cast<char>(charDist(rng));
+    }
+    try {
+      (void)qasm::parse(source);
+    } catch (const qasm::ParseError&) {
+      // expected for almost every input
+    }
+  }
+}
+
+TEST(Stress, ParserTokenSoup) {
+  // structured token soup built from valid lexemes in invalid orders
+  const std::vector<std::string> tokens = {
+      "qreg", "creg", "gate",  "measure", "->", "if", "(",  ")",   "[",
+      "]",    "{",    "}",     ";",       ",",  "pi", "cx", "h",   "q",
+      "c",    "2",    "0.5",   "==",      "+",  "-",  "*",  "/",   "^",
+      "U",    "CX",   "reset", "barrier", "include", "\"qelib1.inc\""};
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::size_t> pick(0, tokens.size() - 1);
+  for (int round = 0; round < 500; ++round) {
+    std::string source = "OPENQASM 2.0;\nqreg q[2];\ncreg c[2];\n";
+    for (int k = 0; k < 30; ++k) {
+      source += tokens[pick(rng)] + " ";
+    }
+    try {
+      (void)qasm::parse(source);
+    } catch (const qasm::ParseError&) {
+    }
+  }
+}
+
+TEST(Stress, LexerEdgeCases) {
+  EXPECT_NO_THROW((void)qasm::parse("OPENQASM 2.0;\nqreg q[1];\n"
+                                    "rx(1e2) q[0];\n"
+                                    "ry(1.5e-3) q[0];\n"
+                                    "rz(.5) q[0];\n"));
+  EXPECT_THROW((void)qasm::parse("OPENQASM 2.0;\nqreg q[1];\nrx(1e) q[0];\n"),
+               qasm::ParseError);
+  EXPECT_THROW((void)qasm::parse("OPENQASM 2.0;\nqreg q[1];\nx q[0]"),
+               qasm::ParseError); // missing final semicolon
+  EXPECT_THROW((void)qasm::parse("OPENQASM 2.0;\nqreg q[1];\n\"unterminated"),
+               qasm::ParseError);
+  EXPECT_THROW((void)qasm::parse("OPENQASM 2.0;\nqreg q[1];\nx q[0]; @"),
+               qasm::ParseError);
+}
+
+TEST(Stress, DeepGateDefinitionNesting) {
+  std::string source = "OPENQASM 2.0;\nqreg q[1];\n";
+  source += "gate g0 a { U(0,0,0.01) a; }\n";
+  for (int k = 1; k <= 30; ++k) {
+    source += "gate g" + std::to_string(k) + " a { g" +
+              std::to_string(k - 1) + " a; g" + std::to_string(k - 1) +
+              " a; }\n";
+  }
+  source += "g10 q[0];\n"; // 2^10 leaf operations
+  const auto qc = qasm::parse(source);
+  EXPECT_EQ(qc.gateCount(true), 1024U);
+  // and it simulates fine
+  Package pkg(1);
+  const vEdge state = bridge::simulate(qc, pkg.makeZeroState(1), pkg);
+  EXPECT_NEAR(pkg.norm(state), 1., 1e-9);
+}
+
+TEST(Stress, ManyPackagesCoexist) {
+  // packages are independent; shared immortal constants must not conflict
+  std::vector<std::unique_ptr<Package>> packages;
+  for (int k = 0; k < 20; ++k) {
+    packages.push_back(std::make_unique<Package>(4));
+    const vEdge ghz = packages.back()->makeGHZState(4);
+    EXPECT_EQ(Package::size(ghz), 7U);
+  }
+  for (auto& pkg : packages) {
+    const vEdge w = pkg->makeWState(4);
+    EXPECT_NEAR(pkg->norm(w), 1., 1e-9);
+  }
+}
+
+} // namespace
+} // namespace qdd

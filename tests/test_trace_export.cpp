@@ -1,0 +1,74 @@
+// Tests for the simulation-trace ("slide show") JSON exporter.
+
+#include "qdd/ir/Builders.hpp"
+#include "qdd/viz/TraceExporter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qdd::viz {
+namespace {
+
+TEST(TraceExport, BellCircuitTrace) {
+  Package pkg(2);
+  const std::string json =
+      exportSimulationTrace(ir::builders::bell(), pkg);
+  // header
+  EXPECT_NE(json.find("\"circuit\": \"bell\""), std::string::npos);
+  EXPECT_NE(json.find("\"qubits\": 2"), std::string::npos);
+  // one step per operation plus the initial state
+  EXPECT_NE(json.find("\"index\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"index\": 2"), std::string::npos);
+  EXPECT_EQ(json.find("\"index\": 3"), std::string::npos);
+  // states along the way (paper Fig. 8(a)-(b))
+  EXPECT_NE(json.find("\"state\": \"|00>\""), std::string::npos);
+  EXPECT_NE(json.find("0.7071|00> + 0.7071|10>"), std::string::npos);
+  EXPECT_NE(json.find("0.7071|00> + 0.7071|11>"), std::string::npos);
+  // embedded diagrams
+  EXPECT_NE(json.find("\"dd\":"), std::string::npos);
+  EXPECT_NE(json.find("\"peakNodes\": 3"), std::string::npos);
+}
+
+TEST(TraceExport, WithoutDiagrams) {
+  Package pkg(2);
+  const std::string json = exportSimulationTrace(
+      ir::builders::bell(), pkg, {.includeDiagrams = false});
+  EXPECT_EQ(json.find("\"dd\":"), std::string::npos);
+  EXPECT_NE(json.find("\"nodes\": 3"), std::string::npos);
+}
+
+TEST(TraceExport, MeasurementOutcomeRecorded) {
+  ir::QuantumComputation qc(1, 1);
+  qc.x(0);
+  qc.measure(0, 0);
+  Package pkg(1);
+  const std::string json = exportSimulationTrace(qc, pkg);
+  EXPECT_NE(json.find("\"classicalBits\": \"1\""), std::string::npos);
+}
+
+TEST(TraceExport, ValidJsonBraceBalance) {
+  Package pkg(3);
+  const std::string json =
+      exportSimulationTrace(ir::builders::qft(3), pkg);
+  long depth = 0;
+  bool inString = false;
+  char prev = 0;
+  for (const char c : json) {
+    if (c == '"' && prev != '\\') {
+      inString = !inString;
+    }
+    if (!inString) {
+      if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        --depth;
+        EXPECT_GE(depth, 0);
+      }
+    }
+    prev = c;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(inString);
+}
+
+} // namespace
+} // namespace qdd::viz

@@ -1,0 +1,161 @@
+// Tests for the native two-qubit gates (iSWAP, iSWAP^dagger, DCX) across
+// every layer: matrix definitions, DD construction, dense baseline,
+// stabilizer baseline, IR inversion, QASM round trip, and mapping.
+
+#include "qdd/baseline/DenseSimulator.hpp"
+#include "qdd/baseline/StabilizerSimulator.hpp"
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+#include "qdd/ir/Mapping.hpp"
+#include "qdd/parser/qasm/Parser.hpp"
+#include "qdd/sim/DensityMatrixSimulator.hpp"
+#include "qdd/verify/EquivalenceChecker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+namespace qdd {
+namespace {
+
+constexpr double EPS = 1e-10;
+
+TEST(TwoQubit, IswapMatrixSemantics) {
+  // |01> -> i|10>, |10> -> i|01>
+  Package pkg(2);
+  const mEdge u = pkg.makeTwoQubitGateDD(ISWAP_MAT, 2, 1, 0);
+  EXPECT_NEAR(pkg.getMatrixEntry(u, 0, 0).re, 1., EPS);
+  EXPECT_NEAR(pkg.getMatrixEntry(u, 2, 1).im, 1., EPS); // |01> -> i|10>
+  EXPECT_NEAR(pkg.getMatrixEntry(u, 1, 2).im, 1., EPS);
+  EXPECT_NEAR(pkg.getMatrixEntry(u, 3, 3).re, 1., EPS);
+}
+
+TEST(TwoQubit, DcxEqualsTwoCnots) {
+  ir::QuantumComputation direct(2);
+  direct.dcx(1, 0);
+  ir::QuantumComputation decomposed(2);
+  decomposed.cx(1, 0);
+  decomposed.cx(0, 1);
+  Package pkg(2);
+  const verify::EquivalenceChecker checker(direct, decomposed);
+  EXPECT_EQ(checker.checkByConstruction(pkg).equivalence,
+            verify::Equivalence::Equivalent);
+}
+
+TEST(TwoQubit, IswapTimesInverseIsIdentity) {
+  ir::QuantumComputation qc(3);
+  qc.iswap(0, 2);
+  qc.iswapdg(0, 2);
+  Package pkg(3);
+  const mEdge u = bridge::buildFunctionality(qc, pkg);
+  EXPECT_EQ(u.p, pkg.makeIdent(3).p);
+  EXPECT_TRUE(u.w.approximatelyOne(EPS));
+}
+
+TEST(TwoQubit, InvertedCircuitUndoesGates) {
+  ir::QuantumComputation qc(3);
+  qc.h(0);
+  qc.iswap(0, 1);
+  qc.dcx(1, 2);
+  qc.t(2);
+  const auto inv = qc.inverted();
+  ir::QuantumComputation both(3);
+  for (const auto& op : qc) {
+    both.emplaceBack(op->clone());
+  }
+  for (const auto& op : inv) {
+    both.emplaceBack(op->clone());
+  }
+  Package pkg(3);
+  const mEdge u = bridge::buildFunctionality(both, pkg);
+  EXPECT_EQ(u.p, pkg.makeIdent(3).p);
+}
+
+TEST(TwoQubit, DenseBaselineAgreesWithDD) {
+  ir::QuantumComputation qc(3);
+  qc.h(0);
+  qc.h(2);
+  qc.iswap(0, 1);
+  qc.dcx(2, 0);
+  qc.iswapdg(1, 2);
+  Package pkg(3);
+  const vEdge dd = bridge::simulate(qc, pkg.makeZeroState(3), pkg);
+  baseline::DenseStateVector dense(3);
+  dense.run(qc);
+  const auto vec = pkg.getVector(dd);
+  for (std::size_t k = 0; k < vec.size(); ++k) {
+    EXPECT_NEAR(std::abs(vec[k] - dense.amplitudes()[k]), 0., 1e-9) << k;
+  }
+}
+
+TEST(TwoQubit, StabilizerAgreesWithDD) {
+  // iSWAP and DCX are Clifford gates
+  ir::QuantumComputation qc(3);
+  qc.h(0);
+  qc.iswap(0, 1);
+  qc.dcx(1, 2);
+  qc.iswapdg(2, 0);
+  qc.h(1);
+  baseline::StabilizerSimulator stab(3);
+  stab.run(qc);
+  Package pkg(3);
+  const vEdge dd = bridge::simulate(qc, pkg.makeZeroState(3), pkg);
+  for (Qubit q = 0; q < 3; ++q) {
+    EXPECT_NEAR(stab.probabilityOfOne(q), pkg.probabilityOfOne(dd, q), EPS)
+        << "qubit " << q;
+  }
+}
+
+TEST(TwoQubit, QasmRoundTrip) {
+  ir::QuantumComputation qc(2);
+  qc.iswap(0, 1);
+  qc.iswapdg(1, 0);
+  qc.dcx(0, 1);
+  const std::string text = qc.toOpenQASM();
+  EXPECT_NE(text.find("iswap q[0], q[1];"), std::string::npos);
+  EXPECT_NE(text.find("iswapdg q[1], q[0];"), std::string::npos);
+  EXPECT_NE(text.find("dcx q[0], q[1];"), std::string::npos);
+  const auto reparsed = qasm::parse(text);
+  EXPECT_EQ(reparsed.toOpenQASM(), text);
+  Package pkg(2);
+  const verify::EquivalenceChecker checker(qc, reparsed);
+  EXPECT_EQ(checker.checkByConstruction(pkg).equivalence,
+            verify::Equivalence::Equivalent);
+}
+
+TEST(TwoQubit, MappingRoutesIswap) {
+  ir::QuantumComputation qc(4);
+  qc.h(0);
+  qc.iswap(0, 3);
+  qc.dcx(3, 1);
+  const auto result = ir::mapToCoupling(qc, ir::CouplingMap::linear(4));
+  EXPECT_GT(result.addedSwaps, 0U);
+  const auto restored = result.mappedWithRestore();
+  Package pkg(4);
+  const verify::EquivalenceChecker checker(qc, restored);
+  EXPECT_EQ(checker.checkByConstruction(pkg).equivalence,
+            verify::Equivalence::Equivalent);
+}
+
+TEST(TwoQubit, ControlledVariantsRejected) {
+  ir::QuantumComputation qc(3);
+  qc.addStandard(ir::OpType::iSWAP, {{2, true}}, {0, 1});
+  Package pkg(3);
+  EXPECT_THROW((void)bridge::buildFunctionality(qc, pkg),
+               std::invalid_argument);
+}
+
+TEST(TwoQubit, DensitySimulatorHandlesIswap) {
+  ir::QuantumComputation qc(2);
+  qc.x(0);
+  qc.iswap(0, 1); // |01> -> i|10>; density matrix kills the global phase
+  Package pkg(2);
+  sim::DensityMatrixSimulator dsim(qc, pkg);
+  dsim.run();
+  EXPECT_NEAR(dsim.probabilityOfOne(1), 1., EPS);
+  EXPECT_NEAR(dsim.probabilityOfOne(0), 0., EPS);
+  EXPECT_NEAR(dsim.purity(), 1., EPS);
+}
+
+} // namespace
+} // namespace qdd

@@ -1,0 +1,241 @@
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/ir/Builders.hpp"
+#include "qdd/viz/Color.hpp"
+#include "qdd/viz/DotExporter.hpp"
+#include "qdd/viz/JsonExporter.hpp"
+#include "qdd/viz/SvgExporter.hpp"
+#include "qdd/viz/TextDump.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qdd::viz {
+namespace {
+
+Graph bellGraph(Package& pkg) { return buildGraph(pkg.makeGHZState(2)); }
+
+TEST(VizColor, HlsPrimaries) {
+  EXPECT_EQ(hlsToRgb(0., 0.5, 1.), (Rgb{255, 0, 0}));       // red
+  EXPECT_EQ(hlsToRgb(1. / 3., 0.5, 1.), (Rgb{0, 255, 0}));  // green
+  EXPECT_EQ(hlsToRgb(2. / 3., 0.5, 1.), (Rgb{0, 0, 255}));  // blue
+  EXPECT_EQ(hlsToRgb(0.5, 0.5, 0.), (Rgb{128, 128, 128}));  // grey
+}
+
+TEST(VizColor, PhaseWheelMatchesFig7b) {
+  // Fig. 7(b): the HLS wheel maps phase 0 -> red, and opposite phases to
+  // complementary hues.
+  EXPECT_EQ(phaseToColor(0.), (Rgb{255, 0, 0}));
+  EXPECT_EQ(phaseToColor(2. * PI), (Rgb{255, 0, 0})); // wraps
+  EXPECT_EQ(phaseToColor(PI), (Rgb{0, 255, 255}));    // cyan
+  // negative phases wrap onto the wheel
+  EXPECT_EQ(phaseToColor(-PI), phaseToColor(PI));
+}
+
+TEST(VizColor, WeightColorUsesArgument) {
+  EXPECT_EQ(weightToColor(ComplexValue{1., 0.}), (Rgb{255, 0, 0}));
+  EXPECT_EQ(weightToColor(ComplexValue{-0.5, 0.}), (Rgb{0, 255, 255}));
+}
+
+TEST(VizColor, HexFormat) {
+  EXPECT_EQ((Rgb{255, 0, 0}).toHex(), "#ff0000");
+  EXPECT_EQ((Rgb{0, 128, 255}).toHex(), "#0080ff");
+}
+
+TEST(VizColor, ThicknessMonotonic) {
+  EXPECT_LT(magnitudeToThickness(0.1), magnitudeToThickness(0.9));
+  EXPECT_DOUBLE_EQ(magnitudeToThickness(0.), 0.5);
+  EXPECT_DOUBLE_EQ(magnitudeToThickness(1.), 3.5);
+}
+
+TEST(VizGraph, BellStateStructure) {
+  Package pkg(2);
+  const Graph g = bellGraph(pkg);
+  EXPECT_FALSE(g.empty());
+  EXPECT_FALSE(g.isMatrix);
+  EXPECT_EQ(g.radix, 2U);
+  EXPECT_EQ(g.nodes.size(), 3U); // Fig. 2(a)
+  EXPECT_EQ(g.edges.size(), 6U); // 2 per node, including 0-stubs
+  std::size_t stubs = 0;
+  for (const auto& e : g.edges) {
+    stubs += e.zeroStub ? 1U : 0U;
+  }
+  EXPECT_EQ(stubs, 2U);
+  EXPECT_NEAR(g.rootWeight.re, SQRT2_2, 1e-10);
+}
+
+TEST(VizGraph, MatrixGraph) {
+  Package pkg(2);
+  const mEdge cx = pkg.makeGateDD(X_MAT, 2, {{1, true}}, 0);
+  const Graph g = buildGraph(cx);
+  EXPECT_TRUE(g.isMatrix);
+  EXPECT_EQ(g.radix, 4U);
+  EXPECT_EQ(g.nodes.size(), 3U); // Fig. 2(c)
+}
+
+TEST(VizGraph, ZeroEdge) {
+  const Graph g = buildGraph(vEdge::zero());
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(VizDot, ClassicStyleContainsExpectedElements) {
+  Package pkg(2);
+  const DotExporter exporter({.style = Style::Classic});
+  const std::string dot = exporter.toDot(bellGraph(pkg));
+  EXPECT_NE(dot.find("digraph dd"), std::string::npos);
+  EXPECT_NE(dot.find("shape=circle"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"q1\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"q0\""), std::string::npos);
+  EXPECT_NE(dot.find("terminal [shape=box"), std::string::npos);
+  // the root weight 1/sqrt(2) is annotated and the edge dashed
+  EXPECT_NE(dot.find("0.7071"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  // 0-stubs present
+  EXPECT_NE(dot.find("stub0"), std::string::npos);
+}
+
+TEST(VizDot, LabelFreeColoredMode) {
+  Package pkg(2);
+  const DotExporter exporter({.style = Style::Classic,
+                              .edgeLabels = false,
+                              .colored = true,
+                              .magnitudeThickness = true});
+  const std::string dot = exporter.toDot(bellGraph(pkg));
+  EXPECT_EQ(dot.find("label=\"0.7071"), std::string::npos);
+  EXPECT_NE(dot.find("color=\"#"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth="), std::string::npos);
+  // colored mode replaces dashing
+  EXPECT_EQ(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(VizDot, ModernStyleUsesPorts) {
+  Package pkg(2);
+  const DotExporter exporter({.style = Style::Modern});
+  const std::string dot = exporter.toDot(bellGraph(pkg));
+  EXPECT_NE(dot.find("<TABLE"), std::string::npos);
+  EXPECT_NE(dot.find("PORT=\"p0\""), std::string::npos);
+  EXPECT_NE(dot.find(":p0:s"), std::string::npos);
+}
+
+TEST(VizDot, MatrixModernShowsBlockLabels) {
+  Package pkg(1);
+  const mEdge h = pkg.makeGateDD(H_MAT, 1, 0);
+  const DotExporter exporter({.style = Style::Modern});
+  const std::string dot = exporter.toDot(buildGraph(h));
+  EXPECT_NE(dot.find("U00"), std::string::npos);
+  EXPECT_NE(dot.find("U11"), std::string::npos);
+}
+
+TEST(VizDot, ZeroDiagram) {
+  const DotExporter exporter;
+  const std::string dot = exporter.toDot(buildGraph(vEdge::zero()));
+  EXPECT_NE(dot.find("label=\"0\""), std::string::npos);
+}
+
+TEST(VizSvg, WellFormedAndContainsNodes) {
+  Package pkg(2);
+  const SvgExporter exporter;
+  const std::string svg = exporter.toSvg(bellGraph(pkg));
+  EXPECT_EQ(svg.rfind("<svg", 0), 0U);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find(">q1<"), std::string::npos);
+  EXPECT_NE(svg.find(">q0<"), std::string::npos);
+  EXPECT_NE(svg.find(">1<"), std::string::npos); // terminal
+}
+
+TEST(VizSvg, ColoredEdges) {
+  Package pkg(2);
+  const SvgExporter exporter({.style = Style::Classic,
+                              .edgeLabels = false,
+                              .colored = true,
+                              .magnitudeThickness = true});
+  // use a state with a complex phase so a non-red color appears
+  const vEdge state = pkg.makeStateFromVector(
+      {{SQRT2_2, 0.}, {0., SQRT2_2}}); // |0> + i|1>
+  const std::string svg = exporter.toSvg(buildGraph(state));
+  EXPECT_NE(svg.find("stroke=\"#"), std::string::npos);
+  // i has phase pi/2 -> not pure red
+  EXPECT_EQ(svg.find("stroke=\"#ff0000\"") != std::string::npos &&
+                svg.find("stroke-dasharray") != std::string::npos,
+            false);
+}
+
+TEST(VizSvg, ZeroDiagram) {
+  const SvgExporter exporter;
+  const std::string svg = exporter.toSvg(buildGraph(vEdge::zero()));
+  EXPECT_NE(svg.find(">0<"), std::string::npos);
+}
+
+TEST(VizJson, StructureAndFields) {
+  Package pkg(2);
+  const JsonExporter exporter;
+  const std::string json = exporter.toJson(bellGraph(pkg));
+  EXPECT_NE(json.find("\"kind\": \"vector\""), std::string::npos);
+  EXPECT_NE(json.find("\"radix\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"root\""), std::string::npos);
+  EXPECT_NE(json.find("\"mag\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"color\": \"#"), std::string::npos);
+  EXPECT_NE(json.find("\"zeroStub\": true"), std::string::npos);
+}
+
+TEST(VizJson, MatrixKind) {
+  Package pkg(2);
+  const mEdge cx = pkg.makeGateDD(X_MAT, 2, {{1, true}}, 0);
+  const std::string json = JsonExporter().toJson(buildGraph(cx));
+  EXPECT_NE(json.find("\"kind\": \"matrix\""), std::string::npos);
+  EXPECT_NE(json.find("\"radix\": 4"), std::string::npos);
+}
+
+TEST(VizText, DiracNotation) {
+  Package pkg(2);
+  const std::string dirac = toDirac(pkg, pkg.makeGHZState(2));
+  EXPECT_EQ(dirac, "0.7071|00> + 0.7071|11>");
+  const std::string basis =
+      toDirac(pkg, pkg.makeBasisState(2, {true, false}));
+  EXPECT_EQ(basis, "|01>");
+}
+
+TEST(VizText, DiracWithComplexAmplitudes) {
+  Package pkg(1);
+  const vEdge state =
+      pkg.makeStateFromVector({{SQRT2_2, 0.}, {0., -SQRT2_2}});
+  const std::string dirac = toDirac(pkg, state);
+  EXPECT_EQ(dirac, "0.7071|0> + -0.7071i|1>");
+}
+
+TEST(VizText, OmegaMatrixMatchesFig5c) {
+  // The 8x8 QFT matrix prints in the omega-power notation of Fig. 5(c).
+  Package pkg(3);
+  const auto qft = ir::builders::qft(3);
+  const mEdge u = bridge::buildFunctionality(qft, pkg);
+  const std::string text = formatMatrixOmega(pkg.getMatrix(u), 3);
+  EXPECT_NE(text.find("w = e^(i*pi/4)"), std::string::npos);
+  // second row of Fig. 5(c): 1 w w^2 w^3 w^4 w^5 w^6 w^7
+  EXPECT_NE(text.find("w^7"), std::string::npos);
+  // first row all ones
+  const auto firstRow = text.find("[   1    1    1    1    1    1    1    1");
+  EXPECT_NE(firstRow, std::string::npos) << text;
+}
+
+TEST(VizText, OmegaFallbackForGenericMatrix) {
+  Package pkg(1);
+  const mEdge h = pkg.makeGateDD(H_MAT, 1, 0);
+  const std::string text = formatMatrixOmega(pkg.getMatrix(h), 1);
+  // H = [1 1; 1 -1]/sqrt2: -1 = omega^1 for n=1 (omega = e^{i pi}) -> omega
+  // form applies with w = e^(i*pi/1)
+  EXPECT_NE(text.find("1/sqrt(2)"), std::string::npos);
+}
+
+TEST(VizText, AsciiDump) {
+  Package pkg(2);
+  const std::string dump = asciiDump(bellGraph(pkg));
+  EXPECT_NE(dump.find("root --[0.7071]--> n0"), std::string::npos);
+  EXPECT_NE(dump.find("(q1)"), std::string::npos);
+  EXPECT_NE(dump.find("0-stub"), std::string::npos);
+  EXPECT_EQ(asciiDump(buildGraph(vEdge::zero())), "(zero)\n");
+}
+
+} // namespace
+} // namespace qdd::viz
