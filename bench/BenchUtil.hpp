@@ -2,6 +2,8 @@
 
 // Shared helpers for the figure-reproduction benchmark harness.
 
+#include "qdd/dd/Package.hpp"
+
 #include <chrono>
 #include <cstdio>
 #include <functional>
@@ -25,6 +27,15 @@ inline void heading(const std::string& title) {
 inline void rule() {
   std::printf("------------------------------------------------------------"
               "----------\n");
+}
+
+/// Emits one grep-able record with the package's full statistics registry
+/// (unique-table hit ratios and rehash counts, compute-table hits and stale
+/// rejections, GC generation) as single-line JSON:
+///   BENCH_STATS <label> {...}
+inline void emitStatsJson(const std::string& label, const Package& pkg) {
+  std::printf("BENCH_STATS %s %s\n", label.c_str(),
+              pkg.statistics().toJson(false).c_str());
 }
 
 } // namespace qdd::bench

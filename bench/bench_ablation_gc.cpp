@@ -19,6 +19,7 @@ struct Outcome {
   double ms = 0.;
   std::size_t liveNodes = 0;
   std::size_t gcRuns = 0;
+  std::size_t staleRejections = 0;
 };
 
 Outcome run(const ir::QuantumComputation& qc, GcPolicy policy) {
@@ -49,8 +50,10 @@ Outcome run(const ir::QuantumComputation& qc, GcPolicy policy) {
       }
     }
   });
-  out.liveNodes = pkg.stats().vectorNodes + pkg.stats().matrixNodes;
-  out.gcRuns = pkg.stats().gcRuns;
+  const auto pressure = pkg.tablePressure();
+  out.liveNodes = pressure.vectorNodes + pressure.matrixNodes;
+  out.gcRuns = pressure.gcRuns;
+  out.staleRejections = pkg.statistics().computeTotals().staleRejections;
   return out;
 }
 
@@ -58,8 +61,8 @@ Outcome run(const ir::QuantumComputation& qc, GcPolicy policy) {
 
 int main() {
   bench::heading("garbage-collection policy ablation");
-  std::printf("%-22s %-6s %-12s %-12s %-14s %-8s\n", "workload", "n",
-              "policy", "time (ms)", "live nodes", "gc runs");
+  std::printf("%-22s %-6s %-12s %-12s %-14s %-8s %-8s\n", "workload", "n",
+              "policy", "time (ms)", "live nodes", "gc runs", "stale");
   bench::rule();
   struct Case {
     const char* name;
@@ -75,13 +78,16 @@ int main() {
           std::pair{GcPolicy::EveryGate, "every-gate"},
           std::pair{GcPolicy::Never, "never"}}) {
       const Outcome o = run(c.qc, policy);
-      std::printf("%-22s %-6zu %-12s %-12.2f %-14zu %-8zu\n", c.name,
-                  c.qc.numQubits(), label, o.ms, o.liveNodes, o.gcRuns);
+      std::printf("%-22s %-6zu %-12s %-12.2f %-14zu %-8zu %-8zu\n", c.name,
+                  c.qc.numQubits(), label, o.ms, o.liveNodes, o.gcRuns,
+                  o.staleRejections);
     }
     bench::rule();
   }
-  std::printf("Collecting after every gate minimizes footprint but pays "
-              "compute-table flushes; never collecting leaks dead nodes; "
-              "the threshold policy balances both.\n");
+  std::printf("Collecting after every gate minimizes footprint; the "
+              "generation-stamped caches keep entries for surviving operands "
+              "warm, with stale entries rejected lazily (column 'stale'); "
+              "never collecting leaks dead nodes; the threshold policy "
+              "balances footprint and sweep cost.\n");
   return 0;
 }

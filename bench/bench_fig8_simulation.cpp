@@ -77,6 +77,7 @@ int main() {
     }
     std::printf("%-22s %-6zu %-8zu %-13.2f %-13.2f %-10zu\n", row.name, n,
                 row.qc.gateCount(), ddMs, denseMs, stats.maxNodes);
+    bench::emitStatsJson(std::string(row.name) + "_" + std::to_string(n), p);
   }
   std::printf("\nGHZ: DD wins asymptotically (linear diagrams). QFT/Grover "
               "states are dense-ish: DDs pay overhead per node — matching "

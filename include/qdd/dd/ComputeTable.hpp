@@ -1,9 +1,15 @@
 #pragma once
 
+#include "qdd/complex/Complex.hpp"
+#include "qdd/complex/ComplexValue.hpp"
 #include "qdd/dd/Node.hpp"
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
+
+#include "qdd/mem/StatsRegistry.hpp"
 
 namespace qdd {
 
@@ -12,8 +18,18 @@ namespace qdd {
 /// ... to reduce the number of computations necessary").
 ///
 /// Keys are tuples of node pointers and canonical weight pointers; collisions
-/// simply overwrite (the cache is advisory). The table must be cleared
-/// whenever nodes may be recycled (after garbage collection).
+/// simply overwrite (the cache is advisory).
+///
+/// Entries are stamped with the package's garbage-collection generation at
+/// insertion time, and every node and weight pointer an entry references
+/// carries the generation it was allocated in (`mem::MemoryManager` stamps
+/// it). An entry is served only if each referenced pointer's allocation
+/// generation is no newer than the entry's stamp — otherwise some pointer
+/// was freed (generation `FREED_GENERATION`) or recycled (newer generation)
+/// since the entry was written and the entry is rejected as stale. This lets
+/// garbage collection preserve the warm cache for surviving operands instead
+/// of clearing all tables wholesale. Chunk storage is never returned to the
+/// OS, so probing a stale pointer's generation field is memory-safe.
 template <class LeftOperand, class RightOperand, class Result,
           std::size_t NBUCKETS = (1U << 16U)>
 class ComputeTable {
@@ -24,20 +40,29 @@ public:
     LeftOperand left;
     RightOperand right;
     Result result;
+    std::uint32_t gen = 0;
     bool valid = false;
   };
 
   void insert(const LeftOperand& left, const RightOperand& right,
-              const Result& result) {
+              const Result& result, std::uint32_t generation) {
     auto& slot = table[slotOf(left, right)];
-    slot = Entry{left, right, result, true};
+    slot = Entry{left, right, result, generation, true};
+    ++numInserts;
   }
 
-  /// Returns a pointer to the cached result or nullptr on miss.
+  /// Returns a pointer to the cached result or nullptr on miss. Entries
+  /// whose operands or result reference pointers allocated after the entry
+  /// was written are rejected as stale.
   const Result* lookup(const LeftOperand& left, const RightOperand& right) {
     ++numLookups;
     const auto& slot = table[slotOf(left, right)];
     if (!slot.valid || !(slot.left == left) || !(slot.right == right)) {
+      return nullptr;
+    }
+    if (!isFresh(slot.left, slot.gen) || !isFresh(slot.right, slot.gen) ||
+        !isFresh(slot.result, slot.gen)) {
+      ++numStaleRejections;
       return nullptr;
     }
     ++numHits;
@@ -52,10 +77,24 @@ public:
 
   [[nodiscard]] std::size_t lookups() const noexcept { return numLookups; }
   [[nodiscard]] std::size_t hits() const noexcept { return numHits; }
+  [[nodiscard]] std::size_t inserts() const noexcept { return numInserts; }
+  [[nodiscard]] std::size_t staleRejections() const noexcept {
+    return numStaleRejections;
+  }
   [[nodiscard]] double hitRatio() const noexcept {
     return numLookups == 0
                ? 0.
                : static_cast<double>(numHits) / static_cast<double>(numLookups);
+  }
+
+  [[nodiscard]] mem::ComputeTableStats stats(const std::string& name) const {
+    mem::ComputeTableStats s;
+    s.name = name;
+    s.lookups = numLookups;
+    s.hits = numHits;
+    s.inserts = numInserts;
+    s.staleRejections = numStaleRejections;
+    return s;
   }
 
 private:
@@ -70,6 +109,27 @@ private:
     return h;
   }
 
+  // Freshness: a pointer is fresh w.r.t. an entry if it was allocated no
+  // later than the entry was written. Freed pointers carry
+  // mem::FREED_GENERATION (the maximum value) and thus always fail.
+  // Terminal nodes and immortal weight entries keep generation 0 and always
+  // pass. Value-type results carry no pointers and are always fresh.
+  static bool isFresh(const ComplexValue& /*v*/, std::uint32_t /*g*/) noexcept {
+    return true;
+  }
+  static bool isFresh(const Complex& w, std::uint32_t gen) noexcept {
+    return Complex::aligned(w.r)->gen <= gen &&
+           Complex::aligned(w.i)->gen <= gen;
+  }
+  template <class Node>
+  static bool isFresh(const Node* p, std::uint32_t gen) noexcept {
+    return p->gen <= gen;
+  }
+  template <class Node>
+  static bool isFresh(const Edge<Node>& e, std::uint32_t gen) noexcept {
+    return isFresh(e.p, gen) && isFresh(e.w, gen);
+  }
+
   std::size_t slotOf(const LeftOperand& left,
                      const RightOperand& right) const noexcept {
     const std::size_t h =
@@ -82,6 +142,8 @@ private:
   std::vector<Entry> table = std::vector<Entry>(NBUCKETS);
   std::size_t numLookups = 0;
   std::size_t numHits = 0;
+  std::size_t numInserts = 0;
+  std::size_t numStaleRejections = 0;
 };
 
 } // namespace qdd

@@ -43,6 +43,7 @@ struct vNode {
   std::array<Edge<vNode>, 2> e{};
   vNode* next = nullptr;     ///< unique-table bucket chain
   std::uint32_t ref = 0;     ///< incoming references (parents + user roots)
+  std::uint32_t gen = 0;     ///< allocation generation (mem::MemoryManager)
   Qubit v = TERMINAL_LEVEL;  ///< qubit/level of this node
 
   static vNode* terminal() noexcept { return &terminalNode; }
@@ -61,6 +62,7 @@ struct mNode {
   std::array<Edge<mNode>, 4> e{};
   mNode* next = nullptr;
   std::uint32_t ref = 0;
+  std::uint32_t gen = 0;
   Qubit v = TERMINAL_LEVEL;
 
   static mNode* terminal() noexcept { return &terminalNode; }

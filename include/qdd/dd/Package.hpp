@@ -6,6 +6,8 @@
 #include "qdd/dd/GateMatrix.hpp"
 #include "qdd/dd/Node.hpp"
 #include "qdd/dd/UniqueTable.hpp"
+#include "qdd/mem/MemoryManager.hpp"
+#include "qdd/mem/StatsRegistry.hpp"
 
 #include <array>
 #include <complex>
@@ -51,6 +53,12 @@ public:
   [[nodiscard]] std::size_t qubits() const noexcept { return nqubits; }
   /// Grows the package to support at least `n` qubits.
   void resize(std::size_t n);
+  /// Shrinks the package to exactly `n` qubits, releasing all nodes at the
+  /// removed levels (including the pinned identity DDs above `n`). No live
+  /// user-held edge may still point into the removed levels. Advances the
+  /// allocation generation so stale compute-cache entries are rejected
+  /// lazily, then forces a garbage collection.
+  void shrink(std::size_t n);
 
   [[nodiscard]] double tolerance() const noexcept { return cTable.tolerance(); }
   [[nodiscard]] NormalizationScheme normalizationScheme() const noexcept {
@@ -206,19 +214,17 @@ public:
   static std::size_t size(const vEdge& e);
   static std::size_t size(const mEdge& e);
 
-  struct Stats {
-    std::size_t vectorNodes = 0;   ///< live vector nodes in the unique table
-    std::size_t matrixNodes = 0;   ///< live matrix nodes in the unique table
-    std::size_t peakVectorNodes = 0;
-    std::size_t peakMatrixNodes = 0;
-    std::size_t realTableEntries = 0;
-    std::size_t uniqueTableHitsV = 0;
-    std::size_t uniqueTableLookupsV = 0;
-    std::size_t uniqueTableHitsM = 0;
-    std::size_t uniqueTableLookupsM = 0;
-    std::size_t gcRuns = 0;
-  };
-  [[nodiscard]] Stats stats() const;
+  /// Full snapshot of every table and allocator: unique tables, compute
+  /// tables (with stale-rejection counts), the real-number table, and
+  /// garbage-collection counters. Serializable to JSON via
+  /// `mem::StatsRegistry::toJson`.
+  [[nodiscard]] mem::StatsRegistry statistics() const;
+  /// Compact snapshot cheap enough to record after every operation.
+  [[nodiscard]] mem::TablePressure tablePressure() const;
+  /// Current allocation generation (bumped by every GC / shrink).
+  [[nodiscard]] std::uint32_t gcGeneration() const noexcept {
+    return generation;
+  }
 
 private:
   template <class Node>
@@ -263,6 +269,10 @@ private:
   bool computeTablesEnabled = true;
 
   ComplexTable cTable;
+  // Node storage. Declared before the unique tables, which hold references
+  // into the managers.
+  mem::MemoryManager<vNode> vMem;
+  mem::MemoryManager<mNode> mMem;
   UniqueTable<vNode> vTable;
   UniqueTable<mNode> mTable;
 
@@ -280,7 +290,16 @@ private:
   /// edge). Entries are reference-held by the package so they survive GC.
   std::vector<mEdge> idTable;
 
+  /// Allocation-generation epoch shared by vMem, mMem, and the real table's
+  /// entry pool. Bumped (and synced into all three) before any published
+  /// object may be freed — i.e. in garbageCollect and shrink — so compute
+  /// tables can reject stale entries lazily instead of being cleared.
+  std::uint32_t generation = 0;
+
   std::size_t gcRuns = 0;
+  std::size_t collectedVectorNodes = 0;
+  std::size_t collectedMatrixNodes = 0;
+  std::size_t collectedReals = 0;
 };
 
 } // namespace qdd

@@ -1,10 +1,12 @@
 #pragma once
 
 #include "qdd/dd/Node.hpp"
+#include "qdd/mem/MemoryManager.hpp"
+#include "qdd/mem/StatsRegistry.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
-#include <memory>
 #include <vector>
 
 namespace qdd {
@@ -14,65 +16,72 @@ namespace qdd {
 /// to root-pointer comparison (the property paper Sec. III-C relies on for
 /// equivalence checking).
 ///
-/// Node memory is chunk-allocated and recycled through a free list; garbage
-/// collection is reference-count based and sweeps levels top-down so that
-/// cascading releases complete in a single pass (children are always at
-/// strictly lower levels).
+/// Node storage lives in a `mem::MemoryManager` owned by the package; the
+/// table itself only manages the per-level bucket arrays. Each level starts
+/// with a small bucket array and doubles it (rehashing the level's chains)
+/// whenever the level's load factor exceeds one, so table capacity follows
+/// the workload instead of being fixed at compile time. Garbage collection
+/// is reference-count based and sweeps levels top-down so that cascading
+/// releases complete in a single pass (children are always at strictly lower
+/// levels).
 template <class Node> class UniqueTable {
 public:
-  static constexpr std::size_t NBUCKETS = 1U << 14U;
-  static constexpr std::size_t INITIAL_ALLOC = 2048;
+  // Small initial capacity per level: typical DDs keep most levels sparse,
+  // and busy levels double their bucket array on demand (load factor > 1).
+  static constexpr std::size_t INITIAL_BUCKETS = 1U << 6U; // per level
   static constexpr std::size_t GC_INITIAL_THRESHOLD = 131072;
 
-  explicit UniqueTable(std::size_t nvars) : buckets(nvars) {
-    for (auto& level : buckets) {
-      level.assign(NBUCKETS, nullptr);
-    }
-  }
+  UniqueTable(mem::MemoryManager<Node>& manager, std::size_t nvars)
+      : mgr(&manager), levels(nvars) {}
 
   UniqueTable(const UniqueTable&) = delete;
   UniqueTable& operator=(const UniqueTable&) = delete;
 
+  /// Grows the table to `nvars` levels. Shrinking without a release callback
+  /// is not allowed (nodes at removed levels would leak their children).
   void resize(std::size_t nvars) {
-    const auto old = buckets.size();
-    buckets.resize(nvars);
-    for (std::size_t i = old; i < buckets.size(); ++i) {
-      buckets[i].assign(NBUCKETS, nullptr);
+    assert(nvars >= levels.size() &&
+           "shrinking requires a release-children callback");
+    levels.resize(nvars);
+  }
+
+  /// Resizes to `nvars` levels. When shrinking, every node at a removed
+  /// level is handed to `releaseChildren` (so the caller can decrement child
+  /// references) and returned to the memory manager. The caller is
+  /// responsible for ensuring no live edge still points into the removed
+  /// levels and for advancing the manager's allocation generation first if
+  /// any freed node may still be referenced by a compute-cache entry.
+  template <class ReleaseChildren>
+  void resize(std::size_t nvars, ReleaseChildren&& releaseChildren) {
+    for (std::size_t level = nvars; level < levels.size(); ++level) {
+      for (auto& bucket : levels[level].buckets) {
+        Node* n = bucket;
+        while (n != nullptr) {
+          Node* next = n->next;
+          releaseChildren(n);
+          mgr->release(n);
+          assert(numNodes > 0);
+          --numNodes;
+          n = next;
+        }
+        bucket = nullptr;
+      }
+      levels[level].entries = 0;
     }
+    levels.resize(nvars);
   }
 
   [[nodiscard]] std::size_t numLevels() const noexcept {
-    return buckets.size();
+    return levels.size();
   }
 
-  /// Returns a fresh (uninitialized) node to be filled by the caller and
-  /// passed to `lookup`.
-  Node* getNode() {
-    if (freeList != nullptr) {
-      Node* n = freeList;
-      freeList = n->next;
-      ++liveNodes;
-      return n;
-    }
-    if (chunks.empty() || chunkIndex == chunkSize) {
-      if (!chunks.empty()) {
-        chunkSize *= 2;
-      }
-      chunks.push_back(std::make_unique<Node[]>(chunkSize));
-      chunkIndex = 0;
-    }
-    ++liveNodes;
-    return &chunks.back()[chunkIndex++];
-  }
+  /// Returns a fresh node (generation-stamped by the memory manager) to be
+  /// filled by the caller and passed to `lookup`.
+  Node* getNode() { return mgr->get(); }
 
-  /// Returns a node to the free list (used when `lookup` finds an existing
-  /// equivalent node, and during garbage collection).
-  void returnNode(Node* n) noexcept {
-    n->next = freeList;
-    freeList = n;
-    assert(liveNodes > 0);
-    --liveNodes;
-  }
+  /// Returns a node to the memory manager (used when `lookup` finds an
+  /// existing equivalent node, and during garbage collection).
+  void returnNode(Node* n) noexcept { mgr->release(n); }
 
   /// Looks up `candidate` (fully initialized, level set, children set) in the
   /// table. If an equivalent node exists, `candidate` is recycled and the
@@ -80,19 +89,33 @@ public:
   /// candidate is inserted and returned with `inserted = true`.
   Node* lookup(Node* candidate, bool& inserted) {
     ++numLookups;
-    const auto level = static_cast<std::size_t>(candidate->v);
-    assert(level < buckets.size());
-    const std::size_t key = hashNode(*candidate) & (NBUCKETS - 1);
-    for (Node* n = buckets[level][key]; n != nullptr; n = n->next) {
+    const auto levelIdx = static_cast<std::size_t>(candidate->v);
+    assert(levelIdx < levels.size());
+    Level& level = levels[levelIdx];
+    if (level.entries >= level.buckets.size()) {
+      growLevel(level);
+    }
+    const std::size_t hash = hashNode(*candidate);
+    const std::size_t key = hash & (level.buckets.size() - 1);
+    std::size_t chain = 0;
+    for (Node* n = level.buckets[key]; n != nullptr; n = n->next) {
+      ++chain;
       if (nodesStructurallyEqual(*n, *candidate)) {
         ++numHits;
-        returnNode(candidate);
+        // Candidates are never published to compute caches, so recycling
+        // them mid-epoch is safe.
+        mgr->release(candidate);
         inserted = false;
         return n;
       }
     }
-    candidate->next = buckets[level][key];
-    buckets[level][key] = candidate;
+    if (level.buckets[key] != nullptr) {
+      ++numCollisions;
+    }
+    maxChain = std::max(maxChain, chain + 1);
+    candidate->next = level.buckets[key];
+    level.buckets[key] = candidate;
+    ++level.entries;
     ++numNodes;
     peakNodes = std::max(peakNodes, numNodes);
     inserted = true;
@@ -101,21 +124,25 @@ public:
 
   /// Sweeps all levels top-down, removing (and recycling) nodes with zero
   /// reference count. The caller must decrement child references via the
-  /// provided callback when a node dies. Returns the number of collected
-  /// nodes.
+  /// provided callback when a node dies, and must have advanced the memory
+  /// manager's allocation generation beforehand. Returns the number of
+  /// collected nodes.
   template <class ReleaseChildren>
   std::size_t garbageCollect(ReleaseChildren&& releaseChildren) {
     std::size_t collected = 0;
-    for (auto level = buckets.size(); level-- > 0;) {
-      for (auto& bucket : buckets[level]) {
+    for (auto levelIdx = levels.size(); levelIdx-- > 0;) {
+      Level& level = levels[levelIdx];
+      for (auto& bucket : level.buckets) {
         Node** link = &bucket;
         while (*link != nullptr) {
           Node* n = *link;
           if (n->ref == 0) {
             *link = n->next;
             releaseChildren(n);
-            returnNode(n);
+            mgr->release(n);
             ++collected;
+            assert(level.entries > 0);
+            --level.entries;
           } else {
             link = &n->next;
           }
@@ -138,13 +165,43 @@ public:
   [[nodiscard]] std::size_t peakSize() const noexcept { return peakNodes; }
   [[nodiscard]] std::size_t lookups() const noexcept { return numLookups; }
   [[nodiscard]] std::size_t hits() const noexcept { return numHits; }
+  [[nodiscard]] std::size_t collisions() const noexcept {
+    return numCollisions;
+  }
+  [[nodiscard]] std::size_t longestChain() const noexcept { return maxChain; }
+  [[nodiscard]] std::size_t rehashes() const noexcept { return numRehashes; }
   /// Nodes alive at this moment (stored + handed out via getNode).
-  [[nodiscard]] std::size_t allocations() const noexcept { return liveNodes; }
+  [[nodiscard]] std::size_t allocations() const noexcept {
+    return mgr->live();
+  }
+  /// Total bucket count across all levels.
+  [[nodiscard]] std::size_t bucketCount() const noexcept {
+    std::size_t total = 0;
+    for (const auto& level : levels) {
+      total += level.buckets.size();
+    }
+    return total;
+  }
+
+  [[nodiscard]] mem::UniqueTableStats stats() const noexcept {
+    mem::UniqueTableStats s;
+    s.entries = numNodes;
+    s.peakEntries = peakNodes;
+    s.lookups = numLookups;
+    s.hits = numHits;
+    s.collisions = numCollisions;
+    s.longestChain = maxChain;
+    s.levels = levels.size();
+    s.buckets = bucketCount();
+    s.rehashes = numRehashes;
+    s.memory = mgr->stats();
+    return s;
+  }
 
   /// Visits every node currently in the table.
   template <class Visitor> void forEach(Visitor&& visit) const {
-    for (const auto& level : buckets) {
-      for (Node* bucket : level) {
+    for (const auto& level : levels) {
+      for (Node* bucket : level.buckets) {
         for (Node* n = bucket; n != nullptr; n = n->next) {
           visit(n);
         }
@@ -153,17 +210,36 @@ public:
   }
 
 private:
-  std::vector<std::vector<Node*>> buckets;
-  std::vector<std::unique_ptr<Node[]>> chunks;
-  std::size_t chunkIndex = 0;
-  std::size_t chunkSize = INITIAL_ALLOC;
-  Node* freeList = nullptr;
+  struct Level {
+    std::vector<Node*> buckets = std::vector<Node*>(INITIAL_BUCKETS, nullptr);
+    std::size_t entries = 0;
+  };
+
+  void growLevel(Level& level) {
+    std::vector<Node*> next(level.buckets.size() * 2, nullptr);
+    for (Node* bucket : level.buckets) {
+      while (bucket != nullptr) {
+        Node* n = bucket;
+        bucket = n->next;
+        const std::size_t key = hashNode(*n) & (next.size() - 1);
+        n->next = next[key];
+        next[key] = n;
+      }
+    }
+    level.buckets = std::move(next);
+    ++numRehashes;
+  }
+
+  mem::MemoryManager<Node>* mgr;
+  std::vector<Level> levels;
 
   std::size_t numNodes = 0;
   std::size_t peakNodes = 0;
-  std::size_t liveNodes = 0;
   std::size_t numLookups = 0;
   std::size_t numHits = 0;
+  std::size_t numCollisions = 0;
+  std::size_t maxChain = 0;
+  std::size_t numRehashes = 0;
   std::size_t gcThreshold = GC_INITIAL_THRESHOLD;
 };
 

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qdd::mem {
+
+/// Counters of a `MemoryManager` (chunk allocator + free list).
+struct AllocatorStats {
+  std::size_t live = 0;      ///< objects handed out and not released
+  std::size_t peakLive = 0;  ///< high-water mark of `live`
+  std::size_t allocated = 0; ///< slots ever carved from chunks
+  std::size_t chunks = 0;    ///< number of chunks backing the pool
+  std::size_t bytes = 0;     ///< total chunk memory in bytes
+};
+
+/// Snapshot of one hash-consing unique table (vector or matrix nodes).
+struct UniqueTableStats {
+  std::size_t entries = 0;     ///< nodes currently stored
+  std::size_t peakEntries = 0; ///< high-water mark of `entries`
+  std::size_t lookups = 0;
+  std::size_t hits = 0; ///< lookups answered by an existing node
+  std::size_t collisions = 0;
+  std::size_t longestChain = 0; ///< longest bucket chain ever walked
+  std::size_t levels = 0;
+  std::size_t buckets = 0;  ///< total buckets across all levels
+  std::size_t rehashes = 0; ///< per-level bucket-array doublings
+  AllocatorStats memory;
+
+  [[nodiscard]] double hitRatio() const noexcept {
+    return lookups == 0 ? 0.
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+  [[nodiscard]] double loadFactor() const noexcept {
+    return buckets == 0 ? 0.
+                        : static_cast<double>(entries) /
+                              static_cast<double>(buckets);
+  }
+};
+
+/// Snapshot of the canonical real-number table.
+struct RealTableStats {
+  std::size_t entries = 0;
+  std::size_t peakEntries = 0;
+  std::size_t lookups = 0;
+  std::size_t hits = 0;
+  std::size_t collisions = 0;
+  std::size_t buckets = 0;
+  std::size_t rehashes = 0;
+  AllocatorStats memory;
+
+  [[nodiscard]] double hitRatio() const noexcept {
+    return lookups == 0 ? 0.
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// Snapshot of one memoization (compute) table.
+struct ComputeTableStats {
+  std::string name;
+  std::size_t lookups = 0;
+  std::size_t hits = 0;
+  std::size_t inserts = 0;
+  /// Lookups whose key matched but whose entry referenced an object freed or
+  /// recycled since insertion (generation mismatch) — the lazily-invalidated
+  /// remainder of a garbage collection.
+  std::size_t staleRejections = 0;
+
+  [[nodiscard]] double hitRatio() const noexcept {
+    return lookups == 0 ? 0.
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+/// Garbage-collection counters of a package.
+struct GcStats {
+  std::size_t runs = 0;
+  std::uint32_t generation = 0; ///< current allocation generation (epoch)
+  std::size_t collectedVectorNodes = 0;
+  std::size_t collectedMatrixNodes = 0;
+  std::size_t collectedReals = 0;
+};
+
+/// Compact per-step snapshot cheap enough to record after every applied
+/// operation (sessions expose a history of these so the paper's "inspect
+/// intermediate DDs" workflow can also show table pressure).
+struct TablePressure {
+  std::size_t vectorNodes = 0;
+  std::size_t matrixNodes = 0;
+  std::size_t realEntries = 0;
+  std::size_t cacheLookups = 0; ///< summed over all compute tables
+  std::size_t cacheHits = 0;
+  std::size_t gcRuns = 0;
+
+  [[nodiscard]] double cacheHitRatio() const noexcept {
+    return cacheLookups == 0 ? 0.
+                             : static_cast<double>(cacheHits) /
+                                   static_cast<double>(cacheLookups);
+  }
+};
+
+/// Aggregated view over every table and allocator of a package, queryable as
+/// one struct and serializable to JSON (exported by the trace exporter and
+/// printed by `qdd_tool --stats`).
+struct StatsRegistry {
+  UniqueTableStats vectorTable;
+  UniqueTableStats matrixTable;
+  RealTableStats reals;
+  std::vector<ComputeTableStats> computeTables;
+  GcStats gc;
+
+  /// Looks up a compute table snapshot by name; nullptr if absent.
+  [[nodiscard]] const ComputeTableStats*
+  computeTable(const std::string& name) const;
+
+  /// Sums lookups/hits/inserts/stale rejections over all compute tables.
+  [[nodiscard]] ComputeTableStats computeTotals() const;
+
+  [[nodiscard]] TablePressure pressure() const;
+
+  /// Serializes the registry. `pretty == false` emits a single line (used by
+  /// the benchmark harness so one grep-able record captures cache behavior).
+  [[nodiscard]] std::string toJson(bool pretty = true) const;
+};
+
+} // namespace qdd::mem

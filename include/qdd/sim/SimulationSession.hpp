@@ -61,6 +61,12 @@ public:
   [[nodiscard]] const std::vector<std::size_t>& nodeHistory() const noexcept {
     return history;
   }
+  /// Table-pressure snapshot after each applied operation (same indexing as
+  /// `nodeHistory`), so steppers can plot cache/GC behavior over time.
+  [[nodiscard]] const std::vector<mem::TablePressure>&
+  pressureHistory() const noexcept {
+    return pressures;
+  }
 
   // --- navigation (the -> / <- / |<< / >>| buttons) -------------------------
 
@@ -99,6 +105,7 @@ private:
   OutcomeChooser outcomeChooser;
   std::size_t peak = 0;
   std::vector<std::size_t> history;
+  std::vector<mem::TablePressure> pressures;
 };
 
 /// Result of repeated (weak) simulation.

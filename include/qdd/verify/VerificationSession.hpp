@@ -52,6 +52,12 @@ public:
   [[nodiscard]] const std::vector<std::size_t>& nodeHistory() const noexcept {
     return history;
   }
+  /// Table-pressure snapshot after each applied step (same indexing as
+  /// `nodeHistory`).
+  [[nodiscard]] const std::vector<mem::TablePressure>&
+  pressureHistory() const noexcept {
+    return pressures;
+  }
 
 private:
   struct Snapshot {
@@ -72,6 +78,7 @@ private:
   std::vector<Snapshot> snapshots;
   std::size_t peak = 0;
   std::vector<std::size_t> history;
+  std::vector<mem::TablePressure> pressures;
   double tol;
 };
 

@@ -27,16 +27,32 @@ RealTable::RealTable(double tolerance) : tol(tolerance) {}
 
 RealTable::~RealTable() = default;
 
-std::size_t RealTable::bucketOf(double val) const noexcept {
+std::size_t RealTable::bucketOf(double val,
+                                std::size_t nbuckets) const noexcept {
   // Values are predominantly in [0, 1]; everything >= 1 shares the top
   // buckets via a compressed logarithmic mapping so large magnitudes do not
   // all collide in a single bucket.
   if (val < 1.) {
-    return static_cast<std::size_t>(val * static_cast<double>(NBUCKETS / 2));
+    return static_cast<std::size_t>(val * static_cast<double>(nbuckets / 2));
   }
   const double l = std::log2(val) * 64.;
-  const auto idx = NBUCKETS / 2 + static_cast<std::size_t>(l);
-  return std::min(idx, NBUCKETS - 1);
+  const auto idx = nbuckets / 2 + static_cast<std::size_t>(l);
+  return std::min(idx, nbuckets - 1);
+}
+
+void RealTable::grow() {
+  std::vector<Entry*> next(table.size() * 2, nullptr);
+  for (Entry* bucket : table) {
+    while (bucket != nullptr) {
+      Entry* e = bucket;
+      bucket = e->next;
+      const std::size_t key = bucketOf(e->value, next.size());
+      e->next = next[key];
+      next[key] = e;
+    }
+  }
+  table = std::move(next);
+  ++numRehashes;
 }
 
 RealTable::Entry* RealTable::lookup(double val) {
@@ -57,10 +73,10 @@ RealTable::Entry* RealTable::lookup(double val) {
     return &sqrt2Entry;
   }
 
-  const std::size_t key = bucketOf(val);
+  const std::size_t key = bucketOf(val, table.size());
   // The tolerance window may straddle a bucket boundary; probe neighbours.
-  const std::size_t lo = bucketOf(std::max(val - tol, 0.));
-  const std::size_t hi = bucketOf(val + tol);
+  const std::size_t lo = bucketOf(std::max(val - tol, 0.), table.size());
+  const std::size_t hi = bucketOf(val + tol, table.size());
   for (std::size_t k = lo; k <= hi; ++k) {
     for (Entry* e = table[k]; e != nullptr; e = e->next) {
       if (std::abs(e->value - val) <= tol) {
@@ -75,34 +91,23 @@ RealTable::Entry* RealTable::lookup(double val) {
   table[key] = e;
   ++numEntries;
   peakEntries = std::max(peakEntries, numEntries);
-  if (table[key]->next != nullptr) {
+  if (e->next != nullptr) {
     ++numCollisions;
+  }
+  if (numEntries > table.size()) {
+    grow();
   }
   return e;
 }
 
 RealTable::Entry* RealTable::allocate(double val) {
-  if (freeList != nullptr) {
-    Entry* e = freeList;
-    freeList = e->next;
-    *e = Entry{val};
-    return e;
-  }
-  if (chunks.empty() || chunkIndex == chunkSize) {
-    if (!chunks.empty()) {
-      chunkSize *= 2;
-    }
-    chunks.push_back(std::make_unique<Entry[]>(chunkSize));
-    chunkIndex = 0;
-  }
-  Entry* e = &chunks.back()[chunkIndex++];
-  *e = Entry{val};
+  Entry* e = pool.get();
+  // Reinitialize everything except the generation the pool just stamped.
+  e->value = val;
+  e->next = nullptr;
+  e->ref = 0;
+  e->immortal = false;
   return e;
-}
-
-void RealTable::deallocate(Entry* e) noexcept {
-  e->next = freeList;
-  freeList = e;
 }
 
 void RealTable::incRef(Entry* e) noexcept {
@@ -128,7 +133,7 @@ std::size_t RealTable::garbageCollect() {
       Entry* e = *link;
       if (!e->immortal && e->ref == 0) {
         *link = e->next;
-        deallocate(e);
+        pool.release(e);
         ++collected;
       } else {
         link = &e->next;
@@ -148,13 +153,26 @@ void RealTable::clear() {
     Entry* e = bucket;
     while (e != nullptr) {
       Entry* next = e->next;
-      deallocate(e);
+      pool.release(e);
       e = next;
     }
     bucket = nullptr;
   }
   numEntries = 0;
   gcThreshold = GC_INITIAL_THRESHOLD;
+}
+
+mem::RealTableStats RealTable::stats() const noexcept {
+  mem::RealTableStats s;
+  s.entries = numEntries;
+  s.peakEntries = peakEntries;
+  s.lookups = numLookups;
+  s.hits = numHits;
+  s.collisions = numCollisions;
+  s.buckets = table.size();
+  s.rehashes = numRehashes;
+  s.memory = pool.stats();
+  return s;
 }
 
 } // namespace qdd

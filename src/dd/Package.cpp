@@ -15,7 +15,7 @@ mNode mNode::terminalNode{};
 Package::Package(std::size_t numQubits, NormalizationScheme normScheme,
                  double tolerance)
     : nqubits(numQubits), scheme(normScheme), cTable(tolerance),
-      vTable(numQubits), mTable(numQubits) {
+      vTable(vMem, numQubits), mTable(mMem, numQubits) {
   idTable.reserve(nqubits + 1);
   idTable.push_back(mEdge::one());
 }
@@ -27,6 +27,41 @@ void Package::resize(std::size_t n) {
   nqubits = n;
   vTable.resize(n);
   mTable.resize(n);
+}
+
+void Package::shrink(std::size_t n) {
+  if (n >= nqubits) {
+    return;
+  }
+  // Unpin the cached identity DDs that span the removed levels so the
+  // subsequent sweep can reclaim them.
+  while (idTable.size() > n + 1) {
+    decRef(idTable.back());
+    idTable.pop_back();
+  }
+  // Published nodes are about to be freed: open a new allocation epoch first
+  // so compute-table entries stamped earlier reject recycled pointers.
+  ++generation;
+  vMem.setGeneration(generation);
+  mMem.setGeneration(generation);
+  cTable.realTable().setAllocationGeneration(generation);
+
+  const auto releaseV = [this](vNode* node) {
+    for (const auto& child : node->e) {
+      decRefEdge(child);
+    }
+  };
+  const auto releaseM = [this](mNode* node) {
+    for (const auto& child : node->e) {
+      decRefEdge(child);
+    }
+  };
+  vTable.resize(n, releaseV);
+  mTable.resize(n, releaseM);
+  nqubits = n;
+  // Sweep nodes at surviving levels that just lost their last reference
+  // (children of the removed levels) and unreferenced weights.
+  garbageCollect(true);
 }
 
 // --- reference counting ------------------------------------------------------
@@ -59,6 +94,15 @@ bool Package::garbageCollect(bool force) {
     return false;
   }
   ++gcRuns;
+  // Open a new allocation epoch before any node is freed. Compute-table
+  // entries keep their old stamps; any entry referencing a pointer freed or
+  // recycled from here on fails its generation check and is rejected lazily
+  // at lookup — entries whose operands and result all survive keep serving
+  // hits, so the caches stay warm across collections.
+  ++generation;
+  vMem.setGeneration(generation);
+  mMem.setGeneration(generation);
+  cTable.realTable().setAllocationGeneration(generation);
   const auto releaseV = [this](vNode* n) {
     for (const auto& child : n->e) {
       decRefEdge(child);
@@ -69,16 +113,9 @@ bool Package::garbageCollect(bool force) {
       decRefEdge(child);
     }
   };
-  vTable.garbageCollect(releaseV);
-  mTable.garbageCollect(releaseM);
-  cTable.garbageCollect();
-  // Compute-table entries may reference recycled nodes/weights; drop them.
-  addVecTable.clear();
-  addMatTable.clear();
-  multMatVecTable.clear();
-  multMatMatTable.clear();
-  conjTransTable.clear();
-  innerProductTable.clear();
+  collectedVectorNodes += vTable.garbageCollect(releaseV);
+  collectedMatrixNodes += mTable.garbageCollect(releaseM);
+  collectedReals += cTable.garbageCollect();
   return true;
 }
 
@@ -542,19 +579,38 @@ std::size_t Package::size(const mEdge& e) {
   return seen.size();
 }
 
-Package::Stats Package::stats() const {
-  Stats s;
-  s.vectorNodes = vTable.size();
-  s.matrixNodes = mTable.size();
-  s.peakVectorNodes = vTable.peakSize();
-  s.peakMatrixNodes = mTable.peakSize();
-  s.realTableEntries = cTable.realTable().size();
-  s.uniqueTableHitsV = vTable.hits();
-  s.uniqueTableLookupsV = vTable.lookups();
-  s.uniqueTableHitsM = mTable.hits();
-  s.uniqueTableLookupsM = mTable.lookups();
-  s.gcRuns = gcRuns;
-  return s;
+mem::StatsRegistry Package::statistics() const {
+  mem::StatsRegistry reg;
+  reg.vectorTable = vTable.stats();
+  reg.matrixTable = mTable.stats();
+  reg.reals = cTable.realTable().stats();
+  reg.computeTables.push_back(addVecTable.stats("addVector"));
+  reg.computeTables.push_back(addMatTable.stats("addMatrix"));
+  reg.computeTables.push_back(multMatVecTable.stats("multiplyMatVec"));
+  reg.computeTables.push_back(multMatMatTable.stats("multiplyMatMat"));
+  reg.computeTables.push_back(conjTransTable.stats("conjugateTranspose"));
+  reg.computeTables.push_back(innerProductTable.stats("innerProduct"));
+  reg.gc.runs = gcRuns;
+  reg.gc.generation = generation;
+  reg.gc.collectedVectorNodes = collectedVectorNodes;
+  reg.gc.collectedMatrixNodes = collectedMatrixNodes;
+  reg.gc.collectedReals = collectedReals;
+  return reg;
+}
+
+mem::TablePressure Package::tablePressure() const {
+  mem::TablePressure p;
+  p.vectorNodes = vTable.size();
+  p.matrixNodes = mTable.size();
+  p.realEntries = cTable.realTable().size();
+  p.cacheLookups = addVecTable.lookups() + addMatTable.lookups() +
+                   multMatVecTable.lookups() + multMatMatTable.lookups() +
+                   conjTransTable.lookups() + innerProductTable.lookups();
+  p.cacheHits = addVecTable.hits() + addMatTable.hits() +
+                multMatVecTable.hits() + multMatMatTable.hits() +
+                conjTransTable.hits() + innerProductTable.hits();
+  p.gcRuns = gcRuns;
+  return p;
 }
 
 } // namespace qdd

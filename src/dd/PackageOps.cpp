@@ -47,7 +47,7 @@ vEdge Package::add(const vEdge& x, const vEdge& y) {
   }
   const vEdge result = makeVecNode(v, r);
   if (computeTablesEnabled) {
-    addVecTable.insert(a, b, result);
+    addVecTable.insert(a, b, result, generation);
   }
   return result;
 }
@@ -90,7 +90,7 @@ mEdge Package::add(const mEdge& x, const mEdge& y) {
   }
   const mEdge result = makeMatNode(v, r);
   if (computeTablesEnabled) {
-    addMatTable.insert(a, b, result);
+    addMatTable.insert(a, b, result, generation);
   }
   return result;
 }
@@ -149,7 +149,7 @@ vEdge Package::multiply2(mNode* x, vNode* y) {
   }
   const vEdge result = makeVecNode(v, r);
   if (computeTablesEnabled) {
-    multMatVecTable.insert(x, y, result);
+    multMatVecTable.insert(x, y, result, generation);
   }
   return result;
 }
@@ -208,7 +208,7 @@ mEdge Package::multiply2(mNode* x, mNode* y) {
   }
   const mEdge result = makeMatNode(v, r);
   if (computeTablesEnabled) {
-    multMatMatTable.insert(x, y, result);
+    multMatMatTable.insert(x, y, result, generation);
   }
   return result;
 }
@@ -317,7 +317,7 @@ mEdge Package::conjugateTranspose(const mEdge& a) {
   r[3] = conjugateTranspose({a.p->e[3].p, a.p->e[3].w});
   const mEdge result = makeMatNode(a.p->v, r);
   if (computeTablesEnabled) {
-    conjTransTable.insert(a.p, a.p, result);
+    conjTransTable.insert(a.p, a.p, result, generation);
   }
   return {result.p, lookup(wConj * result.w.toValue())};
 }
@@ -354,7 +354,7 @@ ComplexValue Package::innerProduct2(vNode* x, vNode* y) {
            innerProduct2(xe.p, ye.p);
   }
   if (computeTablesEnabled) {
-    innerProductTable.insert(x, y, sum);
+    innerProductTable.insert(x, y, sum, generation);
   }
   return sum;
 }
@@ -399,7 +399,9 @@ ComplexValue Package::getValueByIndex(const vEdge& e, std::uint64_t i) {
     if (amp.exactlyZero()) {
       return {0., 0.};
     }
-    const std::size_t bit = (i >> static_cast<unsigned>(p->v)) & 1ULL;
+    // Levels >= 64 are out of range for a 64-bit index: that bit is 0.
+    const auto shift = static_cast<unsigned>(p->v);
+    const std::size_t bit = shift < 64U ? (i >> shift) & 1ULL : 0ULL;
     const vEdge& child = p->e[bit];
     amp *= child.w.toValue();
     p = child.p;
@@ -415,8 +417,9 @@ ComplexValue Package::getMatrixEntry(const mEdge& e, std::uint64_t row,
     if (amp.exactlyZero()) {
       return {0., 0.};
     }
-    const std::size_t rbit = (row >> static_cast<unsigned>(p->v)) & 1ULL;
-    const std::size_t cbit = (col >> static_cast<unsigned>(p->v)) & 1ULL;
+    const auto shift = static_cast<unsigned>(p->v);
+    const std::size_t rbit = shift < 64U ? (row >> shift) & 1ULL : 0ULL;
+    const std::size_t cbit = shift < 64U ? (col >> shift) & 1ULL : 0ULL;
     const mEdge& child = p->e[2 * rbit + cbit];
     amp *= child.w.toValue();
     p = child.p;

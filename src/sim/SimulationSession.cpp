@@ -126,6 +126,7 @@ bool SimulationSession::stepForward() {
   peak = std::max(peak, nodes);
   history.push_back(nodes);
   pkg.garbageCollect();
+  pressures.push_back(pkg.tablePressure());
   return true;
 }
 
@@ -141,6 +142,9 @@ bool SimulationSession::stepBackward() {
   --pos;
   if (!history.empty()) {
     history.pop_back();
+  }
+  if (!pressures.empty()) {
+    pressures.pop_back();
   }
   return true;
 }

@@ -47,6 +47,16 @@ namespace {
 
 using namespace qdd;
 
+/// Set by the global --stats flag: dump the package's statistics registry
+/// (unique/compute/real-table counters, GC generations) as JSON on exit.
+bool statsRequested = false;
+
+void maybePrintStats(const Package& pkg) {
+  if (statsRequested) {
+    std::printf("%s\n", pkg.statistics().toJson().c_str());
+  }
+}
+
 ir::QuantumComputation load(const std::string& path) {
   if (path.size() >= 5 && path.substr(path.size() - 5) == ".real") {
     return real::parseFile(path);
@@ -155,6 +165,7 @@ int runSim(const std::string& path) {
     }
     std::printf("> ");
   }
+  maybePrintStats(pkg);
   return 0;
 }
 
@@ -233,6 +244,7 @@ int runVerify(const std::string& leftPath, const std::string& rightPath) {
     }
     std::printf("> ");
   }
+  maybePrintStats(pkg);
   return 0;
 }
 
@@ -318,6 +330,7 @@ int runTrace(const std::string& path, const std::string& outPath) {
   std::printf("wrote step-by-step simulation trace of '%s' (%zu operations) "
               "to %s\n",
               path.c_str(), qc.size(), outPath.c_str());
+  maybePrintStats(pkg);
   return 0;
 }
 
@@ -337,12 +350,25 @@ int runShow(const std::string& path) {
     printState(pkg, session.state());
     exportAll(viz::buildGraph(session.state()), "dd");
   }
+  maybePrintStats(pkg);
   return 0;
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
+  // Extract the global --stats flag before positional parsing.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      statsRequested = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage:\n"

@@ -45,6 +45,7 @@ void VerificationSession::record() {
   peak = std::max(peak, nodes);
   history.push_back(nodes);
   pkg.garbageCollect();
+  pressures.push_back(pkg.tablePressure());
 }
 
 bool VerificationSession::stepLeft() {
@@ -90,6 +91,9 @@ bool VerificationSession::stepBack() {
   posR = snap.posR;
   if (!history.empty()) {
     history.pop_back();
+  }
+  if (!pressures.empty()) {
+    pressures.pop_back();
   }
   return true;
 }

@@ -71,6 +71,17 @@ std::string exportSimulationTrace(const ir::QuantumComputation& qc,
     ss << "      \"operation\": \"" << jsonEscape(opName) << "\",\n";
     ss << "      \"state\": \""
        << jsonEscape(toDirac(pkg, session.state(), 4)) << "\",\n";
+    // Applied steps (index >= 1) carry the table-pressure snapshot the
+    // session recorded right after the operation.
+    if (index > 0 && index <= session.pressureHistory().size()) {
+      const auto& p = session.pressureHistory()[index - 1];
+      ss << "      \"tablePressure\": {\"vectorNodes\": " << p.vectorNodes
+         << ", \"matrixNodes\": " << p.matrixNodes
+         << ", \"realEntries\": " << p.realEntries
+         << ", \"cacheLookups\": " << p.cacheLookups
+         << ", \"cacheHits\": " << p.cacheHits << ", \"gcRuns\": " << p.gcRuns
+         << "},\n";
+    }
     ss << "      \"nodes\": " << session.currentNodes();
     if (options.includeDiagrams) {
       ss << ",\n      \"dd\":\n"
@@ -96,7 +107,9 @@ std::string exportSimulationTrace(const ir::QuantumComputation& qc,
   for (std::size_t c = qc.numClbits(); c-- > 0;) {
     ss << (session.classicalBits()[c] ? '1' : '0');
   }
-  ss << "\"\n}\n";
+  ss << "\",\n";
+  ss << "  \"stats\":\n" << indent(pkg.statistics().toJson(), "  ") << "\n";
+  ss << "}\n";
   return ss.str();
 }
 

@@ -541,9 +541,9 @@ TEST(PackageGC, CollectsDeadNodes) {
     }
     (void)pkg.makeStateFromVector(vec);
   }
-  const auto before = pkg.stats();
+  const auto before = pkg.tablePressure();
   EXPECT_TRUE(pkg.garbageCollect(true));
-  const auto after = pkg.stats();
+  const auto after = pkg.tablePressure();
   EXPECT_LT(after.vectorNodes, before.vectorNodes);
   // the referenced state survives and is still intact
   EXPECT_NEAR(pkg.norm(keep), 1., EPS);

@@ -1,0 +1,238 @@
+// Tests for the memory & table subsystem: the chunked MemoryManager with
+// generation stamping, growable unique/real tables, generation-stamped
+// compute caches surviving garbage collection, and package shrinking.
+
+#include "qdd/dd/ComputeTable.hpp"
+#include "qdd/dd/Package.hpp"
+#include "qdd/mem/MemoryManager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+namespace qdd {
+namespace {
+
+TEST(MemManager, RecyclesThroughFreeList) {
+  mem::MemoryManager<vNode> mgr(4);
+  vNode* a = mgr.get();
+  vNode* b = mgr.get();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(mgr.live(), 2U);
+  EXPECT_EQ(a->gen, 0U);
+
+  mgr.release(a);
+  EXPECT_EQ(a->gen, mem::FREED_GENERATION);
+  EXPECT_EQ(mgr.live(), 1U);
+
+  // LIFO free list: the freed object is handed out again first.
+  vNode* c = mgr.get();
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(c->gen, 0U);
+  EXPECT_EQ(mgr.live(), 2U);
+}
+
+TEST(MemManager, GenerationStampsNewAllocations) {
+  mem::MemoryManager<vNode> mgr(4);
+  vNode* a = mgr.get();
+  EXPECT_EQ(a->gen, 0U);
+  mgr.release(a);
+  mgr.setGeneration(3);
+  EXPECT_EQ(mgr.generation(), 3U);
+  vNode* b = mgr.get();
+  EXPECT_EQ(b, a); // recycled...
+  EXPECT_EQ(b->gen, 3U); // ...but stamped with the new generation
+}
+
+TEST(MemManager, ChunksGrowAndStatsTrack) {
+  mem::MemoryManager<vNode> mgr(2);
+  std::vector<vNode*> nodes;
+  for (int k = 0; k < 7; ++k) {
+    nodes.push_back(mgr.get());
+  }
+  const auto s = mgr.stats();
+  EXPECT_EQ(s.live, 7U);
+  EXPECT_EQ(s.peakLive, 7U);
+  // chunk sizes double: 2 + 4 + 8 slots over three chunks
+  EXPECT_EQ(s.chunks, 3U);
+  EXPECT_EQ(s.allocated, 14U);
+  EXPECT_EQ(s.bytes, 14U * sizeof(vNode));
+  for (vNode* n : nodes) {
+    mgr.release(n);
+  }
+  EXPECT_EQ(mgr.live(), 0U);
+  EXPECT_EQ(mgr.peak(), 7U);
+}
+
+TEST(MemComputeTable, RejectsFreedAndRecycledPointers) {
+  mem::MemoryManager<vNode> mgr(8);
+  ComputeTable<vNode*, vNode*, ComplexValue, (1U << 4U)> ct;
+
+  vNode* n = mgr.get();
+  ct.insert(n, n, ComplexValue{0.5, 0.}, /*generation=*/0);
+  const ComplexValue* hit = ct.lookup(n, n);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->re, 0.5);
+  EXPECT_EQ(ct.hits(), 1U);
+
+  // Freed operand: the slot's key still matches the pointer, but the
+  // FREED_GENERATION stamp invalidates the entry.
+  mgr.release(n);
+  EXPECT_EQ(ct.lookup(n, n), nullptr);
+  EXPECT_EQ(ct.staleRejections(), 1U);
+
+  // Recycled pointer in a newer epoch: same address, newer generation —
+  // the pre-GC entry must not be served for the new node.
+  mgr.setGeneration(1);
+  vNode* reused = mgr.get();
+  ASSERT_EQ(reused, n);
+  EXPECT_EQ(ct.lookup(reused, reused), nullptr);
+  EXPECT_EQ(ct.staleRejections(), 2U);
+
+  // A fresh entry for the recycled node is served normally.
+  ct.insert(reused, reused, ComplexValue{0.25, 0.}, /*generation=*/1);
+  const ComplexValue* fresh = ct.lookup(reused, reused);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->re, 0.25);
+}
+
+TEST(MemUniqueTable, LevelBucketsRehash) {
+  // > INITIAL_BUCKETS distinct nodes at one level force a bucket doubling.
+  Package pkg(1);
+  std::vector<vEdge> keep;
+  const std::size_t count = UniqueTable<vNode>::INITIAL_BUCKETS + 32;
+  keep.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const double x = 1e-4 + static_cast<double>(k) * 1e-3;
+    const double norm = std::sqrt(1. + x * x);
+    const vEdge state =
+        pkg.makeStateFromVector({{1. / norm, 0.}, {x / norm, 0.}});
+    pkg.incRef(state);
+    keep.push_back(state);
+  }
+  const auto s = pkg.statistics().vectorTable;
+  EXPECT_GT(s.entries, UniqueTable<vNode>::INITIAL_BUCKETS);
+  EXPECT_GE(s.rehashes, 1U);
+  EXPECT_GT(s.buckets, UniqueTable<vNode>::INITIAL_BUCKETS);
+  EXPECT_GE(s.longestChain, 1U);
+
+  // canonicity is preserved across the rehash
+  const vEdge again = pkg.makeStateFromVector(
+      {{1. / std::sqrt(1. + 1e-8), 0.},
+       {1e-4 / std::sqrt(1. + 1e-8), 0.}});
+  EXPECT_EQ(again.p, keep.front().p);
+}
+
+TEST(MemRealTable, BucketsRehash) {
+  RealTable table;
+  const std::size_t count = 3000; // > initial bucket count (2048)
+  for (std::size_t k = 0; k < count; ++k) {
+    (void)table.lookup(1e-3 + static_cast<double>(k) * 1e-5);
+  }
+  EXPECT_EQ(table.size(), count);
+  EXPECT_GE(table.rehashes(), 1U);
+  EXPECT_GT(table.bucketCount(), 2048U);
+  // canonicity preserved across the rehash
+  RealTable::Entry* a = table.lookup(1e-3);
+  RealTable::Entry* b = table.lookup(1e-3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.size(), count);
+}
+
+TEST(MemGcCache, WarmEntriesSurviveCollection) {
+  Package pkg(2);
+  vEdge state = pkg.makeZeroState(2);
+  pkg.incRef(state);
+  const mEdge h = pkg.makeGateDD(H_MAT, 2, 0);
+  pkg.incRef(h);
+  const vEdge r1 = pkg.multiply(h, state);
+  pkg.incRef(r1);
+
+  const auto before = *pkg.statistics().computeTable("multiplyMatVec");
+  ASSERT_TRUE(pkg.garbageCollect(true));
+  // Operands and result all survived the collection, so the memoized entry
+  // must still be served — no recomputation, no stale rejection.
+  const vEdge r2 = pkg.multiply(h, state);
+  const auto after = *pkg.statistics().computeTable("multiplyMatVec");
+  EXPECT_EQ(r2.p, r1.p);
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(after.inserts, before.inserts);
+}
+
+TEST(MemGcCache, InterleavedOpsWithForcedCollectionStayCorrect) {
+  // Interleaves multiply/add with forced collections so transient nodes are
+  // recycled while cache entries referencing them linger, then checks the
+  // final state numerically. An even number of H applications per qubit
+  // returns |00> to itself.
+  Package pkg(2);
+  vEdge state = pkg.makeZeroState(2);
+  pkg.incRef(state);
+  const std::array<mEdge, 2> gates{pkg.makeGateDD(H_MAT, 2, 0),
+                                   pkg.makeGateDD(H_MAT, 2, 1)};
+  for (const auto& g : gates) {
+    pkg.incRef(g);
+  }
+  for (int round = 0; round < 16; ++round) {
+    const vEdge next = pkg.multiply(gates[round % 2], state);
+    pkg.incRef(next);
+    pkg.decRef(state);
+    state = next;
+    // transient sum, never referenced: becomes garbage immediately
+    (void)pkg.add(state, state);
+    ASSERT_TRUE(pkg.garbageCollect(true));
+  }
+  const auto vec = pkg.getVector(state);
+  EXPECT_NEAR(vec[0].real(), 1., 1e-9);
+  for (std::size_t k = 1; k < vec.size(); ++k) {
+    EXPECT_NEAR(std::abs(vec[k]), 0., 1e-9);
+  }
+  const auto gc = pkg.statistics().gc;
+  EXPECT_GE(gc.runs, 16U);
+  EXPECT_GE(gc.generation, 16U);
+}
+
+TEST(MemShrink, ReleasesRemovedLevels) {
+  Package pkg(6);
+  (void)pkg.makeIdent(6);     // pins identities up to level 6
+  (void)pkg.makeGHZState(6);  // unreferenced: garbage at levels 0..5
+  vEdge keep = pkg.makeZeroState(2);
+  pkg.incRef(keep);
+
+  const auto before = pkg.statistics();
+  EXPECT_EQ(before.vectorTable.levels, 6U);
+
+  pkg.shrink(2);
+  const auto after = pkg.statistics();
+  EXPECT_EQ(pkg.qubits(), 2U);
+  EXPECT_EQ(after.vectorTable.levels, 2U);
+  EXPECT_EQ(after.matrixTable.levels, 2U);
+  EXPECT_LT(after.matrixTable.entries, before.matrixTable.entries);
+  EXPECT_GT(after.gc.generation, before.gc.generation);
+
+  // the kept 2-qubit state is intact and the package is still usable
+  EXPECT_NEAR(pkg.norm(keep), 1., 1e-12);
+  const mEdge h = pkg.makeGateDD(H_MAT, 2, 1);
+  const vEdge plus = pkg.multiply(h, keep);
+  EXPECT_NEAR(pkg.norm(plus), 1., 1e-12);
+  // growing again after a shrink works too
+  pkg.resize(4);
+  EXPECT_NEAR(pkg.norm(pkg.makeGHZState(4)), 1., 1e-12);
+}
+
+TEST(MemShrink, NoOpWhenNotSmaller) {
+  Package pkg(3);
+  vEdge keep = pkg.makeGHZState(3);
+  pkg.incRef(keep);
+  const auto gen = pkg.gcGeneration();
+  pkg.shrink(3);
+  pkg.shrink(5);
+  EXPECT_EQ(pkg.qubits(), 3U);
+  EXPECT_EQ(pkg.gcGeneration(), gen);
+  EXPECT_NEAR(pkg.norm(keep), 1., 1e-12);
+}
+
+} // namespace
+} // namespace qdd

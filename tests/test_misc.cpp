@@ -85,18 +85,48 @@ TEST(MiscRealTable, Statistics) {
 
 TEST(MiscPackage, StatsReflectActivity) {
   Package pkg(4);
-  const auto before = pkg.stats();
+  const auto before = pkg.statistics();
   const vEdge ghz = pkg.makeGHZState(4);
   pkg.incRef(ghz);
   // GHZ only uses the immortal weights (0, 1, 1/sqrt2); a W state interns
   // genuinely new real values
   const vEdge w = pkg.makeWState(4);
   pkg.incRef(w);
-  const auto after = pkg.stats();
-  EXPECT_GT(after.vectorNodes, before.vectorNodes);
-  EXPECT_GT(after.realTableEntries, 0U);
-  EXPECT_GT(after.uniqueTableLookupsV, before.uniqueTableLookupsV);
-  EXPECT_GE(after.peakVectorNodes, after.vectorNodes);
+  const auto after = pkg.statistics();
+  EXPECT_GT(after.vectorTable.entries, before.vectorTable.entries);
+  EXPECT_GT(after.reals.entries, 0U);
+  EXPECT_GT(after.vectorTable.lookups, before.vectorTable.lookups);
+  EXPECT_GE(after.vectorTable.peakEntries, after.vectorTable.entries);
+  EXPECT_GE(after.vectorTable.memory.live, after.vectorTable.entries);
+}
+
+TEST(MiscPackage, StatsJsonContainsAllSections) {
+  Package pkg(3);
+  const vEdge state = pkg.makeGHZState(3);
+  pkg.incRef(state);
+  const mEdge h = pkg.makeGateDD(H_MAT, 3, 0);
+  const vEdge next = pkg.multiply(h, state);
+  pkg.incRef(next);
+  pkg.garbageCollect(true);
+
+  const std::string json = pkg.statistics().toJson();
+  for (const char* key :
+       {"\"uniqueTables\"", "\"vector\"", "\"matrix\"", "\"realTable\"",
+        "\"computeTables\"", "\"computeTotals\"", "\"gc\"", "\"hitRatio\"",
+        "\"rehashes\"", "\"staleRejections\"", "\"generation\"",
+        "\"memory\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // compact mode fits on one line for grep-able benchmark records
+  const std::string compact = pkg.statistics().toJson(false);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+  EXPECT_NE(compact.find("\"multiplyMatVec\""), std::string::npos);
+
+  const auto reg = pkg.statistics();
+  const auto* mv = reg.computeTable("multiplyMatVec");
+  ASSERT_NE(mv, nullptr);
+  EXPECT_GT(mv->inserts, 0U);
+  EXPECT_EQ(reg.computeTable("nonexistent"), nullptr);
 }
 
 TEST(MiscEdges, StaticHelpers) {

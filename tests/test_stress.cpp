@@ -94,9 +94,9 @@ TEST(Stress, LongSimulationSessionMemoryBounded) {
   EXPECT_NEAR(pkg.norm(session.state()), 1., 1e-8);
   session.runToStart();
   pkg.garbageCollect(true);
-  const auto stats = pkg.stats();
+  const auto pressure = pkg.tablePressure();
   // only the |0...0> state and pinned identity DDs remain referenced
-  EXPECT_LT(stats.vectorNodes, 50U);
+  EXPECT_LT(pressure.vectorNodes, 50U);
 }
 
 TEST(Stress, RepeatedCollapseAndReset) {
