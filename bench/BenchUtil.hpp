@@ -3,13 +3,25 @@
 // Shared helpers for the figure-reproduction benchmark harness.
 
 #include "qdd/dd/Package.hpp"
+#include "qdd/obs/Obs.hpp"
+#include "qdd/obs/Sinks.hpp"
 
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace qdd::bench {
+
+/// Anchor for process wall time, initialized during static initialization
+/// (i.e. effectively at process start, before main runs).
+inline const std::chrono::steady_clock::time_point processStart =
+    std::chrono::steady_clock::now();
 
 /// Wall-clock milliseconds of a callable.
 inline double timeMs(const std::function<void()>& fn) {
@@ -29,13 +41,79 @@ inline void rule() {
               "----------\n");
 }
 
+/// Process-level resource snapshot accompanying every BENCH_* record:
+/// wall time since process start, cumulative user+system CPU time, and the
+/// peak resident set size so far. RSS/CPU come from getrusage(2) where
+/// available and read as zero elsewhere.
+struct ResourceUsage {
+  double wallMs = 0.;
+  double cpuMs = 0.;
+  std::size_t peakRssKb = 0;
+
+  static ResourceUsage sample() {
+    ResourceUsage u;
+    u.wallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - processStart)
+                   .count();
+#if defined(__unix__) || defined(__APPLE__)
+    rusage ru{};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+      const auto toMs = [](const timeval& tv) {
+        return 1000. * static_cast<double>(tv.tv_sec) +
+               static_cast<double>(tv.tv_usec) / 1000.;
+      };
+      u.cpuMs = toMs(ru.ru_utime) + toMs(ru.ru_stime);
+#if defined(__APPLE__)
+      u.peakRssKb = static_cast<std::size_t>(ru.ru_maxrss) / 1024; // bytes
+#else
+      u.peakRssKb = static_cast<std::size_t>(ru.ru_maxrss); // kilobytes
+#endif
+    }
+#endif
+    return u;
+  }
+
+  [[nodiscard]] std::string toJson() const {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"wallMs\": %.3f, \"cpuMs\": %.3f, \"peakRssKb\": %zu}",
+                  wallMs, cpuMs, peakRssKb);
+    return buf;
+  }
+};
+
 /// Emits one grep-able record with the package's full statistics registry
 /// (unique-table hit ratios and rehash counts, compute-table hits and stale
-/// rejections, GC generation) as single-line JSON:
-///   BENCH_STATS <label> {...}
+/// rejections, GC generation) plus the process resource usage as
+/// single-line JSON:
+///   BENCH_STATS <label> {"stats": {...}, "resources": {...}}
 inline void emitStatsJson(const std::string& label, const Package& pkg) {
-  std::printf("BENCH_STATS %s %s\n", label.c_str(),
-              pkg.statistics().toJson(false).c_str());
+  std::printf("BENCH_STATS %s {\"stats\": %s, \"resources\": %s}\n",
+              label.c_str(), pkg.statistics().toJson(false).c_str(),
+              ResourceUsage::sample().toJson().c_str());
+}
+
+/// Runs `fn` with the observability layer enabled and an in-memory
+/// aggregator attached, then emits one grep-able record:
+///   BENCH_PROFILE <label> {"aggregate": {...}, "resources": {...}}
+/// Returns the wall-clock milliseconds of the instrumented run. Any sinks
+/// registered before the call are preserved untouched; the helper's
+/// aggregator is removed again afterwards.
+inline double profiledRun(const std::string& label,
+                          const std::function<void()>& fn) {
+  auto agg = std::make_shared<obs::AggregatorSink>();
+  auto& registry = obs::Registry::instance();
+  registry.addSink(agg);
+  const bool wasEnabled = registry.enabled();
+  registry.setEnabled(true);
+  const double ms = timeMs(fn);
+  registry.setEnabled(wasEnabled);
+  registry.removeSink(agg);
+  std::printf("BENCH_PROFILE %s {\"wallMs\": %.3f, \"aggregate\": %s, "
+              "\"resources\": %s}\n",
+              label.c_str(), ms, agg->toJson().c_str(),
+              ResourceUsage::sample().toJson().c_str());
+  return ms;
 }
 
 } // namespace qdd::bench

@@ -83,6 +83,16 @@ int main() {
               "states are dense-ish: DDs pay overhead per node — matching "
               "the paper's \"strengths and limits\" framing.\n");
 
+  bench::heading("instrumented reference run (BENCH_PROFILE record)");
+  const auto qft12 = ir::builders::qft(12);
+  const double profMs = bench::profiledRun("fig8_qft12_sim", [&] {
+    Package p(12);
+    sim::SimulationSession s(qft12, p);
+    while (s.stepForward()) {
+    }
+  });
+  std::printf("stepwise QFT_12 with tracing enabled: %.2f ms\n", profMs);
+
   bench::heading("non-destructive repeated measurement ([16] weak "
                  "simulation)");
   auto ghz = ir::builders::ghz(16);

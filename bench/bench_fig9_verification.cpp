@@ -7,6 +7,7 @@
 #include "BenchUtil.hpp"
 
 #include "qdd/ir/Builders.hpp"
+#include "qdd/verify/EquivalenceChecker.hpp"
 #include "qdd/verify/VerificationSession.hpp"
 #include "qdd/viz/TextDump.hpp"
 
@@ -62,5 +63,14 @@ int main() {
     std::printf("%zu ", nodes);
   }
   std::printf("\n");
+
+  bench::heading("instrumented alternating check (BENCH_PROFILE record)");
+  const double profMs = bench::profiledRun("fig9_qft3_alternating", [&] {
+    Package p(3);
+    const verify::EquivalenceChecker checker(qft, compiled);
+    (void)checker.checkAlternating(p);
+  });
+  std::printf("alternating QFT_3 check with tracing enabled: %.2f ms\n",
+              profMs);
   return 0;
 }

@@ -213,6 +213,11 @@ public:
   /// paper's convention in Ex. 6).
   static std::size_t size(const vEdge& e);
   static std::size_t size(const mEdge& e);
+  /// Active node count per qubit level of the DD rooted at `e` (index =
+  /// level; the sum over all levels equals `size(e)`). Feeds the per-step
+  /// metrics time series of the observability layer.
+  static std::vector<std::size_t> sizeByLevel(const vEdge& e);
+  static std::vector<std::size_t> sizeByLevel(const mEdge& e);
 
   /// Full snapshot of every table and allocator: unique tables, compute
   /// tables (with stale-rejection counts), the real-number table, and

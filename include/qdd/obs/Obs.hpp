@@ -1,0 +1,274 @@
+#pragma once
+
+// qdd::obs — low-overhead tracing and profiling for the DD engine.
+//
+// The subsystem has two gates:
+//   * compile time: building with -DQDD_OBS=0 turns every macro below into
+//     `(void)0` and every ScopedSpan into an empty object, so instrumented
+//     code compiles to exactly what it was before instrumentation;
+//   * run time: with QDD_OBS=1 (the default) nothing is recorded until
+//     `Registry::instance().setEnabled(true)` — the only cost on a hot path
+//     is one relaxed atomic load per instrumented scope.
+//
+// Instrumentation points open RAII `ScopedSpan`s (closed on scope exit,
+// including exception unwinding) and emit counters / per-simulation-step
+// metrics. Records flow to pluggable `Sink`s (see Sinks.hpp): a Chrome
+// trace-event exporter, a JSONL event stream, and an in-memory aggregator
+// that computes latency percentiles and the per-step DD metrics time series.
+
+#ifndef QDD_OBS
+#define QDD_OBS 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qdd::obs {
+
+/// Argument attached to a span or step record — a small tagged value the
+/// exporters know how to print without pulling in a JSON library. Keys are
+/// string literals (`const char*`) so recording an argument never allocates
+/// for the key — only string *values* own their storage.
+struct Arg {
+  enum class Kind : std::uint8_t { UInt, Double, Str };
+  const char* key = "";
+  Kind kind = Kind::UInt;
+  std::uint64_t u = 0;
+  double d = 0.;
+  std::string s;
+
+  static Arg uintArg(const char* key, std::uint64_t v) {
+    Arg a;
+    a.key = key;
+    a.kind = Kind::UInt;
+    a.u = v;
+    return a;
+  }
+  static Arg doubleArg(const char* key, double v) {
+    Arg a;
+    a.key = key;
+    a.kind = Kind::Double;
+    a.d = v;
+    return a;
+  }
+  static Arg strArg(const char* key, std::string v) {
+    Arg a;
+    a.key = key;
+    a.kind = Kind::Str;
+    a.s = std::move(v);
+    return a;
+  }
+};
+
+/// A completed span: a named, categorized interval on the (single) timeline.
+/// `depth` is the nesting level at open (0 = top-level), so sinks and tests
+/// can reconstruct the span stack without replaying begin/end pairs.
+struct SpanRecord {
+  const char* category = "";
+  const char* name = "";
+  double startUs = 0.; ///< microseconds since the registry epoch
+  double durUs = 0.;
+  int depth = 0;
+  std::vector<Arg> args;
+};
+
+/// A sampled scalar (Chrome "C" counter track).
+struct CounterRecord {
+  const char* name = "";
+  double value = 0.;
+  double tsUs = 0.;
+};
+
+/// Per-simulation-step DD metrics — the time series the paper's web tool
+/// visualizes while stepping: intermediate DD size (total and per level),
+/// compute-cache behavior, and GC activity after each applied operation.
+struct StepMetrics {
+  std::size_t index = 0; ///< 0-based index of the applied operation
+  std::string op;        ///< operation name
+  std::size_t nodes = 0; ///< DD size after the step
+  std::vector<std::size_t> nodesPerLevel; ///< active nodes per qubit level
+  std::size_t cacheLookups = 0; ///< cumulative, summed over compute tables
+  std::size_t cacheHits = 0;    ///< cumulative
+  double cacheHitRatioDelta = 0.; ///< hit ratio of this step's lookups alone
+  std::size_t realEntries = 0;    ///< real-number table entries
+  std::size_t gcRuns = 0;         ///< cumulative GC runs
+  double tsUs = 0.;               ///< completion time of the step
+  double durUs = 0.;              ///< wall time of the step
+};
+
+/// Consumer of observability records. Callbacks are invoked synchronously
+/// (under the registry lock) in the order events complete.
+class Sink {
+public:
+  virtual ~Sink() = default;
+  virtual void onSpan(const SpanRecord& span) = 0;
+  virtual void onCounter(const CounterRecord& counter) { (void)counter; }
+  virtual void onStep(const StepMetrics& step) { (void)step; }
+  virtual void flush() {}
+};
+
+/// Process-wide registry: the runtime enable flag, the monotonic time origin,
+/// and the sink list. All record entry points are no-ops while disabled.
+class Registry {
+public:
+  static Registry& instance();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return on.load(std::memory_order_relaxed);
+  }
+  void setEnabled(bool e) noexcept { on.store(e, std::memory_order_relaxed); }
+
+  void addSink(std::shared_ptr<Sink> sink);
+  /// Detaches one sink again (no-op if it is not attached).
+  void removeSink(const std::shared_ptr<Sink>& sink);
+  void clearSinks();
+  /// Flushes every attached sink.
+  void flush();
+
+  /// Microseconds since the registry epoch (process-wide steady clock, so
+  /// every `ts` in an export is monotonic and mutually comparable).
+  [[nodiscard]] double nowUs() const noexcept {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  }
+
+  /// Current span nesting depth of this thread (exposed for tests: it must
+  /// return to its pre-scope value even when scopes unwind via exceptions).
+  [[nodiscard]] static int currentDepth() noexcept { return depth(); }
+
+  // --- record entry points (called by ScopedSpan / the macros) -------------
+
+  void recordSpan(SpanRecord&& span);
+  void recordCounter(const char* name, double value);
+  void recordStep(StepMetrics&& step);
+
+  /// Opens/closes a nesting level; returns the depth at open.
+  static int enterSpan() noexcept { return depth()++; }
+  static void exitSpan() noexcept { --depth(); }
+
+private:
+  Registry() : epoch(std::chrono::steady_clock::now()) {}
+  static int& depth() noexcept {
+    thread_local int d = 0;
+    return d;
+  }
+
+  std::atomic<bool> on{false};
+  std::chrono::steady_clock::time_point epoch;
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Sink>> sinks;
+};
+
+#if QDD_OBS
+
+/// RAII span: records a SpanRecord for its lifetime when the registry is
+/// enabled (and `condition` holds at construction). Destruction — normal or
+/// via stack unwinding — closes the span, so nesting is always well-formed.
+class ScopedSpan {
+public:
+  ScopedSpan(const char* category, const char* name, bool condition = true) {
+    if (condition && Registry::instance().enabled()) {
+      record.category = category;
+      record.name = name;
+      record.startUs = Registry::instance().nowUs();
+      record.depth = Registry::enterSpan();
+      live = true;
+    }
+  }
+  ~ScopedSpan() {
+    if (live) {
+      Registry::exitSpan();
+      record.durUs = Registry::instance().nowUs() - record.startUs;
+      Registry::instance().recordSpan(std::move(record));
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return live; }
+
+  void arg(const char* key, std::size_t value) {
+    if (live) {
+      reserveArgs();
+      record.args.push_back(Arg::uintArg(key, value));
+    }
+  }
+  void arg(const char* key, double value) {
+    if (live) {
+      reserveArgs();
+      record.args.push_back(Arg::doubleArg(key, value));
+    }
+  }
+  void arg(const char* key, const std::string& value) {
+    if (live) {
+      reserveArgs();
+      record.args.push_back(Arg::strArg(key, value));
+    }
+  }
+
+private:
+  /// One up-front allocation instead of the 1/2/4/8 growth sequence.
+  void reserveArgs() {
+    if (record.args.capacity() == 0) {
+      record.args.reserve(6);
+    }
+  }
+
+  SpanRecord record;
+  bool live = false;
+};
+
+#else // QDD_OBS == 0: spans compile to empty objects
+
+class ScopedSpan {
+public:
+  ScopedSpan(const char*, const char*, bool = true) {}
+  [[nodiscard]] bool active() const noexcept { return false; }
+  void arg(const char*, std::size_t) {}
+  void arg(const char*, double) {}
+  void arg(const char*, const std::string&) {}
+};
+
+#endif
+
+/// True when observability is compiled in and runtime-enabled.
+inline bool enabled() noexcept {
+#if QDD_OBS
+  return Registry::instance().enabled();
+#else
+  return false;
+#endif
+}
+
+#if QDD_OBS
+#define QDD_OBS_CONCAT_INNER(a, b) a##b
+#define QDD_OBS_CONCAT(a, b) QDD_OBS_CONCAT_INNER(a, b)
+/// Opens an anonymous span covering the rest of the enclosing scope.
+#define QDD_OBS_SPAN(category, name)                                           \
+  ::qdd::obs::ScopedSpan QDD_OBS_CONCAT(qddObsSpan_, __LINE__)(category, name)
+/// Samples a counter value (no-op while disabled).
+#define QDD_OBS_COUNTER(name, value)                                           \
+  do {                                                                         \
+    if (::qdd::obs::Registry::instance().enabled()) {                          \
+      ::qdd::obs::Registry::instance().recordCounter(                          \
+          name, static_cast<double>(value));                                   \
+    }                                                                          \
+  } while (false)
+#else
+#define QDD_OBS_SPAN(category, name) static_cast<void>(0)
+#define QDD_OBS_COUNTER(name, value) static_cast<void>(0)
+#endif
+
+} // namespace qdd::obs

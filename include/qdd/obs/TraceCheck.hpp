@@ -1,0 +1,33 @@
+#pragma once
+
+// Structural validator for Chrome trace-event JSON documents produced by
+// ChromeTraceSink (and, conservatively, by anything emitting the trace-event
+// format). Used by tests, by the `qdd-trace-check` CLI, and by CI smoke runs.
+
+#include <string>
+
+namespace qdd::obs {
+
+/// What `validateChromeTrace` found; all counts refer to the traceEvents
+/// array of the validated document.
+struct TraceCheckResult {
+  bool valid = false;
+  std::string error; ///< empty when valid
+  std::size_t events = 0;
+  std::size_t spans = 0;        ///< "X" events
+  std::size_t counters = 0;     ///< "C" events
+  std::size_t stepInstants = 0; ///< "i" events named "sim.step"
+  bool hasStats = false;        ///< top-level "qddStats" object present
+};
+
+/// Checks that `json` parses as strict JSON, has a "traceEvents" array whose
+/// elements all carry name/ph/ts (and dur for "X" events), that `ts` is
+/// monotonically non-decreasing in array order, and that "X" spans observe
+/// stack discipline (each span is either disjoint from or fully contained in
+/// the enclosing open span). With `requireStepMetrics`, at least one
+/// "sim.step" instant must carry the per-step DD metric args (nodes,
+/// cacheHitRatioDelta, nodesPerLevel, gcRuns).
+TraceCheckResult validateChromeTrace(const std::string& json,
+                                     bool requireStepMetrics = false);
+
+} // namespace qdd::obs

@@ -68,6 +68,20 @@ public:
     return pressures;
   }
 
+  /// Per-step profile recorded for every applied operation (same indexing as
+  /// `nodeHistory`): wall time of the step and the active-nodes-per-level
+  /// breakdown of the resulting DD. Always captured — it costs one clock
+  /// read and reuses the node walk `nodeHistory` needs anyway — and exported
+  /// by the trace exporter and the observability layer.
+  struct StepProfile {
+    double durationUs = 0.;
+    std::vector<std::size_t> nodesPerLevel;
+  };
+  [[nodiscard]] const std::vector<StepProfile>&
+  stepProfiles() const noexcept {
+    return profiles;
+  }
+
   // --- navigation (the -> / <- / |<< / >>| buttons) -------------------------
 
   /// Applies the next operation; returns false at the end of the circuit.
@@ -106,6 +120,7 @@ private:
   std::size_t peak = 0;
   std::vector<std::size_t> history;
   std::vector<mem::TablePressure> pressures;
+  std::vector<StepProfile> profiles;
 };
 
 /// Result of repeated (weak) simulation.

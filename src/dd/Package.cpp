@@ -1,4 +1,5 @@
 #include "qdd/dd/Package.hpp"
+#include "qdd/obs/Obs.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -93,6 +94,9 @@ bool Package::garbageCollect(bool force) {
       !cTable.realTable().possiblyNeedsCollection()) {
     return false;
   }
+  // GC pauses are exactly what a latency profile must surface; the span
+  // carries the per-run reclaim counts as args.
+  obs::ScopedSpan span("dd", "gc");
   ++gcRuns;
   // Open a new allocation epoch before any node is freed. Compute-table
   // entries keep their old stamps; any entry referencing a pointer freed or
@@ -113,9 +117,16 @@ bool Package::garbageCollect(bool force) {
       decRefEdge(child);
     }
   };
-  collectedVectorNodes += vTable.garbageCollect(releaseV);
-  collectedMatrixNodes += mTable.garbageCollect(releaseM);
-  collectedReals += cTable.garbageCollect();
+  const std::size_t dv = vTable.garbageCollect(releaseV);
+  const std::size_t dm = mTable.garbageCollect(releaseM);
+  const std::size_t dr = cTable.garbageCollect();
+  collectedVectorNodes += dv;
+  collectedMatrixNodes += dm;
+  collectedReals += dr;
+  span.arg("generation", static_cast<std::size_t>(generation));
+  span.arg("collectedVectorNodes", dv);
+  span.arg("collectedMatrixNodes", dm);
+  span.arg("collectedReals", dr);
   return true;
 }
 
@@ -577,6 +588,33 @@ std::size_t Package::size(const mEdge& e) {
   std::unordered_set<const mNode*> seen;
   countNodes(e.p, seen);
   return seen.size();
+}
+
+namespace {
+template <class Node>
+std::vector<std::size_t> tallyByLevel(const std::unordered_set<const Node*>& seen) {
+  std::vector<std::size_t> perLevel;
+  for (const Node* p : seen) {
+    const auto v = static_cast<std::size_t>(p->v);
+    if (v >= perLevel.size()) {
+      perLevel.resize(v + 1, 0);
+    }
+    ++perLevel[v];
+  }
+  return perLevel;
+}
+} // namespace
+
+std::vector<std::size_t> Package::sizeByLevel(const vEdge& e) {
+  std::unordered_set<const vNode*> seen;
+  countNodes(e.p, seen);
+  return tallyByLevel(seen);
+}
+
+std::vector<std::size_t> Package::sizeByLevel(const mEdge& e) {
+  std::unordered_set<const mNode*> seen;
+  countNodes(e.p, seen);
+  return tallyByLevel(seen);
 }
 
 mem::StatsRegistry Package::statistics() const {

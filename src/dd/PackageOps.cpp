@@ -1,4 +1,5 @@
 #include "qdd/dd/Package.hpp"
+#include "qdd/obs/Obs.hpp"
 
 #include <cassert>
 #include <stdexcept>
@@ -6,9 +7,31 @@
 
 namespace qdd {
 
+namespace {
+
+/// DD operations recurse through each other (multiply2 -> add -> add ...);
+/// a span per recursive call would swamp any trace. This guard opens a span
+/// only for the *outermost* DD operation on the current thread — nested
+/// calls ride inside the parent's span.
+thread_local int ddOpDepth = 0;
+
+struct DDOpSpan {
+  explicit DDOpSpan(const char* name) : span("dd", name, ddOpDepth == 0) {
+    ++ddOpDepth;
+  }
+  ~DDOpSpan() { --ddOpDepth; }
+  DDOpSpan(const DDOpSpan&) = delete;
+  DDOpSpan& operator=(const DDOpSpan&) = delete;
+
+  obs::ScopedSpan span;
+};
+
+} // namespace
+
 // --- addition (paper Fig. 4, right) -----------------------------------------
 
 vEdge Package::add(const vEdge& x, const vEdge& y) {
+  const DDOpSpan span("add");
   if (x.w.exactlyZero()) {
     return y;
   }
@@ -53,6 +76,7 @@ vEdge Package::add(const vEdge& x, const vEdge& y) {
 }
 
 mEdge Package::add(const mEdge& x, const mEdge& y) {
+  const DDOpSpan span("add");
   if (x.w.exactlyZero()) {
     return y;
   }
@@ -98,6 +122,7 @@ mEdge Package::add(const mEdge& x, const mEdge& y) {
 // --- multiplication (paper Ex. 9 / Fig. 4) ----------------------------------
 
 vEdge Package::multiply(const mEdge& x, const vEdge& y) {
+  const DDOpSpan span("multiply");
   if (x.w.exactlyZero() || y.w.exactlyZero()) {
     return vEdge::zero();
   }
@@ -155,6 +180,7 @@ vEdge Package::multiply2(mNode* x, vNode* y) {
 }
 
 mEdge Package::multiply(const mEdge& x, const mEdge& y) {
+  const DDOpSpan span("multiply");
   if (x.w.exactlyZero() || y.w.exactlyZero()) {
     return mEdge::zero();
   }
@@ -250,6 +276,7 @@ Edge<Node> kronRec(const Edge<Node>& topEdge, Node* bottomRoot, Qubit shift,
 } // namespace
 
 mEdge Package::kron(const mEdge& top, const mEdge& bottom) {
+  const DDOpSpan span("kron");
   if (top.w.exactlyZero() || bottom.w.exactlyZero()) {
     return mEdge::zero();
   }
@@ -273,6 +300,7 @@ mEdge Package::kron(const mEdge& top, const mEdge& bottom) {
 }
 
 vEdge Package::kron(const vEdge& top, const vEdge& bottom) {
+  const DDOpSpan span("kron");
   if (top.w.exactlyZero() || bottom.w.exactlyZero()) {
     return vEdge::zero();
   }
@@ -298,6 +326,7 @@ vEdge Package::kron(const vEdge& top, const vEdge& bottom) {
 // --- conjugate transpose -----------------------------------------------------
 
 mEdge Package::conjugateTranspose(const mEdge& a) {
+  const DDOpSpan span("conjugateTranspose");
   if (a.w.exactlyZero()) {
     return mEdge::zero();
   }
@@ -325,6 +354,7 @@ mEdge Package::conjugateTranspose(const mEdge& a) {
 // --- inner product / fidelity -------------------------------------------------
 
 ComplexValue Package::innerProduct(const vEdge& x, const vEdge& y) {
+  const DDOpSpan span("innerProduct");
   if (x.w.exactlyZero() || y.w.exactlyZero()) {
     return {0., 0.};
   }
@@ -498,6 +528,7 @@ double Package::norm(const vEdge& e) {
 
 mEdge Package::partialTrace(const mEdge& a,
                             const std::vector<bool>& eliminate) {
+  const DDOpSpan span("partialTrace");
   if (a.isTerminal()) {
     return a;
   }

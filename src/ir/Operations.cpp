@@ -16,6 +16,9 @@ namespace qdd::ir {
 namespace {
 
 /// Pretty-prints an angle, recognizing simple multiples/fractions of pi.
+/// Hot: operation names are rebuilt for step displays and trace records, so
+/// the pi-fraction match computes the candidate numerator per denominator
+/// directly instead of scanning all of them.
 std::string angleToString(double angle) {
   constexpr double PI_LOCAL = 3.14159265358979323846;
   constexpr double EPS = 1e-12;
@@ -23,30 +26,34 @@ std::string angleToString(double angle) {
     return "0";
   }
   for (int den = 1; den <= 64; den *= 2) {
-    for (int num = -8 * den; num <= 8 * den; ++num) {
-      if (num == 0) {
-        continue;
-      }
-      if (std::abs(angle - PI_LOCAL * num / den) < EPS) {
-        std::ostringstream ss;
-        if (num == 1) {
-          ss << "pi";
-        } else if (num == -1) {
-          ss << "-pi";
-        } else {
-          ss << num << "*pi";
-        }
-        if (den != 1) {
-          ss << "/" << den;
-        }
-        return ss.str();
-      }
+    const double scaled = angle * den / PI_LOCAL;
+    const int num = static_cast<int>(std::lround(scaled));
+    if (num == 0 || std::abs(num) > 8 * den ||
+        std::abs(angle - PI_LOCAL * num / den) >= EPS) {
+      continue;
+    }
+    char buf[32];
+    if (num == 1) {
+      std::snprintf(buf, sizeof(buf), den == 1 ? "pi" : "pi/%d", den);
+    } else if (num == -1) {
+      std::snprintf(buf, sizeof(buf), den == 1 ? "-pi" : "-pi/%d", den);
+    } else if (den == 1) {
+      std::snprintf(buf, sizeof(buf), "%d*pi", num);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%d*pi/%d", num, den);
+    }
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", angle);
+  // keep output locale-independent (snprintf honors the C locale's decimal
+  // separator)
+  for (char* c = buf; *c != '\0'; ++c) {
+    if (*c == ',') {
+      *c = '.';
     }
   }
-  std::ostringstream ss;
-  ss.precision(15);
-  ss << angle;
-  return ss.str();
+  return buf;
 }
 
 std::string paramList(const std::vector<double>& params) {

@@ -1,5 +1,6 @@
 #include "qdd/mem/StatsRegistry.hpp"
 
+#include <cstdio>
 #include <sstream>
 
 namespace qdd::mem {
@@ -59,7 +60,18 @@ public:
   void field(const char* key, double value) {
     separator();
     emitKey(key);
-    out << value;
+    // Deterministic across platforms and locales: fixed %.9g formatting
+    // (ostream would honor the global locale and its precision settings),
+    // with any locale-specific decimal comma normalized to a dot so the
+    // output is always valid JSON.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    for (char* c = buf; *c != '\0'; ++c) {
+      if (*c == ',') {
+        *c = '.';
+      }
+    }
+    out << buf;
   }
   void field(const char* key, const std::string& value) {
     separator();

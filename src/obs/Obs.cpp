@@ -1,0 +1,56 @@
+#include "qdd/obs/Obs.hpp"
+
+#include <algorithm>
+
+namespace qdd::obs {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::addSink(std::shared_ptr<Sink> sink) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  sinks.push_back(std::move(sink));
+}
+
+void Registry::removeSink(const std::shared_ptr<Sink>& sink) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  sinks.erase(std::remove(sinks.begin(), sinks.end(), sink), sinks.end());
+}
+
+void Registry::clearSinks() {
+  const std::lock_guard<std::mutex> lock(mutex);
+  sinks.clear();
+}
+
+void Registry::flush() {
+  const std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& sink : sinks) {
+    sink->flush();
+  }
+}
+
+void Registry::recordSpan(SpanRecord&& span) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& sink : sinks) {
+    sink->onSpan(span);
+  }
+}
+
+void Registry::recordCounter(const char* name, double value) {
+  CounterRecord record{name, value, nowUs()};
+  const std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& sink : sinks) {
+    sink->onCounter(record);
+  }
+}
+
+void Registry::recordStep(StepMetrics&& step) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  for (const auto& sink : sinks) {
+    sink->onStep(step);
+  }
+}
+
+} // namespace qdd::obs

@@ -1,0 +1,406 @@
+#include "qdd/obs/Sinks.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qdd::obs {
+
+namespace {
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    case '\t':
+      out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+/// Fixed, locale-independent float formatting (same contract as the stats
+/// registry): %.9g via snprintf, with a decimal comma — should a caller have
+/// installed a locale that uses one — normalized back to a point.
+std::string formatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  std::string s(buf);
+  for (char& c : s) {
+    if (c == ',') {
+      c = '.';
+    }
+  }
+  return s;
+}
+
+void appendArg(std::string& out, const Arg& a) {
+  out += '"';
+  out += jsonEscape(a.key);
+  out += "\":";
+  switch (a.kind) {
+  case Arg::Kind::UInt:
+    out += std::to_string(a.u);
+    break;
+  case Arg::Kind::Double:
+    out += formatDouble(a.d);
+    break;
+  case Arg::Kind::Str:
+    out += '"';
+    out += jsonEscape(a.s);
+    out += '"';
+    break;
+  }
+}
+
+std::string argsJson(const std::vector<Arg>& args) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    appendArg(out, args[i]);
+  }
+  out += '}';
+  return out;
+}
+
+std::vector<Arg> stepArgs(const StepMetrics& step) {
+  std::vector<Arg> args;
+  args.push_back(Arg::uintArg("index", step.index));
+  args.push_back(Arg::strArg("op", step.op));
+  args.push_back(Arg::uintArg("nodes", step.nodes));
+  args.push_back(Arg::uintArg("cacheLookups", step.cacheLookups));
+  args.push_back(Arg::uintArg("cacheHits", step.cacheHits));
+  args.push_back(Arg::doubleArg("cacheHitRatioDelta", step.cacheHitRatioDelta));
+  args.push_back(Arg::uintArg("realEntries", step.realEntries));
+  args.push_back(Arg::uintArg("gcRuns", step.gcRuns));
+  args.push_back(Arg::doubleArg("durUs", step.durUs));
+  return args;
+}
+
+std::string levelsJson(const std::vector<std::size_t>& nodesPerLevel) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < nodesPerLevel.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += std::to_string(nodesPerLevel[i]);
+  }
+  out += ']';
+  return out;
+}
+
+} // namespace
+
+// --- ChromeTraceSink --------------------------------------------------------
+
+void ChromeTraceSink::onSpan(const SpanRecord& span) {
+  Event e;
+  e.phase = 'X';
+  e.name = span.name;
+  e.category = span.category;
+  e.tsUs = span.startUs;
+  e.durUs = span.durUs;
+  e.args = span.args;
+  events.push_back(std::move(e));
+}
+
+void ChromeTraceSink::onCounter(const CounterRecord& counter) {
+  Event e;
+  e.phase = 'C';
+  e.name = counter.name;
+  e.category = "counter";
+  e.tsUs = counter.tsUs;
+  e.args.push_back(Arg::doubleArg("value", counter.value));
+  events.push_back(std::move(e));
+}
+
+void ChromeTraceSink::onStep(const StepMetrics& step) {
+  // Counter tracks give Perfetto plottable time series ...
+  const std::array<std::pair<const char*, double>, 4> tracks{{
+      {"dd.nodes", static_cast<double>(step.nodes)},
+      {"dd.cacheHitRatio", step.cacheHitRatioDelta},
+      {"dd.realEntries", static_cast<double>(step.realEntries)},
+      {"dd.gcRuns", static_cast<double>(step.gcRuns)},
+  }};
+  for (const auto& [name, value] : tracks) {
+    Event c;
+    c.phase = 'C';
+    c.name = name;
+    c.category = "counter";
+    c.tsUs = step.tsUs;
+    c.args.push_back(Arg::doubleArg("value", value));
+    events.push_back(std::move(c));
+  }
+  // ... and one instant event carries the full per-step metrics as args,
+  // including the active-nodes-per-level breakdown (serialized as a string
+  // arg since trace-event args are flat).
+  Event e;
+  e.phase = 'i';
+  e.name = "sim.step";
+  e.category = "sim";
+  e.tsUs = step.tsUs;
+  e.args = stepArgs(step);
+  e.args.push_back(Arg::strArg("nodesPerLevel", levelsJson(step.nodesPerLevel)));
+  events.push_back(std::move(e));
+}
+
+std::string ChromeTraceSink::toJson() const {
+  std::vector<const Event*> ordered;
+  ordered.reserve(events.size());
+  for (const auto& e : events) {
+    ordered.push_back(&e);
+  }
+  // Monotonic ts; at equal ts the longer (enclosing) span comes first so
+  // viewers open parents before children.
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->tsUs != b->tsUs) {
+                       return a->tsUs < b->tsUs;
+                     }
+                     return a->durUs > b->durUs;
+                   });
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event* e : ordered) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "{\"name\":\"";
+    out += jsonEscape(e->name);
+    out += "\",\"cat\":\"";
+    out += jsonEscape(e->category);
+    out += "\",\"ph\":\"";
+    out += e->phase;
+    out += "\",\"pid\":1,\"tid\":1,\"ts\":";
+    out += formatDouble(e->tsUs);
+    if (e->phase == 'X') {
+      out += ",\"dur\":";
+      out += formatDouble(e->durUs);
+    }
+    if (e->phase == 'i') {
+      out += ",\"s\":\"t\"";
+    }
+    if (!e->args.empty()) {
+      out += ",\"args\":";
+      out += argsJson(e->args);
+    }
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"";
+  if (!statsJson.empty()) {
+    out += ",\"qddStats\":";
+    out += statsJson;
+  }
+  out += "}\n";
+  return out;
+}
+
+void ChromeTraceSink::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open trace file for writing: " + path);
+  }
+  out << toJson();
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("failed writing trace file: " + path);
+  }
+}
+
+// --- JsonlSink --------------------------------------------------------------
+
+void JsonlSink::onSpan(const SpanRecord& span) {
+  out << "{\"type\":\"span\",\"cat\":\"" << jsonEscape(span.category)
+      << "\",\"name\":\"" << jsonEscape(span.name)
+      << "\",\"ts\":" << formatDouble(span.startUs)
+      << ",\"dur\":" << formatDouble(span.durUs) << ",\"depth\":" << span.depth;
+  if (!span.args.empty()) {
+    out << ",\"args\":" << argsJson(span.args);
+  }
+  out << "}\n";
+}
+
+void JsonlSink::onCounter(const CounterRecord& counter) {
+  out << "{\"type\":\"counter\",\"name\":\"" << jsonEscape(counter.name)
+      << "\",\"ts\":" << formatDouble(counter.tsUs)
+      << ",\"value\":" << formatDouble(counter.value) << "}\n";
+}
+
+void JsonlSink::onStep(const StepMetrics& step) {
+  out << "{\"type\":\"step\",\"ts\":" << formatDouble(step.tsUs) << ",\"args\":"
+      << argsJson(stepArgs(step))
+      << ",\"nodesPerLevel\":" << levelsJson(step.nodesPerLevel) << "}\n";
+}
+
+void JsonlSink::flush() { out.flush(); }
+
+// --- AggregatorSink ---------------------------------------------------------
+
+AggregatorSink::Bucket& AggregatorSink::resolve(const SpanRecord& span) {
+  Bucket& bucket = buckets[{span.category, span.name}];
+  if (bucket.durations == nullptr) {
+    const std::string key = std::string(span.category) + "/" + span.name;
+    // std::map nodes are stable, so the vector address survives inserts
+    bucket.durations = &samples[key];
+    bucket.isGc = key == "dd/gc";
+  }
+  return bucket;
+}
+
+void AggregatorSink::onSpan(const SpanRecord& span) {
+  const Bucket& bucket = resolve(span);
+  if (bucket.durations->size() < MAX_SAMPLES) {
+    bucket.durations->push_back(span.durUs);
+  }
+  if (bucket.isGc && gcPauses.size() < MAX_SAMPLES) {
+    gcPauses.push_back(span.durUs);
+  }
+}
+
+void AggregatorSink::onStep(const StepMetrics& step) {
+  stepSeries.push_back(step);
+}
+
+double AggregatorSink::percentileUs(const std::string& key, double p) const {
+  const auto it = samples.find(key);
+  if (it == samples.end() || it->second.empty()) {
+    return 0.;
+  }
+  std::vector<double> sorted = it->second;
+  std::sort(sorted.begin(), sorted.end());
+  // nearest-rank: smallest value such that at least p% of samples are <= it
+  const double clamped = std::min(std::max(p, 0.), 100.);
+  const auto n = sorted.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(clamped / 100. * static_cast<double>(n))));
+  rank = std::min(rank, n);
+  return sorted[rank - 1];
+}
+
+LatencySummary AggregatorSink::summary(const std::string& key) const {
+  LatencySummary s;
+  const auto it = samples.find(key);
+  if (it == samples.end() || it->second.empty()) {
+    return s;
+  }
+  s.count = it->second.size();
+  for (const double d : it->second) {
+    s.totalUs += d;
+    s.maxUs = std::max(s.maxUs, d);
+  }
+  s.p50Us = percentileUs(key, 50.);
+  s.p95Us = percentileUs(key, 95.);
+  s.p99Us = percentileUs(key, 99.);
+  return s;
+}
+
+std::vector<std::string> AggregatorSink::keys() const {
+  std::vector<std::string> out;
+  out.reserve(samples.size());
+  for (const auto& [key, bucket] : samples) {
+    if (!bucket.empty()) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+std::size_t AggregatorSink::peakStepNodes() const noexcept {
+  std::size_t peak = 0;
+  for (const auto& step : stepSeries) {
+    peak = std::max(peak, step.nodes);
+  }
+  return peak;
+}
+
+std::string AggregatorSink::summaryTable() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %8s %12s %10s %10s %10s %10s\n",
+                "span", "count", "total ms", "p50 us", "p95 us", "p99 us",
+                "max us");
+  out << line;
+  out << std::string(90, '-') << "\n";
+  for (const auto& key : keys()) {
+    const LatencySummary s = summary(key);
+    std::snprintf(line, sizeof(line),
+                  "%-24s %8zu %12.3f %10.1f %10.1f %10.1f %10.1f\n",
+                  key.c_str(), s.count, s.totalUs / 1000., s.p50Us, s.p95Us,
+                  s.p99Us, s.maxUs);
+    out << line;
+  }
+  if (!stepSeries.empty()) {
+    double gcTotal = 0.;
+    for (const double p : gcPauses) {
+      gcTotal += p;
+    }
+    std::snprintf(line, sizeof(line),
+                  "steps: %zu   peak transient DD: %zu nodes   GC pauses: "
+                  "%zu (%.3f ms total)\n",
+                  stepSeries.size(), peakStepNodes(), gcPauses.size(),
+                  gcTotal / 1000.);
+    out << line;
+  }
+  return out.str();
+}
+
+std::string AggregatorSink::toJson() const {
+  std::string out = "{\"spans\":{";
+  bool first = true;
+  for (const auto& key : keys()) {
+    const LatencySummary s = summary(key);
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    out += jsonEscape(key);
+    out += "\":{\"count\":" + std::to_string(s.count);
+    out += ",\"totalUs\":" + formatDouble(s.totalUs);
+    out += ",\"p50Us\":" + formatDouble(s.p50Us);
+    out += ",\"p95Us\":" + formatDouble(s.p95Us);
+    out += ",\"p99Us\":" + formatDouble(s.p99Us);
+    out += ",\"maxUs\":" + formatDouble(s.maxUs);
+    out += '}';
+  }
+  out += "},\"steps\":" + std::to_string(stepSeries.size());
+  out += ",\"peakStepNodes\":" + std::to_string(peakStepNodes());
+  double gcTotal = 0.;
+  for (const double p : gcPauses) {
+    gcTotal += p;
+  }
+  out += ",\"gcPauses\":" + std::to_string(gcPauses.size());
+  out += ",\"gcPauseTotalUs\":" + formatDouble(gcTotal);
+  out += '}';
+  return out;
+}
+
+} // namespace qdd::obs

@@ -1,0 +1,349 @@
+#include "qdd/obs/TraceCheck.hpp"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace qdd::obs {
+
+namespace {
+
+// Minimal strict JSON parser — just enough structure to validate traces
+// without pulling a JSON library into the repository.
+
+struct Value;
+using ValuePtr = std::unique_ptr<Value>;
+
+struct Value {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.;
+  std::string string;
+  std::vector<ValuePtr> array;
+  std::map<std::string, ValuePtr> object;
+
+  [[nodiscard]] const Value* member(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : it->second.get();
+  }
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string& text) : text(text) {}
+
+  ValuePtr parse() {
+    ValuePtr v = parseValue();
+    skipWhitespace();
+    if (pos != text.size()) {
+      fail("trailing characters after top-level value");
+    }
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos) +
+                             ": " + message);
+  }
+
+  void skipWhitespace() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  char peek() {
+    if (pos >= text.size()) {
+      fail("unexpected end of input");
+    }
+    return text[pos];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+  }
+
+  bool consume(const std::string& word) {
+    if (text.compare(pos, word.size(), word) == 0) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr parseValue() {
+    skipWhitespace();
+    const char c = peek();
+    switch (c) {
+    case '{':
+      return parseObject();
+    case '[':
+      return parseArray();
+    case '"':
+      return parseString();
+    case 't':
+    case 'f':
+      return parseBool();
+    case 'n':
+      if (!consume("null")) {
+        fail("invalid literal");
+      }
+      return std::make_unique<Value>();
+    default:
+      return parseNumber();
+    }
+  }
+
+  ValuePtr parseObject() {
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Object;
+    expect('{');
+    skipWhitespace();
+    if (peek() == '}') {
+      ++pos;
+      return v;
+    }
+    while (true) {
+      skipWhitespace();
+      ValuePtr key = parseString();
+      skipWhitespace();
+      expect(':');
+      v->object[key->string] = parseValue();
+      skipWhitespace();
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  ValuePtr parseArray() {
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Array;
+    expect('[');
+    skipWhitespace();
+    if (peek() == ']') {
+      ++pos;
+      return v;
+    }
+    while (true) {
+      v->array.push_back(parseValue());
+      skipWhitespace();
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  ValuePtr parseString() {
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::String;
+    expect('"');
+    while (true) {
+      if (pos >= text.size()) {
+        fail("unterminated string");
+      }
+      const char c = text[pos++];
+      if (c == '"') {
+        return v;
+      }
+      if (c == '\\') {
+        if (pos >= text.size()) {
+          fail("unterminated escape");
+        }
+        const char esc = text[pos++];
+        switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          v->string += esc;
+          break;
+        case 'n':
+          v->string += '\n';
+          break;
+        case 't':
+          v->string += '\t';
+          break;
+        case 'r':
+          v->string += '\r';
+          break;
+        case 'b':
+        case 'f':
+          break;
+        case 'u': {
+          if (pos + 4 > text.size()) {
+            fail("truncated \\u escape");
+          }
+          for (int k = 0; k < 4; ++k) {
+            if (std::isxdigit(static_cast<unsigned char>(text[pos + static_cast<std::size_t>(k)])) == 0) {
+              fail("invalid \\u escape");
+            }
+          }
+          pos += 4;
+          v->string += '?'; // code point not needed for validation
+          break;
+        }
+        default:
+          fail("invalid escape");
+        }
+      } else {
+        v->string += c;
+      }
+    }
+  }
+
+  ValuePtr parseBool() {
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Bool;
+    if (consume("true")) {
+      v->boolean = true;
+    } else if (consume("false")) {
+      v->boolean = false;
+    } else {
+      fail("invalid literal");
+    }
+    return v;
+  }
+
+  ValuePtr parseNumber() {
+    const std::size_t start = pos;
+    if (peek() == '-') {
+      ++pos;
+    }
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start || (pos == start + 1 && text[start] == '-')) {
+      fail("invalid number");
+    }
+    auto v = std::make_unique<Value>();
+    v->kind = Value::Kind::Number;
+    try {
+      v->number = std::stod(text.substr(start, pos - start));
+    } catch (const std::exception&) {
+      fail("unparsable number");
+    }
+    return v;
+  }
+
+  const std::string& text;
+  std::size_t pos = 0;
+};
+
+bool isNumber(const Value* v) {
+  return v != nullptr && v->kind == Value::Kind::Number;
+}
+bool isString(const Value* v) {
+  return v != nullptr && v->kind == Value::Kind::String;
+}
+
+TraceCheckResult failure(std::string error) {
+  TraceCheckResult r;
+  r.error = std::move(error);
+  return r;
+}
+
+} // namespace
+
+TraceCheckResult validateChromeTrace(const std::string& json,
+                                     bool requireStepMetrics) {
+  ValuePtr root;
+  try {
+    root = Parser(json).parse();
+  } catch (const std::exception& e) {
+    return failure(e.what());
+  }
+  if (root->kind != Value::Kind::Object) {
+    return failure("top-level value is not an object");
+  }
+  const Value* eventsVal = root->member("traceEvents");
+  if (eventsVal == nullptr || eventsVal->kind != Value::Kind::Array) {
+    return failure("missing \"traceEvents\" array");
+  }
+
+  TraceCheckResult result;
+  result.hasStats = root->member("qddStats") != nullptr &&
+                    root->member("qddStats")->kind == Value::Kind::Object;
+
+  double lastTs = -1.;
+  // Open "X" spans as (start, end) intervals; each new span must begin after
+  // the start of — and end within — every still-open enclosing span.
+  std::vector<std::pair<double, double>> openSpans;
+  bool sawStepMetrics = false;
+
+  for (std::size_t i = 0; i < eventsVal->array.size(); ++i) {
+    const Value& ev = *eventsVal->array[i];
+    const std::string at = "event " + std::to_string(i);
+    if (ev.kind != Value::Kind::Object) {
+      return failure(at + ": not an object");
+    }
+    const Value* name = ev.member("name");
+    const Value* phase = ev.member("ph");
+    const Value* ts = ev.member("ts");
+    if (!isString(name) || !isString(phase) || !isNumber(ts)) {
+      return failure(at + ": missing name/ph/ts");
+    }
+    if (ts->number < lastTs) {
+      return failure(at + ": ts not monotonically non-decreasing");
+    }
+    lastTs = ts->number;
+    ++result.events;
+
+    if (phase->string == "X") {
+      const Value* dur = ev.member("dur");
+      if (!isNumber(dur) || dur->number < 0.) {
+        return failure(at + ": \"X\" event without non-negative dur");
+      }
+      const double start = ts->number;
+      const double end = start + dur->number;
+      while (!openSpans.empty() && openSpans.back().second <= start) {
+        openSpans.pop_back();
+      }
+      if (!openSpans.empty() && end > openSpans.back().second) {
+        return failure(at + ": span overlaps but is not nested in its parent");
+      }
+      openSpans.emplace_back(start, end);
+      ++result.spans;
+    } else if (phase->string == "C") {
+      ++result.counters;
+    } else if (phase->string == "i" && name->string == "sim.step") {
+      ++result.stepInstants;
+      const Value* args = ev.member("args");
+      if (args != nullptr && args->kind == Value::Kind::Object &&
+          isNumber(args->member("nodes")) &&
+          isNumber(args->member("cacheHitRatioDelta")) &&
+          isNumber(args->member("gcRuns")) &&
+          isString(args->member("nodesPerLevel"))) {
+        sawStepMetrics = true;
+      }
+    }
+  }
+
+  if (result.spans == 0) {
+    return failure("trace contains no \"X\" span events");
+  }
+  if (requireStepMetrics && !sawStepMetrics) {
+    return failure("no \"sim.step\" instant with per-step DD metric args "
+                   "(nodes, cacheHitRatioDelta, gcRuns, nodesPerLevel)");
+  }
+  result.valid = true;
+  return result;
+}
+
+} // namespace qdd::obs

@@ -1,5 +1,7 @@
 #include "qdd/parser/qasm/Parser.hpp"
 
+#include "qdd/obs/Obs.hpp"
+
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -8,8 +10,13 @@ namespace qdd::qasm {
 
 ir::QuantumComputation parse(const std::string& source,
                              const std::string& name) {
+  obs::ScopedSpan span("parser", "qasm.parse");
   detail::Parser p(source, name);
-  return p.parse();
+  ir::QuantumComputation qc = p.parse();
+  span.arg("bytes", source.size());
+  span.arg("qubits", qc.numQubits());
+  span.arg("operations", qc.size());
+  return qc;
 }
 
 ir::QuantumComputation parseFile(const std::string& path) {

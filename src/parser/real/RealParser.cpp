@@ -1,5 +1,7 @@
 #include "qdd/parser/real/RealParser.hpp"
 
+#include "qdd/obs/Obs.hpp"
+
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -28,6 +30,7 @@ std::vector<std::string> tokenize(const std::string& text) {
 
 ir::QuantumComputation parse(const std::string& source,
                              const std::string& name) {
+  obs::ScopedSpan span("parser", "real.parse");
   ir::QuantumComputation qc;
   qc.setName(name);
 

@@ -1,5 +1,9 @@
 #include "qdd/sim/SimulationSession.hpp"
 
+#include "qdd/obs/Obs.hpp"
+
+#include <chrono>
+#include <numeric>
 #include <stdexcept>
 
 namespace qdd::sim {
@@ -100,6 +104,8 @@ bool SimulationSession::stepForward() {
     return false;
   }
   const ir::Operation& op = qc.at(pos);
+  obs::ScopedSpan span("sim", "step");
+  const auto t0 = std::chrono::steady_clock::now();
   pushSnapshot();
   switch (op.type()) {
   case ir::OpType::Barrier:
@@ -122,11 +128,49 @@ bool SimulationSession::stepForward() {
     break;
   }
   ++pos;
-  const std::size_t nodes = Package::size(current);
+  StepProfile profile;
+  profile.nodesPerLevel = Package::sizeByLevel(current);
+  const std::size_t nodes =
+      std::accumulate(profile.nodesPerLevel.begin(),
+                      profile.nodesPerLevel.end(), std::size_t{0});
   peak = std::max(peak, nodes);
   history.push_back(nodes);
   pkg.garbageCollect();
-  pressures.push_back(pkg.tablePressure());
+  const mem::TablePressure before =
+      pressures.empty() ? mem::TablePressure{} : pressures.back();
+  const mem::TablePressure now = pkg.tablePressure();
+  pressures.push_back(now);
+  profile.durationUs = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  profiles.push_back(profile);
+  if (span.active()) {
+    const std::size_t lookupDelta = now.cacheLookups - before.cacheLookups;
+    const std::size_t hitDelta = now.cacheHits - before.cacheHits;
+    const double hitRatioDelta =
+        lookupDelta == 0 ? 0.
+                         : static_cast<double>(hitDelta) /
+                               static_cast<double>(lookupDelta);
+    std::string opName = op.name(); // formats params — do it once
+    span.arg("op", opName);
+    span.arg("index", pos - 1);
+    span.arg("nodes", nodes);
+    span.arg("cacheHitRatioDelta", hitRatioDelta);
+    span.arg("gcRuns", now.gcRuns);
+    obs::StepMetrics metrics;
+    metrics.index = pos - 1;
+    metrics.op = std::move(opName);
+    metrics.nodes = nodes;
+    metrics.nodesPerLevel = profile.nodesPerLevel;
+    metrics.cacheLookups = now.cacheLookups;
+    metrics.cacheHits = now.cacheHits;
+    metrics.cacheHitRatioDelta = hitRatioDelta;
+    metrics.realEntries = now.realEntries;
+    metrics.gcRuns = now.gcRuns;
+    metrics.tsUs = obs::Registry::instance().nowUs();
+    metrics.durUs = profile.durationUs;
+    obs::Registry::instance().recordStep(std::move(metrics));
+  }
   return true;
 }
 
@@ -145,6 +189,9 @@ bool SimulationSession::stepBackward() {
   }
   if (!pressures.empty()) {
     pressures.pop_back();
+  }
+  if (!profiles.empty()) {
+    profiles.pop_back();
   }
   return true;
 }

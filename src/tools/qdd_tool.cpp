@@ -23,6 +23,8 @@
 #include "qdd/bridge/DDBuilder.hpp"
 #include "qdd/ir/Builders.hpp"
 #include "qdd/ir/Mapping.hpp"
+#include "qdd/obs/Obs.hpp"
+#include "qdd/obs/Sinks.hpp"
 #include "qdd/parser/qasm/Parser.hpp"
 #include "qdd/parser/real/RealParser.hpp"
 #include "qdd/synth/Synthesis.hpp"
@@ -39,6 +41,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,9 +54,30 @@ using namespace qdd;
 /// (unique/compute/real-table counters, GC generations) as JSON on exit.
 bool statsRequested = false;
 
+/// Set by the global `--out <path>` flag: where machine-readable JSON goes.
+/// Output hygiene contract: stdout carries only the human-readable summaries,
+/// machine-readable JSON goes to `--out` when given and to stderr otherwise,
+/// so piping stdout never mixes formats.
+std::string outPath;
+
+/// Writes the stats registry JSON to the machine-readable channel. Throws on
+/// IO failure (surfaces as a nonzero exit code in main).
 void maybePrintStats(const Package& pkg) {
-  if (statsRequested) {
-    std::printf("%s\n", pkg.statistics().toJson().c_str());
+  if (!statsRequested) {
+    return;
+  }
+  const std::string json = pkg.statistics().toJson();
+  if (outPath.empty()) {
+    std::fprintf(stderr, "%s\n", json.c_str());
+    return;
+  }
+  std::ofstream out(outPath);
+  if (!out) {
+    throw std::runtime_error("cannot open --out file for writing: " + outPath);
+  }
+  out << json << "\n";
+  if (!out) {
+    throw std::runtime_error("failed writing --out file: " + outPath);
   }
 }
 
@@ -323,15 +347,63 @@ int runSynth(const std::string& path) {
   return 0;
 }
 
-int runTrace(const std::string& path, const std::string& outPath) {
+int runTrace(const std::string& path, const std::string& tracePath) {
   const auto qc = load(path);
   Package pkg(qc.numQubits());
-  viz::writeSimulationTrace(qc, pkg, outPath);
+  viz::writeSimulationTrace(qc, pkg, tracePath);
   std::printf("wrote step-by-step simulation trace of '%s' (%zu operations) "
               "to %s\n",
-              path.c_str(), qc.size(), outPath.c_str());
+              path.c_str(), qc.size(), tracePath.c_str());
   maybePrintStats(pkg);
   return 0;
+}
+
+/// `qdd-tool profile <circuit>`: runs the circuit once with the
+/// observability layer enabled, writes a Chrome-trace-event JSON (loadable
+/// by ui.perfetto.dev / chrome://tracing, with the stats registry embedded
+/// as "qddStats"), and prints a per-operation latency profile to stdout.
+int runProfile(const std::string& path) {
+  const std::string tracePath = outPath.empty() ? "trace.json" : outPath;
+  auto chrome = std::make_shared<obs::ChromeTraceSink>();
+  auto agg = std::make_shared<obs::AggregatorSink>();
+  auto& registry = obs::Registry::instance();
+  registry.addSink(chrome);
+  registry.addSink(agg);
+  registry.setEnabled(true);
+
+  int exitCode = 0;
+  try {
+    const auto qc = load(path); // parser spans land in the trace
+    Package pkg(qc.numQubits());
+    sim::SimulationSession session(qc, pkg);
+    // deterministic profile runs: always take the more probable outcome
+    session.setOutcomeChooser(
+        [](Qubit, double p0, double p1) { return p1 > p0 ? 1 : 0; });
+    while (session.stepForward()) {
+    }
+    registry.setEnabled(false);
+
+    chrome->setStatsJson(pkg.statistics().toJson(false));
+    chrome->writeFile(tracePath);
+
+    std::printf("profiled '%s': %zu qubits, %zu operations, peak %zu nodes\n",
+                path.c_str(), qc.numQubits(), qc.size(), session.peakNodes());
+    std::printf("%s", agg->summaryTable().c_str());
+    std::printf("wrote Chrome trace (%zu events) to %s — open in "
+                "ui.perfetto.dev or chrome://tracing\n",
+                chrome->eventCount(), tracePath.c_str());
+    if (statsRequested) {
+      // stats are embedded in the trace; --stats additionally streams them
+      // to stderr (the trace file already occupies --out)
+      std::fprintf(stderr, "%s\n", pkg.statistics().toJson().c_str());
+    }
+  } catch (...) {
+    registry.setEnabled(false);
+    registry.clearSinks();
+    throw;
+  }
+  registry.clearSinks();
+  return exitCode;
 }
 
 int runShow(const std::string& path) {
@@ -357,12 +429,18 @@ int runShow(const std::string& path) {
 } // namespace
 
 int main(int argc, char** argv) {
-  // Extract the global --stats flag before positional parsing.
+  // Extract the global --stats / --out flags before positional parsing.
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--stats") == 0) {
       statsRequested = true;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--out requires a file path argument\n");
+        return 2;
+      }
+      outPath = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
@@ -376,9 +454,14 @@ int main(int argc, char** argv) {
                  "  %s verify <left.{qasm,real}> <right.{qasm,real}>\n"
                  "  %s show <circuit.{qasm,real}>\n"
                  "  %s trace <circuit.{qasm,real}> [out.json]\n"
+                 "  %s profile <circuit.{qasm,real}>\n"
                  "  %s map <circuit.{qasm,real}> [linear|ring|gridRxC]\n"
-                 "  %s synth <permutation.txt>\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 "  %s synth <permutation.txt>\n"
+                 "global flags: --stats (dump stats JSON), --out <file>\n"
+                 "  (--out routes machine-readable JSON to <file>; without it,\n"
+                 "   JSON goes to stderr and stdout stays human-readable)\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
+                 argv[0]);
     return 2;
   }
   try {
@@ -398,6 +481,9 @@ int main(int argc, char** argv) {
     }
     if (mode == "trace") {
       return runTrace(argv[2], argc > 3 ? argv[3] : "trace.json");
+    }
+    if (mode == "profile") {
+      return runProfile(argv[2]);
     }
     if (mode == "map") {
       return runMap(argv[2], argc > 3 ? argv[3] : "linear");

@@ -1,6 +1,7 @@
 #include "qdd/verify/EquivalenceChecker.hpp"
 
 #include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/obs/Obs.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -75,6 +76,7 @@ Equivalence EquivalenceChecker::classifyAgainstIdentity(Package& pkg,
 }
 
 CheckResult EquivalenceChecker::checkByConstruction(Package& pkg) const {
+  obs::ScopedSpan span("verify", "construction");
   CheckResult result;
   result.method = "construction";
   bridge::BuildStats s1;
@@ -99,11 +101,15 @@ CheckResult EquivalenceChecker::checkByConstruction(Package& pkg) const {
   pkg.decRef(u1);
   pkg.decRef(u2);
   pkg.garbageCollect();
+  span.arg("maxNodes", result.maxNodes);
+  span.arg("gatesApplied", result.gatesApplied);
+  span.arg("result", toString(result.equivalence));
   return result;
 }
 
 CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
                                                  Strategy strategy) const {
+  obs::ScopedSpan span("verify", "alternating");
   CheckResult result;
   result.method = "alternating/" + toString(strategy);
   const std::size_t n = g1.numQubits();
@@ -139,10 +145,17 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
   std::size_t i2 = 0; // next gate of G2^{-1} (applied from the right)
   std::size_t chunk = 0;
 
-  const auto record = [&] {
-    result.maxNodes = std::max(result.maxNodes, Package::size(e));
+  // Each alternating iteration gets its own span so traces show how the
+  // intermediate DD breathes around the identity (paper Ex. 12).
+  const auto record = [&](const char* side, std::size_t gateIndex) {
+    obs::ScopedSpan iteration("verify", "iteration");
+    const std::size_t nodes = Package::size(e);
+    result.maxNodes = std::max(result.maxNodes, nodes);
     ++result.gatesApplied;
     pkg.garbageCollect();
+    iteration.arg("side", std::string(side));
+    iteration.arg("gate", gateIndex);
+    iteration.arg("nodes", nodes);
   };
   const auto applyFromLeft = [&] {
     const mEdge gate = bridge::getDD(*first[i1], n, pkg);
@@ -151,7 +164,7 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
     pkg.decRef(e);
     e = next;
     ++i1;
-    record();
+    record("left", i1 - 1);
   };
   const auto applyFromRight = [&] {
     const mEdge gate = bridge::getInverseDD(*second[i2], n, pkg);
@@ -160,7 +173,7 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
     pkg.decRef(e);
     e = next;
     ++i2;
-    record();
+    record("right", i2 - 1);
   };
 
   switch (strategy) {
@@ -220,12 +233,17 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
   result.equivalence = classifyAgainstIdentity(pkg, e);
   pkg.decRef(e);
   pkg.garbageCollect();
+  span.arg("strategy", toString(strategy));
+  span.arg("maxNodes", result.maxNodes);
+  span.arg("gatesApplied", result.gatesApplied);
+  span.arg("result", toString(result.equivalence));
   return result;
 }
 
 CheckResult EquivalenceChecker::checkBySimulation(Package& pkg,
                                                   std::size_t numStimuli,
                                                   std::uint64_t seed) const {
+  obs::ScopedSpan span("verify", "simulation");
   CheckResult result;
   result.method = "simulation";
   const std::size_t n = g1.numQubits();
@@ -261,6 +279,9 @@ CheckResult EquivalenceChecker::checkBySimulation(Package& pkg,
     }
   }
   pkg.garbageCollect();
+  span.arg("maxNodes", result.maxNodes);
+  span.arg("gatesApplied", result.gatesApplied);
+  span.arg("result", toString(result.equivalence));
   return result;
 }
 

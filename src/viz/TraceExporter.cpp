@@ -3,6 +3,7 @@
 #include "qdd/viz/JsonExporter.hpp"
 #include "qdd/viz/TextDump.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -71,8 +72,9 @@ std::string exportSimulationTrace(const ir::QuantumComputation& qc,
     ss << "      \"operation\": \"" << jsonEscape(opName) << "\",\n";
     ss << "      \"state\": \""
        << jsonEscape(toDirac(pkg, session.state(), 4)) << "\",\n";
-    // Applied steps (index >= 1) carry the table-pressure snapshot the
-    // session recorded right after the operation.
+    // Applied steps (index >= 1) carry the table-pressure snapshot and the
+    // step profile (wall time, active nodes per level) the session recorded
+    // right after the operation.
     if (index > 0 && index <= session.pressureHistory().size()) {
       const auto& p = session.pressureHistory()[index - 1];
       ss << "      \"tablePressure\": {\"vectorNodes\": " << p.vectorNodes
@@ -81,6 +83,17 @@ std::string exportSimulationTrace(const ir::QuantumComputation& qc,
          << ", \"cacheLookups\": " << p.cacheLookups
          << ", \"cacheHits\": " << p.cacheHits << ", \"gcRuns\": " << p.gcRuns
          << "},\n";
+    }
+    if (index > 0 && index <= session.stepProfiles().size()) {
+      const auto& profile = session.stepProfiles()[index - 1];
+      char durBuf[32];
+      std::snprintf(durBuf, sizeof(durBuf), "%.1f", profile.durationUs);
+      ss << "      \"durationUs\": " << durBuf << ",\n";
+      ss << "      \"nodesPerLevel\": [";
+      for (std::size_t k = 0; k < profile.nodesPerLevel.size(); ++k) {
+        ss << (k > 0 ? ", " : "") << profile.nodesPerLevel[k];
+      }
+      ss << "],\n";
     }
     ss << "      \"nodes\": " << session.currentNodes();
     if (options.includeDiagrams) {
