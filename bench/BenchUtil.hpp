@@ -93,6 +93,16 @@ inline void emitStatsJson(const std::string& label, const Package& pkg) {
               ResourceUsage::sample().toJson().c_str());
 }
 
+/// Like emitStatsJson, but splices one extra top-level JSON member between
+/// the stats and resources objects. `extra` must be a complete member, e.g.
+/// `"gateCache": {"hits": 3}`.
+inline void emitStatsJson(const std::string& label, const Package& pkg,
+                          const std::string& extra) {
+  std::printf("BENCH_STATS %s {\"stats\": %s, %s, \"resources\": %s}\n",
+              label.c_str(), pkg.statistics().toJson(false).c_str(),
+              extra.c_str(), ResourceUsage::sample().toJson().c_str());
+}
+
 /// Runs `fn` with the observability layer enabled and an in-memory
 /// aggregator attached, then emits one grep-able record:
 ///   BENCH_PROFILE <label> {"aggregate": {...}, "resources": {...}}

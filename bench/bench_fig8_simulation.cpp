@@ -12,11 +12,47 @@
 #include "qdd/sim/SimulationSession.hpp"
 #include "qdd/viz/TextDump.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 using namespace qdd;
 
-int main() {
+namespace {
+
+/// Times one full simulation of `qc` under the given apply mode on a fresh
+/// package (so the apply-path counters belong to this run alone) and
+/// reports the kernel coverage alongside. Best-of-`repeats` wall time.
+struct AblationRun {
+  double ms = 0.;
+  double coverage = 0.;
+  std::size_t peakNodes = 0;
+};
+
+AblationRun runAblation(const ir::QuantumComputation& qc,
+                        bridge::ApplyMode mode, int repeats) {
+  AblationRun run;
+  run.ms = 1e300;
+  const bridge::ApplyMode saved = bridge::globalApplyMode();
+  bridge::setGlobalApplyMode(mode);
+  for (int r = 0; r < repeats; ++r) {
+    Package p(qc.numQubits());
+    bridge::BuildStats stats;
+    const double ms = bench::timeMs([&] {
+      (void)bridge::simulate(qc, p.makeZeroState(qc.numQubits()), p, stats);
+    });
+    run.ms = std::min(run.ms, ms);
+    run.coverage = p.applyPathCounters().coverage();
+    run.peakNodes = stats.maxNodes;
+  }
+  bridge::setGlobalApplyMode(saved);
+  return run;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
   bench::heading("Fig. 8: stepping through the Bell circuit with a "
                  "measurement");
   auto circuit = ir::builders::bell();
@@ -54,13 +90,16 @@ int main() {
     ir::QuantumComputation qc;
   };
   std::vector<Row> rows;
-  for (const std::size_t n : {8, 12, 16, 20}) {
+  for (const std::size_t n : quick ? std::vector<std::size_t>{8, 12}
+                                   : std::vector<std::size_t>{8, 12, 16, 20}) {
     rows.push_back({"ghz", ir::builders::ghz(n)});
   }
-  for (const std::size_t n : {8, 12, 16}) {
+  for (const std::size_t n : quick ? std::vector<std::size_t>{8}
+                                   : std::vector<std::size_t>{8, 12, 16}) {
     rows.push_back({"qft", ir::builders::qft(n)});
   }
-  for (const std::size_t n : {8, 10, 12}) {
+  for (const std::size_t n : quick ? std::vector<std::size_t>{8}
+                                   : std::vector<std::size_t>{8, 10, 12}) {
     rows.push_back({"grover", ir::builders::grover(n, (1ULL << n) - 2)});
   }
 
@@ -82,6 +121,55 @@ int main() {
   std::printf("\nGHZ: DD wins asymptotically (linear diagrams). QFT/Grover "
               "states are dense-ish: DDs pay overhead per node — matching "
               "the paper's \"strengths and limits\" framing.\n");
+
+  bench::heading("apply-path ablation: direct kernels vs gate-DD multiply");
+  std::printf("%-12s %-6s %-8s %-11s %-11s %-12s %-9s %-9s\n", "workload",
+              "n", "gates", "fast (ms)", "cached(ms)", "general(ms)",
+              "speedup", "coverage");
+  bench::rule();
+  const int repeats = 3;
+  struct AblationRow {
+    const char* name;
+    ir::QuantumComputation qc;
+  };
+  std::vector<AblationRow> ablRows;
+  if (quick) {
+    // the same workloads as the full run (a subset), so the labels line up
+    // with the committed BENCH_APPLY.json baseline in the CI perf smoke
+    ablRows.push_back({"qft", ir::builders::qft(12)});
+    ablRows.push_back({"ghz", ir::builders::ghz(16)});
+  } else {
+    ablRows.push_back({"qft", ir::builders::qft(12)});
+    ablRows.push_back({"qft", ir::builders::qft(16)});
+    ablRows.push_back({"ghz", ir::builders::ghz(16)});
+    ablRows.push_back({"grover", ir::builders::grover(10, (1ULL << 10) - 2)});
+  }
+  for (const auto& row : ablRows) {
+    const std::size_t n = row.qc.numQubits();
+    const auto fast = runAblation(row.qc, bridge::ApplyMode::Fast, repeats);
+    const auto cached =
+        runAblation(row.qc, bridge::ApplyMode::Cached, repeats);
+    const auto general =
+        runAblation(row.qc, bridge::ApplyMode::General, repeats);
+    const double speedup = fast.ms > 0. ? general.ms / fast.ms : 0.;
+    std::printf("%-12s %-6zu %-8zu %-11.3f %-11.3f %-12.3f %-9.2f %-9.2f\n",
+                row.name, n, row.qc.gateCount(), fast.ms, cached.ms,
+                general.ms, speedup, fast.coverage);
+    std::printf("BENCH_APPLY %s_%zu {\"n\": %zu, \"gates\": %zu, "
+                "\"fastMs\": %.3f, \"cachedMs\": %.3f, \"generalMs\": %.3f, "
+                "\"speedupFastVsGeneral\": %.3f, \"fastCoverage\": %.4f, "
+                "\"peakNodes\": %zu, \"resources\": %s}\n",
+                row.name, n, n, row.qc.gateCount(), fast.ms, cached.ms,
+                general.ms, speedup, fast.coverage, fast.peakNodes,
+                bench::ResourceUsage::sample().toJson().c_str());
+  }
+  std::printf("\nfast = direct kernels on the state DD; cached = gate-DD "
+              "multiply with the gate-DD cache; general = gate-DD multiply "
+              "rebuilt per gate (QDD_APPLY=general).\n");
+
+  if (quick) {
+    return 0; // CI perf smoke: ablation records emitted, skip the slow rest
+  }
 
   bench::heading("instrumented reference run (BENCH_PROFILE record)");
   const auto qft12 = ir::builders::qft(12);

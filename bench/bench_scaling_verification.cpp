@@ -8,13 +8,15 @@
 #include "qdd/verify/EquivalenceChecker.hpp"
 
 #include <cstdio>
+#include <string>
 
 using namespace qdd;
 
 int main() {
   bench::heading("equivalent instances: QFT_n vs compiled QFT_n");
-  std::printf("%-4s %-26s %-26s %-26s\n", "n", "construction (ms, peak)",
-              "alternating (ms, peak)", "simulation-16 (ms)");
+  std::printf("%-4s %-26s %-26s %-12s %-18s\n", "n",
+              "construction (ms, peak)", "alternating (ms, peak)",
+              "gate-cache", "simulation-16 (ms)");
   bench::rule();
   for (std::size_t n = 2; n <= 9; ++n) {
     const auto qft = ir::builders::qft(n);
@@ -34,12 +36,22 @@ int main() {
     const double simMs =
         bench::timeMs([&] { simr = checker.checkBySimulation(p3, 16); });
 
-    std::printf("%-4zu %8.2f ms, %-10zu %8.2f ms, %-10zu %8.2f ms\n", n,
-                consMs, cons.maxNodes, altMs, alt.maxNodes, simMs);
+    std::printf("%-4zu %8.2f ms, %-10zu %8.2f ms, %-10zu %5.0f%% hits %8.2f "
+                "ms\n",
+                n, consMs, cons.maxNodes, altMs, alt.maxNodes,
+                alt.gateCacheHitRatio() * 100., simMs);
     if (!cons.consideredEquivalent() || !alt.consideredEquivalent() ||
         !simr.consideredEquivalent()) {
       std::printf("UNEXPECTED verdict at n=%zu\n", n);
     }
+    char gateCache[160];
+    std::snprintf(gateCache, sizeof(gateCache),
+                  "\"gateCache\": {\"lookups\": %zu, \"hits\": %zu, "
+                  "\"hitRatio\": %.4f}",
+                  alt.gateCacheLookups, alt.gateCacheHits,
+                  alt.gateCacheHitRatio());
+    bench::emitStatsJson("verify_alt_qft_" + std::to_string(n), p2,
+                         gateCache);
   }
 
   bench::heading("non-equivalent instances (random circuit + injected "

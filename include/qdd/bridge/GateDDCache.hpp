@@ -1,0 +1,89 @@
+#pragma once
+
+#include "qdd/common/Definitions.hpp"
+#include "qdd/dd/Package.hpp"
+#include "qdd/ir/OpType.hpp"
+#include "qdd/ir/Operation.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace qdd::bridge {
+
+/// Cache of gate matrix DDs, keyed by (operation kind, canonicalized
+/// parameters, controls, targets, qubit count, inverse flag), so the
+/// thousands of repeated H/CX/P(theta) gates of a circuit build their matrix
+/// DD once instead of per application. Used by the matrix-multiply apply path
+/// (and by the fast path for the two-qubit unitaries it does not cover) and
+/// shared across a whole alternating equivalence-checking run, which applies
+/// the same gate set from both sides.
+///
+/// Rotation angles are canonicalized into [0, 4*pi): every parameterized
+/// standard gate is 4*pi-periodic in each angle, so the reduction can only
+/// merge keys whose matrices are identical — never distinct gates (it merely
+/// misses deduplicating the rare exactly-4*pi-apart pairs that round
+/// differently).
+///
+/// Cached edges are reference-held so they survive garbage collection; the
+/// cache must therefore be cleared (or destroyed) before Package::shrink
+/// releases levels its entries may live on. When the entry cap is reached the
+/// cache is flushed wholesale — the typical working set (distinct gates of a
+/// circuit) is far below the cap, so a flush signals key churn, not capacity
+/// pressure (see `flushes()`).
+class GateDDCache {
+public:
+  explicit GateDDCache(Package& pkg, std::size_t maxEntries = 4096)
+      : pkg(pkg), maxEntries(maxEntries) {}
+  ~GateDDCache() { clear(); }
+
+  GateDDCache(const GateDDCache&) = delete;
+  GateDDCache& operator=(const GateDDCache&) = delete;
+
+  /// DD of `op` on an `n`-qubit system (bridge::getDD through the cache).
+  /// Compound and non-standard operations are passed through uncached.
+  mEdge getDD(const ir::Operation& op, std::size_t n);
+  /// DD of the inverse of `op` (cached under its own key, so alternating
+  /// verification caches both directions independently).
+  mEdge getInverseDD(const ir::Operation& op, std::size_t n);
+
+  /// Releases every pinned entry and empties the cache.
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries.size(); }
+  [[nodiscard]] std::size_t lookups() const noexcept { return numLookups; }
+  [[nodiscard]] std::size_t hits() const noexcept { return numHits; }
+  [[nodiscard]] std::size_t flushes() const noexcept { return numFlushes; }
+  [[nodiscard]] double hitRatio() const noexcept {
+    return numLookups == 0 ? 0.
+                           : static_cast<double>(numHits) /
+                                 static_cast<double>(numLookups);
+  }
+
+private:
+  struct Key {
+    ir::OpType type = ir::OpType::None;
+    std::uint32_t n = 0;
+    bool inverse = false;
+    std::vector<Qubit> targets;
+    QubitControls controls; ///< sorted
+    std::vector<double> params; ///< angles canonicalized into [0, 4*pi)
+
+    friend bool operator==(const Key& a, const Key& b) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  mEdge lookupOrBuild(const ir::Operation& op, std::size_t n, bool inverse);
+
+  Package& pkg;
+  std::size_t maxEntries;
+  std::unordered_map<Key, mEdge, KeyHash> entries;
+  std::size_t numLookups = 0;
+  std::size_t numHits = 0;
+  std::size_t numFlushes = 0;
+};
+
+} // namespace qdd::bridge

@@ -122,6 +122,40 @@ public:
   mEdge makeMatrixFromDense(const std::vector<std::complex<double>>& mat,
                             std::size_t n);
 
+  // --- direct gate application (simulation hot path) ------------------------
+  //
+  // Applies a (multi-)controlled single-qubit gate directly to a state DD by
+  // recursing on the state, without ever constructing the gate's matrix DD or
+  // touching the matrix-vector compute table. Identity levels above the
+  // target are rebuilt structurally, control branches short-circuit (the
+  // control-inactive part of the state is reused untouched), diagonal gates
+  // (Z/S/T/P(theta)) reduce to edge-weight rescaling along the satisfied
+  // path, and permutation gates (X/CX) reduce to child swaps. Results are
+  // canonical and bit-identical to `multiply(makeGateDD(...), v)` — see
+  // tests/test_apply.cpp and docs/DD_PRIMER.md ("Gate application & caching").
+  //
+  // Requirements: `v` must be a fully expanded state whose root level is at
+  // least the target and every control (states built by this package always
+  // are); controls must be distinct from the target.
+
+  vEdge applyGate(const GateMatrix& mat, Qubit target, const vEdge& v);
+  vEdge applyGate(const GateMatrix& mat, Qubit target,
+                  const QubitControls& controls, const vEdge& v);
+  /// (Controlled) SWAP of `t1` and `t2`, realized as three CX fast-path
+  /// applications (pure child splices, no additions).
+  vEdge applySwap(Qubit t1, Qubit t2, const QubitControls& controls,
+                  const vEdge& v);
+
+  /// How often each apply kernel fired. `fallback` counts gate applications
+  /// that went through the general `multiply` recursion instead (incremented
+  /// by callers via `noteApplyFallback`, e.g. for two-qubit unitaries or in
+  /// the `QDD_APPLY=general` ablation), so
+  /// coverage = fast / (fast + fallback) is meaningful across modes.
+  [[nodiscard]] const mem::ApplyPathStats& applyPathCounters() const noexcept {
+    return applyCounters;
+  }
+  void noteApplyFallback() noexcept { ++applyCounters.fallback; }
+
   // --- operations -----------------------------------------------------------
 
   vEdge add(const vEdge& x, const vEdge& y);
@@ -300,6 +334,8 @@ private:
   /// object may be freed — i.e. in garbageCollect and shrink — so compute
   /// tables can reject stale entries lazily instead of being cleared.
   std::uint32_t generation = 0;
+
+  mem::ApplyPathStats applyCounters;
 
   std::size_t gcRuns = 0;
   std::size_t collectedVectorNodes = 0;

@@ -77,6 +77,32 @@ struct ComputeTableStats {
   }
 };
 
+/// Counters of the direct gate-application engine (`Package::applyGate`):
+/// which kernel served each gate application. `fallback` counts applications
+/// routed through the general matrix-DD `multiply` recursion instead — either
+/// because no fast path exists for the operation (arbitrary two-qubit
+/// unitaries) or because the `QDD_APPLY=general` ablation disabled the
+/// engine — so `coverage()` is comparable across modes.
+struct ApplyPathStats {
+  std::size_t diagonal = 0;    ///< diagonal gates: pure edge-weight rescale
+  std::size_t permutation = 0; ///< antidiagonal gates: pure child swap
+  std::size_t generic = 0;     ///< other 2x2 gates: direct two-term combine
+  std::size_t fallback = 0;    ///< general makeGateDD + multiply path
+
+  [[nodiscard]] std::size_t fast() const noexcept {
+    return diagonal + permutation + generic;
+  }
+  [[nodiscard]] std::size_t total() const noexcept {
+    return fast() + fallback;
+  }
+  /// Fraction of gate applications served by a fast path.
+  [[nodiscard]] double coverage() const noexcept {
+    return total() == 0 ? 0.
+                        : static_cast<double>(fast()) /
+                              static_cast<double>(total());
+  }
+};
+
 /// Garbage-collection counters of a package.
 struct GcStats {
   std::size_t runs = 0;
@@ -112,6 +138,7 @@ struct StatsRegistry {
   UniqueTableStats matrixTable;
   RealTableStats reals;
   std::vector<ComputeTableStats> computeTables;
+  ApplyPathStats apply;
   GcStats gc;
 
   /// Looks up a compute table snapshot by name; nullptr if absent.

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/bridge/GateDDCache.hpp"
 #include "qdd/dd/Package.hpp"
 #include "qdd/ir/QuantumComputation.hpp"
 
@@ -82,6 +83,14 @@ public:
     return profiles;
   }
 
+  /// Apply engine this session runs under (from the global mode at
+  /// construction) and the session's gate-DD cache — exposed so steppers and
+  /// qdd-tool can report fast-path coverage and cache hit ratios.
+  [[nodiscard]] bridge::ApplyMode applyMode() const noexcept { return mode; }
+  [[nodiscard]] const bridge::GateDDCache& gateCache() const noexcept {
+    return cache;
+  }
+
   // --- navigation (the -> / <- / |<< / >>| buttons) -------------------------
 
   /// Applies the next operation; returns false at the end of the circuit.
@@ -111,6 +120,8 @@ private:
 
   ir::QuantumComputation qc; ///< owned copy: sessions outlive caller scopes
   Package& pkg;
+  bridge::ApplyMode mode = bridge::globalApplyMode();
+  bridge::GateDDCache cache;
   vEdge current;
   std::vector<bool> classicals;
   std::vector<Snapshot> snapshots; ///< one per applied operation

@@ -25,10 +25,20 @@ struct CheckResult {
   std::size_t maxNodes = 0;     ///< peak size of any intermediate DD
   std::size_t finalNodes = 0;   ///< size of the final DD
   std::size_t gatesApplied = 0; ///< total gate DDs multiplied
+  /// Gate-DD cache behavior of the alternating scheme, which shares one
+  /// cache across the whole run (both directions). Zero for other methods.
+  std::size_t gateCacheLookups = 0;
+  std::size_t gateCacheHits = 0;
   std::string method;
 
   [[nodiscard]] bool consideredEquivalent() const noexcept {
     return equivalence != Equivalence::NotEquivalent;
+  }
+  [[nodiscard]] double gateCacheHitRatio() const noexcept {
+    return gateCacheLookups == 0
+               ? 0.
+               : static_cast<double>(gateCacheHits) /
+                     static_cast<double>(gateCacheLookups);
   }
 };
 

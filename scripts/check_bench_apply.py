@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Record / check the apply-path ablation emitted by bench_fig8_simulation.
+
+The bench prints one line per workload:
+
+    BENCH_APPLY <label> {"n": ..., "fastMs": ..., "generalMs": ...,
+                         "speedupFastVsGeneral": ..., ...}
+
+Modes:
+  --record OUT    parse bench output from stdin (or --input FILE) and write
+                  the records as a JSON baseline file.
+  --check BASE    parse bench output and compare each record's
+                  speedupFastVsGeneral against the committed baseline; exit
+                  nonzero if any shared label regressed by more than
+                  --max-regression (default 0.25, i.e. current speedup must
+                  stay above 75% of the baseline speedup).
+
+Either mode also validates that every BENCH_APPLY / BENCH_STATS /
+BENCH_PROFILE line in the input parses as JSON, so malformed records fail CI
+even when the timing is fine.
+"""
+
+import argparse
+import json
+import sys
+
+
+BENCH_PREFIXES = ("BENCH_APPLY", "BENCH_STATS", "BENCH_PROFILE")
+
+
+def parse_records(stream):
+    """Returns ({label: record} for BENCH_APPLY lines, parse error count)."""
+    apply_records = {}
+    errors = 0
+    for line in stream:
+        line = line.strip()
+        prefix = next((p for p in BENCH_PREFIXES if line.startswith(p + " ")),
+                      None)
+        if prefix is None:
+            continue
+        try:
+            _, label, payload = line.split(" ", 2)
+            record = json.loads(payload)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"PARSE ERROR in {prefix} line: {exc}\n  {line}",
+                  file=sys.stderr)
+            errors += 1
+            continue
+        if prefix == "BENCH_APPLY":
+            apply_records[label] = record
+    return apply_records, errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--record", metavar="OUT",
+                      help="write parsed BENCH_APPLY records to OUT")
+    mode.add_argument("--check", metavar="BASELINE",
+                      help="compare records against a committed baseline")
+    parser.add_argument("--input", default="-",
+                        help="bench output file (default: stdin)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed relative speedup loss (default 0.25)")
+    args = parser.parse_args()
+
+    stream = sys.stdin if args.input == "-" else open(args.input)
+    with stream:
+        records, errors = parse_records(stream)
+    if errors:
+        print(f"FAIL: {errors} malformed BENCH_* record(s)", file=sys.stderr)
+        return 1
+    if not records:
+        print("FAIL: no BENCH_APPLY records found in input", file=sys.stderr)
+        return 1
+
+    if args.record:
+        with open(args.record, "w") as out:
+            json.dump({"records": records}, out, indent=2, sort_keys=True)
+            out.write("\n")
+        print(f"wrote {len(records)} BENCH_APPLY record(s) to {args.record}")
+        return 0
+
+    with open(args.check) as f:
+        baseline = json.load(f)["records"]
+    failures = 0
+    compared = 0
+    for label, record in sorted(records.items()):
+        base = baseline.get(label)
+        if base is None:
+            print(f"  {label}: no baseline entry, skipping")
+            continue
+        compared += 1
+        current = record["speedupFastVsGeneral"]
+        expected = base["speedupFastVsGeneral"]
+        floor = expected * (1.0 - args.max_regression)
+        status = "ok" if current >= floor else "REGRESSION"
+        print(f"  {label}: speedup {current:.2f}x vs baseline "
+              f"{expected:.2f}x (floor {floor:.2f}x) {status}")
+        if current < floor:
+            failures += 1
+    if compared == 0:
+        print("FAIL: no records matched the baseline labels",
+              file=sys.stderr)
+        return 1
+    if failures:
+        print(f"FAIL: {failures} workload(s) regressed more than "
+              f"{args.max_regression:.0%} vs {args.check}", file=sys.stderr)
+        return 1
+    print(f"OK: {compared} workload(s) within {args.max_regression:.0%} of "
+          f"baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,12 @@
 #include "qdd/bridge/DDBuilder.hpp"
 
+#include "qdd/bridge/GateDDCache.hpp"
 #include "qdd/dd/GateMatrix.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
+#include <string>
 
 namespace qdd::bridge {
 
@@ -79,7 +82,43 @@ mEdge getStandardDD(const ir::Operation& op, std::size_t n, Package& pkg) {
   return pkg.makeGateDD(mat, n, op.controls(), op.targets().at(0));
 }
 
+ApplyMode& globalModeRef() {
+  static ApplyMode mode = applyModeFromEnv();
+  return mode;
+}
+
 } // namespace
+
+std::string toString(ApplyMode mode) {
+  switch (mode) {
+  case ApplyMode::Fast:
+    return "fast";
+  case ApplyMode::Cached:
+    return "cached";
+  case ApplyMode::General:
+    return "general";
+  }
+  return "?";
+}
+
+ApplyMode applyModeFromEnv() {
+  const char* env = std::getenv("QDD_APPLY");
+  if (env == nullptr) {
+    return ApplyMode::Fast;
+  }
+  const std::string value(env);
+  if (value == "general") {
+    return ApplyMode::General;
+  }
+  if (value == "cached") {
+    return ApplyMode::Cached;
+  }
+  return ApplyMode::Fast;
+}
+
+ApplyMode globalApplyMode() { return globalModeRef(); }
+
+void setGlobalApplyMode(ApplyMode mode) { globalModeRef() = mode; }
 
 mEdge getDD(const ir::Operation& op, std::size_t n, Package& pkg) {
   if (op.type() == ir::OpType::Barrier) {
@@ -105,6 +144,48 @@ mEdge getInverseDD(const ir::Operation& op, std::size_t n, Package& pkg) {
   return getDD(*inverse, n, pkg);
 }
 
+vEdge applyOperation(const ir::Operation& op, std::size_t n,
+                     const vEdge& state, Package& pkg, GateDDCache* cache) {
+  return applyOperation(op, n, state, pkg, globalApplyMode(), cache);
+}
+
+vEdge applyOperation(const ir::Operation& op, std::size_t n,
+                     const vEdge& state, Package& pkg, ApplyMode mode,
+                     GateDDCache* cache) {
+  if (op.type() == ir::OpType::Barrier) {
+    return state;
+  }
+  if (const auto* comp = dynamic_cast<const ir::CompoundOperation*>(&op)) {
+    vEdge e = state;
+    for (const auto& sub : comp->operations()) {
+      e = applyOperation(*sub, n, e, pkg, mode, cache);
+    }
+    return e;
+  }
+  if (!op.isUnitary() || !op.isStandardOperation()) {
+    throw std::invalid_argument("applyOperation: operation '" + op.name() +
+                                "' has no unitary matrix");
+  }
+  if (mode == ApplyMode::Fast) {
+    if (op.type() == ir::OpType::SWAP) {
+      return pkg.applySwap(op.targets().at(0), op.targets().at(1),
+                           op.controls(), state);
+    }
+    if (op.type() != ir::OpType::iSWAP && op.type() != ir::OpType::iSWAPdg &&
+        op.type() != ir::OpType::DCX) {
+      const GateMatrix mat = matrixFor(op.type(), op.parameters());
+      return pkg.applyGate(mat, op.targets().at(0), op.controls(), state);
+    }
+    // Two-qubit unitaries have no direct kernel; fall through to the matrix
+    // path (served by the cache when one is available).
+  }
+  pkg.noteApplyFallback();
+  const mEdge gate = (cache != nullptr && mode != ApplyMode::General)
+                         ? cache->getDD(op, n)
+                         : getDD(op, n, pkg);
+  return pkg.multiply(gate, state);
+}
+
 mEdge buildFunctionality(const ir::QuantumComputation& qc, Package& pkg) {
   BuildStats stats;
   return buildFunctionality(qc, pkg, stats);
@@ -117,6 +198,8 @@ mEdge buildFunctionality(const ir::QuantumComputation& qc, Package& pkg,
     throw std::invalid_argument("buildFunctionality: empty circuit");
   }
   pkg.resize(n);
+  const ApplyMode mode = globalApplyMode();
+  GateDDCache cache(pkg);
   mEdge e = pkg.makeIdent(n);
   pkg.incRef(e);
   stats.maxNodes = std::max(stats.maxNodes, Package::size(e));
@@ -124,7 +207,8 @@ mEdge buildFunctionality(const ir::QuantumComputation& qc, Package& pkg,
     if (op->type() == ir::OpType::Barrier) {
       continue;
     }
-    const mEdge gate = getDD(*op, n, pkg);
+    const mEdge gate = mode == ApplyMode::General ? getDD(*op, n, pkg)
+                                                  : cache.getDD(*op, n);
     const mEdge next = pkg.multiply(gate, e);
     pkg.incRef(next);
     pkg.decRef(e);
@@ -151,6 +235,8 @@ vEdge simulate(const ir::QuantumComputation& qc, const vEdge& initial,
     throw std::invalid_argument("simulate: empty circuit");
   }
   pkg.resize(n);
+  const ApplyMode mode = globalApplyMode();
+  GateDDCache cache(pkg);
   vEdge state = initial;
   pkg.incRef(state);
   stats.maxNodes = std::max(stats.maxNodes, Package::size(state));
@@ -158,8 +244,7 @@ vEdge simulate(const ir::QuantumComputation& qc, const vEdge& initial,
     if (op->type() == ir::OpType::Barrier) {
       continue;
     }
-    const mEdge gate = getDD(*op, n, pkg);
-    const vEdge next = pkg.multiply(gate, state);
+    const vEdge next = applyOperation(*op, n, state, pkg, mode, &cache);
     pkg.incRef(next);
     pkg.decRef(state);
     state = next;

@@ -1,0 +1,98 @@
+#include "qdd/bridge/GateDDCache.hpp"
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/complex/ComplexValue.hpp"
+#include "qdd/obs/Obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace qdd::bridge {
+
+namespace {
+
+/// Canonical representative of an angle under the 4*pi periodicity shared by
+/// every parameterized standard gate (RX/RY/RZ have period 4*pi; P/U2/U3
+/// angles have period 2*pi and are a fortiori 4*pi-periodic).
+double canonicalAngle(double a) {
+  constexpr double PERIOD = 4. * PI;
+  const double r = std::fmod(a, PERIOD);
+  return r < 0. ? r + PERIOD : r;
+}
+
+std::size_t combine(std::size_t seed, std::size_t h) noexcept {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6U) + (seed >> 2U));
+}
+
+} // namespace
+
+std::size_t GateDDCache::KeyHash::operator()(const Key& k) const noexcept {
+  std::size_t h = combine(static_cast<std::size_t>(k.type),
+                          (static_cast<std::size_t>(k.n) << 1U) |
+                              static_cast<std::size_t>(k.inverse));
+  for (const Qubit t : k.targets) {
+    h = combine(h, static_cast<std::size_t>(t));
+  }
+  for (const auto& c : k.controls) {
+    h = combine(h, (static_cast<std::size_t>(c.qubit) << 1U) |
+                       static_cast<std::size_t>(c.positive));
+  }
+  for (const double p : k.params) {
+    h = combine(h, std::hash<double>{}(p));
+  }
+  return h;
+}
+
+mEdge GateDDCache::getDD(const ir::Operation& op, std::size_t n) {
+  return lookupOrBuild(op, n, false);
+}
+
+mEdge GateDDCache::getInverseDD(const ir::Operation& op, std::size_t n) {
+  return lookupOrBuild(op, n, true);
+}
+
+mEdge GateDDCache::lookupOrBuild(const ir::Operation& op, std::size_t n,
+                                 bool inverse) {
+  if (!op.isStandardOperation() || !op.isUnitary()) {
+    // Compound / barrier / non-unitary: defer to the builder's own handling.
+    return inverse ? bridge::getInverseDD(op, n, pkg)
+                   : bridge::getDD(op, n, pkg);
+  }
+  ++numLookups;
+  Key key;
+  key.type = op.type();
+  key.n = static_cast<std::uint32_t>(n);
+  key.inverse = inverse;
+  key.targets = op.targets();
+  key.controls = op.controls();
+  std::sort(key.controls.begin(), key.controls.end());
+  key.params.reserve(op.parameters().size());
+  for (const double p : op.parameters()) {
+    key.params.push_back(canonicalAngle(p));
+  }
+
+  if (const auto it = entries.find(key); it != entries.end()) {
+    ++numHits;
+    QDD_OBS_COUNTER("bridge.gateCache.hits", numHits);
+    return it->second;
+  }
+  const mEdge dd = inverse ? bridge::getInverseDD(op, n, pkg)
+                           : bridge::getDD(op, n, pkg);
+  if (entries.size() >= maxEntries) {
+    clear();
+    ++numFlushes;
+  }
+  pkg.incRef(dd); // pin: cached gate DDs survive garbage collection
+  entries.emplace(std::move(key), dd);
+  return dd;
+}
+
+void GateDDCache::clear() {
+  for (const auto& [key, dd] : entries) {
+    pkg.decRef(dd);
+  }
+  entries.clear();
+}
+
+} // namespace qdd::bridge

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "qdd/obs/Obs.hpp"
+
+// Internal to src/dd: span guard shared by the DD-operation entry points.
+
+namespace qdd::detail {
+
+/// DD operations recurse through each other (applyGate -> add -> add ...);
+/// a span per recursive call would swamp any trace. This guard opens a span
+/// only for the *outermost* DD operation on the current thread — nested
+/// calls ride inside the parent's span. The depth counter is shared across
+/// all DD-operation translation units (defined in PackageOps.cpp).
+extern thread_local int ddOpDepth;
+
+struct DDOpSpan {
+  explicit DDOpSpan(const char* name) : span("dd", name, ddOpDepth == 0) {
+    ++ddOpDepth;
+  }
+  ~DDOpSpan() { --ddOpDepth; }
+  DDOpSpan(const DDOpSpan&) = delete;
+  DDOpSpan& operator=(const DDOpSpan&) = delete;
+
+  obs::ScopedSpan span;
+};
+
+} // namespace qdd::detail

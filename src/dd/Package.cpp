@@ -628,6 +628,7 @@ mem::StatsRegistry Package::statistics() const {
   reg.computeTables.push_back(multMatMatTable.stats("multiplyMatMat"));
   reg.computeTables.push_back(conjTransTable.stats("conjugateTranspose"));
   reg.computeTables.push_back(innerProductTable.stats("innerProduct"));
+  reg.apply = applyCounters;
   reg.gc.runs = gcRuns;
   reg.gc.generation = generation;
   reg.gc.collectedVectorNodes = collectedVectorNodes;

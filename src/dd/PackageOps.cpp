@@ -1,3 +1,4 @@
+#include "DDOpSpan.hpp"
 #include "qdd/dd/Package.hpp"
 #include "qdd/obs/Obs.hpp"
 
@@ -7,26 +8,11 @@
 
 namespace qdd {
 
-namespace {
-
-/// DD operations recurse through each other (multiply2 -> add -> add ...);
-/// a span per recursive call would swamp any trace. This guard opens a span
-/// only for the *outermost* DD operation on the current thread — nested
-/// calls ride inside the parent's span.
+namespace detail {
 thread_local int ddOpDepth = 0;
+} // namespace detail
 
-struct DDOpSpan {
-  explicit DDOpSpan(const char* name) : span("dd", name, ddOpDepth == 0) {
-    ++ddOpDepth;
-  }
-  ~DDOpSpan() { --ddOpDepth; }
-  DDOpSpan(const DDOpSpan&) = delete;
-  DDOpSpan& operator=(const DDOpSpan&) = delete;
-
-  obs::ScopedSpan span;
-};
-
-} // namespace
+using detail::DDOpSpan;
 
 // --- addition (paper Fig. 4, right) -----------------------------------------
 

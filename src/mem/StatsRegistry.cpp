@@ -197,6 +197,14 @@ std::string StatsRegistry::toJson(bool pretty) const {
     w.closeObject();
   }
 
+  w.openObject("apply");
+  w.field("diagonal", apply.diagonal);
+  w.field("permutation", apply.permutation);
+  w.field("generic", apply.generic);
+  w.field("fallback", apply.fallback);
+  w.field("coverage", apply.coverage());
+  w.closeObject();
+
   w.openObject("gc");
   w.field("runs", gc.runs);
   w.field("generation", static_cast<std::size_t>(gc.generation));

@@ -10,7 +10,7 @@ namespace qdd::sim {
 
 SimulationSession::SimulationSession(const ir::QuantumComputation& circuit,
                                      Package& package, std::uint64_t seed)
-    : qc(circuit), pkg(package), rng(seed) {
+    : qc(circuit), pkg(package), cache(package), rng(seed) {
   if (qc.numQubits() == 0) {
     throw std::invalid_argument("SimulationSession: circuit has no qubits");
   }
@@ -72,8 +72,8 @@ int SimulationSession::chooseOutcome(Qubit q, double p1) {
 }
 
 void SimulationSession::applyUnitary(const ir::Operation& op) {
-  const mEdge gate = bridge::getDD(op, qc.numQubits(), pkg);
-  const vEdge next = pkg.multiply(gate, current);
+  const vEdge next =
+      bridge::applyOperation(op, qc.numQubits(), current, pkg, mode, &cache);
   pkg.incRef(next);
   pkg.decRef(current);
   current = next;

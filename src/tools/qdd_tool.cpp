@@ -388,6 +388,20 @@ int runProfile(const std::string& path) {
 
     std::printf("profiled '%s': %zu qubits, %zu operations, peak %zu nodes\n",
                 path.c_str(), qc.numQubits(), qc.size(), session.peakNodes());
+    const mem::ApplyPathStats& apply = pkg.applyPathCounters();
+    const bridge::GateDDCache& gateCache = session.gateCache();
+    std::printf("apply path (%s): %zu kernel calls (%zu diagonal, %zu "
+                "permutation, %zu generic), %zu fallback -> %.1f%% fast-path "
+                "coverage\n",
+                bridge::toString(session.applyMode()).c_str(), apply.fast(),
+                apply.diagonal, apply.permutation, apply.generic,
+                apply.fallback, apply.coverage() * 100.);
+    if (gateCache.lookups() > 0) {
+      std::printf("gate-DD cache: %zu lookups, %zu hits (%.1f%%), %zu "
+                  "entries\n",
+                  gateCache.lookups(), gateCache.hits(),
+                  gateCache.hitRatio() * 100., gateCache.size());
+    }
     std::printf("%s", agg->summaryTable().c_str());
     std::printf("wrote Chrome trace (%zu events) to %s — open in "
                 "ui.perfetto.dev or chrome://tracing\n",

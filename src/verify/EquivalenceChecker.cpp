@@ -1,6 +1,7 @@
 #include "qdd/verify/EquivalenceChecker.hpp"
 
 #include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/bridge/GateDDCache.hpp"
 #include "qdd/obs/Obs.hpp"
 
 #include <algorithm>
@@ -137,6 +138,13 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
     chunkEnds.push_back(second.size());
   }
 
+  // One gate-DD cache shared across the whole alternating run: the scheme
+  // applies the same gate set from both sides, so left-side entries pay off
+  // again on the right (and vice versa for self-inverse gates). Disabled
+  // under the QDD_APPLY=general ablation to keep that baseline pristine.
+  const bool useCache = bridge::globalApplyMode() != bridge::ApplyMode::General;
+  bridge::GateDDCache gateCache(pkg);
+
   mEdge e = pkg.makeIdent(n);
   pkg.incRef(e);
   result.maxNodes = Package::size(e);
@@ -158,7 +166,8 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
     iteration.arg("nodes", nodes);
   };
   const auto applyFromLeft = [&] {
-    const mEdge gate = bridge::getDD(*first[i1], n, pkg);
+    const mEdge gate = useCache ? gateCache.getDD(*first[i1], n)
+                                : bridge::getDD(*first[i1], n, pkg);
     const mEdge next = pkg.multiply(gate, e);
     pkg.incRef(next);
     pkg.decRef(e);
@@ -167,7 +176,8 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
     record("left", i1 - 1);
   };
   const auto applyFromRight = [&] {
-    const mEdge gate = bridge::getInverseDD(*second[i2], n, pkg);
+    const mEdge gate = useCache ? gateCache.getInverseDD(*second[i2], n)
+                                : bridge::getInverseDD(*second[i2], n, pkg);
     const mEdge next = pkg.multiply(e, gate);
     pkg.incRef(next);
     pkg.decRef(e);
@@ -231,11 +241,15 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
 
   result.finalNodes = Package::size(e);
   result.equivalence = classifyAgainstIdentity(pkg, e);
+  result.gateCacheLookups = gateCache.lookups();
+  result.gateCacheHits = gateCache.hits();
   pkg.decRef(e);
+  gateCache.clear(); // release pinned gate DDs before collecting
   pkg.garbageCollect();
   span.arg("strategy", toString(strategy));
   span.arg("maxNodes", result.maxNodes);
   span.arg("gatesApplied", result.gatesApplied);
+  span.arg("gateCacheHitRatio", result.gateCacheHitRatio());
   span.arg("result", toString(result.equivalence));
   return result;
 }

@@ -1,0 +1,348 @@
+#include "qdd/baseline/DenseSimulator.hpp"
+#include "qdd/dd/GateMatrix.hpp"
+#include "qdd/dd/Package.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <random>
+#include <string>
+#include <vector>
+
+// Cross-validation of the direct gate-application kernels
+// (Package::applyGate / applySwap) against the general makeGateDD + multiply
+// path and the dense reference simulator. The fast and general paths must
+// agree *bit-identically* — same root node pointer, same canonical weight —
+// because both funnel through the same normalization and weight table; this
+// is what lets benches compare the two modes structurally.
+
+namespace qdd {
+namespace {
+
+constexpr double EPS = 1e-10;
+
+struct NamedGate {
+  std::string name;
+  GateMatrix mat;
+};
+
+std::vector<NamedGate> standardGates(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> angle(-2. * PI, 2. * PI);
+  std::vector<NamedGate> gates{
+      {"I", I_MAT},    {"H", H_MAT},     {"X", X_MAT},
+      {"Y", Y_MAT},    {"Z", Z_MAT},     {"S", S_MAT},
+      {"Sdg", SDG_MAT}, {"T", T_MAT},    {"Tdg", TDG_MAT},
+      {"SX", SX_MAT},  {"SXdg", SXDG_MAT}};
+  gates.push_back({"P", phaseMatrix(angle(rng))});
+  gates.push_back({"RX", rxMatrix(angle(rng))});
+  gates.push_back({"RY", ryMatrix(angle(rng))});
+  gates.push_back({"RZ", rzMatrix(angle(rng))});
+  gates.push_back({"U2", u2Matrix(angle(rng), angle(rng))});
+  gates.push_back({"U3", u3Matrix(angle(rng), angle(rng), angle(rng))});
+  return gates;
+}
+
+std::vector<std::complex<double>> randomAmplitudes(std::size_t n,
+                                                   std::mt19937_64& rng) {
+  std::normal_distribution<double> dist(0., 1.);
+  std::vector<std::complex<double>> amps(1ULL << n);
+  double norm = 0.;
+  for (auto& a : amps) {
+    a = {dist(rng), dist(rng)};
+    norm += std::norm(a);
+  }
+  const double scale = 1. / std::sqrt(norm);
+  for (auto& a : amps) {
+    a *= scale;
+  }
+  return amps;
+}
+
+/// Sparse stimuli (zero-stub branches) exercise the kernel's zero handling,
+/// which fully dense random states never reach.
+std::vector<std::complex<double>> sparseAmplitudes(std::size_t n,
+                                                   std::mt19937_64& rng) {
+  std::vector<std::complex<double>> amps(1ULL << n, {0., 0.});
+  std::uniform_int_distribution<std::size_t> index(0, amps.size() - 1);
+  std::normal_distribution<double> dist(0., 1.);
+  const std::size_t terms = 1 + index(rng) % 3;
+  double norm = 0.;
+  for (std::size_t k = 0; k < terms; ++k) {
+    const std::complex<double> a{dist(rng), dist(rng)};
+    amps[index(rng)] += a;
+  }
+  for (const auto& a : amps) {
+    norm += std::norm(a);
+  }
+  const double scale = 1. / std::sqrt(norm);
+  for (auto& a : amps) {
+    a *= scale;
+  }
+  return amps;
+}
+
+QubitControls randomControls(std::size_t n, Qubit target, std::size_t count,
+                             std::mt19937_64& rng) {
+  std::vector<Qubit> candidates;
+  for (Qubit q = 0; q < static_cast<Qubit>(n); ++q) {
+    if (q != target) {
+      candidates.push_back(q);
+    }
+  }
+  std::shuffle(candidates.begin(), candidates.end(), rng);
+  QubitControls ctrls;
+  std::bernoulli_distribution polarity(0.5);
+  for (std::size_t k = 0; k < count && k < candidates.size(); ++k) {
+    ctrls.push_back({candidates[k], polarity(rng)});
+  }
+  return ctrls;
+}
+
+void expectBitIdentical(const vEdge& fast, const vEdge& general,
+                        const std::string& context) {
+  EXPECT_EQ(fast.p, general.p) << context << ": root node differs";
+  EXPECT_TRUE(fast.w == general.w) << context << ": root weight differs";
+  EXPECT_EQ(Package::size(fast), Package::size(general))
+      << context << ": node count differs";
+}
+
+void expectMatchesDense(Package& pkg, const vEdge& e,
+                        const baseline::DenseStateVector& dense,
+                        const std::string& context) {
+  const auto got = pkg.getVector(e);
+  const auto& want = dense.amplitudes();
+  ASSERT_EQ(got.size(), want.size()) << context;
+  for (std::size_t k = 0; k < got.size(); ++k) {
+    EXPECT_NEAR(got[k].real(), want[k].real(), EPS)
+        << context << ": index " << k;
+    EXPECT_NEAR(got[k].imag(), want[k].imag(), EPS)
+        << context << ": index " << k;
+  }
+}
+
+TEST(ApplyGate, RandomizedCrossValidationAllStandardGates) {
+  std::mt19937_64 rng(20210907);
+  for (std::size_t trial = 0; trial < 60; ++trial) {
+    const std::size_t n = 1 + trial % 8;
+    Package pkg(n);
+    const auto gates = standardGates(rng);
+    const auto amps = trial % 3 == 0 ? sparseAmplitudes(n, rng)
+                                     : randomAmplitudes(n, rng);
+    std::uniform_int_distribution<Qubit> targetDist(
+        0, static_cast<Qubit>(n - 1));
+    for (const auto& gate : gates) {
+      const Qubit target = targetDist(rng);
+      const std::size_t maxControls = std::min<std::size_t>(3, n - 1);
+      const QubitControls ctrls =
+          randomControls(n, target, trial % (maxControls + 1), rng);
+
+      const vEdge v = pkg.makeStateFromVector(amps);
+      pkg.incRef(v);
+      const vEdge fast = pkg.applyGate(gate.mat, target, ctrls, v);
+      const vEdge general =
+          pkg.multiply(pkg.makeGateDD(gate.mat, n, ctrls, target), v);
+      pkg.decRef(v);
+
+      std::string context = gate.name + " n=" + std::to_string(n) +
+                            " t=" + std::to_string(target) + " c=[";
+      for (const auto& c : ctrls) {
+        context += (c.positive ? "+" : "-") + std::to_string(c.qubit);
+      }
+      context += "]";
+      expectBitIdentical(fast, general, context);
+
+      baseline::DenseStateVector dense(amps);
+      dense.applyGate(gate.mat, target, ctrls);
+      expectMatchesDense(pkg, fast, dense, context);
+    }
+  }
+}
+
+TEST(ApplyGate, SwapMatchesGeneralPathAndDense) {
+  std::mt19937_64 rng(42);
+  for (std::size_t trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + trial % 7;
+    Package pkg(n);
+    const auto amps = randomAmplitudes(n, rng);
+    std::uniform_int_distribution<Qubit> qubit(0, static_cast<Qubit>(n - 1));
+    const Qubit t1 = qubit(rng);
+    Qubit t2 = qubit(rng);
+    while (t2 == t1) {
+      t2 = qubit(rng);
+    }
+    QubitControls ctrls;
+    if (n > 2 && trial % 2 == 0) {
+      for (Qubit q = 0; q < static_cast<Qubit>(n); ++q) {
+        if (q != t1 && q != t2) {
+          ctrls.push_back({q, trial % 4 == 0});
+          break;
+        }
+      }
+    }
+
+    const vEdge v = pkg.makeStateFromVector(amps);
+    pkg.incRef(v);
+    const vEdge fast = pkg.applySwap(t1, t2, ctrls, v);
+    const vEdge general = pkg.multiply(pkg.makeSWAPDD(n, ctrls, t1, t2), v);
+    pkg.decRef(v);
+
+    const std::string context = "SWAP(" + std::to_string(t1) + "," +
+                                std::to_string(t2) + ") n=" +
+                                std::to_string(n);
+    expectBitIdentical(fast, general, context);
+
+    baseline::DenseStateVector dense(amps);
+    dense.applySwap(t1, t2, ctrls);
+    expectMatchesDense(pkg, fast, dense, context);
+  }
+}
+
+TEST(ApplyGate, MultiControlledZWithNegativeControls) {
+  // The Grover oracle/diffusion shape: Z on the top qubit conditioned on a
+  // mixed-polarity control pattern across all lower qubits.
+  const std::size_t n = 6;
+  std::mt19937_64 rng(7);
+  Package pkg(n);
+  const auto amps = randomAmplitudes(n, rng);
+  const Qubit target = static_cast<Qubit>(n - 1);
+  QubitControls ctrls;
+  for (Qubit q = 0; q < target; ++q) {
+    ctrls.push_back({q, q % 2 == 0});
+  }
+
+  const vEdge v = pkg.makeStateFromVector(amps);
+  pkg.incRef(v);
+  const vEdge fast = pkg.applyGate(Z_MAT, target, ctrls, v);
+  const vEdge general = pkg.multiply(pkg.makeGateDD(Z_MAT, n, ctrls, target), v);
+  pkg.decRef(v);
+  expectBitIdentical(fast, general, "MCZ");
+
+  baseline::DenseStateVector dense(amps);
+  dense.applyGate(Z_MAT, target, ctrls);
+  expectMatchesDense(pkg, fast, dense, "MCZ");
+}
+
+TEST(ApplyGate, StructuredStatesWithZeroBranches) {
+  // Basis and GHZ states drive the kernel through zero-stub children and
+  // control-inactive branches that random dense states cannot reach.
+  const std::size_t n = 5;
+  Package pkg(n);
+  const std::vector<vEdge> states{
+      pkg.makeZeroState(n),
+      pkg.makeBasisState(n, {true, false, true, true, false}),
+      pkg.makeGHZState(n), pkg.makeWState(n)};
+  const std::vector<GateMatrix> gates{H_MAT, X_MAT, Z_MAT, T_MAT,
+                                      phaseMatrix(0.3)};
+  for (const vEdge& state : states) {
+    pkg.incRef(state);
+    for (const auto& mat : gates) {
+      for (Qubit target = 0; target < static_cast<Qubit>(n); ++target) {
+        const QubitControls ctrls =
+            target == 0 ? QubitControls{{2, true}, {4, false}}
+                        : QubitControls{{0, false}};
+        const vEdge fast = pkg.applyGate(mat, target, ctrls, state);
+        const vEdge general =
+            pkg.multiply(pkg.makeGateDD(mat, n, ctrls, target), state);
+        expectBitIdentical(fast, general,
+                           "structured t=" + std::to_string(target));
+      }
+    }
+    pkg.decRef(state);
+  }
+}
+
+/// The acceptance-criterion check: a full 16-qubit QFT stepped through both
+/// paths in lockstep stays bit-identical at every gate, including the final
+/// qubit-reversal SWAPs.
+TEST(ApplyGate, QFT16BitIdenticalToGeneralPath) {
+  const std::size_t n = 16;
+  Package pkg(n);
+  vEdge fast = pkg.makeZeroState(n);
+  vEdge general = fast;
+  pkg.incRef(fast);
+  pkg.incRef(general);
+
+  const auto step = [&](const GateMatrix& mat, Qubit target,
+                        const QubitControls& ctrls) {
+    const vEdge f = pkg.applyGate(mat, target, ctrls, fast);
+    pkg.incRef(f);
+    pkg.decRef(fast);
+    fast = f;
+    const vEdge g = pkg.multiply(pkg.makeGateDD(mat, n, ctrls, target), general);
+    pkg.incRef(g);
+    pkg.decRef(general);
+    general = g;
+  };
+
+  std::size_t gates = 0;
+  for (Qubit i = static_cast<Qubit>(n) - 1; i >= 0; --i) {
+    step(H_MAT, i, {});
+    ++gates;
+    for (Qubit j = static_cast<Qubit>(i) - 1; j >= 0; --j) {
+      const double theta = PI / static_cast<double>(1ULL << (i - j));
+      step(phaseMatrix(theta), i, {{j, true}});
+      ++gates;
+    }
+    ASSERT_EQ(fast.p, general.p) << "after column " << i;
+    ASSERT_TRUE(fast.w == general.w) << "after column " << i;
+  }
+  for (Qubit k = 0; k < static_cast<Qubit>(n / 2); ++k) {
+    const Qubit other = static_cast<Qubit>(n - 1 - k);
+    const vEdge f = pkg.applySwap(k, other, {}, fast);
+    pkg.incRef(f);
+    pkg.decRef(fast);
+    fast = f;
+    const vEdge g = pkg.multiply(pkg.makeSWAPDD(n, {}, k, other), general);
+    pkg.incRef(g);
+    pkg.decRef(general);
+    general = g;
+  }
+  EXPECT_EQ(gates, n * (n + 1) / 2);
+  expectBitIdentical(fast, general, "QFT16");
+  pkg.decRef(fast);
+  pkg.decRef(general);
+}
+
+TEST(ApplyGate, PathCountersClassifyKernels) {
+  Package pkg(3);
+  const vEdge v = pkg.makeGHZState(3);
+  pkg.incRef(v);
+  const auto before = pkg.applyPathCounters();
+  (void)pkg.applyGate(Z_MAT, 0, v);
+  (void)pkg.applyGate(phaseMatrix(0.5), 1, {{0, true}}, v);
+  (void)pkg.applyGate(X_MAT, 2, v);
+  (void)pkg.applyGate(H_MAT, 0, v);
+  pkg.noteApplyFallback();
+  const auto& after = pkg.applyPathCounters();
+  EXPECT_EQ(after.diagonal, before.diagonal + 2);
+  EXPECT_EQ(after.permutation, before.permutation + 1);
+  EXPECT_EQ(after.generic, before.generic + 1);
+  EXPECT_EQ(after.fallback, before.fallback + 1);
+  EXPECT_EQ(after.total(), before.total() + 5);
+  EXPECT_NEAR(after.coverage(),
+              static_cast<double>(after.fast()) /
+                  static_cast<double>(after.total()),
+              EPS);
+  pkg.decRef(v);
+}
+
+TEST(ApplyGate, RejectsInvalidArguments) {
+  Package pkg(3);
+  const vEdge v = pkg.makeZeroState(3);
+  EXPECT_THROW((void)pkg.applyGate(H_MAT, 3, v), std::invalid_argument);
+  EXPECT_THROW((void)pkg.applyGate(H_MAT, -1, v), std::invalid_argument);
+  EXPECT_THROW((void)pkg.applyGate(H_MAT, 0, {{0, true}}, v),
+               std::invalid_argument);
+  EXPECT_THROW((void)pkg.applyGate(H_MAT, 0, {{1, true}, {1, false}}, v),
+               std::invalid_argument);
+  EXPECT_THROW((void)pkg.applyGate(H_MAT, 0, {{3, true}}, v),
+               std::invalid_argument);
+  EXPECT_THROW((void)pkg.applySwap(1, 1, {}, v), std::invalid_argument);
+  EXPECT_THROW((void)pkg.applyGate(H_MAT, 0, vEdge::one()),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace qdd
