@@ -1,0 +1,207 @@
+// Scaling curves of the qdd::exec subsystem: batch simulation across a
+// work-stealing pool with per-worker DD packages, chunked parallel sampling,
+// and the portfolio equivalence checker racing both alternating directions.
+//
+// Emits one grep-able `BENCH_PARALLEL <label> {json}` record per workload,
+// consumed by scripts/check_bench_parallel.py (--record / --check). Every
+// record carries `hardwareConcurrency`: the speedup gates only apply on
+// machines with enough cores (a 1-core container cannot show a 3x speedup,
+// but the determinism checks still run everywhere and the honest numbers
+// still get recorded).
+
+#include "BenchUtil.hpp"
+
+#include "qdd/exec/Batch.hpp"
+#include "qdd/exec/Portfolio.hpp"
+#include "qdd/exec/ThreadPool.hpp"
+#include "qdd/ir/Builders.hpp"
+#include "qdd/verify/EquivalenceChecker.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace qdd;
+
+namespace {
+
+const std::vector<std::size_t> WORKER_COUNTS{1, 2, 4, 8};
+
+/// True when two batch results agree per circuit — node counts and sampled
+/// histograms both bit-identical (the determinism contract: results depend
+/// on the task index, never on scheduling).
+bool sameResults(const exec::BatchResult& a, const exec::BatchResult& b) {
+  if (a.circuits.size() != b.circuits.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.circuits.size(); ++i) {
+    const auto& ca = a.circuits[i];
+    const auto& cb = b.circuits[i];
+    if (ca.finalNodes != cb.finalNodes || ca.peakNodes != cb.peakNodes ||
+        ca.sampling.counts != cb.sampling.counts || ca.error != cb.error) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string workerTimesJson(const std::vector<double>& ms) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < WORKER_COUNTS.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s\"%zu\": %.3f", i > 0 ? ", " : "",
+                  WORKER_COUNTS[i], ms[i]);
+    out += buf;
+  }
+  return out + "}";
+}
+
+double speedup(const std::vector<double>& ms, std::size_t workers) {
+  for (std::size_t i = 0; i < WORKER_COUNTS.size(); ++i) {
+    if (WORKER_COUNTS[i] == workers && ms[i] > 0.) {
+      return ms[0] / ms[i];
+    }
+  }
+  return 0.;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware concurrency: %u, pool default: %zu workers\n", cores,
+              exec::ThreadPool::defaultWorkers());
+
+  // --- workload 1: batch simulation --------------------------------------
+  bench::heading("batch simulation: N circuits across 1/2/4/8 workers");
+  const std::size_t batchSize = quick ? 16 : 64;
+  const std::size_t qubits = quick ? 10 : 12;
+  std::vector<ir::QuantumComputation> circuits;
+  circuits.reserve(batchSize);
+  for (std::size_t i = 0; i < batchSize; ++i) {
+    circuits.push_back(ir::builders::qft(qubits));
+  }
+
+  std::vector<double> batchMs;
+  exec::BatchResult reference;
+  bool identical = true;
+  for (const std::size_t w : WORKER_COUNTS) {
+    exec::BatchOptions options;
+    options.workers = w;
+    options.seed = 42;
+    options.shots = 256;
+    exec::BatchResult result;
+    const double ms =
+        bench::timeMs([&] { result = exec::simulateBatch(circuits, options); });
+    batchMs.push_back(ms);
+    if (w == WORKER_COUNTS.front()) {
+      reference = std::move(result);
+    } else if (!sameResults(reference, result)) {
+      identical = false;
+    }
+    std::printf("  %zu worker(s): %8.2f ms  (%.2fx)\n", w, ms,
+                batchMs[0] / ms);
+  }
+  std::printf("per-circuit results identical across worker counts: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("BENCH_PARALLEL batch_sim {\"circuits\": %zu, \"qubits\": %zu, "
+              "\"shots\": 256, \"workerMs\": %s, \"speedup2\": %.3f, "
+              "\"speedup4\": %.3f, \"speedup8\": %.3f, "
+              "\"identicalResults\": %s, \"hardwareConcurrency\": %u, "
+              "\"resources\": %s}\n",
+              batchSize, qubits, workerTimesJson(batchMs).c_str(),
+              speedup(batchMs, 2), speedup(batchMs, 4), speedup(batchMs, 8),
+              identical ? "true" : "false", cores,
+              bench::ResourceUsage::sample().toJson().c_str());
+
+  // --- workload 2: chunked parallel sampling ------------------------------
+  bench::heading("parallel sampling: one circuit, shots chunked across "
+                 "workers");
+  const auto sampleCircuit = ir::builders::qft(quick ? 10 : 14);
+  const std::size_t shots = quick ? 4096 : 16384;
+  std::vector<double> sampleMs;
+  sim::SamplingResult sampleReference;
+  bool sampleIdentical = true;
+  for (const std::size_t w : WORKER_COUNTS) {
+    exec::BatchOptions options;
+    options.workers = w;
+    options.seed = 7;
+    sim::SamplingResult result;
+    const double ms = bench::timeMs(
+        [&] { result = exec::sampleParallel(sampleCircuit, shots, options); });
+    sampleMs.push_back(ms);
+    if (w == WORKER_COUNTS.front()) {
+      sampleReference = std::move(result);
+    } else if (result.counts != sampleReference.counts) {
+      sampleIdentical = false;
+    }
+    std::printf("  %zu worker(s): %8.2f ms  (%.2fx)\n", w, ms,
+                sampleMs[0] / ms);
+  }
+  std::printf("merged histograms identical across worker counts: %s\n",
+              sampleIdentical ? "yes" : "NO");
+  std::printf("BENCH_PARALLEL sample {\"qubits\": %zu, \"shots\": %zu, "
+              "\"workerMs\": %s, \"speedup2\": %.3f, \"speedup4\": %.3f, "
+              "\"speedup8\": %.3f, \"identicalResults\": %s, "
+              "\"hardwareConcurrency\": %u, \"resources\": %s}\n",
+              sampleCircuit.numQubits(), shots,
+              workerTimesJson(sampleMs).c_str(), speedup(sampleMs, 2),
+              speedup(sampleMs, 4), speedup(sampleMs, 8),
+              sampleIdentical ? "true" : "false", cores,
+              bench::ResourceUsage::sample().toJson().c_str());
+
+  // --- workload 3: portfolio equivalence checking -------------------------
+  bench::heading("portfolio verification vs the two serial directions");
+  const auto g1 = ir::builders::qft(quick ? 8 : 11);
+  const auto g2 = ir::decomposeToNativeGates(g1, true);
+  const verify::EquivalenceChecker forward(g1, g2);
+  const verify::EquivalenceChecker backward(g2, g1);
+
+  verify::CheckResult serialLR;
+  const double serialLrMs = bench::timeMs([&] {
+    Package pkg(g1.numQubits());
+    serialLR = forward.checkAlternating(pkg);
+  });
+  verify::CheckResult serialRL;
+  const double serialRlMs = bench::timeMs([&] {
+    Package pkg(g1.numQubits());
+    serialRL = backward.checkAlternating(pkg);
+  });
+  exec::PortfolioResult portfolio;
+  const double portfolioMs =
+      bench::timeMs([&] { portfolio = exec::checkPortfolio(g1, g2); });
+
+  const bool agrees =
+      portfolio.result.equivalence == serialLR.equivalence &&
+      serialLR.equivalence == serialRL.equivalence;
+  const double bestSerialMs = std::min(serialLrMs, serialRlMs);
+  const double overhead =
+      bestSerialMs > 0. ? portfolioMs / bestSerialMs : 0.;
+  std::printf("  serial L->R: %8.2f ms (%s)\n", serialLrMs,
+              toString(serialLR.equivalence).c_str());
+  std::printf("  serial R->L: %8.2f ms (%s)\n", serialRlMs,
+              toString(serialRL.equivalence).c_str());
+  std::printf("  portfolio:   %8.2f ms (%s, winner %s)\n", portfolioMs,
+              toString(portfolio.result.equivalence).c_str(),
+              portfolio.winner.c_str());
+  std::printf("  overhead vs best serial direction: %.2fx\n", overhead);
+  std::printf("BENCH_PARALLEL portfolio {\"qubits\": %zu, \"serialLrMs\": "
+              "%.3f, \"serialRlMs\": %.3f, \"portfolioMs\": %.3f, "
+              "\"overheadVsBestSerial\": %.3f, \"agrees\": %s, "
+              "\"winner\": \"%s\", \"hardwareConcurrency\": %u, "
+              "\"resources\": %s}\n",
+              g1.numQubits(), serialLrMs, serialRlMs, portfolioMs, overhead,
+              agrees ? "true" : "false", portfolio.winner.c_str(), cores,
+              bench::ResourceUsage::sample().toJson().c_str());
+
+  // Nonzero exit on a determinism or agreement violation: these are hard
+  // correctness properties, valid on any machine regardless of core count.
+  if (!identical || !sampleIdentical || !agrees) {
+    std::fprintf(stderr, "FAILURE: determinism/agreement violated\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+#pragma once
+
+#include "qdd/exec/CancellationToken.hpp"
+#include "qdd/ir/QuantumComputation.hpp"
+#include "qdd/mem/StatsRegistry.hpp"
+#include "qdd/sim/SimulationSession.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qdd::exec {
+
+/// Options shared by the batch entry points.
+struct BatchOptions {
+  /// Worker threads; 0 picks ThreadPool::defaultWorkers().
+  std::size_t workers = 0;
+  /// User seed. Task i derives its RNG stream as taskSeed(seed, i), so
+  /// results are bit-identical for every worker count and schedule.
+  std::uint64_t seed = 0;
+  /// Measurement shots sampled per circuit; 0 simulates without sampling.
+  std::size_t shots = 0;
+  /// Cooperative cancellation: tasks not yet started when the token fires
+  /// are skipped (marked `cancelled`); running tasks finish their circuit.
+  CancellationToken cancel{};
+};
+
+/// Deterministic per-task RNG seed: a splitmix64 finalization of the user
+/// seed XOR a task-index-dependent odd constant. Every task gets a
+/// decorrelated stream (including task 0 with user seed 0), and the stream
+/// depends only on (seed, index) — never on scheduling.
+[[nodiscard]] std::uint64_t taskSeed(std::uint64_t seed,
+                                     std::uint64_t taskIndex) noexcept;
+
+/// Outcome of one batch entry.
+struct CircuitResult {
+  std::string name;
+  std::size_t qubits = 0;
+  std::size_t operations = 0;
+  std::size_t finalNodes = 0;
+  std::size_t peakNodes = 0;
+  /// Bitstring counts when BatchOptions::shots > 0 (empty otherwise).
+  sim::SamplingResult sampling;
+  double wallMs = 0.;
+  /// Worker that executed the task — informational only; results are
+  /// independent of it by construction.
+  std::size_t worker = 0;
+  bool cancelled = false;
+  /// Non-empty if the task failed (parse error, unsupported circuit, ...).
+  /// Failures are per-entry: the rest of the batch still runs.
+  std::string error;
+
+  [[nodiscard]] bool ok() const noexcept {
+    return error.empty() && !cancelled;
+  }
+};
+
+/// Aggregated outcome of a batch run.
+struct BatchResult {
+  /// Index-aligned with the input circuit/file list.
+  std::vector<CircuitResult> circuits;
+  /// Per-worker package statistics merged into one registry. Counter totals
+  /// depend on how tasks were distributed (packages warm across the tasks
+  /// that share a worker); the per-circuit *results* above do not.
+  mem::StatsRegistry stats;
+  std::size_t workers = 0;
+  double wallMs = 0.;
+
+  [[nodiscard]] std::size_t failures() const noexcept {
+    std::size_t n = 0;
+    for (const auto& c : circuits) {
+      if (!c.error.empty()) {
+        ++n;
+      }
+    }
+    return n;
+  }
+};
+
+/// Simulates `circuits` across a work-stealing pool of workers, each owning
+/// a private dd::Package (no DD-internal locking; see docs/PARALLELISM.md).
+/// Per-circuit results are bit-identical for every worker count: task i
+/// always simulates with RNG seed taskSeed(options.seed, i), and DD node
+/// counts are canonical. With options.shots > 0 each circuit is additionally
+/// sampled (weak simulation where the circuit allows it).
+BatchResult simulateBatch(const std::vector<ir::QuantumComputation>& circuits,
+                          const BatchOptions& options = {});
+
+/// Samples `shots` measurement outcomes of one circuit, with the shot
+/// budget split into fixed-size chunks executed across the pool. Chunking
+/// and per-chunk seeds depend only on (shots, seed), so the merged counts
+/// are bit-identical for every worker count.
+sim::SamplingResult sampleParallel(const ir::QuantumComputation& qc,
+                                   std::size_t shots,
+                                   const BatchOptions& options = {});
+
+/// Lists the .qasm / .real circuit files directly inside `directory`,
+/// sorted by name (the deterministic task order of runSuite). Throws
+/// std::runtime_error if the directory cannot be read.
+[[nodiscard]] std::vector<std::string>
+collectCircuitFiles(const std::string& directory);
+
+/// Parses and simulates every file across the pool — the engine behind
+/// `qdd-tool batch <dir>`. Parse and simulation errors are captured in the
+/// corresponding CircuitResult::error instead of aborting the batch.
+BatchResult runSuite(const std::vector<std::string>& files,
+                     const BatchOptions& options = {});
+
+} // namespace qdd::exec

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace qdd::exec {
+
+/// Copyable cancellation handle shared by everyone cooperating on one piece
+/// of work: copies refer to the same flag, `cancel()` is sticky, and
+/// observers poll `cancelled()` at natural checkpoints (between gates,
+/// between shots, between suite entries). Long-running library routines that
+/// must stay ignorant of qdd::exec take the raw `flag()` pointer instead —
+/// a `const std::atomic<bool>*` with nullptr meaning "never cancelled" —
+/// so verification can honor portfolio cancellation without depending on
+/// this subsystem.
+class CancellationToken {
+public:
+  CancellationToken() : state(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Sticky: there is no way to un-cancel.
+  void cancel() const noexcept {
+    state->store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return state->load(std::memory_order_relaxed);
+  }
+
+  /// The shared flag, for APIs that accept `const std::atomic<bool>*`.
+  /// Valid as long as any copy of this token is alive.
+  [[nodiscard]] const std::atomic<bool>* flag() const noexcept {
+    return state.get();
+  }
+
+private:
+  std::shared_ptr<std::atomic<bool>> state;
+};
+
+} // namespace qdd::exec

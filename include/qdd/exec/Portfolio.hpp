@@ -1,0 +1,68 @@
+#pragma once
+
+#include "qdd/exec/CancellationToken.hpp"
+#include "qdd/ir/QuantumComputation.hpp"
+#include "qdd/verify/EquivalenceChecker.hpp"
+
+#include <string>
+#include <vector>
+
+namespace qdd::exec {
+
+/// Options of the portfolio equivalence checker.
+struct PortfolioOptions {
+  /// Worker threads; 0 uses one worker per portfolio entry.
+  std::size_t workers = 0;
+  /// Alternating strategy used by both directional entries.
+  verify::Strategy strategy = verify::Strategy::Proportional;
+  /// Numerical tolerance handed to the checkers.
+  double tolerance = 1e-9;
+  /// Adds a simulation-based prover to the portfolio. It can only ever
+  /// conclude *non*-equivalence (its "probably equivalent" is not
+  /// conclusive), but it often proves inequivalence long before either
+  /// alternating direction terminates.
+  bool includeSimulation = true;
+  std::size_t simulationStimuli = 8;
+  /// Seed of the simulation prover's stimuli.
+  std::uint64_t seed = 0;
+  /// Cancellation token shared by every entry: the first entry to reach a
+  /// conclusive verdict cancels it, stopping the losers at their next gate
+  /// boundary. A caller holding a copy can cancel the whole portfolio the
+  /// same way at any time.
+  CancellationToken cancel{};
+};
+
+/// Result of a portfolio run: the verdict of the first entry to reach a
+/// conclusive result, plus per-entry reporting.
+struct PortfolioResult {
+  verify::CheckResult result; ///< the winning entry's result
+  std::string winner;         ///< name of the winning entry
+  /// Every entry that was raced, in launch order.
+  struct Entry {
+    std::string name;
+    verify::CheckResult result; ///< partial if the entry was cancelled
+    double wallMs = 0.;
+    bool conclusive = false;
+  };
+  std::vector<Entry> entries;
+  double wallMs = 0.;
+  /// True when the caller's token cancelled the whole portfolio before any
+  /// entry concluded.
+  bool cancelled = false;
+};
+
+/// Races complementary equivalence-checking configurations on the same
+/// circuit pair — the alternating scheme applying G1 from the left and
+/// G2^{-1} from the right, the mirrored direction (which often behaves very
+/// differently: whichever circuit is "more compiled" benefits from being
+/// consumed barrier-synchronously), and optionally a simulation prover —
+/// each on its own private dd::Package, with a shared cancellation flag
+/// stopping the losers as soon as one entry is conclusive.
+///
+/// The verdict always agrees with the serial checker: every conclusive
+/// entry computes the same equivalence relation, only the route differs.
+PortfolioResult checkPortfolio(const ir::QuantumComputation& g1,
+                               const ir::QuantumComputation& g2,
+                               const PortfolioOptions& options = {});
+
+} // namespace qdd::exec

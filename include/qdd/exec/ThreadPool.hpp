@@ -1,0 +1,113 @@
+#pragma once
+
+// qdd::exec — task-level parallelism for the DD engine.
+//
+// The DD package is inherently sequential: unique tables, compute caches,
+// and the complex table are all unsynchronized by design (adding locks to
+// the node-creation hot path would cost more than it buys, see
+// docs/PARALLELISM.md). Parallelism therefore happens at the *task* level:
+// every worker thread owns its own dd::Package, tasks are whole circuits /
+// shot chunks / verification directions, and nothing inside the DD engine
+// is ever shared between threads.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qdd::exec {
+
+/// Work-stealing thread pool. Tasks of a batch are dealt round-robin onto
+/// per-worker deques; each worker pops its own deque LIFO and, when empty,
+/// steals FIFO from its siblings — so a worker stuck behind one long task
+/// (a deep circuit amid shallow ones) has its backlog drained by the others.
+///
+/// The pool runs one batch at a time (`parallelFor` serializes callers);
+/// workers are started once in the constructor and parked on a condition
+/// variable between batches.
+class ThreadPool {
+public:
+  /// Creates `workers` worker threads; 0 picks `defaultWorkers()`.
+  explicit ThreadPool(std::size_t workers = 0);
+  /// Joins all workers. Pending batches finish first (the destructor can
+  /// only run once no parallelFor is active, and parallelFor is blocking).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t workerCount() const noexcept {
+    return queues.size();
+  }
+
+  /// `std::thread::hardware_concurrency()`, clamped to at least 1.
+  [[nodiscard]] static std::size_t defaultWorkers();
+
+  /// Runs `body(taskIndex, workerId)` for every taskIndex in [0, numTasks)
+  /// and blocks until all have completed. Task distribution (taskIndex ->
+  /// initial queue) is deterministic; execution order and the final
+  /// task -> worker assignment are not (that is the point of stealing), so
+  /// bodies must derive any reproducible state (RNG seeds!) from taskIndex,
+  /// never from workerId or arrival order. workerId < workerCount() and is
+  /// stable for the duration of one body invocation — it indexes per-worker
+  /// resources such as the DD packages of exec::simulateBatch.
+  ///
+  /// If bodies throw, the batch still runs to completion and the first
+  /// exception (by completion order) is rethrown here.
+  void parallelFor(std::size_t numTasks,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Scheduling counters (cumulative over the pool's lifetime).
+  struct Stats {
+    std::vector<std::size_t> executedPerWorker;
+    std::size_t steals = 0; ///< tasks taken from a sibling's deque
+  };
+  [[nodiscard]] Stats stats() const;
+
+private:
+  struct Batch {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> remaining{0};
+    std::mutex errorMutex;
+    std::exception_ptr error;
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+  };
+
+  /// One worker's deque. A plain mutex-guarded deque: tasks here are whole
+  /// circuits (micro- to milliseconds), so queue overhead is noise and the
+  /// simple design is trivially race-free.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+    std::atomic<std::size_t> executed{0};
+  };
+
+  void workerLoop(std::size_t id);
+  bool popLocal(std::size_t id, std::size_t& task);
+  bool stealTask(std::size_t thief, std::size_t& task);
+  void runTask(std::size_t task, std::size_t worker);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  std::vector<std::thread> threads;
+
+  std::mutex batchMutex; ///< serializes parallelFor callers
+  /// Current batch. Workers only dereference it while holding a popped task
+  /// of that batch (whose completion the owner awaits before resetting the
+  /// pointer); atomic so the pointer handoff itself is unambiguous.
+  std::atomic<Batch*> batch{nullptr};
+
+  std::mutex wakeMutex;
+  std::condition_variable wakeCv;
+  std::atomic<std::size_t> queued{0}; ///< tasks enqueued and not yet popped
+  std::atomic<bool> stopping{false};
+  std::atomic<std::size_t> stealCount{0};
+};
+
+} // namespace qdd::exec

@@ -14,6 +14,10 @@ struct AllocatorStats {
   std::size_t allocated = 0; ///< slots ever carved from chunks
   std::size_t chunks = 0;    ///< number of chunks backing the pool
   std::size_t bytes = 0;     ///< total chunk memory in bytes
+
+  /// Accumulates another allocator's counters (sums; peaks are summed too,
+  /// since the pools are disjoint and their memory coexists).
+  void merge(const AllocatorStats& other) noexcept;
 };
 
 /// Snapshot of one hash-consing unique table (vector or matrix nodes).
@@ -28,6 +32,10 @@ struct UniqueTableStats {
   std::size_t buckets = 0;  ///< total buckets across all levels
   std::size_t rehashes = 0; ///< per-level bucket-array doublings
   AllocatorStats memory;
+
+  /// Accumulates another table's counters: sums, except `longestChain` and
+  /// `levels` which take the maximum.
+  void merge(const UniqueTableStats& other) noexcept;
 
   [[nodiscard]] double hitRatio() const noexcept {
     return lookups == 0 ? 0.
@@ -52,6 +60,9 @@ struct RealTableStats {
   std::size_t rehashes = 0;
   AllocatorStats memory;
 
+  /// Accumulates another table's counters (sums).
+  void merge(const RealTableStats& other) noexcept;
+
   [[nodiscard]] double hitRatio() const noexcept {
     return lookups == 0 ? 0.
                         : static_cast<double>(hits) /
@@ -69,6 +80,9 @@ struct ComputeTableStats {
   /// recycled since insertion (generation mismatch) — the lazily-invalidated
   /// remainder of a garbage collection.
   std::size_t staleRejections = 0;
+
+  /// Accumulates another snapshot's counters (sums; `name` is kept).
+  void merge(const ComputeTableStats& other) noexcept;
 
   [[nodiscard]] double hitRatio() const noexcept {
     return lookups == 0 ? 0.
@@ -88,6 +102,9 @@ struct ApplyPathStats {
   std::size_t permutation = 0; ///< antidiagonal gates: pure child swap
   std::size_t generic = 0;     ///< other 2x2 gates: direct two-term combine
   std::size_t fallback = 0;    ///< general makeGateDD + multiply path
+
+  /// Accumulates another engine's counters (sums).
+  void merge(const ApplyPathStats& other) noexcept;
 
   [[nodiscard]] std::size_t fast() const noexcept {
     return diagonal + permutation + generic;
@@ -110,6 +127,10 @@ struct GcStats {
   std::size_t collectedVectorNodes = 0;
   std::size_t collectedMatrixNodes = 0;
   std::size_t collectedReals = 0;
+
+  /// Accumulates another package's GC counters (sums; `generation` takes the
+  /// maximum, as generations are per-package epochs, not additive).
+  void merge(const GcStats& other) noexcept;
 };
 
 /// Compact per-step snapshot cheap enough to record after every applied
@@ -153,6 +174,14 @@ struct StatsRegistry {
   /// Serializes the registry. `pretty == false` emits a single line (used by
   /// the benchmark harness so one grep-able record captures cache behavior).
   [[nodiscard]] std::string toJson(bool pretty = true) const;
+
+  /// Accumulates another registry into this one — the aggregation step after
+  /// a parallel batch, merging each worker package's statistics() snapshot.
+  /// Counters are summed; structural maxima (longest chain, levels, GC
+  /// generation) take the maximum; compute tables are matched by name, with
+  /// unknown names appended. Merging registries in any order yields the same
+  /// totals, so the aggregate is deterministic regardless of scheduling.
+  void merge(const StatsRegistry& other);
 };
 
 } // namespace qdd::mem

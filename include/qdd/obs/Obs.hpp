@@ -76,6 +76,7 @@ struct SpanRecord {
   double startUs = 0.; ///< microseconds since the registry epoch
   double durUs = 0.;
   int depth = 0;
+  std::uint32_t tid = 0; ///< registry thread id (0 = first recording thread)
   std::vector<Arg> args;
 };
 
@@ -84,6 +85,7 @@ struct CounterRecord {
   const char* name = "";
   double value = 0.;
   double tsUs = 0.;
+  std::uint32_t tid = 0;
 };
 
 /// Per-simulation-step DD metrics — the time series the paper's web tool
@@ -101,6 +103,7 @@ struct StepMetrics {
   std::size_t gcRuns = 0;         ///< cumulative GC runs
   double tsUs = 0.;               ///< completion time of the step
   double durUs = 0.;              ///< wall time of the step
+  std::uint32_t tid = 0;          ///< registry thread id
 };
 
 /// Consumer of observability records. Callbacks are invoked synchronously
@@ -145,7 +148,23 @@ public:
 
   /// Current span nesting depth of this thread (exposed for tests: it must
   /// return to its pre-scope value even when scopes unwind via exceptions).
+  /// The depth counter is thread-local, so concurrent spans on different
+  /// threads nest independently.
   [[nodiscard]] static int currentDepth() noexcept { return depth(); }
+
+  /// Small dense id of the calling thread, assigned on first use from a
+  /// process-wide counter. The first thread that ever records (normally the
+  /// main thread) gets id 0. Stable for the thread's lifetime; exporters use
+  /// it as the Chrome trace `tid`.
+  [[nodiscard]] static std::uint32_t currentThreadId() noexcept;
+
+  /// Attaches a human-readable label (e.g. "worker-3") to the calling
+  /// thread's id, exported as Chrome `thread_name` metadata.
+  static void labelCurrentThread(std::string label);
+
+  /// Snapshot of all (tid, label) pairs registered so far.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::string>>
+  threadLabels() const;
 
   // --- record entry points (called by ScopedSpan / the macros) -------------
 
@@ -168,6 +187,10 @@ private:
   std::chrono::steady_clock::time_point epoch;
   std::mutex mutex;
   std::vector<std::shared_ptr<Sink>> sinks;
+  /// Guards `labels` separately from the record fan-out mutex, so labeling a
+  /// thread never contends with the hot record path.
+  mutable std::mutex labelMutex;
+  std::vector<std::pair<std::uint32_t, std::string>> labels;
 };
 
 #if QDD_OBS

@@ -23,6 +23,9 @@ namespace qdd::obs {
 /// ("C") tracks plus one instant ("i") event per step carrying the full
 /// metrics as args. Events are emitted sorted by timestamp (ties: the longer
 /// — i.e. enclosing — span first), so `ts` is monotonically non-decreasing.
+/// Every event carries the registry thread id as its `tid`, giving one track
+/// per worker thread; thread labels registered via
+/// Registry::labelCurrentThread are exported as `thread_name` metadata.
 class ChromeTraceSink : public Sink {
 public:
   void onSpan(const SpanRecord& span) override;
@@ -50,6 +53,7 @@ private:
     std::string category;
     double tsUs = 0.;
     double durUs = 0.; ///< 'X' only
+    std::uint32_t tid = 0;
     std::vector<Arg> args;
   };
 

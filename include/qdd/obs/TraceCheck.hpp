@@ -17,15 +17,18 @@ struct TraceCheckResult {
   std::size_t spans = 0;        ///< "X" events
   std::size_t counters = 0;     ///< "C" events
   std::size_t stepInstants = 0; ///< "i" events named "sim.step"
+  std::size_t metadata = 0;     ///< "M" events (thread_name, ...)
   bool hasStats = false;        ///< top-level "qddStats" object present
 };
 
 /// Checks that `json` parses as strict JSON, has a "traceEvents" array whose
-/// elements all carry name/ph/ts (and dur for "X" events), that `ts` is
-/// monotonically non-decreasing in array order, and that "X" spans observe
-/// stack discipline (each span is either disjoint from or fully contained in
-/// the enclosing open span). With `requireStepMetrics`, at least one
-/// "sim.step" instant must carry the per-step DD metric args (nodes,
+/// elements all carry name/ph (plus ts for everything except "M" metadata
+/// events, and dur for "X" events), that `ts` is monotonically non-decreasing
+/// in array order, and that "X" spans observe per-thread stack discipline:
+/// within one `tid` track each span is either disjoint from or fully
+/// contained in the enclosing open span (tracks of different threads may
+/// overlap freely). With `requireStepMetrics`, at least one "sim.step"
+/// instant must carry the per-step DD metric args (nodes,
 /// cacheHitRatioDelta, nodesPerLevel, gcRuns).
 TraceCheckResult validateChromeTrace(const std::string& json,
                                      bool requireStepMetrics = false);

@@ -140,6 +140,41 @@ struct SamplingResult {
   std::size_t shots = 0;
 };
 
+/// Reusable sampler bound to one circuit and one package. For circuits whose
+/// only non-unitary operations are final measurements it pays the strong
+/// simulation once at construction and keeps the final state referenced, so
+/// every subsequent sample() call is pure non-destructive DD sampling — the
+/// engine behind chunked parallel sampling (qdd::exec::sampleParallel), where
+/// one worker serves many shot chunks from the same final state. Dynamic
+/// circuits (mid-circuit measurements, resets, classically controlled
+/// operations) fall back to per-shot execution inside sample().
+///
+/// sample(shots, seed) depends only on its arguments (and the circuit), not
+/// on previous calls: each call seeds a fresh RNG stream.
+class CircuitSampler {
+public:
+  /// The package must outlive the sampler; the sampler keeps its final-state
+  /// reference until destruction.
+  CircuitSampler(const ir::QuantumComputation& circuit, Package& package);
+  ~CircuitSampler();
+
+  CircuitSampler(const CircuitSampler&) = delete;
+  CircuitSampler& operator=(const CircuitSampler&) = delete;
+
+  [[nodiscard]] bool isDynamicCircuit() const noexcept { return dynamic; }
+
+  /// Samples `shots` measurement outcomes with an RNG seeded by `seed`.
+  [[nodiscard]] SamplingResult sample(std::size_t shots, std::uint64_t seed);
+
+private:
+  ir::QuantumComputation qc; ///< owned copy, like SimulationSession
+  Package& pkg;
+  /// Final measurement map qubit -> classical bit.
+  std::vector<std::pair<Qubit, std::size_t>> measurements;
+  bool dynamic = false;
+  vEdge finalState{}; ///< referenced final state (static circuits only)
+};
+
 /// Samples `shots` measurement outcomes from the circuit ([16]-style weak
 /// simulation): for circuits whose only non-unitary operations are final
 /// measurements, the state is simulated once and then sampled repeatedly
@@ -150,5 +185,11 @@ struct SamplingResult {
 /// circuit measures, and over all qubits q_{n-1}...q_0 otherwise.
 SamplingResult sampleCircuit(const ir::QuantumComputation& qc,
                              std::size_t shots, std::uint64_t seed = 0);
+
+/// Same, but on a caller-provided package (the per-worker package in batch
+/// execution) instead of a package of its own.
+SamplingResult sampleCircuit(const ir::QuantumComputation& qc,
+                             std::size_t shots, std::uint64_t seed,
+                             Package& pkg);
 
 } // namespace qdd::sim

@@ -3,6 +3,7 @@
 #include "qdd/dd/Package.hpp"
 #include "qdd/ir/QuantumComputation.hpp"
 
+#include <atomic>
 #include <string>
 
 namespace qdd::verify {
@@ -30,6 +31,9 @@ struct CheckResult {
   std::size_t gateCacheLookups = 0;
   std::size_t gateCacheHits = 0;
   std::string method;
+  /// True when the check was abandoned at a gate boundary because the
+  /// caller's cancellation flag fired; `equivalence` is meaningless then.
+  bool cancelled = false;
 
   [[nodiscard]] bool consideredEquivalent() const noexcept {
     return equivalence != Equivalence::NotEquivalent;
@@ -79,14 +83,23 @@ public:
   /// Alternating scheme: start from the identity, apply gates from G and
   /// G'^{-1} according to `strategy`, and test whether the result resembles
   /// the identity (paper Ex. 12, [20]).
+  ///
+  /// `cancel`, when non-null, is polled at every gate boundary; once it
+  /// reads true the check stops and returns with `cancelled` set. This is
+  /// how the portfolio checker (qdd::exec) stops losing directions — the
+  /// flag is a plain atomic so this layer stays independent of qdd::exec.
   CheckResult checkAlternating(Package& pkg,
-                               Strategy strategy = Strategy::Proportional)
+                               Strategy strategy = Strategy::Proportional,
+                               const std::atomic<bool>* cancel = nullptr)
       const;
 
   /// Simulation-based check with `numStimuli` random computational basis
-  /// states: cheap, and able to prove non-equivalence quickly.
+  /// states: cheap, and able to prove non-equivalence quickly. `cancel` is
+  /// polled between stimuli (see checkAlternating).
   CheckResult checkBySimulation(Package& pkg, std::size_t numStimuli = 16,
-                                std::uint64_t seed = 0) const;
+                                std::uint64_t seed = 0,
+                                const std::atomic<bool>* cancel = nullptr)
+      const;
 
 private:
   /// Classifies a DD as identity / identity-up-to-phase / neither.

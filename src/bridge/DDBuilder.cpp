@@ -4,6 +4,7 @@
 #include "qdd/dd/GateMatrix.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -82,8 +83,11 @@ mEdge getStandardDD(const ir::Operation& op, std::size_t n, Package& pkg) {
   return pkg.makeGateDD(mat, n, op.controls(), op.targets().at(0));
 }
 
-ApplyMode& globalModeRef() {
-  static ApplyMode mode = applyModeFromEnv();
+// Atomic because worker threads (qdd::exec) read the mode concurrently while
+// a test or tool may flip it between runs. Relaxed ordering suffices: the
+// mode is a standalone configuration value with no dependent data.
+std::atomic<ApplyMode>& globalModeRef() {
+  static std::atomic<ApplyMode> mode{applyModeFromEnv()};
   return mode;
 }
 
@@ -116,9 +120,13 @@ ApplyMode applyModeFromEnv() {
   return ApplyMode::Fast;
 }
 
-ApplyMode globalApplyMode() { return globalModeRef(); }
+ApplyMode globalApplyMode() {
+  return globalModeRef().load(std::memory_order_relaxed);
+}
 
-void setGlobalApplyMode(ApplyMode mode) { globalModeRef() = mode; }
+void setGlobalApplyMode(ApplyMode mode) {
+  globalModeRef().store(mode, std::memory_order_relaxed);
+}
 
 mEdge getDD(const ir::Operation& op, std::size_t n, Package& pkg) {
   if (op.type() == ir::OpType::Barrier) {

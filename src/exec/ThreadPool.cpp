@@ -1,0 +1,159 @@
+#include "qdd/exec/ThreadPool.hpp"
+
+#include "qdd/obs/Obs.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace qdd::exec {
+
+std::size_t ThreadPool::defaultWorkers() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t count = workers == 0 ? defaultWorkers() : workers;
+  queues.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queues.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(wakeMutex);
+    stopping.store(true, std::memory_order_relaxed);
+  }
+  wakeCv.notify_all();
+  for (auto& thread : threads) {
+    thread.join();
+  }
+}
+
+bool ThreadPool::popLocal(std::size_t id, std::size_t& task) {
+  WorkerQueue& q = *queues[id];
+  const std::lock_guard<std::mutex> lock(q.mutex);
+  if (q.tasks.empty()) {
+    return false;
+  }
+  // LIFO on the own deque: the most recently dealt task is the one whose
+  // distribution round is least likely to have been stolen already.
+  task = q.tasks.back();
+  q.tasks.pop_back();
+  queued.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::stealTask(std::size_t thief, std::size_t& task) {
+  const std::size_t count = queues.size();
+  for (std::size_t k = 1; k < count; ++k) {
+    WorkerQueue& victim = *queues[(thief + k) % count];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.tasks.empty()) {
+      continue;
+    }
+    // FIFO from the victim: take the task the owner would reach last.
+    task = victim.tasks.front();
+    victim.tasks.pop_front();
+    queued.fetch_sub(1, std::memory_order_relaxed);
+    stealCount.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::runTask(std::size_t task, std::size_t worker) {
+  Batch* b = batch.load(std::memory_order_acquire);
+  try {
+    (*b->body)(task, worker);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(b->errorMutex);
+    if (!b->error) {
+      b->error = std::current_exception();
+    }
+  }
+  queues[worker]->executed.fetch_add(1, std::memory_order_relaxed);
+  if (b->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const std::lock_guard<std::mutex> lock(b->doneMutex);
+    b->doneCv.notify_all();
+  }
+}
+
+void ThreadPool::workerLoop(std::size_t id) {
+  obs::Registry::labelCurrentThread("worker-" + std::to_string(id));
+  while (true) {
+    std::size_t task = 0;
+    if (popLocal(id, task) || stealTask(id, task)) {
+      runTask(task, id);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wakeMutex);
+    wakeCv.wait(lock, [this] {
+      return stopping.load(std::memory_order_relaxed) ||
+             queued.load(std::memory_order_relaxed) > 0;
+    });
+    if (stopping.load(std::memory_order_relaxed) &&
+        queued.load(std::memory_order_relaxed) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::parallelFor(
+    std::size_t numTasks,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (numTasks == 0) {
+    return;
+  }
+  const std::lock_guard<std::mutex> serialize(batchMutex);
+  Batch current;
+  current.body = &body;
+  current.remaining.store(numTasks, std::memory_order_relaxed);
+  batch.store(&current, std::memory_order_release);
+
+  // Deal tasks round-robin: task i starts on queue i % W. Deterministic, so
+  // the 1-worker run and the 8-worker run enumerate identical task sets per
+  // queue before stealing redistributes them.
+  const std::size_t count = queues.size();
+  for (std::size_t i = 0; i < numTasks; ++i) {
+    WorkerQueue& q = *queues[i % count];
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    q.tasks.push_back(i);
+    // Incremented under the queue lock that also guards the matching pop,
+    // so `queued` can never be decremented before its increment.
+    queued.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    // Empty critical section: any worker currently between evaluating the
+    // wait predicate and blocking finishes doing so before the notify.
+    const std::lock_guard<std::mutex> lock(wakeMutex);
+  }
+  wakeCv.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(current.doneMutex);
+    current.doneCv.wait(lock, [&current] {
+      return current.remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  batch.store(nullptr, std::memory_order_release);
+  if (current.error) {
+    std::rethrow_exception(current.error);
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.executedPerWorker.reserve(queues.size());
+  for (const auto& q : queues) {
+    s.executedPerWorker.push_back(q->executed.load(std::memory_order_relaxed));
+  }
+  s.steals = stealCount.load(std::memory_order_relaxed);
+  return s;
+}
+
+} // namespace qdd::exec

@@ -1,9 +1,85 @@
 #include "qdd/mem/StatsRegistry.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
 namespace qdd::mem {
+
+void AllocatorStats::merge(const AllocatorStats& other) noexcept {
+  live += other.live;
+  peakLive += other.peakLive;
+  allocated += other.allocated;
+  chunks += other.chunks;
+  bytes += other.bytes;
+}
+
+void UniqueTableStats::merge(const UniqueTableStats& other) noexcept {
+  entries += other.entries;
+  peakEntries += other.peakEntries;
+  lookups += other.lookups;
+  hits += other.hits;
+  collisions += other.collisions;
+  longestChain = std::max(longestChain, other.longestChain);
+  levels = std::max(levels, other.levels);
+  buckets += other.buckets;
+  rehashes += other.rehashes;
+  memory.merge(other.memory);
+}
+
+void RealTableStats::merge(const RealTableStats& other) noexcept {
+  entries += other.entries;
+  peakEntries += other.peakEntries;
+  lookups += other.lookups;
+  hits += other.hits;
+  collisions += other.collisions;
+  buckets += other.buckets;
+  rehashes += other.rehashes;
+  memory.merge(other.memory);
+}
+
+void ComputeTableStats::merge(const ComputeTableStats& other) noexcept {
+  lookups += other.lookups;
+  hits += other.hits;
+  inserts += other.inserts;
+  staleRejections += other.staleRejections;
+}
+
+void ApplyPathStats::merge(const ApplyPathStats& other) noexcept {
+  diagonal += other.diagonal;
+  permutation += other.permutation;
+  generic += other.generic;
+  fallback += other.fallback;
+}
+
+void GcStats::merge(const GcStats& other) noexcept {
+  runs += other.runs;
+  generation = std::max(generation, other.generation);
+  collectedVectorNodes += other.collectedVectorNodes;
+  collectedMatrixNodes += other.collectedMatrixNodes;
+  collectedReals += other.collectedReals;
+}
+
+void StatsRegistry::merge(const StatsRegistry& other) {
+  vectorTable.merge(other.vectorTable);
+  matrixTable.merge(other.matrixTable);
+  reals.merge(other.reals);
+  for (const auto& table : other.computeTables) {
+    bool found = false;
+    for (auto& mine : computeTables) {
+      if (mine.name == table.name) {
+        mine.merge(table);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      computeTables.push_back(table);
+    }
+  }
+  apply.merge(other.apply);
+  gc.merge(other.gc);
+}
 
 const ComputeTableStats*
 StatsRegistry::computeTable(const std::string& name) const {

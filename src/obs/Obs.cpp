@@ -9,6 +9,32 @@ Registry& Registry::instance() {
   return registry;
 }
 
+std::uint32_t Registry::currentThreadId() noexcept {
+  static std::atomic<std::uint32_t> nextId{0};
+  thread_local const std::uint32_t id =
+      nextId.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Registry::labelCurrentThread(std::string label) {
+  const std::uint32_t id = currentThreadId();
+  Registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.labelMutex);
+  for (auto& [tid, name] : reg.labels) {
+    if (tid == id) {
+      name = std::move(label);
+      return;
+    }
+  }
+  reg.labels.emplace_back(id, std::move(label));
+}
+
+std::vector<std::pair<std::uint32_t, std::string>>
+Registry::threadLabels() const {
+  const std::lock_guard<std::mutex> lock(labelMutex);
+  return labels;
+}
+
 void Registry::addSink(std::shared_ptr<Sink> sink) {
   const std::lock_guard<std::mutex> lock(mutex);
   sinks.push_back(std::move(sink));
@@ -32,6 +58,7 @@ void Registry::flush() {
 }
 
 void Registry::recordSpan(SpanRecord&& span) {
+  span.tid = currentThreadId();
   const std::lock_guard<std::mutex> lock(mutex);
   for (const auto& sink : sinks) {
     sink->onSpan(span);
@@ -39,7 +66,7 @@ void Registry::recordSpan(SpanRecord&& span) {
 }
 
 void Registry::recordCounter(const char* name, double value) {
-  CounterRecord record{name, value, nowUs()};
+  CounterRecord record{name, value, nowUs(), currentThreadId()};
   const std::lock_guard<std::mutex> lock(mutex);
   for (const auto& sink : sinks) {
     sink->onCounter(record);
@@ -47,6 +74,7 @@ void Registry::recordCounter(const char* name, double value) {
 }
 
 void Registry::recordStep(StepMetrics&& step) {
+  step.tid = currentThreadId();
   const std::lock_guard<std::mutex> lock(mutex);
   for (const auto& sink : sinks) {
     sink->onStep(step);

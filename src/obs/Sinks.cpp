@@ -126,6 +126,7 @@ void ChromeTraceSink::onSpan(const SpanRecord& span) {
   e.category = span.category;
   e.tsUs = span.startUs;
   e.durUs = span.durUs;
+  e.tid = span.tid;
   e.args = span.args;
   events.push_back(std::move(e));
 }
@@ -136,6 +137,7 @@ void ChromeTraceSink::onCounter(const CounterRecord& counter) {
   e.name = counter.name;
   e.category = "counter";
   e.tsUs = counter.tsUs;
+  e.tid = counter.tid;
   e.args.push_back(Arg::doubleArg("value", counter.value));
   events.push_back(std::move(e));
 }
@@ -154,6 +156,7 @@ void ChromeTraceSink::onStep(const StepMetrics& step) {
     c.name = name;
     c.category = "counter";
     c.tsUs = step.tsUs;
+    c.tid = step.tid;
     c.args.push_back(Arg::doubleArg("value", value));
     events.push_back(std::move(c));
   }
@@ -165,6 +168,7 @@ void ChromeTraceSink::onStep(const StepMetrics& step) {
   e.name = "sim.step";
   e.category = "sim";
   e.tsUs = step.tsUs;
+  e.tid = step.tid;
   e.args = stepArgs(step);
   e.args.push_back(Arg::strArg("nodesPerLevel", levelsJson(step.nodesPerLevel)));
   events.push_back(std::move(e));
@@ -188,6 +192,31 @@ std::string ChromeTraceSink::toJson() const {
 
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
+
+  // One `thread_name` metadata event per known thread, so viewers label the
+  // per-thread tracks. Labels come from Registry::labelCurrentThread; tid 0
+  // (the first thread that ever recorded) defaults to "main".
+  std::vector<std::pair<std::uint32_t, std::string>> names =
+      Registry::instance().threadLabels();
+  const bool tidZeroLabeled =
+      std::any_of(names.begin(), names.end(),
+                  [](const auto& p) { return p.first == 0; });
+  if (!tidZeroLabeled) {
+    names.emplace_back(0, "main");
+  }
+  std::sort(names.begin(), names.end());
+  for (const auto& [tid, label] : names) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"";
+    out += jsonEscape(label);
+    out += "\"}}";
+  }
+
   for (const Event* e : ordered) {
     if (!first) {
       out += ",\n";
@@ -199,7 +228,9 @@ std::string ChromeTraceSink::toJson() const {
     out += jsonEscape(e->category);
     out += "\",\"ph\":\"";
     out += e->phase;
-    out += "\",\"pid\":1,\"tid\":1,\"ts\":";
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e->tid);
+    out += ",\"ts\":";
     out += formatDouble(e->tsUs);
     if (e->phase == 'X') {
       out += ",\"dur\":";
@@ -241,7 +272,8 @@ void JsonlSink::onSpan(const SpanRecord& span) {
   out << "{\"type\":\"span\",\"cat\":\"" << jsonEscape(span.category)
       << "\",\"name\":\"" << jsonEscape(span.name)
       << "\",\"ts\":" << formatDouble(span.startUs)
-      << ",\"dur\":" << formatDouble(span.durUs) << ",\"depth\":" << span.depth;
+      << ",\"dur\":" << formatDouble(span.durUs) << ",\"depth\":" << span.depth
+      << ",\"tid\":" << span.tid;
   if (!span.args.empty()) {
     out << ",\"args\":" << argsJson(span.args);
   }
@@ -251,11 +283,13 @@ void JsonlSink::onSpan(const SpanRecord& span) {
 void JsonlSink::onCounter(const CounterRecord& counter) {
   out << "{\"type\":\"counter\",\"name\":\"" << jsonEscape(counter.name)
       << "\",\"ts\":" << formatDouble(counter.tsUs)
-      << ",\"value\":" << formatDouble(counter.value) << "}\n";
+      << ",\"value\":" << formatDouble(counter.value)
+      << ",\"tid\":" << counter.tid << "}\n";
 }
 
 void JsonlSink::onStep(const StepMetrics& step) {
-  out << "{\"type\":\"step\",\"ts\":" << formatDouble(step.tsUs) << ",\"args\":"
+  out << "{\"type\":\"step\",\"ts\":" << formatDouble(step.tsUs)
+      << ",\"tid\":" << step.tid << ",\"args\":"
       << argsJson(stepArgs(step))
       << ",\"nodesPerLevel\":" << levelsJson(step.nodesPerLevel) << "}\n";
 }

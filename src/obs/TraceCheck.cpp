@@ -282,9 +282,11 @@ TraceCheckResult validateChromeTrace(const std::string& json,
                     root->member("qddStats")->kind == Value::Kind::Object;
 
   double lastTs = -1.;
-  // Open "X" spans as (start, end) intervals; each new span must begin after
-  // the start of — and end within — every still-open enclosing span.
-  std::vector<std::pair<double, double>> openSpans;
+  // Open "X" spans as (start, end) intervals, tracked per thread id: spans
+  // on different worker tracks legitimately overlap in wall time, but within
+  // one track each span must begin after the start of — and end within —
+  // every still-open enclosing span.
+  std::map<double, std::vector<std::pair<double, double>>> openSpansPerTid;
   bool sawStepMetrics = false;
 
   for (std::size_t i = 0; i < eventsVal->array.size(); ++i) {
@@ -296,7 +298,16 @@ TraceCheckResult validateChromeTrace(const std::string& json,
     const Value* name = ev.member("name");
     const Value* phase = ev.member("ph");
     const Value* ts = ev.member("ts");
-    if (!isString(name) || !isString(phase) || !isNumber(ts)) {
+    if (!isString(name) || !isString(phase)) {
+      return failure(at + ": missing name/ph");
+    }
+    if (phase->string == "M") {
+      // Metadata events (thread_name, process_name, ...) carry no timestamp.
+      ++result.events;
+      ++result.metadata;
+      continue;
+    }
+    if (!isNumber(ts)) {
       return failure(at + ": missing name/ph/ts");
     }
     if (ts->number < lastTs) {
@@ -304,6 +315,8 @@ TraceCheckResult validateChromeTrace(const std::string& json,
     }
     lastTs = ts->number;
     ++result.events;
+    const Value* tid = ev.member("tid");
+    const double track = isNumber(tid) ? tid->number : 0.;
 
     if (phase->string == "X") {
       const Value* dur = ev.member("dur");
@@ -312,6 +325,7 @@ TraceCheckResult validateChromeTrace(const std::string& json,
       }
       const double start = ts->number;
       const double end = start + dur->number;
+      auto& openSpans = openSpansPerTid[track];
       while (!openSpans.empty() && openSpans.back().second <= start) {
         openSpans.pop_back();
       }

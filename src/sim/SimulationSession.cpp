@@ -246,14 +246,10 @@ bool isDynamic(const ir::QuantumComputation& qc) {
 
 } // namespace
 
-SamplingResult sampleCircuit(const ir::QuantumComputation& qc,
-                             std::size_t shots, std::uint64_t seed) {
-  SamplingResult result;
-  result.shots = shots;
-  std::mt19937_64 rng(seed);
-
+CircuitSampler::CircuitSampler(const ir::QuantumComputation& circuit,
+                               Package& package)
+    : qc(circuit), pkg(package), dynamic(isDynamic(qc)) {
   // Collect the (final) measurement map qubit -> classical bit.
-  std::vector<std::pair<Qubit, std::size_t>> measurements;
   for (const auto& op : qc) {
     if (op->type() == ir::OpType::Measure) {
       const auto& m = static_cast<const ir::NonUnitaryOperation&>(*op);
@@ -262,22 +258,36 @@ SamplingResult sampleCircuit(const ir::QuantumComputation& qc,
       }
     }
   }
-
-  if (!isDynamic(qc)) {
-    // Weak simulation: one strong pass, then repeated non-destructive
-    // sampling from the final decision diagram.
-    Package pkg(qc.numQubits());
-    // strip measurements (they are all final)
-    ir::QuantumComputation stripped(qc.numQubits(), qc.numClbits(),
-                                    qc.name());
-    for (const auto& op : qc) {
-      if (op->type() != ir::OpType::Measure) {
-        stripped.emplaceBack(op->clone());
-      }
+  if (dynamic) {
+    return;
+  }
+  // Weak simulation: one strong pass now; sample() then draws repeatedly and
+  // non-destructively from the final decision diagram.
+  pkg.resize(qc.numQubits());
+  // strip measurements (they are all final)
+  ir::QuantumComputation stripped(qc.numQubits(), qc.numClbits(), qc.name());
+  for (const auto& op : qc) {
+    if (op->type() != ir::OpType::Measure) {
+      stripped.emplaceBack(op->clone());
     }
-    const vEdge finalState =
-        bridge::simulate(stripped, pkg.makeZeroState(qc.numQubits()), pkg);
-    pkg.incRef(finalState);
+  }
+  finalState =
+      bridge::simulate(stripped, pkg.makeZeroState(qc.numQubits()), pkg);
+  pkg.incRef(finalState);
+}
+
+CircuitSampler::~CircuitSampler() {
+  if (!dynamic) {
+    pkg.decRef(finalState);
+  }
+}
+
+SamplingResult CircuitSampler::sample(std::size_t shots, std::uint64_t seed) {
+  SamplingResult result;
+  result.shots = shots;
+  std::mt19937_64 rng(seed);
+
+  if (!dynamic) {
     for (std::size_t s = 0; s < shots; ++s) {
       const std::string qubitString = pkg.sample(finalState, rng);
       if (measurements.empty()) {
@@ -292,14 +302,12 @@ SamplingResult sampleCircuit(const ir::QuantumComputation& qc,
       }
       ++result.counts[bits];
     }
-    pkg.decRef(finalState);
     return result;
   }
 
-  // Dynamic circuit: execute shot by shot. One shared package across all
-  // shots — constructing the unique/compute tables per shot would dominate.
+  // Dynamic circuit: execute shot by shot on the shared package —
+  // constructing the unique/compute tables per shot would dominate.
   std::uniform_int_distribution<std::uint64_t> seeder;
-  Package pkg(qc.numQubits());
   for (std::size_t s = 0; s < shots; ++s) {
     SimulationSession session(qc, pkg, seeder(rng));
     while (session.stepForward()) {
@@ -318,6 +326,19 @@ SamplingResult sampleCircuit(const ir::QuantumComputation& qc,
     ++result.counts[bits];
   }
   return result;
+}
+
+SamplingResult sampleCircuit(const ir::QuantumComputation& qc,
+                             std::size_t shots, std::uint64_t seed,
+                             Package& pkg) {
+  CircuitSampler sampler(qc, pkg);
+  return sampler.sample(shots, seed);
+}
+
+SamplingResult sampleCircuit(const ir::QuantumComputation& qc,
+                             std::size_t shots, std::uint64_t seed) {
+  Package pkg(qc.numQubits());
+  return sampleCircuit(qc, shots, seed, pkg);
 }
 
 } // namespace qdd::sim

@@ -21,6 +21,9 @@
 // probabilities — the console version of the tool's pop-up dialog.
 
 #include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/exec/Batch.hpp"
+#include "qdd/exec/Portfolio.hpp"
+#include "qdd/exec/ThreadPool.hpp"
 #include "qdd/ir/Builders.hpp"
 #include "qdd/ir/Mapping.hpp"
 #include "qdd/obs/Obs.hpp"
@@ -60,13 +63,13 @@ bool statsRequested = false;
 /// so piping stdout never mixes formats.
 std::string outPath;
 
-/// Writes the stats registry JSON to the machine-readable channel. Throws on
+/// Writes a stats registry JSON to the machine-readable channel. Throws on
 /// IO failure (surfaces as a nonzero exit code in main).
-void maybePrintStats(const Package& pkg) {
+void maybePrintStats(const mem::StatsRegistry& stats) {
   if (!statsRequested) {
     return;
   }
-  const std::string json = pkg.statistics().toJson();
+  const std::string json = stats.toJson();
   if (outPath.empty()) {
     std::fprintf(stderr, "%s\n", json.c_str());
     return;
@@ -78,6 +81,12 @@ void maybePrintStats(const Package& pkg) {
   out << json << "\n";
   if (!out) {
     throw std::runtime_error("failed writing --out file: " + outPath);
+  }
+}
+
+void maybePrintStats(const Package& pkg) {
+  if (statsRequested) {
+    maybePrintStats(pkg.statistics());
   }
 }
 
@@ -420,6 +429,110 @@ int runProfile(const std::string& path) {
   return exitCode;
 }
 
+/// Shared flags of the parallel modes, parsed from the arguments after the
+/// positional ones: --workers N, --shots N, --seed N.
+struct ExecFlags {
+  std::size_t workers = 0; ///< 0 = one per hardware thread
+  std::size_t shots = 0;
+  std::uint64_t seed = 0;
+};
+
+ExecFlags parseExecFlags(int argc, char** argv, int first) {
+  ExecFlags flags;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto numeric = [&](const char* what) -> std::uint64_t {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(what) +
+                                 " requires a numeric argument");
+      }
+      return std::strtoull(argv[++i], nullptr, 10);
+    };
+    if (arg == "--workers") {
+      flags.workers = static_cast<std::size_t>(numeric("--workers"));
+    } else if (arg == "--shots") {
+      flags.shots = static_cast<std::size_t>(numeric("--shots"));
+    } else if (arg == "--seed") {
+      flags.seed = numeric("--seed");
+    } else {
+      throw std::runtime_error("unknown flag '" + arg + "'");
+    }
+  }
+  return flags;
+}
+
+/// `qdd-tool batch <dir>`: parses and simulates every .qasm/.real file in the
+/// directory across a work-stealing worker pool, one private DD package per
+/// worker. Prints one summary line per file (in name order, independent of
+/// scheduling) and exits nonzero if any file failed.
+int runBatch(const std::string& directory, const ExecFlags& flags) {
+  const auto files = exec::collectCircuitFiles(directory);
+  if (files.empty()) {
+    std::fprintf(stderr, "no .qasm/.real files in %s\n", directory.c_str());
+    return 2;
+  }
+  exec::BatchOptions options;
+  options.workers = flags.workers;
+  options.shots = flags.shots;
+  options.seed = flags.seed;
+  const exec::BatchResult result = exec::runSuite(files, options);
+
+  for (const auto& c : result.circuits) {
+    if (!c.error.empty()) {
+      std::printf("FAIL %-40s %s\n", c.name.c_str(), c.error.c_str());
+      continue;
+    }
+    if (flags.shots > 0) {
+      std::printf("ok   %-40s %zu qubits, %zu ops, %zu shots, %zu distinct "
+                  "outcomes  (%.2f ms, worker %zu)\n",
+                  c.name.c_str(), c.qubits, c.operations, c.sampling.shots,
+                  c.sampling.counts.size(), c.wallMs, c.worker);
+    } else {
+      std::printf("ok   %-40s %zu qubits, %zu ops, %zu nodes final, %zu peak "
+                  " (%.2f ms, worker %zu)\n",
+                  c.name.c_str(), c.qubits, c.operations, c.finalNodes,
+                  c.peakNodes, c.wallMs, c.worker);
+    }
+  }
+  std::printf("batch: %zu file(s), %zu failure(s), %zu worker(s), %.2f ms\n",
+              result.circuits.size(), result.failures(), result.workers,
+              result.wallMs);
+  maybePrintStats(result.stats);
+  return result.failures() == 0 ? 0 : 1;
+}
+
+/// `qdd-tool pverify <left> <right>`: portfolio equivalence checking — both
+/// alternating directions (and a simulation prover) race on private packages;
+/// the first conclusive entry cancels the rest.
+int runPverify(const std::string& leftPath, const std::string& rightPath,
+               const ExecFlags& flags) {
+  const auto left = load(leftPath);
+  const auto right = load(rightPath);
+  std::printf("left  '%s': %zu qubits, %zu operations\n", leftPath.c_str(),
+              left.numQubits(), left.size());
+  std::printf("right '%s': %zu qubits, %zu operations\n", rightPath.c_str(),
+              right.numQubits(), right.size());
+
+  exec::PortfolioOptions options;
+  options.workers = flags.workers;
+  options.seed = flags.seed;
+  const exec::PortfolioResult result = exec::checkPortfolio(left, right,
+                                                            options);
+  for (const auto& entry : result.entries) {
+    std::printf("  %-24s %-12s %8.2f ms  peak %zu nodes, %zu gates\n",
+                entry.name.c_str(),
+                entry.result.cancelled
+                    ? "(cancelled)"
+                    : toString(entry.result.equivalence).c_str(),
+                entry.wallMs, entry.result.maxNodes,
+                entry.result.gatesApplied);
+  }
+  std::printf("winner: %s (%.2f ms total)\n", result.winner.c_str(),
+              result.wallMs);
+  std::printf("result: %s\n", toString(result.result.equivalence).c_str());
+  return 0;
+}
+
 int runShow(const std::string& path) {
   const auto qc = load(path);
   Package pkg(qc.numQubits());
@@ -471,11 +584,14 @@ int main(int argc, char** argv) {
                  "  %s profile <circuit.{qasm,real}>\n"
                  "  %s map <circuit.{qasm,real}> [linear|ring|gridRxC]\n"
                  "  %s synth <permutation.txt>\n"
+                 "  %s batch <directory> [--workers N --shots S --seed X]\n"
+                 "  %s pverify <left.{qasm,real}> <right.{qasm,real}> "
+                 "[--workers N --seed X]\n"
                  "global flags: --stats (dump stats JSON), --out <file>\n"
                  "  (--out routes machine-readable JSON to <file>; without it,\n"
                  "   JSON goes to stderr and stdout stays human-readable)\n",
                  argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
-                 argv[0]);
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   try {
@@ -504,6 +620,16 @@ int main(int argc, char** argv) {
     }
     if (mode == "synth") {
       return runSynth(argv[2]);
+    }
+    if (mode == "batch") {
+      return runBatch(argv[2], parseExecFlags(argc, argv, 3));
+    }
+    if (mode == "pverify") {
+      if (argc < 4) {
+        std::fprintf(stderr, "pverify needs two circuit files\n");
+        return 2;
+      }
+      return runPverify(argv[2], argv[3], parseExecFlags(argc, argv, 4));
     }
     std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
     return 2;

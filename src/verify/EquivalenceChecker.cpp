@@ -108,8 +108,9 @@ CheckResult EquivalenceChecker::checkByConstruction(Package& pkg) const {
   return result;
 }
 
-CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
-                                                 Strategy strategy) const {
+CheckResult
+EquivalenceChecker::checkAlternating(Package& pkg, Strategy strategy,
+                                     const std::atomic<bool>* cancel) const {
   obs::ScopedSpan span("verify", "alternating");
   CheckResult result;
   result.method = "alternating/" + toString(strategy);
@@ -153,6 +154,12 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
   std::size_t i2 = 0; // next gate of G2^{-1} (applied from the right)
   std::size_t chunk = 0;
 
+  // Polled at every gate boundary; relaxed is enough — the flag is sticky
+  // and missing it by one gate only costs one extra multiplication.
+  const auto stop = [cancel] {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  };
+
   // Each alternating iteration gets its own span so traces show how the
   // intermediate DD breathes around the identity (paper Ex. 12).
   const auto record = [&](const char* side, std::size_t gateIndex) {
@@ -188,19 +195,19 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
 
   switch (strategy) {
   case Strategy::Sequential:
-    while (i1 < first.size()) {
+    while (!stop() && i1 < first.size()) {
       applyFromLeft();
     }
-    while (i2 < second.size()) {
+    while (!stop() && i2 < second.size()) {
       applyFromRight();
     }
     break;
   case Strategy::OneToOne:
-    while (i1 < first.size() || i2 < second.size()) {
+    while (!stop() && (i1 < first.size() || i2 < second.size())) {
       if (i1 < first.size()) {
         applyFromLeft();
       }
-      if (i2 < second.size()) {
+      if (!stop() && i2 < second.size()) {
         applyFromRight();
       }
     }
@@ -210,14 +217,14 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
     const std::size_t m2 = second.size();
     // apply ~m2/m1 gates of G2^{-1} per gate of G1, distributed evenly
     std::size_t applied2Target = 0;
-    while (i1 < first.size()) {
+    while (!stop() && i1 < first.size()) {
       applyFromLeft();
       applied2Target = (i1 * m2) / m1;
-      while (i2 < std::min(applied2Target, m2)) {
+      while (!stop() && i2 < std::min(applied2Target, m2)) {
         applyFromRight();
       }
     }
-    while (i2 < second.size()) {
+    while (!stop() && i2 < second.size()) {
       applyFromRight();
     }
     break;
@@ -225,13 +232,13 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
   case Strategy::BarrierSync:
     // Paper Ex. 12: one gate from G, then all gates from G' up to the next
     // barrier.
-    while (i1 < first.size() || i2 < second.size()) {
+    while (!stop() && (i1 < first.size() || i2 < second.size())) {
       if (i1 < first.size()) {
         applyFromLeft();
       }
       const std::size_t end =
           chunk < chunkEnds.size() ? chunkEnds[chunk] : second.size();
-      while (i2 < end) {
+      while (!stop() && i2 < end) {
         applyFromRight();
       }
       ++chunk;
@@ -240,7 +247,13 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
   }
 
   result.finalNodes = Package::size(e);
-  result.equivalence = classifyAgainstIdentity(pkg, e);
+  if (stop() && (i1 < first.size() || i2 < second.size())) {
+    // Abandoned mid-run: the intermediate DD proves nothing, so skip the
+    // identity classification and report the partial run as cancelled.
+    result.cancelled = true;
+  } else {
+    result.equivalence = classifyAgainstIdentity(pkg, e);
+  }
   result.gateCacheLookups = gateCache.lookups();
   result.gateCacheHits = gateCache.hits();
   pkg.decRef(e);
@@ -254,9 +267,10 @@ CheckResult EquivalenceChecker::checkAlternating(Package& pkg,
   return result;
 }
 
-CheckResult EquivalenceChecker::checkBySimulation(Package& pkg,
-                                                  std::size_t numStimuli,
-                                                  std::uint64_t seed) const {
+CheckResult
+EquivalenceChecker::checkBySimulation(Package& pkg, std::size_t numStimuli,
+                                      std::uint64_t seed,
+                                      const std::atomic<bool>* cancel) const {
   obs::ScopedSpan span("verify", "simulation");
   CheckResult result;
   result.method = "simulation";
@@ -267,6 +281,10 @@ CheckResult EquivalenceChecker::checkBySimulation(Package& pkg,
 
   result.equivalence = Equivalence::ProbablyEquivalent;
   for (std::size_t s = 0; s < numStimuli; ++s) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      break;
+    }
     std::vector<bool> bits(n);
     for (std::size_t k = 0; k < n; ++k) {
       // include the all-zero state as the first stimulus

@@ -234,5 +234,95 @@ TEST(MemShrink, NoOpWhenNotSmaller) {
   EXPECT_NEAR(pkg.norm(keep), 1., 1e-12);
 }
 
+// --- StatsRegistry::merge (the aggregation step after a parallel batch) ----
+
+TEST(MemStatsMerge, SumsCountersAndMaxesStructuralFields) {
+  mem::StatsRegistry a;
+  a.vectorTable.entries = 10;
+  a.vectorTable.lookups = 100;
+  a.vectorTable.hits = 60;
+  a.vectorTable.longestChain = 3;
+  a.vectorTable.levels = 4;
+  a.vectorTable.memory.bytes = 1024;
+  a.apply.diagonal = 5;
+  a.apply.fallback = 1;
+  a.gc.runs = 2;
+  a.gc.generation = 7;
+
+  mem::StatsRegistry b;
+  b.vectorTable.entries = 4;
+  b.vectorTable.lookups = 50;
+  b.vectorTable.hits = 10;
+  b.vectorTable.longestChain = 6;
+  b.vectorTable.levels = 2;
+  b.vectorTable.memory.bytes = 512;
+  b.apply.diagonal = 2;
+  b.apply.permutation = 3;
+  b.gc.runs = 1;
+  b.gc.generation = 3;
+
+  a.merge(b);
+  EXPECT_EQ(a.vectorTable.entries, 14U);
+  EXPECT_EQ(a.vectorTable.lookups, 150U);
+  EXPECT_EQ(a.vectorTable.hits, 70U);
+  EXPECT_EQ(a.vectorTable.longestChain, 6U); // max, not sum
+  EXPECT_EQ(a.vectorTable.levels, 4U);       // max, not sum
+  EXPECT_EQ(a.vectorTable.memory.bytes, 1536U);
+  EXPECT_EQ(a.apply.diagonal, 7U);
+  EXPECT_EQ(a.apply.permutation, 3U);
+  EXPECT_EQ(a.apply.fallback, 1U);
+  EXPECT_EQ(a.gc.runs, 3U);
+  EXPECT_EQ(a.gc.generation, 7U); // per-package epoch: max, not sum
+}
+
+TEST(MemStatsMerge, MatchesComputeTablesByNameAndAppendsUnknown) {
+  mem::StatsRegistry a;
+  a.computeTables.push_back({"mul", 100, 40, 60, 2});
+  a.computeTables.push_back({"add", 10, 5, 5, 0});
+
+  mem::StatsRegistry b;
+  b.computeTables.push_back({"add", 30, 15, 15, 1});
+  b.computeTables.push_back({"kron", 7, 0, 7, 0});
+
+  a.merge(b);
+  ASSERT_EQ(a.computeTables.size(), 3U);
+  const auto* mul = a.computeTable("mul");
+  ASSERT_NE(mul, nullptr);
+  EXPECT_EQ(mul->lookups, 100U); // untouched: no "mul" in b
+  const auto* add = a.computeTable("add");
+  ASSERT_NE(add, nullptr);
+  EXPECT_EQ(add->lookups, 40U);
+  EXPECT_EQ(add->hits, 20U);
+  EXPECT_EQ(add->staleRejections, 1U);
+  const auto* kron = a.computeTable("kron");
+  ASSERT_NE(kron, nullptr); // unknown name appended
+  EXPECT_EQ(kron->inserts, 7U);
+}
+
+TEST(MemStatsMerge, OrderIndependentTotalsFromRealPackages) {
+  // Merging real per-worker snapshots in either order yields the same
+  // aggregate — the determinism contract of parallel batch statistics.
+  Package p1(3);
+  p1.incRef(p1.makeGHZState(3));
+  Package p2(3);
+  p2.incRef(p2.makeBasisState(3, {true, false, true}));
+  p2.garbageCollect(true);
+
+  mem::StatsRegistry ab = p1.statistics();
+  ab.merge(p2.statistics());
+  mem::StatsRegistry ba = p2.statistics();
+  ba.merge(p1.statistics());
+
+  EXPECT_EQ(ab.vectorTable.lookups, ba.vectorTable.lookups);
+  EXPECT_EQ(ab.vectorTable.entries, ba.vectorTable.entries);
+  EXPECT_EQ(ab.reals.entries, ba.reals.entries);
+  EXPECT_EQ(ab.gc.runs, ba.gc.runs);
+  EXPECT_EQ(ab.gc.generation, ba.gc.generation);
+  EXPECT_EQ(ab.computeTotals().lookups, ba.computeTotals().lookups);
+  EXPECT_EQ(ab.pressure().vectorNodes, ba.pressure().vectorNodes);
+  // and the merge is reflected in the serialized form as well
+  EXPECT_EQ(ab.toJson(false).size(), ba.toJson(false).size());
+}
+
 } // namespace
 } // namespace qdd

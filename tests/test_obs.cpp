@@ -11,9 +11,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace qdd {
@@ -317,6 +322,104 @@ TEST_F(ObsTest, StatsJsonIsDeterministic) {
   const auto result = obs::validateChromeTrace(chrome->toJson());
   EXPECT_TRUE(result.valid) << result.error;
   EXPECT_TRUE(result.hasStats);
+}
+
+TEST_F(ObsTest, ConcurrentSpansCarryDistinctThreadIds) {
+  auto sink = attachRecorder();
+  constexpr std::size_t numThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(numThreads);
+  for (std::size_t t = 0; t < numThreads; ++t) {
+    threads.emplace_back([] {
+      obs::ScopedSpan outer("test", "outer");
+      EXPECT_EQ(obs::Registry::currentDepth(), 1); // depth is thread-local
+      obs::ScopedSpan inner("test", "inner");
+      EXPECT_EQ(obs::Registry::currentDepth(), 2);
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  // every thread's two spans were recorded, each tagged with its thread id
+  ASSERT_EQ(sink->spans.size(), 2 * numThreads);
+  std::map<std::uint32_t, std::vector<const obs::SpanRecord*>> byTid;
+  for (const auto& span : sink->spans) {
+    byTid[span.tid].push_back(&span);
+  }
+  EXPECT_EQ(byTid.size(), numThreads); // distinct ids, one per thread
+  for (const auto& [tid, spans] : byTid) {
+    EXPECT_NE(tid, obs::Registry::currentThreadId()); // none is this thread
+    ASSERT_EQ(spans.size(), 2U);
+    // completion order within a thread: inner closes before outer
+    EXPECT_STREQ(spans[0]->name, "inner");
+    EXPECT_EQ(spans[0]->depth, 1);
+    EXPECT_STREQ(spans[1]->name, "outer");
+    EXPECT_EQ(spans[1]->depth, 0);
+  }
+}
+
+TEST_F(ObsTest, ThreadIdIsStablePerThread) {
+  const auto main1 = obs::Registry::currentThreadId();
+  const auto main2 = obs::Registry::currentThreadId();
+  EXPECT_EQ(main1, main2);
+  std::uint32_t worker = main1;
+  std::thread([&] { worker = obs::Registry::currentThreadId(); }).join();
+  EXPECT_NE(worker, main1);
+}
+
+TEST_F(ObsTest, ChromeTraceSeparatesWorkerTracksAndNamesThem) {
+  auto chrome = std::make_shared<obs::ChromeTraceSink>();
+  obs::Registry::instance().addSink(chrome);
+  obs::Registry::instance().setEnabled(true);
+
+  constexpr std::size_t numThreads = 3;
+  std::vector<std::thread> threads;
+  threads.reserve(numThreads);
+  for (std::size_t t = 0; t < numThreads; ++t) {
+    threads.emplace_back([t] {
+      obs::Registry::labelCurrentThread("worker-" + std::to_string(t));
+      // overlapping spans across threads are fine — they live on separate
+      // tracks; within a track they must still nest
+      obs::ScopedSpan outer("test", "outer");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      obs::ScopedSpan inner("test", "inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  obs::Registry::instance().setEnabled(false);
+
+  const std::string json = chrome->toJson();
+  const auto result = obs::validateChromeTrace(json);
+  EXPECT_TRUE(result.valid) << result.error;
+  EXPECT_EQ(result.spans, 2 * numThreads);
+  for (std::size_t t = 0; t < numThreads; ++t) {
+    const std::string label =
+        "\"name\":\"thread_name\"";
+    EXPECT_NE(json.find("worker-" + std::to_string(t)), std::string::npos);
+    EXPECT_NE(json.find(label), std::string::npos);
+  }
+
+  const auto labels = obs::Registry::instance().threadLabels();
+  EXPECT_GE(labels.size(), numThreads);
+}
+
+TEST_F(ObsTest, ValidatorAllowsOverlapAcrossTidsButNotWithin) {
+  // same interval overlap on two different tids: two parallel tracks, valid
+  const std::string acrossTids = R"({"traceEvents":[
+    {"name":"a","cat":"t","ph":"X","pid":1,"tid":1,"ts":0,"dur":5},
+    {"name":"b","cat":"t","ph":"X","pid":1,"tid":2,"ts":3,"dur":10}
+  ]})";
+  EXPECT_TRUE(obs::validateChromeTrace(acrossTids).valid);
+  // the same shape on one tid violates stack discipline
+  const std::string withinTid = R"({"traceEvents":[
+    {"name":"a","cat":"t","ph":"X","pid":1,"tid":1,"ts":0,"dur":5},
+    {"name":"b","cat":"t","ph":"X","pid":1,"tid":1,"ts":3,"dur":10}
+  ]})";
+  EXPECT_FALSE(obs::validateChromeTrace(withinTid).valid);
 }
 
 TEST_F(ObsTest, OverheadGateCompilesToNoOpWhenDisabled) {
