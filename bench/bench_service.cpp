@@ -1,0 +1,219 @@
+// Throughput/latency of the qdd::service HTTP session server under
+// concurrent interactive clients: each client owns one GHZ-8 simulation
+// session and drives it with step/reset requests over a keep-alive
+// connection, the workload of the paper's web tool (one request per gate).
+//
+// Emits one grep-able `BENCH_SERVICE <label> {json}` record per client
+// count plus a summary record, consumed by scripts/check_bench_service.py
+// (--record / --check). Every record carries `hardwareConcurrency`: the
+// scaling gates only apply on machines with enough cores, but the
+// correctness gates (zero failed requests, sane latency ordering) run
+// everywhere.
+
+#include "BenchUtil.hpp"
+
+#include "qdd/service/Api.hpp"
+#include "qdd/service/HttpServer.hpp"
+#include "qdd/service/Json.hpp"
+#include "qdd/service/Router.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace qdd;
+
+namespace {
+
+const std::vector<std::size_t> CLIENT_COUNTS{1, 4, 8};
+
+struct ClientStats {
+  std::vector<double> latenciesMs;
+  std::size_t errors = 0;
+};
+
+/// One client: create a GHZ-8 session, then loop { step x8, reset } over a
+/// keep-alive connection until `requests` requests have been issued. Every
+/// request's latency is recorded; any non-2xx answer or malformed DD
+/// document counts as an error.
+ClientStats runClient(std::uint16_t port, std::size_t requests) {
+  ClientStats stats;
+  stats.latenciesMs.reserve(requests);
+  service::HttpClient client("127.0.0.1", port);
+
+  const auto timed = [&](const char* method, const std::string& target,
+                         const std::string& body) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = client.request(method, target, body);
+    stats.latenciesMs.push_back(std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count());
+    return result;
+  };
+
+  auto created = timed("POST", "/v1/sessions",
+                       R"({"builder": {"name": "ghz", "qubits": 8}})");
+  if (created.status != 201) {
+    ++stats.errors;
+    return stats;
+  }
+  const std::string id =
+      service::json::Value::parse(created.body).getString("id", "");
+  const std::string stepTarget = "/v1/sessions/" + id + "/step";
+  const std::string resetTarget = "/v1/sessions/" + id + "/reset";
+
+  bool atEnd = false;
+  while (stats.latenciesMs.size() < requests) {
+    const bool reset = atEnd;
+    auto result = reset ? timed("POST", resetTarget, "{}")
+                        : timed("POST", stepTarget, "{}");
+    if (result.status != 200) {
+      ++stats.errors;
+      continue;
+    }
+    try {
+      const auto doc = service::json::Value::parse(result.body);
+      atEnd = doc.getBool("atEnd", false);
+      if (!reset && doc.find("dd") == nullptr) {
+        ++stats.errors;
+      }
+    } catch (const service::json::ParseError&) {
+      ++stats.errors;
+    }
+  }
+  return stats;
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) {
+    return 0.;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      p / 100. * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct RunRecord {
+  std::size_t clients = 0;
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  double wallMs = 0.;
+  double rps = 0.;
+  double p50Ms = 0.;
+  double p95Ms = 0.;
+};
+
+RunRecord runLoad(std::uint16_t port, std::size_t clients,
+                  std::size_t requestsPerClient) {
+  std::vector<ClientStats> perClient(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&perClient, c, port, requestsPerClient] {
+      perClient[c] = runClient(port, requestsPerClient);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  RunRecord record;
+  record.wallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  std::vector<double> all;
+  for (const auto& stats : perClient) {
+    record.errors += stats.errors;
+    record.requests += stats.latenciesMs.size();
+    all.insert(all.end(), stats.latenciesMs.begin(),
+               stats.latenciesMs.end());
+  }
+  record.clients = clients;
+  record.rps = record.wallMs > 0.
+                   ? 1000. * static_cast<double>(record.requests) /
+                         record.wallMs
+                   : 0.;
+  record.p50Ms = percentile(all, 50.);
+  record.p95Ms = percentile(all, 95.);
+  return record;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  const std::size_t requestsPerClient = quick ? 60 : 400;
+  const auto cores = std::thread::hardware_concurrency();
+
+  // server shaped like `qdd-tool serve` defaults, sized for the widest run
+  service::ServiceMetrics metrics;
+  service::ApiOptions apiOpts;
+  apiOpts.maxSessions = 2 * CLIENT_COUNTS.back();
+  service::Api api(apiOpts, metrics);
+  service::Router router;
+  api.install(router);
+  service::ServerOptions serverOpts;
+  serverOpts.workers = CLIENT_COUNTS.back();
+  service::HttpServer server(serverOpts, router, metrics);
+  server.start();
+
+  bench::heading("qdd::service step-request throughput (GHZ-8 sessions)");
+  std::printf("%8s %10s %10s %10s %10s %8s\n", "clients", "requests",
+              "rps", "p50 ms", "p95 ms", "errors");
+
+  std::vector<RunRecord> records;
+  for (const std::size_t clients : CLIENT_COUNTS) {
+    const auto record = runLoad(server.port(), clients, requestsPerClient);
+    std::printf("%8zu %10zu %10.1f %10.3f %10.3f %8zu\n", record.clients,
+                record.requests, record.rps, record.p50Ms, record.p95Ms,
+                record.errors);
+    records.push_back(record);
+  }
+  bench::rule();
+
+  for (const auto& record : records) {
+    std::printf("BENCH_SERVICE steps_c%zu {\"clients\": %zu, "
+                "\"requests\": %zu, \"errors\": %zu, \"wallMs\": %.3f, "
+                "\"rps\": %.3f, \"p50Ms\": %.4f, \"p95Ms\": %.4f, "
+                "\"hardwareConcurrency\": %u, \"resources\": %s}\n",
+                record.clients, record.clients, record.requests,
+                record.errors, record.wallMs, record.rps, record.p50Ms,
+                record.p95Ms, cores,
+                bench::ResourceUsage::sample().toJson().c_str());
+  }
+
+  const double rps1 = records.front().rps;
+  double scale4 = 0.;
+  double scale8 = 0.;
+  std::size_t totalRequests = 0;
+  std::size_t totalErrors = 0;
+  for (const auto& record : records) {
+    totalRequests += record.requests;
+    totalErrors += record.errors;
+    if (rps1 > 0. && record.clients == 4) {
+      scale4 = record.rps / rps1;
+    }
+    if (rps1 > 0. && record.clients == 8) {
+      scale8 = record.rps / rps1;
+    }
+  }
+  std::printf("BENCH_SERVICE summary {\"totalRequests\": %zu, "
+              "\"errors\": %zu, \"serverRequests\": %zu, \"scale4\": %.3f, "
+              "\"scale8\": %.3f, \"hardwareConcurrency\": %u, "
+              "\"resources\": %s}\n",
+              totalRequests, totalErrors, metrics.requests(), scale4, scale8,
+              cores, bench::ResourceUsage::sample().toJson().c_str());
+
+  server.drain();
+  server.stop();
+  return totalErrors == 0 ? 0 : 1;
+}

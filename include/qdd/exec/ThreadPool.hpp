@@ -31,6 +31,13 @@ namespace qdd::exec {
 /// The pool runs one batch at a time (`parallelFor` serializes callers);
 /// workers are started once in the constructor and parked on a condition
 /// variable between batches.
+///
+/// Besides batches, the pool accepts *detached* tasks via `submit()`: fire-
+/// and-forget closures dealt round-robin onto the same deques (and stolen
+/// like any other task). They have no completion handle — callers needing
+/// one track it themselves (the qdd::service HTTP server counts in-flight
+/// connections this way). Detached tasks still queued when the destructor
+/// runs are executed before the workers exit.
 class ThreadPool {
 public:
   /// Creates `workers` worker threads; 0 picks `defaultWorkers()`.
@@ -63,10 +70,18 @@ public:
   void parallelFor(std::size_t numTasks,
                    const std::function<void(std::size_t, std::size_t)>& body);
 
+  /// Enqueues one detached task (round-robin across the worker deques). The
+  /// task runs exactly once on some worker; exceptions escaping it are
+  /// swallowed and counted in Stats::detachedErrors — detached work is
+  /// expected to handle its own failures. Safe to call concurrently with
+  /// parallelFor and with other submit calls.
+  void submit(std::function<void()> task);
+
   /// Scheduling counters (cumulative over the pool's lifetime).
   struct Stats {
     std::vector<std::size_t> executedPerWorker;
-    std::size_t steals = 0; ///< tasks taken from a sibling's deque
+    std::size_t steals = 0;         ///< tasks taken from a sibling's deque
+    std::size_t detachedErrors = 0; ///< exceptions escaping detached tasks
   };
   [[nodiscard]] Stats stats() const;
 
@@ -80,34 +95,41 @@ private:
     std::condition_variable doneCv;
   };
 
+  /// One queued unit of work: either task `index` of `batch` (whose owner
+  /// keeps the Batch alive until every task completed), or — with `batch ==
+  /// nullptr` — a detached closure.
+  struct Item {
+    Batch* batch = nullptr;
+    std::size_t index = 0;
+    std::function<void()> detached;
+  };
+
   /// One worker's deque. A plain mutex-guarded deque: tasks here are whole
-  /// circuits (micro- to milliseconds), so queue overhead is noise and the
-  /// simple design is trivially race-free.
+  /// circuits / connections (micro- to milliseconds), so queue overhead is
+  /// noise and the simple design is trivially race-free.
   struct WorkerQueue {
     std::mutex mutex;
-    std::deque<std::size_t> tasks;
+    std::deque<Item> tasks;
     std::atomic<std::size_t> executed{0};
   };
 
   void workerLoop(std::size_t id);
-  bool popLocal(std::size_t id, std::size_t& task);
-  bool stealTask(std::size_t thief, std::size_t& task);
-  void runTask(std::size_t task, std::size_t worker);
+  bool popLocal(std::size_t id, Item& item);
+  bool stealTask(std::size_t thief, Item& item);
+  void runTask(Item&& item, std::size_t worker);
 
   std::vector<std::unique_ptr<WorkerQueue>> queues;
   std::vector<std::thread> threads;
 
   std::mutex batchMutex; ///< serializes parallelFor callers
-  /// Current batch. Workers only dereference it while holding a popped task
-  /// of that batch (whose completion the owner awaits before resetting the
-  /// pointer); atomic so the pointer handoff itself is unambiguous.
-  std::atomic<Batch*> batch{nullptr};
 
   std::mutex wakeMutex;
   std::condition_variable wakeCv;
   std::atomic<std::size_t> queued{0}; ///< tasks enqueued and not yet popped
   std::atomic<bool> stopping{false};
   std::atomic<std::size_t> stealCount{0};
+  std::atomic<std::size_t> submitCursor{0}; ///< round-robin deal of submits
+  std::atomic<std::size_t> detachedErrorCount{0};
 };
 
 } // namespace qdd::exec

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -89,7 +90,11 @@ struct LatencySummary {
 
 /// Aggregates spans into per-operation latency histograms and keeps the
 /// per-step DD metrics series. Everything stays in memory; call the getters
-/// after the run (or at any point in between).
+/// after the run (or at any point in between). Recording and the summary
+/// getters (percentileUs/summary/keys/peakStepNodes/summaryTable/toJson)
+/// are mutually thread-safe, so a live /metrics endpoint can read while
+/// workers record; the raw series accessors steps()/gcPausesUs() return
+/// references and must not be iterated concurrently with recording.
 class AggregatorSink : public Sink {
 public:
   void onSpan(const SpanRecord& span) override;
@@ -133,6 +138,9 @@ private:
   };
   Bucket& resolve(const SpanRecord& span);
 
+  /// Recursive because the public getters compose (summary -> percentileUs,
+  /// toJson -> keys/summary); all of them are cold paths.
+  mutable std::recursive_mutex mutex;
   std::map<std::pair<const void*, const void*>, Bucket> buckets;
   std::map<std::string, std::vector<double>> samples;
   std::vector<StepMetrics> stepSeries;

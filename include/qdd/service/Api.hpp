@@ -1,0 +1,106 @@
+#pragma once
+
+// qdd::service — the REST surface of the paper's web tool, mapped onto the
+// library: interactive simulation sessions (Sec. IV-B), interactive
+// verification sessions (Sec. IV-C), one-shot portfolio equivalence checks,
+// and DD export in json/dot/svg. See docs/SERVICE.md for the endpoint
+// reference.
+//
+// Robustness contract:
+//   * admission control — session cap -> 429, circuit size caps -> 413,
+//     body size cap -> 413 (enforced in the HTTP layer);
+//   * per-request deadlines — every /run and /v1/verify arms a
+//     DeadlineTimer token plumbed into the session's gate loop; expiry
+//     stops the work at the next gate boundary and answers a structured
+//     408 (the applied prefix stays applied and inspectable);
+//   * TTL eviction of idle sessions (SessionStore).
+
+#include "qdd/obs/Sinks.hpp"
+#include "qdd/service/Deadline.hpp"
+#include "qdd/service/Metrics.hpp"
+#include "qdd/service/Router.hpp"
+#include "qdd/service/SessionStore.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace qdd::service {
+
+/// Thrown by handlers to produce a structured JSON error response.
+class ApiError : public std::runtime_error {
+public:
+  ApiError(int status, std::string code, const std::string& message)
+      : std::runtime_error(message), status(status), code(std::move(code)) {}
+
+  const int status;
+  const std::string code;
+};
+
+struct ApiOptions {
+  std::size_t maxSessions = 16;
+  /// Circuit admission caps (413 circuit_too_large beyond them).
+  std::size_t maxQubits = 25;
+  std::size_t maxOperations = 200000;
+  /// Deadline for /run and /v1/verify when the request names none.
+  std::int64_t defaultDeadlineMs = 10000;
+  /// Hard ceiling on requested deadlines (requests asking for more are
+  /// clamped, not rejected). Non-positive requested deadlines expire
+  /// immediately — a deterministic way to exercise the 408 path.
+  std::int64_t maxDeadlineMs = 120000;
+  /// Idle sessions older than this are evicted (<= 0 disables TTL).
+  std::int64_t sessionTtlMs = 600000;
+};
+
+class Api {
+public:
+  Api(ApiOptions options, ServiceMetrics& metrics);
+
+  /// Registers every endpoint on `router`. The Api must outlive the router.
+  void install(Router& router);
+
+  [[nodiscard]] SessionStore& sessions() noexcept { return store; }
+  [[nodiscard]] DeadlineTimer& deadlines() noexcept { return timer; }
+
+  /// Attaches the obs aggregator whose summaries /metrics embeds.
+  void setAggregator(std::shared_ptr<obs::AggregatorSink> sink) {
+    aggregator = std::move(sink);
+  }
+  /// Lets /healthz report drain state (wired to HttpServer::draining).
+  void setDrainingProbe(std::function<bool()> probe) {
+    drainingProbe = std::move(probe);
+  }
+
+private:
+  HttpResponse createSession(const HttpRequest& request);
+  HttpResponse listSessions();
+  HttpResponse getSession(const std::string& id);
+  HttpResponse deleteSession(const std::string& id);
+  HttpResponse stepSession(const std::string& id, const HttpRequest& request);
+  HttpResponse backSession(const std::string& id, const HttpRequest& request);
+  HttpResponse resetSession(const std::string& id);
+  HttpResponse runSession(const std::string& id, const HttpRequest& request);
+  HttpResponse exportDd(const std::string& id, const HttpRequest& request);
+  HttpResponse verifyOnce(const HttpRequest& request);
+  HttpResponse healthz();
+  HttpResponse metricsDoc();
+
+  /// Builds a circuit from {"qasm": "..."} or {"builder": {...}}, enforcing
+  /// the qubit/operation caps. Throws ApiError.
+  ir::QuantumComputation buildCircuit(const json::Value& spec) const;
+
+  [[nodiscard]] std::int64_t clampDeadline(const json::Value& body) const;
+  std::shared_ptr<SessionStore::Entry> require(const std::string& id);
+
+  json::Value sessionDoc(SessionStore::Entry& entry, bool includeDd) const;
+
+  const ApiOptions options;
+  ServiceMetrics& metrics;
+  SessionStore store;
+  DeadlineTimer timer;
+  std::shared_ptr<obs::AggregatorSink> aggregator;
+  std::function<bool()> drainingProbe;
+};
+
+} // namespace qdd::service

@@ -1,0 +1,57 @@
+#pragma once
+
+// qdd::service — per-request deadlines. A single background thread holds a
+// min-heap of (fire time, CancellationToken); when a deadline passes, the
+// token is cancelled and the in-flight simulation/verification stops at its
+// next gate boundary. Tokens are never disarmed: cancelling a token whose
+// request already finished is harmless (nobody polls it any more), which
+// keeps the timer free of per-request bookkeeping.
+
+#include "qdd/exec/CancellationToken.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qdd::service {
+
+class DeadlineTimer {
+public:
+  DeadlineTimer();
+  ~DeadlineTimer();
+
+  DeadlineTimer(const DeadlineTimer&) = delete;
+  DeadlineTimer& operator=(const DeadlineTimer&) = delete;
+
+  /// Returns a fresh token that will be cancelled `deadlineMs` from now.
+  /// A non-positive deadline cancels the token before returning — callers
+  /// see a deterministic "already expired" request, which the tests use to
+  /// exercise the 408 path without racing the wall clock.
+  [[nodiscard]] exec::CancellationToken arm(std::int64_t deadlineMs);
+
+  /// Deadlines armed so far (including already-fired ones).
+  [[nodiscard]] std::size_t armedCount() const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+  struct Entry {
+    Clock::time_point fireAt;
+    exec::CancellationToken token;
+    bool operator>(const Entry& other) const { return fireAt > other.fireAt; }
+  };
+
+  void loop();
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::size_t armed = 0;
+  bool stopping = false;
+  std::thread worker;
+};
+
+} // namespace qdd::service

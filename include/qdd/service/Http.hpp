@@ -1,0 +1,100 @@
+#pragma once
+
+// qdd::service — HTTP/1.1 wire layer. Dependency-free (POSIX sockets only):
+// request parsing with hard header/body limits, response serialization, and
+// a small blocking client used by tests, benchmarks, and scripted drivers.
+//
+// Supported surface (all the session API needs, nothing more): methods with
+// a Content-Length body or none, keep-alive and close, query strings.
+// Transfer-Encoding: chunked is rejected with 501.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace qdd::service {
+
+/// One parsed request. Header names are lower-cased; query values are the
+/// raw (undecoded) octets between '=' and '&'.
+struct HttpRequest {
+  std::string method;
+  std::string target; ///< as received, e.g. "/v1/sessions/s1/dd?fmt=dot"
+  std::string path;   ///< target up to '?'
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;
+  std::string body;
+  bool keepAlive = true;
+};
+
+/// One response about to be serialized.
+struct HttpResponse {
+  int status = 200;
+  std::string contentType = "application/json";
+  std::string body;
+  bool close = false; ///< force Connection: close
+
+  static HttpResponse json(int status, std::string body) {
+    HttpResponse r;
+    r.status = status;
+    r.body = std::move(body);
+    return r;
+  }
+};
+
+/// Standard reason phrase for the status codes the service emits.
+[[nodiscard]] const char* statusReason(int status);
+
+/// Outcome of reading one request off a connection.
+enum class ReadOutcome : std::uint8_t {
+  Ok,            ///< request parsed into `out`
+  Closed,        ///< peer closed (or timed out) before any request byte
+  Malformed,     ///< unparseable request -> respond 400 and close
+  TooLarge,      ///< headers or Content-Length over limit -> 431/413, close
+  Unsupported,   ///< Transfer-Encoding etc. -> 501, close
+};
+
+/// Reads and parses one HTTP/1.1 request from `fd`. `maxBodyBytes` bounds
+/// the declared Content-Length (the body of an over-limit request is never
+/// read — the caller answers 413 and closes). Uses `carry` to preserve
+/// pipelined bytes between keep-alive requests on the same connection.
+ReadOutcome readHttpRequest(int fd, HttpRequest& out, std::string& carry,
+                            std::size_t maxBodyBytes);
+
+/// Serializes and sends `response` on `fd` (Content-Length framing).
+/// Returns false when the peer is gone.
+bool writeHttpResponse(int fd, const HttpResponse& response);
+
+/// Minimal blocking HTTP client bound to one host/port: opens the
+/// connection lazily, keeps it alive across requests, reconnects once when
+/// the server closed it. Used by tests/test_service.cpp, bench_service, and
+/// anything scripting the API without curl.
+class HttpClient {
+public:
+  HttpClient(std::string host, std::uint16_t port);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  struct Result {
+    int status = 0;
+    std::string body;
+    std::map<std::string, std::string> headers; ///< lower-cased names
+  };
+
+  /// Performs one request; throws std::runtime_error on transport failure.
+  Result request(const std::string& method, const std::string& target,
+                 const std::string& body = "");
+
+  /// Closes the connection (next request reconnects).
+  void disconnect();
+
+private:
+  void ensureConnected();
+
+  std::string host;
+  std::uint16_t port;
+  int fd = -1;
+};
+
+} // namespace qdd::service

@@ -1,0 +1,102 @@
+#pragma once
+
+// qdd::service — the embedded HTTP server. A dedicated accept thread polls
+// the listening socket and hands each connection to the qdd::exec
+// work-stealing pool as one detached task; the task loops keep-alive
+// requests through the Router. Robustness knobs: body-size cap (413 before
+// the body is read), idle-connection timeout (SO_RCVTIMEO), graceful drain
+// (in-flight requests finish, everything new gets 503 + close), and a hard
+// stop that shuts down every open connection.
+//
+// Worker occupancy: one connection holds one pool worker while it is open,
+// so `workers` bounds the number of concurrently *open* connections
+// (excess connections queue in the pool). The idle timeout returns workers
+// held by silent keep-alive clients. Size `workers` to the expected client
+// count (docs/SERVICE.md discusses this).
+
+#include "qdd/exec/ThreadPool.hpp"
+#include "qdd/service/Metrics.hpp"
+#include "qdd/service/Router.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace qdd::service {
+
+struct ServerOptions {
+  std::string bindAddress = "127.0.0.1";
+  /// 0 picks an ephemeral port; read the actual one via port().
+  std::uint16_t port = 0;
+  /// Pool workers == maximum concurrently open connections (0: hardware).
+  std::size_t workers = 4;
+  std::size_t maxBodyBytes = 1U << 20U;
+  /// Idle keep-alive connections are closed after this long.
+  int idleTimeoutMs = 5000;
+};
+
+class HttpServer {
+public:
+  /// The router and metrics must outlive the server.
+  HttpServer(ServerOptions options, Router& router, ServiceMetrics& metrics);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and starts accepting. Throws std::runtime_error when
+  /// the address cannot be bound.
+  void start();
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return boundPort; }
+
+  /// Enters drain mode: every new request — on new or existing
+  /// connections — is answered 503 and the connection closed; requests
+  /// already executing finish normally.
+  void drain() noexcept { drainingFlag.store(true); }
+  [[nodiscard]] bool draining() const noexcept {
+    return drainingFlag.load();
+  }
+
+  /// Blocks until no request is in flight or `timeoutMs` elapsed; returns
+  /// true when idle was reached.
+  bool awaitIdle(int timeoutMs);
+
+  /// Stops accepting, shuts down all open connections, joins the accept
+  /// thread, and drains the pool. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::size_t openConnections() const;
+
+private:
+  void acceptLoop();
+  void handleConnection(int fd);
+  void trackOpen(int fd);
+  void trackClosed(int fd);
+
+  const ServerOptions options;
+  Router& router;
+  ServiceMetrics& metrics;
+
+  int listenFd = -1;
+  std::uint16_t boundPort = 0;
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> drainingFlag{false};
+  std::thread acceptor;
+
+  mutable std::mutex connMutex;
+  std::condition_variable connCv;
+  std::set<int> openFds;
+  std::size_t inFlight = 0; ///< requests currently executing a handler
+
+  /// Declared last on purpose: the pool destructor joins the connection
+  /// workers, and they touch connMutex/connCv on their way out — those
+  /// members must still be alive when the workers finish.
+  exec::ThreadPool pool;
+};
+
+} // namespace qdd::service

@@ -1,0 +1,70 @@
+#pragma once
+
+// qdd::service — request/session counters behind one mutex. The service
+// keeps its own metrics (independent of the optional qdd::obs registry) so
+// /metrics always works and tests can assert on exact counter values:
+// deadline cancellations, drain rejections, eviction counts.
+
+#include "qdd/service/Json.hpp"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qdd::service {
+
+class ServiceMetrics {
+public:
+  /// Records one routed request (pattern is the matched route, e.g.
+  /// "/v1/sessions/{id}/step", so metrics aggregate per route).
+  void recordRequest(const std::string& pattern, int status, double ms);
+  /// Records a transport-level rejection (malformed / oversize / 501).
+  void recordTransportError(int status);
+
+  void countSessionCreated() { bump(sessionsCreatedN); }
+  void countSessionEvicted() { bump(sessionsEvictedN); }
+  void countDeadlineTimeout() { bump(deadlineTimeoutsN); }
+  void countDrainRejected() { bump(drainRejectedN); }
+
+  [[nodiscard]] std::size_t requests() const;
+  [[nodiscard]] std::size_t statusCount(int status) const;
+  [[nodiscard]] std::size_t deadlineTimeouts() const;
+  [[nodiscard]] std::size_t sessionsCreated() const;
+  [[nodiscard]] std::size_t sessionsEvicted() const;
+  [[nodiscard]] std::size_t drainRejected() const;
+
+  /// Full snapshot:
+  /// {"requests":n,"byStatus":{...},"routes":{pattern:{count,totalMs,maxMs,
+  ///  p50Ms,p95Ms}},"sessionsCreated":...,"sessionsEvicted":...,
+  ///  "deadlineTimeouts":...,"drainRejected":...}
+  [[nodiscard]] json::Value toJson() const;
+
+private:
+  /// Latency samples per route, capped; percentiles are over the cap window.
+  static constexpr std::size_t MAX_SAMPLES = 4096;
+
+  struct Route {
+    std::size_t count = 0;
+    double totalMs = 0.;
+    double maxMs = 0.;
+    std::vector<double> samples;
+  };
+
+  void bump(std::size_t& counter) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++counter;
+  }
+
+  mutable std::mutex mutex;
+  std::size_t total = 0;
+  std::map<int, std::size_t> byStatus;
+  std::map<std::string, Route> routes;
+  std::size_t sessionsCreatedN = 0;
+  std::size_t sessionsEvictedN = 0;
+  std::size_t deadlineTimeoutsN = 0;
+  std::size_t drainRejectedN = 0;
+};
+
+} // namespace qdd::service

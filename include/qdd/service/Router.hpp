@@ -1,0 +1,65 @@
+#pragma once
+
+// qdd::service — method + path-pattern dispatch. Routes are registered as
+// literal segments or `{name}` captures ("/v1/sessions/{id}/step"); dispatch
+// fills the capture map and reports the matched pattern string so metrics
+// aggregate per route, not per session id.
+
+#include "qdd/service/Http.hpp"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qdd::service {
+
+/// Path parameters captured by `{name}` segments.
+using PathParams = std::map<std::string, std::string>;
+
+/// One request handler. Throwing is allowed — the server converts uncaught
+/// exceptions into a 500 JSON error.
+using Handler =
+    std::function<HttpResponse(const HttpRequest&, const PathParams&)>;
+
+class Router {
+public:
+  /// Registers `handler` for `method` + `pattern`. Patterns are absolute
+  /// paths whose segments are either literals or `{name}` captures.
+  void add(const std::string& method, const std::string& pattern,
+           Handler handler);
+
+  struct Dispatch {
+    HttpResponse response;
+    std::string pattern; ///< matched route pattern ("" when none matched)
+  };
+
+  /// Finds and invokes the handler for `request`. Unknown path -> 404,
+  /// known path with wrong method -> 405 (both as JSON error bodies).
+  [[nodiscard]] Dispatch dispatch(const HttpRequest& request) const;
+
+private:
+  struct Route {
+    std::string method;
+    std::string pattern;
+    std::vector<std::string> segments; ///< literal or "{name}"
+    Handler handler;
+  };
+
+  static std::vector<std::string> split(const std::string& path);
+  static bool match(const Route& route, const std::vector<std::string>& parts,
+                    PathParams& params);
+
+  std::vector<Route> routes;
+};
+
+/// Builds the uniform error body:
+/// {"error": {"code": c, "message": m, "status": s}}
+[[nodiscard]] std::string errorBody(int status, const std::string& code,
+                                    const std::string& message);
+
+/// Shorthand for HttpResponse::json(status, errorBody(...)).
+[[nodiscard]] HttpResponse errorResponse(int status, const std::string& code,
+                                         const std::string& message);
+
+} // namespace qdd::service

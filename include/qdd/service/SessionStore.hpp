@@ -1,0 +1,91 @@
+#pragma once
+
+// qdd::service — the live session registry. Each entry owns its private
+// dd::Package plus one simulation OR verification session on top of it
+// (packages are not thread-safe, so a per-entry mutex serializes every
+// request touching the same session; different sessions proceed in
+// parallel on different pool workers, mirroring the one-package-per-worker
+// design of qdd::exec).
+//
+// Admission and lifetime: a hard cap on concurrent sessions (create fails
+// once full -> the API answers 429) and TTL eviction of idle sessions in
+// least-recently-used order. Evicted packages fold their statistics() into
+// a cumulative registry surfaced by /metrics, so table/cache behavior is
+// not lost with the session.
+
+#include "qdd/dd/Package.hpp"
+#include "qdd/mem/StatsRegistry.hpp"
+#include "qdd/sim/SimulationSession.hpp"
+#include "qdd/verify/VerificationSession.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qdd::service {
+
+class SessionStore {
+public:
+  struct Entry {
+    std::string id;
+    std::string kind; ///< "simulation" | "verification"
+    std::string name; ///< circuit name(s), for listings
+    std::size_t qubits = 0;
+    /// Serializes all request processing on this session (the package
+    /// underneath is single-threaded).
+    std::mutex mutex;
+    std::unique_ptr<Package> package;
+    std::unique_ptr<sim::SimulationSession> simulation;
+    std::unique_ptr<verify::VerificationSession> verification;
+    std::chrono::steady_clock::time_point lastUsed;
+    std::size_t requests = 0;
+  };
+
+  /// `ttlMs <= 0` disables TTL eviction.
+  SessionStore(std::size_t maxSessions, std::int64_t ttlMs);
+
+  /// Admits a new entry (id assigned here: "s1", "s2", ...). The caller
+  /// fills in package/session under the returned entry's mutex. Returns
+  /// nullptr when the store is full even after evicting expired sessions.
+  std::shared_ptr<Entry> create(std::string kind);
+
+  /// Looks up a session and refreshes its LRU stamp; nullptr when absent.
+  std::shared_ptr<Entry> find(const std::string& id);
+
+  /// Removes a session (folding its stats); false when absent.
+  bool erase(const std::string& id);
+
+  /// Evicts every session idle longer than the TTL (LRU order); returns the
+  /// number evicted. Called internally on create(), exposed for tests.
+  std::size_t evictExpired();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t created() const;
+  [[nodiscard]] std::size_t evicted() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return maxSessions; }
+
+  /// (id, kind, name) of all live sessions, sorted by id.
+  [[nodiscard]] std::vector<std::shared_ptr<Entry>> list() const;
+
+  /// Cumulative statistics of all evicted/erased packages.
+  [[nodiscard]] mem::StatsRegistry retiredStats() const;
+
+private:
+  void retire(const std::shared_ptr<Entry>& entry);
+
+  const std::size_t maxSessions;
+  const std::int64_t ttlMs;
+
+  mutable std::mutex mutex; ///< guards the map and counters (not entries)
+  std::map<std::string, std::shared_ptr<Entry>> entries;
+  std::size_t nextId = 1;
+  std::size_t createdN = 0;
+  std::size_t evictedN = 0;
+  mem::StatsRegistry retired;
+};
+
+} // namespace qdd::service

@@ -5,6 +5,7 @@
 #include "qdd/dd/Package.hpp"
 #include "qdd/ir/QuantumComputation.hpp"
 
+#include <atomic>
 #include <functional>
 #include <random>
 #include <vector>
@@ -100,7 +101,13 @@ public:
   bool stepBackward();
   /// Steps forward until the end, stopping after "special operations"
   /// (barrier breakpoints, measurements, resets). Returns steps taken.
-  std::size_t runToEnd();
+  ///
+  /// `cancel`, when non-null, is polled before every gate: once it reads
+  /// true the run stops at that gate boundary (the already applied prefix
+  /// stays applied). This is how the qdd::service layer enforces
+  /// per-request deadlines — the flag is a plain atomic so this layer stays
+  /// independent of qdd::exec (see exec::CancellationToken::flag()).
+  std::size_t runToEnd(const std::atomic<bool>* cancel = nullptr);
   /// Rewinds to the initial state. Returns steps taken.
   std::size_t runToStart();
 

@@ -43,7 +43,13 @@ public:
   std::size_t runRightToBarrier();
   /// Runs the complete Ex. 12 schedule: one left gate, then right gates up
   /// to the next barrier, until both circuits are exhausted.
-  CheckResult runToCompletion();
+  ///
+  /// `cancel`, when non-null, is polled at every gate boundary; once it
+  /// reads true the run stops and the result comes back with `cancelled`
+  /// set (its `equivalence` is meaningless then). Used by the qdd::service
+  /// layer to enforce per-request deadlines (see
+  /// EquivalenceChecker::checkAlternating for the same contract).
+  CheckResult runToCompletion(const std::atomic<bool>* cancel = nullptr);
 
   /// Current verdict for the accumulated DD (meaningful once finished()).
   [[nodiscard]] Equivalence currentVerdict();

@@ -6,20 +6,38 @@
 
 namespace qdd::viz {
 
+/// Escapes a string for embedding in a JSON string literal: quote,
+/// backslash, and all control characters (U+0000..U+001F as \uXXXX or the
+/// short forms \n \r \t \b \f). Shared by every JSON-emitting layer (the
+/// exporters here and the qdd::service wire format).
+[[nodiscard]] std::string jsonEscape(const std::string& s);
+
+/// Formats a double as a JSON number with the given significant precision.
+/// Non-finite values (NaN, +/-Inf) have no JSON representation and must
+/// never be emitted bare — they serialize as `null`, which every strict
+/// parser accepts and renderers can treat as "undefined".
+[[nodiscard]] std::string jsonNumber(double v, int precision);
+
 /// Serializes a decision diagram as JSON — the data interchange format a
 /// web front-end (like the paper's tool) renders from. Every edge carries
 /// its complex weight in cartesian and polar form plus the Fig. 7(b) HLS
 /// color and a magnitude-based thickness, so a renderer needs no further
 /// computation.
+///
+/// Two layouts: the default pretty-printed document (files, humans) and a
+/// compact single-line mode for wire payloads (the qdd::service step
+/// responses embed one DD per step) — same structure, no whitespace.
 class JsonExporter {
 public:
-  explicit JsonExporter(int precision = 10) : precision(precision) {}
+  explicit JsonExporter(int precision = 10, bool compact = false)
+      : precision(precision), compact(compact) {}
 
   [[nodiscard]] std::string toJson(const Graph& g) const;
   void writeFile(const std::string& path, const Graph& g) const;
 
 private:
   int precision;
+  bool compact;
 };
 
 } // namespace qdd::viz

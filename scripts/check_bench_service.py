@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Record / check the HTTP-service throughput records of bench_service.
+
+The bench prints one line per client count plus a summary:
+
+    BENCH_SERVICE steps_c1 {"clients": 1, "requests": ..., "errors": 0,
+                            "rps": ..., "p50Ms": ..., "p95Ms": ...,
+                            "hardwareConcurrency": ..., ...}
+    BENCH_SERVICE steps_c4 {...}
+    BENCH_SERVICE steps_c8 {...}
+    BENCH_SERVICE summary  {"totalRequests": ..., "errors": 0,
+                            "serverRequests": ..., "scale4": ...,
+                            "scale8": ..., ...}
+
+Modes:
+  --record OUT    parse bench output from stdin (or --input FILE) and write
+                  the records as a JSON baseline file (BENCH_SERVICE.json).
+  --check BASE    parse bench output, validate it, and enforce the gates.
+
+Hard gates (any machine, any core count):
+  * every BENCH_SERVICE line parses as JSON with the expected fields;
+  * errors is 0 everywhere — the server never dropped or mangled a request;
+  * latency percentiles are sane (0 < p50 <= p95);
+  * serverRequests >= totalRequests — the server-side request counter saw
+    every client-side request (drift means lost accounting).
+
+Core-count-gated (a 1-core container serializes everything, so throughput
+scaling only gates where the hardware can show it):
+  * hardwareConcurrency >= 8: scale8 (rps at 8 clients / rps at 1 client)
+    must reach --min-scale8 (default 2.0);
+  * with --check, rps at 1 client must additionally stay above
+    (1 - --max-regression) of the baseline's, whenever both runs had the
+    same core count and at least 2 cores (on a 1-core container the client
+    threads and server workers oversubscribe the same core, so absolute
+    rps is scheduling noise — the correctness gates still run there).
+"""
+
+import argparse
+import json
+import sys
+
+RUN_FIELDS = ("clients", "requests", "errors", "rps", "p50Ms", "p95Ms",
+              "hardwareConcurrency")
+SUMMARY_FIELDS = ("totalRequests", "errors", "serverRequests", "scale4",
+                  "scale8", "hardwareConcurrency")
+RUN_LABELS = ("steps_c1", "steps_c4", "steps_c8")
+
+
+def parse_records(stream):
+    """Returns ({label: record}, parse error count)."""
+    records = {}
+    errors = 0
+    for line in stream:
+        line = line.strip()
+        if not line.startswith("BENCH_SERVICE "):
+            continue
+        try:
+            _, label, payload = line.split(" ", 2)
+            record = json.loads(payload)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"PARSE ERROR in BENCH_SERVICE line: {exc}\n  {line}",
+                  file=sys.stderr)
+            errors += 1
+            continue
+        records[label] = record
+    return records, errors
+
+
+def validate(records):
+    """Field presence + machine-independent correctness gates."""
+    failures = 0
+    for label in RUN_LABELS:
+        record = records.get(label)
+        if record is None:
+            print(f"FAIL: missing BENCH_SERVICE record '{label}'",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        missing = [f for f in RUN_FIELDS if f not in record]
+        if missing:
+            print(f"FAIL: {label}: missing field(s) {missing}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        if record["errors"] != 0:
+            print(f"FAIL: {label}: {record['errors']} failed request(s)",
+                  file=sys.stderr)
+            failures += 1
+        if not (0 < record["p50Ms"] <= record["p95Ms"]):
+            print(f"FAIL: {label}: latency percentiles not sane "
+                  f"(p50 {record['p50Ms']}, p95 {record['p95Ms']})",
+                  file=sys.stderr)
+            failures += 1
+
+    summary = records.get("summary")
+    if summary is None:
+        print("FAIL: missing BENCH_SERVICE record 'summary'",
+              file=sys.stderr)
+        return failures + 1
+    missing = [f for f in SUMMARY_FIELDS if f not in summary]
+    if missing:
+        print(f"FAIL: summary: missing field(s) {missing}", file=sys.stderr)
+        return failures + 1
+    if summary["errors"] != 0:
+        print(f"FAIL: summary: {summary['errors']} failed request(s)",
+              file=sys.stderr)
+        failures += 1
+    if summary["serverRequests"] < summary["totalRequests"]:
+        print(f"FAIL: server accounted {summary['serverRequests']} requests "
+              f"but clients issued {summary['totalRequests']}",
+              file=sys.stderr)
+        failures += 1
+    return failures
+
+
+def check_scaling(records, min_scale8):
+    """Core-count-gated throughput gates against this machine."""
+    failures = 0
+    summary = records.get("summary", {})
+    cores = summary.get("hardwareConcurrency", 0)
+    if cores >= 8:
+        scale8 = summary.get("scale8", 0.0)
+        status = "ok" if scale8 >= min_scale8 else "FAIL"
+        print(f"  steps: scale8 {scale8:.2f}x on {cores} cores "
+              f"(floor {min_scale8:.2f}x) {status}")
+        if scale8 < min_scale8:
+            failures += 1
+    else:
+        print(f"  steps: {cores} core(s) — scale8 gate skipped "
+              "(needs >= 8 cores)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--record", metavar="OUT",
+                      help="write parsed BENCH_SERVICE records to OUT")
+    mode.add_argument("--check", metavar="BASELINE",
+                      help="validate records and compare against a baseline")
+    parser.add_argument("--input", default="-",
+                        help="bench output file (default: stdin)")
+    parser.add_argument("--min-scale8", type=float, default=2.0,
+                        help="throughput scaling floor at 8 clients on >= 8 "
+                             "cores (default 2.0)")
+    parser.add_argument("--max-regression", type=float, default=0.5,
+                        help="allowed relative single-client rps loss vs the "
+                             "baseline when core counts match (default 0.5)")
+    args = parser.parse_args()
+
+    stream = sys.stdin if args.input == "-" else open(args.input)
+    with stream:
+        records, errors = parse_records(stream)
+    if errors:
+        print(f"FAIL: {errors} malformed BENCH_SERVICE record(s)",
+              file=sys.stderr)
+        return 1
+    if not records:
+        print("FAIL: no BENCH_SERVICE records found in input",
+              file=sys.stderr)
+        return 1
+
+    failures = validate(records)
+    if failures:
+        print(f"FAIL: {failures} validation failure(s)", file=sys.stderr)
+        return 1
+
+    if args.record:
+        with open(args.record, "w") as out:
+            json.dump({"records": records}, out, indent=2, sort_keys=True)
+            out.write("\n")
+        print(f"wrote {len(records)} BENCH_SERVICE record(s) to "
+              f"{args.record}")
+        return 0
+
+    failures = check_scaling(records, args.min_scale8)
+
+    with open(args.check) as f:
+        baseline = json.load(f)["records"]
+    base = baseline.get("steps_c1", {})
+    cur = records.get("steps_c1", {})
+    base_cores = base.get("hardwareConcurrency", 0)
+    if base_cores >= 2 and base_cores == cur.get("hardwareConcurrency", -1):
+        current = cur.get("rps", 0.0)
+        expected = base.get("rps", 0.0)
+        floor = expected * (1.0 - args.max_regression)
+        status = "ok" if current >= floor else "REGRESSION"
+        print(f"  steps_c1: {current:.1f} rps vs baseline {expected:.1f} rps "
+              f"(floor {floor:.1f}) {status}")
+        if current < floor:
+            failures += 1
+    else:
+        print("  baseline rps comparison skipped (needs matching core "
+              "counts on >= 2 cores)")
+
+    if failures:
+        print(f"FAIL: {failures} service gate(s) failed", file=sys.stderr)
+        return 1
+    print("OK: all applicable service gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Drive a live `qdd-tool serve` instance through the documented API and
+validate every response (see docs/SERVICE.md).
+
+Pure stdlib (urllib); exercised by the CI service-smoke job against a
+server started in the background:
+
+  * /healthz reports ok;
+  * a session created from a .qasm file steps forward gate by gate, each
+    response carrying a well-formed DD document (nodes/edges/root) and a
+    monotonically advancing position;
+  * stepping back rewinds the position;
+  * the DD exports in dot and svg;
+  * /v1/verify decides GHZ-4 == decomposed GHZ-4 (portfolio checker);
+  * a run with deadlineMs=0 answers a structured 408 without killing the
+    session;
+  * /metrics accounts for every request this script made (request totals,
+    the 408, the deadline timeout, created sessions).
+
+Exits non-zero with a FAIL line on the first violated expectation.
+"""
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+
+
+class Client:
+    def __init__(self, base):
+        self.base = base
+
+    def request(self, method, path, body=None):
+        """Returns (status, parsed-or-raw body)."""
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode()
+        req = urllib.request.Request(self.base + path, data=data,
+                                     method=method)
+        if data is not None:
+            req.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                raw = resp.read().decode()
+                status = resp.status
+        except urllib.error.HTTPError as err:
+            raw = err.read().decode()
+            status = err.code
+        try:
+            return status, json.loads(raw)
+        except json.JSONDecodeError:
+            return status, raw
+
+
+def expect(cond, message):
+    if not cond:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+
+
+def expect_dd(doc, context):
+    dd = doc.get("dd")
+    expect(isinstance(dd, dict), f"{context}: response has no dd document")
+    expect(dd.get("kind") == "vector", f"{context}: dd.kind != vector")
+    expect(isinstance(dd.get("nodes"), list) and dd["nodes"],
+           f"{context}: dd.nodes missing or empty")
+    expect(isinstance(dd.get("edges"), list),
+           f"{context}: dd.edges missing")
+    for edge in dd["edges"]:
+        expect("from" in edge and "port" in edge,
+               f"{context}: edge missing from/port")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--qasm", default="examples/circuits/bell.qasm",
+                        help="circuit the stepping walkthrough loads")
+    args = parser.parse_args()
+    client = Client(f"http://{args.host}:{args.port}")
+    made = 0  # requests this script issued (cross-checked against /metrics)
+
+    status, doc = client.request("GET", "/healthz")
+    made += 1
+    expect(status == 200, f"/healthz -> {status}")
+    expect(doc.get("status") == "ok", f"/healthz status {doc.get('status')}")
+
+    # --- session from a .qasm file, stepped gate by gate -------------------
+    with open(args.qasm) as f:
+        source = f.read()
+    status, doc = client.request("POST", "/v1/sessions", {"qasm": source})
+    made += 1
+    expect(status == 201, f"create session -> {status}: {doc}")
+    sid = doc.get("id")
+    operations = doc.get("operations", 0)
+    expect(sid, "create session: no id")
+    expect(operations >= 1, f"create session: operations {operations}")
+    expect_dd(doc, "create session")
+
+    for k in range(1, operations + 1):
+        status, doc = client.request("POST", f"/v1/sessions/{sid}/step", {})
+        made += 1
+        expect(status == 200, f"step {k} -> {status}: {doc}")
+        expect(doc.get("position") == k,
+               f"step {k}: position {doc.get('position')}")
+        expect_dd(doc, f"step {k}")
+    expect(doc.get("atEnd") is True, "not atEnd after stepping every gate")
+
+    status, doc = client.request("POST", f"/v1/sessions/{sid}/back", {})
+    made += 1
+    expect(status == 200, f"back -> {status}")
+    expect(doc.get("position") == operations - 1,
+           f"back: position {doc.get('position')}")
+
+    status, dot = client.request("GET", f"/v1/sessions/{sid}/dd?fmt=dot")
+    made += 1
+    expect(status == 200 and "digraph" in dot, "dot export failed")
+    status, svg = client.request("GET", f"/v1/sessions/{sid}/dd?fmt=svg")
+    made += 1
+    expect(status == 200 and "<svg" in svg, "svg export failed")
+
+    # --- one-shot portfolio verification -----------------------------------
+    status, doc = client.request("POST", "/v1/verify", {
+        "left": {"builder": {"name": "ghz", "qubits": 4}},
+        "right": {"builder": {"name": "ghz", "qubits": 4},
+                  "decompose": True},
+    })
+    made += 1
+    expect(status == 200, f"/v1/verify -> {status}: {doc}")
+    expect(doc.get("equivalence") == "equivalent",
+           f"/v1/verify equivalence {doc.get('equivalence')}")
+    expect(doc.get("entries"), "/v1/verify: no portfolio entries")
+
+    # --- structured deadline timeout ---------------------------------------
+    status, doc = client.request("POST", "/v1/sessions", {
+        "builder": {"name": "qft", "qubits": 10, "repeat": 50},
+    })
+    made += 1
+    expect(status == 201, f"create deadline session -> {status}")
+    did = doc["id"]
+    status, doc = client.request("POST", f"/v1/sessions/{did}/run",
+                                 {"deadlineMs": 0})
+    made += 1
+    expect(status == 408, f"deadline run -> {status} (want 408)")
+    expect(doc.get("error", {}).get("code") == "deadline_exceeded",
+           f"deadline run error {doc.get('error')}")
+    # the session survives the timeout
+    status, doc = client.request("GET", f"/v1/sessions/{did}")
+    made += 1
+    expect(status == 200, f"session after 408 -> {status}")
+
+    # --- metrics account for everything this script did --------------------
+    status, doc = client.request("GET", "/metrics")
+    made += 1
+    expect(status == 200, f"/metrics -> {status}")
+    svc = doc.get("service", {})
+    # the /metrics request itself is recorded after its handler runs
+    expect(svc.get("requests", 0) >= made - 1,
+           f"/metrics requests {svc.get('requests')} < {made - 1} issued")
+    by_status = svc.get("byStatus", {})
+    expect(by_status.get("408", 0) >= 1, "/metrics byStatus missing the 408")
+    expect(svc.get("deadlineTimeouts", 0) >= 1,
+           "/metrics deadlineTimeouts not incremented")
+    expect(svc.get("sessionsCreated", 0) >= 2,
+           f"/metrics sessionsCreated {svc.get('sessionsCreated')}")
+    expect(doc.get("sessions", {}).get("live", 0) >= 2,
+           "/metrics live session count")
+    expect(isinstance(doc.get("dd"), dict) and doc["dd"],
+           "/metrics dd table stats missing")
+
+    for cleanup in (sid, did):
+        status, _ = client.request("DELETE", f"/v1/sessions/{cleanup}")
+        expect(status == 200, f"delete {cleanup} -> {status}")
+
+    print(f"OK: service API walkthrough passed ({made} requests, "
+          f"{operations} gates stepped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

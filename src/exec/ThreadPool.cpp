@@ -34,7 +34,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-bool ThreadPool::popLocal(std::size_t id, std::size_t& task) {
+bool ThreadPool::popLocal(std::size_t id, Item& item) {
   WorkerQueue& q = *queues[id];
   const std::lock_guard<std::mutex> lock(q.mutex);
   if (q.tasks.empty()) {
@@ -42,13 +42,13 @@ bool ThreadPool::popLocal(std::size_t id, std::size_t& task) {
   }
   // LIFO on the own deque: the most recently dealt task is the one whose
   // distribution round is least likely to have been stolen already.
-  task = q.tasks.back();
+  item = std::move(q.tasks.back());
   q.tasks.pop_back();
   queued.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
-bool ThreadPool::stealTask(std::size_t thief, std::size_t& task) {
+bool ThreadPool::stealTask(std::size_t thief, Item& item) {
   const std::size_t count = queues.size();
   for (std::size_t k = 1; k < count; ++k) {
     WorkerQueue& victim = *queues[(thief + k) % count];
@@ -57,7 +57,7 @@ bool ThreadPool::stealTask(std::size_t thief, std::size_t& task) {
       continue;
     }
     // FIFO from the victim: take the task the owner would reach last.
-    task = victim.tasks.front();
+    item = std::move(victim.tasks.front());
     victim.tasks.pop_front();
     queued.fetch_sub(1, std::memory_order_relaxed);
     stealCount.fetch_add(1, std::memory_order_relaxed);
@@ -66,10 +66,19 @@ bool ThreadPool::stealTask(std::size_t thief, std::size_t& task) {
   return false;
 }
 
-void ThreadPool::runTask(std::size_t task, std::size_t worker) {
-  Batch* b = batch.load(std::memory_order_acquire);
+void ThreadPool::runTask(Item&& item, std::size_t worker) {
+  if (item.batch == nullptr) {
+    try {
+      item.detached();
+    } catch (...) {
+      detachedErrorCount.fetch_add(1, std::memory_order_relaxed);
+    }
+    queues[worker]->executed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Batch* b = item.batch;
   try {
-    (*b->body)(task, worker);
+    (*b->body)(item.index, worker);
   } catch (...) {
     const std::lock_guard<std::mutex> lock(b->errorMutex);
     if (!b->error) {
@@ -86,9 +95,9 @@ void ThreadPool::runTask(std::size_t task, std::size_t worker) {
 void ThreadPool::workerLoop(std::size_t id) {
   obs::Registry::labelCurrentThread("worker-" + std::to_string(id));
   while (true) {
-    std::size_t task = 0;
-    if (popLocal(id, task) || stealTask(id, task)) {
-      runTask(task, id);
+    Item item;
+    if (popLocal(id, item) || stealTask(id, item)) {
+      runTask(std::move(item), id);
       continue;
     }
     std::unique_lock<std::mutex> lock(wakeMutex);
@@ -113,7 +122,6 @@ void ThreadPool::parallelFor(
   Batch current;
   current.body = &body;
   current.remaining.store(numTasks, std::memory_order_relaxed);
-  batch.store(&current, std::memory_order_release);
 
   // Deal tasks round-robin: task i starts on queue i % W. Deterministic, so
   // the 1-worker run and the 8-worker run enumerate identical task sets per
@@ -122,7 +130,7 @@ void ThreadPool::parallelFor(
   for (std::size_t i = 0; i < numTasks; ++i) {
     WorkerQueue& q = *queues[i % count];
     const std::lock_guard<std::mutex> lock(q.mutex);
-    q.tasks.push_back(i);
+    q.tasks.push_back(Item{&current, i, {}});
     // Incremented under the queue lock that also guards the matching pop,
     // so `queued` can never be decremented before its increment.
     queued.fetch_add(1, std::memory_order_relaxed);
@@ -140,10 +148,26 @@ void ThreadPool::parallelFor(
       return current.remaining.load(std::memory_order_acquire) == 0;
     });
   }
-  batch.store(nullptr, std::memory_order_release);
   if (current.error) {
     std::rethrow_exception(current.error);
   }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t target =
+      submitCursor.fetch_add(1, std::memory_order_relaxed) % queues.size();
+  {
+    WorkerQueue& q = *queues[target];
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    q.tasks.push_back(Item{nullptr, 0, std::move(task)});
+    queued.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    // Empty critical section, same as parallelFor: a worker between
+    // evaluating the wait predicate and blocking finishes doing so first.
+    const std::lock_guard<std::mutex> lock(wakeMutex);
+  }
+  wakeCv.notify_all();
 }
 
 ThreadPool::Stats ThreadPool::stats() const {
@@ -153,6 +177,7 @@ ThreadPool::Stats ThreadPool::stats() const {
     s.executedPerWorker.push_back(q->executed.load(std::memory_order_relaxed));
   }
   s.steals = stealCount.load(std::memory_order_relaxed);
+  s.detachedErrors = detachedErrorCount.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -310,6 +310,7 @@ AggregatorSink::Bucket& AggregatorSink::resolve(const SpanRecord& span) {
 }
 
 void AggregatorSink::onSpan(const SpanRecord& span) {
+  const std::lock_guard<std::recursive_mutex> lock(mutex);
   const Bucket& bucket = resolve(span);
   if (bucket.durations->size() < MAX_SAMPLES) {
     bucket.durations->push_back(span.durUs);
@@ -320,10 +321,12 @@ void AggregatorSink::onSpan(const SpanRecord& span) {
 }
 
 void AggregatorSink::onStep(const StepMetrics& step) {
+  const std::lock_guard<std::recursive_mutex> lock(mutex);
   stepSeries.push_back(step);
 }
 
 double AggregatorSink::percentileUs(const std::string& key, double p) const {
+  const std::lock_guard<std::recursive_mutex> lock(mutex);
   const auto it = samples.find(key);
   if (it == samples.end() || it->second.empty()) {
     return 0.;
@@ -340,6 +343,7 @@ double AggregatorSink::percentileUs(const std::string& key, double p) const {
 }
 
 LatencySummary AggregatorSink::summary(const std::string& key) const {
+  const std::lock_guard<std::recursive_mutex> lock(mutex);
   LatencySummary s;
   const auto it = samples.find(key);
   if (it == samples.end() || it->second.empty()) {
@@ -357,6 +361,7 @@ LatencySummary AggregatorSink::summary(const std::string& key) const {
 }
 
 std::vector<std::string> AggregatorSink::keys() const {
+  const std::lock_guard<std::recursive_mutex> lock(mutex);
   std::vector<std::string> out;
   out.reserve(samples.size());
   for (const auto& [key, bucket] : samples) {
@@ -368,6 +373,7 @@ std::vector<std::string> AggregatorSink::keys() const {
 }
 
 std::size_t AggregatorSink::peakStepNodes() const noexcept {
+  const std::lock_guard<std::recursive_mutex> lock(mutex);
   std::size_t peak = 0;
   for (const auto& step : stepSeries) {
     peak = std::max(peak, step.nodes);
@@ -376,6 +382,7 @@ std::size_t AggregatorSink::peakStepNodes() const noexcept {
 }
 
 std::string AggregatorSink::summaryTable() const {
+  const std::lock_guard<std::recursive_mutex> lock(mutex);
   std::ostringstream out;
   char line[256];
   std::snprintf(line, sizeof(line), "%-24s %8s %12s %10s %10s %10s %10s\n",
@@ -407,6 +414,7 @@ std::string AggregatorSink::summaryTable() const {
 }
 
 std::string AggregatorSink::toJson() const {
+  const std::lock_guard<std::recursive_mutex> lock(mutex);
   std::string out = "{\"spans\":{";
   bool first = true;
   for (const auto& key : keys()) {

@@ -1,0 +1,54 @@
+#include "qdd/service/Deadline.hpp"
+
+namespace qdd::service {
+
+DeadlineTimer::DeadlineTimer() : worker([this] { loop(); }) {}
+
+DeadlineTimer::~DeadlineTimer() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    stopping = true;
+  }
+  cv.notify_all();
+  worker.join();
+}
+
+exec::CancellationToken DeadlineTimer::arm(std::int64_t deadlineMs) {
+  exec::CancellationToken token;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++armed;
+    if (deadlineMs <= 0) {
+      token.cancel();
+      return token;
+    }
+    heap.push(Entry{Clock::now() + std::chrono::milliseconds(deadlineMs),
+                    token});
+  }
+  cv.notify_all();
+  return token;
+}
+
+std::size_t DeadlineTimer::armedCount() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return armed;
+}
+
+void DeadlineTimer::loop() {
+  std::unique_lock<std::mutex> lock(mutex);
+  while (!stopping) {
+    if (heap.empty()) {
+      cv.wait(lock, [this] { return stopping || !heap.empty(); });
+      continue;
+    }
+    const Clock::time_point next = heap.top().fireAt;
+    if (Clock::now() >= next) {
+      heap.top().token.cancel();
+      heap.pop();
+      continue;
+    }
+    cv.wait_until(lock, next);
+  }
+}
+
+} // namespace qdd::service

@@ -1,0 +1,229 @@
+#include "qdd/service/HttpServer.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qdd::service {
+
+HttpServer::HttpServer(ServerOptions options, Router& router,
+                       ServiceMetrics& metrics)
+    : options(std::move(options)), router(router), metrics(metrics),
+      pool(this->options.workers) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  listenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd < 0) {
+    throw std::runtime_error("HttpServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bindAddress.c_str(), &addr.sin_addr) !=
+      1) {
+    throw std::runtime_error("HttpServer: bad bind address '" +
+                             options.bindAddress + "'");
+  }
+  if (::bind(listenFd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw std::runtime_error("HttpServer: cannot bind " +
+                             options.bindAddress + ":" +
+                             std::to_string(options.port) + ": " +
+                             std::strerror(errno));
+  }
+  if (::listen(listenFd, 64) != 0) {
+    throw std::runtime_error("HttpServer: listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listenFd, reinterpret_cast<sockaddr*>(&bound), &len);
+  boundPort = ntohs(bound.sin_port);
+
+  acceptor = std::thread([this] { acceptLoop(); });
+}
+
+void HttpServer::acceptLoop() {
+  while (!stopping.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listenFd;
+    pfd.events = POLLIN;
+    // short poll timeout so stop() is observed promptly
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) {
+      continue;
+    }
+    const int fd = ::accept(listenFd, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    if (stopping.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      continue;
+    }
+    trackOpen(fd);
+    pool.submit([this, fd] { handleConnection(fd); });
+  }
+}
+
+void HttpServer::handleConnection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // recv() on an idle keep-alive connection returns after this long, which
+  // readHttpRequest reports as Closed — freeing the pool worker
+  timeval tv{};
+  tv.tv_sec = options.idleTimeoutMs / 1000;
+  tv.tv_usec = (options.idleTimeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  std::string carry;
+  for (;;) {
+    HttpRequest request;
+    const ReadOutcome outcome =
+        readHttpRequest(fd, request, carry, options.maxBodyBytes);
+    if (outcome == ReadOutcome::Closed) {
+      break;
+    }
+    if (outcome == ReadOutcome::Malformed) {
+      HttpResponse response =
+          errorResponse(400, "malformed_request", "unparseable HTTP request");
+      response.close = true;
+      metrics.recordTransportError(400);
+      writeHttpResponse(fd, response);
+      break;
+    }
+    if (outcome == ReadOutcome::TooLarge) {
+      HttpResponse response = errorResponse(
+          413, "payload_too_large",
+          "request exceeds the " + std::to_string(options.maxBodyBytes) +
+              "-byte body limit");
+      response.close = true;
+      metrics.recordTransportError(413);
+      writeHttpResponse(fd, response);
+      break;
+    }
+    if (outcome == ReadOutcome::Unsupported) {
+      HttpResponse response = errorResponse(
+          501, "unsupported", "Transfer-Encoding is not supported");
+      response.close = true;
+      metrics.recordTransportError(501);
+      writeHttpResponse(fd, response);
+      break;
+    }
+
+    if (drainingFlag.load(std::memory_order_relaxed) ||
+        stopping.load(std::memory_order_relaxed)) {
+      HttpResponse response = errorResponse(
+          503, "draining", "server is draining; retry against a new server");
+      response.close = true;
+      // count before writing: once the client has the 503, the counters
+      // already reflect it
+      metrics.countDrainRejected();
+      metrics.recordTransportError(503);
+      writeHttpResponse(fd, response);
+      break;
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(connMutex);
+      ++inFlight;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    Router::Dispatch dispatched;
+    try {
+      dispatched = router.dispatch(request);
+    } catch (const std::exception& e) {
+      dispatched.response = errorResponse(500, "internal_error", e.what());
+    } catch (...) {
+      dispatched.response =
+          errorResponse(500, "internal_error", "unknown error");
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    metrics.recordRequest(dispatched.pattern.empty()
+                              ? request.method + " " + request.path
+                              : request.method + " " + dispatched.pattern,
+                          dispatched.response.status, ms);
+    {
+      const std::lock_guard<std::mutex> lock(connMutex);
+      --inFlight;
+    }
+    connCv.notify_all();
+
+    dispatched.response.close =
+        dispatched.response.close || !request.keepAlive;
+    if (!writeHttpResponse(fd, dispatched.response) ||
+        dispatched.response.close) {
+      break;
+    }
+  }
+  ::close(fd);
+  trackClosed(fd);
+}
+
+void HttpServer::trackOpen(int fd) {
+  const std::lock_guard<std::mutex> lock(connMutex);
+  openFds.insert(fd);
+}
+
+void HttpServer::trackClosed(int fd) {
+  {
+    const std::lock_guard<std::mutex> lock(connMutex);
+    openFds.erase(fd);
+  }
+  connCv.notify_all();
+}
+
+std::size_t HttpServer::openConnections() const {
+  const std::lock_guard<std::mutex> lock(connMutex);
+  return openFds.size();
+}
+
+bool HttpServer::awaitIdle(int timeoutMs) {
+  std::unique_lock<std::mutex> lock(connMutex);
+  return connCv.wait_for(lock, std::chrono::milliseconds(timeoutMs),
+                         [this] { return inFlight == 0; });
+}
+
+void HttpServer::stop() {
+  if (stopping.exchange(true)) {
+    return;
+  }
+  if (acceptor.joinable()) {
+    acceptor.join();
+  }
+  if (listenFd >= 0) {
+    ::close(listenFd);
+    listenFd = -1;
+  }
+  // Unblock handlers sitting in recv(); they observe EOF, answer nothing,
+  // and exit their loops. The pool destructor would wait for them anyway —
+  // shutdown just makes that wait short.
+  {
+    const std::lock_guard<std::mutex> lock(connMutex);
+    for (const int fd : openFds) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(connMutex);
+    connCv.wait_for(lock, std::chrono::seconds(10),
+                    [this] { return openFds.empty(); });
+  }
+}
+
+} // namespace qdd::service

@@ -1,0 +1,110 @@
+#include "qdd/service/Metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qdd::service {
+
+namespace {
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) {
+    return 0.;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100. * static_cast<double>(samples.size());
+  std::size_t idx =
+      rank <= 1. ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  idx = std::min(idx, samples.size() - 1);
+  return samples[idx];
+}
+
+} // namespace
+
+void ServiceMetrics::recordRequest(const std::string& pattern, int status,
+                                   double ms) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  ++total;
+  ++byStatus[status];
+  Route& route = routes[pattern];
+  ++route.count;
+  route.totalMs += ms;
+  route.maxMs = std::max(route.maxMs, ms);
+  if (route.samples.size() < MAX_SAMPLES) {
+    route.samples.push_back(ms);
+  }
+}
+
+void ServiceMetrics::recordTransportError(int status) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  ++total;
+  ++byStatus[status];
+}
+
+std::size_t ServiceMetrics::requests() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return total;
+}
+
+std::size_t ServiceMetrics::statusCount(int status) const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto it = byStatus.find(status);
+  return it == byStatus.end() ? 0 : it->second;
+}
+
+std::size_t ServiceMetrics::deadlineTimeouts() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return deadlineTimeoutsN;
+}
+
+std::size_t ServiceMetrics::sessionsCreated() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return sessionsCreatedN;
+}
+
+std::size_t ServiceMetrics::sessionsEvicted() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return sessionsEvictedN;
+}
+
+std::size_t ServiceMetrics::drainRejected() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return drainRejectedN;
+}
+
+json::Value ServiceMetrics::toJson() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  json::Value doc = json::Value::object();
+  doc.set("requests", json::Value::number(static_cast<double>(total)));
+
+  json::Value statuses = json::Value::object();
+  for (const auto& [status, count] : byStatus) {
+    statuses.set(std::to_string(status),
+                 json::Value::number(static_cast<double>(count)));
+  }
+  doc.set("byStatus", std::move(statuses));
+
+  json::Value routeDoc = json::Value::object();
+  for (const auto& [pattern, route] : routes) {
+    json::Value r = json::Value::object();
+    r.set("count", json::Value::number(static_cast<double>(route.count)));
+    r.set("totalMs", json::Value::number(route.totalMs));
+    r.set("maxMs", json::Value::number(route.maxMs));
+    r.set("p50Ms", json::Value::number(percentile(route.samples, 50.)));
+    r.set("p95Ms", json::Value::number(percentile(route.samples, 95.)));
+    routeDoc.set(pattern, std::move(r));
+  }
+  doc.set("routes", std::move(routeDoc));
+
+  doc.set("sessionsCreated",
+          json::Value::number(static_cast<double>(sessionsCreatedN)));
+  doc.set("sessionsEvicted",
+          json::Value::number(static_cast<double>(sessionsEvictedN)));
+  doc.set("deadlineTimeouts",
+          json::Value::number(static_cast<double>(deadlineTimeoutsN)));
+  doc.set("drainRejected",
+          json::Value::number(static_cast<double>(drainRejectedN)));
+  return doc;
+}
+
+} // namespace qdd::service

@@ -1,0 +1,94 @@
+#include "qdd/service/Router.hpp"
+
+#include "qdd/service/Json.hpp"
+
+namespace qdd::service {
+
+std::string errorBody(int status, const std::string& code,
+                      const std::string& message) {
+  json::Value error = json::Value::object();
+  error.set("code", json::Value::string(code));
+  error.set("message", json::Value::string(message));
+  error.set("status", json::Value::number(status));
+  json::Value doc = json::Value::object();
+  doc.set("error", std::move(error));
+  return doc.dump();
+}
+
+HttpResponse errorResponse(int status, const std::string& code,
+                           const std::string& message) {
+  return HttpResponse::json(status, errorBody(status, code, message));
+}
+
+std::vector<std::string> Router::split(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    if (path[pos] == '/') {
+      ++pos;
+      continue;
+    }
+    const std::size_t next = path.find('/', pos);
+    parts.push_back(path.substr(
+        pos, next == std::string::npos ? std::string::npos : next - pos));
+    if (next == std::string::npos) {
+      break;
+    }
+    pos = next;
+  }
+  return parts;
+}
+
+void Router::add(const std::string& method, const std::string& pattern,
+                 Handler handler) {
+  Route route;
+  route.method = method;
+  route.pattern = pattern;
+  route.segments = split(pattern);
+  route.handler = std::move(handler);
+  routes.push_back(std::move(route));
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& parts,
+                   PathParams& params) {
+  if (route.segments.size() != parts.size()) {
+    return false;
+  }
+  PathParams captured;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const std::string& seg = route.segments[i];
+    if (seg.size() >= 2 && seg.front() == '{' && seg.back() == '}') {
+      captured[seg.substr(1, seg.size() - 2)] = parts[i];
+    } else if (seg != parts[i]) {
+      return false;
+    }
+  }
+  params = std::move(captured);
+  return true;
+}
+
+Router::Dispatch Router::dispatch(const HttpRequest& request) const {
+  const std::vector<std::string> parts = split(request.path);
+  bool pathExists = false;
+  for (const Route& route : routes) {
+    PathParams params;
+    if (!match(route, parts, params)) {
+      continue;
+    }
+    pathExists = true;
+    if (route.method != request.method) {
+      continue;
+    }
+    return Dispatch{route.handler(request, params), route.pattern};
+  }
+  if (pathExists) {
+    return Dispatch{errorResponse(405, "method_not_allowed",
+                                  "method " + request.method +
+                                      " not allowed on " + request.path),
+                    ""};
+  }
+  return Dispatch{
+      errorResponse(404, "not_found", "no route for " + request.path), ""};
+}
+
+} // namespace qdd::service

@@ -1,0 +1,128 @@
+#include "qdd/service/SessionStore.hpp"
+
+#include <algorithm>
+
+namespace qdd::service {
+
+SessionStore::SessionStore(std::size_t maxSessions, std::int64_t ttlMs)
+    : maxSessions(maxSessions), ttlMs(ttlMs) {}
+
+std::shared_ptr<SessionStore::Entry> SessionStore::create(std::string kind) {
+  evictExpired();
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (entries.size() >= maxSessions) {
+    return nullptr;
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->id = "s" + std::to_string(nextId++);
+  entry->kind = std::move(kind);
+  entry->lastUsed = std::chrono::steady_clock::now();
+  entries[entry->id] = entry;
+  ++createdN;
+  return entry;
+}
+
+std::shared_ptr<SessionStore::Entry>
+SessionStore::find(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto it = entries.find(id);
+  if (it == entries.end()) {
+    return nullptr;
+  }
+  it->second->lastUsed = std::chrono::steady_clock::now();
+  return it->second;
+}
+
+bool SessionStore::erase(const std::string& id) {
+  std::shared_ptr<Entry> removed;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    const auto it = entries.find(id);
+    if (it == entries.end()) {
+      return false;
+    }
+    removed = it->second;
+    entries.erase(it);
+    ++evictedN;
+  }
+  retire(removed);
+  return true;
+}
+
+std::size_t SessionStore::evictExpired() {
+  if (ttlMs <= 0) {
+    return 0;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<Entry>> expired;
+  {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (auto it = entries.begin(); it != entries.end();) {
+      const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            now - it->second->lastUsed)
+                            .count();
+      if (idle > ttlMs) {
+        expired.push_back(it->second);
+        it = entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    evictedN += expired.size();
+  }
+  // oldest first, for a deterministic retirement order
+  std::sort(expired.begin(), expired.end(),
+            [](const auto& a, const auto& b) {
+              return a->lastUsed < b->lastUsed;
+            });
+  for (const auto& entry : expired) {
+    retire(entry);
+  }
+  return expired.size();
+}
+
+void SessionStore::retire(const std::shared_ptr<Entry>& entry) {
+  // A request may still be mid-flight on this session (it holds a shared_ptr
+  // through the map snapshot it took); its mutex serializes us behind it.
+  mem::StatsRegistry stats;
+  {
+    const std::lock_guard<std::mutex> entryLock(entry->mutex);
+    if (entry->package) {
+      stats = entry->package->statistics();
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex);
+  retired.merge(stats);
+}
+
+std::size_t SessionStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return entries.size();
+}
+
+std::size_t SessionStore::created() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return createdN;
+}
+
+std::size_t SessionStore::evicted() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return evictedN;
+}
+
+std::vector<std::shared_ptr<SessionStore::Entry>> SessionStore::list() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::vector<std::shared_ptr<Entry>> out;
+  out.reserve(entries.size());
+  for (const auto& [id, entry] : entries) {
+    out.push_back(entry);
+  }
+  return out;
+}
+
+mem::StatsRegistry SessionStore::retiredStats() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return retired;
+}
+
+} // namespace qdd::service

@@ -196,9 +196,12 @@ bool SimulationSession::stepBackward() {
   return true;
 }
 
-std::size_t SimulationSession::runToEnd() {
+std::size_t SimulationSession::runToEnd(const std::atomic<bool>* cancel) {
   std::size_t steps = 0;
   while (!atEnd()) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      break; // deadline/cancellation: stop at the gate boundary
+    }
     const ir::Operation& op = qc.at(pos);
     stepForward();
     ++steps;

@@ -30,6 +30,8 @@
 #include "qdd/obs/Sinks.hpp"
 #include "qdd/parser/qasm/Parser.hpp"
 #include "qdd/parser/real/RealParser.hpp"
+#include "qdd/service/Api.hpp"
+#include "qdd/service/HttpServer.hpp"
 #include "qdd/synth/Synthesis.hpp"
 #include "qdd/sim/SimulationSession.hpp"
 #include "qdd/verify/VerificationSession.hpp"
@@ -40,9 +42,13 @@
 #include "qdd/viz/SvgExporter.hpp"
 #include "qdd/viz/TextDump.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <thread>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -553,6 +559,114 @@ int runShow(const std::string& path) {
   return 0;
 }
 
+// --- serve mode ---------------------------------------------------------------
+
+/// SIGINT counter: the first signal starts a graceful drain, the second
+/// aborts the wait and stops immediately.
+std::atomic<int> serveSignals{0};
+
+void onServeSignal(int /*signum*/) {
+  serveSignals.fetch_add(1, std::memory_order_relaxed);
+}
+
+int runServe(int argc, char** argv, int first) {
+  service::ServerOptions serverOpts;
+  service::ApiOptions apiOpts;
+  bool enableObs = false;
+  int drainMs = 5000;
+  for (int i = first; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto intArg = [&](const char* name) -> long {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(name) +
+                                 " requires a numeric argument");
+      }
+      return std::strtol(argv[++i], nullptr, 10);
+    };
+    if (flag == "--port") {
+      serverOpts.port = static_cast<std::uint16_t>(intArg("--port"));
+    } else if (flag == "--workers") {
+      serverOpts.workers = static_cast<std::size_t>(intArg("--workers"));
+    } else if (flag == "--max-sessions") {
+      apiOpts.maxSessions = static_cast<std::size_t>(intArg("--max-sessions"));
+    } else if (flag == "--max-qubits") {
+      apiOpts.maxQubits = static_cast<std::size_t>(intArg("--max-qubits"));
+    } else if (flag == "--max-body") {
+      serverOpts.maxBodyBytes = static_cast<std::size_t>(intArg("--max-body"));
+    } else if (flag == "--ttl") {
+      apiOpts.sessionTtlMs = intArg("--ttl") * 1000;
+    } else if (flag == "--deadline") {
+      apiOpts.defaultDeadlineMs = intArg("--deadline");
+    } else if (flag == "--drain-timeout") {
+      drainMs = static_cast<int>(intArg("--drain-timeout"));
+    } else if (flag == "--obs") {
+      enableObs = true;
+    } else {
+      std::fprintf(stderr, "serve: unknown flag '%s'\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  service::ServiceMetrics metrics;
+  service::Api api(apiOpts, metrics);
+  std::shared_ptr<obs::AggregatorSink> aggregator;
+  if (enableObs) {
+    aggregator = std::make_shared<obs::AggregatorSink>();
+    obs::Registry::instance().addSink(aggregator);
+    obs::Registry::instance().setEnabled(true);
+    api.setAggregator(aggregator);
+  }
+  service::Router router;
+  api.install(router);
+  service::HttpServer server(serverOpts, router, metrics);
+  api.setDrainingProbe([&server] { return server.draining(); });
+  server.start();
+
+  // grep-able startup line: scripted drivers read the actual (possibly
+  // ephemeral) port from here
+  std::printf("SERVE_READY port=%u workers=%zu max-sessions=%zu\n",
+              static_cast<unsigned>(server.port()), serverOpts.workers,
+              apiOpts.maxSessions);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, onServeSignal);
+  std::signal(SIGTERM, onServeSignal);
+  while (serveSignals.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("SERVE_DRAINING (new requests get 503; Ctrl-C again to force)\n");
+  std::fflush(stdout);
+  server.drain();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(drainMs);
+  while (std::chrono::steady_clock::now() < deadline &&
+         serveSignals.load(std::memory_order_relaxed) < 2) {
+    if (server.awaitIdle(100)) {
+      break;
+    }
+  }
+  server.stop();
+
+  const std::string summary = metrics.toJson().dump();
+  std::printf("SERVE_STOPPED requests=%zu\n", metrics.requests());
+  if (outPath.empty()) {
+    std::fprintf(stderr, "%s\n", summary.c_str());
+  } else {
+    std::ofstream out(outPath);
+    if (!out) {
+      throw std::runtime_error("cannot open --out file for writing: " +
+                               outPath);
+    }
+    out << summary << "\n";
+  }
+  if (aggregator) {
+    obs::Registry::instance().setEnabled(false);
+    obs::Registry::instance().removeSink(aggregator);
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -574,6 +688,14 @@ int main(int argc, char** argv) {
   }
   argc = static_cast<int>(args.size());
   argv = args.data();
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    try {
+      return runServe(argc, argv, 2);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage:\n"
@@ -587,11 +709,15 @@ int main(int argc, char** argv) {
                  "  %s batch <directory> [--workers N --shots S --seed X]\n"
                  "  %s pverify <left.{qasm,real}> <right.{qasm,real}> "
                  "[--workers N --seed X]\n"
+                 "  %s serve [--port N --workers W --max-sessions S "
+                 "--max-qubits Q\n"
+                 "            --max-body BYTES --ttl SECONDS --deadline MS "
+                 "--obs]\n"
                  "global flags: --stats (dump stats JSON), --out <file>\n"
                  "  (--out routes machine-readable JSON to <file>; without it,\n"
                  "   JSON goes to stderr and stdout stays human-readable)\n",
                  argv[0], argv[0], argv[0], argv[0], argv[0], argv[0],
-                 argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   try {

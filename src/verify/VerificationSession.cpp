@@ -113,10 +113,15 @@ std::size_t VerificationSession::runRightToBarrier() {
   return steps;
 }
 
-CheckResult VerificationSession::runToCompletion() {
+CheckResult VerificationSession::runToCompletion(
+    const std::atomic<bool>* cancel) {
   CheckResult result;
   result.method = "session/barrier-sync";
   while (!finished()) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      break; // deadline/cancellation: stop at the gate boundary
+    }
     const std::size_t before = history.size();
     stepLeft();
     runRightToBarrier();

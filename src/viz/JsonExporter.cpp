@@ -2,56 +2,113 @@
 
 #include "qdd/viz/Color.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 namespace qdd::viz {
 
-namespace {
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+    case '"':
+      out += "\\\"";
+      break;
+    case '\\':
+      out += "\\\\";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    case '\r':
+      out += "\\r";
+      break;
+    case '\t':
+      out += "\\t";
+      break;
+    case '\b':
+      out += "\\b";
+      break;
+    case '\f':
+      out += "\\f";
+      break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(c)));
+        out += buf;
+      } else {
+        out += c;
+      }
+      break;
+    }
+  }
+  return out;
+}
 
-std::string num(double v, int precision) {
+std::string jsonNumber(double v, int precision) {
+  if (!std::isfinite(v)) {
+    return "null"; // NaN/Inf have no JSON literal; never emit them bare
+  }
   std::ostringstream ss;
   ss.precision(precision);
   ss << v;
   return ss.str();
 }
 
+namespace {
+
 std::string weightJson(const ComplexValue& w, int precision) {
   std::ostringstream ss;
-  ss << "{\"re\": " << num(w.re, precision) << ", \"im\": "
-     << num(w.im, precision) << ", \"mag\": " << num(w.mag(), precision)
-     << ", \"phase\": " << num(w.arg(), precision) << ", \"color\": \""
+  ss << "{\"re\": " << jsonNumber(w.re, precision) << ", \"im\": "
+     << jsonNumber(w.im, precision) << ", \"mag\": "
+     << jsonNumber(w.mag(), precision) << ", \"phase\": "
+     << jsonNumber(w.arg(), precision) << ", \"color\": \""
      << weightToColor(w).toHex() << "\", \"thickness\": "
-     << num(magnitudeToThickness(w.mag()), 3) << "}";
+     << jsonNumber(magnitudeToThickness(w.mag()), 3) << "}";
   return ss.str();
 }
 
 } // namespace
 
 std::string JsonExporter::toJson(const Graph& g) const {
+  // Layout strings: newline + indentation collapse to nothing in compact
+  // mode; the emitted structure is identical either way.
+  const char* nl = compact ? "" : "\n";
+  const char* ind = compact ? "" : "  ";
+  const char* ind2 = compact ? "" : "    ";
+  const char* sp = compact ? "" : " ";
+
   std::ostringstream ss;
-  ss << "{\n";
-  ss << "  \"kind\": \"" << (g.isMatrix ? "matrix" : "vector") << "\",\n";
-  ss << "  \"radix\": " << g.radix << ",\n";
+  ss << "{" << nl;
+  ss << ind << "\"kind\":" << sp << "\""
+     << (g.isMatrix ? "matrix" : "vector") << "\"," << nl;
+  ss << ind << "\"radix\":" << sp << g.radix << "," << nl;
   if (g.empty()) {
-    ss << "  \"zero\": true,\n  \"nodes\": [],\n  \"edges\": []\n}\n";
+    ss << ind << "\"zero\":" << sp << "true," << nl << ind << "\"nodes\":"
+       << sp << "[]," << nl << ind << "\"edges\":" << sp << "[]" << nl << "}"
+       << nl;
     return ss.str();
   }
-  ss << "  \"root\": {\"node\": " << g.rootNode
-     << ", \"weight\": " << weightJson(g.rootWeight, precision) << "},\n";
-  ss << "  \"nodes\": [\n";
+  ss << ind << "\"root\":" << sp << "{\"node\": " << g.rootNode
+     << ", \"weight\": " << weightJson(g.rootWeight, precision) << "}," << nl;
+  ss << ind << "\"nodes\":" << sp << "[" << nl;
   for (std::size_t k = 0; k < g.nodes.size(); ++k) {
-    ss << "    {\"id\": " << g.nodes[k].id
-       << ", \"level\": " << g.nodes[k].level << ", \"label\": \"q"
-       << g.nodes[k].level << "\"}" << (k + 1 < g.nodes.size() ? "," : "")
-       << "\n";
+    ss << ind2 << "{\"id\": " << g.nodes[k].id
+       << ", \"level\": " << g.nodes[k].level << ", \"label\": \""
+       << jsonEscape("q" + std::to_string(g.nodes[k].level)) << "\"}"
+       << (k + 1 < g.nodes.size() ? "," : "") << nl;
   }
-  ss << "  ],\n";
-  ss << "  \"edges\": [\n";
+  ss << ind << "]," << nl;
+  ss << ind << "\"edges\":" << sp << "[" << nl;
   for (std::size_t k = 0; k < g.edges.size(); ++k) {
     const auto& e = g.edges[k];
-    ss << "    {\"from\": " << e.from << ", \"port\": " << e.port;
+    ss << ind2 << "{\"from\": " << e.from << ", \"port\": " << e.port;
     if (e.zeroStub) {
       ss << ", \"zeroStub\": true";
     } else {
@@ -60,9 +117,12 @@ std::string JsonExporter::toJson(const Graph& g) const {
                                         : std::to_string(e.to))
          << ", \"weight\": " << weightJson(e.weight, precision);
     }
-    ss << "}" << (k + 1 < g.edges.size() ? "," : "") << "\n";
+    ss << "}" << (k + 1 < g.edges.size() ? "," : "") << nl;
   }
-  ss << "  ]\n}\n";
+  ss << ind << "]" << nl << "}";
+  if (!compact) {
+    ss << "\n";
+  }
   return ss.str();
 }
 

@@ -12,27 +12,8 @@ namespace qdd::viz {
 
 namespace {
 
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-    case '"':
-      out += "\\\"";
-      break;
-    case '\\':
-      out += "\\\\";
-      break;
-    case '\n':
-      out += "\\n";
-      break;
-    default:
-      out += c;
-      break;
-    }
-  }
-  return out;
-}
+// (string escaping lives in JsonExporter.hpp: viz::jsonEscape handles
+// quotes, backslashes, and every control character)
 
 /// Indents every line of a JSON fragment for embedding.
 std::string indent(const std::string& text, const std::string& pad) {

@@ -1,0 +1,521 @@
+// Loopback protocol tests of qdd::service: session lifecycle over real
+// sockets, admission control (413/429), deadline enforcement (structured
+// 408 with the work stopped at a gate boundary), TTL eviction, drain mode,
+// and concurrent session isolation.
+
+#include "qdd/service/Api.hpp"
+#include "qdd/service/HttpServer.hpp"
+#include "qdd/service/Json.hpp"
+#include "qdd/service/Router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace qdd;
+using service::json::Value;
+
+// --- json unit ---------------------------------------------------------------
+
+TEST(ServiceJsonTest, RoundTripsDocuments) {
+  const std::string doc =
+      R"({"a": [1, 2.5, -3e2], "b": {"nested": true}, "s": "x\ny", "z": null})";
+  const Value v = Value::parse(doc);
+  EXPECT_DOUBLE_EQ(v.find("a")->asArray()[2].asNumber(), -300.);
+  EXPECT_TRUE(v.find("b")->getBool("nested", false));
+  EXPECT_EQ(v.find("s")->asString(), "x\ny");
+  EXPECT_TRUE(v.find("z")->isNull());
+  // dump -> parse -> dump is a fixed point
+  const std::string dumped = Value::parse(v.dump()).dump();
+  EXPECT_EQ(dumped, v.dump());
+}
+
+TEST(ServiceJsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(Value::parse(""), service::json::ParseError);
+  EXPECT_THROW(Value::parse("{\"a\": 1,}"), service::json::ParseError);
+  EXPECT_THROW(Value::parse("{} trailing"), service::json::ParseError);
+  EXPECT_THROW(Value::parse("\"unterminated"), service::json::ParseError);
+  EXPECT_THROW(Value::parse("\"bad \x01 control\""),
+               service::json::ParseError);
+  EXPECT_THROW(Value::parse("+1"), service::json::ParseError);
+  EXPECT_THROW(Value::parse("1e999"), service::json::ParseError); // Inf
+  std::string deep;
+  for (int i = 0; i < 100; ++i) {
+    deep += "[";
+  }
+  EXPECT_THROW(Value::parse(deep), service::json::ParseError);
+}
+
+TEST(ServiceJsonTest, DecodesUnicodeEscapes) {
+  const Value v = Value::parse(R"("pi: π, tab: \t")");
+  EXPECT_EQ(v.asString(), "pi: \xcf\x80, tab: \t");
+}
+
+TEST(ServiceJsonTest, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(Value::number(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+  EXPECT_EQ(Value::number(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+// --- router unit -------------------------------------------------------------
+
+TEST(ServiceRouterTest, MatchesPatternsAndCaptures) {
+  service::Router router;
+  std::string seen;
+  router.add("GET", "/v1/sessions/{id}/dd",
+             [&seen](const service::HttpRequest&,
+                     const service::PathParams& params) {
+               seen = params.at("id");
+               return service::HttpResponse::json(200, "{}");
+             });
+  service::HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/sessions/s42/dd";
+  const auto hit = router.dispatch(request);
+  EXPECT_EQ(hit.response.status, 200);
+  EXPECT_EQ(hit.pattern, "/v1/sessions/{id}/dd");
+  EXPECT_EQ(seen, "s42");
+
+  request.path = "/v1/unknown";
+  EXPECT_EQ(router.dispatch(request).response.status, 404);
+  request.path = "/v1/sessions/s42/dd";
+  request.method = "DELETE";
+  EXPECT_EQ(router.dispatch(request).response.status, 405);
+}
+
+// --- loopback fixture --------------------------------------------------------
+
+struct TestServer {
+  explicit TestServer(service::ApiOptions apiOpts = {},
+                      service::ServerOptions serverOpts = {}) {
+    api = std::make_unique<service::Api>(apiOpts, metrics);
+    api->install(router);
+    server =
+        std::make_unique<service::HttpServer>(serverOpts, router, metrics);
+    api->setDrainingProbe([this] { return server->draining(); });
+    server->start();
+  }
+
+  [[nodiscard]] service::HttpClient client() const {
+    return service::HttpClient("127.0.0.1", server->port());
+  }
+
+  service::ServiceMetrics metrics;
+  service::Router router;
+  std::unique_ptr<service::Api> api;
+  std::unique_ptr<service::HttpServer> server;
+};
+
+Value parsed(const service::HttpClient::Result& result) {
+  return Value::parse(result.body);
+}
+
+std::string errorCode(const service::HttpClient::Result& result) {
+  return parsed(result).find("error")->getString("code", "");
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+TEST(ServiceApiTest, SimulationSessionLifecycle) {
+  TestServer ts;
+  auto client = ts.client();
+
+  auto created = client.request("POST", "/v1/sessions",
+                                R"({"builder": {"name": "bell"}})");
+  ASSERT_EQ(created.status, 201);
+  Value doc = parsed(created);
+  const std::string id = doc.getString("id", "");
+  EXPECT_EQ(id, "s1");
+  EXPECT_EQ(doc.getNumber("operations", 0), 2);
+  EXPECT_EQ(doc.getNumber("position", -1), 0);
+  ASSERT_NE(doc.find("dd"), nullptr);
+  EXPECT_EQ(doc.find("dd")->getString("kind", ""), "vector");
+
+  // step forward: H puts q1 in superposition -> 2 nodes along the spine
+  auto stepped =
+      client.request("POST", "/v1/sessions/" + id + "/step", "{}");
+  ASSERT_EQ(stepped.status, 200);
+  doc = parsed(stepped);
+  EXPECT_EQ(doc.getNumber("position", -1), 1);
+  EXPECT_EQ(doc.getNumber("stepsApplied", -1), 1);
+  EXPECT_FALSE(doc.getBool("atEnd", true));
+
+  // run to the end -> Bell state
+  auto ran = client.request("POST", "/v1/sessions/" + id + "/run", "{}");
+  ASSERT_EQ(ran.status, 200);
+  doc = parsed(ran);
+  EXPECT_TRUE(doc.getBool("atEnd", false));
+  const std::string state = doc.getString("state", "");
+  EXPECT_NE(state.find("|00>"), std::string::npos) << state;
+  EXPECT_NE(state.find("|11>"), std::string::npos) << state;
+
+  // step backward
+  auto back = client.request("POST", "/v1/sessions/" + id + "/back", "{}");
+  ASSERT_EQ(back.status, 200);
+  EXPECT_EQ(parsed(back).getNumber("position", -1), 1);
+
+  // reset
+  auto reset = client.request("POST", "/v1/sessions/" + id + "/reset", "{}");
+  ASSERT_EQ(reset.status, 200);
+  EXPECT_EQ(parsed(reset).getNumber("position", -1), 0);
+
+  // export formats
+  auto dot =
+      client.request("GET", "/v1/sessions/" + id + "/dd?fmt=dot");
+  ASSERT_EQ(dot.status, 200);
+  EXPECT_NE(dot.body.find("digraph dd"), std::string::npos);
+  auto svg =
+      client.request("GET", "/v1/sessions/" + id + "/dd?fmt=svg&colored=1");
+  ASSERT_EQ(svg.status, 200);
+  EXPECT_NE(svg.body.find("<svg"), std::string::npos);
+  auto ddJson = client.request("GET", "/v1/sessions/" + id + "/dd");
+  ASSERT_EQ(ddJson.status, 200);
+  EXPECT_EQ(Value::parse(ddJson.body).getString("kind", ""), "vector");
+
+  // delete, then 404
+  EXPECT_EQ(client.request("DELETE", "/v1/sessions/" + id).status, 200);
+  EXPECT_EQ(client.request("GET", "/v1/sessions/" + id).status, 404);
+}
+
+TEST(ServiceApiTest, CreatesSessionFromQasm) {
+  TestServer ts;
+  auto client = ts.client();
+  Value body = Value::object();
+  body.set("qasm", Value::string("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+                                 "qreg q[2];\nh q[0];\ncx q[0],q[1];\n"));
+  auto created = client.request("POST", "/v1/sessions", body.dump());
+  ASSERT_EQ(created.status, 201);
+  EXPECT_EQ(parsed(created).getNumber("qubits", 0), 2);
+}
+
+TEST(ServiceApiTest, VerificationSessionStepsAndRuns) {
+  TestServer ts;
+  auto client = ts.client();
+  const std::string spec =
+      R"({"kind": "verification",
+          "left": {"builder": {"name": "ghz", "qubits": 4}},
+          "right": {"builder": {"name": "ghz", "qubits": 4},
+                    "decompose": true}})";
+  auto created = client.request("POST", "/v1/sessions", spec);
+  ASSERT_EQ(created.status, 201);
+  const std::string id = parsed(created).getString("id", "");
+
+  auto stepped = client.request("POST", "/v1/sessions/" + id + "/step",
+                                R"({"side": "left"})");
+  ASSERT_EQ(stepped.status, 200);
+  EXPECT_EQ(parsed(stepped).getNumber("leftPosition", 0), 1);
+
+  auto ran = client.request("POST", "/v1/sessions/" + id + "/run", "{}");
+  ASSERT_EQ(ran.status, 200);
+  Value doc = parsed(ran);
+  EXPECT_TRUE(doc.getBool("finished", false));
+  EXPECT_EQ(doc.getString("equivalence", ""), "equivalent");
+}
+
+// --- error paths -------------------------------------------------------------
+
+TEST(ServiceApiTest, MalformedJsonIs400) {
+  TestServer ts;
+  auto client = ts.client();
+  auto response =
+      client.request("POST", "/v1/sessions", "{\"builder\": nope}");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(errorCode(response), "invalid_json");
+
+  auto badQasm = client.request("POST", "/v1/sessions",
+                                R"({"qasm": "this is not qasm"})");
+  EXPECT_EQ(badQasm.status, 400);
+  EXPECT_EQ(errorCode(badQasm), "invalid_qasm");
+}
+
+TEST(ServiceApiTest, UnknownSessionIs404) {
+  TestServer ts;
+  auto client = ts.client();
+  auto response = client.request("POST", "/v1/sessions/nope/step", "{}");
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(errorCode(response), "session_not_found");
+}
+
+TEST(ServiceApiTest, OversizeBodyIs413WithoutReadingIt) {
+  service::ServerOptions serverOpts;
+  serverOpts.maxBodyBytes = 256;
+  TestServer ts({}, serverOpts);
+  auto client = ts.client();
+  const std::string big(4096, 'x');
+  auto response = client.request("POST", "/v1/sessions",
+                                 R"({"qasm": ")" + big + R"("})");
+  EXPECT_EQ(response.status, 413);
+  EXPECT_EQ(errorCode(response), "payload_too_large");
+  EXPECT_EQ(ts.metrics.statusCount(413), 1U);
+}
+
+TEST(ServiceApiTest, OversizeCircuitIs413) {
+  service::ApiOptions apiOpts;
+  apiOpts.maxQubits = 10;
+  TestServer ts(apiOpts);
+  auto client = ts.client();
+  auto response = client.request(
+      "POST", "/v1/sessions", R"({"builder": {"name": "ghz", "qubits": 20}})");
+  EXPECT_EQ(response.status, 413);
+  EXPECT_EQ(errorCode(response), "circuit_too_large");
+}
+
+TEST(ServiceApiTest, SessionCapIs429) {
+  service::ApiOptions apiOpts;
+  apiOpts.maxSessions = 2;
+  TestServer ts(apiOpts);
+  auto client = ts.client();
+  const std::string spec = R"({"builder": {"name": "bell"}})";
+  EXPECT_EQ(client.request("POST", "/v1/sessions", spec).status, 201);
+  EXPECT_EQ(client.request("POST", "/v1/sessions", spec).status, 201);
+  auto third = client.request("POST", "/v1/sessions", spec);
+  EXPECT_EQ(third.status, 429);
+  EXPECT_EQ(errorCode(third), "too_many_sessions");
+  // freeing a slot lifts the limit again
+  EXPECT_EQ(client.request("DELETE", "/v1/sessions/s1").status, 200);
+  EXPECT_EQ(client.request("POST", "/v1/sessions", spec).status, 201);
+}
+
+TEST(ServiceApiTest, RawGarbageIs400) {
+  TestServer ts;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ts.server->port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string garbage = "THIS IS NOT HTTP\r\n\r\n";
+  ASSERT_EQ(::send(fd, garbage.data(), garbage.size(), 0),
+            static_cast<ssize_t>(garbage.size()));
+  char buf[256];
+  const ssize_t got = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  ::close(fd);
+  ASSERT_GT(got, 0);
+  buf[got] = '\0';
+  EXPECT_NE(std::string(buf).find("400 Bad Request"), std::string::npos);
+}
+
+// --- TTL eviction ------------------------------------------------------------
+
+TEST(ServiceApiTest, IdleSessionsAreEvicted) {
+  service::ApiOptions apiOpts;
+  apiOpts.sessionTtlMs = 1;
+  TestServer ts(apiOpts);
+  auto client = ts.client();
+  auto created = client.request("POST", "/v1/sessions",
+                                R"({"builder": {"name": "bell"}})");
+  ASSERT_EQ(created.status, 201);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // listing triggers eviction of the idle session
+  auto list = client.request("GET", "/v1/sessions");
+  ASSERT_EQ(list.status, 200);
+  EXPECT_TRUE(parsed(list).find("sessions")->asArray().empty());
+  EXPECT_EQ(ts.api->sessions().evicted(), 1U);
+  EXPECT_EQ(client.request("GET", "/v1/sessions/s1").status, 404);
+}
+
+// --- deadlines ---------------------------------------------------------------
+
+TEST(ServiceApiTest, ExpiredDeadlineIs408BeforeAnyGate) {
+  TestServer ts;
+  auto client = ts.client();
+  auto created = client.request(
+      "POST", "/v1/sessions", R"({"builder": {"name": "qft", "qubits": 8}})");
+  ASSERT_EQ(created.status, 201);
+  const std::string id = parsed(created).getString("id", "");
+
+  // deadlineMs = 0 expires before the first gate boundary poll
+  auto ran = client.request("POST", "/v1/sessions/" + id + "/run",
+                            R"({"deadlineMs": 0})");
+  EXPECT_EQ(ran.status, 408);
+  Value doc = parsed(ran);
+  EXPECT_EQ(doc.find("error")->getString("code", ""), "deadline_exceeded");
+  EXPECT_EQ(doc.getNumber("stepsApplied", -1), 0);
+  EXPECT_EQ(ts.metrics.deadlineTimeouts(), 1U);
+
+  // the session survives the timeout and finishes on a second run
+  auto again = client.request("POST", "/v1/sessions/" + id + "/run", "{}");
+  ASSERT_EQ(again.status, 200);
+  EXPECT_TRUE(parsed(again).getBool("atEnd", false));
+}
+
+TEST(ServiceApiTest, MidRunDeadlineStopsAtGateBoundary) {
+  TestServer ts;
+  auto client = ts.client();
+  // ~34k cheap operations: cannot finish inside a 3 ms deadline even at
+  // sub-microsecond per gate, so the cancellation deterministically lands
+  // mid-run at a gate boundary.
+  auto created = client.request(
+      "POST", "/v1/sessions",
+      R"({"builder": {"name": "qft", "qubits": 12, "repeat": 400}})");
+  ASSERT_EQ(created.status, 201);
+  Value doc = parsed(created);
+  const std::string id = doc.getString("id", "");
+  const double operations = doc.getNumber("operations", 0);
+  ASSERT_GT(operations, 30000);
+
+  auto ran = client.request("POST", "/v1/sessions/" + id + "/run",
+                            R"({"deadlineMs": 3})");
+  ASSERT_EQ(ran.status, 408);
+  EXPECT_EQ(parsed(ran).find("error")->getString("code", ""),
+            "deadline_exceeded");
+  EXPECT_EQ(ts.metrics.deadlineTimeouts(), 1U);
+
+  // the applied prefix is still inspectable and the session still works
+  auto info = client.request("GET", "/v1/sessions/" + id);
+  ASSERT_EQ(info.status, 200);
+  const double position = parsed(info).getNumber("position", -1);
+  EXPECT_LT(position, operations);
+  auto step = client.request("POST", "/v1/sessions/" + id + "/step", "{}");
+  EXPECT_EQ(step.status, 200);
+}
+
+TEST(ServiceApiTest, VerifyEndpointHonorsDeadline) {
+  TestServer ts;
+  auto client = ts.client();
+  const std::string spec =
+      R"({"left": {"builder": {"name": "qft", "qubits": 10, "repeat": 40}},
+          "right": {"builder": {"name": "qft", "qubits": 10, "repeat": 40}},
+          "simulation": false,
+          "deadlineMs": 0})";
+  auto response = client.request("POST", "/v1/verify", spec);
+  EXPECT_EQ(response.status, 408);
+  EXPECT_EQ(errorCode(response), "deadline_exceeded");
+  EXPECT_GE(ts.metrics.deadlineTimeouts(), 1U);
+}
+
+TEST(ServiceApiTest, VerifyEndpointDecidesEquivalence) {
+  TestServer ts;
+  auto client = ts.client();
+  auto equal = client.request(
+      "POST", "/v1/verify",
+      R"({"left": {"builder": {"name": "ghz", "qubits": 4}},
+          "right": {"builder": {"name": "ghz", "qubits": 4},
+                    "decompose": true}})");
+  ASSERT_EQ(equal.status, 200);
+  EXPECT_EQ(parsed(equal).getString("equivalence", ""), "equivalent");
+  EXPECT_FALSE(parsed(equal).find("entries")->asArray().empty());
+
+  auto unequal = client.request(
+      "POST", "/v1/verify",
+      R"({"left": {"builder": {"name": "ghz", "qubits": 3}},
+          "right": {"builder": {"name": "qft", "qubits": 3}}})");
+  ASSERT_EQ(unequal.status, 200);
+  EXPECT_EQ(parsed(unequal).getString("equivalence", ""), "not equivalent");
+}
+
+// --- health / metrics --------------------------------------------------------
+
+TEST(ServiceApiTest, HealthAndMetricsReport) {
+  TestServer ts;
+  auto client = ts.client();
+  auto health = client.request("GET", "/healthz");
+  ASSERT_EQ(health.status, 200);
+  EXPECT_EQ(parsed(health).getString("status", ""), "ok");
+
+  client.request("POST", "/v1/sessions", R"({"builder": {"name": "bell"}})");
+  client.request("POST", "/v1/sessions/s1/run", "{}");
+
+  auto metrics = client.request("GET", "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  Value doc = parsed(metrics);
+  const Value* svc = doc.find("service");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_GE(svc->getNumber("requests", 0), 3.);
+  EXPECT_EQ(svc->find("byStatus")->getNumber("201", 0), 1.);
+  const Value* routes = svc->find("routes");
+  ASSERT_NE(routes, nullptr);
+  EXPECT_EQ(routes->find("POST /v1/sessions")->getNumber("count", 0), 1.);
+  // DD table stats of the live session are folded in
+  ASSERT_NE(doc.find("dd"), nullptr);
+  EXPECT_TRUE(doc.find("dd")->isObject());
+  EXPECT_FALSE(doc.find("dd")->asObject().empty());
+  EXPECT_EQ(doc.find("sessions")->getNumber("live", -1), 1.);
+}
+
+// --- drain -------------------------------------------------------------------
+
+TEST(ServiceApiTest, DrainRejectsNewRequestsWith503) {
+  TestServer ts;
+  auto client = ts.client();
+  EXPECT_EQ(client.request("GET", "/healthz").status, 200);
+  ts.server->drain();
+  auto rejected = client.request("GET", "/healthz");
+  EXPECT_EQ(rejected.status, 503);
+  EXPECT_EQ(errorCode(rejected), "draining");
+  EXPECT_EQ(ts.metrics.drainRejected(), 1U);
+}
+
+// --- concurrency -------------------------------------------------------------
+
+TEST(ServiceApiTest, ConcurrentSessionsStayIsolated) {
+  service::ServerOptions serverOpts;
+  serverOpts.workers = 4;
+  TestServer ts({}, serverOpts);
+
+  constexpr std::size_t CLIENTS = 4;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(CLIENTS);
+  for (std::size_t c = 0; c < CLIENTS; ++c) {
+    threads.emplace_back([&ts, &failures, c] {
+      try {
+        auto client = ts.client();
+        // distinct circuit per client: GHZ on 3 + c qubits
+        const std::string qubits = std::to_string(3 + c);
+        auto created = client.request(
+            "POST", "/v1/sessions",
+            R"({"builder": {"name": "ghz", "qubits": )" + qubits + "}}");
+        if (created.status != 201) {
+          failures[c] = "create: " + created.body;
+          return;
+        }
+        const std::string id = parsed(created).getString("id", "");
+        auto ran =
+            client.request("POST", "/v1/sessions/" + id + "/run", "{}");
+        if (ran.status != 200) {
+          failures[c] = "run: " + ran.body;
+          return;
+        }
+        const Value doc = parsed(ran);
+        // GHZ on n qubits -> the state contains the all-ones ket; a wrong
+        // qubit count (cross-session leakage) would change its width
+        const std::string ones = "|" + std::string(3 + c, '1') + ">";
+        if (doc.getString("state", "").find(ones) == std::string::npos) {
+          failures[c] = "state: " + ran.body;
+          return;
+        }
+        if (doc.getNumber("nodes", 0) <= 0.) {
+          failures[c] = "nodes: " + ran.body;
+          return;
+        }
+        if (!doc.getBool("atEnd", false)) {
+          failures[c] = "not at end: " + ran.body;
+        }
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (std::size_t c = 0; c < CLIENTS; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+  EXPECT_EQ(ts.api->sessions().size(), CLIENTS);
+  EXPECT_EQ(ts.metrics.statusCount(201), CLIENTS);
+}
+
+} // namespace

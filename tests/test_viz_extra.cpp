@@ -1,9 +1,14 @@
-// Tests for the TikZ exporter and the ASCII circuit renderer.
+// Tests for the TikZ exporter, the ASCII circuit renderer, and the
+// JSON-exporter wire-format guarantees the qdd::service API relies on.
 
 #include "qdd/dd/Package.hpp"
 #include "qdd/ir/Builders.hpp"
 #include "qdd/viz/CircuitDiagram.hpp"
+#include "qdd/viz/JsonExporter.hpp"
 #include "qdd/viz/TikzExporter.hpp"
+
+#include <cmath>
+#include <limits>
 
 namespace qdd::viz {
 using qdd::Package; // for brevity in the tests below
@@ -138,6 +143,45 @@ TEST(VizCircuit, WrapsLongCircuits) {
 
 TEST(VizCircuit, EmptyCircuit) {
   EXPECT_EQ(circuitToAscii(ir::QuantumComputation{}), "(empty circuit)\n");
+}
+
+TEST(VizJsonWire, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(jsonEscape("tab\tnl\ncr\r"), "tab\\tnl\\ncr\\r");
+  // other control characters become \u00XX, never raw bytes
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(VizJsonWire, NonFiniteNumbersNeverEmitBare) {
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN(), 6), "null");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity(), 6), "null");
+  EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity(), 6), "null");
+  EXPECT_EQ(jsonNumber(0.5, 6), "0.5");
+}
+
+TEST(VizJsonWire, CompactModeIsOneLineAndSameDocument) {
+  Package pkg(3);
+  const Graph g = buildGraph(pkg.makeGHZState(3));
+  const std::string pretty = JsonExporter(10).toJson(g);
+  const std::string compact = JsonExporter(10, /*compact=*/true).toJson(g);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+  EXPECT_LT(compact.size(), pretty.size());
+  // same document once whitespace is ignored
+  std::string strippedPretty;
+  std::string strippedCompact;
+  for (const char c : pretty) {
+    if (c != ' ' && c != '\n') {
+      strippedPretty += c;
+    }
+  }
+  for (const char c : compact) {
+    if (c != ' ' && c != '\n') {
+      strippedCompact += c;
+    }
+  }
+  EXPECT_EQ(strippedPretty, strippedCompact);
 }
 
 } // namespace
