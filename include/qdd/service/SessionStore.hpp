@@ -31,6 +31,8 @@ namespace qdd::service {
 class SessionStore {
 public:
   struct Entry {
+    // id/kind/name/qubits are filled in before publish() and immutable
+    // afterwards, so they may be read without taking the entry mutex.
     std::string id;
     std::string kind; ///< "simulation" | "verification"
     std::string name; ///< circuit name(s), for listings
@@ -48,10 +50,21 @@ public:
   /// `ttlMs <= 0` disables TTL eviction.
   SessionStore(std::size_t maxSessions, std::int64_t ttlMs);
 
-  /// Admits a new entry (id assigned here: "s1", "s2", ...). The caller
-  /// fills in package/session under the returned entry's mutex. Returns
-  /// nullptr when the store is full even after evicting expired sessions.
+  /// Reserves a session slot and assigns an id ("s1", "s2", ...) WITHOUT
+  /// making the entry visible to lookups. The caller constructs
+  /// package/session on the still-private entry, then either publish()es it
+  /// or abandon()s the reservation — so the map only ever holds fully
+  /// constructed sessions. Returns nullptr when the store is full even
+  /// after evicting expired sessions.
   std::shared_ptr<Entry> create(std::string kind);
+
+  /// Inserts a fully constructed entry from create() into the map, making
+  /// it visible to find()/list().
+  void publish(const std::shared_ptr<Entry>& entry);
+
+  /// Releases the slot reserved by create() when construction failed. The
+  /// entry was never visible; any partially built package folds its stats.
+  void abandon(const std::shared_ptr<Entry>& entry);
 
   /// Looks up a session and refreshes its LRU stamp; nullptr when absent.
   std::shared_ptr<Entry> find(const std::string& id);
@@ -82,6 +95,7 @@ private:
 
   mutable std::mutex mutex; ///< guards the map and counters (not entries)
   std::map<std::string, std::shared_ptr<Entry>> entries;
+  std::size_t pendingN = 0; ///< slots reserved by create(), not yet published
   std::size_t nextId = 1;
   std::size_t createdN = 0;
   std::size_t evictedN = 0;

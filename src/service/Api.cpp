@@ -216,14 +216,16 @@ ir::QuantumComputation Api::buildCircuit(const json::Value& spec) const {
     const auto repeat =
         static_cast<std::size_t>(builder->getNumber("repeat", 1));
     if (repeat > 1) {
-      if (qc.size() * repeat > options.maxOperations) {
+      const std::size_t base = qc.size();
+      // division instead of `base * repeat > max` — the product can wrap
+      // std::size_t for absurd repeat values and sneak past the cap
+      if (base != 0 && repeat > options.maxOperations / base) {
         throw ApiError(413, "circuit_too_large",
-                       "repeat yields " +
-                           std::to_string(qc.size() * repeat) +
-                           " operations (limit " +
+                       "repeat of " + std::to_string(repeat) + " x " +
+                           std::to_string(base) +
+                           " operations exceeds the limit (" +
                            std::to_string(options.maxOperations) + ")");
       }
-      const std::size_t base = qc.size();
       for (std::size_t r = 1; r < repeat; ++r) {
         for (std::size_t k = 0; k < base; ++k) {
           qc.emplaceBack(qc.at(k).clone());
@@ -345,45 +347,42 @@ HttpResponse Api::createSession(const HttpRequest& request) {
     }
   }
 
+  // create() only reserves a slot + id; the entry stays invisible to
+  // find()/list() until publish(), so no request can ever observe a
+  // half-constructed session (null simulation AND null verification).
   auto entry = store.create(kind);
   if (entry == nullptr) {
     throw ApiError(429, "too_many_sessions",
                    "session limit of " + std::to_string(store.capacity()) +
                        " reached; delete a session or retry later");
   }
+
+  try {
+    entry->qubits = std::max<std::size_t>(left.numQubits(), 1);
+    entry->package = std::make_unique<Package>(entry->qubits);
+    if (kind == "simulation") {
+      entry->name = left.name().empty() ? "circuit" : left.name();
+      entry->simulation = std::make_unique<sim::SimulationSession>(
+          left, *entry->package,
+          static_cast<std::uint64_t>(body.getNumber("seed", 0)));
+    } else {
+      entry->name = (left.name().empty() ? "left" : left.name()) + " vs " +
+                    (right.name().empty() ? "right" : right.name());
+      entry->verification = std::make_unique<verify::VerificationSession>(
+          left, right, *entry->package);
+    }
+  } catch (const std::exception& e) {
+    store.abandon(entry);
+    throw ApiError(400, "invalid_circuit", e.what());
+  }
+
+  // Snapshot the response while the entry is still private, then publish.
+  json::Value doc = sessionDoc(*entry, /*includeDd=*/true);
+  store.publish(entry);
   metrics.countSessionCreated();
   QDD_OBS_COUNTER("service/sessions_created",
                   static_cast<double>(store.created()));
-
-  std::string constructionError;
-  {
-    const std::lock_guard<std::mutex> lock(entry->mutex);
-    entry->qubits = std::max<std::size_t>(left.numQubits(), 1);
-    entry->package = std::make_unique<Package>(entry->qubits);
-    try {
-      if (kind == "simulation") {
-        entry->name = left.name().empty() ? "circuit" : left.name();
-        entry->simulation = std::make_unique<sim::SimulationSession>(
-            left, *entry->package,
-            static_cast<std::uint64_t>(body.getNumber("seed", 0)));
-      } else {
-        entry->name = (left.name().empty() ? "left" : left.name()) +
-                      " vs " +
-                      (right.name().empty() ? "right" : right.name());
-        entry->verification = std::make_unique<verify::VerificationSession>(
-            left, right, *entry->package);
-      }
-    } catch (const std::exception& e) {
-      constructionError = e.what();
-    }
-  }
-  // erase() retires the entry under its own mutex, so it must run unlocked
-  if (!constructionError.empty()) {
-    store.erase(entry->id);
-    throw ApiError(400, "invalid_circuit", constructionError);
-  }
-  const std::lock_guard<std::mutex> lock(entry->mutex);
-  return ok(sessionDoc(*entry, /*includeDd=*/true), 201);
+  return ok(doc, 201);
 }
 
 HttpResponse Api::listSessions() {

@@ -171,8 +171,11 @@ void HttpServer::handleConnection(int fd) {
       break;
     }
   }
-  ::close(fd);
+  // Deregister BEFORE closing: once the fd number is closed the kernel may
+  // reuse it, and stop() iterating openFds must never shutdown() a reused
+  // descriptor belonging to someone else.
   trackClosed(fd);
+  ::close(fd);
 }
 
 void HttpServer::trackOpen(int fd) {

@@ -10,16 +10,32 @@ SessionStore::SessionStore(std::size_t maxSessions, std::int64_t ttlMs)
 std::shared_ptr<SessionStore::Entry> SessionStore::create(std::string kind) {
   evictExpired();
   const std::lock_guard<std::mutex> lock(mutex);
-  if (entries.size() >= maxSessions) {
+  if (entries.size() + pendingN >= maxSessions) {
     return nullptr;
   }
   auto entry = std::make_shared<Entry>();
   entry->id = "s" + std::to_string(nextId++);
   entry->kind = std::move(kind);
   entry->lastUsed = std::chrono::steady_clock::now();
-  entries[entry->id] = entry;
-  ++createdN;
+  ++pendingN;
   return entry;
+}
+
+void SessionStore::publish(const std::shared_ptr<Entry>& entry) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  entries[entry->id] = entry;
+  --pendingN;
+  ++createdN;
+}
+
+void SessionStore::abandon(const std::shared_ptr<Entry>& entry) {
+  mem::StatsRegistry stats;
+  if (entry->package) {
+    stats = entry->package->statistics();
+  }
+  const std::lock_guard<std::mutex> lock(mutex);
+  --pendingN;
+  retired.merge(stats);
 }
 
 std::shared_ptr<SessionStore::Entry>
