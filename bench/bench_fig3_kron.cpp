@@ -42,20 +42,21 @@ int main() {
   const mEdge h = pkg.makeGateDD(H_MAT, 1, 0);
   const mEdge id = pkg.makeIdent(1);
   std::printf("H (1 node):\n%s", viz::asciiDump(viz::buildGraph(h)).c_str());
-  std::printf("I2 (1 node):\n%s",
-              viz::asciiDump(viz::buildGraph(id)).c_str());
-  const mEdge hi = pkg.kron(h, id);
-  std::printf("H (x) I2 (%zu nodes — the terminal of H replaced by I2's "
-              "root):\n%s",
-              Package::size(hi), viz::asciiDump(viz::buildGraph(hi)).c_str());
+  std::printf("I2 (identity-skipping: the weight-1 terminal):\n%s",
+              viz::asciiDump(viz::buildGraph(id, 1)).c_str());
+  const mEdge hi = pkg.kron(h, id, 1);
+  std::printf("H (x) I2 (%zu nodes — the skipped level below H is implicit "
+              "identity):\n%s",
+              Package::size(hi),
+              viz::asciiDump(viz::buildGraph(hi, 2)).c_str());
   const mEdge direct = pkg.makeGateDD(H_MAT, 2, 1);
   std::printf("canonical check: kron result %s directly-built H on q1\n",
               hi.p == direct.p ? "POINTER-EQUAL to" : "DIFFERS from");
 
   // verify against dense kron
   const auto dense =
-      denseKron(pkg.getMatrix(h), 2, pkg.getMatrix(id), 2);
-  const auto ddMat = pkg.getMatrix(hi);
+      denseKron(pkg.getMatrix(h, 1), 2, pkg.getMatrix(id, 1), 2);
+  const auto ddMat = pkg.getMatrix(hi, 2);
   double maxDiff = 0.;
   for (std::size_t k = 0; k < dense.size(); ++k) {
     maxDiff = std::max(maxDiff, std::abs(dense[k] - ddMat[k]));

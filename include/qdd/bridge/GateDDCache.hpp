@@ -1,6 +1,7 @@
 #pragma once
 
 #include "qdd/common/Definitions.hpp"
+#include "qdd/common/FixedPointAngle.hpp"
 #include "qdd/dd/Package.hpp"
 #include "qdd/ir/OpType.hpp"
 #include "qdd/ir/Operation.hpp"
@@ -20,11 +21,12 @@ namespace qdd::bridge {
 /// shared across a whole alternating equivalence-checking run, which applies
 /// the same gate set from both sides.
 ///
-/// Rotation angles are canonicalized into [0, 4*pi): every parameterized
-/// standard gate is 4*pi-periodic in each angle, so the reduction can only
-/// merge keys whose matrices are identical — never distinct gates (it merely
-/// misses deduplicating the rare exactly-4*pi-apart pairs that round
-/// differently).
+/// Rotation angles are keyed as fixed-point values modulo 4*pi (the shared
+/// period of every parameterized standard gate), so key equality and hashing
+/// are exact integer operations: the reduction can only merge keys whose
+/// matrices agree to ~1e-11 rad — never distinct gates — and, unlike an
+/// fmod-based canonicalization, angles straddling the 4*pi boundary wrap to
+/// the same unit instead of opposite ends of the domain.
 ///
 /// Cached edges are reference-held so they survive garbage collection; the
 /// cache must therefore be cleared (or destroyed) before Package::shrink
@@ -68,7 +70,7 @@ private:
     bool inverse = false;
     std::vector<Qubit> targets;
     QubitControls controls; ///< sorted
-    std::vector<double> params; ///< angles canonicalized into [0, 4*pi)
+    std::vector<FixedPointAngle> params; ///< angles, fixed-point mod 4*pi
 
     friend bool operator==(const Key& a, const Key& b) = default;
   };

@@ -1,0 +1,63 @@
+#pragma once
+
+#include "qdd/complex/ComplexValue.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+namespace qdd {
+
+/// Fixed-point representation of a rotation angle modulo 4*pi — the shared
+/// periodicity of every parameterized standard gate (RX/RY/RZ have period
+/// 4*pi; P/U2/U3 angles have period 2*pi and are a fortiori 4*pi-periodic).
+///
+/// The angle is quantized to 2^40 units per period and wrapped into
+/// [0, 2^40), so equality and hashing are exact integer operations. Unlike a
+/// double-based `fmod` canonicalization, the wrap has no representative-
+/// boundary problem: angles a hair below 4*pi and a hair above 0 land on
+/// neighboring (or equal) units instead of opposite ends of the domain.
+/// The resolution, 4*pi / 2^40 ≈ 1.1e-11 rad, is far below any physically
+/// meaningful angle difference; a quantization-boundary miss merely costs a
+/// cache miss, never a wrong result.
+class FixedPointAngle {
+public:
+  /// Units per 4*pi period.
+  static constexpr std::int64_t UNITS = std::int64_t{1} << 40;
+
+  constexpr FixedPointAngle() noexcept = default;
+
+  explicit FixedPointAngle(double radians) noexcept {
+    const double period = 4. * PI;
+    const double turns = radians / period;
+    // wrap to [0, 1) in turns before scaling: keeps the rounding step in a
+    // range where a double still has sub-unit resolution
+    const double wrapped = turns - std::floor(turns);
+    units = static_cast<std::int64_t>(
+        std::llround(wrapped * static_cast<double>(UNITS)));
+    if (units >= UNITS) { // wrapped ~1.0 rounds up to a full period
+      units -= UNITS;
+    }
+  }
+
+  [[nodiscard]] constexpr std::int64_t raw() const noexcept { return units; }
+
+  /// Representative angle in [0, 4*pi).
+  [[nodiscard]] double radians() const noexcept {
+    return static_cast<double>(units) / static_cast<double>(UNITS) * 4. * PI;
+  }
+
+  friend constexpr bool operator==(FixedPointAngle a,
+                                   FixedPointAngle b) noexcept = default;
+
+private:
+  std::int64_t units = 0;
+};
+
+} // namespace qdd
+
+template <> struct std::hash<qdd::FixedPointAngle> {
+  std::size_t operator()(const qdd::FixedPointAngle& a) const noexcept {
+    return std::hash<std::int64_t>{}(a.raw());
+  }
+};

@@ -19,6 +19,32 @@
 
 namespace qdd {
 
+/// How matrix DDs represent identity structure (arXiv:2406.11959,
+/// "Stripping Quantum Decision Diagrams of their Identity").
+enum class IdentityMode : std::uint8_t {
+  /// Identity-skipping edges: a matrix node whose successors are
+  /// [a, 0, 0, a] with identical sub-edges is never materialized — the edge
+  /// points directly to `a`, and every level between an edge's source and
+  /// its target (and every level below a terminal matrix edge) implicitly
+  /// carries the identity. Single-qubit gate DDs are a single node
+  /// regardless of the system size, and `makeIdent(n)` is the bare
+  /// terminal edge.
+  Strip,
+  /// Legacy representation: every level is materialized explicitly, so a
+  /// single-qubit gate on an n-qubit system owns an n-level identity tower.
+  Materialize,
+};
+
+/// Parses "strip"/"materialize"; anything else falls back to Strip.
+IdentityMode parseIdentityMode(const char* value) noexcept;
+/// Mode selected by the QDD_DD_IDENTITY environment variable (default Strip).
+IdentityMode identityModeFromEnv();
+/// Process-wide default used by newly constructed packages (initialized from
+/// QDD_DD_IDENTITY; the mode of an existing Package never changes).
+IdentityMode globalIdentityMode();
+void setGlobalIdentityMode(IdentityMode mode);
+const char* toString(IdentityMode mode) noexcept;
+
 /// Normalization scheme applied when creating nodes (paper Sec. III-A and
 /// footnote 3).
 enum class NormalizationScheme : std::uint8_t {
@@ -45,7 +71,8 @@ class Package {
 public:
   explicit Package(std::size_t nqubits,
                    NormalizationScheme scheme = NormalizationScheme::Largest,
-                   double tolerance = RealTable::DEFAULT_TOLERANCE);
+                   double tolerance = RealTable::DEFAULT_TOLERANCE,
+                   IdentityMode identityMode = globalIdentityMode());
 
   Package(const Package&) = delete;
   Package& operator=(const Package&) = delete;
@@ -64,6 +91,11 @@ public:
   [[nodiscard]] NormalizationScheme normalizationScheme() const noexcept {
     return scheme;
   }
+  /// Matrix-DD identity representation of this package, fixed at
+  /// construction. Under `Strip`, matrix edges skip identity levels: a node
+  /// at level `v` reached from level `u > v + 1` represents I^(u-v-1) (x) M,
+  /// and a terminal matrix edge represents w * I on all remaining levels.
+  [[nodiscard]] IdentityMode identityMode() const noexcept { return idMode; }
   ComplexTable& complexTable() noexcept { return cTable; }
 
   /// Enables/disables operation memoization (footnote 4). Intended for
@@ -168,14 +200,25 @@ public:
   /// the less-significant ones. Realized by terminal replacement (Ex. 8 /
   /// Fig. 3).
   mEdge kron(const mEdge& top, const mEdge& bottom);
+  /// Tensor product with an explicit span for `bottom`. Required for exact
+  /// placement under identity skipping, where the root level of `bottom` may
+  /// sit below its intended top level (e.g. kron(H, I) needs bottomQubits to
+  /// know how far up to shift `top`).
+  mEdge kron(const mEdge& top, const mEdge& bottom, std::size_t bottomQubits);
   vEdge kron(const vEdge& top, const vEdge& bottom);
   mEdge conjugateTranspose(const mEdge& a);
   /// <x|y>.
   ComplexValue innerProduct(const vEdge& x, const vEdge& y);
   /// |<x|y>|^2.
   double fidelity(const vEdge& x, const vEdge& y);
-  /// Trace of the represented 2^n x 2^n matrix.
+  /// Trace of the matrix, taking the span from the root level. Under
+  /// identity skipping the root may sit below the intended system size
+  /// (skipped top levels are invisible here) — prefer the explicit-span
+  /// overload whenever the qubit count is known.
   ComplexValue trace(const mEdge& a);
+  /// Trace of the represented 2^nq x 2^nq matrix. Skipped identity levels
+  /// contribute a factor of two each: tr(I_k (x) M) = 2^k * tr(M).
+  ComplexValue trace(const mEdge& a, std::size_t nq);
   /// Partial trace over the qubits marked in `eliminate` (indexed by level).
   /// The traced-out levels are removed from the diagram; the result acts on
   /// the remaining qubits (compacted downwards). This is the operation the
@@ -198,8 +241,12 @@ public:
                               std::uint64_t col);
   /// Dense export of a state (n <= 30 guarded by assertion of vector size).
   std::vector<std::complex<double>> getVector(const vEdge& e);
-  /// Dense row-major export of a matrix.
+  /// Dense row-major export of a matrix, span taken from the root level
+  /// (see the trace overloads for the identity-skipping caveat).
   std::vector<std::complex<double>> getMatrix(const mEdge& e);
+  /// Dense row-major export of the represented 2^n x 2^n matrix, expanding
+  /// skipped identity levels explicitly.
+  std::vector<std::complex<double>> getMatrix(const mEdge& e, std::size_t n);
   /// Squared norm <phi|phi>.
   double norm(const vEdge& e);
 
@@ -288,7 +335,7 @@ private:
   void getVectorRec(const vEdge& e, ComplexValue amp, std::uint64_t index,
                     std::vector<std::complex<double>>& out);
   void getMatrixRec(const mEdge& e, ComplexValue amp, std::uint64_t row,
-                    std::uint64_t col, std::uint64_t dim,
+                    std::uint64_t col, std::uint64_t dim, Qubit expect,
                     std::vector<std::complex<double>>& out);
 
   /// Squared norm of the sub-DD under `p` (weight-1 root), memoized per call
@@ -299,12 +346,14 @@ private:
   void applyCollapse(vEdge& root, Qubit q, bool outcome, bool shiftToZero,
                      double outcomeProbability);
 
-  mEdge partialTraceRec(const mEdge& a, const std::vector<bool>& eliminate,
+  mEdge partialTraceRec(const mEdge& a, Qubit expect,
+                        const std::vector<bool>& eliminate,
                         const std::vector<Qubit>& levelMap,
                         std::map<const mNode*, mEdge>& memo);
 
   std::size_t nqubits;
   NormalizationScheme scheme;
+  IdentityMode idMode;
   bool computeTablesEnabled = true;
 
   ComplexTable cTable;

@@ -48,6 +48,9 @@ struct OrderedMatrix {
 };
 
 OrderedMatrix withIdentityOrder(const mEdge& e);
+/// Span-aware variant: identity-skipping matrix DDs can sit below the
+/// operator's top level, so the qubit count cannot be inferred from the root.
+OrderedMatrix withIdentityOrder(const mEdge& e, std::size_t n);
 void exchangeAdjacent(Package& pkg, OrderedMatrix& state, Qubit level);
 void moveQubitToLevel(Package& pkg, OrderedMatrix& state, Qubit q,
                       Qubit target);

@@ -11,7 +11,9 @@ namespace qdd {
 ///
 /// Format (line-oriented, human-readable, stable across versions):
 ///
-///   qdd-vector 1            | qdd-matrix 1         (header: kind + version)
+///   qdd-vector 1            | qdd-matrix 2         (header: kind + version)
+///   span <n>                                       (matrix v2 only: qubit
+///                                                   span of the root edge)
 ///   root <id> <re> <im>                            (root node and weight)
 ///   node <id> <level> {<child> <re> <im>}^radix    (one line per node,
 ///                                                   children before parents;
@@ -19,14 +21,27 @@ namespace qdd {
 ///                                                   weight 0 0 = 0-stub)
 ///   end
 ///
+/// Matrix version 2 (identity-skipping, arXiv:2406.11959) allows a child to
+/// sit any number of levels below its parent — the gap is implicit identity —
+/// and a non-zero terminal child of a node above level 0 denotes the identity
+/// on all remaining levels. Version 1 files (fully materialized towers) are
+/// still read; deserializing them into a Strip-mode package strips the towers
+/// on the fly, and deserializing a v2 file into a Materialize-mode package
+/// re-expands the skipped levels explicitly (using the recorded span to pad
+/// above the root).
+///
 /// Deserialization rebuilds the DD through the package's normalizing node
 /// constructors, so a round trip yields the canonical representative of the
 /// serialized function (pointer-identical to the original within the same
-/// package).
+/// package and identity mode).
 void serialize(const vEdge& e, std::ostream& os);
 void serialize(const mEdge& e, std::ostream& os);
+/// Matrix serialization with an explicit qubit span (>= the root level + 1).
+/// Required to round-trip skipped levels above the root faithfully.
+void serialize(const mEdge& e, std::ostream& os, std::size_t span);
 std::string serializeToString(const vEdge& e);
 std::string serializeToString(const mEdge& e);
+std::string serializeToString(const mEdge& e, std::size_t span);
 
 vEdge deserializeVector(Package& pkg, std::istream& is);
 mEdge deserializeMatrix(Package& pkg, std::istream& is);

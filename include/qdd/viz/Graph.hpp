@@ -21,6 +21,10 @@ struct Graph {
     std::size_t to = 0;         ///< target node id or TERMINAL_ID
     ComplexValue weight;
     bool zeroStub = false;      ///< 0-stub (paper Ex. 6)
+    /// Implicit identity levels skipped between source and target
+    /// (identity-skipping matrix DDs, arXiv:2406.11959). 0 for vector DDs
+    /// and for fully materialized matrix DDs.
+    std::size_t skippedLevels = 0;
   };
 
   std::vector<Node> nodes;      ///< all non-terminal nodes, root first
@@ -29,6 +33,10 @@ struct Graph {
   std::size_t rootNode = TERMINAL_ID;
   bool isMatrix = false;
   std::size_t radix = 2;        ///< successors per node (2 vector, 4 matrix)
+  std::size_t span = 0;         ///< qubit levels covered, incl. skipped ones
+  /// Implicit identity levels above the root node (matrix DDs only). For a
+  /// non-zero terminal root this equals `span`: the DD is w * I_span.
+  std::size_t rootSkippedLevels = 0;
 
   [[nodiscard]] bool empty() const noexcept {
     return rootNode == TERMINAL_ID;
@@ -37,7 +45,11 @@ struct Graph {
 
 /// Flattens a vector DD (root first, breadth-first within levels).
 Graph buildGraph(const vEdge& root);
-/// Flattens a matrix DD.
+/// Flattens a matrix DD; the span is inferred from the root node level, so
+/// identity levels skipped above the root are not visible.
 Graph buildGraph(const mEdge& root);
+/// Flattens a matrix DD covering `span` qubit levels; levels skipped above
+/// the root are recorded in `rootSkippedLevels`.
+Graph buildGraph(const mEdge& root, std::size_t span);
 
 } // namespace qdd::viz

@@ -9,11 +9,17 @@ The bench prints one line per workload:
 Modes:
   --record OUT    parse bench output from stdin (or --input FILE) and write
                   the records as a JSON baseline file.
-  --check BASE    parse bench output and compare each record's
-                  speedupFastVsGeneral against the committed baseline; exit
-                  nonzero if any shared label regressed by more than
-                  --max-regression (default 0.25, i.e. current speedup must
-                  stay above 75% of the baseline speedup).
+  --check BASE    parse bench output and compare each record against the
+                  committed baseline; exit nonzero if any shared label
+                  regressed by more than --max-regression (default 0.25,
+                  i.e. current speedup must stay above 75% of the baseline
+                  speedup). Gated columns: speedupFastVsGeneral (floor vs
+                  baseline), peakNodes / stripPeakNodes (at most
+                  baseline * (1 + --max-regression)), and for funcbuild
+                  records nodeReduction (floor vs baseline AND an absolute
+                  floor of 2.0: identity-skipping must keep at least a 2x
+                  gate-DD node reduction) plus rootsMatch == true (strip and
+                  materialize builds must canonicalize identically).
 
 Either mode also validates that every BENCH_APPLY / BENCH_STATS /
 BENCH_PROFILE line in the input parses as JSON, so malformed records fail CI
@@ -91,14 +97,45 @@ def main():
             print(f"  {label}: no baseline entry, skipping")
             continue
         compared += 1
-        current = record["speedupFastVsGeneral"]
-        expected = base["speedupFastVsGeneral"]
-        floor = expected * (1.0 - args.max_regression)
-        status = "ok" if current >= floor else "REGRESSION"
-        print(f"  {label}: speedup {current:.2f}x vs baseline "
-              f"{expected:.2f}x (floor {floor:.2f}x) {status}")
-        if current < floor:
-            failures += 1
+
+        def gate_floor(key, unit="x"):
+            """current must stay above baseline * (1 - max_regression)."""
+            if key not in record or key not in base:
+                return 0
+            current, expected = record[key], base[key]
+            floor = expected * (1.0 - args.max_regression)
+            ok = current >= floor
+            print(f"  {label}: {key} {current:.2f}{unit} vs baseline "
+                  f"{expected:.2f}{unit} (floor {floor:.2f}{unit}) "
+                  f"{'ok' if ok else 'REGRESSION'}")
+            return 0 if ok else 1
+
+        def gate_ceiling(key):
+            """current must stay below baseline * (1 + max_regression)."""
+            if key not in record or key not in base:
+                return 0
+            current, expected = record[key], base[key]
+            ceiling = expected * (1.0 + args.max_regression)
+            ok = current <= ceiling
+            print(f"  {label}: {key} {current} vs baseline {expected} "
+                  f"(ceiling {ceiling:.0f}) {'ok' if ok else 'REGRESSION'}")
+            return 0 if ok else 1
+
+        failures += gate_floor("speedupFastVsGeneral")
+        failures += gate_ceiling("peakNodes")
+        failures += gate_ceiling("stripPeakNodes")
+        if "nodeReduction" in record:
+            failures += gate_floor("nodeReduction")
+            if record["nodeReduction"] < 2.0:
+                print(f"  {label}: nodeReduction "
+                      f"{record['nodeReduction']:.2f}x below the absolute "
+                      f"2.0x identity-skipping floor REGRESSION")
+                failures += 1
+            if record.get("rootsMatch") is not True:
+                print(f"  {label}: rootsMatch is "
+                      f"{record.get('rootsMatch')} — strip and materialize "
+                      f"builds disagree REGRESSION")
+                failures += 1
     if compared == 0:
         print("FAIL: no records matched the baseline labels",
               file=sys.stderr)

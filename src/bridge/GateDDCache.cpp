@@ -12,15 +12,6 @@ namespace qdd::bridge {
 
 namespace {
 
-/// Canonical representative of an angle under the 4*pi periodicity shared by
-/// every parameterized standard gate (RX/RY/RZ have period 4*pi; P/U2/U3
-/// angles have period 2*pi and are a fortiori 4*pi-periodic).
-double canonicalAngle(double a) {
-  constexpr double PERIOD = 4. * PI;
-  const double r = std::fmod(a, PERIOD);
-  return r < 0. ? r + PERIOD : r;
-}
-
 std::size_t combine(std::size_t seed, std::size_t h) noexcept {
   return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6U) + (seed >> 2U));
 }
@@ -38,8 +29,8 @@ std::size_t GateDDCache::KeyHash::operator()(const Key& k) const noexcept {
     h = combine(h, (static_cast<std::size_t>(c.qubit) << 1U) |
                        static_cast<std::size_t>(c.positive));
   }
-  for (const double p : k.params) {
-    h = combine(h, std::hash<double>{}(p));
+  for (const FixedPointAngle p : k.params) {
+    h = combine(h, std::hash<FixedPointAngle>{}(p));
   }
   return h;
 }
@@ -69,7 +60,7 @@ mEdge GateDDCache::lookupOrBuild(const ir::Operation& op, std::size_t n,
   std::sort(key.controls.begin(), key.controls.end());
   key.params.reserve(op.parameters().size());
   for (const double p : op.parameters()) {
-    key.params.push_back(canonicalAngle(p));
+    key.params.emplace_back(p);
   }
 
   if (const auto it = entries.find(key); it != entries.end()) {

@@ -2,8 +2,11 @@
 #include "qdd/obs/Obs.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <unordered_set>
@@ -13,10 +16,43 @@ namespace qdd {
 vNode vNode::terminalNode{};
 mNode mNode::terminalNode{};
 
+// --- identity-representation mode (QDD_DD_IDENTITY, same pattern as the
+// --- QDD_APPLY ablation switch in bridge/DDBuilder) --------------------------
+
+IdentityMode parseIdentityMode(const char* value) noexcept {
+  if (value != nullptr && std::strcmp(value, "materialize") == 0) {
+    return IdentityMode::Materialize;
+  }
+  return IdentityMode::Strip;
+}
+
+IdentityMode identityModeFromEnv() {
+  return parseIdentityMode(std::getenv("QDD_DD_IDENTITY"));
+}
+
+namespace {
+std::atomic<IdentityMode>& globalIdentityModeRef() {
+  static std::atomic<IdentityMode> mode{identityModeFromEnv()};
+  return mode;
+}
+} // namespace
+
+IdentityMode globalIdentityMode() {
+  return globalIdentityModeRef().load(std::memory_order_relaxed);
+}
+
+void setGlobalIdentityMode(IdentityMode mode) {
+  globalIdentityModeRef().store(mode, std::memory_order_relaxed);
+}
+
+const char* toString(IdentityMode mode) noexcept {
+  return mode == IdentityMode::Strip ? "strip" : "materialize";
+}
+
 Package::Package(std::size_t numQubits, NormalizationScheme normScheme,
-                 double tolerance)
-    : nqubits(numQubits), scheme(normScheme), cTable(tolerance),
-      vTable(vMem, numQubits), mTable(mMem, numQubits) {
+                 double tolerance, IdentityMode identityMode)
+    : nqubits(numQubits), scheme(normScheme), idMode(identityMode),
+      cTable(tolerance), vTable(vMem, numQubits), mTable(mMem, numQubits) {
   idTable.reserve(nqubits + 1);
   idTable.push_back(mEdge::one());
 }
@@ -229,15 +265,31 @@ vEdge Package::normalizeNorm(Qubit v, std::array<vEdge, 2> e) {
 mEdge Package::makeMatNode(Qubit v, const std::array<mEdge, 4>& edges) {
   assert(v >= 0 && static_cast<std::size_t>(v) < mTable.numLevels());
   std::array<mEdge, 4> e = edges;
+  for (auto& edge : e) {
+    if (edge.w.exactlyZero()) {
+      edge = mEdge::zero();
+      continue;
+    }
+    // Under Strip, successors may sit any number of levels below `v`
+    // (the gap is implicit identity); Materialize keeps strict alignment.
+    assert((idMode == IdentityMode::Strip
+                ? (edge.isTerminal() || edge.p->v < v)
+                : (edge.p->v == v - 1 || (edge.isTerminal() && v == 0))) &&
+           "level misalignment");
+  }
+  if (idMode == IdentityMode::Strip && e[1].w.exactlyZero() &&
+      e[2].w.exactlyZero() && e[0].p == e[3].p && e[0].w == e[3].w) {
+    // Identity-skipping reduction (arXiv:2406.11959): successors [a, 0, 0, a]
+    // represent I (x) A, so the level is skipped and `a` returned directly.
+    // The weight comparison is exact — weights are canonical table pointers.
+    return e[0];
+  }
   std::array<double, 4> mag2{};
   double topMag2 = 0.;
   for (std::size_t k = 0; k < 4; ++k) {
     if (e[k].w.exactlyZero()) {
-      e[k] = mEdge::zero();
       continue;
     }
-    assert((e[k].p->v == v - 1 || (e[k].isTerminal() && v == 0)) &&
-           "level misalignment");
     mag2[k] = e[k].w.toValue().mag2();
     topMag2 = std::max(topMag2, mag2[k]);
   }
@@ -384,6 +436,11 @@ vEdge Package::makeStateFromVector(const std::complex<double>* begin,
 
 mEdge Package::makeIdent(std::size_t n) {
   resize(n);
+  if (idMode == IdentityMode::Strip) {
+    // The identity is pure skip structure: a bare terminal edge of weight
+    // one, on any number of qubits.
+    return mEdge::one();
+  }
   while (idTable.size() <= n) {
     const auto v = static_cast<Qubit>(idTable.size() - 1);
     const mEdge below = idTable.back();

@@ -3,6 +3,7 @@
 #include "qdd/obs/Obs.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -83,18 +84,36 @@ mEdge Package::add(const mEdge& x, const mEdge& y) {
     return *cached;
   }
 
-  assert(!a.isTerminal() && !b.isTerminal() && a.p->v == b.p->v &&
+  assert((idMode == IdentityMode::Strip ||
+          (!a.isTerminal() && !b.isTerminal() && a.p->v == b.p->v)) &&
          "add: level misalignment");
-  const Qubit v = a.p->v;
+  // Align the operands at the higher of the two levels. An operand whose
+  // node sits below that level (or is terminal) is an implicit identity
+  // there: its virtual successors are [a, 0, 0, a]. Both-terminal operands
+  // never reach this point (x.p == y.p is handled above).
+  const Qubit va = a.isTerminal() ? TERMINAL_LEVEL : a.p->v;
+  const Qubit vb = b.isTerminal() ? TERMINAL_LEVEL : b.p->v;
+  const Qubit v = std::max(va, vb);
+  assert(v >= 0 && "add: two terminal operands with distinct nodes");
   std::array<mEdge, 4> r{};
   for (std::size_t k = 0; k < 4; ++k) {
-    mEdge ea = a.p->e[k];
-    if (!ea.w.exactlyZero()) {
-      ea.w = lookup(a.w.toValue() * ea.w.toValue());
+    mEdge ea;
+    if (va == v) {
+      ea = a.p->e[k];
+      if (!ea.w.exactlyZero()) {
+        ea.w = lookup(a.w.toValue() * ea.w.toValue());
+      }
+    } else {
+      ea = (k == 0 || k == 3) ? a : mEdge::zero();
     }
-    mEdge eb = b.p->e[k];
-    if (!eb.w.exactlyZero()) {
-      eb.w = lookup(b.w.toValue() * eb.w.toValue());
+    mEdge eb;
+    if (vb == v) {
+      eb = b.p->e[k];
+      if (!eb.w.exactlyZero()) {
+        eb.w = lookup(b.w.toValue() * eb.w.toValue());
+      }
+    } else {
+      eb = (k == 0 || k == 3) ? b : mEdge::zero();
     }
     r[k] = add(ea, eb);
   }
@@ -125,21 +144,33 @@ vEdge Package::multiply(const mEdge& x, const vEdge& y) {
 
 vEdge Package::multiply2(mNode* x, vNode* y) {
   if (x->isTerminal()) {
+    if (idMode == IdentityMode::Strip) {
+      // Terminal matrix = identity on every remaining level: U|phi> = |phi>.
+      return y->isTerminal() ? vEdge::one() : vEdge{y, Complex::one};
+    }
     assert(y->isTerminal() && "multiply: level misalignment");
     return vEdge::one();
   }
-  assert(!y->isTerminal() && x->v == y->v && "multiply: level misalignment");
+  assert(!y->isTerminal() &&
+         (idMode == IdentityMode::Strip ? x->v <= y->v : x->v == y->v) &&
+         "multiply: level misalignment");
   if (const auto* cached =
           computeTablesEnabled ? multMatVecTable.lookup(x, y) : nullptr) {
     return *cached;
   }
 
-  const Qubit v = x->v;
+  // The state is always fully expanded, so its root level sets the pace;
+  // when the matrix skips this level it acts as identity here and its
+  // virtual successors are [x, 0, 0, x] with weight one.
+  const Qubit v = y->v;
+  const bool xAligned = x->v == v;
   std::array<vEdge, 2> r{};
   for (std::size_t i = 0; i < 2; ++i) {
     vEdge sum = vEdge::zero();
     for (std::size_t j = 0; j < 2; ++j) {
-      const mEdge& xe = x->e[2 * i + j];
+      const mEdge xe = xAligned ? x->e[2 * i + j]
+                                : (i == j ? mEdge{x, Complex::one}
+                                          : mEdge::zero());
       const vEdge& ye = y->e[j];
       if (xe.w.exactlyZero() || ye.w.exactlyZero()) {
         continue;
@@ -182,24 +213,44 @@ mEdge Package::multiply(const mEdge& x, const mEdge& y) {
 }
 
 mEdge Package::multiply2(mNode* x, mNode* y) {
-  if (x->isTerminal()) {
-    assert(y->isTerminal() && "multiply: level misalignment");
+  if (x->isTerminal() || y->isTerminal()) {
+    if (idMode == IdentityMode::Strip) {
+      // Terminal operand = identity on every remaining level, which is the
+      // multiplicative unit: the product is the other operand.
+      if (x->isTerminal() && y->isTerminal()) {
+        return mEdge::one();
+      }
+      return x->isTerminal() ? mEdge{y, Complex::one}
+                             : mEdge{x, Complex::one};
+    }
+    assert(x->isTerminal() && y->isTerminal() &&
+           "multiply: level misalignment");
     return mEdge::one();
   }
-  assert(!y->isTerminal() && x->v == y->v && "multiply: level misalignment");
+  assert((idMode == IdentityMode::Strip || x->v == y->v) &&
+         "multiply: level misalignment");
   if (const auto* cached =
           computeTablesEnabled ? multMatMatTable.lookup(x, y) : nullptr) {
     return *cached;
   }
 
-  const Qubit v = x->v;
+  // Align at the higher level; the lower operand acts as identity there
+  // (virtual successors [e, 0, 0, e]). The result depends only on the two
+  // nodes, so the (x, y)-keyed compute table stays context-free.
+  const Qubit v = std::max(x->v, y->v);
+  const bool xAligned = x->v == v;
+  const bool yAligned = y->v == v;
   std::array<mEdge, 4> r{};
   for (std::size_t i = 0; i < 2; ++i) {
     for (std::size_t k = 0; k < 2; ++k) {
       mEdge sum = mEdge::zero();
       for (std::size_t j = 0; j < 2; ++j) {
-        const mEdge& xe = x->e[2 * i + j];
-        const mEdge& ye = y->e[2 * j + k];
+        const mEdge xe = xAligned ? x->e[2 * i + j]
+                                  : (i == j ? mEdge{x, Complex::one}
+                                            : mEdge::zero());
+        const mEdge ye = yAligned ? y->e[2 * j + k]
+                                  : (j == k ? mEdge{y, Complex::one}
+                                            : mEdge::zero());
         if (xe.w.exactlyZero() || ye.w.exactlyZero()) {
           continue;
         }
@@ -262,12 +313,33 @@ Edge<Node> kronRec(const Edge<Node>& topEdge, Node* bottomRoot, Qubit shift,
 } // namespace
 
 mEdge Package::kron(const mEdge& top, const mEdge& bottom) {
+  // Span inferred from the bottom root: exact under Materialize; under
+  // Strip a bottom whose top levels are skipped identity needs the
+  // explicit-span overload to land `top` at the right level.
+  return kron(top, bottom,
+              bottom.isTerminal() ? 0
+                                  : static_cast<std::size_t>(bottom.p->v) + 1);
+}
+
+mEdge Package::kron(const mEdge& top, const mEdge& bottom,
+                    std::size_t bottomQubits) {
   const DDOpSpan span("kron");
   if (top.w.exactlyZero() || bottom.w.exactlyZero()) {
     return mEdge::zero();
   }
-  const Qubit shift =
-      bottom.isTerminal() ? 0 : static_cast<Qubit>(bottom.p->v + 1);
+  if (!bottom.isTerminal() &&
+      static_cast<std::size_t>(bottom.p->v) >= bottomQubits) {
+    throw std::invalid_argument("kron: bottom exceeds its declared span");
+  }
+  if (idMode == IdentityMode::Materialize &&
+      bottomQubits != (bottom.isTerminal()
+                           ? 0
+                           : static_cast<std::size_t>(bottom.p->v) + 1)) {
+    // Materialized DDs cannot leave a level gap between `top` and `bottom`.
+    throw std::invalid_argument(
+        "kron: declared span does not match the materialized bottom");
+  }
+  const auto shift = static_cast<Qubit>(bottomQubits);
   if (!top.isTerminal()) {
     resize(static_cast<std::size_t>(top.p->v + shift) + 1);
   }
@@ -382,28 +454,44 @@ double Package::fidelity(const vEdge& x, const vEdge& y) {
 // --- trace ----------------------------------------------------------------------
 
 namespace {
-ComplexValue traceRec(const mEdge& e,
+/// `expect` is the level the edge leaves from minus one (i.e. the top level
+/// of the sub-matrix the edge points into). Every skipped identity level
+/// doubles the trace: tr(I_k (x) M) = 2^k * tr(M).
+ComplexValue traceRec(const mEdge& e, Qubit expect,
                       std::unordered_map<const mNode*, ComplexValue>& memo) {
   if (e.w.exactlyZero()) {
     return {0., 0.};
   }
+  const Qubit v = e.isTerminal() ? TERMINAL_LEVEL : e.p->v;
+  assert(v <= expect && "trace: node above its expected level");
+  const double factor = std::ldexp(1., expect - v);
   if (e.isTerminal()) {
-    return e.w.toValue();
+    // terminal = w * I on the remaining `expect + 1` levels
+    return e.w.toValue() * factor;
   }
   ComplexValue sub;
   if (const auto it = memo.find(e.p); it != memo.end()) {
     sub = it->second;
   } else {
-    sub = traceRec(e.p->e[0], memo) + traceRec(e.p->e[3], memo);
+    sub = traceRec(e.p->e[0], static_cast<Qubit>(v - 1), memo) +
+          traceRec(e.p->e[3], static_cast<Qubit>(v - 1), memo);
     memo.emplace(e.p, sub);
   }
-  return e.w.toValue() * sub;
+  return e.w.toValue() * factor * sub;
 }
 } // namespace
 
 ComplexValue Package::trace(const mEdge& a) {
+  return trace(a, a.isTerminal() ? 0
+                                 : static_cast<std::size_t>(a.p->v) + 1);
+}
+
+ComplexValue Package::trace(const mEdge& a, std::size_t nq) {
+  if (!a.isTerminal() && static_cast<std::size_t>(a.p->v) >= nq) {
+    throw std::invalid_argument("trace: matrix exceeds the declared span");
+  }
   std::unordered_map<const mNode*, ComplexValue> memo;
-  return traceRec(a, memo);
+  return traceRec(a, static_cast<Qubit>(nq) - 1, memo);
 }
 
 // --- element access / export --------------------------------------------------
@@ -429,6 +517,24 @@ ComplexValue Package::getMatrixEntry(const mEdge& e, std::uint64_t row,
                                      std::uint64_t col) {
   ComplexValue amp = e.w.toValue();
   const mNode* p = e.p;
+  // Bits addressing a skipped identity level must agree between row and
+  // column — the off-diagonal blocks of the implicit identity are zero.
+  const auto identityBitsAgree = [&](Qubit below, Qubit above) {
+    // checks bits in the open interval (below, above)
+    for (Qubit lev = static_cast<Qubit>(below + 1); lev < above; ++lev) {
+      const auto shift = static_cast<unsigned>(lev);
+      if (shift < 64U && (((row ^ col) >> shift) & 1ULL) != 0ULL) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (idMode == IdentityMode::Strip) {
+    const Qubit top = p->isTerminal() ? TERMINAL_LEVEL : p->v;
+    if (!identityBitsAgree(top, 64)) {
+      return {0., 0.};
+    }
+  }
   while (!p->isTerminal()) {
     if (amp.exactlyZero()) {
       return {0., 0.};
@@ -437,6 +543,13 @@ ComplexValue Package::getMatrixEntry(const mEdge& e, std::uint64_t row,
     const std::size_t rbit = shift < 64U ? (row >> shift) & 1ULL : 0ULL;
     const std::size_t cbit = shift < 64U ? (col >> shift) & 1ULL : 0ULL;
     const mEdge& child = p->e[2 * rbit + cbit];
+    if (idMode == IdentityMode::Strip) {
+      const Qubit childTop =
+          child.p->isTerminal() ? TERMINAL_LEVEL : child.p->v;
+      if (!identityBitsAgree(childTop, p->v)) {
+        return {0., 0.};
+      }
+    }
     amp *= child.w.toValue();
     p = child.p;
   }
@@ -473,8 +586,20 @@ std::vector<std::complex<double>> Package::getVector(const vEdge& e) {
 }
 
 void Package::getMatrixRec(const mEdge& e, ComplexValue amp, std::uint64_t row,
-                           std::uint64_t col, std::uint64_t dim,
+                           std::uint64_t col, std::uint64_t dim, Qubit expect,
                            std::vector<std::complex<double>>& out) {
+  if (e.w.exactlyZero() || amp.exactlyZero()) {
+    return;
+  }
+  const Qubit v = e.isTerminal() ? TERMINAL_LEVEL : e.p->v;
+  if (v < expect) {
+    // `expect` is a skipped identity level: expand its diagonal explicitly.
+    const std::uint64_t bit = 1ULL << static_cast<unsigned>(expect);
+    getMatrixRec(e, amp, row, col, dim, static_cast<Qubit>(expect - 1), out);
+    getMatrixRec(e, amp, row | bit, col | bit, dim,
+                 static_cast<Qubit>(expect - 1), out);
+    return;
+  }
   const ComplexValue w = amp * e.w.toValue();
   if (w.exactlyZero()) {
     return;
@@ -483,24 +608,36 @@ void Package::getMatrixRec(const mEdge& e, ComplexValue amp, std::uint64_t row,
     out[row * dim + col] = w.toStdComplex();
     return;
   }
-  const auto v = static_cast<unsigned>(e.p->v);
-  getMatrixRec(e.p->e[0], w, row, col, dim, out);
-  getMatrixRec(e.p->e[1], w, row, col | (1ULL << v), dim, out);
-  getMatrixRec(e.p->e[2], w, row | (1ULL << v), col, dim, out);
-  getMatrixRec(e.p->e[3], w, row | (1ULL << v), col | (1ULL << v), dim, out);
+  const auto b = 1ULL << static_cast<unsigned>(v);
+  const auto below = static_cast<Qubit>(v - 1);
+  getMatrixRec(e.p->e[0], w, row, col, dim, below, out);
+  getMatrixRec(e.p->e[1], w, row, col | b, dim, below, out);
+  getMatrixRec(e.p->e[2], w, row | b, col, dim, below, out);
+  getMatrixRec(e.p->e[3], w, row | b, col | b, dim, below, out);
 }
 
 std::vector<std::complex<double>> Package::getMatrix(const mEdge& e) {
   if (e.isTerminal()) {
     throw std::invalid_argument("getMatrix: terminal edge has no qubits");
   }
-  const auto n = static_cast<std::size_t>(e.p->v) + 1;
+  return getMatrix(e, static_cast<std::size_t>(e.p->v) + 1);
+}
+
+std::vector<std::complex<double>> Package::getMatrix(const mEdge& e,
+                                                     std::size_t n) {
+  if (n == 0) {
+    throw std::invalid_argument("getMatrix: need at least one qubit");
+  }
+  if (!e.isTerminal() && static_cast<std::size_t>(e.p->v) >= n) {
+    throw std::invalid_argument("getMatrix: matrix exceeds the declared span");
+  }
   if (n > 13) {
     throw std::invalid_argument("getMatrix: matrix too large for dense export");
   }
   const std::uint64_t dim = 1ULL << n;
   std::vector<std::complex<double>> out(dim * dim, {0., 0.});
-  getMatrixRec(e, ComplexValue{1., 0.}, 0, 0, dim, out);
+  getMatrixRec(e, ComplexValue{1., 0.}, 0, 0, dim, static_cast<Qubit>(n - 1),
+               out);
   return out;
 }
 
@@ -515,12 +652,26 @@ double Package::norm(const vEdge& e) {
 mEdge Package::partialTrace(const mEdge& a,
                             const std::vector<bool>& eliminate) {
   const DDOpSpan span("partialTrace");
-  if (a.isTerminal()) {
-    return a;
-  }
-  const auto n = static_cast<std::size_t>(a.p->v) + 1;
-  if (eliminate.size() < n) {
-    throw std::invalid_argument("partialTrace: eliminate mask too short");
+  const auto rootSpan =
+      a.isTerminal() ? 0 : static_cast<std::size_t>(a.p->v) + 1;
+  std::size_t n = rootSpan;
+  if (idMode == IdentityMode::Strip) {
+    // The mask declares the span: skipped top levels are real (identity)
+    // qubits and tracing one of them out doubles the result.
+    n = eliminate.size();
+    if (rootSpan > n) {
+      throw std::invalid_argument("partialTrace: eliminate mask too short");
+    }
+    if (n == 0) {
+      return a;
+    }
+  } else {
+    if (a.isTerminal()) {
+      return a;
+    }
+    if (eliminate.size() < n) {
+      throw std::invalid_argument("partialTrace: eliminate mask too short");
+    }
   }
   // new level of each kept qubit = number of kept qubits below it
   std::vector<Qubit> levelMap(n, TERMINAL_LEVEL);
@@ -531,44 +682,61 @@ mEdge Package::partialTrace(const mEdge& a,
     }
   }
   std::map<const mNode*, mEdge> memo;
-  return partialTraceRec(a, eliminate, levelMap, memo);
+  return partialTraceRec(a, static_cast<Qubit>(n - 1), eliminate, levelMap,
+                         memo);
 }
 
-mEdge Package::partialTraceRec(const mEdge& a,
+mEdge Package::partialTraceRec(const mEdge& a, Qubit expect,
                                const std::vector<bool>& eliminate,
                                const std::vector<Qubit>& levelMap,
                                std::map<const mNode*, mEdge>& memo) {
   if (a.w.exactlyZero()) {
     return mEdge::zero();
   }
+  const Qubit v = a.isTerminal() ? TERMINAL_LEVEL : a.p->v;
+  // Skipped identity levels on the way down: each eliminated one is
+  // tr(I_1) = 2; kept ones stay implicit (identity is position-independent,
+  // so the level remap is automatic).
+  double factor = 1.;
+  for (Qubit lev = expect; lev > v; --lev) {
+    if (eliminate[static_cast<std::size_t>(lev)]) {
+      factor *= 2.;
+    }
+  }
   if (a.isTerminal()) {
-    return a;
+    return mEdge::terminal(lookup(a.w.toValue() * factor));
   }
   mEdge nodeResult;
   if (const auto it = memo.find(a.p); it != memo.end()) {
     nodeResult = it->second;
   } else {
-    const auto v = static_cast<std::size_t>(a.p->v);
-    if (eliminate[v]) {
+    const auto lv = static_cast<std::size_t>(v);
+    const auto below = static_cast<Qubit>(v - 1);
+    if (eliminate[lv]) {
       // trace this level out: sum the diagonal blocks
       const mEdge d0 =
-          partialTraceRec(a.p->e[0], eliminate, levelMap, memo);
+          partialTraceRec(a.p->e[0], below, eliminate, levelMap, memo);
       const mEdge d3 =
-          partialTraceRec(a.p->e[3], eliminate, levelMap, memo);
+          partialTraceRec(a.p->e[3], below, eliminate, levelMap, memo);
       nodeResult = add(d0, d3);
     } else {
       std::array<mEdge, 4> children{};
       for (std::size_t k = 0; k < 4; ++k) {
-        children[k] = partialTraceRec(a.p->e[k], eliminate, levelMap, memo);
+        children[k] =
+            partialTraceRec(a.p->e[k], below, eliminate, levelMap, memo);
       }
-      nodeResult = makeMatNode(levelMap[v], children);
+      nodeResult = makeMatNode(levelMap[lv], children);
     }
     memo.emplace(a.p, nodeResult);
   }
-  if (a.w.exactlyOne() || nodeResult.w.exactlyZero()) {
+  if (nodeResult.w.exactlyZero()) {
+    return mEdge::zero();
+  }
+  if (a.w.exactlyOne() && factor == 1.) {
     return nodeResult;
   }
-  return {nodeResult.p, lookup(nodeResult.w.toValue() * a.w.toValue())};
+  return {nodeResult.p,
+          lookup(nodeResult.w.toValue() * a.w.toValue() * factor)};
 }
 
 // --- expectation values ---------------------------------------------------------
@@ -640,9 +808,18 @@ vEdge Package::permuteQubits(const vEdge& e,
 mEdge Package::permuteQubits(const mEdge& e,
                              const std::vector<Qubit>& permutation) {
   if (e.isTerminal()) {
+    // identity (Strip) or scalar (Materialize): invariant under relabeling
     return e;
   }
-  const auto n = static_cast<std::size_t>(e.p->v) + 1;
+  const auto rootSpan = static_cast<std::size_t>(e.p->v) + 1;
+  // Under Strip, the permutation's size declares the span; it may exceed
+  // the root level (skipped top levels permute trivially). Materialized
+  // matrices must match exactly, as before.
+  const std::size_t n =
+      idMode == IdentityMode::Strip ? permutation.size() : rootSpan;
+  if (n < rootSpan) {
+    throw std::invalid_argument("permuteQubits: permutation size mismatch");
+  }
   validatePermutation(permutation, n);
   mEdge result = e;
   applyPermutationAsSwaps(permutation, [&](Qubit a, Qubit b) {

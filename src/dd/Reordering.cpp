@@ -127,14 +127,20 @@ ComplexValue OrderedMatrix::entry(Package& pkg, std::uint64_t logicalRow,
 }
 
 OrderedMatrix withIdentityOrder(const mEdge& e) {
+  return withIdentityOrder(
+      e, e.isTerminal() ? 0 : static_cast<std::size_t>(e.p->v) + 1);
+}
+
+OrderedMatrix withIdentityOrder(const mEdge& e, std::size_t n) {
+  if (!e.isTerminal() && static_cast<std::size_t>(e.p->v) >= n) {
+    throw std::invalid_argument(
+        "withIdentityOrder: root level exceeds the span");
+  }
   OrderedMatrix state;
   state.dd = e;
-  if (!e.isTerminal()) {
-    const auto n = static_cast<std::size_t>(e.p->v) + 1;
-    state.levelOfQubit.resize(n);
-    for (std::size_t q = 0; q < n; ++q) {
-      state.levelOfQubit[q] = static_cast<Qubit>(q);
-    }
+  state.levelOfQubit.resize(n);
+  for (std::size_t q = 0; q < n; ++q) {
+    state.levelOfQubit[q] = static_cast<Qubit>(q);
   }
   return state;
 }

@@ -13,9 +13,12 @@ namespace qdd {
 namespace {
 
 template <class Node>
-void serializeImpl(const Edge<Node>& root, std::ostream& os,
-                   const char* kind) {
-  os << kind << " 1\n";
+void serializeImpl(const Edge<Node>& root, std::ostream& os, const char* kind,
+                   int version, long span) {
+  os << kind << " " << version << "\n";
+  if (span >= 0) {
+    os << "span " << span << "\n";
+  }
   if (root.w.exactlyZero() || root.isTerminal()) {
     os << "root -1 " << root.w.real() << " " << root.w.imag() << "\n";
     os << "end\n";
@@ -61,6 +64,8 @@ void serializeImpl(const Edge<Node>& root, std::ostream& os,
 }
 
 struct ParsedDD {
+  int version = 1;
+  long span = -1; ///< declared qubit span (matrix v2), -1 if absent
   long rootId = -1;
   ComplexValue rootWeight;
   struct NodeLine {
@@ -72,17 +77,31 @@ struct ParsedDD {
   std::vector<NodeLine> nodes;
 };
 
-ParsedDD parseBody(std::istream& is, const char* kind, std::size_t radix) {
+ParsedDD parseBody(std::istream& is, const char* kind, std::size_t radix,
+                   int maxVersion) {
   std::string word;
   if (!(is >> word) || word != kind) {
     malformed("expected header '" + std::string(kind) + "'");
   }
-  int version = 0;
-  if (!(is >> version) || version != 1) {
+  ParsedDD dd;
+  if (!(is >> dd.version) || dd.version < 1 || dd.version > maxVersion) {
     malformed("unsupported version");
   }
-  ParsedDD dd;
-  if (!(is >> word) || word != "root") {
+  if (!(is >> word)) {
+    malformed("truncated input");
+  }
+  if (word == "span") {
+    if (dd.version < 2) {
+      malformed("span line requires version 2");
+    }
+    if (!(is >> dd.span) || dd.span < 0) {
+      malformed("bad span line");
+    }
+    if (!(is >> word)) {
+      malformed("truncated input");
+    }
+  }
+  if (word != "root") {
     malformed("expected root line");
   }
   if (!(is >> dd.rootId >> dd.rootWeight.re >> dd.rootWeight.im)) {
@@ -115,13 +134,30 @@ ParsedDD parseBody(std::istream& is, const char* kind, std::size_t radix) {
   malformed("missing 'end'");
 }
 
+/// Wraps `e` in explicit identity levels up to (excluding) `to`, so a
+/// Materialize-mode package can ingest identity-skipping (v2) input.
+mEdge padIdentity(Package& pkg, mEdge e, Qubit to) {
+  const Qubit from = e.isTerminal() ? 0 : static_cast<Qubit>(e.p->v + 1);
+  for (Qubit lev = from; lev < to; ++lev) {
+    e = pkg.makeMatNode(lev, {e, mEdge::zero(), mEdge::zero(), e});
+  }
+  return e;
+}
+
 } // namespace
 
 void serialize(const vEdge& e, std::ostream& os) {
-  serializeImpl(e, os, "qdd-vector");
+  serializeImpl(e, os, "qdd-vector", 1, -1);
 }
 void serialize(const mEdge& e, std::ostream& os) {
-  serializeImpl(e, os, "qdd-matrix");
+  serialize(e, os,
+            e.isTerminal() ? 0 : static_cast<std::size_t>(e.p->v) + 1);
+}
+void serialize(const mEdge& e, std::ostream& os, std::size_t span) {
+  if (!e.isTerminal() && static_cast<std::size_t>(e.p->v) >= span) {
+    throw std::invalid_argument("serialize: matrix exceeds the declared span");
+  }
+  serializeImpl(e, os, "qdd-matrix", 2, static_cast<long>(span));
 }
 
 std::string serializeToString(const vEdge& e) {
@@ -134,9 +170,14 @@ std::string serializeToString(const mEdge& e) {
   serialize(e, ss);
   return ss.str();
 }
+std::string serializeToString(const mEdge& e, std::size_t span) {
+  std::ostringstream ss;
+  serialize(e, ss, span);
+  return ss.str();
+}
 
 vEdge deserializeVector(Package& pkg, std::istream& is) {
-  const ParsedDD dd = parseBody(is, "qdd-vector", 2);
+  const ParsedDD dd = parseBody(is, "qdd-vector", 2, 1);
   if (dd.rootId == -1) {
     return dd.rootWeight.exactlyZero() ? vEdge::zero()
                                        : vEdge::terminal(pkg.lookup(dd.rootWeight));
@@ -179,11 +220,18 @@ vEdge deserializeVector(Package& pkg, std::istream& is) {
 }
 
 mEdge deserializeMatrix(Package& pkg, std::istream& is) {
-  const ParsedDD dd = parseBody(is, "qdd-matrix", 4);
+  const ParsedDD dd = parseBody(is, "qdd-matrix", 4, 2);
+  const bool materialize = pkg.identityMode() == IdentityMode::Materialize;
   if (dd.rootId == -1) {
-    return dd.rootWeight.exactlyZero()
-               ? mEdge::zero()
-               : mEdge::terminal(pkg.lookup(dd.rootWeight));
+    mEdge root = dd.rootWeight.exactlyZero()
+                     ? mEdge::zero()
+                     : mEdge::terminal(pkg.lookup(dd.rootWeight));
+    if (materialize && dd.span > 0 && !root.w.exactlyZero()) {
+      // v2 terminal root = identity on `span` qubits
+      pkg.resize(static_cast<std::size_t>(dd.span));
+      root = padIdentity(pkg, root, static_cast<Qubit>(dd.span));
+    }
+    return root;
   }
   std::map<long, mEdge> built;
   for (const auto& line : dd.nodes) {
@@ -206,6 +254,10 @@ mEdge deserializeMatrix(Package& pkg, std::istream& is) {
         child = it->second;
         child.w = pkg.lookup(child.w.toValue() * w);
       }
+      if (materialize && !child.w.exactlyZero()) {
+        // re-expand any level gap the (v2) input skipped
+        child = padIdentity(pkg, child, line.level);
+      }
       children[k] = child;
     }
     if (built.contains(line.id)) {
@@ -219,6 +271,10 @@ mEdge deserializeMatrix(Package& pkg, std::istream& is) {
   }
   mEdge root = it->second;
   root.w = pkg.lookup(root.w.toValue() * dd.rootWeight);
+  if (materialize && dd.span > 0 && !root.w.exactlyZero()) {
+    pkg.resize(static_cast<std::size_t>(dd.span));
+    root = padIdentity(pkg, root, static_cast<Qubit>(dd.span));
+  }
   return root;
 }
 

@@ -119,7 +119,7 @@ DensityMatrixSimulator::applyMeasure(const ir::NonUnitaryOperation& op,
         const mEdge p = projector(q, outcome);
         const mEdge projected =
             pkg.multiply(p, pkg.multiply(b.rho, p));
-        const double prob = pkg.trace(projected).re;
+        const double prob = pkg.trace(projected, qc.numQubits()).re;
         if (prob <= PROB_EPS) {
           continue;
         }
@@ -194,7 +194,7 @@ mEdge DensityMatrixSimulator::densityMatrix() {
   for (const auto& branch : branches) {
     sum = pkg.add(sum, branch.rho);
   }
-  const double total = pkg.trace(sum).re;
+  const double total = pkg.trace(sum, qc.numQubits()).re;
   if (total > PROB_EPS && std::abs(total - 1.) > PROB_EPS) {
     sum.w = pkg.lookup(sum.w.toValue() * (1. / total));
   }
@@ -206,8 +206,8 @@ double DensityMatrixSimulator::probabilityOfOne(Qubit q) {
   double total = 0.;
   const mEdge p1 = projector(q, true);
   for (const auto& branch : branches) {
-    p += pkg.trace(pkg.multiply(p1, branch.rho)).re;
-    total += pkg.trace(branch.rho).re;
+    p += pkg.trace(pkg.multiply(p1, branch.rho), qc.numQubits()).re;
+    total += pkg.trace(branch.rho, qc.numQubits()).re;
   }
   return total > PROB_EPS ? p / total : 0.;
 }
@@ -225,14 +225,14 @@ DensityMatrixSimulator::classicalDistribution() {
         bits[qc.numClbits() - 1 - c] = '1';
       }
     }
-    dist[bits] += pkg.trace(branch.rho).re;
+    dist[bits] += pkg.trace(branch.rho, qc.numQubits()).re;
   }
   return dist;
 }
 
 double DensityMatrixSimulator::purity() {
   const mEdge rho = densityMatrix();
-  return pkg.trace(pkg.multiply(rho, rho)).re;
+  return pkg.trace(pkg.multiply(rho, rho), qc.numQubits()).re;
 }
 
 } // namespace qdd::sim

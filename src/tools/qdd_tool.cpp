@@ -546,8 +546,9 @@ int runShow(const std::string& path) {
     const mEdge u = bridge::buildFunctionality(qc, pkg);
     std::printf("functionality DD of '%s': %zu nodes\n", path.c_str(),
                 Package::size(u));
-    std::printf("%s", viz::asciiDump(viz::buildGraph(u)).c_str());
-    exportAll(viz::buildGraph(u), "dd");
+    const viz::Graph g = viz::buildGraph(u, qc.numQubits());
+    std::printf("%s", viz::asciiDump(g).c_str());
+    exportAll(g, "dd");
   } else {
     sim::SimulationSession session(qc, pkg);
     while (session.stepForward()) {

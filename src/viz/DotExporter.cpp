@@ -24,15 +24,26 @@ bool weightIsOne(const ComplexValue& w) {
   return w.re == 1. && w.im == 0.;
 }
 
-std::string edgeAttributes(const ComplexValue& w, const ExportOptions& opts) {
+std::string edgeAttributes(const ComplexValue& w, const ExportOptions& opts,
+                           std::size_t skipped = 0) {
   std::ostringstream ss;
   bool first = true;
   const auto add = [&](const std::string& attr) {
     ss << (first ? "" : ", ") << attr;
     first = false;
   };
+  // identity-skipping edges carry an explicit (x)I^k marker so skipped
+  // levels stay visible in the rendering (arXiv:2406.11959)
+  std::string label;
   if (opts.edgeLabels && !weightIsOne(w)) {
-    add("label=\"" + weightLabel(w, opts.precision) + "\"");
+    label = weightLabel(w, opts.precision);
+  }
+  if (skipped > 0) {
+    label += (label.empty() ? "" : " ") + std::string("(x)I^") +
+             std::to_string(skipped);
+  }
+  if (!label.empty()) {
+    add("label=\"" + label + "\"");
   }
   if (!weightIsOne(w) && !opts.colored) {
     // "Edges with a corresponding weight not equal to 1 are drawn using
@@ -68,7 +79,15 @@ void DotExporter::write(std::ostream& os, const Graph& g) const {
   os << "  edge [arrowsize=0.6];\n";
 
   if (g.empty()) {
-    os << "  zero [shape=box, label=\"0\"];\n";
+    if (g.isMatrix && !(g.rootWeight.re == 0. && g.rootWeight.im == 0.)) {
+      // identity-skipping: w * I_span collapses to a bare terminal
+      os << "  root [shape=point, style=invis];\n";
+      os << "  terminal [shape=box, label=\"1\"];\n";
+      os << "  root -> terminal"
+         << edgeAttributes(g.rootWeight, opts, g.rootSkippedLevels) << ";\n";
+    } else {
+      os << "  zero [shape=box, label=\"0\"];\n";
+    }
     os << "}\n";
     return;
   }
@@ -105,8 +124,8 @@ void DotExporter::write(std::ostream& os, const Graph& g) const {
   os << "  terminal [shape=box, label=\"1\"];\n";
 
   // root edge
-  os << "  root -> n" << g.rootNode << edgeAttributes(g.rootWeight, opts)
-     << ";\n";
+  os << "  root -> n" << g.rootNode
+     << edgeAttributes(g.rootWeight, opts, g.rootSkippedLevels) << ";\n";
 
   // edges
   std::size_t stubId = 0;
@@ -138,7 +157,7 @@ void DotExporter::write(std::ostream& os, const Graph& g) const {
     } else {
       os << "n" << edge.to;
     }
-    os << edgeAttributes(edge.weight, opts);
+    os << edgeAttributes(edge.weight, opts, edge.skippedLevels);
     if (opts.style == Style::Classic && g.radix == 2) {
       // preserve the left/right successor order visually
       os << (edge.port == 0 ? " [tailport=sw]" : " [tailport=se]");

@@ -1,5 +1,7 @@
 #include "qdd/viz/Graph.hpp"
 
+#include <stdexcept>
+
 #include <deque>
 #include <unordered_map>
 
@@ -7,12 +9,18 @@ namespace qdd::viz {
 
 namespace {
 
-template <class Node> Graph build(const Edge<Node>& root, bool isMatrix) {
+template <class Node>
+Graph build(const Edge<Node>& root, bool isMatrix, std::size_t span) {
   Graph g;
   g.isMatrix = isMatrix;
   g.radix = RADIX<Node>;
   g.rootWeight = root.w.toValue();
+  g.span = span;
   if (root.isTerminal() || root.w.exactlyZero()) {
+    if (isMatrix && !root.w.exactlyZero()) {
+      // w * I_span: the whole diagram is skipped identity levels
+      g.rootSkippedLevels = span;
+    }
     return g;
   }
   std::unordered_map<const Node*, std::size_t> ids;
@@ -29,6 +37,9 @@ template <class Node> Graph build(const Edge<Node>& root, bool isMatrix) {
     return id;
   };
   g.rootNode = idOf(root.p);
+  if (isMatrix && span > static_cast<std::size_t>(root.p->v) + 1) {
+    g.rootSkippedLevels = span - 1 - static_cast<std::size_t>(root.p->v);
+  }
   while (!queue.empty()) {
     const Node* p = queue.front();
     queue.pop_front();
@@ -42,6 +53,10 @@ template <class Node> Graph build(const Edge<Node>& root, bool isMatrix) {
       edge.zeroStub = child.w.exactlyZero();
       edge.to = (edge.zeroStub || child.isTerminal()) ? Graph::TERMINAL_ID
                                                       : idOf(child.p);
+      if (isMatrix && !edge.zeroStub) {
+        const long childLevel = child.isTerminal() ? -1 : child.p->v;
+        edge.skippedLevels = static_cast<std::size_t>(p->v - 1 - childLevel);
+      }
       g.edges.push_back(edge);
     }
   }
@@ -50,7 +65,21 @@ template <class Node> Graph build(const Edge<Node>& root, bool isMatrix) {
 
 } // namespace
 
-Graph buildGraph(const vEdge& root) { return build(root, false); }
-Graph buildGraph(const mEdge& root) { return build(root, true); }
+Graph buildGraph(const vEdge& root) {
+  const std::size_t span =
+      root.isTerminal() ? 0 : static_cast<std::size_t>(root.p->v) + 1;
+  return build(root, false, span);
+}
+Graph buildGraph(const mEdge& root) {
+  const std::size_t span =
+      root.isTerminal() ? 0 : static_cast<std::size_t>(root.p->v) + 1;
+  return build(root, true, span);
+}
+Graph buildGraph(const mEdge& root, std::size_t span) {
+  if (!root.isTerminal() && static_cast<std::size_t>(root.p->v) >= span) {
+    throw std::invalid_argument("buildGraph: root level exceeds the span");
+  }
+  return build(root, true, span);
+}
 
 } // namespace qdd::viz

@@ -89,14 +89,29 @@ std::string JsonExporter::toJson(const Graph& g) const {
   ss << ind << "\"kind\":" << sp << "\""
      << (g.isMatrix ? "matrix" : "vector") << "\"," << nl;
   ss << ind << "\"radix\":" << sp << g.radix << "," << nl;
+  if (g.isMatrix && g.span > 0) {
+    ss << ind << "\"span\":" << sp << g.span << "," << nl;
+  }
   if (g.empty()) {
+    if (g.isMatrix && !(g.rootWeight.re == 0. && g.rootWeight.im == 0.)) {
+      // identity-skipping: w * I_span collapses to a bare terminal
+      ss << ind << "\"root\":" << sp << "{\"node\": \"terminal\""
+         << ", \"skippedLevels\": " << g.rootSkippedLevels
+         << ", \"weight\": " << weightJson(g.rootWeight, precision) << "},"
+         << nl << ind << "\"nodes\":" << sp << "[]," << nl << ind
+         << "\"edges\":" << sp << "[]" << nl << "}" << nl;
+      return ss.str();
+    }
     ss << ind << "\"zero\":" << sp << "true," << nl << ind << "\"nodes\":"
        << sp << "[]," << nl << ind << "\"edges\":" << sp << "[]" << nl << "}"
        << nl;
     return ss.str();
   }
-  ss << ind << "\"root\":" << sp << "{\"node\": " << g.rootNode
-     << ", \"weight\": " << weightJson(g.rootWeight, precision) << "}," << nl;
+  ss << ind << "\"root\":" << sp << "{\"node\": " << g.rootNode;
+  if (g.rootSkippedLevels > 0) {
+    ss << ", \"skippedLevels\": " << g.rootSkippedLevels;
+  }
+  ss << ", \"weight\": " << weightJson(g.rootWeight, precision) << "}," << nl;
   ss << ind << "\"nodes\":" << sp << "[" << nl;
   for (std::size_t k = 0; k < g.nodes.size(); ++k) {
     ss << ind2 << "{\"id\": " << g.nodes[k].id
@@ -114,8 +129,11 @@ std::string JsonExporter::toJson(const Graph& g) const {
     } else {
       ss << ", \"to\": "
          << (e.to == Graph::TERMINAL_ID ? std::string("\"terminal\"")
-                                        : std::to_string(e.to))
-         << ", \"weight\": " << weightJson(e.weight, precision);
+                                        : std::to_string(e.to));
+      if (e.skippedLevels > 0) {
+        ss << ", \"skippedLevels\": " << e.skippedLevels;
+      }
+      ss << ", \"weight\": " << weightJson(e.weight, precision);
     }
     ss << "}" << (k + 1 < g.edges.size() ? "," : "") << nl;
   }

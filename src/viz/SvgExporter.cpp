@@ -38,10 +38,15 @@ std::string SvgExporter::toSvg(const Graph& g) const {
   std::ostringstream body;
 
   if (g.empty()) {
+    const bool identity =
+        g.isMatrix && !(g.rootWeight.re == 0. && g.rootWeight.im == 0.);
+    const std::string label =
+        identity ? "I^" + std::to_string(g.rootSkippedLevels) : "0";
     return "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"120\" "
-           "height=\"80\"><rect x=\"45\" y=\"30\" width=\"30\" height=\"24\" "
+           "height=\"80\"><rect x=\"35\" y=\"30\" width=\"50\" height=\"24\" "
            "fill=\"none\" stroke=\"black\"/><text x=\"60\" y=\"47\" "
-           "text-anchor=\"middle\" font-size=\"13\">0</text></svg>\n";
+           "text-anchor=\"middle\" font-size=\"13\">" +
+           label + "</text></svg>\n";
   }
 
   // Group nodes by level; levels sorted descending (top = highest qubit).
@@ -92,21 +97,30 @@ std::string SvgExporter::toSvg(const Graph& g) const {
   };
 
   const auto drawEdge = [&](double x1, double y1, double x2, double y2,
-                            const ComplexValue& w) {
+                            const ComplexValue& w, std::size_t skipped = 0) {
     body << "  <line x1=\"" << fmt(x1) << "\" y1=\"" << fmt(y1) << "\" x2=\""
          << fmt(x2) << "\" y2=\"" << fmt(y2) << "\"" << strokeFor(w)
          << "/>\n";
+    std::string label;
     if (opts.edgeLabels && !(w.re == 1. && w.im == 0.)) {
+      label = w.toString(opts.precision);
+    }
+    if (skipped > 0) {
+      // identity-skipping marker (arXiv:2406.11959)
+      label += (label.empty() ? "" : " ") + std::string("(x)I^") +
+               std::to_string(skipped);
+    }
+    if (!label.empty()) {
       body << "  <text x=\"" << fmt((x1 + x2) / 2. + 6.) << "\" y=\""
-           << fmt((y1 + y2) / 2.) << "\" font-size=\"10\">"
-           << w.toString(opts.precision) << "</text>\n";
+           << fmt((y1 + y2) / 2.) << "\" font-size=\"10\">" << label
+           << "</text>\n";
     }
   };
 
   // root edge
   const Placed rootPos = pos[g.rootNode];
   drawEdge(rootPos.x, rootPos.y - LEVEL_HEIGHT, rootPos.x,
-           rootPos.y - NODE_RADIUS, g.rootWeight);
+           rootPos.y - NODE_RADIUS, g.rootWeight, g.rootSkippedLevels);
 
   // edges
   for (const auto& edge : g.edges) {
@@ -129,7 +143,8 @@ std::string SvgExporter::toSvg(const Graph& g) const {
     }
     const Placed to =
         edge.to == Graph::TERMINAL_ID ? terminalPos : pos[edge.to];
-    drawEdge(x1, y1, to.x, to.y - NODE_RADIUS, edge.weight);
+    drawEdge(x1, y1, to.x, to.y - NODE_RADIUS, edge.weight,
+             edge.skippedLevels);
   }
 
   // nodes on top of edges

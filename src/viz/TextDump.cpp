@@ -119,10 +119,19 @@ std::string formatMatrixOmega(const std::vector<std::complex<double>>& mat,
 std::string asciiDump(const Graph& g, int precision) {
   std::ostringstream ss;
   if (g.empty()) {
+    if (g.isMatrix && !(g.rootWeight.re == 0. && g.rootWeight.im == 0.)) {
+      // identity-skipping: the whole diagram is w * I_span
+      ss << "root --[" << g.rootWeight.toString(precision) << "]--[I^"
+         << g.rootSkippedLevels << "]--> T\n";
+      return ss.str();
+    }
     return "(zero)\n";
   }
-  ss << "root --[" << g.rootWeight.toString(precision) << "]--> n"
-     << g.rootNode << "\n";
+  ss << "root --[" << g.rootWeight.toString(precision) << "]--";
+  if (g.rootSkippedLevels > 0) {
+    ss << "[I^" << g.rootSkippedLevels << "]--";
+  }
+  ss << "> n" << g.rootNode << "\n";
   for (const auto& node : g.nodes) {
     ss << "n" << node.id << " (q" << node.level << "):";
     for (const auto& edge : g.edges) {
@@ -133,7 +142,11 @@ std::string asciiDump(const Graph& g, int precision) {
       if (edge.zeroStub) {
         ss << "0-stub";
       } else {
-        ss << "--(" << edge.weight.toString(precision) << ")-->";
+        ss << "--(" << edge.weight.toString(precision) << ")--";
+        if (edge.skippedLevels > 0) {
+          ss << "[I^" << edge.skippedLevels << "]--";
+        }
+        ss << ">";
         if (edge.to == Graph::TERMINAL_ID) {
           ss << "T";
         } else {

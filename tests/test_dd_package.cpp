@@ -124,11 +124,13 @@ TEST(PackageMatrices, HadamardDDIsSingleNode) {
 }
 
 TEST(PackageMatrices, CNOTDDMatchesFig2c) {
-  // Paper Fig. 2(c): controlled-NOT with control q1 and target q0:
-  // 3 nodes, root with 0-stubs on the off-diagonal successors.
+  // Paper Fig. 2(c): controlled-NOT with control q1 and target q0.
+  // The figure shows 3 nodes; with identity-skipping edges the explicit
+  // identity successor under the pass-through branch collapses into the
+  // terminal, leaving 2 nodes (root + X block).
   Package pkg(2);
   const mEdge cx = pkg.makeGateDD(X_MAT, 2, {{1, true}}, 0);
-  EXPECT_EQ(Package::size(cx), 3U);
+  EXPECT_EQ(Package::size(cx), 2U);
   EXPECT_TRUE(cx.w.exactlyOne());
   EXPECT_TRUE(cx.p->e[1].w.exactlyZero());
   EXPECT_TRUE(cx.p->e[2].w.exactlyZero());
@@ -143,11 +145,13 @@ TEST(PackageMatrices, CNOTDDMatchesFig2c) {
 }
 
 TEST(PackageMatrices, IdentityStructure) {
+  // Identity-skipping: the identity is the weight-1 terminal edge, no nodes.
   Package pkg(5);
   const mEdge id = pkg.makeIdent(5);
-  EXPECT_EQ(Package::size(id), 5U);
+  EXPECT_TRUE(id.isTerminal());
+  EXPECT_EQ(Package::size(id), 0U);
   EXPECT_TRUE(id.w.exactlyOne());
-  const auto mat = pkg.getMatrix(id);
+  const auto mat = pkg.getMatrix(id, 5);
   for (std::size_t r = 0; r < 32; ++r) {
     for (std::size_t c = 0; c < 32; ++c) {
       EXPECT_NEAR(mat[r * 32 + c].real(), r == c ? 1. : 0., EPS);
@@ -156,12 +160,14 @@ TEST(PackageMatrices, IdentityStructure) {
 }
 
 TEST(PackageMatrices, KronByTerminalReplacement) {
-  // Paper Ex. 8 / Fig. 3: H (x) I2 via decision diagrams.
+  // Paper Ex. 8 / Fig. 3: H (x) I2 via decision diagrams. A stripped
+  // identity is terminal and carries no span, so the explicit-span kron
+  // overload places H above one implicit identity level.
   Package pkg(2);
   const mEdge h = pkg.makeGateDD(H_MAT, 1, 0);
   const mEdge id = pkg.makeIdent(1);
-  const mEdge hi = pkg.kron(h, id);
-  EXPECT_EQ(Package::size(hi), 2U);
+  const mEdge hi = pkg.kron(h, id, 1);
+  EXPECT_EQ(Package::size(hi), 1U);
   // must equal the directly constructed H on qubit 1 of a 2-qubit system
   const mEdge direct = pkg.makeGateDD(H_MAT, 2, 1);
   EXPECT_EQ(hi.p, direct.p);
@@ -416,7 +422,9 @@ TEST(PackageOps, InnerProductAndFidelity) {
 TEST(PackageOps, Trace) {
   Package pkg(3);
   const mEdge id = pkg.makeIdent(3);
-  EXPECT_NEAR(pkg.trace(id).re, 8., EPS);
+  // a stripped identity is terminal: the span-aware overload supplies the
+  // tr(I_k (x) M) = 2^k tr(M) context
+  EXPECT_NEAR(pkg.trace(id, 3).re, 8., EPS);
   const mEdge z = pkg.makeGateDD(Z_MAT, 3, 0);
   EXPECT_NEAR(pkg.trace(z).re, 0., EPS);
   const mEdge t = pkg.makeGateDD(T_MAT, 1, 0);

@@ -33,7 +33,7 @@ TEST(PartialTrace, IdentityFactorsOut) {
   // tr_{q0}(A (x) I2) = 2 * A for A acting on the upper qubits
   Package pkg(3);
   const mEdge a = pkg.makeGateDD(H_MAT, 2, 1);
-  const mEdge full = pkg.kron(a, pkg.makeIdent(1));
+  const mEdge full = pkg.kron(a, pkg.makeIdent(1), 1);
   const mEdge reduced = pkg.partialTrace(full, {true, false, false});
   EXPECT_EQ(reduced.p, a.p);
   EXPECT_NEAR(reduced.w.toValue().mag(), 2. * a.w.toValue().mag(), EPS);
@@ -72,9 +72,10 @@ TEST(PartialTrace, AgainstDenseDefinition) {
 }
 
 TEST(PartialTrace, MaskTooShortThrows) {
+  // the mask length defines the operator span; it must cover the root level
   Package pkg(2);
-  const mEdge id = pkg.makeIdent(2);
-  EXPECT_THROW(pkg.partialTrace(id, {true}), std::invalid_argument);
+  const mEdge cx = pkg.makeGateDD(X_MAT, 2, {{1, true}}, 0);
+  EXPECT_THROW(pkg.partialTrace(cx, {true}), std::invalid_argument);
 }
 
 TEST(ExpectationValue, PauliZOnBellState) {

@@ -196,8 +196,8 @@ TEST(MemGcCache, InterleavedOpsWithForcedCollectionStayCorrect) {
 
 TEST(MemShrink, ReleasesRemovedLevels) {
   Package pkg(6);
-  (void)pkg.makeIdent(6);     // pins identities up to level 6
-  (void)pkg.makeGHZState(6);  // unreferenced: garbage at levels 0..5
+  (void)pkg.makeGateDD(H_MAT, 6, 5);  // puts a matrix node at level 5
+  (void)pkg.makeGHZState(6);          // unreferenced: garbage at levels 0..5
   vEdge keep = pkg.makeZeroState(2);
   pkg.incRef(keep);
 

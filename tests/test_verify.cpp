@@ -102,8 +102,9 @@ TEST(VerifyAlternating, IdenticalCircuitsStayAtIdentity) {
   EXPECT_EQ(result.equivalence, Equivalence::Equivalent);
   // with 1:1 alternation of an identical circuit, the DD returns to the
   // identity after every pair (U_i ... U_0) (U_0^-1 ... U_i^-1)? Not quite -
-  // but it must end exactly at the identity with n nodes.
-  EXPECT_EQ(result.finalNodes, 5U);
+  // but it must end exactly at the identity, which identity-skipping edges
+  // represent as the bare weight-1 terminal (0 nodes).
+  EXPECT_EQ(result.finalNodes, 0U);
 }
 
 TEST(VerifySimulation, AgreesOnEquivalentCircuits) {
@@ -146,8 +147,8 @@ TEST(VerifySession, InteractiveSteppingMirrorsFig9) {
   const auto compiled = compiledQft(3);
   Package pkg(3);
   VerificationSession session(qft, compiled, pkg);
-  // initially the identity (3 nodes)
-  EXPECT_EQ(session.currentNodes(), 3U);
+  // initially the identity (the weight-1 terminal under identity-skipping)
+  EXPECT_EQ(session.currentNodes(), 0U);
   EXPECT_EQ(session.currentVerdict(), Equivalence::Equivalent);
   // apply one gate from the left: no longer the identity
   ASSERT_TRUE(session.stepLeft());

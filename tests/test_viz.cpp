@@ -70,7 +70,7 @@ TEST(VizGraph, MatrixGraph) {
   const Graph g = buildGraph(cx);
   EXPECT_TRUE(g.isMatrix);
   EXPECT_EQ(g.radix, 4U);
-  EXPECT_EQ(g.nodes.size(), 3U); // Fig. 2(c)
+  EXPECT_EQ(g.nodes.size(), 2U); // Fig. 2(c), identity successor stripped
 }
 
 TEST(VizGraph, ZeroEdge) {
