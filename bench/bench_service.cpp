@@ -9,6 +9,14 @@
 // scaling gates only apply on machines with enough cores, but the
 // correctness gates (zero failed requests, sane latency ordering) run
 // everywhere.
+//
+// Also measures the request-tracing overhead: two extra single-client
+// phases against fresh servers — `tracing_off` first (flight-recorder
+// arming is process-wide and sticky, so this phase must precede ANY
+// tracing-enabled server in the process), then `tracing_on` with the
+// full production surface (traceparent, root span, flight recorder,
+// incident log wired). check_bench_service.py gates the tracing-on p50
+// within 10% of tracing-off.
 
 #include "BenchUtil.hpp"
 
@@ -142,6 +150,41 @@ RunRecord runLoad(std::uint16_t port, std::size_t clients,
   return record;
 }
 
+/// Spins up a fresh server with tracing on or off, drives it with one
+/// client, and tears it down again. Isolating each phase in its own
+/// server keeps the metrics/incident state of the phases independent.
+RunRecord tracingPhase(bool tracing, std::size_t requests) {
+  service::ServiceMetrics metrics;
+  service::ApiOptions apiOpts;
+  apiOpts.maxSessions = 4;
+  service::Api api(apiOpts, metrics);
+  service::Router router;
+  api.install(router);
+  service::ServerOptions serverOpts;
+  serverOpts.workers = 2;
+  serverOpts.tracing = tracing;
+  service::HttpServer server(serverOpts, router, metrics);
+  if (tracing) {
+    server.setIncidentLog(&api.incidents());
+  }
+  server.start();
+  auto record = runLoad(server.port(), 1, requests);
+  server.drain();
+  server.stop();
+  return record;
+}
+
+void printRecord(const char* label, const RunRecord& record,
+                 unsigned cores) {
+  std::printf("BENCH_SERVICE %s {\"clients\": %zu, \"requests\": %zu, "
+              "\"errors\": %zu, \"wallMs\": %.3f, \"rps\": %.3f, "
+              "\"p50Ms\": %.4f, \"p95Ms\": %.4f, "
+              "\"hardwareConcurrency\": %u, \"resources\": %s}\n",
+              label, record.clients, record.requests, record.errors,
+              record.wallMs, record.rps, record.p50Ms, record.p95Ms, cores,
+              bench::ResourceUsage::sample().toJson().c_str());
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +196,20 @@ int main(int argc, char** argv) {
   }
   const std::size_t requestsPerClient = quick ? 60 : 400;
   const auto cores = std::thread::hardware_concurrency();
+
+  // Tracing phases first: the flight recorder arms process-wide the moment
+  // any tracing-enabled server starts and never disarms, so the off-phase
+  // must complete before the tracing-on phase or the main server below.
+  bench::heading("qdd::service request tracing overhead (1 client, GHZ-8)");
+  std::printf("%8s %10s %10s %10s %8s\n", "tracing", "requests", "p50 ms",
+              "p95 ms", "errors");
+  const auto tracingOff = tracingPhase(false, requestsPerClient);
+  std::printf("%8s %10zu %10.3f %10.3f %8zu\n", "off", tracingOff.requests,
+              tracingOff.p50Ms, tracingOff.p95Ms, tracingOff.errors);
+  const auto tracingOn = tracingPhase(true, requestsPerClient);
+  std::printf("%8s %10zu %10.3f %10.3f %8zu\n", "on", tracingOn.requests,
+              tracingOn.p50Ms, tracingOn.p95Ms, tracingOn.errors);
+  bench::rule();
 
   // server shaped like `qdd-tool serve` defaults, sized for the widest run
   service::ServiceMetrics metrics;
@@ -180,15 +237,12 @@ int main(int argc, char** argv) {
   }
   bench::rule();
 
+  printRecord("tracing_off", tracingOff, cores);
+  printRecord("tracing_on", tracingOn, cores);
   for (const auto& record : records) {
-    std::printf("BENCH_SERVICE steps_c%zu {\"clients\": %zu, "
-                "\"requests\": %zu, \"errors\": %zu, \"wallMs\": %.3f, "
-                "\"rps\": %.3f, \"p50Ms\": %.4f, \"p95Ms\": %.4f, "
-                "\"hardwareConcurrency\": %u, \"resources\": %s}\n",
-                record.clients, record.clients, record.requests,
-                record.errors, record.wallMs, record.rps, record.p50Ms,
-                record.p95Ms, cores,
-                bench::ResourceUsage::sample().toJson().c_str());
+    char label[32];
+    std::snprintf(label, sizeof(label), "steps_c%zu", record.clients);
+    printRecord(label, record, cores);
   }
 
   const double rps1 = records.front().rps;
@@ -215,5 +269,6 @@ int main(int argc, char** argv) {
 
   server.drain();
   server.stop();
+  totalErrors += tracingOff.errors + tracingOn.errors;
   return totalErrors == 0 ? 0 : 1;
 }

@@ -10,6 +10,8 @@
 // shot chunks / verification directions, and nothing inside the DD engine
 // is ever shared between threads.
 
+#include "qdd/obs/TraceContext.hpp"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -97,11 +99,16 @@ private:
 
   /// One queued unit of work: either task `index` of `batch` (whose owner
   /// keeps the Batch alive until every task completed), or — with `batch ==
-  /// nullptr` — a detached closure.
+  /// nullptr` — a detached closure. `trace` is the submitter's TraceContext,
+  /// captured at enqueue time and installed around the task's execution, so
+  /// spans recorded by pool work stay attributed to the request that fanned
+  /// it out (and an invalid context *clears* the worker's slot, so no task
+  /// ever inherits identity from whatever ran on the worker before).
   struct Item {
     Batch* batch = nullptr;
     std::size_t index = 0;
     std::function<void()> detached;
+    obs::TraceContext trace;
   };
 
   /// One worker's deque. A plain mutex-guarded deque: tasks here are whole

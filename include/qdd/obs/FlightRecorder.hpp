@@ -1,0 +1,120 @@
+#pragma once
+
+// qdd::obs — always-on flight recorder for tail-based trace capture.
+//
+// Every thread that records spans while a TraceContext is installed writes
+// them into its own fixed-size ring buffer. Writes are wait-free (a handful
+// of relaxed atomic stores plus one release store of the ring cursor — no
+// locks, no allocation, well under a microsecond), so the recorder can stay
+// armed in production. Nothing is exported eagerly: only when a request
+// turns out to be worth keeping (slow, ≥500, deadline-expired) does the
+// service call capture() with the request's trace id and dump the matching
+// events as a Chrome-trace incident (service::IncidentLog).
+//
+// Concurrency model: each ring has exactly one writer (its owning thread).
+// capture() may run concurrently on any thread; every slot field is an
+// individual relaxed atomic, and slots that were overwritten while being
+// read are detected via the ring cursor and discarded — so a capture is
+// race-free without ever stalling a writer.
+//
+// Rings are owned by the recorder, not the thread: a thread that exits
+// leaves its ring (and the events in it) behind, so incidents can still be
+// assembled from threads that have already terminated.
+
+#include "qdd/obs/TraceContext.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace qdd::obs {
+
+/// One captured span, the flight-recorder analog of SpanRecord. `category`
+/// and `name` are the string literals the instrumentation site passed —
+/// storing the pointers keeps the write path allocation-free.
+struct FlightEvent {
+  const char* category = "";
+  const char* name = "";
+  double startUs = 0.; ///< microseconds since the Registry epoch
+  double durUs = 0.;
+  std::uint64_t traceHi = 0;
+  std::uint64_t traceLo = 0;
+  std::uint32_t tid = 0; ///< Registry::currentThreadId of the writer
+  std::int32_t depth = 0;
+};
+
+class FlightRecorder {
+public:
+  /// Events retained per thread. Power of two; at typical span rates this
+  /// holds the last few hundred requests per worker — far more than the
+  /// single request an incident capture needs.
+  static constexpr std::size_t RING_CAPACITY = 1024;
+
+  static FlightRecorder& instance();
+
+  /// Process-wide arming flag (relaxed atomic). The recorder costs nothing
+  /// while disarmed; qdd::service arms it when tracing is on.
+  static bool armed() noexcept;
+  static void setArmed(bool on) noexcept;
+
+  /// True when a span recorded right now would be kept: the recorder is
+  /// armed and the calling thread has a valid trace context installed.
+  /// This is the per-span fast-path check (one relaxed load, then a
+  /// thread-local read only when armed).
+  static bool hot() noexcept { return armed() && currentTrace().valid(); }
+
+  /// Records one completed span into the calling thread's ring, tagged
+  /// with the thread's current trace context. Wait-free.
+  void record(const char* category, const char* name, double startUs,
+              double durUs, int depth) noexcept;
+
+  /// All retained events tagged with the given trace id, sorted by start
+  /// time (ties: longer span first, matching the Chrome export rule that
+  /// enclosing spans precede their children).
+  [[nodiscard]] std::vector<FlightEvent> capture(std::uint64_t traceHi,
+                                                 std::uint64_t traceLo) const;
+
+  /// Total events ever written (all rings; for tests and gauges).
+  [[nodiscard]] std::uint64_t totalRecorded() const;
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+private:
+  FlightRecorder() = default;
+
+  /// Individually-atomic mirror of FlightEvent. All stores/loads relaxed;
+  /// publication order is carried by the ring cursor alone, and torn slots
+  /// (overwritten mid-read) are discarded by index, never dereferenced
+  /// inconsistently.
+  struct Slot {
+    std::atomic<const char*> category{nullptr};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<double> startUs{0.};
+    std::atomic<double> durUs{0.};
+    std::atomic<std::uint64_t> traceHi{0};
+    std::atomic<std::uint64_t> traceLo{0};
+    std::atomic<std::int32_t> depth{0};
+  };
+
+  struct Ring {
+    std::uint32_t tid = 0;
+    /// Total writes ever; slot of write w is slots[w % RING_CAPACITY].
+    /// Incremented (release) only after the slot's fields are stored.
+    std::atomic<std::uint64_t> cursor{0};
+    std::array<Slot, RING_CAPACITY> slots;
+  };
+
+  Ring& localRing();
+
+  /// Guards ring registration and the rings vector — never taken on the
+  /// record() path (the thread-local ring pointer is cached).
+  mutable std::mutex ringsMutex;
+  std::vector<std::unique_ptr<Ring>> rings;
+};
+
+} // namespace qdd::obs

@@ -20,6 +20,9 @@
 #define QDD_OBS 1
 #endif
 
+#include "qdd/obs/FlightRecorder.hpp"
+#include "qdd/obs/TraceContext.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -77,6 +80,10 @@ struct SpanRecord {
   double durUs = 0.;
   int depth = 0;
   std::uint32_t tid = 0; ///< registry thread id (0 = first recording thread)
+  /// 128-bit trace id of the request this span belongs to (0/0 when no
+  /// TraceContext was installed — e.g. offline profiling runs).
+  std::uint64_t traceHi = 0;
+  std::uint64_t traceLo = 0;
   std::vector<Arg> args;
 };
 
@@ -86,6 +93,8 @@ struct CounterRecord {
   double value = 0.;
   double tsUs = 0.;
   std::uint32_t tid = 0;
+  std::uint64_t traceHi = 0; ///< trace id, as on SpanRecord
+  std::uint64_t traceLo = 0;
 };
 
 /// Per-simulation-step DD metrics — the time series the paper's web tool
@@ -198,22 +207,41 @@ private:
 /// RAII span: records a SpanRecord for its lifetime when the registry is
 /// enabled (and `condition` holds at construction). Destruction — normal or
 /// via stack unwinding — closes the span, so nesting is always well-formed.
+///
+/// Independently of the registry, a span also feeds the FlightRecorder when
+/// the recorder is armed and the thread carries a valid TraceContext — that
+/// is the "always-on" tail-capture path: even with sinks disabled, spans of
+/// an in-flight request land in the per-thread ring so the service can dump
+/// them if the request turns out slow or failed.
 class ScopedSpan {
 public:
   ScopedSpan(const char* category, const char* name, bool condition = true) {
-    if (condition && Registry::instance().enabled()) {
+    if (!condition) {
+      return;
+    }
+    const bool obsOn = Registry::instance().enabled();
+    const bool flightOn = FlightRecorder::hot();
+    if (obsOn || flightOn) {
       record.category = category;
       record.name = name;
       record.startUs = Registry::instance().nowUs();
       record.depth = Registry::enterSpan();
-      live = true;
+      live = obsOn;
+      flight = flightOn;
     }
   }
   ~ScopedSpan() {
-    if (live) {
+    if (live || flight) {
       Registry::exitSpan();
       record.durUs = Registry::instance().nowUs() - record.startUs;
-      Registry::instance().recordSpan(std::move(record));
+      if (flight) {
+        FlightRecorder::instance().record(record.category, record.name,
+                                          record.startUs, record.durUs,
+                                          record.depth);
+      }
+      if (live) {
+        Registry::instance().recordSpan(std::move(record));
+      }
     }
   }
 
@@ -250,7 +278,8 @@ private:
   }
 
   SpanRecord record;
-  bool live = false;
+  bool live = false;   ///< feeds the registry's sinks on destruction
+  bool flight = false; ///< feeds the flight-recorder ring on destruction
 };
 
 #else // QDD_OBS == 0: spans compile to empty objects

@@ -33,4 +33,10 @@ struct TraceCheckResult {
 TraceCheckResult validateChromeTrace(const std::string& json,
                                      bool requireStepMetrics = false);
 
+/// Checks a flight-recorder incident dump (GET /v1/incidents/{id}): the
+/// document must pass `validateChromeTrace`, carry a top-level "traceId"
+/// that is 32 lowercase hex digits and not all-zero, and every "X" span's
+/// args.trace_id must equal it — one incident is exactly one trace.
+TraceCheckResult validateIncidentTrace(const std::string& json);
+
 } // namespace qdd::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+// qdd::obs — request-scoped trace identity (W3C Trace Context).
+//
+// A TraceContext is the identity of one request: a 128-bit trace id shared
+// by every span recorded on behalf of the request (across threads) and a
+// 64-bit span id naming the server's own root span. It travels on the wire
+// as the W3C `traceparent` header and inside the process as a thread-local
+// installed by TraceScope; exec::ThreadPool captures the submitter's
+// context with each task, so work fanned out on the pool stays attributed
+// to the request that enqueued it.
+//
+// The context is deliberately independent of the QDD_OBS compile gate: it
+// is a few integers, and the service's access log and flight recorder need
+// it even in builds where span recording is compiled out.
+
+#include <cstdint>
+#include <string>
+
+namespace qdd::obs {
+
+struct TraceContext {
+  std::uint64_t traceHi = 0; ///< high 64 bits of the 128-bit trace id
+  std::uint64_t traceLo = 0; ///< low 64 bits
+  std::uint64_t spanId = 0;  ///< this hop's span id
+  std::uint8_t flags = 1;    ///< W3C trace-flags (bit 0: sampled)
+
+  /// Per the W3C spec an all-zero trace id or span id is invalid.
+  [[nodiscard]] bool valid() const noexcept {
+    return (traceHi | traceLo) != 0 && spanId != 0;
+  }
+
+  /// 32 lower-case hex chars of the trace id.
+  [[nodiscard]] std::string traceIdHex() const;
+  /// 16 lower-case hex chars of the span id.
+  [[nodiscard]] std::string spanIdHex() const;
+  /// Serializes as "00-<trace-id>-<span-id>-<flags>".
+  [[nodiscard]] std::string traceparent() const;
+
+  /// Parses a `traceparent` header value. Returns false (leaving `out`
+  /// untouched) for anything malformed: wrong field count or length,
+  /// non-hex digits, version "ff", or all-zero trace/span ids.
+  static bool parseTraceparent(const std::string& header, TraceContext& out);
+
+  /// A fresh context with random (nonzero) trace and span ids.
+  static TraceContext make();
+
+  /// A fresh nonzero 64-bit id (used for child span ids).
+  static std::uint64_t nextId() noexcept;
+};
+
+/// The context installed on the calling thread (invalid when none is).
+[[nodiscard]] const TraceContext& currentTrace() noexcept;
+
+/// RAII: installs `ctx` as the calling thread's current context and
+/// restores the previous one on destruction. Installing an invalid context
+/// is meaningful — it clears the slot, so pool workers never leak the
+/// previous task's identity into unrelated work.
+class TraceScope {
+public:
+  explicit TraceScope(const TraceContext& ctx) noexcept;
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+private:
+  TraceContext saved;
+};
+
+} // namespace qdd::obs

@@ -17,6 +17,7 @@
 
 #include "qdd/obs/Sinks.hpp"
 #include "qdd/service/Deadline.hpp"
+#include "qdd/service/Incidents.hpp"
 #include "qdd/service/Metrics.hpp"
 #include "qdd/service/Router.hpp"
 #include "qdd/service/SessionStore.hpp"
@@ -51,6 +52,11 @@ struct ApiOptions {
   std::int64_t maxDeadlineMs = 120000;
   /// Idle sessions older than this are evicted (<= 0 disables TTL).
   std::int64_t sessionTtlMs = 600000;
+  /// Newest incident traces kept in memory (and mirrored on disk when
+  /// `incidentDir` is set); older ones are dropped/unlinked.
+  std::size_t maxIncidents = 32;
+  /// On-disk mirror for incident trace JSON; empty keeps them memory-only.
+  std::string incidentDir;
 };
 
 class Api {
@@ -62,6 +68,9 @@ public:
 
   [[nodiscard]] SessionStore& sessions() noexcept { return store; }
   [[nodiscard]] DeadlineTimer& deadlines() noexcept { return timer; }
+  /// The flight-recorder incident log served by /v1/incidents. Wire it to
+  /// the server via HttpServer::setIncidentLog(&api.incidents()).
+  [[nodiscard]] IncidentLog& incidents() noexcept { return incidentLog; }
 
   /// Attaches the obs aggregator whose summaries /metrics embeds.
   void setAggregator(std::shared_ptr<obs::AggregatorSink> sink) {
@@ -84,7 +93,14 @@ private:
   HttpResponse exportDd(const std::string& id, const HttpRequest& request);
   HttpResponse verifyOnce(const HttpRequest& request);
   HttpResponse healthz();
-  HttpResponse metricsDoc();
+  HttpResponse metricsDoc(const HttpRequest& request);
+  HttpResponse listIncidents();
+  HttpResponse getIncident(const std::string& id);
+
+  /// The DD statistics /metrics reports: retired packages plus whichever
+  /// live sessions are idle right now.
+  [[nodiscard]] mem::StatsRegistry ddStats() const;
+  [[nodiscard]] std::string prometheusDoc() const;
 
   /// Builds a circuit from {"qasm": "..."} or {"builder": {...}}, enforcing
   /// the qubit/operation caps. Throws ApiError.
@@ -99,6 +115,7 @@ private:
   ServiceMetrics& metrics;
   SessionStore store;
   DeadlineTimer timer;
+  IncidentLog incidentLog;
   std::shared_ptr<obs::AggregatorSink> aggregator;
   std::function<bool()> drainingProbe;
 };

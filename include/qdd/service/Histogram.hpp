@@ -1,0 +1,116 @@
+#pragma once
+
+// qdd::service — fixed log-spaced latency histogram.
+//
+// Replaces the per-route raw-sample vectors of the original ServiceMetrics:
+// memory is a fixed 57 counters per histogram no matter how many requests
+// are recorded (the old design capped at 4096 samples and then silently
+// stopped sampling), recording is O(1), and quantiles come from a 57-entry
+// scan of a snapshot — so a /metrics scrape never sorts thousands of
+// doubles under the lock the request path needs.
+//
+// Buckets grow by sqrt(2) from 1 µs, covering 1 µs .. ~268 s (beyond the
+// service's 120 s deadline ceiling) with ≤ ~19% relative quantile error —
+// plenty for p50/p95 operational summaries. The bucket layout is also the
+// exposition format: toPrometheus-style cumulative `le` buckets map 1:1.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace qdd::service {
+
+class LatencyHistogram {
+public:
+  /// Finite buckets; values above the last bound land in the overflow
+  /// (+Inf) bucket. 56 sqrt(2) steps from 1 µs ≈ 268 s.
+  static constexpr std::size_t BUCKETS = 56;
+
+  /// Inclusive upper bound of bucket `i` in milliseconds: 0.001 * 2^((i+1)/2).
+  [[nodiscard]] static double upperBoundMs(std::size_t i) noexcept {
+    return 0.001 * std::exp2(0.5 * static_cast<double>(i + 1));
+  }
+
+  /// Not thread-safe by itself — callers (ServiceMetrics) hold their lock.
+  void record(double ms) noexcept {
+    ++total;
+    sum += ms;
+    if (ms > maxSeen) {
+      maxSeen = ms;
+    }
+    if (ms <= upperBoundMs(0)) {
+      ++counts[0];
+      return;
+    }
+    // invert upperBoundMs: smallest i with ms <= bound(i)
+    const double idx = 2. * std::log2(ms * 1000.) - 1.;
+    const auto i = static_cast<std::size_t>(
+        idx <= 0. ? 0. : std::ceil(idx - 1e-9));
+    if (i >= BUCKETS) {
+      ++overflow;
+    } else {
+      ++counts[i];
+    }
+  }
+
+  /// Quantile estimate (q in [0,1]) with linear interpolation inside the
+  /// bucket. Overflow-bucket hits return the true maximum.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (total == 0) {
+      return 0.;
+    }
+    const double target = q * static_cast<double>(total);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < BUCKETS; ++i) {
+      if (counts[i] == 0) {
+        continue;
+      }
+      const auto next = cum + counts[i];
+      if (static_cast<double>(next) >= target) {
+        const double lower = i == 0 ? 0. : upperBoundMs(i - 1);
+        const double upper = upperBoundMs(i);
+        const double inBucket =
+            (target - static_cast<double>(cum)) /
+            static_cast<double>(counts[i]);
+        const double v = lower + (upper - lower) * inBucket;
+        // never report beyond the observed maximum (tight first buckets)
+        return v < maxSeen ? v : maxSeen;
+      }
+      cum = next;
+    }
+    return maxSeen;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total; }
+  [[nodiscard]] double sumMs() const noexcept { return sum; }
+  [[nodiscard]] double maxMs() const noexcept { return maxSeen; }
+  [[nodiscard]] std::uint64_t overflowCount() const noexcept {
+    return overflow;
+  }
+  [[nodiscard]] const std::array<std::uint64_t, BUCKETS>&
+  bucketCounts() const noexcept {
+    return counts;
+  }
+
+  void merge(const LatencyHistogram& other) noexcept {
+    for (std::size_t i = 0; i < BUCKETS; ++i) {
+      counts[i] += other.counts[i];
+    }
+    overflow += other.overflow;
+    total += other.total;
+    sum += other.sum;
+    if (other.maxSeen > maxSeen) {
+      maxSeen = other.maxSeen;
+    }
+  }
+
+private:
+  std::array<std::uint64_t, BUCKETS> counts{};
+  std::uint64_t overflow = 0;
+  std::uint64_t total = 0;
+  double sum = 0.;
+  double maxSeen = 0.;
+};
+
+} // namespace qdd::service

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace qdd::service {
 
@@ -32,6 +34,10 @@ struct HttpResponse {
   std::string contentType = "application/json";
   std::string body;
   bool close = false; ///< force Connection: close
+  /// Extra headers emitted verbatim (e.g. the traceparent echo). The
+  /// framing headers (Content-Type/-Length, Connection) stay owned by
+  /// writeHttpResponse and cannot be overridden here.
+  std::vector<std::pair<std::string, std::string>> headers;
 
   static HttpResponse json(int status, std::string body) {
     HttpResponse r;
@@ -83,8 +89,11 @@ public:
   };
 
   /// Performs one request; throws std::runtime_error on transport failure.
+  /// `extraHeaders` are sent verbatim (e.g. {{"traceparent", "00-..."}}).
   Result request(const std::string& method, const std::string& target,
-                 const std::string& body = "");
+                 const std::string& body = "",
+                 const std::vector<std::pair<std::string, std::string>>&
+                     extraHeaders = {});
 
   /// Closes the connection (next request reconnects).
   void disconnect();

@@ -15,17 +15,21 @@
 // count (docs/SERVICE.md discusses this).
 
 #include "qdd/exec/ThreadPool.hpp"
+#include "qdd/obs/TraceContext.hpp"
 #include "qdd/service/Metrics.hpp"
 #include "qdd/service/Router.hpp"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <fstream>
 #include <mutex>
 #include <set>
 #include <thread>
 
 namespace qdd::service {
+
+class IncidentLog;
 
 struct ServerOptions {
   std::string bindAddress = "127.0.0.1";
@@ -36,6 +40,16 @@ struct ServerOptions {
   std::size_t maxBodyBytes = 1U << 20U;
   /// Idle keep-alive connections are closed after this long.
   int idleTimeoutMs = 5000;
+  /// Request-scoped tracing: parse/emit W3C traceparent, install a
+  /// TraceContext around dispatch, arm the obs flight recorder, and record
+  /// a "service/request" root span per request.
+  bool tracing = true;
+  /// Requests at least this slow are captured as incidents even when they
+  /// succeed (tail-latency forensics). <= 0 disables the slow trigger;
+  /// ≥500 and 408 responses are always captured.
+  double slowRequestMs = 250.;
+  /// JSONL access log (one line per routed request); empty disables.
+  std::string accessLogPath;
 };
 
 class HttpServer {
@@ -72,11 +86,18 @@ public:
 
   [[nodiscard]] std::size_t openConnections() const;
 
+  /// Attaches the incident log slow/error/deadline captures go to (must
+  /// outlive the server; nullptr disables capture).
+  void setIncidentLog(IncidentLog* log) noexcept { incidents = log; }
+
 private:
   void acceptLoop();
   void handleConnection(int fd);
   void trackOpen(int fd);
   void trackClosed(int fd);
+  void logAccess(const obs::TraceContext& ctx, const HttpRequest& request,
+                 const std::string& routeKey, int status, double ms,
+                 std::size_t bytesOut);
 
   const ServerOptions options;
   Router& router;
@@ -92,6 +113,10 @@ private:
   std::condition_variable connCv;
   std::set<int> openFds;
   std::size_t inFlight = 0; ///< requests currently executing a handler
+
+  IncidentLog* incidents = nullptr;
+  std::mutex accessLogMutex;
+  std::ofstream accessLog;
 
   /// Declared last on purpose: the pool destructor joins the connection
   /// workers, and they touch connMutex/connCv on their way out — those

@@ -1,0 +1,79 @@
+#pragma once
+
+// qdd::service — bounded incident log fed by the obs flight recorder.
+//
+// Tail-based capture: requests record their spans into the always-on
+// per-thread rings (obs::FlightRecorder) at ~nanosecond cost, and only when
+// a request turns out to be worth keeping — slower than the configured
+// threshold, a ≥500 response, or a 408 deadline expiry — does the server
+// ask the IncidentLog to assemble that trace's spans into a Chrome-trace-
+// compatible JSON document. The last N incidents are retained in memory
+// (GET /v1/incidents, GET /v1/incidents/{id}) and, when an incident
+// directory is configured, mirrored to disk with the same bound (oldest
+// file deleted first), so the directory can never grow without limit.
+
+#include "qdd/obs/TraceContext.hpp"
+#include "qdd/service/Json.hpp"
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace qdd::service {
+
+class IncidentLog {
+public:
+  /// `maxRetained` bounds both the in-memory list and the on-disk mirror;
+  /// `dir` empty keeps incidents memory-only.
+  IncidentLog(std::size_t maxRetained, std::string dir);
+
+  /// Snapshots the flight-recorder events carrying `ctx`'s trace id and
+  /// retains them as one incident. Returns the incident id.
+  std::string capture(const obs::TraceContext& ctx, const std::string& route,
+                      int status, double latencyMs,
+                      const std::string& sessionId, const char* reason);
+
+  /// {"incidents":[summaries, newest first],"captured":n,"retained":n}
+  [[nodiscard]] json::Value listJson() const;
+
+  /// Full Chrome-trace JSON of one incident; false when unknown (or already
+  /// rotated out).
+  [[nodiscard]] bool find(const std::string& id, std::string& traceJson) const;
+
+  [[nodiscard]] std::size_t captured() const;
+  [[nodiscard]] std::size_t retained() const;
+  /// Cumulative captures by reason ("slow" / "error" / "deadline").
+  [[nodiscard]] std::map<std::string, std::size_t> byReason() const;
+
+  [[nodiscard]] const std::string& directory() const noexcept { return dir; }
+
+private:
+  struct Entry {
+    std::string id;
+    std::string traceId;
+    std::string route;
+    std::string sessionId;
+    std::string reason;
+    int status = 0;
+    double latencyMs = 0.;
+    double wallMs = 0.; ///< capture time, ms since the Unix epoch
+    std::size_t spans = 0;
+    std::string traceJson;
+  };
+
+  void writeToDisk(const Entry& entry);
+
+  mutable std::mutex mutex;
+  const std::size_t maxRetained;
+  const std::string dir;
+  bool dirReady = false;
+  std::deque<Entry> entries; ///< newest at the back
+  std::deque<std::string> diskFiles;
+  std::size_t seq = 0;
+  std::size_t capturedN = 0;
+  std::map<std::string, std::size_t> reasons;
+};
+
+} // namespace qdd::service

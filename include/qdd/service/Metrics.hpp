@@ -4,14 +4,20 @@
 // keeps its own metrics (independent of the optional qdd::obs registry) so
 // /metrics always works and tests can assert on exact counter values:
 // deadline cancellations, drain rejections, eviction counts.
+//
+// Latency is tracked in fixed log-spaced histograms (Histogram.hpp), one
+// per route plus one aggregate: bounded memory under unbounded request
+// counts, and /metrics summaries come from an O(buckets) scan instead of
+// copying and sorting sample vectors under the lock — a scrape never
+// stalls the request path.
 
+#include "qdd/service/Histogram.hpp"
 #include "qdd/service/Json.hpp"
 
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
-#include <vector>
 
 namespace qdd::service {
 
@@ -41,15 +47,19 @@ public:
   ///  "deadlineTimeouts":...,"drainRejected":...}
   [[nodiscard]] json::Value toJson() const;
 
-private:
-  /// Latency samples per route, capped; percentiles are over the cap window.
-  static constexpr std::size_t MAX_SAMPLES = 4096;
+  /// Prometheus text exposition of everything this object owns: request /
+  /// status / route counters, the aggregate latency histogram (cumulative
+  /// `le` buckets, in seconds per Prometheus convention), per-route latency
+  /// summary gauges, and the service counters. Api::metricsDoc appends the
+  /// session-store and DD-package gauges it alone can see.
+  [[nodiscard]] std::string prometheus() const;
 
+private:
   struct Route {
     std::size_t count = 0;
     double totalMs = 0.;
     double maxMs = 0.;
-    std::vector<double> samples;
+    LatencyHistogram latency;
   };
 
   void bump(std::size_t& counter) {
@@ -61,10 +71,28 @@ private:
   std::size_t total = 0;
   std::map<int, std::size_t> byStatus;
   std::map<std::string, Route> routes;
+  LatencyHistogram allRoutes; ///< aggregate over every routed request
   std::size_t sessionsCreatedN = 0;
   std::size_t sessionsEvictedN = 0;
   std::size_t deadlineTimeoutsN = 0;
   std::size_t drainRejectedN = 0;
 };
+
+/// Helpers shared by the Prometheus emitters in Metrics.cpp and Api.cpp.
+namespace prom {
+
+/// Escapes a label value (backslash, quote, newline).
+[[nodiscard]] std::string escapeLabel(const std::string& value);
+/// Locale-independent %.9g double formatting ("." decimal point).
+[[nodiscard]] std::string number(double value);
+/// Appends "# HELP name help\n# TYPE name type\n".
+void family(std::string& out, const char* name, const char* type,
+            const char* help);
+/// Appends one sample line: name{labels} value. `labels` is the raw
+/// rendered label list without braces ("" for none).
+void sample(std::string& out, const char* name, const std::string& labels,
+            double value);
+
+} // namespace prom
 
 } // namespace qdd::service

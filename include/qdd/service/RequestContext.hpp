@@ -1,0 +1,41 @@
+#pragma once
+
+// qdd::service — per-request annotations flowing from handlers back to the
+// HTTP layer. The server cannot see inside a handler, but the access log
+// and incident records want handler-level facts: which session the request
+// touched and how the session's DD changed. Handlers write them into a
+// thread-local slot; HttpServer resets it before dispatch and reads it
+// after. (Handlers run synchronously on the connection's worker thread, so
+// a thread-local is exactly the right scope — no locking, no plumbing
+// through every handler signature.)
+
+#include <cstdint>
+#include <string>
+
+namespace qdd::service {
+
+struct RequestAnnotations {
+  std::string sessionId;         ///< session the request touched, if any
+  std::int64_t ddNodeDelta = 0;  ///< session DD node-count change
+  bool hasNodeDelta = false;
+
+  void reset() {
+    sessionId.clear();
+    ddNodeDelta = 0;
+    hasNodeDelta = false;
+  }
+
+  void noteSession(const std::string& id) { sessionId = id; }
+  void noteNodeDelta(std::int64_t delta) {
+    ddNodeDelta = delta;
+    hasNodeDelta = true;
+  }
+};
+
+/// The calling thread's annotation slot.
+inline RequestAnnotations& requestAnnotations() noexcept {
+  thread_local RequestAnnotations annotations;
+  return annotations;
+}
+
+} // namespace qdd::service

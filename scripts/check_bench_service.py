@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Record / check the HTTP-service throughput records of bench_service.
 
-The bench prints one line per client count plus a summary:
+The bench prints two tracing phases, one line per client count, and a
+summary:
 
-    BENCH_SERVICE steps_c1 {"clients": 1, "requests": ..., "errors": 0,
-                            "rps": ..., "p50Ms": ..., "p95Ms": ...,
-                            "hardwareConcurrency": ..., ...}
+    BENCH_SERVICE tracing_off {"clients": 1, "requests": ..., "errors": 0,
+                               "rps": ..., "p50Ms": ..., "p95Ms": ...,
+                               "hardwareConcurrency": ..., ...}
+    BENCH_SERVICE tracing_on  {...}
+    BENCH_SERVICE steps_c1 {...}
     BENCH_SERVICE steps_c4 {...}
     BENCH_SERVICE steps_c8 {...}
     BENCH_SERVICE summary  {"totalRequests": ..., "errors": 0,
@@ -22,7 +25,12 @@ Hard gates (any machine, any core count):
   * errors is 0 everywhere — the server never dropped or mangled a request;
   * latency percentiles are sane (0 < p50 <= p95);
   * serverRequests >= totalRequests — the server-side request counter saw
-    every client-side request (drift means lost accounting).
+    every client-side request (drift means lost accounting);
+  * tracing overhead: the tracing-on single-client p50 stays within
+    --max-tracing-overhead (default 10%) of the tracing-off p50, plus a
+    0.05 ms absolute slack so micro-jitter on sub-millisecond requests
+    does not flip the gate. Both phases come from the same run on the
+    same machine, so this gate applies everywhere.
 
 Core-count-gated (a 1-core container serializes everything, so throughput
 scaling only gates where the hardware can show it):
@@ -43,7 +51,10 @@ RUN_FIELDS = ("clients", "requests", "errors", "rps", "p50Ms", "p95Ms",
               "hardwareConcurrency")
 SUMMARY_FIELDS = ("totalRequests", "errors", "serverRequests", "scale4",
                   "scale8", "hardwareConcurrency")
-RUN_LABELS = ("steps_c1", "steps_c4", "steps_c8")
+RUN_LABELS = ("tracing_off", "tracing_on", "steps_c1", "steps_c4",
+              "steps_c8")
+
+TRACING_SLACK_MS = 0.05
 
 
 def parse_records(stream):
@@ -113,6 +124,19 @@ def validate(records):
     return failures
 
 
+def check_tracing_overhead(records, max_overhead):
+    """Tracing-on p50 vs tracing-off p50, same run, same machine."""
+    off = records.get("tracing_off", {})
+    on = records.get("tracing_on", {})
+    p50_off = off.get("p50Ms", 0.0)
+    p50_on = on.get("p50Ms", 0.0)
+    ceiling = p50_off * (1.0 + max_overhead) + TRACING_SLACK_MS
+    status = "ok" if p50_on <= ceiling else "FAIL"
+    print(f"  tracing: p50 on {p50_on:.4f} ms vs off {p50_off:.4f} ms "
+          f"(ceiling {ceiling:.4f}) {status}")
+    return 0 if p50_on <= ceiling else 1
+
+
 def check_scaling(records, min_scale8):
     """Core-count-gated throughput gates against this machine."""
     failures = 0
@@ -146,6 +170,9 @@ def main():
     parser.add_argument("--max-regression", type=float, default=0.5,
                         help="allowed relative single-client rps loss vs the "
                              "baseline when core counts match (default 0.5)")
+    parser.add_argument("--max-tracing-overhead", type=float, default=0.10,
+                        help="allowed relative p50 latency cost of request "
+                             "tracing (default 0.10 = 10%%)")
     args = parser.parse_args()
 
     stream = sys.stdin if args.input == "-" else open(args.input)
@@ -161,6 +188,7 @@ def main():
         return 1
 
     failures = validate(records)
+    failures += check_tracing_overhead(records, args.max_tracing_overhead)
     if failures:
         print(f"FAIL: {failures} validation failure(s)", file=sys.stderr)
         return 1

@@ -14,8 +14,14 @@ server started in the background:
   * /v1/verify decides GHZ-4 == decomposed GHZ-4 (portfolio checker);
   * a run with deadlineMs=0 answers a structured 408 without killing the
     session;
+  * requests echo a `traceparent` response header that keeps the caller's
+    trace id but allocates a fresh span id (W3C trace context);
+  * the 408 is captured by the flight recorder: /v1/incidents lists it
+    with the request's trace id, and /v1/incidents/{id} serves a Chrome
+    trace whose spans all carry that trace id (optionally written to
+    --incident-out for qdd-trace-check --incident);
   * /metrics accounts for every request this script made (request totals,
-    the 408, the deadline timeout, created sessions).
+    the 408, the deadline timeout, created sessions, the incident).
 
 Exits non-zero with a FAIL line on the first violated expectation.
 """
@@ -30,9 +36,11 @@ import urllib.request
 class Client:
     def __init__(self, base):
         self.base = base
+        self.last_headers = {}
 
-    def request(self, method, path, body=None):
-        """Returns (status, parsed-or-raw body)."""
+    def request(self, method, path, body=None, headers=None):
+        """Returns (status, parsed-or-raw body); response headers land in
+        self.last_headers."""
         data = None
         if body is not None:
             data = json.dumps(body).encode()
@@ -40,13 +48,17 @@ class Client:
                                      method=method)
         if data is not None:
             req.add_header("Content-Type", "application/json")
+        for name, value in (headers or {}).items():
+            req.add_header(name, value)
         try:
             with urllib.request.urlopen(req, timeout=30) as resp:
                 raw = resp.read().decode()
                 status = resp.status
+                self.last_headers = dict(resp.headers)
         except urllib.error.HTTPError as err:
             raw = err.read().decode()
             status = err.code
+            self.last_headers = dict(err.headers or {})
         try:
             return status, json.loads(raw)
         except json.JSONDecodeError:
@@ -78,6 +90,9 @@ def main():
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--qasm", default="examples/circuits/bell.qasm",
                         help="circuit the stepping walkthrough loads")
+    parser.add_argument("--incident-out", default="",
+                        help="write the fetched incident trace JSON here "
+                             "(for qdd-trace-check --incident)")
     args = parser.parse_args()
     client = Client(f"http://{args.host}:{args.port}")
     made = 0  # requests this script issued (cross-checked against /metrics)
@@ -133,23 +148,63 @@ def main():
            f"/v1/verify equivalence {doc.get('equivalence')}")
     expect(doc.get("entries"), "/v1/verify: no portfolio entries")
 
-    # --- structured deadline timeout ---------------------------------------
+    # --- structured deadline timeout, traced end to end --------------------
     status, doc = client.request("POST", "/v1/sessions", {
         "builder": {"name": "qft", "qubits": 10, "repeat": 50},
     })
     made += 1
     expect(status == 201, f"create deadline session -> {status}")
     did = doc["id"]
-    status, doc = client.request("POST", f"/v1/sessions/{did}/run",
-                                 {"deadlineMs": 0})
+    caller_trace = "ab" * 16
+    caller_span = "cd" * 8
+    status, doc = client.request(
+        "POST", f"/v1/sessions/{did}/run", {"deadlineMs": 0},
+        headers={"traceparent": f"00-{caller_trace}-{caller_span}-01"})
     made += 1
     expect(status == 408, f"deadline run -> {status} (want 408)")
     expect(doc.get("error", {}).get("code") == "deadline_exceeded",
            f"deadline run error {doc.get('error')}")
+    echoed = client.last_headers.get("traceparent", "")
+    parts = echoed.split("-")
+    expect(len(parts) == 4 and parts[1] == caller_trace,
+           f"traceparent does not keep the caller's trace id: {echoed!r}")
+    expect(parts[2] != caller_span and len(parts[2]) == 16,
+           f"traceparent did not allocate a fresh span id: {echoed!r}")
     # the session survives the timeout
     status, doc = client.request("GET", f"/v1/sessions/{did}")
     made += 1
     expect(status == 200, f"session after 408 -> {status}")
+
+    # --- the 408 landed in the flight recorder -----------------------------
+    status, doc = client.request("GET", "/v1/incidents")
+    made += 1
+    expect(status == 200, f"/v1/incidents -> {status}")
+    expect(doc.get("captured", 0) >= 1, "/v1/incidents captured nothing")
+    matching = [i for i in doc.get("incidents", [])
+                if i.get("traceId") == caller_trace]
+    expect(matching,
+           f"/v1/incidents has no incident with trace id {caller_trace}")
+    incident = matching[0]
+    expect(incident.get("reason") == "deadline",
+           f"incident reason {incident.get('reason')} (want deadline)")
+    expect(incident.get("status") == 408,
+           f"incident status {incident.get('status')} (want 408)")
+    expect(incident.get("spans", 0) >= 1, "incident recorded no spans")
+    status, trace = client.request("GET",
+                                   f"/v1/incidents/{incident['id']}")
+    made += 1
+    expect(status == 200, f"/v1/incidents/{incident['id']} -> {status}")
+    expect(trace.get("traceId") == caller_trace,
+           f"incident trace id {trace.get('traceId')}")
+    spans = [e for e in trace.get("traceEvents", [])
+             if e.get("ph") == "X"]
+    expect(spans, "incident trace has no spans")
+    for event in spans:
+        expect(event.get("args", {}).get("trace_id") == caller_trace,
+               "incident span carries a foreign trace id")
+    if args.incident_out:
+        with open(args.incident_out, "w") as f:
+            json.dump(trace, f)
 
     # --- metrics account for everything this script did --------------------
     status, doc = client.request("GET", "/metrics")
@@ -169,6 +224,13 @@ def main():
            "/metrics live session count")
     expect(isinstance(doc.get("dd"), dict) and doc["dd"],
            "/metrics dd table stats missing")
+    expect(doc.get("incidents", {}).get("captured", 0) >= 1,
+           "/metrics incidents.captured not incremented")
+    health_route = svc.get("routes", {}).get("GET /healthz", {})
+    expect(health_route.get("count", 0) >= 1
+           and 0 < health_route.get("p50Ms", 0)
+           <= health_route.get("p95Ms", 0),
+           f"/metrics route histogram percentiles not sane: {health_route}")
 
     for cleanup in (sid, did):
         status, _ = client.request("DELETE", f"/v1/sessions/{cleanup}")

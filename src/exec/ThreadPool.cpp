@@ -67,6 +67,10 @@ bool ThreadPool::stealTask(std::size_t thief, Item& item) {
 }
 
 void ThreadPool::runTask(Item&& item, std::size_t worker) {
+  // Install the submitter's trace context for the duration of the task
+  // (invalid contexts clear the slot rather than leaking the previous
+  // task's identity).
+  const obs::TraceScope traceScope(item.trace);
   if (item.batch == nullptr) {
     try {
       item.detached();
@@ -127,10 +131,11 @@ void ThreadPool::parallelFor(
   // the 1-worker run and the 8-worker run enumerate identical task sets per
   // queue before stealing redistributes them.
   const std::size_t count = queues.size();
+  const obs::TraceContext trace = obs::currentTrace();
   for (std::size_t i = 0; i < numTasks; ++i) {
     WorkerQueue& q = *queues[i % count];
     const std::lock_guard<std::mutex> lock(q.mutex);
-    q.tasks.push_back(Item{&current, i, {}});
+    q.tasks.push_back(Item{&current, i, {}, trace});
     // Incremented under the queue lock that also guards the matching pop,
     // so `queued` can never be decremented before its increment.
     queued.fetch_add(1, std::memory_order_relaxed);
@@ -159,7 +164,7 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     WorkerQueue& q = *queues[target];
     const std::lock_guard<std::mutex> lock(q.mutex);
-    q.tasks.push_back(Item{nullptr, 0, std::move(task)});
+    q.tasks.push_back(Item{nullptr, 0, std::move(task), obs::currentTrace()});
     queued.fetch_add(1, std::memory_order_relaxed);
   }
   {

@@ -1,0 +1,121 @@
+#include "qdd/obs/FlightRecorder.hpp"
+
+#include "qdd/obs/Obs.hpp"
+
+#include <algorithm>
+
+namespace qdd::obs {
+
+namespace {
+
+std::atomic<bool> gArmed{false};
+
+} // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+bool FlightRecorder::armed() noexcept {
+  return gArmed.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::setArmed(bool on) noexcept {
+  gArmed.store(on, std::memory_order_relaxed);
+}
+
+FlightRecorder::Ring& FlightRecorder::localRing() {
+  thread_local Ring* ring = nullptr;
+  if (ring == nullptr) {
+    auto owned = std::make_unique<Ring>();
+    owned->tid = Registry::currentThreadId();
+    Ring* raw = owned.get();
+    {
+      const std::lock_guard<std::mutex> lock(ringsMutex);
+      rings.push_back(std::move(owned));
+    }
+    ring = raw;
+  }
+  return *ring;
+}
+
+void FlightRecorder::record(const char* category, const char* name,
+                            double startUs, double durUs,
+                            int depth) noexcept {
+  const TraceContext& ctx = currentTrace();
+  Ring& ring = localRing();
+  const std::uint64_t n = ring.cursor.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[n % RING_CAPACITY];
+  slot.category.store(category, std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.startUs.store(startUs, std::memory_order_relaxed);
+  slot.durUs.store(durUs, std::memory_order_relaxed);
+  slot.traceHi.store(ctx.traceHi, std::memory_order_relaxed);
+  slot.traceLo.store(ctx.traceLo, std::memory_order_relaxed);
+  slot.depth.store(depth, std::memory_order_relaxed);
+  // Publish: readers treat a slot as valid only once the cursor covers it.
+  ring.cursor.store(n + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::capture(std::uint64_t traceHi,
+                                                 std::uint64_t traceLo) const {
+  std::vector<FlightEvent> out;
+  const std::lock_guard<std::mutex> lock(ringsMutex);
+  for (const auto& ringPtr : rings) {
+    const Ring& ring = *ringPtr;
+    const std::uint64_t before = ring.cursor.load(std::memory_order_acquire);
+    const std::uint64_t first =
+        before > RING_CAPACITY ? before - RING_CAPACITY : 0;
+    std::vector<FlightEvent> local;
+    local.reserve(static_cast<std::size_t>(before - first));
+    for (std::uint64_t w = first; w < before; ++w) {
+      const Slot& slot = ring.slots[w % RING_CAPACITY];
+      FlightEvent ev;
+      ev.category = slot.category.load(std::memory_order_relaxed);
+      ev.name = slot.name.load(std::memory_order_relaxed);
+      ev.startUs = slot.startUs.load(std::memory_order_relaxed);
+      ev.durUs = slot.durUs.load(std::memory_order_relaxed);
+      ev.traceHi = slot.traceHi.load(std::memory_order_relaxed);
+      ev.traceLo = slot.traceLo.load(std::memory_order_relaxed);
+      ev.depth = slot.depth.load(std::memory_order_relaxed);
+      ev.tid = ring.tid;
+      local.push_back(ev);
+    }
+    // The owner may have kept writing while we read. A write of index w+N
+    // begins as soon as the cursor reaches w+N, so every copied slot whose
+    // index is not strictly above after-N may be torn — discard it.
+    const std::uint64_t after = ring.cursor.load(std::memory_order_acquire);
+    const std::uint64_t safeFirst =
+        after >= RING_CAPACITY ? after - RING_CAPACITY + 1 : 0;
+    for (std::uint64_t w = first; w < before; ++w) {
+      if (w < safeFirst) {
+        continue;
+      }
+      const FlightEvent& ev = local[static_cast<std::size_t>(w - first)];
+      if (ev.traceHi == traceHi && ev.traceLo == traceLo &&
+          ev.category != nullptr && ev.name != nullptr) {
+        out.push_back(ev);
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     if (a.startUs != b.startUs) {
+                       return a.startUs < b.startUs;
+                     }
+                     return a.durUs > b.durUs;
+                   });
+  return out;
+}
+
+std::uint64_t FlightRecorder::totalRecorded() const {
+  std::uint64_t total = 0;
+  const std::lock_guard<std::mutex> lock(ringsMutex);
+  for (const auto& ring : rings) {
+    total += ring->cursor.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+} // namespace qdd::obs

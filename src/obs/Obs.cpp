@@ -59,6 +59,9 @@ void Registry::flush() {
 
 void Registry::recordSpan(SpanRecord&& span) {
   span.tid = currentThreadId();
+  const TraceContext& trace = currentTrace();
+  span.traceHi = trace.traceHi;
+  span.traceLo = trace.traceLo;
   const std::lock_guard<std::mutex> lock(mutex);
   for (const auto& sink : sinks) {
     sink->onSpan(span);
@@ -66,7 +69,8 @@ void Registry::recordSpan(SpanRecord&& span) {
 }
 
 void Registry::recordCounter(const char* name, double value) {
-  CounterRecord record{name, value, nowUs(), currentThreadId()};
+  CounterRecord record{name, value, nowUs(), currentThreadId(),
+                       currentTrace().traceHi, currentTrace().traceLo};
   const std::lock_guard<std::mutex> lock(mutex);
   for (const auto& sink : sinks) {
     sink->onCounter(record);

@@ -103,6 +103,17 @@ std::vector<Arg> stepArgs(const StepMetrics& step) {
   return args;
 }
 
+/// 32-hex-char trace id, empty when none was attached.
+std::string traceHex(std::uint64_t hi, std::uint64_t lo) {
+  if ((hi | lo) == 0) {
+    return {};
+  }
+  TraceContext ctx;
+  ctx.traceHi = hi;
+  ctx.traceLo = lo;
+  return ctx.traceIdHex();
+}
+
 std::string levelsJson(const std::vector<std::size_t>& nodesPerLevel) {
   std::string out = "[";
   for (std::size_t i = 0; i < nodesPerLevel.size(); ++i) {
@@ -128,6 +139,10 @@ void ChromeTraceSink::onSpan(const SpanRecord& span) {
   e.durUs = span.durUs;
   e.tid = span.tid;
   e.args = span.args;
+  const std::string trace = traceHex(span.traceHi, span.traceLo);
+  if (!trace.empty()) {
+    e.args.push_back(Arg::strArg("trace_id", trace));
+  }
   events.push_back(std::move(e));
 }
 
@@ -274,6 +289,10 @@ void JsonlSink::onSpan(const SpanRecord& span) {
       << "\",\"ts\":" << formatDouble(span.startUs)
       << ",\"dur\":" << formatDouble(span.durUs) << ",\"depth\":" << span.depth
       << ",\"tid\":" << span.tid;
+  const std::string trace = traceHex(span.traceHi, span.traceLo);
+  if (!trace.empty()) {
+    out << ",\"traceId\":\"" << trace << "\"";
+  }
   if (!span.args.empty()) {
     out << ",\"args\":" << argsJson(span.args);
   }
@@ -284,7 +303,12 @@ void JsonlSink::onCounter(const CounterRecord& counter) {
   out << "{\"type\":\"counter\",\"name\":\"" << jsonEscape(counter.name)
       << "\",\"ts\":" << formatDouble(counter.tsUs)
       << ",\"value\":" << formatDouble(counter.value)
-      << ",\"tid\":" << counter.tid << "}\n";
+      << ",\"tid\":" << counter.tid;
+  const std::string trace = traceHex(counter.traceHi, counter.traceLo);
+  if (!trace.empty()) {
+    out << ",\"traceId\":\"" << trace << "\"";
+  }
+  out << "}\n";
 }
 
 void JsonlSink::onStep(const StepMetrics& step) {

@@ -360,4 +360,57 @@ TraceCheckResult validateChromeTrace(const std::string& json,
   return result;
 }
 
+TraceCheckResult validateIncidentTrace(const std::string& json) {
+  TraceCheckResult result = validateChromeTrace(json);
+  if (!result.valid) {
+    return result;
+  }
+  // The chrome validation parsed successfully, so this re-parse cannot
+  // throw; incident dumps are small (ring-bounded), so parsing twice is
+  // cheaper than threading incident rules through the main walk.
+  const ValuePtr root = Parser(json).parse();
+  const Value* traceId = root->member("traceId");
+  if (!isString(traceId)) {
+    return failure("incident dump missing top-level \"traceId\"");
+  }
+  const std::string& id = traceId->string;
+  if (id.size() != 32) {
+    return failure("\"traceId\" is not 32 hex digits: \"" + id + "\"");
+  }
+  bool nonzero = false;
+  for (const char c : id) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) {
+      return failure("\"traceId\" is not lowercase hex: \"" + id + "\"");
+    }
+    nonzero = nonzero || c != '0';
+  }
+  if (!nonzero) {
+    return failure("\"traceId\" is all-zero");
+  }
+  const Value* events = root->member("traceEvents");
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const Value& ev = *events->array[i];
+    const Value* phase = ev.member("ph");
+    if (!isString(phase) || phase->string != "X") {
+      continue;
+    }
+    const Value* args = ev.member("args");
+    const Value* spanTrace =
+        args != nullptr && args->kind == Value::Kind::Object
+            ? args->member("trace_id")
+            : nullptr;
+    if (!isString(spanTrace)) {
+      return failure("event " + std::to_string(i) +
+                     ": span without args.trace_id");
+    }
+    if (spanTrace->string != id) {
+      return failure("event " + std::to_string(i) + ": trace_id \"" +
+                     spanTrace->string + "\" differs from incident \"" + id +
+                     "\"");
+    }
+  }
+  return result;
+}
+
 } // namespace qdd::obs

@@ -1,0 +1,149 @@
+#include "qdd/obs/TraceContext.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace qdd::obs {
+
+namespace {
+
+thread_local TraceContext tCurrent;
+
+constexpr char HEX[] = "0123456789abcdef";
+
+void appendHex64(std::string& out, std::uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(HEX[(v >> static_cast<unsigned>(shift)) & 0xFU]);
+  }
+}
+
+/// -1 for non-hex characters.
+int hexValue(char c) noexcept {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+/// Parses exactly `digits` hex chars at `s[pos]`; false on any non-hex.
+bool parseHex(const std::string& s, std::size_t pos, std::size_t digits,
+              std::uint64_t& out) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < digits; ++i) {
+    const int d = hexValue(s[pos + i]);
+    if (d < 0) {
+      return false;
+    }
+    v = (v << 4U) | static_cast<std::uint64_t>(d);
+  }
+  out = v;
+  return true;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30U)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27U)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31U);
+}
+
+} // namespace
+
+std::string TraceContext::traceIdHex() const {
+  std::string out;
+  out.reserve(32);
+  appendHex64(out, traceHi);
+  appendHex64(out, traceLo);
+  return out;
+}
+
+std::string TraceContext::spanIdHex() const {
+  std::string out;
+  out.reserve(16);
+  appendHex64(out, spanId);
+  return out;
+}
+
+std::string TraceContext::traceparent() const {
+  std::string out;
+  out.reserve(55);
+  out += "00-";
+  appendHex64(out, traceHi);
+  appendHex64(out, traceLo);
+  out += '-';
+  appendHex64(out, spanId);
+  out += '-';
+  out.push_back(HEX[(flags >> 4U) & 0xFU]);
+  out.push_back(HEX[flags & 0xFU]);
+  return out;
+}
+
+bool TraceContext::parseTraceparent(const std::string& header,
+                                    TraceContext& out) {
+  // version(2) '-' trace-id(32) '-' parent-id(16) '-' flags(2)
+  if (header.size() != 55 || header[2] != '-' || header[35] != '-' ||
+      header[52] != '-') {
+    return false;
+  }
+  std::uint64_t version = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t span = 0;
+  std::uint64_t flags = 0;
+  if (!parseHex(header, 0, 2, version) || !parseHex(header, 3, 16, hi) ||
+      !parseHex(header, 19, 16, lo) || !parseHex(header, 36, 16, span) ||
+      !parseHex(header, 53, 2, flags)) {
+    return false;
+  }
+  // "ff" is forbidden by the spec; all-zero ids are invalid.
+  if (version == 0xFF || (hi | lo) == 0 || span == 0) {
+    return false;
+  }
+  out.traceHi = hi;
+  out.traceLo = lo;
+  out.spanId = span;
+  out.flags = static_cast<std::uint8_t>(flags);
+  return true;
+}
+
+std::uint64_t TraceContext::nextId() noexcept {
+  // Seeded once per process from the clock; every id is one splitmix64 step
+  // of a shared counter — unique within the process, well-mixed bits, and
+  // cheap enough for the per-request path.
+  static std::atomic<std::uint64_t> counter{[] {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const auto wall = std::chrono::system_clock::now().time_since_epoch();
+    return splitmix64(static_cast<std::uint64_t>(now.count()) ^
+                      (static_cast<std::uint64_t>(wall.count()) << 1U));
+  }()};
+  std::uint64_t id = 0;
+  do {
+    id = splitmix64(counter.fetch_add(1, std::memory_order_relaxed));
+  } while (id == 0);
+  return id;
+}
+
+TraceContext TraceContext::make() {
+  TraceContext ctx;
+  ctx.traceHi = nextId();
+  ctx.traceLo = nextId();
+  ctx.spanId = nextId();
+  ctx.flags = 1;
+  return ctx;
+}
+
+const TraceContext& currentTrace() noexcept { return tCurrent; }
+
+TraceScope::TraceScope(const TraceContext& ctx) noexcept : saved(tCurrent) {
+  tCurrent = ctx;
+}
+
+TraceScope::~TraceScope() { tCurrent = saved; }
+
+} // namespace qdd::obs

@@ -4,6 +4,7 @@
 #include "qdd/ir/Builders.hpp"
 #include "qdd/obs/Obs.hpp"
 #include "qdd/parser/qasm/Parser.hpp"
+#include "qdd/service/RequestContext.hpp"
 #include "qdd/viz/DotExporter.hpp"
 #include "qdd/viz/Graph.hpp"
 #include "qdd/viz/JsonExporter.hpp"
@@ -33,6 +34,15 @@ viz::Graph sessionGraph(SessionStore::Entry& entry) {
     return viz::buildGraph(entry.simulation->state());
   }
   return viz::buildGraph(entry.verification->state());
+}
+
+/// Live DD node count of the session's current state (for the access-log
+/// node-delta annotation). Caller holds the entry mutex.
+std::int64_t liveNodes(SessionStore::Entry& entry) {
+  const std::size_t n = entry.simulation
+                            ? entry.simulation->currentNodes()
+                            : entry.verification->currentNodes();
+  return static_cast<std::int64_t>(n);
 }
 
 /// Export options from ?style=modern&labels=0&colored=1&thickness=1.
@@ -86,7 +96,8 @@ HttpResponse deadlineResponse(std::size_t stepsApplied,
 
 Api::Api(ApiOptions options, ServiceMetrics& metrics)
     : options(options), metrics(metrics),
-      store(options.maxSessions, options.sessionTtlMs) {}
+      store(options.maxSessions, options.sessionTtlMs),
+      incidentLog(options.maxIncidents, options.incidentDir) {}
 
 void Api::install(Router& router) {
   const auto wrap = [this](auto method) {
@@ -145,8 +156,16 @@ void Api::install(Router& router) {
                return api.healthz();
              }));
   router.add("GET", "/metrics",
+             wrap([](Api& api, const HttpRequest& r, const PathParams&) {
+               return api.metricsDoc(r);
+             }));
+  router.add("GET", "/v1/incidents",
              wrap([](Api& api, const HttpRequest&, const PathParams&) {
-               return api.metricsDoc();
+               return api.listIncidents();
+             }));
+  router.add("GET", "/v1/incidents/{id}",
+             wrap([](Api& api, const HttpRequest&, const PathParams& p) {
+               return api.getIncident(p.at("id"));
              }));
 }
 
@@ -378,6 +397,8 @@ HttpResponse Api::createSession(const HttpRequest& request) {
 
   // Snapshot the response while the entry is still private, then publish.
   json::Value doc = sessionDoc(*entry, /*includeDd=*/true);
+  requestAnnotations().noteSession(entry->id);
+  requestAnnotations().noteNodeDelta(liveNodes(*entry));
   store.publish(entry);
   metrics.countSessionCreated();
   QDD_OBS_COUNTER("service/sessions_created",
@@ -425,6 +446,8 @@ HttpResponse Api::stepSession(const std::string& id,
                                    body.getNumber("count", 1)));
   auto entry = require(id);
   const std::lock_guard<std::mutex> lock(entry->mutex);
+  requestAnnotations().noteSession(id);
+  const std::int64_t nodesBefore = liveNodes(*entry);
   std::size_t applied = 0;
   if (entry->simulation) {
     for (std::size_t k = 0; k < count; ++k) {
@@ -450,6 +473,7 @@ HttpResponse Api::stepSession(const std::string& id,
     }
   }
   ++entry->requests;
+  requestAnnotations().noteNodeDelta(liveNodes(*entry) - nodesBefore);
   json::Value doc = sessionDoc(*entry, /*includeDd=*/true);
   doc.set("stepsApplied", num(applied));
   return ok(doc);
@@ -463,6 +487,8 @@ HttpResponse Api::backSession(const std::string& id,
                                    body.getNumber("count", 1)));
   auto entry = require(id);
   const std::lock_guard<std::mutex> lock(entry->mutex);
+  requestAnnotations().noteSession(id);
+  const std::int64_t nodesBefore = liveNodes(*entry);
   std::size_t undone = 0;
   for (std::size_t k = 0; k < count; ++k) {
     const bool stepped = entry->simulation
@@ -474,6 +500,7 @@ HttpResponse Api::backSession(const std::string& id,
     ++undone;
   }
   ++entry->requests;
+  requestAnnotations().noteNodeDelta(liveNodes(*entry) - nodesBefore);
   json::Value doc = sessionDoc(*entry, /*includeDd=*/true);
   doc.set("stepsUndone", num(undone));
   return ok(doc);
@@ -482,6 +509,8 @@ HttpResponse Api::backSession(const std::string& id,
 HttpResponse Api::resetSession(const std::string& id) {
   auto entry = require(id);
   const std::lock_guard<std::mutex> lock(entry->mutex);
+  requestAnnotations().noteSession(id);
+  const std::int64_t nodesBefore = liveNodes(*entry);
   if (entry->simulation) {
     entry->simulation->runToStart();
   } else {
@@ -489,6 +518,7 @@ HttpResponse Api::resetSession(const std::string& id) {
     }
   }
   ++entry->requests;
+  requestAnnotations().noteNodeDelta(liveNodes(*entry) - nodesBefore);
   return ok(sessionDoc(*entry, /*includeDd=*/true));
 }
 
@@ -499,6 +529,8 @@ HttpResponse Api::runSession(const std::string& id,
   auto entry = require(id);
   const std::lock_guard<std::mutex> lock(entry->mutex);
   ++entry->requests;
+  requestAnnotations().noteSession(id);
+  const std::int64_t nodesBefore = liveNodes(*entry);
 
   const exec::CancellationToken token = timer.arm(deadlineMs);
   if (entry->simulation) {
@@ -509,6 +541,7 @@ HttpResponse Api::runSession(const std::string& id,
     while (!s.atEnd() && !token.cancelled()) {
       steps += s.runToEnd(token.flag());
     }
+    requestAnnotations().noteNodeDelta(liveNodes(*entry) - nodesBefore);
     if (!s.atEnd() && token.cancelled()) {
       metrics.countDeadlineTimeout();
       QDD_OBS_COUNTER("service/deadline_timeouts",
@@ -527,6 +560,7 @@ HttpResponse Api::runSession(const std::string& id,
   const std::size_t before = v.leftPosition() + v.rightPosition();
   const verify::CheckResult result = v.runToCompletion(token.flag());
   const std::size_t steps = v.leftPosition() + v.rightPosition() - before;
+  requestAnnotations().noteNodeDelta(liveNodes(*entry) - nodesBefore);
   if (result.cancelled) {
     metrics.countDeadlineTimeout();
     QDD_OBS_COUNTER("service/deadline_timeouts",
@@ -552,6 +586,7 @@ HttpResponse Api::exportDd(const std::string& id,
                                                        : fmtIt->second;
   const std::lock_guard<std::mutex> lock(entry->mutex);
   ++entry->requests;
+  requestAnnotations().noteSession(id);
   const viz::Graph graph = sessionGraph(*entry);
   HttpResponse response;
   if (fmt == "json") {
@@ -636,7 +671,32 @@ HttpResponse Api::healthz() {
   return ok(doc);
 }
 
-HttpResponse Api::metricsDoc() {
+mem::StatsRegistry Api::ddStats() const {
+  // Retired packages plus whichever live sessions are idle right now (busy
+  // ones are skipped rather than blocked behind a long-running request).
+  mem::StatsRegistry dd = store.retiredStats();
+  for (const auto& entry : store.list()) {
+    const std::unique_lock<std::mutex> lock(entry->mutex, std::try_to_lock);
+    if (lock.owns_lock() && entry->package) {
+      dd.merge(entry->package->statistics());
+    }
+  }
+  return dd;
+}
+
+HttpResponse Api::metricsDoc(const HttpRequest& request) {
+  const auto fmt = request.query.find("fmt");
+  if (fmt != request.query.end() && fmt->second == "prom") {
+    HttpResponse response;
+    response.contentType = "text/plain; version=0.0.4";
+    response.body = prometheusDoc();
+    return response;
+  }
+  if (fmt != request.query.end() && fmt->second != "json") {
+    throw ApiError(400, "invalid_request",
+                   "fmt must be json or prom (got \"" + fmt->second + "\")");
+  }
+
   json::Value doc = json::Value::object();
   doc.set("service", metrics.toJson());
 
@@ -647,22 +707,143 @@ HttpResponse Api::metricsDoc() {
   sess.set("deadlinesArmed", num(timer.armedCount()));
   doc.set("sessions", std::move(sess));
 
-  // DD table/cache statistics: retired packages plus whichever live
-  // sessions are idle right now (busy ones are skipped rather than blocked
-  // behind a long-running request).
-  mem::StatsRegistry dd = store.retiredStats();
-  for (const auto& entry : store.list()) {
-    const std::unique_lock<std::mutex> lock(entry->mutex, std::try_to_lock);
-    if (lock.owns_lock() && entry->package) {
-      dd.merge(entry->package->statistics());
-    }
-  }
-  doc.set("dd", json::Value::parse(dd.toJson(/*pretty=*/false)));
+  json::Value inc = json::Value::object();
+  inc.set("captured", num(incidentLog.captured()));
+  inc.set("retained", num(incidentLog.retained()));
+  doc.set("incidents", std::move(inc));
+
+  doc.set("dd", json::Value::parse(ddStats().toJson(/*pretty=*/false)));
 
   if (aggregator) {
     doc.set("obs", json::Value::parse(aggregator->toJson()));
   }
   return ok(doc);
+}
+
+std::string Api::prometheusDoc() const {
+  std::string out = metrics.prometheus();
+
+  // --- session store ---
+  prom::family(out, "qdd_sessions_live", "gauge",
+               "Sessions currently stored.");
+  prom::sample(out, "qdd_sessions_live", "",
+               static_cast<double>(store.size()));
+  prom::family(out, "qdd_sessions_capacity", "gauge",
+               "Session admission cap.");
+  prom::sample(out, "qdd_sessions_capacity", "",
+               static_cast<double>(store.capacity()));
+  prom::family(out, "qdd_deadlines_armed", "gauge",
+               "Deadline timers currently armed.");
+  prom::sample(out, "qdd_deadlines_armed", "",
+               static_cast<double>(timer.armedCount()));
+
+  // --- per-session DD size (idle sessions only; busy ones are skipped) ---
+  prom::family(out, "qdd_session_nodes", "gauge",
+               "Current DD nodes of each idle session.");
+  prom::family(out, "qdd_session_peak_nodes", "gauge",
+               "Peak DD nodes of each idle session.");
+  for (const auto& entry : store.list()) {
+    const std::unique_lock<std::mutex> lock(entry->mutex, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      continue;
+    }
+    std::size_t nodes = 0;
+    std::size_t peak = 0;
+    if (entry->simulation) {
+      nodes = entry->simulation->currentNodes();
+      peak = entry->simulation->peakNodes();
+    } else if (entry->verification) {
+      nodes = entry->verification->currentNodes();
+      peak = entry->verification->peakNodes();
+    } else {
+      continue;
+    }
+    const std::string labels = "session=\"" + prom::escapeLabel(entry->id) +
+                               "\",kind=\"" + entry->kind + "\"";
+    prom::sample(out, "qdd_session_nodes", labels,
+                 static_cast<double>(nodes));
+    prom::sample(out, "qdd_session_peak_nodes", labels,
+                 static_cast<double>(peak));
+  }
+
+  // --- DD unique/real/compute tables, apply engine, GC ---
+  const mem::StatsRegistry dd = ddStats();
+  prom::family(out, "qdd_dd_unique_table_entries", "gauge",
+               "Nodes stored per unique table.");
+  prom::sample(out, "qdd_dd_unique_table_entries", "table=\"vector\"",
+               static_cast<double>(dd.vectorTable.entries));
+  prom::sample(out, "qdd_dd_unique_table_entries", "table=\"matrix\"",
+               static_cast<double>(dd.matrixTable.entries));
+  prom::family(out, "qdd_dd_unique_table_lookups_total", "counter",
+               "Unique-table lookups per table.");
+  prom::sample(out, "qdd_dd_unique_table_lookups_total", "table=\"vector\"",
+               static_cast<double>(dd.vectorTable.lookups));
+  prom::sample(out, "qdd_dd_unique_table_lookups_total", "table=\"matrix\"",
+               static_cast<double>(dd.matrixTable.lookups));
+  prom::family(out, "qdd_dd_unique_table_hits_total", "counter",
+               "Unique-table lookups answered by an existing node.");
+  prom::sample(out, "qdd_dd_unique_table_hits_total", "table=\"vector\"",
+               static_cast<double>(dd.vectorTable.hits));
+  prom::sample(out, "qdd_dd_unique_table_hits_total", "table=\"matrix\"",
+               static_cast<double>(dd.matrixTable.hits));
+  prom::family(out, "qdd_dd_real_table_entries", "gauge",
+               "Canonical real numbers stored.");
+  prom::sample(out, "qdd_dd_real_table_entries", "",
+               static_cast<double>(dd.reals.entries));
+
+  const mem::ComputeTableStats compute = dd.computeTotals();
+  prom::family(out, "qdd_dd_compute_lookups_total", "counter",
+               "Memoization lookups summed over all compute tables.");
+  prom::sample(out, "qdd_dd_compute_lookups_total", "",
+               static_cast<double>(compute.lookups));
+  prom::family(out, "qdd_dd_compute_hits_total", "counter",
+               "Memoization hits summed over all compute tables.");
+  prom::sample(out, "qdd_dd_compute_hits_total", "",
+               static_cast<double>(compute.hits));
+
+  prom::family(out, "qdd_dd_apply_total", "counter",
+               "Gate applications per apply-engine path.");
+  prom::sample(out, "qdd_dd_apply_total", "path=\"diagonal\"",
+               static_cast<double>(dd.apply.diagonal));
+  prom::sample(out, "qdd_dd_apply_total", "path=\"permutation\"",
+               static_cast<double>(dd.apply.permutation));
+  prom::sample(out, "qdd_dd_apply_total", "path=\"generic\"",
+               static_cast<double>(dd.apply.generic));
+  prom::sample(out, "qdd_dd_apply_total", "path=\"fallback\"",
+               static_cast<double>(dd.apply.fallback));
+  prom::family(out, "qdd_dd_apply_fast_coverage", "gauge",
+               "Fraction of gate applications served by a fast path.");
+  prom::sample(out, "qdd_dd_apply_fast_coverage", "", dd.apply.coverage());
+  prom::family(out, "qdd_dd_gc_runs_total", "counter",
+               "Garbage-collection runs across all packages.");
+  prom::sample(out, "qdd_dd_gc_runs_total", "",
+               static_cast<double>(dd.gc.runs));
+
+  // --- incidents ---
+  prom::family(out, "qdd_incidents_total", "counter",
+               "Flight-recorder incidents captured, by trigger reason.");
+  for (const auto& [reason, count] : incidentLog.byReason()) {
+    prom::sample(out, "qdd_incidents_total",
+                 "reason=\"" + prom::escapeLabel(reason) + "\"",
+                 static_cast<double>(count));
+  }
+  prom::family(out, "qdd_incidents_retained", "gauge",
+               "Incident traces currently retrievable via /v1/incidents.");
+  prom::sample(out, "qdd_incidents_retained", "",
+               static_cast<double>(incidentLog.retained()));
+  return out;
+}
+
+HttpResponse Api::listIncidents() { return ok(incidentLog.listJson()); }
+
+HttpResponse Api::getIncident(const std::string& id) {
+  std::string traceJson;
+  if (!incidentLog.find(id, traceJson)) {
+    throw ApiError(404, "incident_not_found", "no incident \"" + id + "\"");
+  }
+  HttpResponse response;
+  response.body = std::move(traceJson);
+  return response;
 }
 
 } // namespace qdd::service

@@ -217,6 +217,9 @@ bool writeHttpResponse(int fd, const HttpResponse& response) {
                      statusReason(response.status) + "\r\n";
   head += "Content-Type: " + response.contentType + "\r\n";
   head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    head += name + ": " + value + "\r\n";
+  }
   head += response.close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
   head += "\r\n";
   return sendAll(fd, head.data(), head.size()) &&
@@ -261,9 +264,10 @@ void HttpClient::ensureConnected() {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-HttpClient::Result HttpClient::request(const std::string& method,
-                                       const std::string& target,
-                                       const std::string& body) {
+HttpClient::Result HttpClient::request(
+    const std::string& method, const std::string& target,
+    const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extraHeaders) {
   for (int attempt = 0; attempt < 2; ++attempt) {
     ensureConnected();
     std::string msg = method + " " + target + " HTTP/1.1\r\n";
@@ -271,6 +275,9 @@ HttpClient::Result HttpClient::request(const std::string& method,
     if (!body.empty() || method == "POST" || method == "PUT") {
       msg += "Content-Type: application/json\r\n";
       msg += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    for (const auto& [name, value] : extraHeaders) {
+      msg += name + ": " + value + "\r\n";
     }
     msg += "\r\n" + body;
     if (!sendAll(fd, msg.data(), msg.size())) {

@@ -1,5 +1,10 @@
 #include "qdd/service/HttpServer.hpp"
 
+#include "qdd/obs/FlightRecorder.hpp"
+#include "qdd/obs/Obs.hpp"
+#include "qdd/service/Incidents.hpp"
+#include "qdd/service/RequestContext.hpp"
+
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -51,6 +56,16 @@ void HttpServer::start() {
   socklen_t len = sizeof(bound);
   ::getsockname(listenFd, reinterpret_cast<sockaddr*>(&bound), &len);
   boundPort = ntohs(bound.sin_port);
+
+  if (options.tracing) {
+    // Arming is process-wide and sticky on purpose: rings record only while
+    // a valid TraceContext is installed, and only tracing servers install
+    // one — so arming costs untraced code paths nothing.
+    obs::FlightRecorder::setArmed(true);
+  }
+  if (!options.accessLogPath.empty()) {
+    accessLog.open(options.accessLogPath, std::ios::app);
+  }
 
   acceptor = std::thread([this] { acceptLoop(); });
 }
@@ -140,24 +155,73 @@ void HttpServer::handleConnection(int fd) {
       const std::lock_guard<std::mutex> lock(connMutex);
       ++inFlight;
     }
+
+    // Request identity: continue the caller's trace (traceparent header,
+    // fresh child span id) or start a new one. With tracing off the context
+    // stays invalid, which turns every tracing hook below into a no-op.
+    obs::TraceContext ctx;
+    if (options.tracing) {
+      const auto tp = request.headers.find("traceparent");
+      if (tp == request.headers.end() ||
+          !obs::TraceContext::parseTraceparent(tp->second, ctx)) {
+        ctx = obs::TraceContext::make();
+      } else {
+        ctx.spanId = obs::TraceContext::nextId();
+      }
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
     Router::Dispatch dispatched;
-    try {
-      dispatched = router.dispatch(request);
-    } catch (const std::exception& e) {
-      dispatched.response = errorResponse(500, "internal_error", e.what());
-    } catch (...) {
-      dispatched.response =
-          errorResponse(500, "internal_error", "unknown error");
+    {
+      // Scope: the root span must close (and land in the flight ring)
+      // before any incident capture below reads the ring.
+      const obs::TraceScope traceScope(ctx);
+      requestAnnotations().reset();
+      obs::ScopedSpan rootSpan("service", "request", options.tracing);
+      try {
+        dispatched = router.dispatch(request);
+      } catch (const std::exception& e) {
+        dispatched.response = errorResponse(500, "internal_error", e.what());
+      } catch (...) {
+        dispatched.response =
+            errorResponse(500, "internal_error", "unknown error");
+      }
     }
     const double ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
             .count();
-    metrics.recordRequest(dispatched.pattern.empty()
-                              ? request.method + " " + request.path
-                              : request.method + " " + dispatched.pattern,
-                          dispatched.response.status, ms);
+    const std::string routeKey =
+        dispatched.pattern.empty()
+            ? request.method + " " + request.path
+            : request.method + " " + dispatched.pattern;
+    const int status = dispatched.response.status;
+    metrics.recordRequest(routeKey, status, ms);
+
+    if (options.tracing) {
+      dispatched.response.headers.emplace_back("traceparent",
+                                               ctx.traceparent());
+      if (incidents != nullptr) {
+        const char* reason = nullptr;
+        if (status >= 500) {
+          reason = "error";
+        } else if (status == 408) {
+          reason = "deadline";
+        } else if (options.slowRequestMs > 0. &&
+                   ms >= options.slowRequestMs) {
+          reason = "slow";
+        }
+        if (reason != nullptr) {
+          incidents->capture(ctx, routeKey, status, ms,
+                             requestAnnotations().sessionId, reason);
+        }
+      }
+    }
+    if (accessLog.is_open()) {
+      logAccess(ctx, request, routeKey, status, ms,
+                dispatched.response.body.size());
+    }
+
     {
       const std::lock_guard<std::mutex> lock(connMutex);
       --inFlight;
@@ -176,6 +240,53 @@ void HttpServer::handleConnection(int fd) {
   // descriptor belonging to someone else.
   trackClosed(fd);
   ::close(fd);
+}
+
+void HttpServer::logAccess(const obs::TraceContext& ctx,
+                           const HttpRequest& request,
+                           const std::string& routeKey, int status, double ms,
+                           std::size_t bytesOut) {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  };
+  const double wallMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  const RequestAnnotations& ann = requestAnnotations();
+
+  std::string line = "{\"ts\":" + std::to_string(wallMs);
+  if (ctx.valid()) {
+    line += ",\"traceId\":\"" + ctx.traceIdHex() + "\"";
+  }
+  line += ",\"method\":\"" + escape(request.method) + "\"";
+  line += ",\"route\":\"" + escape(routeKey) + "\"";
+  line += ",\"status\":" + std::to_string(status);
+  line += ",\"latencyMs\":" + std::to_string(ms);
+  if (!ann.sessionId.empty()) {
+    line += ",\"session\":\"" + escape(ann.sessionId) + "\"";
+  }
+  if (ann.hasNodeDelta) {
+    line += ",\"ddNodeDelta\":" + std::to_string(ann.ddNodeDelta);
+  }
+  line += ",\"bytesOut\":" + std::to_string(bytesOut);
+  line += "}\n";
+
+  const std::lock_guard<std::mutex> lock(accessLogMutex);
+  accessLog << line;
+  accessLog.flush();
 }
 
 void HttpServer::trackOpen(int fd) {

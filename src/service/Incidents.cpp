@@ -1,0 +1,176 @@
+#include "qdd/service/Incidents.hpp"
+
+#include "qdd/obs/FlightRecorder.hpp"
+
+#include <chrono>
+#include <fstream>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace qdd::service {
+
+namespace {
+
+double wallNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+json::Value num(double v) { return json::Value::number(v); }
+
+/// Chrome-trace document for one captured trace. Events arrive sorted by
+/// start time (ties: enclosing span first) from FlightRecorder::capture,
+/// which is exactly the order qdd-trace-check requires.
+std::string traceDocument(const std::vector<obs::FlightEvent>& events,
+                          const std::string& traceId,
+                          const json::Value& incident) {
+  json::Value doc = json::Value::object();
+  json::Value list = json::Value::array();
+  for (const obs::FlightEvent& ev : events) {
+    json::Value e = json::Value::object();
+    e.set("name", json::Value::string(ev.name));
+    e.set("cat", json::Value::string(ev.category));
+    e.set("ph", json::Value::string("X"));
+    e.set("pid", num(1));
+    e.set("tid", num(static_cast<double>(ev.tid)));
+    e.set("ts", num(ev.startUs));
+    e.set("dur", num(ev.durUs));
+    json::Value args = json::Value::object();
+    args.set("trace_id", json::Value::string(traceId));
+    args.set("depth", num(static_cast<double>(ev.depth)));
+    e.set("args", std::move(args));
+    list.push(std::move(e));
+  }
+  doc.set("traceEvents", std::move(list));
+  doc.set("displayTimeUnit", json::Value::string("ms"));
+  doc.set("traceId", json::Value::string(traceId));
+  doc.set("incident", incident);
+  return doc.dump();
+}
+
+} // namespace
+
+IncidentLog::IncidentLog(std::size_t maxRetained, std::string dir)
+    : maxRetained(maxRetained == 0 ? 1 : maxRetained), dir(std::move(dir)) {}
+
+std::string IncidentLog::capture(const obs::TraceContext& ctx,
+                                 const std::string& route, int status,
+                                 double latencyMs,
+                                 const std::string& sessionId,
+                                 const char* reason) {
+  const std::vector<obs::FlightEvent> events =
+      obs::FlightRecorder::instance().capture(ctx.traceHi, ctx.traceLo);
+
+  Entry entry;
+  entry.traceId = ctx.traceIdHex();
+  entry.route = route;
+  entry.sessionId = sessionId;
+  entry.reason = reason;
+  entry.status = status;
+  entry.latencyMs = latencyMs;
+  entry.wallMs = wallNowMs();
+  entry.spans = events.size();
+
+  const std::lock_guard<std::mutex> lock(mutex);
+  entry.id = "inc-" + std::to_string(++seq);
+
+  json::Value meta = json::Value::object();
+  meta.set("id", json::Value::string(entry.id));
+  meta.set("route", json::Value::string(entry.route));
+  meta.set("status", num(entry.status));
+  meta.set("latencyMs", num(entry.latencyMs));
+  meta.set("reason", json::Value::string(entry.reason));
+  meta.set("tsMs", num(entry.wallMs));
+  if (!entry.sessionId.empty()) {
+    meta.set("session", json::Value::string(entry.sessionId));
+  }
+  entry.traceJson = traceDocument(events, entry.traceId, meta);
+
+  ++capturedN;
+  ++reasons[entry.reason];
+  writeToDisk(entry);
+  entries.push_back(std::move(entry));
+  while (entries.size() > maxRetained) {
+    entries.pop_front();
+  }
+  return entries.back().id;
+}
+
+void IncidentLog::writeToDisk(const Entry& entry) {
+  if (dir.empty()) {
+    return;
+  }
+  if (!dirReady) {
+    // EEXIST is fine; any other failure silently disables the mirror for
+    // this attempt (capture must never take a request down).
+    ::mkdir(dir.c_str(), 0755);
+    dirReady = true;
+  }
+  const std::string path = dir + "/" + entry.id + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    return;
+  }
+  out << entry.traceJson;
+  out.close();
+  diskFiles.push_back(path);
+  while (diskFiles.size() > maxRetained) {
+    ::unlink(diskFiles.front().c_str());
+    diskFiles.pop_front();
+  }
+}
+
+json::Value IncidentLog::listJson() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  json::Value list = json::Value::array();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    json::Value item = json::Value::object();
+    item.set("id", json::Value::string(it->id));
+    item.set("traceId", json::Value::string(it->traceId));
+    item.set("route", json::Value::string(it->route));
+    if (!it->sessionId.empty()) {
+      item.set("session", json::Value::string(it->sessionId));
+    }
+    item.set("status", num(it->status));
+    item.set("latencyMs", num(it->latencyMs));
+    item.set("reason", json::Value::string(it->reason));
+    item.set("spans", num(static_cast<double>(it->spans)));
+    item.set("tsMs", num(it->wallMs));
+    list.push(std::move(item));
+  }
+  json::Value doc = json::Value::object();
+  doc.set("incidents", std::move(list));
+  doc.set("captured", num(static_cast<double>(capturedN)));
+  doc.set("retained", num(static_cast<double>(entries.size())));
+  return doc;
+}
+
+bool IncidentLog::find(const std::string& id, std::string& traceJson) const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  for (const Entry& entry : entries) {
+    if (entry.id == id) {
+      traceJson = entry.traceJson;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t IncidentLog::captured() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return capturedN;
+}
+
+std::size_t IncidentLog::retained() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return entries.size();
+}
+
+std::map<std::string, std::size_t> IncidentLog::byReason() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return reasons;
+}
+
+} // namespace qdd::service

@@ -1,25 +1,73 @@
 #include "qdd/service/Metrics.hpp"
 
 #include <algorithm>
-#include <cmath>
+#include <cstdio>
 
 namespace qdd::service {
 
-namespace {
+namespace prom {
 
-double percentile(std::vector<double> samples, double p) {
-  if (samples.empty()) {
-    return 0.;
+std::string escapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+    case '\\':
+      out += "\\\\";
+      break;
+    case '"':
+      out += "\\\"";
+      break;
+    case '\n':
+      out += "\\n";
+      break;
+    default:
+      out += c;
+      break;
+    }
   }
-  std::sort(samples.begin(), samples.end());
-  const double rank = p / 100. * static_cast<double>(samples.size());
-  std::size_t idx =
-      rank <= 1. ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
-  idx = std::min(idx, samples.size() - 1);
-  return samples[idx];
+  return out;
 }
 
-} // namespace
+std::string number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  std::string s(buf);
+  for (char& c : s) {
+    if (c == ',') {
+      c = '.';
+    }
+  }
+  return s;
+}
+
+void family(std::string& out, const char* name, const char* type,
+            const char* help) {
+  out += "# HELP ";
+  out += name;
+  out += ' ';
+  out += help;
+  out += "\n# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void sample(std::string& out, const char* name, const std::string& labels,
+            double value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  out += ' ';
+  out += number(value);
+  out += '\n';
+}
+
+} // namespace prom
 
 void ServiceMetrics::recordRequest(const std::string& pattern, int status,
                                    double ms) {
@@ -30,9 +78,8 @@ void ServiceMetrics::recordRequest(const std::string& pattern, int status,
   ++route.count;
   route.totalMs += ms;
   route.maxMs = std::max(route.maxMs, ms);
-  if (route.samples.size() < MAX_SAMPLES) {
-    route.samples.push_back(ms);
-  }
+  route.latency.record(ms);
+  allRoutes.record(ms);
 }
 
 void ServiceMetrics::recordTransportError(int status) {
@@ -90,8 +137,9 @@ json::Value ServiceMetrics::toJson() const {
     r.set("count", json::Value::number(static_cast<double>(route.count)));
     r.set("totalMs", json::Value::number(route.totalMs));
     r.set("maxMs", json::Value::number(route.maxMs));
-    r.set("p50Ms", json::Value::number(percentile(route.samples, 50.)));
-    r.set("p95Ms", json::Value::number(percentile(route.samples, 95.)));
+    // histogram estimates — O(buckets), no sample copies under the lock
+    r.set("p50Ms", json::Value::number(route.latency.quantile(0.50)));
+    r.set("p95Ms", json::Value::number(route.latency.quantile(0.95)));
     routeDoc.set(pattern, std::move(r));
   }
   doc.set("routes", std::move(routeDoc));
@@ -105,6 +153,82 @@ json::Value ServiceMetrics::toJson() const {
   doc.set("drainRejected",
           json::Value::number(static_cast<double>(drainRejectedN)));
   return doc;
+}
+
+std::string ServiceMetrics::prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::string out;
+  out.reserve(8192);
+
+  prom::family(out, "qdd_http_requests_total", "counter",
+               "HTTP requests observed (routed and transport errors).");
+  prom::sample(out, "qdd_http_requests_total", "",
+               static_cast<double>(total));
+
+  prom::family(out, "qdd_http_responses_total", "counter",
+               "Responses by HTTP status code.");
+  for (const auto& [status, count] : byStatus) {
+    prom::sample(out, "qdd_http_responses_total",
+                 "status=\"" + std::to_string(status) + "\"",
+                 static_cast<double>(count));
+  }
+
+  prom::family(out, "qdd_http_route_requests_total", "counter",
+               "Routed requests by route pattern.");
+  for (const auto& [pattern, route] : routes) {
+    prom::sample(out, "qdd_http_route_requests_total",
+                 "route=\"" + prom::escapeLabel(pattern) + "\"",
+                 static_cast<double>(route.count));
+  }
+
+  prom::family(out, "qdd_http_route_latency_ms", "gauge",
+               "Per-route latency summary (histogram estimate), ms.");
+  for (const auto& [pattern, route] : routes) {
+    const std::string base = "route=\"" + prom::escapeLabel(pattern) + "\"";
+    prom::sample(out, "qdd_http_route_latency_ms", base + ",stat=\"p50\"",
+                 route.latency.quantile(0.50));
+    prom::sample(out, "qdd_http_route_latency_ms", base + ",stat=\"p95\"",
+                 route.latency.quantile(0.95));
+    prom::sample(out, "qdd_http_route_latency_ms", base + ",stat=\"max\"",
+                 route.maxMs);
+  }
+
+  // Aggregate latency histogram in seconds with cumulative `le` buckets.
+  prom::family(out, "qdd_http_request_duration_seconds", "histogram",
+               "Request latency across all routes.");
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::BUCKETS; ++i) {
+    cum += allRoutes.bucketCounts()[i];
+    prom::sample(
+        out, "qdd_http_request_duration_seconds_bucket",
+        "le=\"" + prom::number(LatencyHistogram::upperBoundMs(i) / 1000.) +
+            "\"",
+        static_cast<double>(cum));
+  }
+  prom::sample(out, "qdd_http_request_duration_seconds_bucket", "le=\"+Inf\"",
+               static_cast<double>(allRoutes.count()));
+  prom::sample(out, "qdd_http_request_duration_seconds_sum", "",
+               allRoutes.sumMs() / 1000.);
+  prom::sample(out, "qdd_http_request_duration_seconds_count", "",
+               static_cast<double>(allRoutes.count()));
+
+  prom::family(out, "qdd_sessions_created_total", "counter",
+               "Sessions ever created.");
+  prom::sample(out, "qdd_sessions_created_total", "",
+               static_cast<double>(sessionsCreatedN));
+  prom::family(out, "qdd_sessions_evicted_total", "counter",
+               "Sessions evicted by the TTL sweeper.");
+  prom::sample(out, "qdd_sessions_evicted_total", "",
+               static_cast<double>(sessionsEvictedN));
+  prom::family(out, "qdd_deadline_timeouts_total", "counter",
+               "Requests stopped by an expired deadline (408).");
+  prom::sample(out, "qdd_deadline_timeouts_total", "",
+               static_cast<double>(deadlineTimeoutsN));
+  prom::family(out, "qdd_drain_rejected_total", "counter",
+               "Requests rejected while draining (503).");
+  prom::sample(out, "qdd_drain_rejected_total", "",
+               static_cast<double>(drainRejectedN));
+  return out;
 }
 
 } // namespace qdd::service

@@ -584,6 +584,13 @@ int runServe(int argc, char** argv, int first) {
       }
       return std::strtol(argv[++i], nullptr, 10);
     };
+    const auto strArg = [&](const char* name) -> std::string {
+      if (i + 1 >= argc) {
+        throw std::runtime_error(std::string(name) +
+                                 " requires an argument");
+      }
+      return argv[++i];
+    };
     if (flag == "--port") {
       serverOpts.port = static_cast<std::uint16_t>(intArg("--port"));
     } else if (flag == "--workers") {
@@ -602,6 +609,16 @@ int runServe(int argc, char** argv, int first) {
       drainMs = static_cast<int>(intArg("--drain-timeout"));
     } else if (flag == "--obs") {
       enableObs = true;
+    } else if (flag == "--access-log") {
+      serverOpts.accessLogPath = strArg("--access-log");
+    } else if (flag == "--incident-dir") {
+      apiOpts.incidentDir = strArg("--incident-dir");
+    } else if (flag == "--max-incidents") {
+      apiOpts.maxIncidents = static_cast<std::size_t>(intArg("--max-incidents"));
+    } else if (flag == "--slow-ms") {
+      serverOpts.slowRequestMs = static_cast<double>(intArg("--slow-ms"));
+    } else if (flag == "--no-tracing") {
+      serverOpts.tracing = false;
     } else {
       std::fprintf(stderr, "serve: unknown flag '%s'\n", flag.c_str());
       return 2;
@@ -621,6 +638,9 @@ int runServe(int argc, char** argv, int first) {
   api.install(router);
   service::HttpServer server(serverOpts, router, metrics);
   api.setDrainingProbe([&server] { return server.draining(); });
+  if (serverOpts.tracing) {
+    server.setIncidentLog(&api.incidents());
+  }
   server.start();
 
   // grep-able startup line: scripted drivers read the actual (possibly
@@ -713,7 +733,10 @@ int main(int argc, char** argv) {
                  "  %s serve [--port N --workers W --max-sessions S "
                  "--max-qubits Q\n"
                  "            --max-body BYTES --ttl SECONDS --deadline MS "
-                 "--obs]\n"
+                 "--obs\n"
+                 "            --access-log FILE --incident-dir DIR "
+                 "--max-incidents N\n"
+                 "            --slow-ms MS --no-tracing]\n"
                  "global flags: --stats (dump stats JSON), --out <file>\n"
                  "  (--out routes machine-readable JSON to <file>; without it,\n"
                  "   JSON goes to stderr and stdout stays human-readable)\n",

@@ -1,14 +1,17 @@
 // qdd-trace-check: validates a Chrome trace-event JSON file produced by
 // `qdd-tool profile` (or any tool emitting the trace-event format).
 //
-//   qdd-trace-check <trace.json> [--require-steps]
+//   qdd-trace-check <trace.json> [--require-steps] [--incident]
 //
 // Exit code 0 if the file is a well-formed trace (valid JSON, `traceEvents`
 // array, monotonically non-decreasing timestamps, stack-disciplined span
 // nesting); nonzero otherwise. With --require-steps, the trace must also
 // carry per-step DD metrics (sim.step instants with node counts, cache-hit
-// deltas, GC runs, and a nodes-per-level breakdown). Used by the CI smoke
-// job and handy for checking traces before loading them into Perfetto.
+// deltas, GC runs, and a nodes-per-level breakdown). With --incident, the
+// file is checked as a flight-recorder incident dump (GET /v1/incidents/{id}):
+// a top-level 32-hex "traceId" that every span's args.trace_id matches.
+// Used by the CI smoke jobs and handy for checking traces before loading
+// them into Perfetto.
 
 #include "qdd/obs/TraceCheck.hpp"
 
@@ -21,19 +24,22 @@
 int main(int argc, char** argv) {
   std::string path;
   bool requireSteps = false;
+  bool incident = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--require-steps") == 0) {
       requireSteps = true;
+    } else if (std::strcmp(argv[i], "--incident") == 0) {
+      incident = true;
     } else if (path.empty()) {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: %s <trace.json> [--require-steps]\n",
-                   argv[0]);
-      return 2;
+      path.clear();
+      break;
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: %s <trace.json> [--require-steps]\n",
+    std::fprintf(stderr,
+                 "usage: %s <trace.json> [--require-steps] [--incident]\n",
                  argv[0]);
     return 2;
   }
@@ -46,16 +52,18 @@ int main(int argc, char** argv) {
   std::ostringstream ss;
   ss << in.rdbuf();
 
-  const auto result = qdd::obs::validateChromeTrace(ss.str(), requireSteps);
+  const auto result =
+      incident ? qdd::obs::validateIncidentTrace(ss.str())
+               : qdd::obs::validateChromeTrace(ss.str(), requireSteps);
   if (!result.valid) {
     std::fprintf(stderr, "INVALID %s: %s\n", path.c_str(),
                  result.error.c_str());
     return 1;
   }
   std::printf("OK %s: %zu events (%zu spans, %zu counters, %zu step "
-              "instants)%s\n",
+              "instants)%s%s\n",
               path.c_str(), result.events, result.spans, result.counters,
-              result.stepInstants,
+              result.stepInstants, incident ? ", incident checks passed" : "",
               result.hasStats ? ", stats embedded" : "");
   return 0;
 }

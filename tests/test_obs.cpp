@@ -3,14 +3,18 @@
 // Chrome trace exporter and its validator, the aggregator's percentiles,
 // the JSONL sink, and per-step DD metrics captured by a real simulation.
 
+#include "qdd/exec/ThreadPool.hpp"
 #include "qdd/ir/Builders.hpp"
+#include "qdd/obs/FlightRecorder.hpp"
 #include "qdd/obs/Obs.hpp"
 #include "qdd/obs/Sinks.hpp"
 #include "qdd/obs/TraceCheck.hpp"
+#include "qdd/obs/TraceContext.hpp"
 #include "qdd/sim/SimulationSession.hpp"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -431,6 +435,316 @@ TEST_F(ObsTest, OverheadGateCompilesToNoOpWhenDisabled) {
     QDD_OBS_SPAN("test", "noop");
     EXPECT_EQ(obs::Registry::currentDepth(), 0);
   }
+}
+
+// --- request-scoped tracing --------------------------------------------------
+
+/// Leaves the flight recorder disarmed and the thread trace-free.
+class TraceTest : public ObsTest {
+protected:
+  void SetUp() override {
+    ObsTest::SetUp();
+    obs::FlightRecorder::setArmed(false);
+  }
+  void TearDown() override {
+    obs::FlightRecorder::setArmed(false);
+    ObsTest::TearDown();
+  }
+};
+
+TEST_F(TraceTest, TraceparentRoundTrip) {
+  const std::string header =
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  obs::TraceContext ctx;
+  ASSERT_TRUE(obs::TraceContext::parseTraceparent(header, ctx));
+  EXPECT_EQ(ctx.traceHi, 0x0af7651916cd43ddULL);
+  EXPECT_EQ(ctx.traceLo, 0x8448eb211c80319cULL);
+  EXPECT_EQ(ctx.spanId, 0xb7ad6b7169203331ULL);
+  EXPECT_EQ(ctx.flags, 1);
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_EQ(ctx.traceparent(), header);
+  EXPECT_EQ(ctx.traceIdHex(), "0af7651916cd43dd8448eb211c80319c");
+  EXPECT_EQ(ctx.spanIdHex(), "b7ad6b7169203331");
+}
+
+TEST_F(TraceTest, TraceparentRejectsMalformedHeaders) {
+  obs::TraceContext ctx;
+  const char* bad[] = {
+      "",
+      "00",
+      // wrong length (one hex digit short)
+      "00-0af7651916cd43dd8448eb211c80319-b7ad6b7169203331-01",
+      // non-hex digit in the trace id
+      "00-0af7651916cd43dd8448eb211c80319z-b7ad6b7169203331-01",
+      // version ff is reserved
+      "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+      // all-zero trace id
+      "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+      // all-zero span id
+      "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+      // wrong separators
+      "00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01",
+  };
+  for (const char* header : bad) {
+    EXPECT_FALSE(obs::TraceContext::parseTraceparent(header, ctx))
+        << "accepted: " << header;
+  }
+  // a rejected header must leave the output untouched
+  ctx = obs::TraceContext{};
+  EXPECT_FALSE(obs::TraceContext::parseTraceparent("junk", ctx));
+  EXPECT_EQ(ctx.traceHi, 0U);
+  EXPECT_EQ(ctx.spanId, 0U);
+}
+
+TEST_F(TraceTest, MakeGeneratesDistinctValidContexts) {
+  const obs::TraceContext a = obs::TraceContext::make();
+  const obs::TraceContext b = obs::TraceContext::make();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(a.traceHi == b.traceHi && a.traceLo == b.traceLo);
+  EXPECT_NE(obs::TraceContext::nextId(), 0U);
+}
+
+TEST_F(TraceTest, TraceScopeInstallsAndRestores) {
+  EXPECT_FALSE(obs::currentTrace().valid());
+  const obs::TraceContext outer = obs::TraceContext::make();
+  {
+    const obs::TraceScope scope(outer);
+    EXPECT_EQ(obs::currentTrace().traceLo, outer.traceLo);
+    {
+      // installing an invalid context clears the slot (pool workers must
+      // not leak the previous task's identity)
+      const obs::TraceScope inner((obs::TraceContext()));
+      EXPECT_FALSE(obs::currentTrace().valid());
+    }
+    EXPECT_EQ(obs::currentTrace().traceLo, outer.traceLo);
+  }
+  EXPECT_FALSE(obs::currentTrace().valid());
+}
+
+TEST_F(TraceTest, SpansAndCountersCarryCurrentTraceId) {
+  auto sink = attachRecorder();
+  const obs::TraceContext ctx = obs::TraceContext::make();
+  {
+    const obs::TraceScope scope(ctx);
+    obs::ScopedSpan span("test", "traced");
+    QDD_OBS_COUNTER("test/value", 7.);
+  }
+  {
+    obs::ScopedSpan span("test", "untraced");
+  }
+  ASSERT_EQ(sink->spans.size(), 2U);
+  EXPECT_EQ(sink->spans[0].traceHi, ctx.traceHi);
+  EXPECT_EQ(sink->spans[0].traceLo, ctx.traceLo);
+  EXPECT_EQ(sink->spans[1].traceHi, 0U);
+  EXPECT_EQ(sink->spans[1].traceLo, 0U);
+  ASSERT_EQ(sink->counters.size(), 1U);
+  EXPECT_EQ(sink->counters[0].traceHi, ctx.traceHi);
+  EXPECT_EQ(sink->counters[0].traceLo, ctx.traceLo);
+}
+
+TEST_F(TraceTest, FlightRecorderCapturesWithRegistryDisabled) {
+  // The flight recorder must work even when the obs registry records
+  // nothing — that is the whole point of tail-based capture.
+  ASSERT_FALSE(obs::Registry::instance().enabled());
+  obs::FlightRecorder::setArmed(true);
+  const obs::TraceContext ctx = obs::TraceContext::make();
+  {
+    const obs::TraceScope scope(ctx);
+    obs::ScopedSpan outer("test", "flight-outer");
+    obs::ScopedSpan inner("test", "flight-inner");
+  }
+  const auto events =
+      obs::FlightRecorder::instance().capture(ctx.traceHi, ctx.traceLo);
+  ASSERT_EQ(events.size(), 2U);
+  // sorted by start time, enclosing span first
+  EXPECT_STREQ(events[0].name, "flight-outer");
+  EXPECT_STREQ(events[1].name, "flight-inner");
+  EXPECT_LE(events[0].startUs, events[1].startUs);
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 1);
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.traceHi, ctx.traceHi);
+    EXPECT_EQ(ev.traceLo, ctx.traceLo);
+  }
+}
+
+TEST_F(TraceTest, FlightRecorderFiltersByTraceId) {
+  obs::FlightRecorder::setArmed(true);
+  const obs::TraceContext a = obs::TraceContext::make();
+  const obs::TraceContext b = obs::TraceContext::make();
+  {
+    const obs::TraceScope scope(a);
+    obs::ScopedSpan span("test", "span-a");
+  }
+  {
+    const obs::TraceScope scope(b);
+    obs::ScopedSpan span("test", "span-b");
+  }
+  const auto onlyA =
+      obs::FlightRecorder::instance().capture(a.traceHi, a.traceLo);
+  ASSERT_EQ(onlyA.size(), 1U);
+  EXPECT_STREQ(onlyA[0].name, "span-a");
+}
+
+TEST_F(TraceTest, FlightRecorderIsInertWithoutTraceOrArming) {
+  // disarmed + traced: nothing recorded
+  const obs::TraceContext ctx = obs::TraceContext::make();
+  {
+    const obs::TraceScope scope(ctx);
+    obs::ScopedSpan span("test", "disarmed");
+  }
+  EXPECT_TRUE(obs::FlightRecorder::instance()
+                  .capture(ctx.traceHi, ctx.traceLo)
+                  .empty());
+  // armed + untraced: nothing recorded
+  obs::FlightRecorder::setArmed(true);
+  const std::uint64_t before =
+      obs::FlightRecorder::instance().totalRecorded();
+  {
+    obs::ScopedSpan span("test", "untraced");
+  }
+  EXPECT_EQ(obs::FlightRecorder::instance().totalRecorded(), before);
+}
+
+TEST_F(TraceTest, FlightRecorderRingWrapsAround) {
+  obs::FlightRecorder::setArmed(true);
+  const obs::TraceContext ctx = obs::TraceContext::make();
+  const std::size_t n = obs::FlightRecorder::RING_CAPACITY + 100;
+  {
+    const obs::TraceScope scope(ctx);
+    for (std::size_t k = 0; k < n; ++k) {
+      obs::ScopedSpan span("test", "wrap");
+    }
+  }
+  const auto events =
+      obs::FlightRecorder::instance().capture(ctx.traceHi, ctx.traceLo);
+  // the ring keeps only the newest RING_CAPACITY events, never more
+  EXPECT_LE(events.size(), obs::FlightRecorder::RING_CAPACITY);
+  EXPECT_GE(events.size(), obs::FlightRecorder::RING_CAPACITY - 1);
+  for (std::size_t k = 1; k < events.size(); ++k) {
+    EXPECT_LE(events[k - 1].startUs, events[k].startUs);
+  }
+}
+
+TEST_F(TraceTest, ThreadPoolPropagatesTraceToTasksAndParallelFor) {
+  obs::FlightRecorder::setArmed(true);
+  const obs::TraceContext ctx = obs::TraceContext::make();
+  exec::ThreadPool pool(4);
+  std::atomic<int> matches{0};
+  std::atomic<int> finished{0};
+  {
+    const obs::TraceScope scope(ctx);
+    for (int k = 0; k < 8; ++k) {
+      pool.submit([&matches, &finished, &ctx] {
+        if (obs::currentTrace().traceHi == ctx.traceHi &&
+            obs::currentTrace().traceLo == ctx.traceLo) {
+          matches.fetch_add(1, std::memory_order_relaxed);
+        }
+        {
+          obs::ScopedSpan span("test", "pool-task");
+        }
+        finished.fetch_add(1, std::memory_order_release);
+      });
+    }
+    pool.parallelFor(8, [&matches, &ctx](std::size_t, std::size_t) {
+      if (obs::currentTrace().traceHi == ctx.traceHi &&
+          obs::currentTrace().traceLo == ctx.traceLo) {
+        matches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // submit() is detached: wait for the tasks to drain
+  while (finished.load(std::memory_order_acquire) < 8) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(matches.load(), 16);
+  // the workers' flight events are tagged with the submitter's trace id
+  const auto events =
+      obs::FlightRecorder::instance().capture(ctx.traceHi, ctx.traceLo);
+  EXPECT_EQ(events.size(), 8U);
+  // ...and the workers' thread-locals were restored afterwards
+  std::atomic<bool> leaked{false};
+  pool.parallelFor(8, [&leaked](std::size_t, std::size_t) {
+    if (obs::currentTrace().valid()) {
+      leaked.store(true, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_FALSE(leaked.load());
+}
+
+TEST_F(TraceTest, ConcurrentRecordAndCaptureStaysConsistent) {
+  // Hammer one trace id from several writers while a reader captures in a
+  // loop; every captured event must be fully consistent (matching ids,
+  // non-null names). Run under TSan, this also proves the ring is race-free.
+  obs::FlightRecorder::setArmed(true);
+  const obs::TraceContext ctx = obs::TraceContext::make();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(3);
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&ctx, &stop] {
+      const obs::TraceScope scope(ctx);
+      while (!stop.load(std::memory_order_relaxed)) {
+        obs::ScopedSpan span("test", "hammer");
+      }
+    });
+  }
+  for (int k = 0; k < 50; ++k) {
+    const auto events =
+        obs::FlightRecorder::instance().capture(ctx.traceHi, ctx.traceLo);
+    for (const auto& ev : events) {
+      ASSERT_NE(ev.name, nullptr);
+      ASSERT_NE(ev.category, nullptr);
+      EXPECT_EQ(ev.traceHi, ctx.traceHi);
+      EXPECT_EQ(ev.traceLo, ctx.traceLo);
+      EXPECT_GE(ev.durUs, 0.);
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) {
+    t.join();
+  }
+}
+
+TEST_F(TraceTest, IncidentValidatorChecksTraceIdConsistency) {
+  const std::string good = R"({"traceEvents":[
+    {"name":"request","cat":"service","ph":"X","pid":1,"tid":1,"ts":0,
+     "dur":10,"args":{"trace_id":"0af7651916cd43dd8448eb211c80319c"}},
+    {"name":"step","cat":"sim","ph":"X","pid":1,"tid":1,"ts":2,"dur":3,
+     "args":{"trace_id":"0af7651916cd43dd8448eb211c80319c"}}
+  ],"traceId":"0af7651916cd43dd8448eb211c80319c"})";
+  EXPECT_TRUE(obs::validateIncidentTrace(good).valid);
+
+  // span tagged with a different trace id
+  const std::string mixed = R"({"traceEvents":[
+    {"name":"request","cat":"service","ph":"X","pid":1,"tid":1,"ts":0,
+     "dur":10,"args":{"trace_id":"ffffffffffffffffffffffffffffffff"}}
+  ],"traceId":"0af7651916cd43dd8448eb211c80319c"})";
+  EXPECT_FALSE(obs::validateIncidentTrace(mixed).valid);
+
+  // missing top-level traceId
+  const std::string untagged = R"({"traceEvents":[
+    {"name":"request","cat":"service","ph":"X","pid":1,"tid":1,"ts":0,
+     "dur":10,"args":{"trace_id":"0af7651916cd43dd8448eb211c80319c"}}
+  ]})";
+  EXPECT_FALSE(obs::validateIncidentTrace(untagged).valid);
+
+  // all-zero trace id
+  const std::string zeros = R"({"traceEvents":[
+    {"name":"request","cat":"service","ph":"X","pid":1,"tid":1,"ts":0,
+     "dur":10,"args":{"trace_id":"00000000000000000000000000000000"}}
+  ],"traceId":"00000000000000000000000000000000"})";
+  EXPECT_FALSE(obs::validateIncidentTrace(zeros).valid);
+
+  // overlapping same-tid spans still fail via the chrome validation
+  const std::string overlap = R"({"traceEvents":[
+    {"name":"a","cat":"t","ph":"X","pid":1,"tid":1,"ts":0,"dur":5,
+     "args":{"trace_id":"0af7651916cd43dd8448eb211c80319c"}},
+    {"name":"b","cat":"t","ph":"X","pid":1,"tid":1,"ts":3,"dur":10,
+     "args":{"trace_id":"0af7651916cd43dd8448eb211c80319c"}}
+  ],"traceId":"0af7651916cd43dd8448eb211c80319c"})";
+  EXPECT_FALSE(obs::validateIncidentTrace(overlap).valid);
 }
 
 } // namespace

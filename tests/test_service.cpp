@@ -3,6 +3,8 @@
 // 408 with the work stopped at a gate boundary), TTL eviction, drain mode,
 // and concurrent session isolation.
 
+#include "qdd/obs/TraceCheck.hpp"
+#include "qdd/obs/TraceContext.hpp"
 #include "qdd/service/Api.hpp"
 #include "qdd/service/HttpServer.hpp"
 #include "qdd/service/Json.hpp"
@@ -15,6 +17,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -103,6 +106,9 @@ struct TestServer {
     server =
         std::make_unique<service::HttpServer>(serverOpts, router, metrics);
     api->setDrainingProbe([this] { return server->draining(); });
+    if (serverOpts.tracing) {
+      server->setIncidentLog(&api->incidents());
+    }
     server->start();
   }
 
@@ -516,6 +522,222 @@ TEST(ServiceApiTest, ConcurrentSessionsStayIsolated) {
   }
   EXPECT_EQ(ts.api->sessions().size(), CLIENTS);
   EXPECT_EQ(ts.metrics.statusCount(201), CLIENTS);
+}
+
+// --- request tracing & incidents ---------------------------------------------
+
+TEST(ServiceTracingTest, TraceparentIsEchoedWithFreshSpanId) {
+  TestServer ts;
+  auto client = ts.client();
+  const std::string inbound =
+      "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01";
+  auto response =
+      client.request("GET", "/healthz", "", {{"traceparent", inbound}});
+  ASSERT_EQ(response.status, 200);
+  const auto tp = response.headers.find("traceparent");
+  ASSERT_NE(tp, response.headers.end());
+  obs::TraceContext ctx;
+  ASSERT_TRUE(obs::TraceContext::parseTraceparent(tp->second, ctx));
+  // same trace id as the caller's, but a fresh span id for this hop
+  EXPECT_EQ(ctx.traceIdHex(), "0af7651916cd43dd8448eb211c80319c");
+  EXPECT_NE(ctx.spanIdHex(), "b7ad6b7169203331");
+}
+
+TEST(ServiceTracingTest, MissingOrMalformedTraceparentStartsNewTrace) {
+  TestServer ts;
+  auto client = ts.client();
+  auto bare = client.request("GET", "/healthz");
+  const auto tp1 = bare.headers.find("traceparent");
+  ASSERT_NE(tp1, bare.headers.end());
+  obs::TraceContext ctx;
+  ASSERT_TRUE(obs::TraceContext::parseTraceparent(tp1->second, ctx));
+  EXPECT_TRUE(ctx.valid());
+
+  auto garbled =
+      client.request("GET", "/healthz", "", {{"traceparent", "garbage"}});
+  const auto tp2 = garbled.headers.find("traceparent");
+  ASSERT_NE(tp2, garbled.headers.end());
+  obs::TraceContext ctx2;
+  ASSERT_TRUE(obs::TraceContext::parseTraceparent(tp2->second, ctx2));
+  EXPECT_TRUE(ctx2.valid());
+  EXPECT_NE(ctx2.traceIdHex(), ctx.traceIdHex());
+}
+
+TEST(ServiceTracingTest, NoTracingMeansNoTraceparentHeader) {
+  service::ServerOptions serverOpts;
+  serverOpts.tracing = false;
+  TestServer ts({}, serverOpts);
+  auto client = ts.client();
+  auto response = client.request("GET", "/healthz");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response.headers.count("traceparent"), 0U);
+  auto incidents = client.request("GET", "/v1/incidents");
+  ASSERT_EQ(incidents.status, 200);
+  EXPECT_EQ(parsed(incidents).getNumber("captured", -1), 0.);
+}
+
+TEST(ServiceTracingTest, DeadlineRunProducesValidatableIncident) {
+  TestServer ts;
+  auto client = ts.client();
+  auto created = client.request(
+      "POST", "/v1/sessions",
+      R"({"builder": {"name": "qft", "qubits": 12, "repeat": 400}})");
+  ASSERT_EQ(created.status, 201);
+  const std::string id = parsed(created).getString("id", "");
+
+  auto ran = client.request("POST", "/v1/sessions/" + id + "/run",
+                            R"({"deadlineMs": 3})");
+  ASSERT_EQ(ran.status, 408);
+  const auto tp = ran.headers.find("traceparent");
+  ASSERT_NE(tp, ran.headers.end());
+  obs::TraceContext ctx;
+  ASSERT_TRUE(obs::TraceContext::parseTraceparent(tp->second, ctx));
+
+  auto list = client.request("GET", "/v1/incidents");
+  ASSERT_EQ(list.status, 200);
+  const Value listDoc = parsed(list);
+  EXPECT_GE(listDoc.getNumber("captured", 0), 1.);
+  const auto& items = listDoc.find("incidents")->asArray();
+  ASSERT_FALSE(items.empty());
+  // newest first; the deadline incident carries the run's trace id
+  const Value& newest = items.front();
+  EXPECT_EQ(newest.getString("reason", ""), "deadline");
+  EXPECT_EQ(newest.getNumber("status", 0), 408.);
+  EXPECT_EQ(newest.getString("traceId", ""), ctx.traceIdHex());
+  EXPECT_EQ(newest.getString("session", ""), id);
+  EXPECT_EQ(newest.getString("route", ""), "POST /v1/sessions/{id}/run");
+  EXPECT_GE(newest.getNumber("spans", 0), 1.);
+
+  const std::string incId = newest.getString("id", "");
+  auto dump = client.request("GET", "/v1/incidents/" + incId);
+  ASSERT_EQ(dump.status, 200);
+  const auto check = obs::validateIncidentTrace(dump.body);
+  EXPECT_TRUE(check.valid) << check.error;
+  EXPECT_EQ(Value::parse(dump.body).getString("traceId", ""),
+            ctx.traceIdHex());
+
+  EXPECT_EQ(client.request("GET", "/v1/incidents/inc-999").status, 404);
+}
+
+TEST(ServiceTracingTest, SlowRequestsAreCapturedAndRetentionIsBounded) {
+  service::ApiOptions apiOpts;
+  apiOpts.maxIncidents = 2;
+  service::ServerOptions serverOpts;
+  serverOpts.slowRequestMs = 0.0001; // everything is "slow"
+  TestServer ts(apiOpts, serverOpts);
+  auto client = ts.client();
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_EQ(client.request("GET", "/healthz").status, 200);
+  }
+  auto list = client.request("GET", "/v1/incidents");
+  ASSERT_EQ(list.status, 200);
+  const Value doc = parsed(list);
+  EXPECT_GE(doc.getNumber("captured", 0), 5.);
+  EXPECT_LE(doc.getNumber("retained", 99), 2.);
+  EXPECT_LE(doc.find("incidents")->asArray().size(), 2U);
+  for (const Value& item : doc.find("incidents")->asArray()) {
+    EXPECT_EQ(item.getString("reason", ""), "slow");
+  }
+}
+
+TEST(ServiceTracingTest, PrometheusExpositionIsServed) {
+  TestServer ts;
+  auto client = ts.client();
+  client.request("POST", "/v1/sessions", R"({"builder": {"name": "bell"}})");
+  client.request("POST", "/v1/sessions/s1/run", "{}");
+
+  auto prom = client.request("GET", "/metrics?fmt=prom");
+  ASSERT_EQ(prom.status, 200);
+  const auto ct = prom.headers.find("content-type");
+  ASSERT_NE(ct, prom.headers.end());
+  EXPECT_NE(ct->second.find("text/plain"), std::string::npos);
+  const std::string& body = prom.body;
+  for (const char* needle :
+       {"# TYPE qdd_http_requests_total counter",
+        "# TYPE qdd_http_request_duration_seconds histogram",
+        "qdd_http_request_duration_seconds_bucket{le=\"+Inf\"}",
+        "qdd_http_request_duration_seconds_sum",
+        "qdd_http_request_duration_seconds_count",
+        "qdd_http_responses_total{status=\"201\"} 1",
+        "qdd_http_route_requests_total{route=\"POST /v1/sessions\"} 1",
+        "# TYPE qdd_sessions_live gauge", "qdd_sessions_live 1",
+        "# TYPE qdd_dd_unique_table_entries gauge",
+        "qdd_session_nodes{session=\"s1\",kind=\"simulation\"}",
+        "# TYPE qdd_incidents_total counter",
+        "# TYPE qdd_dd_apply_total counter"}) {
+    EXPECT_NE(body.find(needle), std::string::npos)
+        << "missing: " << needle << "\nin:\n"
+        << body;
+  }
+  // the JSON document still works, and an unknown fmt is rejected
+  EXPECT_EQ(client.request("GET", "/metrics?fmt=json").status, 200);
+  EXPECT_EQ(client.request("GET", "/metrics?fmt=xml").status, 400);
+}
+
+TEST(ServiceTracingTest, MetricsJsonServesHistogramPercentiles) {
+  TestServer ts;
+  auto client = ts.client();
+  for (int k = 0; k < 20; ++k) {
+    ASSERT_EQ(client.request("GET", "/healthz").status, 200);
+  }
+  auto metrics = client.request("GET", "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  const Value doc = parsed(metrics);
+  const Value* route =
+      doc.find("service")->find("routes")->find("GET /healthz");
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(route->getNumber("count", 0), 20.);
+  const double p50 = route->getNumber("p50Ms", -1);
+  const double p95 = route->getNumber("p95Ms", -1);
+  const double maxMs = route->getNumber("maxMs", -1);
+  EXPECT_GT(p50, 0.);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, maxMs * 1.0001);
+}
+
+TEST(ServiceTracingTest, AccessLogWritesOneJsonLinePerRequest) {
+  const std::string path =
+      ::testing::TempDir() + "qdd_access_log_test.jsonl";
+  ::unlink(path.c_str());
+  {
+    service::ServerOptions serverOpts;
+    serverOpts.accessLogPath = path;
+    TestServer ts({}, serverOpts);
+    auto client = ts.client();
+    auto created = client.request("POST", "/v1/sessions",
+                                  R"({"builder": {"name": "bell"}})");
+    ASSERT_EQ(created.status, 201);
+    ASSERT_EQ(
+        client.request("POST", "/v1/sessions/s1/run", "{}").status, 200);
+    ts.server->stop();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::vector<Value> lines;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      lines.push_back(Value::parse(line));
+    }
+  }
+  ASSERT_EQ(lines.size(), 2U);
+  const Value& create = lines[0];
+  EXPECT_EQ(create.getString("method", ""), "POST");
+  EXPECT_EQ(create.getString("route", ""), "POST /v1/sessions");
+  EXPECT_EQ(create.getNumber("status", 0), 201.);
+  EXPECT_EQ(create.getString("session", ""), "s1");
+  EXPECT_EQ(create.getString("traceId", "").size(), 32U);
+  EXPECT_GT(create.getNumber("ts", 0), 0.);
+  EXPECT_GE(create.getNumber("latencyMs", -1), 0.);
+  EXPECT_GT(create.getNumber("bytesOut", 0), 0.);
+  // creating the Bell session materializes DD nodes
+  EXPECT_GT(create.getNumber("ddNodeDelta", -1), 0.);
+  const Value& run = lines[1];
+  EXPECT_EQ(run.getString("route", ""), "POST /v1/sessions/{id}/run");
+  EXPECT_EQ(run.getString("session", ""), "s1");
+  // both lines belong to different traces
+  EXPECT_NE(run.getString("traceId", ""), create.getString("traceId", ""));
+  ::unlink(path.c_str());
 }
 
 } // namespace
