@@ -1,0 +1,221 @@
+#pragma once
+
+#include "qdd/complex/ComplexValue.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define QDD_SIMD_SSE2 1
+#include <emmintrin.h>
+#if defined(__SSE3__)
+#include <pmmintrin.h>
+#endif
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+#endif
+
+namespace qdd::simd {
+
+/// Width of the complex-arithmetic kernels. Selected at compile time from
+/// the target ISA; `QDD_SIMD=scalar` in the environment (or a
+/// `ScopedScalarOverride`) forces the scalar fallback at runtime. Every
+/// kernel is bit-identical across modes — the vector paths perform the same
+/// IEEE operations in the same order as the scalar expressions, only
+/// lane-parallel — which is what lets the DD layer use them freely: table
+/// canonicity turns any numeric drift into different node identities, so the
+/// cross-validation tests compare canonical root POINTERS across modes.
+enum class Mode : std::uint8_t { Scalar, SSE2, AVX2 };
+
+[[nodiscard]] constexpr Mode compiledMode() noexcept {
+#if defined(__AVX2__)
+  return Mode::AVX2;
+#elif defined(QDD_SIMD_SSE2)
+  return Mode::SSE2;
+#else
+  return Mode::Scalar;
+#endif
+}
+
+[[nodiscard]] const char* toString(Mode mode) noexcept;
+
+namespace detail {
+/// Runtime scalar-force state, read on every kernel call — plain globals so
+/// the check inlines to two loads. `envScalar` is written once during
+/// dynamic initialization (a read before that harmlessly picks the vector
+/// path: all modes are bit-identical); `overrideDepth` counts live
+/// ScopedScalarOverride instances and is constant-initialized.
+extern bool envScalar;
+extern std::atomic<int> overrideDepth;
+} // namespace detail
+
+/// True when the scalar fallback is forced (QDD_SIMD=scalar at process
+/// start, or an active ScopedScalarOverride).
+[[nodiscard]] inline bool scalarForced() noexcept {
+  return detail::envScalar ||
+         detail::overrideDepth.load(std::memory_order_relaxed) > 0;
+}
+
+/// The mode the kernels actually run in right now.
+[[nodiscard]] inline Mode activeMode() noexcept {
+  return scalarForced() ? Mode::Scalar : compiledMode();
+}
+
+/// RAII scalar-mode override for cross-validation tests: kernels run the
+/// scalar fallback while any instance is alive (nestable).
+class ScopedScalarOverride {
+public:
+  ScopedScalarOverride();
+  ~ScopedScalarOverride();
+  ScopedScalarOverride(const ScopedScalarOverride&) = delete;
+  ScopedScalarOverride& operator=(const ScopedScalarOverride&) = delete;
+};
+
+// --- kernels ----------------------------------------------------------------
+
+/// Scalar reference: the exact expression (and rounding order) of
+/// ComplexValue::operator*=.
+[[nodiscard]] inline ComplexValue mulScalar(const ComplexValue& a,
+                                            const ComplexValue& b) noexcept {
+  return {a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re};
+}
+
+#if defined(QDD_SIMD_SSE2)
+namespace detail {
+/// (re, im) complex product in one register. Terms match the scalar
+/// expression lane for lane: p = (a.re*b.re, a.re*b.im),
+/// q = (a.im*b.im, a.im*b.re), result = (p0 - q0, p1 + q1).
+[[nodiscard]] inline __m128d mul128(__m128d a, __m128d b) noexcept {
+  const __m128d p = _mm_mul_pd(_mm_unpacklo_pd(a, a), b);
+  const __m128d q =
+      _mm_mul_pd(_mm_unpackhi_pd(a, a), _mm_shuffle_pd(b, b, 1));
+#if defined(__SSE3__)
+  return _mm_addsub_pd(p, q);
+#else
+  // addsub emulation: negating q's low lane turns (sub, add) into two adds.
+  // x + (-y) and x - y round identically for every input, so this stays
+  // bit-identical to the scalar expression.
+  return _mm_add_pd(p, _mm_xor_pd(q, _mm_set_pd(0., -0.)));
+#endif
+}
+} // namespace detail
+#endif
+
+/// Complex product a*b, bit-identical to `a.toValue() * b.toValue()`.
+[[nodiscard]] inline ComplexValue mul(const ComplexValue& a,
+                                      const ComplexValue& b) noexcept {
+#if defined(QDD_SIMD_SSE2)
+  if (!scalarForced()) {
+    ComplexValue out;
+    _mm_storeu_pd(&out.re, detail::mul128(_mm_loadu_pd(&a.re),
+                                          _mm_loadu_pd(&b.re)));
+    return out;
+  }
+#endif
+  return mulScalar(a, b);
+}
+
+/// Left-associated triple product (a*b)*c — the exact shape of the edge
+/// weight composition `m.w * xe.w * ye.w` in multiply2.
+[[nodiscard]] inline ComplexValue mul3(const ComplexValue& a,
+                                       const ComplexValue& b,
+                                       const ComplexValue& c) noexcept {
+#if defined(QDD_SIMD_SSE2)
+  if (!scalarForced()) {
+    const __m128d ab = detail::mul128(_mm_loadu_pd(&a.re),
+                                      _mm_loadu_pd(&b.re));
+    ComplexValue out;
+    _mm_storeu_pd(&out.re, detail::mul128(ab, _mm_loadu_pd(&c.re)));
+    return out;
+  }
+#endif
+  return mulScalar(mulScalar(a, b), c);
+}
+
+/// Two independent complex products (r0, r1) = (a0*b0, a1*b1) — the 2x2
+/// gate-application block shape (both target successors scale at once).
+/// AVX2 runs both in one 256-bit lane pair; SSE2 runs them back to back.
+inline void mulPair(const ComplexValue& a0, const ComplexValue& b0,
+                    const ComplexValue& a1, const ComplexValue& b1,
+                    ComplexValue& r0, ComplexValue& r1) noexcept {
+#if defined(__AVX2__)
+  if (!scalarForced()) {
+    const __m256d a = _mm256_set_m128d(_mm_loadu_pd(&a1.re),
+                                       _mm_loadu_pd(&a0.re));
+    const __m256d b = _mm256_set_m128d(_mm_loadu_pd(&b1.re),
+                                       _mm_loadu_pd(&b0.re));
+    const __m256d p = _mm256_mul_pd(_mm256_unpacklo_pd(a, a), b);
+    const __m256d q = _mm256_mul_pd(_mm256_unpackhi_pd(a, a),
+                                    _mm256_shuffle_pd(b, b, 0b0101));
+    const __m256d res = _mm256_addsub_pd(p, q);
+    _mm_storeu_pd(&r0.re, _mm256_castpd256_pd128(res));
+    _mm_storeu_pd(&r1.re, _mm256_extractf128_pd(res, 1));
+    return;
+  }
+#endif
+  r0 = mul(a0, b0);
+  r1 = mul(a1, b1);
+}
+
+/// Complex sum a + b (lane-parallel re/im add; trivially bit-identical).
+[[nodiscard]] inline ComplexValue add(const ComplexValue& a,
+                                      const ComplexValue& b) noexcept {
+#if defined(QDD_SIMD_SSE2)
+  if (!scalarForced()) {
+    ComplexValue out;
+    _mm_storeu_pd(&out.re,
+                  _mm_add_pd(_mm_loadu_pd(&a.re), _mm_loadu_pd(&b.re)));
+    return out;
+  }
+#endif
+  return {a.re + b.re, a.im + b.im};
+}
+
+/// Fused multiply-accumulate of two complex terms: a0*b0 + a1*b1, the inner
+/// sum of a 2x2 block row in gate application / matrix multiply. Composed
+/// from the kernels above (no FMA contraction — contraction would change
+/// rounding and break cross-mode bit-identity).
+[[nodiscard]] inline ComplexValue mulAdd2(const ComplexValue& a0,
+                                          const ComplexValue& b0,
+                                          const ComplexValue& a1,
+                                          const ComplexValue& b1) noexcept {
+  ComplexValue t0;
+  ComplexValue t1;
+  mulPair(a0, b0, a1, b1, t0, t1);
+  return add(t0, t1);
+}
+
+/// RealTable lookup rounding helper: classifies a non-negative value against
+/// the two non-zero immortal entries (1 and 1/sqrt2) in one lane-parallel
+/// compare. Returns 0 = neither, 1 = one, 2 = sqrt2. The comparisons are
+/// exact (<=), so this is bit-identical to the two scalar branches it
+/// replaces.
+[[nodiscard]] inline int classifyImmortal(double v, double tol) noexcept {
+#if defined(QDD_SIMD_SSE2)
+  if (!scalarForced()) {
+    const __m128d x = _mm_set1_pd(v);
+    const __m128d ref = _mm_set_pd(SQRT2_2, 1.); // lane0 = 1, lane1 = sqrt2
+    __m128d d = _mm_sub_pd(x, ref);
+    // |d| via sign-bit mask clear
+    d = _mm_and_pd(d, _mm_castsi128_pd(_mm_set1_epi64x(0x7fffffffffffffffLL)));
+    const int mask = _mm_movemask_pd(_mm_cmple_pd(d, _mm_set1_pd(tol)));
+    if ((mask & 1) != 0) {
+      return 1;
+    }
+    if ((mask & 2) != 0) {
+      return 2;
+    }
+    return 0;
+  }
+#endif
+  if (v - 1. <= tol && 1. - v <= tol) {
+    return 1;
+  }
+  if (v - SQRT2_2 <= tol && SQRT2_2 - v <= tol) {
+    return 2;
+  }
+  return 0;
+}
+
+} // namespace qdd::simd

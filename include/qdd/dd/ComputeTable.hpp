@@ -13,12 +13,27 @@
 
 namespace qdd {
 
+/// Ordered pair of canonical weights, used as a single compute-table operand
+/// by the three-factor weight-product memo (`Package::mulWeights3`). Equality
+/// is exact tagged-pointer equality, like `Complex` itself.
+struct WeightPair {
+  Complex a;
+  Complex b;
+
+  friend bool operator==(const WeightPair& x, const WeightPair& y) noexcept {
+    return x.a == y.a && x.b == y.b;
+  }
+};
+
 /// Direct-mapped memoization cache for DD operations (footnote 4 of the
 /// paper: "decision diagram packages employ unique tables and compute tables
 /// ... to reduce the number of computations necessary").
 ///
 /// Keys are tuples of node pointers and canonical weight pointers; collisions
-/// simply overwrite (the cache is advisory).
+/// simply overwrite (the cache is advisory). Each entry stores a 32-bit
+/// fingerprint of its key, so a slot collision between different keys is
+/// rejected on one in-line integer compare instead of field-by-field operand
+/// comparison.
 ///
 /// Entries are stamped with the package's garbage-collection generation at
 /// insertion time, and every node and weight pointer an entry references
@@ -30,6 +45,15 @@ namespace qdd {
 /// garbage collection preserve the warm cache for surviving operands instead
 /// of clearing all tables wholesale. Chunk storage is never returned to the
 /// OS, so probing a stale pointer's generation field is memory-safe.
+///
+/// Freshness epoch shortcut: objects are only ever freed or recycled during
+/// garbage collection / shrinking, and both advance the package generation.
+/// So an entry written in the *current* generation cannot reference anything
+/// freed after it was written, and the whole per-pointer freshness scan (up
+/// to six dependent cache-line dereferences) collapses to one integer
+/// compare. The package publishes its generation via `setEpoch` after every
+/// collection; between collections — the overwhelmingly common case on the
+/// hot path — every hit takes the shortcut.
 template <class LeftOperand, class RightOperand, class Result,
           std::size_t NBUCKETS = (1U << 16U)>
 class ComputeTable {
@@ -41,13 +65,15 @@ public:
     RightOperand right;
     Result result;
     std::uint32_t gen = 0;
+    std::uint32_t hash = 0; ///< fold32 fingerprint of the key
     bool valid = false;
   };
 
   void insert(const LeftOperand& left, const RightOperand& right,
               const Result& result, std::uint32_t generation) {
-    auto& slot = table[slotOf(left, right)];
-    slot = Entry{left, right, result, generation, true};
+    const std::uint32_t fp = fingerprint(left, right);
+    auto& slot = table[fp & (NBUCKETS - 1)];
+    slot = Entry{left, right, result, generation, fp, true};
     ++numInserts;
   }
 
@@ -56,18 +82,38 @@ public:
   /// was written are rejected as stale.
   const Result* lookup(const LeftOperand& left, const RightOperand& right) {
     ++numLookups;
-    const auto& slot = table[slotOf(left, right)];
-    if (!slot.valid || !(slot.left == left) || !(slot.right == right)) {
+    const std::uint32_t fp = fingerprint(left, right);
+    const auto& slot = table[fp & (NBUCKETS - 1)];
+    if (!slot.valid || slot.hash != fp || !(slot.left == left) ||
+        !(slot.right == right)) {
       return nullptr;
     }
-    if (!isFresh(slot.left, slot.gen) || !isFresh(slot.right, slot.gen) ||
-        !isFresh(slot.result, slot.gen)) {
+    if (slot.gen != epoch &&
+        (!isFresh(slot.left, slot.gen) || !isFresh(slot.right, slot.gen) ||
+         !isFresh(slot.result, slot.gen))) {
       ++numStaleRejections;
       return nullptr;
     }
     ++numHits;
     return &slot.result;
   }
+
+  /// Hints the slot for `(left, right)` into cache. The recursive operations
+  /// know the keys of their child calls before descending; prefetching the
+  /// slot overlaps the (random-access) table load with the recursion.
+  void prefetch(const LeftOperand& left, const RightOperand& right) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&table[fingerprint(left, right) & (NBUCKETS - 1)]);
+#else
+    (void)left;
+    (void)right;
+#endif
+  }
+
+  /// Publishes the package's current allocation generation (call after every
+  /// garbage collection / shrink). Entries stamped with this exact
+  /// generation skip the per-pointer freshness scan on lookup.
+  void setEpoch(std::uint32_t generation) noexcept { epoch = generation; }
 
   void clear() {
     for (auto& slot : table) {
@@ -108,6 +154,18 @@ private:
     h = detail::combineHash(h, detail::ptrHash(e.w.i));
     return h;
   }
+  static std::size_t hashOperand(const Complex& w) noexcept {
+    return detail::combineHash(detail::ptrHash(w.r), detail::ptrHash(w.i));
+  }
+  static std::size_t hashOperand(const WeightPair& p) noexcept {
+    return detail::combineHash(hashOperand(p.a), hashOperand(p.b));
+  }
+
+  static std::uint32_t fingerprint(const LeftOperand& left,
+                                   const RightOperand& right) noexcept {
+    return detail::fold32(
+        detail::combineHash(hashOperand(left), hashOperand(right)));
+  }
 
   // Freshness: a pointer is fresh w.r.t. an entry if it was allocated no
   // later than the entry was written. Freed pointers carry
@@ -121,6 +179,9 @@ private:
     return Complex::aligned(w.r)->gen <= gen &&
            Complex::aligned(w.i)->gen <= gen;
   }
+  static bool isFresh(const WeightPair& p, std::uint32_t gen) noexcept {
+    return isFresh(p.a, gen) && isFresh(p.b, gen);
+  }
   template <class Node>
   static bool isFresh(const Node* p, std::uint32_t gen) noexcept {
     return p->gen <= gen;
@@ -130,16 +191,10 @@ private:
     return isFresh(e.p, gen) && isFresh(e.w, gen);
   }
 
-  std::size_t slotOf(const LeftOperand& left,
-                     const RightOperand& right) const noexcept {
-    const std::size_t h =
-        detail::combineHash(hashOperand(left), hashOperand(right));
-    return h & (NBUCKETS - 1);
-  }
-
   // Heap-allocated: at 2^16 slots an Entry table is several MiB, far too
   // large for automatic storage inside a Package object.
   std::vector<Entry> table = std::vector<Entry>(NBUCKETS);
+  std::uint32_t epoch = 0;
   std::size_t numLookups = 0;
   std::size_t numHits = 0;
   std::size_t numInserts = 0;

@@ -37,14 +37,28 @@ template <class Node> struct Edge {
   }
 };
 
+/// Reference counts are 16-bit and saturate: once a node reaches this value
+/// it is pinned forever (inc/dec become no-ops and GC never reclaims it).
+/// Real workloads essentially never push a single node past 65534 concurrent
+/// parents, and the nodes that do (deep identity spines, pinned roots) are
+/// precisely the ones worth keeping alive for the package's lifetime.
+inline constexpr std::uint16_t IMMORTAL_REF = 0xFFFFU;
+
 /// Decision-diagram node for state vectors: two successors, one per basis
 /// value of the qubit at this level (paper Sec. III-A).
-struct vNode {
-  std::array<Edge<vNode>, 2> e{};
-  vNode* next = nullptr;     ///< unique-table bucket chain
-  std::uint32_t ref = 0;     ///< incoming references (parents + user roots)
-  std::uint32_t gen = 0;     ///< allocation generation (mem::MemoryManager)
-  Qubit v = TERMINAL_LEVEL;  ///< qubit/level of this node
+///
+/// The layout is packed into exactly one 64-byte cache line so the
+/// `add`/`multiply2` recursions touch a single line per node: 2x24-byte
+/// edges, the allocator free-list pointer (dead while the node is live),
+/// and the narrow bookkeeping fields fill the line with no padding. The
+/// allocator hands nodes out 64-byte aligned (`alignas` + C++17 aligned
+/// `new[]`), so an edge dereference never straddles lines.
+struct alignas(64) vNode {
+  std::array<Edge<vNode>, 2> e{}; ///< successors          (48 bytes)
+  vNode* next = nullptr;          ///< allocator free list  (8 bytes)
+  std::uint32_t gen = 0;          ///< allocation generation (4 bytes)
+  std::uint16_t ref = 0;          ///< parents + user roots, saturating
+  Qubit v = TERMINAL_LEVEL;       ///< qubit/level of this node
 
   static vNode* terminal() noexcept { return &terminalNode; }
   [[nodiscard]] bool isTerminal() const noexcept {
@@ -55,15 +69,23 @@ private:
   static vNode terminalNode;
 };
 
+static_assert(sizeof(vNode) == 64, "vNode must fill one cache line");
+static_assert(alignof(vNode) == 64, "vNode must be cache-line aligned");
+
 /// Decision-diagram node for operation matrices: four successors, one per
 /// (row, column) block U_ij of the matrix at this level (paper Sec. III-A).
 /// Successor order is [U00, U01, U10, U11].
-struct mNode {
-  std::array<Edge<mNode>, 4> e{};
-  mNode* next = nullptr;
-  std::uint32_t ref = 0;
-  std::uint32_t gen = 0;
-  Qubit v = TERMINAL_LEVEL;
+///
+/// Packed into exactly two cache lines (4x24-byte edges + bookkeeping =
+/// 112 bytes, padded to 128): the first line holds e[0..2], the second
+/// e[3] plus the narrow fields, and the 64-byte alignment guarantees the
+/// split always falls on the same edge boundary.
+struct alignas(64) mNode {
+  std::array<Edge<mNode>, 4> e{}; ///< successors          (96 bytes)
+  mNode* next = nullptr;          ///< allocator free list  (8 bytes)
+  std::uint32_t gen = 0;          ///< allocation generation (4 bytes)
+  std::uint16_t ref = 0;          ///< parents + user roots, saturating
+  Qubit v = TERMINAL_LEVEL;       ///< qubit/level of this node
 
   static mNode* terminal() noexcept { return &terminalNode; }
   [[nodiscard]] bool isTerminal() const noexcept {
@@ -73,6 +95,9 @@ struct mNode {
 private:
   static mNode terminalNode;
 };
+
+static_assert(sizeof(mNode) == 128, "mNode must fill two cache lines");
+static_assert(alignof(mNode) == 64, "mNode must be cache-line aligned");
 
 using vEdge = Edge<vNode>;
 using mEdge = Edge<mNode>;
@@ -89,6 +114,12 @@ inline std::size_t combineHash(std::size_t seed, std::size_t h) noexcept {
 inline std::size_t ptrHash(const void* p) noexcept {
   // Pointers are at least 8-byte aligned; discard the dead bits.
   return reinterpret_cast<std::uintptr_t>(p) >> 3U;
+}
+/// Folds a full hash into the 32-bit fingerprint stored in table slots:
+/// mixing in the high half keeps the fingerprint discriminating even though
+/// slot indexing already consumed the low bits.
+inline std::uint32_t fold32(std::size_t h) noexcept {
+  return static_cast<std::uint32_t>(h ^ (h >> 32U));
 }
 } // namespace detail
 

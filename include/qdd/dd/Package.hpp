@@ -120,6 +120,27 @@ public:
   /// Interns a complex value in this package's weight table.
   Complex lookup(const ComplexValue& c) { return cTable.lookup(c); }
 
+  /// Canonical weight products with pointer elision: when at most one factor
+  /// differs from exactly one, the product IS that factor (already interned),
+  /// so both the complex multiply and the RealTable lookup are skipped.
+  /// Bit-identical to the value path because RealTable entries are pairwise
+  /// more than `tol` apart, hence lookup(val(X)) == X for canonical X.
+  /// Non-trivial products are memoized in `mulWeightTable`, keyed on the
+  /// exact tagged weight pointers; a hit replaces the complex multiply and
+  /// both RealTable walks with one direct-mapped probe. Products that fall
+  /// inside the tolerance window canonicalize to `Complex::zero`.
+  Complex mulWeights(const Complex& a, const Complex& b);
+  /// Three-factor variant (left-associated, matching `a * b * c`), memoized
+  /// in `mulWeight3Table`; returns Complex::zero when the computed product
+  /// falls inside the tolerance window, which callers treat as the zero
+  /// edge.
+  Complex mulWeights3(const Complex& a, const Complex& b, const Complex& c);
+  /// Shared tail of mulWeights / mulWeights3 once exact-one factors are
+  /// elided down to two non-trivial ones: canonicalizes the operand order
+  /// (complex multiplication commutes bit-exactly), probes the memo, and
+  /// falls back to the SIMD multiply + RealTable intern.
+  Complex mulWeightsCached(const Complex& a, const Complex& b);
+
   // --- states ------------------------------------------------------------
 
   /// |0...0> on `n` qubits.
@@ -318,6 +339,10 @@ private:
   template <class Node>
   void decRefEdge(const Edge<Node>& e) noexcept;
 
+  /// Publishes the new allocation generation to every compute table after a
+  /// collection/shrink, enabling their freshness-epoch lookup shortcut.
+  void setComputeEpochs() noexcept;
+
   vEdge normalizeLargest(Qubit v, std::array<vEdge, 2> edges);
   vEdge normalizeNorm(Qubit v, std::array<vEdge, 2> edges);
 
@@ -373,6 +398,11 @@ private:
   ComputeTable<mNode*, mNode*, mEdge, (1U << 16U)> multMatMatTable;
   ComputeTable<mNode*, mNode*, mEdge, (1U << 12U)> conjTransTable;
   ComputeTable<vNode*, vNode*, ComplexValue, (1U << 12U)> innerProductTable;
+  // Scalar weight-product memos (see mulWeights / mulWeights3). Distinct
+  // canonical weight pairs number far below distinct node pairs, so small
+  // tables reach high hit rates while staying cache-resident.
+  ComputeTable<Complex, Complex, Complex, (1U << 12U)> mulWeightTable;
+  ComputeTable<Complex, WeightPair, Complex, (1U << 12U)> mulWeight3Table;
 
   /// idTable[k] is the identity DD on levels 0..k-1 (idTable[0] = 1-terminal
   /// edge). Entries are reference-held by the package so they survive GC.

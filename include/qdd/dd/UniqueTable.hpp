@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace qdd {
@@ -17,17 +18,25 @@ namespace qdd {
 /// equivalence checking).
 ///
 /// Node storage lives in a `mem::MemoryManager` owned by the package; the
-/// table itself only manages the per-level bucket arrays. Each level starts
-/// with a small bucket array and doubles it (rehashing the level's chains)
-/// whenever the level's load factor exceeds one, so table capacity follows
-/// the workload instead of being fixed at compile time. Garbage collection
-/// is reference-count based and sweeps levels top-down so that cascading
-/// releases complete in a single pass (children are always at strictly lower
-/// levels).
+/// table itself only manages per-level slot arrays. Each level is a flat
+/// open-addressed array of `{node, hash32}` slots probed linearly: the
+/// stored 32-bit fingerprint filters almost every mismatching probe without
+/// dereferencing the candidate node, so a miss costs sequential scans of one
+/// small slot array instead of a pointer chase per chain link. Levels start
+/// small and double (rehash) when their load factor reaches 3/4, so table
+/// capacity follows the workload instead of being fixed at compile time.
+///
+/// There are no tombstones, ever: deletion happens only wholesale during
+/// garbage collection / shrinking, which rebuilds each touched level's slot
+/// array from the survivors (their stored fingerprints are still valid —
+/// GC never mutates a surviving node's children). Garbage collection is
+/// reference-count based and sweeps levels top-down so that cascading
+/// releases complete in a single pass (children are always at strictly
+/// lower levels).
 template <class Node> class UniqueTable {
 public:
   // Small initial capacity per level: typical DDs keep most levels sparse,
-  // and busy levels double their bucket array on demand (load factor > 1).
+  // and busy levels double their slot array on demand (load factor >= 3/4).
   static constexpr std::size_t INITIAL_BUCKETS = 1U << 6U; // per level
   static constexpr std::size_t GC_INITIAL_THRESHOLD = 131072;
 
@@ -54,17 +63,14 @@ public:
   template <class ReleaseChildren>
   void resize(std::size_t nvars, ReleaseChildren&& releaseChildren) {
     for (std::size_t level = nvars; level < levels.size(); ++level) {
-      for (auto& bucket : levels[level].buckets) {
-        Node* n = bucket;
-        while (n != nullptr) {
-          Node* next = n->next;
-          releaseChildren(n);
-          mgr->release(n);
+      for (auto& slot : levels[level].slots) {
+        if (slot.node != nullptr) {
+          releaseChildren(slot.node);
+          mgr->release(slot.node);
+          slot.node = nullptr;
           assert(numNodes > 0);
           --numNodes;
-          n = next;
         }
-        bucket = nullptr;
       }
       levels[level].entries = 0;
     }
@@ -92,29 +98,39 @@ public:
     const auto levelIdx = static_cast<std::size_t>(candidate->v);
     assert(levelIdx < levels.size());
     Level& level = levels[levelIdx];
-    if (level.entries >= level.buckets.size()) {
+    // Grow before probing so the insert position found below stays valid.
+    if ((level.entries + 1) * 4 >= level.slots.size() * 3) {
       growLevel(level);
     }
-    const std::size_t hash = hashNode(*candidate);
-    const std::size_t key = hash & (level.buckets.size() - 1);
-    std::size_t chain = 0;
-    for (Node* n = level.buckets[key]; n != nullptr; n = n->next) {
-      ++chain;
-      if (nodesStructurallyEqual(*n, *candidate)) {
+    // The fingerprint seeds the probe sequence (not the full hash), so a
+    // GC/rehash rebuild — which only has the fingerprint — reproduces the
+    // exact same probe order.
+    const std::uint32_t fp = detail::fold32(hashNode(*candidate));
+    const std::size_t mask = level.slots.size() - 1;
+    std::size_t idx = fp & mask;
+    std::size_t probe = 1;
+    for (;; idx = (idx + 1) & mask, ++probe) {
+      Slot& slot = level.slots[idx];
+      if (slot.node == nullptr) {
+        break;
+      }
+      if (slot.hash == fp && nodesStructurallyEqual(*slot.node, *candidate)) {
         ++numHits;
+        numProbes += probe;
+        maxProbe = std::max(maxProbe, probe);
         // Candidates are never published to compute caches, so recycling
         // them mid-epoch is safe.
         mgr->release(candidate);
         inserted = false;
-        return n;
+        return slot.node;
       }
     }
-    if (level.buckets[key] != nullptr) {
+    numProbes += probe;
+    maxProbe = std::max(maxProbe, probe);
+    if (probe > 1) {
       ++numCollisions;
     }
-    maxChain = std::max(maxChain, chain + 1);
-    candidate->next = level.buckets[key];
-    level.buckets[key] = candidate;
+    level.slots[idx] = Slot{candidate, fp};
     ++level.entries;
     ++numNodes;
     peakNodes = std::max(peakNodes, numNodes);
@@ -125,29 +141,46 @@ public:
   /// Sweeps all levels top-down, removing (and recycling) nodes with zero
   /// reference count. The caller must decrement child references via the
   /// provided callback when a node dies, and must have advanced the memory
-  /// manager's allocation generation beforehand. Returns the number of
-  /// collected nodes.
+  /// manager's allocation generation beforehand. Touched levels are rebuilt
+  /// from the survivors, so the probe sequences stay tombstone-free.
+  /// Returns the number of collected nodes.
   template <class ReleaseChildren>
   std::size_t garbageCollect(ReleaseChildren&& releaseChildren) {
     std::size_t collected = 0;
+    std::vector<Slot> survivors;
     for (auto levelIdx = levels.size(); levelIdx-- > 0;) {
       Level& level = levels[levelIdx];
-      for (auto& bucket : level.buckets) {
-        Node** link = &bucket;
-        while (*link != nullptr) {
-          Node* n = *link;
-          if (n->ref == 0) {
-            *link = n->next;
-            releaseChildren(n);
-            mgr->release(n);
-            ++collected;
-            assert(level.entries > 0);
-            --level.entries;
-          } else {
-            link = &n->next;
-          }
+      if (level.entries == 0) {
+        continue;
+      }
+      std::size_t dead = 0;
+      for (const auto& slot : level.slots) {
+        if (slot.node != nullptr && slot.node->ref == 0) {
+          ++dead;
         }
       }
+      if (dead == 0) {
+        continue;
+      }
+      survivors.clear();
+      survivors.reserve(level.entries - dead);
+      for (auto& slot : level.slots) {
+        if (slot.node == nullptr) {
+          continue;
+        }
+        if (slot.node->ref == 0) {
+          releaseChildren(slot.node);
+          mgr->release(slot.node);
+        } else {
+          survivors.push_back(slot);
+        }
+        slot = Slot{};
+      }
+      for (const auto& slot : survivors) {
+        reinsert(level, slot);
+      }
+      level.entries = survivors.size();
+      collected += dead;
     }
     numNodes -= collected;
     if (collected < numNodes / 8) {
@@ -168,17 +201,18 @@ public:
   [[nodiscard]] std::size_t collisions() const noexcept {
     return numCollisions;
   }
-  [[nodiscard]] std::size_t longestChain() const noexcept { return maxChain; }
+  [[nodiscard]] std::size_t longestChain() const noexcept { return maxProbe; }
+  [[nodiscard]] std::size_t probes() const noexcept { return numProbes; }
   [[nodiscard]] std::size_t rehashes() const noexcept { return numRehashes; }
   /// Nodes alive at this moment (stored + handed out via getNode).
   [[nodiscard]] std::size_t allocations() const noexcept {
     return mgr->live();
   }
-  /// Total bucket count across all levels.
+  /// Total slot count across all levels.
   [[nodiscard]] std::size_t bucketCount() const noexcept {
     std::size_t total = 0;
     for (const auto& level : levels) {
-      total += level.buckets.size();
+      total += level.slots.size();
     }
     return total;
   }
@@ -190,7 +224,8 @@ public:
     s.lookups = numLookups;
     s.hits = numHits;
     s.collisions = numCollisions;
-    s.longestChain = maxChain;
+    s.longestChain = maxProbe;
+    s.probes = numProbes;
     s.levels = levels.size();
     s.buckets = bucketCount();
     s.rehashes = numRehashes;
@@ -201,32 +236,45 @@ public:
   /// Visits every node currently in the table.
   template <class Visitor> void forEach(Visitor&& visit) const {
     for (const auto& level : levels) {
-      for (Node* bucket : level.buckets) {
-        for (Node* n = bucket; n != nullptr; n = n->next) {
-          visit(n);
+      for (const auto& slot : level.slots) {
+        if (slot.node != nullptr) {
+          visit(slot.node);
         }
       }
     }
   }
 
 private:
+  struct Slot {
+    Node* node = nullptr;
+    std::uint32_t hash = 0; ///< fold32 fingerprint of the full node hash
+  };
+
   struct Level {
-    std::vector<Node*> buckets = std::vector<Node*>(INITIAL_BUCKETS, nullptr);
+    std::vector<Slot> slots = std::vector<Slot>(INITIAL_BUCKETS);
     std::size_t entries = 0;
   };
 
+  /// Inserts a slot known not to be present (rehash/GC rebuild): probes to
+  /// the first empty slot. Only the fingerprint's low bits seed the probe,
+  /// which is fine — the fingerprint already mixes the full hash.
+  static void reinsert(Level& level, const Slot& slot) noexcept {
+    const std::size_t mask = level.slots.size() - 1;
+    std::size_t idx = slot.hash & mask;
+    while (level.slots[idx].node != nullptr) {
+      idx = (idx + 1) & mask;
+    }
+    level.slots[idx] = slot;
+  }
+
   void growLevel(Level& level) {
-    std::vector<Node*> next(level.buckets.size() * 2, nullptr);
-    for (Node* bucket : level.buckets) {
-      while (bucket != nullptr) {
-        Node* n = bucket;
-        bucket = n->next;
-        const std::size_t key = hashNode(*n) & (next.size() - 1);
-        n->next = next[key];
-        next[key] = n;
+    std::vector<Slot> old = std::move(level.slots);
+    level.slots.assign(old.size() * 2, Slot{});
+    for (const auto& slot : old) {
+      if (slot.node != nullptr) {
+        reinsert(level, slot);
       }
     }
-    level.buckets = std::move(next);
     ++numRehashes;
   }
 
@@ -238,7 +286,8 @@ private:
   std::size_t numLookups = 0;
   std::size_t numHits = 0;
   std::size_t numCollisions = 0;
-  std::size_t maxChain = 0;
+  std::size_t maxProbe = 0;
+  std::size_t numProbes = 0;
   std::size_t numRehashes = 0;
   std::size_t gcThreshold = GC_INITIAL_THRESHOLD;
 };

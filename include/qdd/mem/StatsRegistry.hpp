@@ -27,10 +27,11 @@ struct UniqueTableStats {
   std::size_t lookups = 0;
   std::size_t hits = 0; ///< lookups answered by an existing node
   std::size_t collisions = 0;
-  std::size_t longestChain = 0; ///< longest bucket chain ever walked
+  std::size_t longestChain = 0; ///< longest open-addressing probe sequence
+  std::size_t probes = 0;       ///< slot inspections across all lookups
   std::size_t levels = 0;
-  std::size_t buckets = 0;  ///< total buckets across all levels
-  std::size_t rehashes = 0; ///< per-level bucket-array doublings
+  std::size_t buckets = 0;  ///< total slots across all levels
+  std::size_t rehashes = 0; ///< per-level slot-array doublings
   AllocatorStats memory;
 
   /// Accumulates another table's counters: sums, except `longestChain` and
@@ -40,6 +41,12 @@ struct UniqueTableStats {
   [[nodiscard]] double hitRatio() const noexcept {
     return lookups == 0 ? 0.
                         : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+  /// Mean slots inspected per lookup (1.0 = every probe hit its home slot).
+  [[nodiscard]] double avgProbeLength() const noexcept {
+    return lookups == 0 ? 0.
+                        : static_cast<double>(probes) /
                               static_cast<double>(lookups);
   }
   [[nodiscard]] double loadFactor() const noexcept {

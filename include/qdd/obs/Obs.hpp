@@ -21,6 +21,7 @@
 #endif
 
 #include "qdd/obs/FlightRecorder.hpp"
+#include "qdd/obs/SpanGate.hpp"
 #include "qdd/obs/TraceContext.hpp"
 
 #include <atomic>
@@ -138,7 +139,10 @@ public:
   [[nodiscard]] bool enabled() const noexcept {
     return on.load(std::memory_order_relaxed);
   }
-  void setEnabled(bool e) noexcept { on.store(e, std::memory_order_relaxed); }
+  void setEnabled(bool e) noexcept {
+    on.store(e, std::memory_order_relaxed);
+    detail::setSpanGateBit(detail::SPAN_GATE_OBS, e);
+  }
 
   void addSink(std::shared_ptr<Sink> sink);
   /// Detaches one sink again (no-op if it is not attached).
@@ -216,7 +220,10 @@ private:
 class ScopedSpan {
 public:
   ScopedSpan(const char* category, const char* name, bool condition = true) {
-    if (!condition) {
+    // One inline relaxed load covers the overwhelmingly common "nobody is
+    // recording" case; the authoritative flags are only consulted once some
+    // consumer has opened the gate.
+    if (!condition || !detail::spanGateOpen()) {
       return;
     }
     const bool obsOn = Registry::instance().enabled();

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <atomic>
+
+// Process-wide fast gate for span recording. ScopedSpan sits on every
+// top-level DD operation; while neither the registry nor the flight recorder
+// wants spans, its constructor must cost one inline relaxed load — not two
+// out-of-line singleton accessors with guarded function-local statics.
+//
+// Bit 0 mirrors Registry's runtime enable flag, bit 1 the flight recorder's
+// arming flag; the two setters keep their bit in sync. The gate is advisory
+// in exactly one direction: when it reads zero, both subsystems are off and
+// the span is skipped; when any bit is set, the authoritative flags are
+// consulted as before.
+
+namespace qdd::obs::detail {
+
+inline constexpr unsigned SPAN_GATE_OBS = 1U;
+inline constexpr unsigned SPAN_GATE_FLIGHT = 2U;
+
+extern std::atomic<unsigned> spanGate;
+
+inline void setSpanGateBit(unsigned bit, bool on) noexcept {
+  if (on) {
+    spanGate.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    spanGate.fetch_and(~bit, std::memory_order_relaxed);
+  }
+}
+
+inline bool spanGateOpen() noexcept {
+  return spanGate.load(std::memory_order_relaxed) != 0U;
+}
+
+} // namespace qdd::obs::detail

@@ -14,7 +14,9 @@ Modes:
                   regressed by more than --max-regression (default 0.25,
                   i.e. current speedup must stay above 75% of the baseline
                   speedup). Gated columns: speedupFastVsGeneral (floor vs
-                  baseline), peakNodes / stripPeakNodes (at most
+                  baseline AND an absolute floor of 1.0: the direct apply
+                  path must never lose to the general multiply it
+                  replaces), peakNodes / stripPeakNodes (at most
                   baseline * (1 + --max-regression)), and for funcbuild
                   records nodeReduction (floor vs baseline AND an absolute
                   floor of 2.0: identity-skipping must keep at least a 2x
@@ -122,6 +124,14 @@ def main():
             return 0 if ok else 1
 
         failures += gate_floor("speedupFastVsGeneral")
+        if record.get("speedupFastVsGeneral", 1.0) < 1.0:
+            # The direct apply path must never lose to the general
+            # matrix-vector multiply it replaces, no matter what the
+            # recorded baseline says.
+            print(f"  {label}: speedupFastVsGeneral "
+                  f"{record['speedupFastVsGeneral']:.2f}x below the "
+                  f"absolute 1.0x fast-path floor REGRESSION")
+            failures += 1
         failures += gate_ceiling("peakNodes")
         failures += gate_ceiling("stripPeakNodes")
         if "nodeReduction" in record:

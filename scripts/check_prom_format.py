@@ -37,6 +37,10 @@ REQUIRED_FAMILIES = [
     "qdd_sessions_live",
     "qdd_sessions_capacity",
     "qdd_dd_unique_table_entries",
+    "qdd_dd_unique_table_probe_length_avg",
+    "qdd_dd_unique_table_probe_length_max",
+    "qdd_dd_unique_table_hit_ratio",
+    "qdd_dd_compute_hit_ratio",
     "qdd_incidents_total",
 ]
 

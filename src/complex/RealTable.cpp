@@ -1,6 +1,7 @@
 #include "qdd/complex/RealTable.hpp"
 
 #include "qdd/complex/ComplexValue.hpp"
+#include "qdd/complex/Simd.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -59,18 +60,22 @@ RealTable::Entry* RealTable::lookup(double val) {
   assert(val >= 0. && "RealTable only stores non-negative values");
   ++numLookups;
 
-  // Fast paths for the three immortal constants.
+  // Fast paths for the three immortal constants. The two non-zero ones are
+  // classified in a single lane-parallel compare (same priority order and
+  // exact comparisons as the branch chain it replaces).
   if (std::abs(val) <= tol) {
     ++numHits;
     return &zeroEntry;
   }
-  if (std::abs(val - 1.) <= tol) {
+  switch (simd::classifyImmortal(val, tol)) {
+  case 1:
     ++numHits;
     return &oneEntry;
-  }
-  if (std::abs(val - SQRT2_2) <= tol) {
+  case 2:
     ++numHits;
     return &sqrt2Entry;
+  default:
+    break;
   }
 
   const std::size_t key = bucketOf(val, table.size());

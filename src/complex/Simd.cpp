@@ -1,0 +1,45 @@
+#include "qdd/complex/Simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace qdd::simd {
+
+namespace {
+
+/// QDD_SIMD=scalar (case-sensitive, matching the other QDD_* switches)
+/// forces the scalar fallback; anything else — unset, empty, "auto" — keeps
+/// the compiled-in mode.
+bool envForcesScalar() noexcept {
+  const char* env = std::getenv("QDD_SIMD");
+  return env != nullptr && std::strcmp(env, "scalar") == 0;
+}
+
+} // namespace
+
+namespace detail {
+bool envScalar = envForcesScalar();
+std::atomic<int> overrideDepth{0};
+} // namespace detail
+
+const char* toString(Mode mode) noexcept {
+  switch (mode) {
+  case Mode::Scalar:
+    return "scalar";
+  case Mode::SSE2:
+    return "sse2";
+  case Mode::AVX2:
+    return "avx2";
+  }
+  return "unknown";
+}
+
+ScopedScalarOverride::ScopedScalarOverride() {
+  detail::overrideDepth.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedScalarOverride::~ScopedScalarOverride() {
+  detail::overrideDepth.fetch_sub(1, std::memory_order_relaxed);
+}
+
+} // namespace qdd::simd

@@ -82,6 +82,7 @@ void Package::shrink(std::size_t n) {
   vMem.setGeneration(generation);
   mMem.setGeneration(generation);
   cTable.realTable().setAllocationGeneration(generation);
+  setComputeEpochs();
 
   const auto releaseV = [this](vNode* node) {
     for (const auto& child : node->e) {
@@ -103,17 +104,20 @@ void Package::shrink(std::size_t n) {
 
 // --- reference counting ------------------------------------------------------
 
+// Reference counts are 16-bit and saturate at IMMORTAL_REF: a node that
+// ever accumulates 65535 parents is pinned for the package's lifetime
+// (inc/dec become no-ops, GC never reclaims it). This is what lets the
+// count live in the node's packed cache line.
 template <class Node> void Package::incRefEdge(const Edge<Node>& e) noexcept {
   ComplexTable::incRef(e.w);
-  if (!e.isTerminal()) {
-    assert(e.p->ref < std::numeric_limits<std::uint32_t>::max());
+  if (!e.isTerminal() && e.p->ref < IMMORTAL_REF) {
     ++e.p->ref;
   }
 }
 
 template <class Node> void Package::decRefEdge(const Edge<Node>& e) noexcept {
   ComplexTable::decRef(e.w);
-  if (!e.isTerminal()) {
+  if (!e.isTerminal() && e.p->ref < IMMORTAL_REF) {
     assert(e.p->ref > 0 && "node reference count underflow");
     --e.p->ref;
   }
@@ -143,6 +147,7 @@ bool Package::garbageCollect(bool force) {
   vMem.setGeneration(generation);
   mMem.setGeneration(generation);
   cTable.realTable().setAllocationGeneration(generation);
+  setComputeEpochs();
   const auto releaseV = [this](vNode* n) {
     for (const auto& child : n->e) {
       decRefEdge(child);
@@ -164,6 +169,17 @@ bool Package::garbageCollect(bool force) {
   span.arg("collectedMatrixNodes", dm);
   span.arg("collectedReals", dr);
   return true;
+}
+
+void Package::setComputeEpochs() noexcept {
+  addVecTable.setEpoch(generation);
+  addMatTable.setEpoch(generation);
+  multMatVecTable.setEpoch(generation);
+  multMatMatTable.setEpoch(generation);
+  conjTransTable.setEpoch(generation);
+  innerProductTable.setEpoch(generation);
+  mulWeightTable.setEpoch(generation);
+  mulWeight3Table.setEpoch(generation);
 }
 
 // --- node construction / normalization --------------------------------------
@@ -199,12 +215,25 @@ vEdge Package::normalizeLargest(Qubit v, std::array<vEdge, 2> e) {
   const std::size_t top =
       (w1.mag2() > w0.mag2() + tolerance()) ? 1 : 0;
   const ComplexValue topWeight = (top == 0) ? w0 : w1;
+  // The weight pulled out of the node is already a canonical table pointer;
+  // returning it directly is bit-identical to (and much cheaper than)
+  // re-interning its value: table entries are pairwise more than the
+  // tolerance apart, so lookup(topWeight) could only ever find this entry.
+  const Complex topCanonical = e[top].w;
   const std::size_t other = 1 - top;
   const ComplexValue otherWeight = (top == 0) ? w1 : w0;
 
   e[top].w = Complex::one;
   if (e[other].w.exactlyZero()) {
     // keep the 0-stub
+  } else if (e[other].w == topCanonical) {
+    // Equal canonical weights: same-value division is IEEE-exact one
+    // (identical numerator/denominator expressions), so the quotient is
+    // exactly (1, 0) — elide the divide and both table lookups.
+    e[other].w = Complex::one;
+  } else if (topCanonical.exactlyOne()) {
+    // Division by exact one is value-preserving and the weight is already
+    // a canonical pointer: lookup(val(w)) == w. Keep it untouched.
   } else {
     e[other].w = lookup(otherWeight / topWeight);
     if (e[other].w.exactlyZero()) {
@@ -223,7 +252,7 @@ vEdge Package::normalizeLargest(Qubit v, std::array<vEdge, 2> e) {
       incRefEdge(child);
     }
   }
-  return {node, lookup(topWeight)};
+  return {node, topCanonical};
 }
 
 vEdge Package::normalizeNorm(Qubit v, std::array<vEdge, 2> e) {
@@ -306,10 +335,20 @@ mEdge Package::makeMatNode(Qubit v, const std::array<mEdge, 4>& edges) {
     }
   }
   const ComplexValue topWeight = e[top].w.toValue();
+  // Canonical-pointer fast path, same argument as in normalizeLargest.
+  const Complex topCanonical = e[top].w;
+  const bool topOne = topCanonical.exactlyOne();
   for (std::size_t k = 0; k < 4; ++k) {
     if (k == top) {
       e[k].w = Complex::one;
-    } else if (!e[k].w.exactlyZero()) {
+    } else if (e[k].w.exactlyZero()) {
+      // keep the 0-stub
+    } else if (e[k].w == topCanonical) {
+      // same-value division is IEEE-exact one (see normalizeLargest)
+      e[k].w = Complex::one;
+    } else if (topOne) {
+      // dividing a canonical weight by exact one: already canonical
+    } else {
       e[k].w = lookup(e[k].w.toValue() / topWeight);
       if (e[k].w.exactlyZero()) {
         e[k] = mEdge::zero();
@@ -328,7 +367,7 @@ mEdge Package::makeMatNode(Qubit v, const std::array<mEdge, 4>& edges) {
       incRefEdge(child);
     }
   }
-  return {node, lookup(topWeight)};
+  return {node, topCanonical};
 }
 
 // --- states -------------------------------------------------------------------
@@ -685,6 +724,8 @@ mem::StatsRegistry Package::statistics() const {
   reg.computeTables.push_back(multMatMatTable.stats("multiplyMatMat"));
   reg.computeTables.push_back(conjTransTable.stats("conjugateTranspose"));
   reg.computeTables.push_back(innerProductTable.stats("innerProduct"));
+  reg.computeTables.push_back(mulWeightTable.stats("mulWeight"));
+  reg.computeTables.push_back(mulWeight3Table.stats("mulWeight3"));
   reg.apply = applyCounters;
   reg.gc.runs = gcRuns;
   reg.gc.generation = generation;
@@ -699,6 +740,9 @@ mem::TablePressure Package::tablePressure() const {
   p.vectorNodes = vTable.size();
   p.matrixNodes = mTable.size();
   p.realEntries = cTable.realTable().size();
+  // Deliberately counts only the DD-operation caches: the scalar weight
+  // memos see an order of magnitude more traffic and would drown the
+  // per-operation hit-rate series they feed.
   p.cacheLookups = addVecTable.lookups() + addMatTable.lookups() +
                    multMatVecTable.lookups() + multMatMatTable.lookups() +
                    conjTransTable.lookups() + innerProductTable.lookups();

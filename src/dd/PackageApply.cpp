@@ -1,4 +1,5 @@
 #include "DDOpSpan.hpp"
+#include "qdd/complex/Simd.hpp"
 #include "qdd/dd/Package.hpp"
 #include "qdd/obs/Obs.hpp"
 
@@ -7,7 +8,6 @@
 #include <cassert>
 #include <cstddef>
 #include <stdexcept>
-#include <unordered_map>
 #include <utility>
 
 // Direct gate application: Package::applyGate recurses on the *state* DD
@@ -63,6 +63,98 @@ struct SpliceKeyHash {
   }
 };
 
+struct NodePtrHash {
+  std::size_t operator()(const vNode* p) const noexcept {
+    return detail::combineHash(0, detail::ptrHash(p));
+  }
+};
+
+/// Open-addressed scratch memo reused across applyGate calls: `reset()` is
+/// O(1) (a stamp bump invalidates every slot), so per-gate invocations on
+/// small states pay no allocation or clearing — the dominant cost of the
+/// node-based maps this replaces. Slots are valid only when their stamp
+/// matches the current round; linear probing, doubling at 3/4 load.
+template <class Key, class Value, class Hasher>
+class ScratchMemo {
+public:
+  void reset() {
+    ++stamp;
+    entries = 0;
+    if (stamp == 0) { // stamp wrapped: old rounds become ambiguous, clear
+      for (auto& s : slots) {
+        s.stamp = 0;
+      }
+      stamp = 1;
+    }
+  }
+
+  [[nodiscard]] const Value* find(const Key& key) const noexcept {
+    const std::size_t mask = slots.size() - 1;
+    for (std::size_t idx = Hasher{}(key) & mask;; idx = (idx + 1) & mask) {
+      const Slot& s = slots[idx];
+      if (s.stamp != stamp) {
+        return nullptr;
+      }
+      if (s.key == key) {
+        return &s.value;
+      }
+    }
+  }
+
+  void insert(const Key& key, const Value& value) {
+    if ((entries + 1) * 4 >= slots.size() * 3) {
+      grow();
+    }
+    const std::size_t mask = slots.size() - 1;
+    std::size_t idx = Hasher{}(key) & mask;
+    while (slots[idx].stamp == stamp) {
+      idx = (idx + 1) & mask;
+    }
+    slots[idx] = Slot{key, value, stamp};
+    ++entries;
+  }
+
+private:
+  struct Slot {
+    Key key{};
+    Value value{};
+    std::uint32_t stamp = 0;
+  };
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots);
+    slots.assign(old.size() * 2, Slot{});
+    const std::size_t mask = slots.size() - 1;
+    for (const Slot& s : old) {
+      if (s.stamp != stamp) {
+        continue;
+      }
+      std::size_t idx = Hasher{}(s.key) & mask;
+      while (slots[idx].stamp == stamp) {
+        idx = (idx + 1) & mask;
+      }
+      slots[idx] = s;
+    }
+  }
+
+  std::vector<Slot> slots = std::vector<Slot>(64);
+  std::uint32_t stamp = 0;
+  std::size_t entries = 0;
+};
+
+enum Polarity : signed char { None, Positive, Negative };
+
+/// Reusable per-thread scratch for applyGate: the memo tables and the small
+/// vectors survive across invocations, so a gate application allocates
+/// nothing in steady state (the per-gate unordered_map churn used to
+/// dominate small-state circuits such as Grover).
+struct ApplyScratch {
+  ScratchMemo<const vNode*, vEdge, NodePtrHash> down;
+  ScratchMemo<SpliceKey, vEdge, SpliceKeyHash> splice;
+  std::vector<Polarity> polarity;
+  QubitControls below;
+};
+
 /// State of one applyGate invocation: the gate, the control partition, and
 /// the per-call memo tables. Uses only the public Package interface, so the
 /// kernel shares makeVecNode normalization and add() semantics with the
@@ -70,11 +162,17 @@ struct SpliceKeyHash {
 class ApplyCtx {
 public:
   ApplyCtx(Package& pkg, const GateMatrix& gate, Qubit targetQubit,
-           const QubitControls& sortedControls, Qubit rootLevel)
-      : p(pkg), mat(gate), target(targetQubit), tol(pkg.tolerance()) {
+           const QubitControls& sortedControls, Qubit rootLevel,
+           ApplyScratch& scratch)
+      : p(pkg), mat(gate), target(targetQubit), tol(pkg.tolerance()),
+        polarity(scratch.polarity), below(scratch.below),
+        downMemo(scratch.down), spliceMemo(scratch.splice) {
+    downMemo.reset();
+    spliceMemo.reset();
     // polarity[z] for control levels above the target; controls below the
     // target are consumed top-down by the splice, so keep them descending.
     polarity.assign(static_cast<std::size_t>(rootLevel) + 1, None);
+    below.clear();
     for (const auto& c : sortedControls) {
       if (c.qubit > target) {
         polarity[static_cast<std::size_t>(c.qubit)] =
@@ -91,8 +189,6 @@ public:
   vEdge run(vNode* node) { return down(vEdge{node, Complex::one}); }
 
 private:
-  enum Polarity : signed char { None, Positive, Negative };
-
   /// Descends from the root to the target level.
   vEdge down(const vEdge& e) {
     if (e.w.exactlyZero()) {
@@ -100,8 +196,8 @@ private:
     }
     assert(!e.isTerminal() && e.p->v >= target && "applyGate: level underrun");
     vEdge nodeResult;
-    if (const auto it = downMemo.find(e.p); it != downMemo.end()) {
-      nodeResult = it->second;
+    if (const vEdge* hit = downMemo.find(e.p)) {
+      nodeResult = *hit;
     } else {
       const Qubit z = e.p->v;
       if (z == target) {
@@ -121,7 +217,7 @@ private:
         }
         nodeResult = p.makeVecNode(z, r);
       }
-      downMemo.emplace(e.p, nodeResult);
+      downMemo.insert(e.p, nodeResult);
     }
     return compose(nodeResult, e.w);
   }
@@ -160,8 +256,8 @@ private:
       return x; // (1-P)x + P x = x, whatever P
     }
     const SpliceKey key{x, z};
-    if (const auto it = spliceMemo.find(key); it != spliceMemo.end()) {
-      return it->second;
+    if (const vEdge* hit = spliceMemo.find(key)) {
+      return *hit;
     }
     assert(level >= 0 && "applyGate: splice descended past a control");
     std::array<vEdge, 2> r{};
@@ -178,7 +274,7 @@ private:
       r[1] = splice(childOf(x, 1, level), childOf(z, 1, level), next, ci);
     }
     const vEdge result = p.makeVecNode(level, r);
-    spliceMemo.emplace(key, result);
+    spliceMemo.insert(key, result);
     return result;
   }
 
@@ -202,7 +298,7 @@ private:
     if (m.exactlyOne()) {
       return e;
     }
-    const ComplexValue w = m * e.w.toValue();
+    const ComplexValue w = simd::mul(m, e.w.toValue());
     if (w.approximatelyZero(tol)) {
       return vEdge::zero();
     }
@@ -217,21 +313,30 @@ private:
     if (w.exactlyOne()) {
       return nodeResult;
     }
-    const ComplexValue product = nodeResult.w.toValue() * w.toValue();
-    if (product.approximatelyZero(tol)) {
+    if (nodeResult.w.exactlyOne()) {
+      // Both weights are canonical: 1 * w is value-exact and
+      // lookup(val(w)) == w, so the multiply and the lookup are elided. A
+      // canonical non-zero weight never falls in the zero window.
+      return {nodeResult.p, w};
+    }
+    // Both weights canonical and non-trivial: go through the package's
+    // weight-product memo (same multiply + zero-window + intern sequence,
+    // with the cache in front).
+    const Complex product = p.mulWeightsCached(nodeResult.w, w);
+    if (product.exactlyZero()) {
       return vEdge::zero();
     }
-    return {nodeResult.p, p.lookup(product)};
+    return {nodeResult.p, product};
   }
 
   Package& p;
   const GateMatrix& mat;
   Qubit target;
   double tol;
-  std::vector<Polarity> polarity;
-  QubitControls below; ///< controls below the target, descending
-  std::unordered_map<const vNode*, vEdge> downMemo;
-  std::unordered_map<SpliceKey, vEdge, SpliceKeyHash> spliceMemo;
+  std::vector<Polarity>& polarity;
+  QubitControls& below; ///< controls below the target, descending
+  ScratchMemo<const vNode*, vEdge, NodePtrHash>& downMemo;
+  ScratchMemo<SpliceKey, vEdge, SpliceKeyHash>& spliceMemo;
 };
 
 } // namespace
@@ -272,16 +377,17 @@ vEdge Package::applyGate(const GateMatrix& mat, Qubit target,
   }
   QDD_OBS_COUNTER("dd.apply.fast", applyCounters.fast());
 
-  ApplyCtx ctx(*this, mat, target, ctrls, v.p->v);
+  static thread_local ApplyScratch scratch;
+  ApplyCtx ctx(*this, mat, target, ctrls, v.p->v, scratch);
   const vEdge r = ctx.run(v.p);
   if (r.w.exactlyZero()) {
     return vEdge::zero();
   }
-  const ComplexValue w = r.w.toValue() * v.w.toValue();
-  if (w.approximatelyZero(tol)) {
+  const Complex w = mulWeights(r.w, v.w);
+  if (w.exactlyZero()) {
     return vEdge::zero();
   }
-  return {r.p, lookup(w)};
+  return {r.p, w};
 }
 
 vEdge Package::applySwap(Qubit t1, Qubit t2, const QubitControls& controls,

@@ -1,9 +1,11 @@
 #include "DDOpSpan.hpp"
+#include "qdd/complex/Simd.hpp"
 #include "qdd/dd/Package.hpp"
 #include "qdd/obs/Obs.hpp"
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -14,6 +16,105 @@ thread_local int ddOpDepth = 0;
 } // namespace detail
 
 using detail::DDOpSpan;
+
+// --- weight products ---------------------------------------------------------
+
+namespace {
+
+/// Deterministic operand order for the weight-product memos. Complex
+/// multiplication commutes bit-exactly — every partial product is a single
+/// IEEE multiply, and the swap only exchanges the two addends of one IEEE
+/// addition — so mirrored queries may share a cache slot.
+bool weightOrderedAfter(const Complex& a, const Complex& b) noexcept {
+  const auto ar = reinterpret_cast<std::uintptr_t>(a.r);
+  const auto br = reinterpret_cast<std::uintptr_t>(b.r);
+  if (ar != br) {
+    return ar > br;
+  }
+  return reinterpret_cast<std::uintptr_t>(a.i) >
+         reinterpret_cast<std::uintptr_t>(b.i);
+}
+
+} // namespace
+
+Complex Package::mulWeightsCached(const Complex& a, const Complex& b) {
+  const bool swap = weightOrderedAfter(a, b);
+  const Complex& l = swap ? b : a;
+  const Complex& r = swap ? a : b;
+  if (computeTablesEnabled) {
+    if (const Complex* hit = mulWeightTable.lookup(l, r)) {
+      return *hit;
+    }
+  }
+  const ComplexValue w = simd::mul(l.toValue(), r.toValue());
+  const Complex out =
+      w.approximatelyZero(tolerance()) ? Complex::zero : lookup(w);
+  if (computeTablesEnabled) {
+    mulWeightTable.insert(l, r, out, generation);
+  }
+  return out;
+}
+
+Complex Package::mulWeights(const Complex& a, const Complex& b) {
+  if (a.exactlyOne()) {
+    return b;
+  }
+  if (b.exactlyOne()) {
+    return a;
+  }
+  return mulWeightsCached(a, b);
+}
+
+Complex Package::mulWeights3(const Complex& a, const Complex& b,
+                             const Complex& c) {
+  const bool aOne = a.exactlyOne();
+  const bool bOne = b.exactlyOne();
+  const bool cOne = c.exactlyOne();
+  // <= 1 non-one factor: the product is that factor's canonical pointer.
+  // (Multiplying by an exact one is value-exact, so this matches the value
+  // path bit for bit; a canonical non-zero weight has a component entry
+  // farther than `tol` from zero, so it can never fall in the zero window.)
+  if (bOne && cOne) {
+    return a;
+  }
+  if (aOne && cOne) {
+    return b;
+  }
+  if (aOne && bOne) {
+    return c;
+  }
+  // Elide exact-one factors from the left-associated product (a * b) * c;
+  // dropping a one-factor leaves the remaining rounding sequence unchanged,
+  // so the two-factor cases share the binary product memo.
+  if (aOne) {
+    return mulWeightsCached(b, c);
+  }
+  if (bOne) {
+    return mulWeightsCached(a, c);
+  }
+  if (cOne) {
+    return mulWeightsCached(a, b);
+  }
+  // All three factors non-trivial: memoize under the ordered triple. Only
+  // the inner pair may be canonicalized — its product commutes bit-exactly —
+  // while the outer multiply must keep its association, (a * b) * c.
+  const bool swap = weightOrderedAfter(a, b);
+  const Complex& l = swap ? b : a;
+  const Complex& m = swap ? a : b;
+  const WeightPair rest{m, c};
+  if (computeTablesEnabled) {
+    if (const Complex* hit = mulWeight3Table.lookup(l, rest)) {
+      return *hit;
+    }
+  }
+  const ComplexValue w = simd::mul3(l.toValue(), m.toValue(), c.toValue());
+  const Complex out =
+      w.approximatelyZero(tolerance()) ? Complex::zero : lookup(w);
+  if (computeTablesEnabled) {
+    mulWeight3Table.insert(l, rest, out, generation);
+  }
+  return out;
+}
 
 // --- addition (paper Fig. 4, right) -----------------------------------------
 
@@ -47,11 +148,11 @@ vEdge Package::add(const vEdge& x, const vEdge& y) {
   for (std::size_t k = 0; k < 2; ++k) {
     vEdge ea = a.p->e[k];
     if (!ea.w.exactlyZero()) {
-      ea.w = lookup(a.w.toValue() * ea.w.toValue());
+      ea.w = mulWeights(a.w, ea.w);
     }
     vEdge eb = b.p->e[k];
     if (!eb.w.exactlyZero()) {
-      eb.w = lookup(b.w.toValue() * eb.w.toValue());
+      eb.w = mulWeights(b.w, eb.w);
     }
     r[k] = add(ea, eb);
   }
@@ -101,7 +202,7 @@ mEdge Package::add(const mEdge& x, const mEdge& y) {
     if (va == v) {
       ea = a.p->e[k];
       if (!ea.w.exactlyZero()) {
-        ea.w = lookup(a.w.toValue() * ea.w.toValue());
+        ea.w = mulWeights(a.w, ea.w);
       }
     } else {
       ea = (k == 0 || k == 3) ? a : mEdge::zero();
@@ -110,7 +211,7 @@ mEdge Package::add(const mEdge& x, const mEdge& y) {
     if (vb == v) {
       eb = b.p->e[k];
       if (!eb.w.exactlyZero()) {
-        eb.w = lookup(b.w.toValue() * eb.w.toValue());
+        eb.w = mulWeights(b.w, eb.w);
       }
     } else {
       eb = (k == 0 || k == 3) ? b : mEdge::zero();
@@ -135,11 +236,11 @@ vEdge Package::multiply(const mEdge& x, const vEdge& y) {
   if (r.w.exactlyZero()) {
     return vEdge::zero();
   }
-  const ComplexValue w = x.w.toValue() * y.w.toValue() * r.w.toValue();
-  if (w.approximatelyZero(tolerance())) {
+  const Complex w = mulWeights3(x.w, y.w, r.w);
+  if (w.exactlyZero()) {
     return vEdge::zero();
   }
-  return {r.p, lookup(w)};
+  return {r.p, w};
 }
 
 vEdge Package::multiply2(mNode* x, vNode* y) {
@@ -164,6 +265,20 @@ vEdge Package::multiply2(mNode* x, vNode* y) {
   // virtual successors are [x, 0, 0, x] with weight one.
   const Qubit v = y->v;
   const bool xAligned = x->v == v;
+  if (computeTablesEnabled && xAligned) {
+    // Warm the child pairs' compute-table lines before descending: while the
+    // first recursion runs, the remaining slots stream in.
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 2; ++j) {
+        const mEdge& xe = x->e[2 * i + j];
+        const vEdge& ye = y->e[j];
+        if (!xe.w.exactlyZero() && !ye.w.exactlyZero() &&
+            !xe.p->isTerminal()) {
+          multMatVecTable.prefetch(xe.p, ye.p);
+        }
+      }
+    }
+  }
   std::array<vEdge, 2> r{};
   for (std::size_t i = 0; i < 2; ++i) {
     vEdge sum = vEdge::zero();
@@ -179,12 +294,11 @@ vEdge Package::multiply2(mNode* x, vNode* y) {
       if (m.w.exactlyZero()) {
         continue;
       }
-      const ComplexValue mw =
-          m.w.toValue() * xe.w.toValue() * ye.w.toValue();
-      if (mw.approximatelyZero(tolerance())) {
+      const Complex mw = mulWeights3(m.w, xe.w, ye.w);
+      if (mw.exactlyZero()) {
         continue;
       }
-      const vEdge term{m.p, lookup(mw)};
+      const vEdge term{m.p, mw};
       sum = sum.w.exactlyZero() ? term : add(sum, term);
     }
     r[i] = sum;
@@ -205,11 +319,11 @@ mEdge Package::multiply(const mEdge& x, const mEdge& y) {
   if (r.w.exactlyZero()) {
     return mEdge::zero();
   }
-  const ComplexValue w = x.w.toValue() * y.w.toValue() * r.w.toValue();
-  if (w.approximatelyZero(tolerance())) {
+  const Complex w = mulWeights3(x.w, y.w, r.w);
+  if (w.exactlyZero()) {
     return mEdge::zero();
   }
-  return {r.p, lookup(w)};
+  return {r.p, w};
 }
 
 mEdge Package::multiply2(mNode* x, mNode* y) {
@@ -240,6 +354,21 @@ mEdge Package::multiply2(mNode* x, mNode* y) {
   const Qubit v = std::max(x->v, y->v);
   const bool xAligned = x->v == v;
   const bool yAligned = y->v == v;
+  if (computeTablesEnabled && xAligned && yAligned) {
+    // Warm the child pairs' compute-table lines before descending.
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 2; ++j) {
+        for (std::size_t k = 0; k < 2; ++k) {
+          const mEdge& xe = x->e[2 * i + j];
+          const mEdge& ye = y->e[2 * j + k];
+          if (!xe.w.exactlyZero() && !ye.w.exactlyZero() &&
+              !xe.p->isTerminal() && !ye.p->isTerminal()) {
+            multMatMatTable.prefetch(xe.p, ye.p);
+          }
+        }
+      }
+    }
+  }
   std::array<mEdge, 4> r{};
   for (std::size_t i = 0; i < 2; ++i) {
     for (std::size_t k = 0; k < 2; ++k) {
@@ -258,12 +387,11 @@ mEdge Package::multiply2(mNode* x, mNode* y) {
         if (m.w.exactlyZero()) {
           continue;
         }
-        const ComplexValue mw =
-            m.w.toValue() * xe.w.toValue() * ye.w.toValue();
-        if (mw.approximatelyZero(tolerance())) {
+        const Complex mw = mulWeights3(m.w, xe.w, ye.w);
+        if (mw.exactlyZero()) {
           continue;
         }
-        const mEdge term{m.p, lookup(mw)};
+        const mEdge term{m.p, mw};
         sum = sum.w.exactlyZero() ? term : add(sum, term);
       }
       r[2 * i + k] = sum;

@@ -21,6 +21,7 @@ void UniqueTableStats::merge(const UniqueTableStats& other) noexcept {
   hits += other.hits;
   collisions += other.collisions;
   longestChain = std::max(longestChain, other.longestChain);
+  probes += other.probes;
   levels = std::max(levels, other.levels);
   buckets += other.buckets;
   rehashes += other.rehashes;
@@ -219,6 +220,8 @@ void writeUniqueTable(JsonWriter& w, const char* key,
   w.field("hitRatio", t.hitRatio());
   w.field("collisions", t.collisions);
   w.field("longestChain", t.longestChain);
+  w.field("probes", t.probes);
+  w.field("avgProbeLength", t.avgProbeLength());
   w.field("levels", t.levels);
   w.field("buckets", t.buckets);
   w.field("loadFactor", t.loadFactor());

@@ -1,6 +1,7 @@
 #include "qdd/obs/FlightRecorder.hpp"
 
 #include "qdd/obs/Obs.hpp"
+#include "qdd/obs/SpanGate.hpp"
 
 #include <algorithm>
 
@@ -23,6 +24,7 @@ bool FlightRecorder::armed() noexcept {
 
 void FlightRecorder::setArmed(bool on) noexcept {
   gArmed.store(on, std::memory_order_relaxed);
+  detail::setSpanGateBit(detail::SPAN_GATE_FLIGHT, on);
 }
 
 FlightRecorder::Ring& FlightRecorder::localRing() {

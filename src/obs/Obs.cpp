@@ -1,8 +1,16 @@
 #include "qdd/obs/Obs.hpp"
 
+#include "qdd/obs/SpanGate.hpp"
+
 #include <algorithm>
 
 namespace qdd::obs {
+
+namespace detail {
+// Constant-initialized (no SIOF): a pre-main read sees 0, i.e. "both off",
+// which matches both subsystems' initial state.
+std::atomic<unsigned> spanGate{0U};
+} // namespace detail
 
 Registry& Registry::instance() {
   static Registry registry;

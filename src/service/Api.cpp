@@ -786,6 +786,28 @@ std::string Api::prometheusDoc() const {
                static_cast<double>(dd.vectorTable.hits));
   prom::sample(out, "qdd_dd_unique_table_hits_total", "table=\"matrix\"",
                static_cast<double>(dd.matrixTable.hits));
+  prom::family(out, "qdd_dd_unique_table_probe_length_avg", "gauge",
+               "Mean open-addressing slots inspected per unique-table "
+               "lookup (1.0 = every lookup hit its home slot).");
+  prom::sample(out, "qdd_dd_unique_table_probe_length_avg",
+               "table=\"vector\"", dd.vectorTable.avgProbeLength());
+  prom::sample(out, "qdd_dd_unique_table_probe_length_avg",
+               "table=\"matrix\"", dd.matrixTable.avgProbeLength());
+  prom::family(out, "qdd_dd_unique_table_probe_length_max", "gauge",
+               "Longest open-addressing probe chain observed.");
+  prom::sample(out, "qdd_dd_unique_table_probe_length_max",
+               "table=\"vector\"",
+               static_cast<double>(dd.vectorTable.longestChain));
+  prom::sample(out, "qdd_dd_unique_table_probe_length_max",
+               "table=\"matrix\"",
+               static_cast<double>(dd.matrixTable.longestChain));
+  prom::family(out, "qdd_dd_unique_table_hit_ratio", "gauge",
+               "Fraction of unique-table lookups answered by an existing "
+               "node.");
+  prom::sample(out, "qdd_dd_unique_table_hit_ratio", "table=\"vector\"",
+               dd.vectorTable.hitRatio());
+  prom::sample(out, "qdd_dd_unique_table_hit_ratio", "table=\"matrix\"",
+               dd.matrixTable.hitRatio());
   prom::family(out, "qdd_dd_real_table_entries", "gauge",
                "Canonical real numbers stored.");
   prom::sample(out, "qdd_dd_real_table_entries", "",
@@ -800,6 +822,17 @@ std::string Api::prometheusDoc() const {
                "Memoization hits summed over all compute tables.");
   prom::sample(out, "qdd_dd_compute_hits_total", "",
                static_cast<double>(compute.hits));
+  prom::family(out, "qdd_dd_compute_hit_ratio", "gauge",
+               "Memoization hit ratio per compute table (includes the "
+               "scalar weight-product memos mulWeight / mulWeight3).");
+  for (const auto& table : dd.computeTables) {
+    const double ratio =
+        table.lookups == 0 ? 0.
+                           : static_cast<double>(table.hits) /
+                                 static_cast<double>(table.lookups);
+    prom::sample(out, "qdd_dd_compute_hit_ratio",
+                 "table=\"" + prom::escapeLabel(table.name) + "\"", ratio);
+  }
 
   prom::family(out, "qdd_dd_apply_total", "counter",
                "Gate applications per apply-engine path.");

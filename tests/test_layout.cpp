@@ -1,0 +1,347 @@
+// Cache-conscious DD core layout: node geometry, open-addressed unique-table
+// behaviour under growth and garbage collection, the weight-product memo, and
+// bit-identity of the SIMD complex kernels against the scalar fallback
+// (cross-validated via canonical root pointers — table canonicity turns any
+// numeric drift into a different node identity).
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/complex/Simd.hpp"
+#include "qdd/dd/Package.hpp"
+#include "qdd/ir/Builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <random>
+#include <vector>
+
+namespace qdd {
+namespace {
+
+// --- node geometry -----------------------------------------------------------
+
+// The packing is a compile-time contract; the static_asserts make any
+// regression a build failure, the EXPECTs make it a readable test failure.
+static_assert(sizeof(vNode) == 64, "vNode must fill exactly one cache line");
+static_assert(alignof(vNode) == 64, "vNode must be cache-line aligned");
+static_assert(sizeof(mNode) == 128, "mNode must fill exactly two cache lines");
+static_assert(alignof(mNode) == 64, "mNode must be cache-line aligned");
+
+TEST(NodeGeometry, PackedCacheLineSizes) {
+  EXPECT_EQ(sizeof(vNode), 64U);
+  EXPECT_EQ(alignof(vNode), 64U);
+  EXPECT_EQ(sizeof(mNode), 128U);
+  EXPECT_EQ(alignof(mNode), 64U);
+}
+
+TEST(NodeGeometry, AllocationsAreCacheLineAligned) {
+  Package pkg(8);
+  const vEdge state = pkg.makeGHZState(8);
+  const mEdge gate = pkg.makeGateDD(H_MAT, 8, 3);
+  const vNode* p = state.p;
+  while (p != nullptr && p->v >= 0) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64U, 0U);
+    if (p->v == 0) {
+      break;
+    }
+    p = p->e[0].w.exactlyZero() ? p->e[1].p : p->e[0].p;
+  }
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(gate.p) % 64U, 0U);
+}
+
+// --- SIMD kernels ------------------------------------------------------------
+
+std::vector<ComplexValue> randomValues(std::size_t count, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-2., 2.);
+  std::vector<ComplexValue> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    out.push_back({dist(rng), dist(rng)});
+  }
+  // A few adversarial magnitudes on top of the uniform draw.
+  out.push_back({1e-160, -1e-160});
+  out.push_back({1e155, 1e-155});
+  out.push_back({0., -0.});
+  out.push_back({SQRT2_2, -SQRT2_2});
+  return out;
+}
+
+bool bitIdentical(const ComplexValue& a, const ComplexValue& b) {
+  return std::memcmp(&a, &b, sizeof(ComplexValue)) == 0;
+}
+
+TEST(SimdKernels, MulBitIdenticalToScalar) {
+  const auto values = randomValues(64, 42);
+  for (const auto& a : values) {
+    for (const auto& b : values) {
+      const ComplexValue vec = simd::mul(a, b);
+      const ComplexValue ref = simd::mulScalar(a, b);
+      ASSERT_TRUE(bitIdentical(vec, ref))
+          << "(" << a.re << "," << a.im << ") * (" << b.re << "," << b.im
+          << ")";
+    }
+  }
+}
+
+TEST(SimdKernels, Mul3AndMulAdd2BitIdenticalToScalar) {
+  const auto values = randomValues(24, 7);
+  for (const auto& a : values) {
+    for (const auto& b : values) {
+      for (const auto& c : values) {
+        const ComplexValue vec3 = simd::mul3(a, b, c);
+        const ComplexValue ref3 =
+            simd::mulScalar(simd::mulScalar(a, b), c);
+        ASSERT_TRUE(bitIdentical(vec3, ref3));
+      }
+      const ComplexValue fma = simd::mulAdd2(a, b, b, a);
+      const ComplexValue refFma = [&] {
+        const ComplexValue t0 = simd::mulScalar(a, b);
+        const ComplexValue t1 = simd::mulScalar(b, a);
+        return ComplexValue{t0.re + t1.re, t0.im + t1.im};
+      }();
+      ASSERT_TRUE(bitIdentical(fma, refFma));
+    }
+  }
+}
+
+TEST(SimdKernels, ClassifyImmortalMatchesScalarBranches) {
+  const double tol = 1e-10;
+  const auto classifyRef = [&](double v) {
+    if (std::abs(v - 1.) <= tol) {
+      return 1;
+    }
+    if (std::abs(v - SQRT2_2) <= tol) {
+      return 2;
+    }
+    return 0;
+  };
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(0., 2.);
+  std::vector<double> probes{0.,       1.,        SQRT2_2,       1. + tol / 2,
+                             1. - tol, SQRT2_2 + tol / 2, SQRT2_2 - tol,
+                             0.5,      1. + 2 * tol,      SQRT2_2 + 2 * tol};
+  for (int k = 0; k < 200; ++k) {
+    probes.push_back(dist(rng));
+  }
+  for (const double v : probes) {
+    EXPECT_EQ(simd::classifyImmortal(v, tol), classifyRef(v)) << "v=" << v;
+  }
+}
+
+TEST(SimdKernels, ScopedScalarOverrideForcesScalarMode) {
+  const simd::Mode before = simd::activeMode();
+  {
+    simd::ScopedScalarOverride scalarOnly;
+    EXPECT_EQ(simd::activeMode(), simd::Mode::Scalar);
+    {
+      simd::ScopedScalarOverride nested;
+      EXPECT_EQ(simd::activeMode(), simd::Mode::Scalar);
+    }
+    EXPECT_EQ(simd::activeMode(), simd::Mode::Scalar);
+  }
+  EXPECT_EQ(simd::activeMode(), before);
+  EXPECT_STREQ(simd::toString(simd::Mode::Scalar), "scalar");
+  EXPECT_STREQ(simd::toString(simd::Mode::SSE2), "sse2");
+  EXPECT_STREQ(simd::toString(simd::Mode::AVX2), "avx2");
+}
+
+// --- open-addressed unique table under growth and GC -------------------------
+
+std::vector<std::complex<double>> randomState(std::size_t n, unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist;
+  std::vector<std::complex<double>> vec(1ULL << n);
+  double norm = 0.;
+  for (auto& amp : vec) {
+    amp = {dist(rng), dist(rng)};
+    norm += std::norm(amp);
+  }
+  norm = std::sqrt(norm);
+  for (auto& amp : vec) {
+    amp /= norm;
+  }
+  return vec;
+}
+
+TEST(OpenAddressing, GrowthKeepsHashConsingCanonical) {
+  constexpr std::size_t n = 10;
+  Package pkg(n);
+  // Dense random states force thousands of distinct nodes per level, which
+  // drives the flat tables through several resizes.
+  std::vector<vEdge> roots;
+  for (unsigned seed = 1; seed <= 6; ++seed) {
+    roots.push_back(pkg.makeStateFromVector(randomState(n, seed)));
+    pkg.incRef(roots.back());
+  }
+  // Hash consing must find the existing nodes after the resizes: rebuilding
+  // any state lands on the identical root pointer.
+  for (unsigned seed = 1; seed <= 6; ++seed) {
+    const vEdge again = pkg.makeStateFromVector(randomState(n, seed));
+    EXPECT_EQ(again.p, roots[seed - 1].p) << "seed " << seed;
+    EXPECT_TRUE(again.w == roots[seed - 1].w) << "seed " << seed;
+  }
+  const auto stats = pkg.statistics();
+  EXPECT_GT(stats.vectorTable.probes, 0U);
+  EXPECT_LT(stats.vectorTable.avgProbeLength(), 4.0);
+}
+
+TEST(OpenAddressing, GarbageCollectionSweepsAndRebuildsCleanly) {
+  constexpr std::size_t n = 9;
+  Package pkg(n);
+  const vEdge keep = pkg.makeStateFromVector(randomState(n, 77));
+  pkg.incRef(keep);
+  for (unsigned seed = 100; seed < 110; ++seed) {
+    (void)pkg.makeStateFromVector(randomState(n, seed)); // dead on arrival
+    pkg.garbageCollect();
+  }
+  // The kept state must survive every sweep, and rebuilding it must reuse
+  // the surviving nodes rather than allocate duplicates.
+  const vEdge again = pkg.makeStateFromVector(randomState(n, 77));
+  EXPECT_EQ(again.p, keep.p);
+  EXPECT_TRUE(again.w == keep.w);
+  const auto vec = pkg.getVector(keep);
+  const auto ref = randomState(n, 77);
+  for (std::size_t idx = 0; idx < vec.size(); ++idx) {
+    EXPECT_NEAR(std::abs(vec[idx] - ref[idx]), 0., 1e-12);
+  }
+}
+
+// --- weight-product memo -----------------------------------------------------
+
+TEST(WeightProductMemo, MatchesValuePathAndHits) {
+  Package pkg(4);
+  const Complex a = pkg.lookup(ComplexValue{0.6, 0.3});
+  const Complex b = pkg.lookup(ComplexValue{-0.2, 0.7});
+  const Complex ref = pkg.lookup(a.toValue() * b.toValue());
+  const Complex viaMemo = pkg.mulWeights(a, b);
+  EXPECT_TRUE(viaMemo == ref);
+  // Same product again (and mirrored — multiplication commutes bit-exactly)
+  // must be served from the memo.
+  const auto before = pkg.statistics();
+  const Complex repeat = pkg.mulWeights(a, b);
+  const Complex mirrored = pkg.mulWeights(b, a);
+  EXPECT_TRUE(repeat == ref);
+  EXPECT_TRUE(mirrored == ref);
+  const auto after = pkg.statistics();
+  std::size_t hitsBefore = 0;
+  std::size_t hitsAfter = 0;
+  for (const auto& table : before.computeTables) {
+    if (table.name == "mulWeight") {
+      hitsBefore = table.hits;
+    }
+  }
+  for (const auto& table : after.computeTables) {
+    if (table.name == "mulWeight") {
+      hitsAfter = table.hits;
+    }
+  }
+  EXPECT_EQ(hitsAfter, hitsBefore + 2);
+}
+
+TEST(WeightProductMemo, ExactOneElisionReturnsCanonicalPointers) {
+  Package pkg(4);
+  const Complex a = pkg.lookup(ComplexValue{0.6, 0.3});
+  EXPECT_TRUE(pkg.mulWeights(Complex::one, a) == a);
+  EXPECT_TRUE(pkg.mulWeights(a, Complex::one) == a);
+  EXPECT_TRUE(pkg.mulWeights3(a, Complex::one, Complex::one) == a);
+  EXPECT_TRUE(pkg.mulWeights3(Complex::one, a, Complex::one) == a);
+  EXPECT_TRUE(pkg.mulWeights3(Complex::one, Complex::one, a) == a);
+}
+
+TEST(WeightProductMemo, TripleProductMatchesLeftAssociatedValuePath) {
+  Package pkg(4);
+  const Complex a = pkg.lookup(ComplexValue{0.8, -0.1});
+  const Complex b = pkg.lookup(ComplexValue{0.4, 0.5});
+  const Complex c = pkg.lookup(ComplexValue{-0.3, 0.6});
+  const Complex ref = pkg.lookup((a.toValue() * b.toValue()) * c.toValue());
+  EXPECT_TRUE(pkg.mulWeights3(a, b, c) == ref);
+  // Served from the memo on the repeat (and with the inner pair mirrored).
+  EXPECT_TRUE(pkg.mulWeights3(a, b, c) == ref);
+  EXPECT_TRUE(pkg.mulWeights3(b, a, c) == ref);
+}
+
+TEST(WeightProductMemo, ZeroWindowProductCanonicalizesToZero) {
+  Package pkg(4);
+  const Complex tiny = pkg.lookup(ComplexValue{1e-7, 0.});
+  const Complex alsoTiny = pkg.lookup(ComplexValue{0., 1e-7});
+  const Complex product = pkg.mulWeights(tiny, alsoTiny); // |w| ~ 1e-14 < tol
+  EXPECT_TRUE(product.exactlyZero());
+  EXPECT_TRUE(pkg.mulWeights(tiny, alsoTiny).exactlyZero()); // memo hit
+}
+
+// --- SIMD vs scalar cross-validation on full circuits ------------------------
+
+class CrossValidation : public ::testing::Test {
+protected:
+  static void runBothModes(const ir::QuantumComputation& qc) {
+    const std::size_t n = qc.numQubits();
+    Package pkg(n);
+    vEdge simdState = pkg.makeZeroState(n);
+    vEdge scalarState = pkg.makeZeroState(n);
+    std::size_t step = 0;
+    for (const auto& op : qc) {
+      simdState = bridge::applyOperation(*op, n, simdState, pkg,
+                                         bridge::ApplyMode::Fast, nullptr);
+      {
+        simd::ScopedScalarOverride scalarOnly;
+        scalarState = bridge::applyOperation(*op, n, scalarState, pkg,
+                                             bridge::ApplyMode::Fast, nullptr);
+      }
+      // Same package, so hash consing makes equality exact pointer equality.
+      ASSERT_EQ(simdState.p, scalarState.p) << "diverged at op " << step;
+      ASSERT_TRUE(simdState.w == scalarState.w) << "diverged at op " << step;
+      ++step;
+    }
+  }
+};
+
+TEST_F(CrossValidation, QftRootsArePointerIdentical) {
+  runBothModes(ir::builders::qft(10));
+}
+
+TEST_F(CrossValidation, GroverRootsArePointerIdentical) {
+  runBothModes(ir::builders::grover(8, 37));
+}
+
+TEST_F(CrossValidation, RandomCliffordTGatesArePointerIdentical) {
+  constexpr std::size_t n = 8;
+  Package pkg(n);
+  vEdge simdState = pkg.makeZeroState(n);
+  vEdge scalarState = pkg.makeZeroState(n);
+  std::mt19937_64 rng(2024);
+  std::uniform_int_distribution<std::size_t> pickGate(0, 4);
+  std::uniform_int_distribution<Qubit> pickQubit(0, n - 1);
+  const GateMatrix* gates[] = {&H_MAT, &T_MAT, &S_MAT, &X_MAT, &Z_MAT};
+  for (int step = 0; step < 300; ++step) {
+    const GateMatrix& mat = *gates[pickGate(rng)];
+    const Qubit target = pickQubit(rng);
+    Qubit control = pickQubit(rng);
+    while (control == target) {
+      control = pickQubit(rng);
+    }
+    const bool controlled = (step % 3) == 0;
+    if (controlled) {
+      simdState = pkg.applyGate(mat, target, {QubitControl{control, true}},
+                                simdState);
+    } else {
+      simdState = pkg.applyGate(mat, target, simdState);
+    }
+    {
+      simd::ScopedScalarOverride scalarOnly;
+      if (controlled) {
+        scalarState = pkg.applyGate(mat, target, {QubitControl{control, true}},
+                                    scalarState);
+      } else {
+        scalarState = pkg.applyGate(mat, target, scalarState);
+      }
+    }
+    ASSERT_EQ(simdState.p, scalarState.p) << "diverged at step " << step;
+    ASSERT_TRUE(simdState.w == scalarState.w) << "diverged at step " << step;
+  }
+}
+
+} // namespace
+} // namespace qdd

@@ -78,6 +78,13 @@ TEST(MemComputeTable, RejectsFreedAndRecycledPointers) {
   EXPECT_EQ(hit->re, 0.5);
   EXPECT_EQ(ct.hits(), 1U);
 
+  // The package protocol advances the allocation generation (and publishes
+  // it as the table's freshness epoch) BEFORE any published object may be
+  // freed; entries stamped with the current epoch skip the per-pointer scan.
+  // Follow that protocol here: open generation 1 first, then free.
+  mgr.setGeneration(1);
+  ct.setEpoch(1);
+
   // Freed operand: the slot's key still matches the pointer, but the
   // FREED_GENERATION stamp invalidates the entry.
   mgr.release(n);
@@ -86,7 +93,6 @@ TEST(MemComputeTable, RejectsFreedAndRecycledPointers) {
 
   // Recycled pointer in a newer epoch: same address, newer generation —
   // the pre-GC entry must not be served for the new node.
-  mgr.setGeneration(1);
   vNode* reused = mgr.get();
   ASSERT_EQ(reused, n);
   EXPECT_EQ(ct.lookup(reused, reused), nullptr);
