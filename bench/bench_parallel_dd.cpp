@@ -1,0 +1,217 @@
+// Intra-circuit parallelism: one concurrent dd::Package forking its
+// multiply/add recursions onto the exec ThreadPool (docs/PARALLELISM.md),
+// measured against the plain serial engine on QFT, Grover, and random
+// Clifford+T workloads at 1/2/4/8 workers.
+//
+// Runs are interleaved (serial, then each worker count, per repetition) so
+// frequency scaling and cache warmup hit every configuration alike, and
+// every configuration gets a fresh package — timings are always cold-cache.
+// Correctness rides along: every parallel run must agree with the serial
+// run, both via canonical root-pointer equality inside a shared package and
+// via amplitude comparison across independent packages.
+//
+// Emits one `BENCH_PARALLEL intra_circuit {json}` record, consumed by
+// scripts/check_bench_parallel.py. The record carries hardwareConcurrency:
+// the >= 2x speedup floor at 8 workers only fires on machines with >= 8
+// cores (the rootsMatch gate fires everywhere).
+
+#include "BenchUtil.hpp"
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/dd/Package.hpp"
+#include "qdd/exec/DDForker.hpp"
+#include "qdd/exec/ThreadPool.hpp"
+#include "qdd/ir/Builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace qdd;
+
+namespace {
+
+const std::vector<std::size_t> WORKER_COUNTS{1, 2, 4, 8};
+
+Package makePackage(std::size_t nqubits, ConcurrencyMode mode) {
+  return Package(nqubits, NormalizationScheme::Largest,
+                 RealTable::DEFAULT_TOLERANCE, globalIdentityMode(), mode);
+}
+
+vEdge run(const ir::QuantumComputation& qc, Package& pkg) {
+  return bridge::simulate(qc, pkg.makeZeroState(qc.numQubits()), pkg);
+}
+
+/// Amplitude-level agreement between two runs in independent packages.
+/// (Canonical representatives of tolerance-close reals may be interned in a
+/// different order by concurrent insertion, so cross-package agreement is
+/// numeric, not bitwise; the same-package pointer check below is exact.)
+bool sameAmplitudes(const std::vector<std::complex<double>>& a,
+                    const std::vector<std::complex<double>>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (std::abs(a[k].real() - b[k].real()) > 1e-12 ||
+        std::abs(a[k].imag() - b[k].imag()) > 1e-12) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct WorkloadResult {
+  std::string name;
+  double serialMs = 0.;
+  std::vector<double> workerMs; // indexed like WORKER_COUNTS
+  bool rootsMatch = true;
+};
+
+WorkloadResult benchWorkload(const std::string& name,
+                             const ir::QuantumComputation& qc, int reps) {
+  WorkloadResult result;
+  result.name = name;
+  result.serialMs = 1e300;
+  result.workerMs.assign(WORKER_COUNTS.size(), 1e300);
+
+  // Reference amplitudes from a plain serial package.
+  std::vector<std::complex<double>> reference;
+  {
+    Package pkg = makePackage(qc.numQubits(), ConcurrencyMode::Serial);
+    reference = pkg.getVector(run(qc, pkg));
+  }
+
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      Package pkg = makePackage(qc.numQubits(), ConcurrencyMode::Serial);
+      result.serialMs = std::min(
+          result.serialMs, bench::timeMs([&] { std::ignore = run(qc, pkg); }));
+    }
+    for (std::size_t i = 0; i < WORKER_COUNTS.size(); ++i) {
+      Package pkg = makePackage(qc.numQubits(), ConcurrencyMode::Concurrent);
+      exec::ThreadPool pool(WORKER_COUNTS[i]);
+      exec::PoolForker forker(pool);
+      pkg.setForker(&forker);
+      vEdge root;
+      result.workerMs[i] = std::min(
+          result.workerMs[i], bench::timeMs([&] { root = run(qc, pkg); }));
+      if (rep == 0) {
+        // Cross-package numeric agreement of the cold parallel run...
+        if (!sameAmplitudes(reference, pkg.getVector(root))) {
+          result.rootsMatch = false;
+        }
+        // ...and exact canonical-root equality inside the same package:
+        // the serial rerun must land on the very node object the parallel
+        // run produced (hash-consing), pointer-identical.
+        pkg.incRef(root);
+        pkg.setForker(nullptr);
+        const vEdge serialAgain = run(qc, pkg);
+        if (serialAgain.p != root.p || !(serialAgain.w == root.w)) {
+          result.rootsMatch = false;
+        }
+        pkg.decRef(root);
+      }
+    }
+  }
+  return result;
+}
+
+std::string jsonTimes(const std::vector<double>& ms) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < WORKER_COUNTS.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s\"%zu\": %.3f", i > 0 ? ", " : "",
+                  WORKER_COUNTS[i], ms[i]);
+    out += buf;
+  }
+  return out + "}";
+}
+
+double speedupAt(double serialMs, const std::vector<double>& ms,
+                 std::size_t workers) {
+  for (std::size_t i = 0; i < WORKER_COUNTS.size(); ++i) {
+    if (WORKER_COUNTS[i] == workers && ms[i] > 0.) {
+      return serialMs / ms[i];
+    }
+  }
+  return 0.;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const unsigned cores = std::thread::hardware_concurrency();
+  const int reps = quick ? 1 : 3;
+  std::printf("hardware concurrency: %u\n", cores);
+
+  // The matrix-multiply apply path is the one that forks; the in-place gate
+  // kernels have no recursion to parallelize.
+  bridge::setGlobalApplyMode(bridge::ApplyMode::Parallel);
+
+  struct Spec {
+    std::string name;
+    ir::QuantumComputation qc;
+  };
+  std::vector<Spec> specs;
+  if (quick) {
+    specs.push_back({"qft10", ir::builders::qft(10)});
+    specs.push_back({"grover8", ir::builders::grover(8, 0b10110101, 2)});
+    specs.push_back({"cliffordT10",
+                     ir::builders::randomCliffordT(10, 32, 4242)});
+  } else {
+    specs.push_back({"qft16", ir::builders::qft(16)});
+    specs.push_back({"grover12", ir::builders::grover(12, 0b101101011010, 3)});
+    specs.push_back({"cliffordT14",
+                     ir::builders::randomCliffordT(14, 48, 4242)});
+  }
+
+  bench::heading("intra-circuit parallel DD: serial vs 1/2/4/8 workers");
+  double serialTotal = 0.;
+  std::vector<double> workerTotal(WORKER_COUNTS.size(), 0.);
+  bool rootsMatch = true;
+  std::string detail = "{";
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const WorkloadResult r = benchWorkload(specs[s].name, specs[s].qc, reps);
+    serialTotal += r.serialMs;
+    for (std::size_t i = 0; i < WORKER_COUNTS.size(); ++i) {
+      workerTotal[i] += r.workerMs[i];
+    }
+    rootsMatch = rootsMatch && r.rootsMatch;
+    std::printf("  %-12s serial %8.2f ms |", r.name.c_str(), r.serialMs);
+    for (std::size_t i = 0; i < WORKER_COUNTS.size(); ++i) {
+      std::printf(" %zuw %8.2f ms", WORKER_COUNTS[i], r.workerMs[i]);
+    }
+    std::printf(" | roots %s\n", r.rootsMatch ? "match" : "MISMATCH");
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\": {\"serialMs\": %.3f, \"workerMs\": %s, "
+                  "\"rootsMatch\": %s}",
+                  s > 0 ? ", " : "", r.name.c_str(), r.serialMs,
+                  jsonTimes(r.workerMs).c_str(),
+                  r.rootsMatch ? "true" : "false");
+    detail += buf;
+  }
+  detail += "}";
+
+  const double s2 = speedupAt(serialTotal, workerTotal, 2);
+  const double s4 = speedupAt(serialTotal, workerTotal, 4);
+  const double s8 = speedupAt(serialTotal, workerTotal, 8);
+  std::printf("  total: serial %.2f ms, speedup 2w %.2fx / 4w %.2fx / "
+              "8w %.2fx, roots %s\n",
+              serialTotal, s2, s4, s8, rootsMatch ? "match" : "MISMATCH");
+
+  std::printf("BENCH_PARALLEL intra_circuit {\"serialMs\": %.3f, "
+              "\"workerMs\": %s, \"speedup2\": %.3f, \"speedup4\": %.3f, "
+              "\"speedup8\": %.3f, \"rootsMatch\": %s, \"workloads\": %s, "
+              "\"hardwareConcurrency\": %u, \"usage\": %s}\n",
+              serialTotal, jsonTimes(workerTotal).c_str(), s2, s4, s8,
+              rootsMatch ? "true" : "false", detail.c_str(), cores,
+              bench::ResourceUsage::sample().toJson().c_str());
+  return rootsMatch ? 0 : 1;
+}

@@ -22,11 +22,19 @@ enum class ApplyMode : std::uint8_t {
   /// The original makeGateDD + multiply path, bypassing kernels and cache —
   /// the ablation baseline benches and tests compare against.
   General,
+  /// Intra-circuit parallelism (docs/PARALLELISM.md): gates go through the
+  /// cached matrix-DD multiply path (like Cached — the in-place kernels have
+  /// nothing to fork), and `QDD_APPLY=parallel` additionally makes every
+  /// newly constructed Package concurrent (sharded tables), so a forker
+  /// attached via exec::attachSharedForker runs multiply/add subproblems on
+  /// the shared pool.
+  Parallel,
 };
 
 [[nodiscard]] std::string toString(ApplyMode mode);
 /// Parses the QDD_APPLY environment variable ("fast" | "cached" |
-/// "general"); unset or unrecognized values yield ApplyMode::Fast.
+/// "general" | "parallel"); unset or unrecognized values yield
+/// ApplyMode::Fast.
 [[nodiscard]] ApplyMode applyModeFromEnv();
 /// Process-wide apply mode: initialized from QDD_APPLY on first use,
 /// overridable for ablation runs.

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <atomic>
+
+namespace qdd {
+
+/// Tiny test-and-test-and-set spinlock for critical sections measured in
+/// tens of nanoseconds (one shard probe, one pool allocation). Holders never
+/// block, so spinning waiters make progress quickly; anything that can wait
+/// longer than that belongs behind a std::mutex instead. Satisfies
+/// BasicLockable, so std::lock_guard works.
+class SpinLock {
+public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  [[nodiscard]] bool try_lock() noexcept {
+    return !flag.test_and_set(std::memory_order_acquire);
+  }
+
+  void lock() noexcept {
+    while (flag.test_and_set(std::memory_order_acquire)) {
+      // Spin on a plain load until the lock looks free: keeps the cache
+      // line shared instead of bouncing it with failed RMWs.
+      while (flag.test(std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  void unlock() noexcept { flag.clear(std::memory_order_release); }
+
+private:
+  std::atomic_flag flag;
+};
+
+} // namespace qdd

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+
+namespace qdd {
+
+/// Fork/join engine the DD package uses to run independent child subproblems
+/// of `multiply`/`add` in parallel (docs/PARALLELISM.md, "Intra-circuit
+/// parallelism"). The interface lives in the dd layer so the package never
+/// depends on qdd::exec; the production implementation
+/// (`exec::PoolForker`) forwards to `exec::ThreadPool::fork`/`waitAndWork`,
+/// and tests substitute deterministic inline doubles.
+class TaskForker {
+public:
+  virtual ~TaskForker() = default;
+
+  /// Runs all `n` tasks and returns only after every one of them has
+  /// completed ("fork and join"). Tasks are independent: they may execute on
+  /// any thread, in any order, concurrently with each other and with the
+  /// caller. Implementations must rethrow the first exception a task threw
+  /// (after all tasks finished), and must support reentrant calls — forked
+  /// tasks fork again while their parent group is still being joined.
+  virtual void runAll(std::function<void()>* tasks, std::size_t n) = 0;
+
+  /// Polled by the package at every fork point; returning true makes the
+  /// in-flight operation throw OperationCancelled. The default never
+  /// cancels.
+  [[nodiscard]] virtual bool cancelled() const noexcept { return false; }
+};
+
+/// Thrown out of a DD operation when the installed TaskForker reports
+/// cancellation mid-computation. The package's tables remain consistent —
+/// partial results are ordinary unreferenced canonical nodes, reclaimed by
+/// the next garbage collection.
+struct OperationCancelled : std::runtime_error {
+  OperationCancelled() : std::runtime_error("dd operation cancelled") {}
+};
+
+} // namespace qdd

@@ -1,0 +1,72 @@
+#pragma once
+
+// Production TaskForker: bridges a concurrent dd::Package to the exec
+// ThreadPool. The dd layer only knows the abstract qdd::TaskForker
+// interface (include/qdd/dd/TaskForker.hpp); this header supplies the
+// pool-backed implementation plus the process-wide shared pool that
+// QDD_APPLY=parallel sessions fork onto (docs/PARALLELISM.md,
+// "Intra-circuit parallelism").
+
+#include "qdd/dd/Package.hpp"
+#include "qdd/dd/TaskForker.hpp"
+#include "qdd/exec/ThreadPool.hpp"
+
+#include <atomic>
+#include <cstddef>
+
+namespace qdd::exec {
+
+/// Forks DD subproblems onto a ThreadPool and joins help-first: `runAll`
+/// enqueues every task into a fresh TaskGroup and then runs queued pool
+/// work itself until the group drains (ThreadPool::waitAndWork), so nested
+/// forks cannot deadlock even on a 1-worker pool. Reentrant by
+/// construction — each runAll owns its group, and forked tasks calling
+/// runAll again simply open another group on the same pool.
+///
+/// Cancellation follows the CancellationToken idiom: an optional external
+/// `std::atomic<bool>` flag, nullptr meaning "never cancelled". The DD
+/// package polls `cancelled()` at every fork point and unwinds with
+/// OperationCancelled when the flag flips.
+class PoolForker final : public TaskForker {
+public:
+  explicit PoolForker(ThreadPool& threadPool,
+                      const std::atomic<bool>* cancelFlag = nullptr) noexcept
+      : pool(&threadPool), cancel(cancelFlag) {}
+
+  void runAll(std::function<void()>* tasks, std::size_t n) override {
+    TaskGroup group;
+    for (std::size_t k = 0; k < n; ++k) {
+      pool->fork(group, std::move(tasks[k]));
+    }
+    pool->waitAndWork(group);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept override {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
+  /// Installs (or clears, with nullptr) the cancellation flag. Matches
+  /// exec::CancellationToken::flag().
+  void setCancelFlag(const std::atomic<bool>* flag) noexcept { cancel = flag; }
+
+  [[nodiscard]] ThreadPool& threadPool() const noexcept { return *pool; }
+
+private:
+  ThreadPool* pool;
+  const std::atomic<bool>* cancel;
+};
+
+/// Process-wide pool for intra-circuit DD parallelism, created on first use
+/// with `QDD_WORKERS` workers (ThreadPool::defaultWorkers() when unset) and
+/// intentionally leaked — DD operations may still be forking during static
+/// destruction of other objects.
+ThreadPool& sharedPool();
+
+/// Attaches a shared-pool PoolForker to `pkg` if (and only if) the package
+/// was built concurrent and has no forker yet; serial packages are left
+/// untouched, so callers can apply this unconditionally after construction.
+/// Fork depth comes from `QDD_FORK_DEPTH` (default
+/// Package::DEFAULT_FORK_DEPTH). Returns whether a forker was attached.
+bool attachSharedForker(Package& pkg);
+
+} // namespace qdd::exec

@@ -101,6 +101,8 @@ std::string toString(ApplyMode mode) {
     return "cached";
   case ApplyMode::General:
     return "general";
+  case ApplyMode::Parallel:
+    return "parallel";
   }
   return "?";
 }
@@ -116,6 +118,9 @@ ApplyMode applyModeFromEnv() {
   }
   if (value == "cached") {
     return ApplyMode::Cached;
+  }
+  if (value == "parallel") {
+    return ApplyMode::Parallel;
   }
   return ApplyMode::Fast;
 }

@@ -42,8 +42,9 @@ Complex Package::mulWeightsCached(const Complex& a, const Complex& b) {
   const Complex& l = swap ? b : a;
   const Complex& r = swap ? a : b;
   if (computeTablesEnabled) {
-    if (const Complex* hit = mulWeightTable.lookup(l, r)) {
-      return *hit;
+    Complex hit;
+    if (mulWeightTable.lookup(l, r, hit)) {
+      return hit;
     }
   }
   const ComplexValue w = simd::mul(l.toValue(), r.toValue());
@@ -103,8 +104,9 @@ Complex Package::mulWeights3(const Complex& a, const Complex& b,
   const Complex& m = swap ? a : b;
   const WeightPair rest{m, c};
   if (computeTablesEnabled) {
-    if (const Complex* hit = mulWeight3Table.lookup(l, rest)) {
-      return *hit;
+    Complex hit;
+    if (mulWeight3Table.lookup(l, rest, hit)) {
+      return hit;
     }
   }
   const ComplexValue w = simd::mul3(l.toValue(), m.toValue(), c.toValue());
@@ -119,6 +121,24 @@ Complex Package::mulWeights3(const Complex& a, const Complex& b,
 // --- addition (paper Fig. 4, right) -----------------------------------------
 
 vEdge Package::add(const vEdge& x, const vEdge& y) {
+  const ParallelRegion region(*this);
+  return add(x, y, region.budget());
+}
+
+vEdge Package::addVecChild(const vEdge& a, const vEdge& b, std::size_t k,
+                           int fork) {
+  vEdge ea = a.p->e[k];
+  if (!ea.w.exactlyZero()) {
+    ea.w = mulWeights(a.w, ea.w);
+  }
+  vEdge eb = b.p->e[k];
+  if (!eb.w.exactlyZero()) {
+    eb.w = mulWeights(b.w, eb.w);
+  }
+  return add(ea, eb, fork);
+}
+
+vEdge Package::add(const vEdge& x, const vEdge& y, int fork) {
   const DDOpSpan span("add");
   if (x.w.exactlyZero()) {
     return y;
@@ -136,25 +156,32 @@ vEdge Package::add(const vEdge& x, const vEdge& y) {
   // Addition is commutative; canonicalize the operand order for the cache.
   const vEdge& a = (x.p < y.p) ? x : y;
   const vEdge& b = (x.p < y.p) ? y : x;
-  if (const auto* cached =
-          computeTablesEnabled ? addVecTable.lookup(a, b) : nullptr) {
-    return *cached;
+  if (computeTablesEnabled) {
+    vEdge cached;
+    if (addVecTable.lookup(a, b, cached)) {
+      return cached;
+    }
   }
 
   assert(!a.isTerminal() && !b.isTerminal() && a.p->v == b.p->v &&
          "add: level misalignment");
   const Qubit v = a.p->v;
   std::array<vEdge, 2> r{};
-  for (std::size_t k = 0; k < 2; ++k) {
-    vEdge ea = a.p->e[k];
-    if (!ea.w.exactlyZero()) {
-      ea.w = mulWeights(a.w, ea.w);
+  if (fork > 0 && taskForker != nullptr) {
+    checkCancelled();
+    std::array<std::function<void()>, 2> tasks;
+    for (std::size_t k = 0; k < 2; ++k) {
+      tasks[k] = [this, &a, &b, &r, k, fork] {
+        checkCancelled();
+        r[k] = addVecChild(a, b, k, fork - 1);
+      };
     }
-    vEdge eb = b.p->e[k];
-    if (!eb.w.exactlyZero()) {
-      eb.w = mulWeights(b.w, eb.w);
+    noteForks(tasks.size());
+    taskForker->runAll(tasks.data(), tasks.size());
+  } else {
+    for (std::size_t k = 0; k < 2; ++k) {
+      r[k] = addVecChild(a, b, k, 0);
     }
-    r[k] = add(ea, eb);
   }
   const vEdge result = makeVecNode(v, r);
   if (computeTablesEnabled) {
@@ -164,6 +191,34 @@ vEdge Package::add(const vEdge& x, const vEdge& y) {
 }
 
 mEdge Package::add(const mEdge& x, const mEdge& y) {
+  const ParallelRegion region(*this);
+  return add(x, y, region.budget());
+}
+
+mEdge Package::addMatChild(const mEdge& a, const mEdge& b, Qubit va, Qubit vb,
+                           Qubit v, std::size_t k, int fork) {
+  mEdge ea;
+  if (va == v) {
+    ea = a.p->e[k];
+    if (!ea.w.exactlyZero()) {
+      ea.w = mulWeights(a.w, ea.w);
+    }
+  } else {
+    ea = (k == 0 || k == 3) ? a : mEdge::zero();
+  }
+  mEdge eb;
+  if (vb == v) {
+    eb = b.p->e[k];
+    if (!eb.w.exactlyZero()) {
+      eb.w = mulWeights(b.w, eb.w);
+    }
+  } else {
+    eb = (k == 0 || k == 3) ? b : mEdge::zero();
+  }
+  return add(ea, eb, fork);
+}
+
+mEdge Package::add(const mEdge& x, const mEdge& y, int fork) {
   const DDOpSpan span("add");
   if (x.w.exactlyZero()) {
     return y;
@@ -180,9 +235,11 @@ mEdge Package::add(const mEdge& x, const mEdge& y) {
   }
   const mEdge& a = (x.p < y.p) ? x : y;
   const mEdge& b = (x.p < y.p) ? y : x;
-  if (const auto* cached =
-          computeTablesEnabled ? addMatTable.lookup(a, b) : nullptr) {
-    return *cached;
+  if (computeTablesEnabled) {
+    mEdge cached;
+    if (addMatTable.lookup(a, b, cached)) {
+      return cached;
+    }
   }
 
   assert((idMode == IdentityMode::Strip ||
@@ -197,26 +254,21 @@ mEdge Package::add(const mEdge& x, const mEdge& y) {
   const Qubit v = std::max(va, vb);
   assert(v >= 0 && "add: two terminal operands with distinct nodes");
   std::array<mEdge, 4> r{};
-  for (std::size_t k = 0; k < 4; ++k) {
-    mEdge ea;
-    if (va == v) {
-      ea = a.p->e[k];
-      if (!ea.w.exactlyZero()) {
-        ea.w = mulWeights(a.w, ea.w);
-      }
-    } else {
-      ea = (k == 0 || k == 3) ? a : mEdge::zero();
+  if (fork > 0 && taskForker != nullptr) {
+    checkCancelled();
+    std::array<std::function<void()>, 4> tasks;
+    for (std::size_t k = 0; k < 4; ++k) {
+      tasks[k] = [this, &a, &b, &r, va, vb, v, k, fork] {
+        checkCancelled();
+        r[k] = addMatChild(a, b, va, vb, v, k, fork - 1);
+      };
     }
-    mEdge eb;
-    if (vb == v) {
-      eb = b.p->e[k];
-      if (!eb.w.exactlyZero()) {
-        eb.w = mulWeights(b.w, eb.w);
-      }
-    } else {
-      eb = (k == 0 || k == 3) ? b : mEdge::zero();
+    noteForks(tasks.size());
+    taskForker->runAll(tasks.data(), tasks.size());
+  } else {
+    for (std::size_t k = 0; k < 4; ++k) {
+      r[k] = addMatChild(a, b, va, vb, v, k, 0);
     }
-    r[k] = add(ea, eb);
   }
   const mEdge result = makeMatNode(v, r);
   if (computeTablesEnabled) {
@@ -232,7 +284,8 @@ vEdge Package::multiply(const mEdge& x, const vEdge& y) {
   if (x.w.exactlyZero() || y.w.exactlyZero()) {
     return vEdge::zero();
   }
-  const vEdge r = multiply2(x.p, y.p);
+  const ParallelRegion region(*this);
+  const vEdge r = multiply2(x.p, y.p, region.budget());
   if (r.w.exactlyZero()) {
     return vEdge::zero();
   }
@@ -243,7 +296,32 @@ vEdge Package::multiply(const mEdge& x, const vEdge& y) {
   return {r.p, w};
 }
 
-vEdge Package::multiply2(mNode* x, vNode* y) {
+vEdge Package::multVecChildSum(mNode* x, vNode* y, bool xAligned,
+                               std::size_t i, int fork) {
+  vEdge sum = vEdge::zero();
+  for (std::size_t j = 0; j < 2; ++j) {
+    const mEdge xe = xAligned ? x->e[2 * i + j]
+                              : (i == j ? mEdge{x, Complex::one}
+                                        : mEdge::zero());
+    const vEdge& ye = y->e[j];
+    if (xe.w.exactlyZero() || ye.w.exactlyZero()) {
+      continue;
+    }
+    vEdge m = multiply2(xe.p, ye.p, fork);
+    if (m.w.exactlyZero()) {
+      continue;
+    }
+    const Complex mw = mulWeights3(m.w, xe.w, ye.w);
+    if (mw.exactlyZero()) {
+      continue;
+    }
+    const vEdge term{m.p, mw};
+    sum = sum.w.exactlyZero() ? term : add(sum, term, fork);
+  }
+  return sum;
+}
+
+vEdge Package::multiply2(mNode* x, vNode* y, int fork) {
   if (x->isTerminal()) {
     if (idMode == IdentityMode::Strip) {
       // Terminal matrix = identity on every remaining level: U|phi> = |phi>.
@@ -255,9 +333,11 @@ vEdge Package::multiply2(mNode* x, vNode* y) {
   assert(!y->isTerminal() &&
          (idMode == IdentityMode::Strip ? x->v <= y->v : x->v == y->v) &&
          "multiply: level misalignment");
-  if (const auto* cached =
-          computeTablesEnabled ? multMatVecTable.lookup(x, y) : nullptr) {
-    return *cached;
+  if (computeTablesEnabled) {
+    vEdge cached;
+    if (multMatVecTable.lookup(x, y, cached)) {
+      return cached;
+    }
   }
 
   // The state is always fully expanded, so its root level sets the pace;
@@ -280,28 +360,24 @@ vEdge Package::multiply2(mNode* x, vNode* y) {
     }
   }
   std::array<vEdge, 2> r{};
-  for (std::size_t i = 0; i < 2; ++i) {
-    vEdge sum = vEdge::zero();
-    for (std::size_t j = 0; j < 2; ++j) {
-      const mEdge xe = xAligned ? x->e[2 * i + j]
-                                : (i == j ? mEdge{x, Complex::one}
-                                          : mEdge::zero());
-      const vEdge& ye = y->e[j];
-      if (xe.w.exactlyZero() || ye.w.exactlyZero()) {
-        continue;
-      }
-      vEdge m = multiply2(xe.p, ye.p);
-      if (m.w.exactlyZero()) {
-        continue;
-      }
-      const Complex mw = mulWeights3(m.w, xe.w, ye.w);
-      if (mw.exactlyZero()) {
-        continue;
-      }
-      const vEdge term{m.p, mw};
-      sum = sum.w.exactlyZero() ? term : add(sum, term);
+  if (fork > 0 && taskForker != nullptr) {
+    // Fork the two independent result children. Each child's arithmetic is
+    // the exact serial sequence (multVecChildSum), so the joined result is
+    // pointer-identical to the serial one.
+    checkCancelled();
+    std::array<std::function<void()>, 2> tasks;
+    for (std::size_t i = 0; i < 2; ++i) {
+      tasks[i] = [this, x, y, xAligned, &r, i, fork] {
+        checkCancelled();
+        r[i] = multVecChildSum(x, y, xAligned, i, fork - 1);
+      };
     }
-    r[i] = sum;
+    noteForks(tasks.size());
+    taskForker->runAll(tasks.data(), tasks.size());
+  } else {
+    for (std::size_t i = 0; i < 2; ++i) {
+      r[i] = multVecChildSum(x, y, xAligned, i, 0);
+    }
   }
   const vEdge result = makeVecNode(v, r);
   if (computeTablesEnabled) {
@@ -315,7 +391,8 @@ mEdge Package::multiply(const mEdge& x, const mEdge& y) {
   if (x.w.exactlyZero() || y.w.exactlyZero()) {
     return mEdge::zero();
   }
-  const mEdge r = multiply2(x.p, y.p);
+  const ParallelRegion region(*this);
+  const mEdge r = multiply2(x.p, y.p, region.budget());
   if (r.w.exactlyZero()) {
     return mEdge::zero();
   }
@@ -326,7 +403,35 @@ mEdge Package::multiply(const mEdge& x, const mEdge& y) {
   return {r.p, w};
 }
 
-mEdge Package::multiply2(mNode* x, mNode* y) {
+mEdge Package::multMatChildSum(mNode* x, mNode* y, bool xAligned,
+                               bool yAligned, std::size_t i, std::size_t k,
+                               int fork) {
+  mEdge sum = mEdge::zero();
+  for (std::size_t j = 0; j < 2; ++j) {
+    const mEdge xe = xAligned ? x->e[2 * i + j]
+                              : (i == j ? mEdge{x, Complex::one}
+                                        : mEdge::zero());
+    const mEdge ye = yAligned ? y->e[2 * j + k]
+                              : (j == k ? mEdge{y, Complex::one}
+                                        : mEdge::zero());
+    if (xe.w.exactlyZero() || ye.w.exactlyZero()) {
+      continue;
+    }
+    mEdge m = multiply2(xe.p, ye.p, fork);
+    if (m.w.exactlyZero()) {
+      continue;
+    }
+    const Complex mw = mulWeights3(m.w, xe.w, ye.w);
+    if (mw.exactlyZero()) {
+      continue;
+    }
+    const mEdge term{m.p, mw};
+    sum = sum.w.exactlyZero() ? term : add(sum, term, fork);
+  }
+  return sum;
+}
+
+mEdge Package::multiply2(mNode* x, mNode* y, int fork) {
   if (x->isTerminal() || y->isTerminal()) {
     if (idMode == IdentityMode::Strip) {
       // Terminal operand = identity on every remaining level, which is the
@@ -343,9 +448,11 @@ mEdge Package::multiply2(mNode* x, mNode* y) {
   }
   assert((idMode == IdentityMode::Strip || x->v == y->v) &&
          "multiply: level misalignment");
-  if (const auto* cached =
-          computeTablesEnabled ? multMatMatTable.lookup(x, y) : nullptr) {
-    return *cached;
+  if (computeTablesEnabled) {
+    mEdge cached;
+    if (multMatMatTable.lookup(x, y, cached)) {
+      return cached;
+    }
   }
 
   // Align at the higher level; the lower operand acts as identity there
@@ -370,31 +477,26 @@ mEdge Package::multiply2(mNode* x, mNode* y) {
     }
   }
   std::array<mEdge, 4> r{};
-  for (std::size_t i = 0; i < 2; ++i) {
-    for (std::size_t k = 0; k < 2; ++k) {
-      mEdge sum = mEdge::zero();
-      for (std::size_t j = 0; j < 2; ++j) {
-        const mEdge xe = xAligned ? x->e[2 * i + j]
-                                  : (i == j ? mEdge{x, Complex::one}
-                                            : mEdge::zero());
-        const mEdge ye = yAligned ? y->e[2 * j + k]
-                                  : (j == k ? mEdge{y, Complex::one}
-                                            : mEdge::zero());
-        if (xe.w.exactlyZero() || ye.w.exactlyZero()) {
-          continue;
-        }
-        mEdge m = multiply2(xe.p, ye.p);
-        if (m.w.exactlyZero()) {
-          continue;
-        }
-        const Complex mw = mulWeights3(m.w, xe.w, ye.w);
-        if (mw.exactlyZero()) {
-          continue;
-        }
-        const mEdge term{m.p, mw};
-        sum = sum.w.exactlyZero() ? term : add(sum, term);
+  if (fork > 0 && taskForker != nullptr) {
+    // Fork the four independent result blocks (i, k).
+    checkCancelled();
+    std::array<std::function<void()>, 4> tasks;
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t k = 0; k < 2; ++k) {
+        tasks[2 * i + k] = [this, x, y, xAligned, yAligned, &r, i, k, fork] {
+          checkCancelled();
+          r[2 * i + k] = multMatChildSum(x, y, xAligned, yAligned, i, k,
+                                         fork - 1);
+        };
       }
-      r[2 * i + k] = sum;
+    }
+    noteForks(tasks.size());
+    taskForker->runAll(tasks.data(), tasks.size());
+  } else {
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t k = 0; k < 2; ++k) {
+        r[2 * i + k] = multMatChildSum(x, y, xAligned, yAligned, i, k, 0);
+      }
     }
   }
   const mEdge result = makeMatNode(v, r);
@@ -520,9 +622,11 @@ mEdge Package::conjugateTranspose(const mEdge& a) {
   if (a.isTerminal()) {
     return mEdge::terminal(lookup(wConj));
   }
-  if (const auto* cached =
-          computeTablesEnabled ? conjTransTable.lookup(a.p, a.p) : nullptr) {
-    return {cached->p, lookup(wConj * cached->w.toValue())};
+  if (computeTablesEnabled) {
+    mEdge cached;
+    if (conjTransTable.lookup(a.p, a.p, cached)) {
+      return {cached.p, lookup(wConj * cached.w.toValue())};
+    }
   }
   // transpose: swap the off-diagonal successors; conjugate recursively
   std::array<mEdge, 4> r{};
@@ -555,9 +659,11 @@ ComplexValue Package::innerProduct2(vNode* x, vNode* y) {
   }
   assert(!y->isTerminal() && x->v == y->v &&
          "innerProduct: level misalignment");
-  if (const auto* cached =
-          computeTablesEnabled ? innerProductTable.lookup(x, y) : nullptr) {
-    return *cached;
+  if (computeTablesEnabled) {
+    ComplexValue cached;
+    if (innerProductTable.lookup(x, y, cached)) {
+      return cached;
+    }
   }
   ComplexValue sum{0., 0.};
   for (std::size_t k = 0; k < 2; ++k) {

@@ -1,0 +1,60 @@
+#include "qdd/exec/DDForker.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace qdd::exec {
+
+namespace {
+
+std::size_t sharedPoolWorkers() {
+  if (const char* env = std::getenv("QDD_WORKERS")) {
+    try {
+      const long parsed = std::stol(env);
+      if (parsed > 0) {
+        return static_cast<std::size_t>(parsed);
+      }
+    } catch (const std::exception&) {
+      // fall through to the default
+    }
+  }
+  return ThreadPool::defaultWorkers();
+}
+
+int forkDepthFromEnv() {
+  if (const char* env = std::getenv("QDD_FORK_DEPTH")) {
+    try {
+      const long parsed = std::stol(env);
+      if (parsed >= 0) {
+        return static_cast<int>(parsed);
+      }
+    } catch (const std::exception&) {
+      // fall through to the default
+    }
+  }
+  return Package::DEFAULT_FORK_DEPTH;
+}
+
+} // namespace
+
+ThreadPool& sharedPool() {
+  // Leaked on purpose: concurrent packages (and their forkers) may outlive
+  // main(), and joining workers during static destruction is a classic
+  // shutdown deadlock.
+  static ThreadPool* pool = new ThreadPool(sharedPoolWorkers());
+  return *pool;
+}
+
+bool attachSharedForker(Package& pkg) {
+  if (!pkg.isConcurrent() || pkg.forker() != nullptr) {
+    return false;
+  }
+  // One forker per process is enough: it is stateless apart from the pool
+  // pointer and the (initially unset) cancellation flag, and packages only
+  // read it. Leaked for the same reason as the pool.
+  static PoolForker* forker = new PoolForker(sharedPool());
+  pkg.setForker(forker, forkDepthFromEnv());
+  return true;
+}
+
+} // namespace qdd::exec

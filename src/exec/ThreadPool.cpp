@@ -3,9 +3,18 @@
 #include "qdd/obs/Obs.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 
 namespace qdd::exec {
+
+namespace {
+// Identity of the calling thread within *some* pool: set once per worker
+// thread at startup. waitAndWork/tryRunOneTask compare the pool pointer so
+// a worker of pool A helping inside pool B is treated as external there.
+thread_local const ThreadPool* tlWorkerPool = nullptr;
+thread_local std::size_t tlWorkerId = 0;
+} // namespace
 
 std::size_t ThreadPool::defaultWorkers() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -71,13 +80,38 @@ void ThreadPool::runTask(Item&& item, std::size_t worker) {
   // (invalid contexts clear the slot rather than leaking the previous
   // task's identity).
   const obs::TraceScope traceScope(item.trace);
+  const auto countExecuted = [this, worker] {
+    if (worker == EXTERNAL_THREAD) {
+      externalHelped.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      queues[worker]->executed.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
   if (item.batch == nullptr) {
+    if (TaskGroup* g = item.group) {
+      try {
+        item.fn();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(g->errorMutex);
+        if (!g->error) {
+          g->error = std::current_exception();
+        }
+      }
+      countExecuted();
+      if (g->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Wake joiners parked in waitAndWork (they wait on the pool-wide
+        // wakeCv so that new task enqueues also rouse them to help).
+        { const std::lock_guard<std::mutex> lock(wakeMutex); }
+        wakeCv.notify_all();
+      }
+      return;
+    }
     try {
-      item.detached();
+      item.fn();
     } catch (...) {
       detachedErrorCount.fetch_add(1, std::memory_order_relaxed);
     }
-    queues[worker]->executed.fetch_add(1, std::memory_order_relaxed);
+    countExecuted();
     return;
   }
   Batch* b = item.batch;
@@ -89,7 +123,7 @@ void ThreadPool::runTask(Item&& item, std::size_t worker) {
       b->error = std::current_exception();
     }
   }
-  queues[worker]->executed.fetch_add(1, std::memory_order_relaxed);
+  countExecuted();
   if (b->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     const std::lock_guard<std::mutex> lock(b->doneMutex);
     b->doneCv.notify_all();
@@ -97,6 +131,8 @@ void ThreadPool::runTask(Item&& item, std::size_t worker) {
 }
 
 void ThreadPool::workerLoop(std::size_t id) {
+  tlWorkerPool = this;
+  tlWorkerId = id;
   obs::Registry::labelCurrentThread("worker-" + std::to_string(id));
   while (true) {
     Item item;
@@ -135,7 +171,7 @@ void ThreadPool::parallelFor(
   for (std::size_t i = 0; i < numTasks; ++i) {
     WorkerQueue& q = *queues[i % count];
     const std::lock_guard<std::mutex> lock(q.mutex);
-    q.tasks.push_back(Item{&current, i, {}, trace});
+    q.tasks.push_back(Item{&current, i, {}, nullptr, trace});
     // Incremented under the queue lock that also guards the matching pop,
     // so `queued` can never be decremented before its increment.
     queued.fetch_add(1, std::memory_order_relaxed);
@@ -158,13 +194,13 @@ void ThreadPool::parallelFor(
   }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::enqueue(Item&& item) {
   const std::size_t target =
       submitCursor.fetch_add(1, std::memory_order_relaxed) % queues.size();
   {
     WorkerQueue& q = *queues[target];
     const std::lock_guard<std::mutex> lock(q.mutex);
-    q.tasks.push_back(Item{nullptr, 0, std::move(task), obs::currentTrace()});
+    q.tasks.push_back(std::move(item));
     queued.fetch_add(1, std::memory_order_relaxed);
   }
   {
@@ -175,6 +211,76 @@ void ThreadPool::submit(std::function<void()> task) {
   wakeCv.notify_all();
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  enqueue(Item{nullptr, 0, std::move(task), nullptr, obs::currentTrace()});
+}
+
+void ThreadPool::fork(TaskGroup& group, std::function<void()> task) {
+  group.pending.fetch_add(1, std::memory_order_relaxed);
+  forkCount.fetch_add(1, std::memory_order_relaxed);
+  enqueue(Item{nullptr, 0, std::move(task), &group, obs::currentTrace()});
+}
+
+bool ThreadPool::takeExternal(Item& item) {
+  // External helpers scan every deque FIFO but must not take parallelFor
+  // batch tasks: batch bodies receive a workerId that indexes per-worker
+  // resources, and an external thread has none.
+  const std::size_t count = queues.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    WorkerQueue& victim = *queues[i];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.tasks.empty() || victim.tasks.front().batch != nullptr) {
+      continue;
+    }
+    item = std::move(victim.tasks.front());
+    victim.tasks.pop_front();
+    queued.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::tryRunOneTask() {
+  Item item;
+  if (tlWorkerPool == this) {
+    const std::size_t self = tlWorkerId;
+    if (popLocal(self, item) || stealTask(self, item)) {
+      runTask(std::move(item), self);
+      return true;
+    }
+    return false;
+  }
+  if (takeExternal(item)) {
+    runTask(std::move(item), EXTERNAL_THREAD);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::waitAndWork(TaskGroup& group) {
+  using namespace std::chrono_literals;
+  while (group.pending.load(std::memory_order_acquire) != 0) {
+    if (tryRunOneTask()) {
+      continue;
+    }
+    // Nothing runnable right now: the remaining group tasks are in flight
+    // on other threads. Park on the pool-wide wakeCv — woken by the last
+    // group completion and by every enqueue (a newly forked grandchild may
+    // be work we can help with). The timeout covers the one unnotified
+    // case: queued work exists that this (external) thread may not take.
+    std::unique_lock<std::mutex> lock(wakeMutex);
+    wakeCv.wait_for(lock, 200us, [this, &group] {
+      return group.pending.load(std::memory_order_acquire) == 0 ||
+             queued.load(std::memory_order_relaxed) > 0;
+    });
+  }
+  if (group.error) {
+    std::exception_ptr err;
+    std::swap(err, group.error);
+    std::rethrow_exception(err);
+  }
+}
+
 ThreadPool::Stats ThreadPool::stats() const {
   Stats s;
   s.executedPerWorker.reserve(queues.size());
@@ -183,6 +289,8 @@ ThreadPool::Stats ThreadPool::stats() const {
   }
   s.steals = stealCount.load(std::memory_order_relaxed);
   s.detachedErrors = detachedErrorCount.load(std::memory_order_relaxed);
+  s.forked = forkCount.load(std::memory_order_relaxed);
+  s.helpedExternal = externalHelped.load(std::memory_order_relaxed);
   return s;
 }
 

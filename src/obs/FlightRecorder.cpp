@@ -14,8 +14,10 @@ std::atomic<bool> gArmed{false};
 } // namespace
 
 FlightRecorder& FlightRecorder::instance() {
-  static FlightRecorder recorder;
-  return recorder;
+  // Leaked for the same reason as Registry::instance(): per-thread rings
+  // are written by shared-pool workers that outlive static teardown.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
 }
 
 bool FlightRecorder::armed() noexcept {

@@ -13,8 +13,11 @@ std::atomic<unsigned> spanGate{0U};
 } // namespace detail
 
 Registry& Registry::instance() {
-  static Registry registry;
-  return registry;
+  // Intentionally leaked: worker threads of the (equally leaked) shared
+  // exec pool touch the registry during startup/labeling, so destroying
+  // it in static teardown would race with threads that outlive main.
+  static Registry* registry = new Registry();
+  return *registry;
 }
 
 std::uint32_t Registry::currentThreadId() noexcept {

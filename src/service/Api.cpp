@@ -1,5 +1,6 @@
 #include "qdd/service/Api.hpp"
 
+#include "qdd/exec/DDForker.hpp"
 #include "qdd/exec/Portfolio.hpp"
 #include "qdd/ir/Builders.hpp"
 #include "qdd/obs/Obs.hpp"
@@ -379,6 +380,9 @@ HttpResponse Api::createSession(const HttpRequest& request) {
   try {
     entry->qubits = std::max<std::size_t>(left.numQubits(), 1);
     entry->package = std::make_unique<Package>(entry->qubits);
+    // No-op for serial packages; under QDD_APPLY=parallel this forks DD
+    // subproblems of this session onto the shared pool.
+    exec::attachSharedForker(*entry->package);
     if (kind == "simulation") {
       entry->name = left.name().empty() ? "circuit" : left.name();
       entry->simulation = std::make_unique<sim::SimulationSession>(
@@ -851,6 +855,23 @@ std::string Api::prometheusDoc() const {
                "Garbage-collection runs across all packages.");
   prom::sample(out, "qdd_dd_gc_runs_total", "",
                static_cast<double>(dd.gc.runs));
+
+  // --- intra-circuit parallelism (QDD_APPLY=parallel; zero when serial) ---
+  prom::family(out, "qdd_dd_unique_table_shard_contention", "counter",
+               "Contended unique-table shard lock acquisitions.");
+  prom::sample(out, "qdd_dd_unique_table_shard_contention", "table=\"vector\"",
+               static_cast<double>(dd.vectorTable.shardContention));
+  prom::sample(out, "qdd_dd_unique_table_shard_contention", "table=\"matrix\"",
+               static_cast<double>(dd.matrixTable.shardContention));
+  prom::family(out, "qdd_dd_parallel_forks_total", "counter",
+               "DD subproblems forked onto the exec pool by "
+               "multiply/add recursions.");
+  prom::sample(out, "qdd_dd_parallel_forks_total", "",
+               static_cast<double>(dd.parallel.forks));
+  prom::family(out, "qdd_dd_realtable_cas_retries_total", "counter",
+               "Lost CAS races on concurrent real-table bucket inserts.");
+  prom::sample(out, "qdd_dd_realtable_cas_retries_total", "",
+               static_cast<double>(dd.reals.casRetries));
 
   // --- incidents ---
   prom::family(out, "qdd_incidents_total", "counter",

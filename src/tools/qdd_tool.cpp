@@ -22,6 +22,7 @@
 
 #include "qdd/bridge/DDBuilder.hpp"
 #include "qdd/exec/Batch.hpp"
+#include "qdd/exec/DDForker.hpp"
 #include "qdd/exec/Portfolio.hpp"
 #include "qdd/exec/ThreadPool.hpp"
 #include "qdd/ir/Builders.hpp"
@@ -143,6 +144,7 @@ int runSim(const std::string& path) {
               qc.numQubits(), qc.size());
   std::printf("%s\n", viz::circuitToAscii(qc).c_str());
   Package pkg(qc.numQubits());
+  exec::attachSharedForker(pkg);
   sim::SimulationSession session(qc, pkg);
   session.setOutcomeChooser(promptOutcome);
 
@@ -216,6 +218,7 @@ int runVerify(const std::string& leftPath, const std::string& rightPath) {
   std::printf("right '%s': %zu qubits, %zu operations\n", rightPath.c_str(),
               right.numQubits(), right.size());
   Package pkg(left.numQubits());
+  exec::attachSharedForker(pkg);
   verify::VerificationSession session(left, right, pkg);
   std::printf("starting from the identity (%zu nodes)\n",
               session.currentNodes());
@@ -317,6 +320,7 @@ int runMap(const std::string& path, const std::string& device) {
   // verify the flow end to end (paper ref. [28])
   if (qc.isPurelyUnitary() && cm.size() == qc.numQubits()) {
     Package pkg(qc.numQubits());
+  exec::attachSharedForker(pkg);
     const verify::EquivalenceChecker checker(qc,
                                              result.mappedWithRestore());
     std::printf("// verification (alternating scheme): %s\n",
@@ -353,6 +357,7 @@ int runSynth(const std::string& path) {
   std::printf("%s", qc.toOpenQASM().c_str());
   // verify against the spec via canonical DDs
   Package pkg(qc.numQubits());
+  exec::attachSharedForker(pkg);
   const mEdge spec = synth::buildPermutationDD(pkg, perm);
   const mEdge impl = bridge::buildFunctionality(qc, pkg);
   std::printf("// verification: %s\n",
@@ -365,6 +370,7 @@ int runSynth(const std::string& path) {
 int runTrace(const std::string& path, const std::string& tracePath) {
   const auto qc = load(path);
   Package pkg(qc.numQubits());
+  exec::attachSharedForker(pkg);
   viz::writeSimulationTrace(qc, pkg, tracePath);
   std::printf("wrote step-by-step simulation trace of '%s' (%zu operations) "
               "to %s\n",
@@ -390,6 +396,7 @@ int runProfile(const std::string& path) {
   try {
     const auto qc = load(path); // parser spans land in the trace
     Package pkg(qc.numQubits());
+  exec::attachSharedForker(pkg);
     sim::SimulationSession session(qc, pkg);
     // deterministic profile runs: always take the more probable outcome
     session.setOutcomeChooser(
@@ -542,6 +549,7 @@ int runPverify(const std::string& leftPath, const std::string& rightPath,
 int runShow(const std::string& path) {
   const auto qc = load(path);
   Package pkg(qc.numQubits());
+  exec::attachSharedForker(pkg);
   if (qc.isPurelyUnitary()) {
     const mEdge u = bridge::buildFunctionality(qc, pkg);
     std::printf("functionality DD of '%s': %zu nodes\n", path.c_str(),

@@ -1,0 +1,288 @@
+// Intra-circuit parallelism (docs/PARALLELISM.md): a single concurrent
+// dd::Package forks multiply/add subproblems onto the exec ThreadPool.
+// Correctness is anchored by canonicity — hash-consing guarantees that a
+// serial and a parallel evaluation of the same operation land on the very
+// same node objects, so root-pointer equality is the oracle.
+
+#include "qdd/bridge/DDBuilder.hpp"
+#include "qdd/dd/Package.hpp"
+#include "qdd/dd/TaskForker.hpp"
+#include "qdd/exec/DDForker.hpp"
+#include "qdd/exec/ThreadPool.hpp"
+#include "qdd/ir/Builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace qdd {
+namespace {
+
+Package makeConcurrentPackage(std::size_t nqubits) {
+  return Package(nqubits, NormalizationScheme::Largest,
+                 RealTable::DEFAULT_TOLERANCE, globalIdentityMode(),
+                 ConcurrencyMode::Concurrent);
+}
+
+/// Forces the matrix-multiply apply path for the scope of a test, so
+/// simulate() exercises the forked multiply/add recursion instead of the
+/// in-place gate kernels.
+class ScopedParallelApplyMode {
+public:
+  ScopedParallelApplyMode() : saved(bridge::globalApplyMode()) {
+    bridge::setGlobalApplyMode(bridge::ApplyMode::Parallel);
+  }
+  ~ScopedParallelApplyMode() { bridge::setGlobalApplyMode(saved); }
+
+private:
+  bridge::ApplyMode saved;
+};
+
+struct Workload {
+  const char* name;
+  ir::QuantumComputation qc;
+};
+
+std::vector<Workload> workloads() {
+  std::vector<Workload> out;
+  out.push_back({"qft8", ir::builders::qft(8)});
+  out.push_back({"grover6", ir::builders::grover(6, 0b101010, 2)});
+  out.push_back({"cliffordT8", ir::builders::randomCliffordT(8, 24, 1234)});
+  return out;
+}
+
+// --- canonicity: serial and parallel runs give pointer-identical roots -----
+
+TEST(ConcurrentDD, SimulateRootsMatchSerialAcrossWorkerCounts) {
+  const ScopedParallelApplyMode applyMode;
+  for (const auto& w : workloads()) {
+    for (const std::size_t workers : {1U, 2U, 4U, 8U}) {
+      Package pkg = makeConcurrentPackage(w.qc.numQubits());
+      // Serial baseline in the SAME package: no forker attached yet.
+      const vEdge serial =
+          bridge::simulate(w.qc, pkg.makeZeroState(w.qc.numQubits()), pkg);
+      pkg.incRef(serial);
+
+      exec::ThreadPool pool(workers);
+      exec::PoolForker forker(pool);
+      pkg.setForker(&forker);
+      const vEdge parallel =
+          bridge::simulate(w.qc, pkg.makeZeroState(w.qc.numQubits()), pkg);
+
+      EXPECT_EQ(serial.p, parallel.p)
+          << w.name << " with " << workers << " workers";
+      EXPECT_EQ(serial.w, parallel.w)
+          << w.name << " with " << workers << " workers";
+      EXPECT_GT(pkg.statistics().parallel.regions, 0U);
+      pkg.setForker(nullptr);
+      pkg.decRef(serial);
+    }
+  }
+}
+
+TEST(ConcurrentDD, FunctionalityRootsMatchSerial) {
+  const ScopedParallelApplyMode applyMode;
+  for (const auto& w : workloads()) {
+    if (!w.qc.isPurelyUnitary()) {
+      continue;
+    }
+    Package pkg = makeConcurrentPackage(w.qc.numQubits());
+    const mEdge serial = bridge::buildFunctionality(w.qc, pkg);
+    pkg.incRef(serial);
+
+    exec::ThreadPool pool(4);
+    exec::PoolForker forker(pool);
+    pkg.setForker(&forker);
+    const mEdge parallel = bridge::buildFunctionality(w.qc, pkg);
+
+    EXPECT_EQ(serial.p, parallel.p) << w.name;
+    EXPECT_EQ(serial.w, parallel.w) << w.name;
+    pkg.setForker(nullptr);
+    pkg.decRef(serial);
+  }
+}
+
+TEST(ConcurrentDD, ParallelRunsAreDeterministic) {
+  const ScopedParallelApplyMode applyMode;
+  const auto qc = ir::builders::randomCliffordT(7, 20, 99);
+  Package pkg = makeConcurrentPackage(qc.numQubits());
+  exec::ThreadPool pool(4);
+  exec::PoolForker forker(pool);
+  pkg.setForker(&forker);
+  const vEdge first = bridge::simulate(qc, pkg.makeZeroState(7), pkg);
+  pkg.incRef(first);
+  const vEdge second = bridge::simulate(qc, pkg.makeZeroState(7), pkg);
+  EXPECT_EQ(first.p, second.p);
+  EXPECT_EQ(first.w, second.w);
+  pkg.decRef(first);
+}
+
+TEST(ConcurrentDD, ParallelAmplitudesMatchIndependentSerialPackage) {
+  const ScopedParallelApplyMode applyMode;
+  const auto qc = ir::builders::qft(6);
+
+  Package serialPkg(qc.numQubits());
+  const auto reference =
+      serialPkg.getVector(bridge::simulate(qc, serialPkg.makeZeroState(6),
+                                           serialPkg));
+
+  Package pkg = makeConcurrentPackage(qc.numQubits());
+  exec::ThreadPool pool(4);
+  exec::PoolForker forker(pool);
+  pkg.setForker(&forker);
+  const auto parallel =
+      pkg.getVector(bridge::simulate(qc, pkg.makeZeroState(6), pkg));
+
+  ASSERT_EQ(reference.size(), parallel.size());
+  for (std::size_t k = 0; k < reference.size(); ++k) {
+    EXPECT_NEAR(reference[k].real(), parallel[k].real(), 1e-12);
+    EXPECT_NEAR(reference[k].imag(), parallel[k].imag(), 1e-12);
+  }
+}
+
+// --- refcounts: concurrent inc/dec saturate instead of wrapping ------------
+
+TEST(ConcurrentDD, RefcountSaturatesUnderContention) {
+  Package pkg = makeConcurrentPackage(2);
+  const vEdge state = pkg.makeGHZState(2);
+  constexpr std::size_t THREADS = 4;
+  constexpr std::size_t PER_THREAD = 20000; // 80k > IMMORTAL_REF = 0xFFFF
+
+  std::vector<std::thread> threads;
+  threads.reserve(THREADS);
+  for (std::size_t t = 0; t < THREADS; ++t) {
+    threads.emplace_back([&pkg, &state] {
+      for (std::size_t k = 0; k < PER_THREAD; ++k) {
+        pkg.incRef(state);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(state.p->ref, IMMORTAL_REF);
+
+  // Saturated nodes are immortal: decrements (even past the increment
+  // count) must never revive the counter into collectable range.
+  threads.clear();
+  for (std::size_t t = 0; t < THREADS; ++t) {
+    threads.emplace_back([&pkg, &state] {
+      for (std::size_t k = 0; k < PER_THREAD; ++k) {
+        pkg.decRef(state);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(state.p->ref, IMMORTAL_REF);
+}
+
+// --- GC barrier: collection refuses to run inside a parallel region --------
+
+/// Inline forker that attempts a forced garbage collection from inside the
+/// fork/join of an operation — which the package must refuse (forked
+/// subproblems hold unreferenced intermediate nodes).
+class GcProbeForker final : public TaskForker {
+public:
+  explicit GcProbeForker(Package& package) : pkg(&package) {}
+
+  void runAll(std::function<void()>* tasks, std::size_t n) override {
+    gcRanInsideRegion = gcRanInsideRegion || pkg->garbageCollect(true);
+    probed = true;
+    for (std::size_t k = 0; k < n; ++k) {
+      tasks[k]();
+    }
+  }
+
+  bool probed = false;
+  bool gcRanInsideRegion = false;
+
+private:
+  Package* pkg;
+};
+
+TEST(ConcurrentDD, GarbageCollectionBlockedInsideParallelRegion) {
+  Package pkg = makeConcurrentPackage(6);
+  GcProbeForker forker(pkg);
+  pkg.setForker(&forker);
+
+  const auto qc = ir::builders::qft(6);
+  const mEdge u = bridge::buildFunctionality(qc, pkg);
+  EXPECT_GT(Package::size(u), 1U);
+  ASSERT_TRUE(forker.probed);
+  EXPECT_FALSE(forker.gcRanInsideRegion);
+
+  // At a quiescent point the same forced collection is allowed again.
+  pkg.setForker(nullptr);
+  EXPECT_TRUE(pkg.garbageCollect(true));
+}
+
+// --- cancellation: a flipped flag unwinds the in-flight operation ----------
+
+TEST(ConcurrentDD, CancellationUnwindsMidOperation) {
+  Package pkg = makeConcurrentPackage(8);
+  exec::ThreadPool pool(2);
+  std::atomic<bool> cancel{false};
+  exec::PoolForker forker(pool, &cancel);
+  pkg.setForker(&forker);
+
+  const auto qc = ir::builders::qft(8);
+  const mEdge gate = bridge::buildFunctionality(qc, pkg);
+  pkg.incRef(gate);
+  const vEdge state = pkg.makeZeroState(8);
+
+  cancel.store(true);
+  EXPECT_THROW(static_cast<void>(pkg.multiply(gate, state)),
+               OperationCancelled);
+  EXPECT_GT(pkg.statistics().parallel.cancelled, 0U);
+
+  // The package stays usable: clearing the flag lets operations complete.
+  cancel.store(false);
+  const vEdge result = pkg.multiply(gate, state);
+  EXPECT_NE(result.p, nullptr);
+}
+
+// --- plumbing --------------------------------------------------------------
+
+TEST(ConcurrentDD, AttachSharedForkerRespectsMode) {
+  // Explicitly serial: the default constructor would inherit QDD_APPLY.
+  Package serial(3, NormalizationScheme::Largest, RealTable::DEFAULT_TOLERANCE,
+                 globalIdentityMode(), ConcurrencyMode::Serial);
+  EXPECT_FALSE(exec::attachSharedForker(serial));
+  EXPECT_EQ(serial.forker(), nullptr);
+
+  Package pkg = makeConcurrentPackage(3);
+  EXPECT_TRUE(exec::attachSharedForker(pkg));
+  EXPECT_NE(pkg.forker(), nullptr);
+  EXPECT_FALSE(exec::attachSharedForker(pkg)); // already attached
+}
+
+TEST(ConcurrentDD, ConcurrencyModeParsing) {
+  EXPECT_EQ(parseConcurrencyMode("parallel"), ConcurrencyMode::Concurrent);
+  EXPECT_EQ(parseConcurrencyMode("fast"), ConcurrencyMode::Serial);
+  EXPECT_EQ(parseConcurrencyMode(nullptr), ConcurrencyMode::Serial);
+  EXPECT_STREQ(toString(ConcurrencyMode::Concurrent), "concurrent");
+  EXPECT_STREQ(toString(ConcurrencyMode::Serial), "serial");
+}
+
+TEST(ConcurrentDD, ForkStatisticsAccumulate) {
+  const ScopedParallelApplyMode applyMode;
+  Package pkg = makeConcurrentPackage(8);
+  exec::ThreadPool pool(4);
+  exec::PoolForker forker(pool);
+  pkg.setForker(&forker);
+  const auto qc = ir::builders::qft(8);
+  static_cast<void>(bridge::simulate(qc, pkg.makeZeroState(8), pkg));
+  const auto stats = pkg.statistics();
+  EXPECT_GT(stats.parallel.regions, 0U);
+  EXPECT_GT(stats.parallel.forks, 0U);
+  EXPECT_EQ(stats.vectorTable.shards, Package::CONCURRENT_SHARDS);
+  EXPECT_GT(pool.stats().forked, 0U);
+}
+
+} // namespace
+} // namespace qdd

@@ -123,6 +123,104 @@ TEST(ThreadPoolTest, IdleWorkersStealFromABlockedSibling) {
 
 // --- per-task seeds --------------------------------------------------------
 
+// --- fork/join -------------------------------------------------------------
+
+TEST(ThreadPoolTest, ForkJoinCompletesAllTasks) {
+  exec::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  exec::TaskGroup group;
+  for (int k = 0; k < 32; ++k) {
+    pool.fork(group, [&done] { ++done; });
+  }
+  pool.waitAndWork(group);
+  EXPECT_EQ(done.load(), 32);
+  EXPECT_EQ(group.pendingCount(), 0U);
+  EXPECT_GE(pool.stats().forked, 32U);
+}
+
+TEST(ThreadPoolTest, NestedForkJoinOnOneWorkerDoesNotDeadlock) {
+  // Regression: a pool task blocking on subtasks it forked would deadlock a
+  // classic pool (the only worker waits for work only it could run).
+  // waitAndWork is help-first, so the waiter executes the subtasks itself.
+  exec::ThreadPool pool(1);
+  std::atomic<int> leaves{0};
+  exec::TaskGroup outer;
+  pool.fork(outer, [&pool, &leaves] {
+    exec::TaskGroup inner;
+    for (int k = 0; k < 4; ++k) {
+      pool.fork(inner, [&pool, &leaves] {
+        exec::TaskGroup innermost;
+        pool.fork(innermost, [&leaves] { ++leaves; });
+        pool.waitAndWork(innermost);
+      });
+    }
+    pool.waitAndWork(inner);
+  });
+  pool.waitAndWork(outer);
+  EXPECT_EQ(leaves.load(), 4);
+}
+
+TEST(ThreadPoolTest, ForkJoinRethrowsFirstTaskException) {
+  exec::ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  exec::TaskGroup group;
+  for (int k = 0; k < 8; ++k) {
+    pool.fork(group, [&completed, k] {
+      if (k == 3) {
+        throw std::runtime_error("task 3 failed");
+      }
+      ++completed;
+    });
+  }
+  EXPECT_THROW(pool.waitAndWork(group), std::runtime_error);
+  // The join's postcondition holds even on failure: nothing left pending.
+  EXPECT_EQ(group.pendingCount(), 0U);
+  EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(ThreadPoolTest, ExternalThreadHelpsWhileJoining) {
+  // Pin the pool's only worker inside a blocker task (tasks only ever run
+  // on workers or inside a waitAndWork, so once `started` is set the worker
+  // is the thread in it). The 8 tasks forked afterwards can then only be
+  // executed by the joining main thread — the external-helper path.
+  exec::ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  exec::TaskGroup blocker;
+  pool.fork(blocker, [&started, &release] {
+    started.store(true);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  exec::TaskGroup group;
+  std::atomic<int> done{0};
+  for (int k = 0; k < 8; ++k) {
+    pool.fork(group, [&done] { ++done; });
+  }
+  pool.waitAndWork(group);
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_GE(pool.stats().helpedExternal, 8U);
+  release.store(true);
+  pool.waitAndWork(blocker);
+}
+
+TEST(ThreadPoolTest, TaskGroupIsReusableAfterJoin) {
+  exec::ThreadPool pool(2);
+  exec::TaskGroup group;
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int k = 0; k < 4; ++k) {
+      pool.fork(group, [&count] { ++count; });
+    }
+    pool.waitAndWork(group);
+  }
+  EXPECT_EQ(count.load(), 12);
+}
+
 TEST(ExecTest, TaskSeedsAreDecorrelatedAndDeterministic) {
   std::set<std::uint64_t> seen;
   for (std::uint64_t i = 0; i < 1000; ++i) {

@@ -73,9 +73,9 @@ TEST(MemComputeTable, RejectsFreedAndRecycledPointers) {
 
   vNode* n = mgr.get();
   ct.insert(n, n, ComplexValue{0.5, 0.}, /*generation=*/0);
-  const ComplexValue* hit = ct.lookup(n, n);
-  ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->re, 0.5);
+  ComplexValue hit;
+  ASSERT_TRUE(ct.lookup(n, n, hit));
+  EXPECT_EQ(hit.re, 0.5);
   EXPECT_EQ(ct.hits(), 1U);
 
   // The package protocol advances the allocation generation (and publishes
@@ -88,21 +88,22 @@ TEST(MemComputeTable, RejectsFreedAndRecycledPointers) {
   // Freed operand: the slot's key still matches the pointer, but the
   // FREED_GENERATION stamp invalidates the entry.
   mgr.release(n);
-  EXPECT_EQ(ct.lookup(n, n), nullptr);
+  ComplexValue miss;
+  EXPECT_FALSE(ct.lookup(n, n, miss));
   EXPECT_EQ(ct.staleRejections(), 1U);
 
   // Recycled pointer in a newer epoch: same address, newer generation —
   // the pre-GC entry must not be served for the new node.
   vNode* reused = mgr.get();
   ASSERT_EQ(reused, n);
-  EXPECT_EQ(ct.lookup(reused, reused), nullptr);
+  EXPECT_FALSE(ct.lookup(reused, reused, miss));
   EXPECT_EQ(ct.staleRejections(), 2U);
 
   // A fresh entry for the recycled node is served normally.
   ct.insert(reused, reused, ComplexValue{0.25, 0.}, /*generation=*/1);
-  const ComplexValue* fresh = ct.lookup(reused, reused);
-  ASSERT_NE(fresh, nullptr);
-  EXPECT_EQ(fresh->re, 0.25);
+  ComplexValue fresh;
+  ASSERT_TRUE(ct.lookup(reused, reused, fresh));
+  EXPECT_EQ(fresh.re, 0.25);
 }
 
 TEST(MemUniqueTable, LevelBucketsRehash) {
