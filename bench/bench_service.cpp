@@ -17,6 +17,17 @@
 // full production surface (traceparent, root span, flight recorder,
 // incident log wired). check_bench_service.py gates the tracing-on p50
 // within 10% of tracing-off.
+//
+// Two network-core phases ride along:
+//   * `threaded_c1` — the same single-client workload against a
+//     thread-per-connection server; check_bench_service.py gates the
+//     reactor's steps_c1 p50 within 10% of it (the reactor must not tax
+//     the fast path).
+//   * `idle_spill` — creates a fleet of Bell sessions (10k full /
+//     1.5k quick) under a small resident budget, force-spills the rest,
+//     and reports the marginal RSS per spilled idle session plus 50
+//     post-restore touches. check_bench_service.py gates the RSS per
+//     idle session at 4 KiB and zero errors end to end.
 
 #include "BenchUtil.hpp"
 
@@ -32,11 +43,49 @@
 #include <thread>
 #include <vector>
 
+#include <sys/stat.h>
+
+#if defined(__linux__)
+#include <malloc.h>
+#include <unistd.h>
+#endif
+
 using namespace qdd;
 
 namespace {
 
-const std::vector<std::size_t> CLIENT_COUNTS{1, 4, 8};
+const std::vector<std::size_t> CLIENT_COUNTS{1, 4, 8, 16, 64};
+
+/// Current (not peak) resident set size; 0 where unmeasurable. The spill
+/// phase needs the *live* footprint after the packages were destroyed —
+/// getrusage's ru_maxrss only ever grows.
+std::size_t currentRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  long pagesTotal = 0;
+  long pagesResident = 0;
+  const int got = std::fscanf(f, "%ld %ld", &pagesTotal, &pagesResident);
+  std::fclose(f);
+  if (got != 2 || pagesResident < 0) {
+    return 0;
+  }
+  return static_cast<std::size_t>(pagesResident) *
+         static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+/// Hands heap pages freed by destroyed packages back to the OS so the
+/// RSS delta measures retained memory, not allocator caching.
+void trimHeap() {
+#if defined(__GLIBC__)
+  ::malloc_trim(0);
+#endif
+}
 
 struct ClientStats {
   std::vector<double> latenciesMs;
@@ -174,6 +223,127 @@ RunRecord tracingPhase(bool tracing, std::size_t requests) {
   return record;
 }
 
+/// Single-client run against a thread-per-connection server, same
+/// workload as steps_c1. The p50 of this phase is the parity baseline
+/// for the reactor path.
+RunRecord threadedPhase(std::size_t requests) {
+  service::ServiceMetrics metrics;
+  service::ApiOptions apiOpts;
+  apiOpts.maxSessions = 4;
+  service::Api api(apiOpts, metrics);
+  service::Router router;
+  api.install(router);
+  service::ServerOptions serverOpts;
+  serverOpts.workers = 2;
+  serverOpts.net = service::NetMode::Threaded;
+  service::HttpServer server(serverOpts, router, metrics);
+  server.setIncidentLog(&api.incidents());
+  server.start();
+  auto record = runLoad(server.port(), 1, requests);
+  server.drain();
+  server.stop();
+  return record;
+}
+
+struct SpillRecord {
+  std::size_t sessions = 0;
+  std::size_t spilled = 0;
+  std::size_t resident = 0;
+  std::size_t errors = 0;
+  double createWallMs = 0.;
+  double rssPerIdleSessionBytes = 0.; ///< <= 0 when unmeasurable
+  std::size_t restoreTouches = 0;
+  double touchP50Ms = 0.;
+};
+
+/// Creates `sessions` Bell sessions under a 64-session resident budget,
+/// force-spills the remainder, measures the marginal RSS per spilled idle
+/// session, then touches 50 of them (transparent restore) and checks the
+/// answers.
+SpillRecord idleSpillPhase(std::size_t sessions, const std::string& dir) {
+  SpillRecord rec;
+  rec.sessions = sessions;
+
+  service::ServiceMetrics metrics;
+  service::ApiOptions apiOpts;
+  apiOpts.maxSessions = sessions + 8;
+  apiOpts.spillDir = dir;
+  apiOpts.maxResidentSessions = 64;
+  service::Api api(apiOpts, metrics);
+  service::Router router;
+  api.install(router);
+  service::ServerOptions serverOpts;
+  serverOpts.workers = 2;
+  service::HttpServer server(serverOpts, router, metrics);
+  server.start();
+
+  service::HttpClient client("127.0.0.1", server.port());
+  trimHeap();
+  const std::size_t rss0 = currentRssBytes();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const auto created = client.request(
+        "POST", "/v1/sessions", R"({"builder": {"name": "bell"}})");
+    if (created.status != 201) {
+      ++rec.errors;
+    }
+  }
+  rec.createWallMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+  // the budget left the hottest 64 resident — spill them too, so the RSS
+  // delta is the cost of *idle* sessions only
+  auto& store = api.sessions();
+  for (const auto& entry : store.list()) {
+    if (!entry->spilled.load(std::memory_order_relaxed)) {
+      store.spillNow(entry->id);
+    }
+  }
+  trimHeap();
+  const std::size_t rss1 = currentRssBytes();
+  rec.spilled = store.spilledCount();
+  rec.resident = store.residentCount();
+  if (rss0 > 0 && rss1 > rss0 && rec.spilled > 0) {
+    rec.rssPerIdleSessionBytes = static_cast<double>(rss1 - rss0) /
+                                 static_cast<double>(rec.spilled);
+  }
+
+  // post-restore touches: a strided sample of the fleet must answer with
+  // the session intact (bell -> 2 qubits, position 0)
+  std::vector<double> touchMs;
+  const std::size_t touches = std::min<std::size_t>(50, sessions);
+  for (std::size_t k = 0; k < touches; ++k) {
+    const std::size_t pick = 1 + (k * 7919) % sessions;
+    const std::string target = "/v1/sessions/s" + std::to_string(pick);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto got = client.request("GET", target);
+    touchMs.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    if (got.status != 200) {
+      ++rec.errors;
+      continue;
+    }
+    try {
+      const auto doc = service::json::Value::parse(got.body);
+      if (doc.getNumber("qubits", 0) != 2.) {
+        ++rec.errors;
+      }
+    } catch (const service::json::ParseError&) {
+      ++rec.errors;
+    }
+  }
+  rec.restoreTouches = touches;
+  rec.touchP50Ms = percentile(touchMs, 50.);
+  rec.errors += store.restoreFailures();
+
+  server.drain();
+  server.stop();
+  return rec;
+}
+
 void printRecord(const char* label, const RunRecord& record,
                  unsigned cores) {
   std::printf("BENCH_SERVICE %s {\"clients\": %zu, \"requests\": %zu, "
@@ -211,7 +381,17 @@ int main(int argc, char** argv) {
               tracingOn.p50Ms, tracingOn.p95Ms, tracingOn.errors);
   bench::rule();
 
-  // server shaped like `qdd-tool serve` defaults, sized for the widest run
+  // parity baseline: the legacy thread-per-connection path, one client
+  bench::heading("qdd::service thread-per-connection baseline (1 client)");
+  const auto threaded = threadedPhase(requestsPerClient);
+  std::printf("%8s %10zu %10.3f %10.3f %8zu\n", "threaded",
+              threaded.requests, threaded.p50Ms, threaded.p95Ms,
+              threaded.errors);
+  bench::rule();
+
+  // server shaped like `qdd-tool serve` defaults, sized for the widest
+  // run; the reactor front-end is pinned explicitly so the QDD_NET env
+  // cannot silently turn the sweep into a threaded run
   service::ServiceMetrics metrics;
   service::ApiOptions apiOpts;
   apiOpts.maxSessions = 2 * CLIENT_COUNTS.back();
@@ -219,7 +399,9 @@ int main(int argc, char** argv) {
   service::Router router;
   api.install(router);
   service::ServerOptions serverOpts;
-  serverOpts.workers = CLIENT_COUNTS.back();
+  serverOpts.workers = std::max<std::size_t>(
+      4, std::thread::hardware_concurrency());
+  serverOpts.net = service::NetMode::Epoll;
   service::HttpServer server(serverOpts, router, metrics);
   server.start();
 
@@ -237,17 +419,42 @@ int main(int argc, char** argv) {
   }
   bench::rule();
 
+  // spill tier: a big created-then-idle fleet under a small budget
+  const std::size_t fleet = quick ? 1500 : 10000;
+  const std::string spillDir =
+      "/tmp/qdd_bench_spill_" + std::to_string(::getpid());
+  ::mkdir(spillDir.c_str(), 0755);
+  bench::heading("qdd::service idle-session spill tier (Bell sessions)");
+  const auto spill = idleSpillPhase(fleet, spillDir);
+  std::printf("%zu sessions: %zu spilled, %zu resident, "
+              "%.1f bytes RSS/idle session, touch p50 %.3f ms, %zu errors\n",
+              spill.sessions, spill.spilled, spill.resident,
+              spill.rssPerIdleSessionBytes, spill.touchP50Ms, spill.errors);
+  bench::rule();
+
   printRecord("tracing_off", tracingOff, cores);
   printRecord("tracing_on", tracingOn, cores);
+  printRecord("threaded_c1", threaded, cores);
   for (const auto& record : records) {
     char label[32];
     std::snprintf(label, sizeof(label), "steps_c%zu", record.clients);
     printRecord(label, record, cores);
   }
+  std::printf("BENCH_SERVICE idle_spill {\"sessions\": %zu, "
+              "\"spilled\": %zu, \"resident\": %zu, "
+              "\"rssPerIdleSessionBytes\": %.1f, \"restoreTouches\": %zu, "
+              "\"touchP50Ms\": %.4f, \"createWallMs\": %.1f, "
+              "\"errors\": %zu, \"hardwareConcurrency\": %u, "
+              "\"resources\": %s}\n",
+              spill.sessions, spill.spilled, spill.resident,
+              spill.rssPerIdleSessionBytes, spill.restoreTouches,
+              spill.touchP50Ms, spill.createWallMs, spill.errors, cores,
+              bench::ResourceUsage::sample().toJson().c_str());
 
   const double rps1 = records.front().rps;
   double scale4 = 0.;
   double scale8 = 0.;
+  double scale64 = 0.;
   std::size_t totalRequests = 0;
   std::size_t totalErrors = 0;
   for (const auto& record : records) {
@@ -259,16 +466,20 @@ int main(int argc, char** argv) {
     if (rps1 > 0. && record.clients == 8) {
       scale8 = record.rps / rps1;
     }
+    if (rps1 > 0. && record.clients == 64) {
+      scale64 = record.rps / rps1;
+    }
   }
   std::printf("BENCH_SERVICE summary {\"totalRequests\": %zu, "
               "\"errors\": %zu, \"serverRequests\": %zu, \"scale4\": %.3f, "
-              "\"scale8\": %.3f, \"hardwareConcurrency\": %u, "
-              "\"resources\": %s}\n",
+              "\"scale8\": %.3f, \"scale64\": %.3f, "
+              "\"hardwareConcurrency\": %u, \"resources\": %s}\n",
               totalRequests, totalErrors, metrics.requests(), scale4, scale8,
-              cores, bench::ResourceUsage::sample().toJson().c_str());
+              scale64, cores, bench::ResourceUsage::sample().toJson().c_str());
 
   server.drain();
   server.stop();
-  totalErrors += tracingOff.errors + tracingOn.errors;
+  totalErrors +=
+      tracingOff.errors + tracingOn.errors + threaded.errors + spill.errors;
   return totalErrors == 0 ? 0 : 1;
 }

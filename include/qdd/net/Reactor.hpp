@@ -1,0 +1,173 @@
+#pragma once
+
+// qdd::net — the event-driven network core. One reactor thread owns every
+// socket: it accepts, reads into per-connection buffers, runs the
+// incremental HTTP parse state machine (HttpParser.hpp), and only hands
+// *complete* requests to the dispatch callback — which is expected to
+// return immediately after queueing the work on a thread pool. The worker
+// answers by calling complete(token, bytes): when the connection's write
+// buffer is empty the bytes are sent directly on the worker thread (a
+// single non-blocking send keeps the reactor wakeup off the response
+// latency path); whatever the socket did not take — and the bookkeeping
+// that must run on the reactor thread (clearing the in-flight flag,
+// parsing pipelined input, arming EPOLLOUT, closing) — goes through the
+// completion queue. The worker never blocks on a socket, so slow readers,
+// silent keep-alive clients, and slow consumers of large responses never
+// pin a worker thread — they cost one buffered connection, reclaimed by
+// the idle timeout.
+//
+// Backends: epoll (edge-triggered; Linux) with a poll(2) level-triggered
+// fallback selected at runtime — both drive the same connection state
+// machine (always read to EAGAIN, write to EAGAIN, EPOLLOUT only while the
+// write buffer is non-empty), so the backends are behaviorally identical.
+//
+// Concurrency contract: the read side (in buffer, parse state, busy flag,
+// activity stamp, epoll interest) is reactor-thread-only. The write side
+// (out buffer, closeAfterWrite, the fd's send/close) is shared with
+// complete()'s direct-write fast path and guarded by the per-connection
+// ioMutex; `alive` (same guard) fences workers off a connection the
+// reactor has destroyed. The connection registry itself is guarded by
+// connsMutex. Tokens identify connections across the handoff; a
+// completion for a connection that has since closed is silently dropped
+// (tokens are never reused).
+
+#include "qdd/net/HttpParser.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace qdd::net {
+
+enum class Backend : std::uint8_t { Epoll, Poll };
+
+struct ReactorOptions {
+  /// Requested backend; epoll falls back to poll when unavailable (the
+  /// effective choice is reported by Reactor::backend()).
+  Backend backend = Backend::Epoll;
+  /// Connections idle (no read/write activity, no request in flight) longer
+  /// than this are closed. <= 0 disables the timeout.
+  int idleTimeoutMs = 30000;
+  /// Bounds the declared Content-Length (parser answers TooLarge beyond).
+  std::size_t maxBodyBytes = 1U << 20U;
+};
+
+class Reactor {
+public:
+  /// Called on the reactor thread for every complete request. Must not
+  /// block: queue the work and return. Eventually complete(token, ...) must
+  /// be called exactly once per dispatch (from any thread).
+  using Dispatch =
+      std::function<void(std::uint64_t token, service::HttpRequest&&)>;
+  /// Maps a transport-level parse failure to the serialized response bytes
+  /// sent before the connection is closed (also the metrics hook).
+  using ParseErrorResponder = std::function<std::string(ParseStatus)>;
+
+  Reactor(ReactorOptions options, Dispatch dispatch,
+          ParseErrorResponder onParseError);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Starts the event loop on `listenFd` (already bound + listening; stays
+  /// owned by the caller). Throws std::runtime_error when no backend could
+  /// be set up.
+  void start(int listenFd);
+
+  /// Delivers serialized response bytes for the connection identified by
+  /// `token`: sends directly on the calling thread when the connection has
+  /// no backlog (never blocking), queues the remainder for the reactor's
+  /// writeout, and wakes the event loop. `closeAfter` closes the
+  /// connection once the bytes are flushed. Thread-safe; a no-op after
+  /// stop() or for already-closed connections.
+  void complete(std::uint64_t token, std::string bytes, bool closeAfter);
+
+  /// Closes every connection and joins the reactor thread. Idempotent.
+  /// In-flight dispatches may still call complete() afterwards; those
+  /// completions are dropped.
+  void stop();
+
+  /// Effective backend after any epoll->poll fallback (valid after start).
+  [[nodiscard]] Backend backend() const noexcept { return effectiveBackend; }
+
+  [[nodiscard]] std::size_t openConnections() const noexcept {
+    return openCount.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t acceptedTotal() const noexcept {
+    return acceptedN.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t idleClosedTotal() const noexcept {
+    return idleClosedN.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Conn {
+    int fd = -1;
+    // reactor thread only:
+    std::string in;      ///< received bytes not yet consumed by the parser
+    bool busy = false;   ///< one dispatched request in flight
+    bool wantWrite = false; ///< EPOLLOUT currently registered
+    std::int64_t lastActivityMs = 0;
+    // shared with complete()'s direct-write fast path:
+    std::mutex ioMutex;  ///< guards out/closeAfterWrite/alive and fd writes
+    std::string out;     ///< serialized response bytes not yet written
+    bool closeAfterWrite = false;
+    bool alive = true;   ///< false once the reactor closed the fd
+  };
+
+  /// The bytes were already placed on the connection (or written) by
+  /// complete(); the reactor only has to run the post-response bookkeeping.
+  struct Completion {
+    std::uint64_t token = 0;
+  };
+
+  void loop();
+  void acceptReady();
+  void readable(std::uint64_t token);
+  void writable(std::uint64_t token);
+  void maybeParse(std::uint64_t token);
+  void flushWrite(std::uint64_t token);
+  void updateWriteInterest(std::uint64_t token);
+  void destroy(std::uint64_t token);
+  void drainCompletions();
+  void sweepIdle();
+  void wake();
+  [[nodiscard]] std::shared_ptr<Conn> lookup(std::uint64_t token);
+
+  [[nodiscard]] static std::int64_t nowMs();
+
+  const ReactorOptions options;
+  const Dispatch dispatch;
+  const ParseErrorResponder onParseError;
+
+  Backend effectiveBackend = Backend::Poll;
+  int epollFd = -1;
+  int listenFd = -1;
+  int wakeRead = -1;
+  int wakeWrite = -1;
+
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+
+  mutable std::mutex connsMutex; ///< guards the registry map itself
+  std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> conns;
+  std::uint64_t nextToken = 2; ///< 0 = wake pipe, 1 = listen socket
+  std::int64_t lastSweepMs = 0;
+
+  std::mutex completionMutex;
+  std::vector<Completion> completions;
+  bool wakePending = false; ///< guarded by completionMutex
+
+  std::atomic<std::size_t> openCount{0};
+  std::atomic<std::uint64_t> acceptedN{0};
+  std::atomic<std::uint64_t> idleClosedN{0};
+};
+
+} // namespace qdd::net

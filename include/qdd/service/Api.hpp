@@ -57,6 +57,17 @@ struct ApiOptions {
   std::size_t maxIncidents = 32;
   /// On-disk mirror for incident trace JSON; empty keeps them memory-only.
   std::string incidentDir;
+  /// Directory for idle-session spill files; empty disables the spill
+  /// tier (see SessionStore).
+  std::string spillDir;
+  /// Sessions idle longer than this are spilled to disk (<= 0 disables
+  /// idle-driven spilling; budget pressure still spills).
+  std::int64_t spillAfterMs = 0;
+  /// Soft cap on sessions holding a live DD package; the coldest beyond
+  /// it are spilled. 0 means unlimited.
+  std::size_t maxResidentSessions = 0;
+  /// SessionStore shard count (rounded up to a power of two).
+  std::size_t sessionShards = 8;
 };
 
 class Api {
@@ -79,6 +90,11 @@ public:
   /// Lets /healthz report drain state (wired to HttpServer::draining).
   void setDrainingProbe(std::function<bool()> probe) {
     drainingProbe = std::move(probe);
+  }
+  /// Lets /metrics export qdd_net_open_connections (wired to
+  /// HttpServer::openConnections).
+  void setOpenConnectionsProbe(std::function<std::size_t()> probe) {
+    openConnectionsProbe = std::move(probe);
   }
 
 private:
@@ -108,6 +124,9 @@ private:
 
   [[nodiscard]] std::int64_t clampDeadline(const json::Value& body) const;
   std::shared_ptr<SessionStore::Entry> require(const std::string& id);
+  /// Locks the entry and transparently restores it when spilled (the lock
+  /// is the restore-once guard). RestoreError maps to a 500.
+  std::unique_lock<std::mutex> lockSession(SessionStore::Entry& entry);
 
   json::Value sessionDoc(SessionStore::Entry& entry, bool includeDd) const;
 
@@ -118,6 +137,7 @@ private:
   IncidentLog incidentLog;
   std::shared_ptr<obs::AggregatorSink> aggregator;
   std::function<bool()> drainingProbe;
+  std::function<std::size_t()> openConnectionsProbe;
 };
 
 } // namespace qdd::service

@@ -66,6 +66,11 @@ enum class ReadOutcome : std::uint8_t {
 ReadOutcome readHttpRequest(int fd, HttpRequest& out, std::string& carry,
                             std::size_t maxBodyBytes);
 
+/// Serializes `response` into on-the-wire bytes (status line, framing
+/// headers, body). Shared by the blocking writer below and the reactor
+/// path, which queues the bytes on the connection's write buffer.
+[[nodiscard]] std::string serializeHttpResponse(const HttpResponse& response);
+
 /// Serializes and sends `response` on `fd` (Content-Length framing).
 /// Returns false when the peer is gone.
 bool writeHttpResponse(int fd, const HttpResponse& response);

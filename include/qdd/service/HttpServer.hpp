@@ -1,20 +1,28 @@
 #pragma once
 
-// qdd::service — the embedded HTTP server. A dedicated accept thread polls
-// the listening socket and hands each connection to the qdd::exec
-// work-stealing pool as one detached task; the task loops keep-alive
-// requests through the Router. Robustness knobs: body-size cap (413 before
-// the body is read), idle-connection timeout (SO_RCVTIMEO), graceful drain
-// (in-flight requests finish, everything new gets 503 + close), and a hard
-// stop that shuts down every open connection.
+// qdd::service — the embedded HTTP server, in two network modes.
 //
-// Worker occupancy: one connection holds one pool worker while it is open,
-// so `workers` bounds the number of concurrently *open* connections
-// (excess connections queue in the pool). The idle timeout returns workers
-// held by silent keep-alive clients. Size `workers` to the expected client
-// count (docs/SERVICE.md discusses this).
+// Event-driven (default, NetMode::Epoll / Poll): a qdd::net::Reactor owns
+// every socket on one event-loop thread; only *complete* requests are
+// dispatched to the qdd::exec pool, and the serialized response is queued
+// back through the reactor for writeout. Slow or silent clients never pin
+// a worker — concurrency is bounded by memory (one buffered connection
+// each), not by worker count, and `workers` sizes CPU parallelism only.
+//
+// Threaded (NetMode::Threaded, `--net=threaded` fallback): a dedicated
+// accept thread hands each connection to the pool as one detached task that
+// loops keep-alive requests. One open connection holds one pool worker, so
+// `workers` bounds concurrently open connections; the idle timeout
+// (SO_RCVTIMEO) returns workers held by silent keep-alive clients.
+//
+// Both modes share the robustness knobs — body-size cap (413 before the
+// body is read), idle-connection timeout, graceful drain (in-flight
+// requests finish, everything new gets 503 + close), hard stop — and the
+// exact same per-request pipeline (tracing, metrics, incidents, access
+// log) via processRequest(). docs/SERVICE.md discusses sizing.
 
 #include "qdd/exec/ThreadPool.hpp"
+#include "qdd/net/Reactor.hpp"
 #include "qdd/obs/TraceContext.hpp"
 #include "qdd/service/Metrics.hpp"
 #include "qdd/service/Router.hpp"
@@ -23,6 +31,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -31,15 +40,29 @@ namespace qdd::service {
 
 class IncidentLog;
 
+/// Network front-end selection. Epoll falls back to Poll at runtime when
+/// the platform has no epoll; Threaded keeps the legacy
+/// thread-per-connection path (one release, see docs/SERVICE.md).
+enum class NetMode : std::uint8_t { Epoll, Poll, Threaded };
+
+/// Default NetMode, overridable via the QDD_NET environment variable
+/// ("epoll" | "poll" | "threaded"); unset or unrecognized values mean
+/// Epoll. Lets CI run the whole service suite in either mode.
+[[nodiscard]] NetMode defaultNetMode();
+
 struct ServerOptions {
   std::string bindAddress = "127.0.0.1";
   /// 0 picks an ephemeral port; read the actual one via port().
   std::uint16_t port = 0;
-  /// Pool workers == maximum concurrently open connections (0: hardware).
+  /// Pool workers. Event-driven modes: CPU parallelism for request
+  /// handlers. Threaded mode: also the maximum concurrently open
+  /// connections (0: hardware).
   std::size_t workers = 4;
   std::size_t maxBodyBytes = 1U << 20U;
+  /// Network front-end (see NetMode); QDD_NET overrides the default.
+  NetMode net = defaultNetMode();
   /// Idle keep-alive connections are closed after this long.
-  int idleTimeoutMs = 5000;
+  int idleTimeoutMs = 30000;
   /// Request-scoped tracing: parse/emit W3C traceparent, install a
   /// TraceContext around dispatch, arm the obs flight recorder, and record
   /// a "service/request" root span per request.
@@ -86,6 +109,16 @@ public:
 
   [[nodiscard]] std::size_t openConnections() const;
 
+  /// Effective network mode after any epoll->poll fallback (valid after
+  /// start()): "epoll", "poll", or "threaded".
+  [[nodiscard]] const char* netName() const noexcept;
+
+  /// Connections reclaimed by the reactor's idle sweep (0 in threaded
+  /// mode, where idle connections time out via SO_RCVTIMEO instead).
+  [[nodiscard]] std::uint64_t idleClosedConnections() const noexcept {
+    return reactor ? reactor->idleClosedTotal() : 0;
+  }
+
   /// Attaches the incident log slow/error/deadline captures go to (must
   /// outlive the server; nullptr disables capture).
   void setIncidentLog(IncidentLog* log) noexcept { incidents = log; }
@@ -93,6 +126,13 @@ public:
 private:
   void acceptLoop();
   void handleConnection(int fd);
+  /// The full request pipeline shared by both network modes: drain check,
+  /// tracing scope, router dispatch, metrics, incident capture, access
+  /// log. Transport concerns (write, close-after) stay with the caller.
+  HttpResponse processRequest(const HttpRequest& request);
+  /// Maps a transport-level parse failure to its error response
+  /// (400/413/501) and counts it. Shared by both network modes.
+  HttpResponse parseFailureResponse(net::ParseStatus status);
   void trackOpen(int fd);
   void trackClosed(int fd);
   void logAccess(const obs::TraceContext& ctx, const HttpRequest& request,
@@ -118,9 +158,15 @@ private:
   std::mutex accessLogMutex;
   std::ofstream accessLog;
 
+  /// Declared before the pool on purpose: pool workers call
+  /// reactor->complete() on their way out, so the reactor object must
+  /// outlive the pool (it is destroyed after; complete() after stop() is a
+  /// safe no-op).
+  std::unique_ptr<net::Reactor> reactor;
+
   /// Declared last on purpose: the pool destructor joins the connection
-  /// workers, and they touch connMutex/connCv on their way out — those
-  /// members must still be alive when the workers finish.
+  /// workers, and they touch connMutex/connCv (and the reactor) on their
+  /// way out — those members must still be alive when the workers finish.
   exec::ThreadPool pool;
 };
 

@@ -7,48 +7,126 @@
 // parallel on different pool workers, mirroring the one-package-per-worker
 // design of qdd::exec).
 //
+// Sharding: entries are distributed over a power-of-two number of shards
+// by session-id hash (FNV-1a). Shard selection is lock-free; each shard
+// has its own mutex, entry map, and retired mem::StatsRegistry, so
+// create/find/evict on different sessions rarely contend. Lock order
+// invariant: a shard mutex is never taken while holding an entry mutex
+// *and vice versa* — stats folding collects under one lock, releases,
+// then merges under the other.
+//
+// Spill tier: when a spill directory is configured, cold sessions are
+// serialized (dd::Serialization text round-trip) to disk and their
+// package + session destroyed — an idle session then costs one file plus
+// a small in-RAM image (circuit IR, positions, classical bits) instead of
+// a full DD package. The next touch transparently restores through
+// ensureResident(); the per-entry mutex doubles as the in-flight-restore
+// guard, so concurrent touches restore exactly once. Sessions spill when
+// idle past `spillAfterMs`, or coldest-first when the resident count
+// exceeds `maxResident` (the budget).
+//
 // Admission and lifetime: a hard cap on concurrent sessions (create fails
 // once full -> the API answers 429) and TTL eviction of idle sessions in
-// least-recently-used order. Evicted packages fold their statistics() into
-// a cumulative registry surfaced by /metrics, so table/cache behavior is
-// not lost with the session.
+// least-recently-used order. Evicted/spilled packages fold their
+// statistics() into the cumulative per-shard registries surfaced by
+// /metrics, so table/cache behavior is not lost with the session.
 
 #include "qdd/dd/Package.hpp"
+#include "qdd/ir/QuantumComputation.hpp"
 #include "qdd/mem/StatsRegistry.hpp"
 #include "qdd/sim/SimulationSession.hpp"
 #include "qdd/verify/VerificationSession.hpp"
 
-#include <chrono>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace qdd::service {
 
+/// Thrown by ensureResident() when a spilled session cannot be brought
+/// back (unreadable/corrupt spill file). The API maps it to a 500.
+struct RestoreError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct SessionStoreOptions {
+  std::size_t maxSessions = 16;
+  /// <= 0 disables TTL eviction.
+  std::int64_t ttlMs = 600000;
+  /// Rounded up to a power of two, clamped to [1, 256].
+  std::size_t shards = 8;
+  /// Directory for spill files; empty disables the spill tier.
+  std::string spillDir;
+  /// Sessions idle longer than this are spill candidates on the next
+  /// evictExpired() pass. <= 0 disables idle-driven spilling (budget
+  /// pressure via maxResident still spills).
+  std::int64_t spillAfterMs = 0;
+  /// Soft cap on sessions holding a live package; beyond it the coldest
+  /// sessions are spilled. 0 means unlimited.
+  std::size_t maxResident = 0;
+};
+
 class SessionStore {
 public:
+  /// The in-RAM remainder of a spilled session: everything needed to
+  /// rebuild package + session except the DD itself (which lives in the
+  /// spill file). Deliberately small — circuit IR, cursor positions,
+  /// classical bits — so 10k idle sessions fit in a few MiB.
+  struct SpillImage {
+    std::string path;
+    std::size_t bytes = 0; ///< spill file size
+    std::unique_ptr<ir::QuantumComputation> circuit; ///< simulation
+    std::unique_ptr<ir::QuantumComputation> left;    ///< verification
+    std::unique_ptr<ir::QuantumComputation> right;
+    std::size_t position = 0;
+    std::size_t posL = 0;
+    std::size_t posR = 0;
+    std::vector<bool> classicals;
+    std::size_t peak = 0;
+  };
+
   struct Entry {
-    // id/kind/name/qubits are filled in before publish() and immutable
-    // afterwards, so they may be read without taking the entry mutex.
+    // id/kind/name/qubits/seed are filled in before publish() and
+    // immutable afterwards, so they may be read without the entry mutex.
     std::string id;
     std::string kind; ///< "simulation" | "verification"
     std::string name; ///< circuit name(s), for listings
     std::size_t qubits = 0;
+    std::uint64_t seed = 0; ///< RNG seed, re-applied on restore
     /// Serializes all request processing on this session (the package
-    /// underneath is single-threaded).
+    /// underneath is single-threaded) and doubles as the restore-once
+    /// guard: restores happen under this mutex.
     std::mutex mutex;
     std::unique_ptr<Package> package;
     std::unique_ptr<sim::SimulationSession> simulation;
     std::unique_ptr<verify::VerificationSession> verification;
-    std::chrono::steady_clock::time_point lastUsed;
-    std::size_t requests = 0;
+    /// Present exactly while `spilled` is true; guarded by `mutex`.
+    std::unique_ptr<SpillImage> spill;
+    /// Atomic so LRU/spill scans can read it without the entry mutex.
+    std::atomic<bool> spilled{false};
+    /// LRU stamp (steady-clock ms); atomic for lock-free refresh in find()
+    /// and lock-free scans in eviction/spill passes.
+    std::atomic<std::int64_t> lastUsedMs{0};
+    std::size_t requests = 0; ///< guarded by `mutex`
   };
 
-  /// `ttlMs <= 0` disables TTL eviction.
+  explicit SessionStore(SessionStoreOptions options);
+  /// Legacy convenience: capacity + TTL, default sharding, no spill tier.
   SessionStore(std::size_t maxSessions, std::int64_t ttlMs);
+
+  /// Replaces the default plain-Package factory used when restoring a
+  /// spilled session (the API installs one that attaches the shared
+  /// forker, matching createSession's construction).
+  void setPackageFactory(
+      std::function<std::unique_ptr<Package>(std::size_t qubits)> factory) {
+    packageFactory = std::move(factory);
+  }
 
   /// Reserves a session slot and assigns an id ("s1", "s2", ...) WITHOUT
   /// making the entry visible to lookups. The caller constructs
@@ -58,8 +136,8 @@ public:
   /// after evicting expired sessions.
   std::shared_ptr<Entry> create(std::string kind);
 
-  /// Inserts a fully constructed entry from create() into the map, making
-  /// it visible to find()/list().
+  /// Inserts a fully constructed entry from create() into its shard,
+  /// making it visible to find()/list(), then enforces the spill budget.
   void publish(const std::shared_ptr<Entry>& entry);
 
   /// Releases the slot reserved by create() when construction failed. The
@@ -67,39 +145,114 @@ public:
   void abandon(const std::shared_ptr<Entry>& entry);
 
   /// Looks up a session and refreshes its LRU stamp; nullptr when absent.
+  /// The entry may be spilled — callers that need the live session must
+  /// lock the entry mutex and call ensureResident().
   std::shared_ptr<Entry> find(const std::string& id);
 
-  /// Removes a session (folding its stats); false when absent.
+  /// Restores `entry` from its spill file if (and only if) it is spilled.
+  /// REQUIRES the caller to hold entry->mutex — that is what makes
+  /// concurrent touches restore exactly once. Throws RestoreError when the
+  /// spill file is unreadable or corrupt (the entry stays spilled).
+  void ensureResident(Entry& entry);
+
+  /// Removes a session (folding its stats, deleting any spill file);
+  /// false when absent.
   bool erase(const std::string& id);
 
-  /// Evicts every session idle longer than the TTL (LRU order); returns the
-  /// number evicted. Called internally on create(), exposed for tests.
+  /// Evicts every session idle longer than the TTL (LRU order), spills
+  /// sessions idle past spillAfterMs, and enforces the resident budget.
+  /// Returns the number evicted. Called internally on create(), exposed
+  /// for tests.
   std::size_t evictExpired();
+
+  /// Spills one session now (test hook / admin). False when the session
+  /// is absent, already spilled, busy, or the spill tier is disabled.
+  bool spillNow(const std::string& id);
+
+  /// Spills coldest resident sessions until residentCount() <=
+  /// maxResident. Returns the number spilled. No-op when the spill tier
+  /// or the budget is disabled.
+  std::size_t enforceBudget();
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t created() const;
   [[nodiscard]] std::size_t evicted() const;
-  [[nodiscard]] std::size_t capacity() const noexcept { return maxSessions; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return options.maxSessions;
+  }
+
+  // --- spill-tier observability -------------------------------------------
+
+  [[nodiscard]] bool spillEnabled() const noexcept {
+    return !options.spillDir.empty();
+  }
+  [[nodiscard]] std::size_t residentCount() const noexcept {
+    return residentN.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t spilledCount() const noexcept {
+    return spilledNowN.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t spilledTotal() const noexcept {
+    return spilledTotalN.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t restores() const noexcept {
+    return restoresN.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t restoreFailures() const noexcept {
+    return restoreFailuresN.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t spillBytesTotal() const noexcept {
+    return spillBytesN.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t shardCount() const noexcept {
+    return shards.size();
+  }
+  /// Per-shard entry counts (for the per-shard occupancy gauges).
+  [[nodiscard]] std::vector<std::size_t> shardSizes() const;
 
   /// (id, kind, name) of all live sessions, sorted by id.
   [[nodiscard]] std::vector<std::shared_ptr<Entry>> list() const;
 
-  /// Cumulative statistics of all evicted/erased packages.
+  /// Cumulative statistics of all evicted/erased/spilled packages,
+  /// merged across shards.
   [[nodiscard]] mem::StatsRegistry retiredStats() const;
 
 private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::shared_ptr<Entry>> entries;
+    mem::StatsRegistry retired;
+  };
+
+  [[nodiscard]] Shard& shardOf(const std::string& id);
+  [[nodiscard]] const Shard& shardOf(const std::string& id) const;
+  [[nodiscard]] static std::int64_t nowMs();
+
   void retire(const std::shared_ptr<Entry>& entry);
+  /// try_locks the entry and spills it; false when busy or not spillable.
+  bool trySpill(const std::shared_ptr<Entry>& entry);
+  /// Spills with entry->mutex held; folds the package stats into `stats`.
+  bool spillLocked(Entry& entry, mem::StatsRegistry& stats);
 
-  const std::size_t maxSessions;
-  const std::int64_t ttlMs;
+  const SessionStoreOptions options;
 
-  mutable std::mutex mutex; ///< guards the map and counters (not entries)
-  std::map<std::string, std::shared_ptr<Entry>> entries;
-  std::size_t pendingN = 0; ///< slots reserved by create(), not yet published
-  std::size_t nextId = 1;
-  std::size_t createdN = 0;
-  std::size_t evictedN = 0;
-  mem::StatsRegistry retired;
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::function<std::unique_ptr<Package>(std::size_t)> packageFactory;
+
+  std::mutex admissionMutex; ///< guards the capacity check + pendingN
+  std::size_t pendingN = 0;  ///< slots reserved by create(), not published
+
+  std::atomic<std::size_t> nextId{1};
+  std::atomic<std::size_t> liveN{0}; ///< published entries across shards
+  std::atomic<std::size_t> createdN{0};
+  std::atomic<std::size_t> evictedN{0};
+  std::atomic<std::size_t> residentN{0};
+  std::atomic<std::size_t> spilledNowN{0};
+  std::atomic<std::uint64_t> spilledTotalN{0};
+  std::atomic<std::uint64_t> restoresN{0};
+  std::atomic<std::uint64_t> restoreFailuresN{0};
+  std::atomic<std::uint64_t> spillBytesN{0};
 };
 
 } // namespace qdd::service

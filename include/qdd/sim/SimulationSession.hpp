@@ -111,6 +111,17 @@ public:
   /// Rewinds to the initial state. Returns steps taken.
   std::size_t runToStart();
 
+  // --- spill/restore (qdd::service session spill tier) ---------------------
+
+  /// Adopts `state` (already interned in this session's package) as the
+  /// current state at `position`, with classical bits and peak carried
+  /// over — the restore half of a disk-spill round trip. Snapshot history
+  /// is not part of the spill image: stepBackward() returns false until
+  /// the next forward step, and runToStart() rewinds by rebuilding the
+  /// zero state instead of replaying snapshots.
+  void restoreTo(const vEdge& state, std::size_t position,
+                 std::vector<bool> classicalBits, std::size_t peakNodes);
+
 private:
   /// True if the operation acts as a breakpoint for runToEnd().
   static bool isSpecial(const ir::Operation& op);

@@ -21,6 +21,12 @@ public:
   VerificationSession& operator=(const VerificationSession&) = delete;
 
   [[nodiscard]] const mEdge& state() const noexcept { return current; }
+  [[nodiscard]] const ir::QuantumComputation& leftCircuit() const noexcept {
+    return left;
+  }
+  [[nodiscard]] const ir::QuantumComputation& rightCircuit() const noexcept {
+    return right;
+  }
   /// Gates of the left circuit applied so far.
   [[nodiscard]] std::size_t leftPosition() const noexcept { return posL; }
   [[nodiscard]] std::size_t rightPosition() const noexcept { return posR; }
@@ -39,6 +45,17 @@ public:
   bool stepRight();
   /// Undoes the most recent step (either side).
   bool stepBack();
+  /// Undoes every step back to the identity. Returns steps unwound. Works
+  /// after a spill/restore cycle (which drops the snapshot history) by
+  /// rebuilding the identity DD directly.
+  std::size_t rewindToStart();
+
+  /// Adopts `state` (already interned in this session's package) as the
+  /// accumulated DD at (`posL`, `posR`) with the peak carried over — the
+  /// restore half of a disk-spill round trip. Snapshot history is not part
+  /// of the spill image: stepBack() returns false until the next step.
+  void restoreTo(const mEdge& state, std::size_t leftPos,
+                 std::size_t rightPos, std::size_t peakNodes);
   /// Applies right-circuit gates up to (and including) the next barrier.
   std::size_t runRightToBarrier();
   /// Runs the complete Ex. 12 schedule: one left gate, then right gates up

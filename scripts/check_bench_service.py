@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
 """Record / check the HTTP-service throughput records of bench_service.
 
-The bench prints two tracing phases, one line per client count, and a
-summary:
+The bench prints two tracing phases, a threaded-mode reference phase, one
+line per client count (against the epoll reactor), an idle-session spill
+phase, and a summary:
 
     BENCH_SERVICE tracing_off {"clients": 1, "requests": ..., "errors": 0,
                                "rps": ..., "p50Ms": ..., "p95Ms": ...,
                                "hardwareConcurrency": ..., ...}
     BENCH_SERVICE tracing_on  {...}
-    BENCH_SERVICE steps_c1 {...}
+    BENCH_SERVICE threaded_c1 {...}            (thread-per-connection mode)
+    BENCH_SERVICE steps_c1 {...}               (epoll reactor)
     BENCH_SERVICE steps_c4 {...}
     BENCH_SERVICE steps_c8 {...}
+    BENCH_SERVICE steps_c16 {...}
+    BENCH_SERVICE steps_c64 {...}
+    BENCH_SERVICE idle_spill {"sessions": 10000, "spilled": ...,
+                              "rssPerIdleSessionBytes": ...,
+                              "restoreTouches": ..., "errors": 0, ...}
     BENCH_SERVICE summary  {"totalRequests": ..., "errors": 0,
                             "serverRequests": ..., "scale4": ...,
-                            "scale8": ..., ...}
+                            "scale8": ..., "scale64": ..., ...}
 
 Modes:
   --record OUT    parse bench output from stdin (or --input FILE) and write
@@ -31,6 +38,19 @@ Hard gates (any machine, any core count):
     0.05 ms absolute slack so micro-jitter on sub-millisecond requests
     does not flip the gate. Both phases come from the same run on the
     same machine, so this gate applies everywhere.
+  * net parity: the epoll reactor's single-client p50 (steps_c1) stays
+    within --max-net-overhead (default 10%) of the thread-per-connection
+    p50 (threaded_c1), plus the same 0.05 ms absolute slack — the reactor
+    handoff must not tax an unloaded client. Fires on full >= 200-request
+    runs (a 60-sample --quick p50 is scheduling noise); --record always
+    runs full, so the committed baseline is always gated.
+  * idle spill: every created idle session was spilled to disk with zero
+    errors and every restore touch succeeded — everywhere, including
+    --quick. Where the bench could measure RSS (Linux /proc/self/statm),
+    full-fleet (10k-session) runs additionally gate the resident cost per
+    spilled idle session under --max-idle-rss bytes (default 4096); the
+    --quick 1.5k fleet skips only the ceiling, since fixed process
+    overhead dominates the per-session figure at that scale.
 
 Core-count-gated (a 1-core container serializes everything, so throughput
 scaling only gates where the hardware can show it):
@@ -50,9 +70,11 @@ import sys
 RUN_FIELDS = ("clients", "requests", "errors", "rps", "p50Ms", "p95Ms",
               "hardwareConcurrency")
 SUMMARY_FIELDS = ("totalRequests", "errors", "serverRequests", "scale4",
-                  "scale8", "hardwareConcurrency")
-RUN_LABELS = ("tracing_off", "tracing_on", "steps_c1", "steps_c4",
-              "steps_c8")
+                  "scale8", "scale64", "hardwareConcurrency")
+RUN_LABELS = ("tracing_off", "tracing_on", "threaded_c1", "steps_c1",
+              "steps_c4", "steps_c8", "steps_c16", "steps_c64")
+SPILL_FIELDS = ("sessions", "spilled", "rssPerIdleSessionBytes",
+                "restoreTouches", "errors")
 
 TRACING_SLACK_MS = 0.05
 
@@ -103,6 +125,31 @@ def validate(records):
                   file=sys.stderr)
             failures += 1
 
+    spill = records.get("idle_spill")
+    if spill is None:
+        print("FAIL: missing BENCH_SERVICE record 'idle_spill'",
+              file=sys.stderr)
+        failures += 1
+    else:
+        missing = [f for f in SPILL_FIELDS if f not in spill]
+        if missing:
+            print(f"FAIL: idle_spill: missing field(s) {missing}",
+                  file=sys.stderr)
+            failures += 1
+        else:
+            if spill["errors"] != 0:
+                print(f"FAIL: idle_spill: {spill['errors']} error(s) "
+                      "(failed create, touch, or restore)", file=sys.stderr)
+                failures += 1
+            if spill["spilled"] <= 0:
+                print("FAIL: idle_spill: no sessions were spilled to disk",
+                      file=sys.stderr)
+                failures += 1
+            if spill["restoreTouches"] <= 0:
+                print("FAIL: idle_spill: no spilled session was ever "
+                      "restored", file=sys.stderr)
+                failures += 1
+
     summary = records.get("summary")
     if summary is None:
         print("FAIL: missing BENCH_SERVICE record 'summary'",
@@ -135,6 +182,55 @@ def check_tracing_overhead(records, max_overhead):
     print(f"  tracing: p50 on {p50_on:.4f} ms vs off {p50_off:.4f} ms "
           f"(ceiling {ceiling:.4f}) {status}")
     return 0 if p50_on <= ceiling else 1
+
+
+def check_net_parity(records, max_overhead):
+    """Epoll reactor p50 vs thread-per-connection p50, single client.
+
+    A p50 over the --quick run's 60 requests is scheduling noise on an
+    oversubscribed container, so the gate only fires on full runs (the
+    configuration the committed baseline was recorded with); --record
+    always takes the full path, so the baseline cannot dodge it.
+    """
+    threaded = records.get("threaded_c1", {})
+    epoll = records.get("steps_c1", {})
+    requests = min(threaded.get("requests", 0), epoll.get("requests", 0))
+    if requests < 200:
+        print(f"  net parity: {requests} request(s) — gate skipped "
+              "(needs a full >= 200-request run)")
+        return 0
+    p50_threaded = threaded.get("p50Ms", 0.0)
+    p50_epoll = epoll.get("p50Ms", 0.0)
+    ceiling = p50_threaded * (1.0 + max_overhead) + TRACING_SLACK_MS
+    status = "ok" if p50_epoll <= ceiling else "FAIL"
+    print(f"  net parity: epoll p50 {p50_epoll:.4f} ms vs threaded "
+          f"{p50_threaded:.4f} ms (ceiling {ceiling:.4f}) {status}")
+    return 0 if p50_epoll <= ceiling else 1
+
+
+def check_idle_rss(records, max_idle_rss):
+    """Resident bytes per spilled idle session, where measurable.
+
+    Fixed process overhead (allocator arenas retained from the create
+    burst) only amortizes over the full 10k fleet — the --quick 1.5k
+    fleet reads several KiB/session of pure fixed cost — so the ceiling
+    gates full-fleet runs, which includes every --record.
+    """
+    spill = records.get("idle_spill", {})
+    per_session = spill.get("rssPerIdleSessionBytes", 0.0)
+    sessions = spill.get("sessions", 0)
+    if per_session <= 0:
+        print("  idle rss: not measurable on this platform — gate skipped")
+        return 0
+    if sessions < 10000:
+        print(f"  idle rss: {per_session:.1f} bytes/spilled session at "
+              f"{sessions} sessions — ceiling skipped (fixed overhead "
+              "only amortizes over the full 10k fleet)")
+        return 0
+    status = "ok" if per_session <= max_idle_rss else "FAIL"
+    print(f"  idle rss: {per_session:.1f} bytes/spilled session "
+          f"(ceiling {max_idle_rss:.0f}) {status}")
+    return 0 if per_session <= max_idle_rss else 1
 
 
 def check_scaling(records, min_scale8):
@@ -173,6 +269,13 @@ def main():
     parser.add_argument("--max-tracing-overhead", type=float, default=0.10,
                         help="allowed relative p50 latency cost of request "
                              "tracing (default 0.10 = 10%%)")
+    parser.add_argument("--max-net-overhead", type=float, default=0.10,
+                        help="allowed relative single-client p50 cost of the "
+                             "epoll reactor vs thread-per-connection "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--max-idle-rss", type=float, default=4096.0,
+                        help="resident-byte ceiling per spilled idle session "
+                             "(default 4096)")
     args = parser.parse_args()
 
     stream = sys.stdin if args.input == "-" else open(args.input)
@@ -189,6 +292,8 @@ def main():
 
     failures = validate(records)
     failures += check_tracing_overhead(records, args.max_tracing_overhead)
+    failures += check_net_parity(records, args.max_net_overhead)
+    failures += check_idle_rss(records, args.max_idle_rss)
     if failures:
         print(f"FAIL: {failures} validation failure(s)", file=sys.stderr)
         return 1

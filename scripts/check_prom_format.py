@@ -45,6 +45,14 @@ REQUIRED_FAMILIES = [
     "qdd_dd_parallel_forks_total",
     "qdd_dd_realtable_cas_retries_total",
     "qdd_incidents_total",
+    "qdd_net_open_connections",
+    "qdd_service_sessions_resident",
+    "qdd_service_sessions_spilled",
+    "qdd_service_sessions_spilled_total",
+    "qdd_service_session_restores_total",
+    "qdd_service_session_restore_failures_total",
+    "qdd_service_spill_bytes_total",
+    "qdd_service_shard_sessions",
 ]
 
 

@@ -1,0 +1,144 @@
+#include "qdd/net/HttpParser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace qdd::net {
+
+namespace {
+
+std::string toLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) {
+    ++b;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+void parseQuery(const std::string& raw,
+                std::map<std::string, std::string>& query) {
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    const std::size_t amp = raw.find('&', pos);
+    const std::string pair =
+        raw.substr(pos, amp == std::string::npos ? std::string::npos
+                                                 : amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      if (!pair.empty()) {
+        query[pair] = "";
+      }
+    } else {
+      query[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+    if (amp == std::string::npos) {
+      break;
+    }
+    pos = amp + 1;
+  }
+}
+
+} // namespace
+
+ParseStatus tryParseHttpRequest(std::string& buffer,
+                                service::HttpRequest& out,
+                                std::size_t maxBodyBytes) {
+  // 1. the header terminator must be inside the first 16 KiB
+  const std::size_t headerEnd = buffer.find("\r\n\r\n");
+  if (headerEnd == std::string::npos) {
+    return buffer.size() > MAX_HTTP_HEADER_BYTES ? ParseStatus::TooLarge
+                                                 : ParseStatus::NeedMore;
+  }
+  if (headerEnd > MAX_HTTP_HEADER_BYTES) {
+    return ParseStatus::TooLarge;
+  }
+
+  // 2. request line
+  const std::size_t lineEnd = buffer.find("\r\n");
+  const std::string line = buffer.substr(0, lineEnd);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    return ParseStatus::Malformed;
+  }
+  service::HttpRequest request;
+  request.method = line.substr(0, sp1);
+  request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    return ParseStatus::Malformed;
+  }
+  request.keepAlive = version == "HTTP/1.1";
+
+  const std::size_t qmark = request.target.find('?');
+  request.path = request.target.substr(0, qmark);
+  if (qmark != std::string::npos) {
+    parseQuery(request.target.substr(qmark + 1), request.query);
+  }
+
+  // 3. headers
+  std::size_t pos = lineEnd + 2;
+  while (pos < headerEnd) {
+    const std::size_t eol = buffer.find("\r\n", pos);
+    const std::string header = buffer.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos) {
+      return ParseStatus::Malformed;
+    }
+    request.headers[toLower(trim(header.substr(0, colon)))] =
+        trim(header.substr(colon + 1));
+  }
+
+  if (request.headers.count("transfer-encoding") > 0) {
+    return ParseStatus::Unsupported;
+  }
+  const auto conn = request.headers.find("connection");
+  if (conn != request.headers.end()) {
+    const std::string v = toLower(conn->second);
+    if (v == "close") {
+      request.keepAlive = false;
+    } else if (v == "keep-alive") {
+      request.keepAlive = true;
+    }
+  }
+
+  // 4. body
+  std::size_t contentLength = 0;
+  const auto cl = request.headers.find("content-length");
+  if (cl != request.headers.end()) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(cl->second.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return ParseStatus::Malformed;
+    }
+    contentLength = static_cast<std::size_t>(n);
+  }
+  if (contentLength > maxBodyBytes) {
+    return ParseStatus::TooLarge; // body is never waited for
+  }
+  const std::size_t bodyStart = headerEnd + 4;
+  if (buffer.size() - bodyStart < contentLength) {
+    return ParseStatus::NeedMore;
+  }
+  request.body = buffer.substr(bodyStart, contentLength);
+  // keep pipelined bytes for the next request on this connection
+  buffer.erase(0, bodyStart + contentLength);
+  out = std::move(request);
+  return ParseStatus::Ok;
+}
+
+} // namespace qdd::net

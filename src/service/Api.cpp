@@ -5,6 +5,7 @@
 #include "qdd/ir/Builders.hpp"
 #include "qdd/obs/Obs.hpp"
 #include "qdd/parser/qasm/Parser.hpp"
+#include "qdd/dd/Serialization.hpp"
 #include "qdd/service/RequestContext.hpp"
 #include "qdd/viz/DotExporter.hpp"
 #include "qdd/viz/Graph.hpp"
@@ -93,12 +94,29 @@ HttpResponse deadlineResponse(std::size_t stepsApplied,
   return HttpResponse::json(408, doc.dump());
 }
 
+SessionStoreOptions storeOptions(const ApiOptions& options) {
+  SessionStoreOptions opts;
+  opts.maxSessions = options.maxSessions;
+  opts.ttlMs = options.sessionTtlMs;
+  opts.shards = options.sessionShards;
+  opts.spillDir = options.spillDir;
+  opts.spillAfterMs = options.spillAfterMs;
+  opts.maxResident = options.maxResidentSessions;
+  return opts;
+}
+
 } // namespace
 
 Api::Api(ApiOptions options, ServiceMetrics& metrics)
-    : options(options), metrics(metrics),
-      store(options.maxSessions, options.sessionTtlMs),
-      incidentLog(options.maxIncidents, options.incidentDir) {}
+    : options(options), metrics(metrics), store(storeOptions(options)),
+      incidentLog(options.maxIncidents, options.incidentDir) {
+  // restored packages get the same construction as createSession's
+  store.setPackageFactory([](std::size_t qubits) {
+    auto package = std::make_unique<Package>(qubits);
+    exec::attachSharedForker(*package);
+    return package;
+  });
+}
 
 void Api::install(Router& router) {
   const auto wrap = [this](auto method) {
@@ -290,6 +308,16 @@ std::shared_ptr<SessionStore::Entry> Api::require(const std::string& id) {
   return entry;
 }
 
+std::unique_lock<std::mutex> Api::lockSession(SessionStore::Entry& entry) {
+  std::unique_lock<std::mutex> lock(entry.mutex);
+  try {
+    store.ensureResident(entry);
+  } catch (const RestoreError& e) {
+    throw ApiError(500, "restore_failed", e.what());
+  }
+  return lock;
+}
+
 // --- documents ---------------------------------------------------------------
 
 json::Value Api::sessionDoc(SessionStore::Entry& entry,
@@ -385,9 +413,11 @@ HttpResponse Api::createSession(const HttpRequest& request) {
     exec::attachSharedForker(*entry->package);
     if (kind == "simulation") {
       entry->name = left.name().empty() ? "circuit" : left.name();
+      // keep the seed on the entry: a spill/restore cycle reconstructs the
+      // session with the same RNG stream
+      entry->seed = static_cast<std::uint64_t>(body.getNumber("seed", 0));
       entry->simulation = std::make_unique<sim::SimulationSession>(
-          left, *entry->package,
-          static_cast<std::uint64_t>(body.getNumber("seed", 0)));
+          left, *entry->package, entry->seed);
     } else {
       entry->name = (left.name().empty() ? "left" : left.name()) + " vs " +
                     (right.name().empty() ? "right" : right.name());
@@ -429,7 +459,7 @@ HttpResponse Api::listSessions() {
 
 HttpResponse Api::getSession(const std::string& id) {
   auto entry = require(id);
-  const std::lock_guard<std::mutex> lock(entry->mutex);
+  const auto lock = lockSession(*entry);
   return ok(sessionDoc(*entry, /*includeDd=*/false));
 }
 
@@ -449,7 +479,7 @@ HttpResponse Api::stepSession(const std::string& id,
       std::max<std::size_t>(1, static_cast<std::size_t>(
                                    body.getNumber("count", 1)));
   auto entry = require(id);
-  const std::lock_guard<std::mutex> lock(entry->mutex);
+  const auto lock = lockSession(*entry);
   requestAnnotations().noteSession(id);
   const std::int64_t nodesBefore = liveNodes(*entry);
   std::size_t applied = 0;
@@ -490,7 +520,7 @@ HttpResponse Api::backSession(const std::string& id,
       std::max<std::size_t>(1, static_cast<std::size_t>(
                                    body.getNumber("count", 1)));
   auto entry = require(id);
-  const std::lock_guard<std::mutex> lock(entry->mutex);
+  const auto lock = lockSession(*entry);
   requestAnnotations().noteSession(id);
   const std::int64_t nodesBefore = liveNodes(*entry);
   std::size_t undone = 0;
@@ -512,14 +542,15 @@ HttpResponse Api::backSession(const std::string& id,
 
 HttpResponse Api::resetSession(const std::string& id) {
   auto entry = require(id);
-  const std::lock_guard<std::mutex> lock(entry->mutex);
+  const auto lock = lockSession(*entry);
   requestAnnotations().noteSession(id);
   const std::int64_t nodesBefore = liveNodes(*entry);
   if (entry->simulation) {
     entry->simulation->runToStart();
   } else {
-    while (entry->verification->stepBack()) {
-    }
+    // rewindToStart (not a stepBack loop): it also rewinds sessions whose
+    // snapshot history was dropped by a spill/restore cycle
+    entry->verification->rewindToStart();
   }
   ++entry->requests;
   requestAnnotations().noteNodeDelta(liveNodes(*entry) - nodesBefore);
@@ -531,7 +562,7 @@ HttpResponse Api::runSession(const std::string& id,
   const json::Value body = parseBody(request);
   const std::int64_t deadlineMs = clampDeadline(body);
   auto entry = require(id);
-  const std::lock_guard<std::mutex> lock(entry->mutex);
+  const auto lock = lockSession(*entry);
   ++entry->requests;
   requestAnnotations().noteSession(id);
   const std::int64_t nodesBefore = liveNodes(*entry);
@@ -588,11 +619,21 @@ HttpResponse Api::exportDd(const std::string& id,
   const auto fmtIt = request.query.find("fmt");
   const std::string fmt = fmtIt == request.query.end() ? "json"
                                                        : fmtIt->second;
-  const std::lock_guard<std::mutex> lock(entry->mutex);
+  const auto lock = lockSession(*entry);
   ++entry->requests;
   requestAnnotations().noteSession(id);
-  const viz::Graph graph = sessionGraph(*entry);
   HttpResponse response;
+  if (fmt == "bin") {
+    // the dd::Serialization v2 encoding — the exact bytes a spill file
+    // holds, and re-internable into any package via deserialize*FromString
+    response.contentType = "application/x-qdd";
+    response.body = entry->simulation
+                        ? serializeToString(entry->simulation->state())
+                        : serializeToString(entry->verification->state(),
+                                            entry->qubits);
+    return response;
+  }
+  const viz::Graph graph = sessionGraph(*entry);
   if (fmt == "json") {
     const bool compact = request.query.count("compact") > 0;
     response.body = viz::JsonExporter(10, compact).toJson(graph);
@@ -604,7 +645,8 @@ HttpResponse Api::exportDd(const std::string& id,
     response.body = viz::SvgExporter(exportOptions(request)).toSvg(graph);
   } else {
     throw ApiError(400, "invalid_request",
-                   "fmt must be json, dot, or svg (got \"" + fmt + "\")");
+                   "fmt must be json, dot, svg, or bin (got \"" + fmt +
+                       "\")");
   }
   return response;
 }
@@ -672,6 +714,10 @@ HttpResponse Api::healthz() {
   doc.set("status", json::Value::string(draining ? "draining" : "ok"));
   doc.set("sessions", num(store.size()));
   doc.set("capacity", num(store.capacity()));
+  if (store.spillEnabled()) {
+    doc.set("resident", num(store.residentCount()));
+    doc.set("spilled", num(store.spilledCount()));
+  }
   return ok(doc);
 }
 
@@ -709,6 +755,13 @@ HttpResponse Api::metricsDoc(const HttpRequest& request) {
   sess.set("created", num(store.created()));
   sess.set("evicted", num(store.evicted()));
   sess.set("deadlinesArmed", num(timer.armedCount()));
+  sess.set("shards", num(store.shardCount()));
+  sess.set("resident", num(store.residentCount()));
+  sess.set("spilled", num(store.spilledCount()));
+  sess.set("spilledTotal", num(store.spilledTotal()));
+  sess.set("restores", num(store.restores()));
+  sess.set("restoreFailures", num(store.restoreFailures()));
+  sess.set("spillBytesTotal", num(store.spillBytesTotal()));
   doc.set("sessions", std::move(sess));
 
   json::Value inc = json::Value::object();
@@ -740,6 +793,52 @@ std::string Api::prometheusDoc() const {
                "Deadline timers currently armed.");
   prom::sample(out, "qdd_deadlines_armed", "",
                static_cast<double>(timer.armedCount()));
+
+  // --- network front-end ---
+  prom::family(out, "qdd_net_open_connections", "gauge",
+               "Connections currently open on the network front-end.");
+  prom::sample(out, "qdd_net_open_connections", "",
+               openConnectionsProbe
+                   ? static_cast<double>(openConnectionsProbe())
+                   : 0.);
+
+  // --- session spill tier ---
+  prom::family(out, "qdd_service_sessions_resident", "gauge",
+               "Sessions currently holding a live DD package.");
+  prom::sample(out, "qdd_service_sessions_resident", "",
+               static_cast<double>(store.residentCount()));
+  prom::family(out, "qdd_service_sessions_spilled", "gauge",
+               "Sessions currently spilled to disk.");
+  prom::sample(out, "qdd_service_sessions_spilled", "",
+               static_cast<double>(store.spilledCount()));
+  prom::family(out, "qdd_service_sessions_spilled_total", "counter",
+               "Sessions spilled to disk since start.");
+  prom::sample(out, "qdd_service_sessions_spilled_total", "",
+               static_cast<double>(store.spilledTotal()));
+  prom::family(out, "qdd_service_session_restores_total", "counter",
+               "Spilled sessions transparently restored on touch.");
+  prom::sample(out, "qdd_service_session_restores_total", "",
+               static_cast<double>(store.restores()));
+  prom::family(out, "qdd_service_session_restore_failures_total", "counter",
+               "Restore attempts that failed (unreadable/corrupt spill).");
+  prom::sample(out, "qdd_service_session_restore_failures_total", "",
+               static_cast<double>(store.restoreFailures()));
+  prom::family(out, "qdd_service_spill_bytes_total", "counter",
+               "Bytes written to spill files since start.");
+  prom::sample(out, "qdd_service_spill_bytes_total", "",
+               static_cast<double>(store.spillBytesTotal()));
+
+  // --- per-shard occupancy ---
+  prom::family(out, "qdd_service_shard_sessions", "gauge",
+               "Sessions stored per SessionStore shard.");
+  {
+    const std::vector<std::size_t> sizes = store.shardSizes();
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      prom::sample(out, "qdd_service_shard_sessions",
+                   "shard=\"" + std::to_string(i) + "\"",
+                   static_cast<double>(sizes[i]));
+    }
+  }
 
   // --- per-session DD size (idle sessions only; busy ones are skipped) ---
   prom::family(out, "qdd_session_nodes", "gauge",

@@ -1,5 +1,7 @@
 #include "qdd/service/Http.hpp"
 
+#include "qdd/net/HttpParser.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -16,7 +18,7 @@ namespace qdd::service {
 
 namespace {
 
-constexpr std::size_t MAX_HEADER_BYTES = 16U * 1024U;
+constexpr std::size_t MAX_HEADER_BYTES = net::MAX_HTTP_HEADER_BYTES;
 
 std::string toLower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
@@ -61,29 +63,6 @@ bool sendAll(int fd, const char* data, std::size_t len) {
   return true;
 }
 
-void parseQuery(const std::string& raw, std::map<std::string, std::string>&
-                                            query) {
-  std::size_t pos = 0;
-  while (pos < raw.size()) {
-    const std::size_t amp = raw.find('&', pos);
-    const std::string pair =
-        raw.substr(pos, amp == std::string::npos ? std::string::npos
-                                                 : amp - pos);
-    const std::size_t eq = pair.find('=');
-    if (eq == std::string::npos) {
-      if (!pair.empty()) {
-        query[pair] = "";
-      }
-    } else {
-      query[pair.substr(0, eq)] = pair.substr(eq + 1);
-    }
-    if (amp == std::string::npos) {
-      break;
-    }
-    pos = amp + 1;
-  }
-}
-
 } // namespace
 
 const char* statusReason(int status) {
@@ -123,107 +102,44 @@ const char* statusReason(int status) {
 
 ReadOutcome readHttpRequest(int fd, HttpRequest& out, std::string& carry,
                             std::size_t maxBodyBytes) {
-  std::string& buf = carry;
-  // 1. accumulate until the header terminator
-  std::size_t headerEnd = buf.find("\r\n\r\n");
-  while (headerEnd == std::string::npos) {
-    if (buf.size() > MAX_HEADER_BYTES) {
+  // fill-loop around the shared incremental parser (qdd::net): the blocking
+  // path and the reactor accept byte-for-byte the same request language
+  for (;;) {
+    switch (net::tryParseHttpRequest(carry, out, maxBodyBytes)) {
+    case net::ParseStatus::Ok:
+      return ReadOutcome::Ok;
+    case net::ParseStatus::Malformed:
+      return ReadOutcome::Malformed;
+    case net::ParseStatus::TooLarge:
       return ReadOutcome::TooLarge;
+    case net::ParseStatus::Unsupported:
+      return ReadOutcome::Unsupported;
+    case net::ParseStatus::NeedMore:
+      break;
     }
-    if (!fill(fd, buf, MAX_HEADER_BYTES)) {
-      return buf.empty() ? ReadOutcome::Closed : ReadOutcome::Malformed;
+    if (!fill(fd, carry, MAX_HEADER_BYTES)) {
+      return carry.empty() ? ReadOutcome::Closed : ReadOutcome::Malformed;
     }
-    headerEnd = buf.find("\r\n\r\n");
   }
+}
 
-  // 2. request line
-  const std::size_t lineEnd = buf.find("\r\n");
-  const std::string line = buf.substr(0, lineEnd);
-  const std::size_t sp1 = line.find(' ');
-  const std::size_t sp2 = line.rfind(' ');
-  if (sp1 == std::string::npos || sp2 == sp1) {
-    return ReadOutcome::Malformed;
+std::string serializeHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    statusReason(response.status) + "\r\n";
+  out += "Content-Type: " + response.contentType + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
   }
-  out = HttpRequest{};
-  out.method = line.substr(0, sp1);
-  out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const std::string version = line.substr(sp2 + 1);
-  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
-    return ReadOutcome::Malformed;
-  }
-  out.keepAlive = version == "HTTP/1.1";
-
-  const std::size_t qmark = out.target.find('?');
-  out.path = out.target.substr(0, qmark);
-  if (qmark != std::string::npos) {
-    parseQuery(out.target.substr(qmark + 1), out.query);
-  }
-
-  // 3. headers
-  std::size_t pos = lineEnd + 2;
-  while (pos < headerEnd) {
-    const std::size_t eol = buf.find("\r\n", pos);
-    const std::string header = buf.substr(pos, eol - pos);
-    pos = eol + 2;
-    const std::size_t colon = header.find(':');
-    if (colon == std::string::npos) {
-      return ReadOutcome::Malformed;
-    }
-    out.headers[toLower(trim(header.substr(0, colon)))] =
-        trim(header.substr(colon + 1));
-  }
-
-  if (out.headers.count("transfer-encoding") > 0) {
-    return ReadOutcome::Unsupported;
-  }
-  const auto conn = out.headers.find("connection");
-  if (conn != out.headers.end()) {
-    const std::string v = toLower(conn->second);
-    if (v == "close") {
-      out.keepAlive = false;
-    } else if (v == "keep-alive") {
-      out.keepAlive = true;
-    }
-  }
-
-  // 4. body
-  std::size_t contentLength = 0;
-  const auto cl = out.headers.find("content-length");
-  if (cl != out.headers.end()) {
-    char* end = nullptr;
-    const unsigned long long n = std::strtoull(cl->second.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0') {
-      return ReadOutcome::Malformed;
-    }
-    contentLength = static_cast<std::size_t>(n);
-  }
-  if (contentLength > maxBodyBytes) {
-    return ReadOutcome::TooLarge; // body is never read; caller answers 413
-  }
-  const std::size_t bodyStart = headerEnd + 4;
-  while (buf.size() - bodyStart < contentLength) {
-    if (!fill(fd, buf, contentLength - (buf.size() - bodyStart))) {
-      return ReadOutcome::Malformed;
-    }
-  }
-  out.body = buf.substr(bodyStart, contentLength);
-  // keep pipelined bytes for the next request on this connection
-  buf.erase(0, bodyStart + contentLength);
-  return ReadOutcome::Ok;
+  out += response.close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
 }
 
 bool writeHttpResponse(int fd, const HttpResponse& response) {
-  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                     statusReason(response.status) + "\r\n";
-  head += "Content-Type: " + response.contentType + "\r\n";
-  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  for (const auto& [name, value] : response.headers) {
-    head += name + ": " + value + "\r\n";
-  }
-  head += response.close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
-  head += "\r\n";
-  return sendAll(fd, head.data(), head.size()) &&
-         sendAll(fd, response.body.data(), response.body.size());
+  const std::string bytes = serializeHttpResponse(response);
+  return sendAll(fd, bytes.data(), bytes.size());
 }
 
 // --- client ------------------------------------------------------------------

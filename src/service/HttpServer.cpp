@@ -7,6 +7,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -18,6 +19,20 @@
 #include <unistd.h>
 
 namespace qdd::service {
+
+NetMode defaultNetMode() {
+  const char* env = std::getenv("QDD_NET");
+  if (env != nullptr) {
+    const std::string v(env);
+    if (v == "threaded") {
+      return NetMode::Threaded;
+    }
+    if (v == "poll") {
+      return NetMode::Poll;
+    }
+  }
+  return NetMode::Epoll;
+}
 
 HttpServer::HttpServer(ServerOptions options, Router& router,
                        ServiceMetrics& metrics)
@@ -67,7 +82,33 @@ void HttpServer::start() {
     accessLog.open(options.accessLogPath, std::ios::app);
   }
 
-  acceptor = std::thread([this] { acceptLoop(); });
+  if (options.net == NetMode::Threaded) {
+    acceptor = std::thread([this] { acceptLoop(); });
+    return;
+  }
+
+  net::ReactorOptions reactorOptions;
+  reactorOptions.backend = options.net == NetMode::Poll
+                               ? net::Backend::Poll
+                               : net::Backend::Epoll;
+  reactorOptions.idleTimeoutMs = options.idleTimeoutMs;
+  reactorOptions.maxBodyBytes = options.maxBodyBytes;
+  reactor = std::make_unique<net::Reactor>(
+      reactorOptions,
+      [this](std::uint64_t token, HttpRequest&& request) {
+        // reactor thread: queue and return — the worker runs the pipeline
+        // and hands the serialized bytes back for reactor-owned writeout
+        pool.submit([this, token, request = std::move(request)]() mutable {
+          HttpResponse response = processRequest(request);
+          response.close = response.close || !request.keepAlive;
+          reactor->complete(token, serializeHttpResponse(response),
+                            response.close);
+        });
+      },
+      [this](net::ParseStatus status) {
+        return serializeHttpResponse(parseFailureResponse(status));
+      });
+  reactor->start(listenFd);
 }
 
 void HttpServer::acceptLoop() {
@@ -111,127 +152,20 @@ void HttpServer::handleConnection(int fd) {
     if (outcome == ReadOutcome::Closed) {
       break;
     }
-    if (outcome == ReadOutcome::Malformed) {
-      HttpResponse response =
-          errorResponse(400, "malformed_request", "unparseable HTTP request");
-      response.close = true;
-      metrics.recordTransportError(400);
-      writeHttpResponse(fd, response);
-      break;
-    }
-    if (outcome == ReadOutcome::TooLarge) {
-      HttpResponse response = errorResponse(
-          413, "payload_too_large",
-          "request exceeds the " + std::to_string(options.maxBodyBytes) +
-              "-byte body limit");
-      response.close = true;
-      metrics.recordTransportError(413);
-      writeHttpResponse(fd, response);
-      break;
-    }
-    if (outcome == ReadOutcome::Unsupported) {
-      HttpResponse response = errorResponse(
-          501, "unsupported", "Transfer-Encoding is not supported");
-      response.close = true;
-      metrics.recordTransportError(501);
-      writeHttpResponse(fd, response);
-      break;
-    }
-
-    if (drainingFlag.load(std::memory_order_relaxed) ||
-        stopping.load(std::memory_order_relaxed)) {
-      HttpResponse response = errorResponse(
-          503, "draining", "server is draining; retry against a new server");
-      response.close = true;
-      // count before writing: once the client has the 503, the counters
-      // already reflect it
-      metrics.countDrainRejected();
-      metrics.recordTransportError(503);
-      writeHttpResponse(fd, response);
-      break;
-    }
-
-    {
-      const std::lock_guard<std::mutex> lock(connMutex);
-      ++inFlight;
-    }
-
-    // Request identity: continue the caller's trace (traceparent header,
-    // fresh child span id) or start a new one. With tracing off the context
-    // stays invalid, which turns every tracing hook below into a no-op.
-    obs::TraceContext ctx;
-    if (options.tracing) {
-      const auto tp = request.headers.find("traceparent");
-      if (tp == request.headers.end() ||
-          !obs::TraceContext::parseTraceparent(tp->second, ctx)) {
-        ctx = obs::TraceContext::make();
-      } else {
-        ctx.spanId = obs::TraceContext::nextId();
+    if (outcome != ReadOutcome::Ok) {
+      net::ParseStatus status = net::ParseStatus::Malformed;
+      if (outcome == ReadOutcome::TooLarge) {
+        status = net::ParseStatus::TooLarge;
+      } else if (outcome == ReadOutcome::Unsupported) {
+        status = net::ParseStatus::Unsupported;
       }
+      writeHttpResponse(fd, parseFailureResponse(status));
+      break;
     }
 
-    const auto t0 = std::chrono::steady_clock::now();
-    Router::Dispatch dispatched;
-    {
-      // Scope: the root span must close (and land in the flight ring)
-      // before any incident capture below reads the ring.
-      const obs::TraceScope traceScope(ctx);
-      requestAnnotations().reset();
-      obs::ScopedSpan rootSpan("service", "request", options.tracing);
-      try {
-        dispatched = router.dispatch(request);
-      } catch (const std::exception& e) {
-        dispatched.response = errorResponse(500, "internal_error", e.what());
-      } catch (...) {
-        dispatched.response =
-            errorResponse(500, "internal_error", "unknown error");
-      }
-    }
-    const double ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0)
-            .count();
-    const std::string routeKey =
-        dispatched.pattern.empty()
-            ? request.method + " " + request.path
-            : request.method + " " + dispatched.pattern;
-    const int status = dispatched.response.status;
-    metrics.recordRequest(routeKey, status, ms);
-
-    if (options.tracing) {
-      dispatched.response.headers.emplace_back("traceparent",
-                                               ctx.traceparent());
-      if (incidents != nullptr) {
-        const char* reason = nullptr;
-        if (status >= 500) {
-          reason = "error";
-        } else if (status == 408) {
-          reason = "deadline";
-        } else if (options.slowRequestMs > 0. &&
-                   ms >= options.slowRequestMs) {
-          reason = "slow";
-        }
-        if (reason != nullptr) {
-          incidents->capture(ctx, routeKey, status, ms,
-                             requestAnnotations().sessionId, reason);
-        }
-      }
-    }
-    if (accessLog.is_open()) {
-      logAccess(ctx, request, routeKey, status, ms,
-                dispatched.response.body.size());
-    }
-
-    {
-      const std::lock_guard<std::mutex> lock(connMutex);
-      --inFlight;
-    }
-    connCv.notify_all();
-
-    dispatched.response.close =
-        dispatched.response.close || !request.keepAlive;
-    if (!writeHttpResponse(fd, dispatched.response) ||
-        dispatched.response.close) {
+    HttpResponse response = processRequest(request);
+    response.close = response.close || !request.keepAlive;
+    if (!writeHttpResponse(fd, response) || response.close) {
       break;
     }
   }
@@ -240,6 +174,119 @@ void HttpServer::handleConnection(int fd) {
   // descriptor belonging to someone else.
   trackClosed(fd);
   ::close(fd);
+}
+
+HttpResponse HttpServer::parseFailureResponse(net::ParseStatus status) {
+  HttpResponse response;
+  switch (status) {
+  case net::ParseStatus::TooLarge:
+    response = errorResponse(
+        413, "payload_too_large",
+        "request exceeds the " + std::to_string(options.maxBodyBytes) +
+            "-byte body limit");
+    break;
+  case net::ParseStatus::Unsupported:
+    response = errorResponse(501, "unsupported",
+                             "Transfer-Encoding is not supported");
+    break;
+  default:
+    response =
+        errorResponse(400, "malformed_request", "unparseable HTTP request");
+    break;
+  }
+  response.close = true;
+  metrics.recordTransportError(response.status);
+  return response;
+}
+
+HttpResponse HttpServer::processRequest(const HttpRequest& request) {
+  if (drainingFlag.load(std::memory_order_relaxed) ||
+      stopping.load(std::memory_order_relaxed)) {
+    HttpResponse response = errorResponse(
+        503, "draining", "server is draining; retry against a new server");
+    response.close = true;
+    // count before writing: once the client has the 503, the counters
+    // already reflect it
+    metrics.countDrainRejected();
+    metrics.recordTransportError(503);
+    return response;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(connMutex);
+    ++inFlight;
+  }
+
+  // Request identity: continue the caller's trace (traceparent header,
+  // fresh child span id) or start a new one. With tracing off the context
+  // stays invalid, which turns every tracing hook below into a no-op.
+  obs::TraceContext ctx;
+  if (options.tracing) {
+    const auto tp = request.headers.find("traceparent");
+    if (tp == request.headers.end() ||
+        !obs::TraceContext::parseTraceparent(tp->second, ctx)) {
+      ctx = obs::TraceContext::make();
+    } else {
+      ctx.spanId = obs::TraceContext::nextId();
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  Router::Dispatch dispatched;
+  {
+    // Scope: the root span must close (and land in the flight ring)
+    // before any incident capture below reads the ring.
+    const obs::TraceScope traceScope(ctx);
+    requestAnnotations().reset();
+    obs::ScopedSpan rootSpan("service", "request", options.tracing);
+    try {
+      dispatched = router.dispatch(request);
+    } catch (const std::exception& e) {
+      dispatched.response = errorResponse(500, "internal_error", e.what());
+    } catch (...) {
+      dispatched.response =
+          errorResponse(500, "internal_error", "unknown error");
+    }
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  const std::string routeKey = dispatched.pattern.empty()
+                                   ? request.method + " " + request.path
+                                   : request.method + " " + dispatched.pattern;
+  const int status = dispatched.response.status;
+  metrics.recordRequest(routeKey, status, ms);
+
+  if (options.tracing) {
+    dispatched.response.headers.emplace_back("traceparent",
+                                             ctx.traceparent());
+    if (incidents != nullptr) {
+      const char* reason = nullptr;
+      if (status >= 500) {
+        reason = "error";
+      } else if (status == 408) {
+        reason = "deadline";
+      } else if (options.slowRequestMs > 0. && ms >= options.slowRequestMs) {
+        reason = "slow";
+      }
+      if (reason != nullptr) {
+        incidents->capture(ctx, routeKey, status, ms,
+                           requestAnnotations().sessionId, reason);
+      }
+    }
+  }
+  if (accessLog.is_open()) {
+    logAccess(ctx, request, routeKey, status, ms,
+              dispatched.response.body.size());
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(connMutex);
+    --inFlight;
+  }
+  connCv.notify_all();
+
+  return std::move(dispatched.response);
 }
 
 void HttpServer::logAccess(const obs::TraceContext& ctx,
@@ -303,8 +350,18 @@ void HttpServer::trackClosed(int fd) {
 }
 
 std::size_t HttpServer::openConnections() const {
+  if (reactor) {
+    return reactor->openConnections();
+  }
   const std::lock_guard<std::mutex> lock(connMutex);
   return openFds.size();
+}
+
+const char* HttpServer::netName() const noexcept {
+  if (!reactor) {
+    return "threaded";
+  }
+  return reactor->backend() == net::Backend::Epoll ? "epoll" : "poll";
 }
 
 bool HttpServer::awaitIdle(int timeoutMs) {
@@ -315,6 +372,20 @@ bool HttpServer::awaitIdle(int timeoutMs) {
 
 void HttpServer::stop() {
   if (stopping.exchange(true)) {
+    return;
+  }
+  if (reactor) {
+    // Closes every connection and joins the event loop; pool workers still
+    // in flight call complete() into the void (safe no-op), and the wait
+    // below lets their pipelines finish before the caller reads metrics.
+    reactor->stop();
+    if (listenFd >= 0) {
+      ::close(listenFd);
+      listenFd = -1;
+    }
+    std::unique_lock<std::mutex> lock(connMutex);
+    connCv.wait_for(lock, std::chrono::seconds(10),
+                    [this] { return inFlight == 0; });
     return;
   }
   if (acceptor.joinable()) {

@@ -175,7 +175,9 @@ bool SimulationSession::stepForward() {
 }
 
 bool SimulationSession::stepBackward() {
-  if (atStart()) {
+  // snapshots can be empty with pos > 0 after a spill/restore cycle (the
+  // history is not part of the spill image) — there is nothing to undo to
+  if (atStart() || snapshots.empty()) {
     return false;
   }
   Snapshot snap = snapshots.back();
@@ -218,7 +220,44 @@ std::size_t SimulationSession::runToStart() {
   while (stepBackward()) {
     ++steps;
   }
+  if (pos > 0) {
+    // snapshot history was dropped by a spill/restore cycle: jump straight
+    // to the initial state instead of replaying snapshots
+    const vEdge zero = pkg.makeZeroState(qc.numQubits());
+    pkg.incRef(zero);
+    pkg.decRef(current);
+    current = zero;
+    classicals.assign(qc.numClbits(), false);
+    steps += pos;
+    pos = 0;
+    history.clear();
+    pressures.clear();
+    profiles.clear();
+  }
   return steps;
+}
+
+void SimulationSession::restoreTo(const vEdge& state, std::size_t position,
+                                  std::vector<bool> classicalBits,
+                                  std::size_t peakNodes) {
+  if (position > qc.size()) {
+    throw std::invalid_argument(
+        "SimulationSession::restoreTo: position beyond circuit end");
+  }
+  pkg.incRef(state);
+  pkg.decRef(current);
+  current = state;
+  for (const auto& snap : snapshots) {
+    pkg.decRef(snap.state);
+  }
+  snapshots.clear();
+  classicals = std::move(classicalBits);
+  classicals.resize(qc.numClbits(), false);
+  pos = position;
+  peak = std::max(peakNodes, Package::size(current));
+  history.clear();
+  pressures.clear();
+  profiles.clear();
 }
 
 // --- sampling ([16]) ------------------------------------------------------------

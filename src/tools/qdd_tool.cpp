@@ -627,6 +627,30 @@ int runServe(int argc, char** argv, int first) {
       serverOpts.slowRequestMs = static_cast<double>(intArg("--slow-ms"));
     } else if (flag == "--no-tracing") {
       serverOpts.tracing = false;
+    } else if (flag == "--net") {
+      const std::string mode = strArg("--net");
+      if (mode == "epoll") {
+        serverOpts.net = service::NetMode::Epoll;
+      } else if (mode == "poll") {
+        serverOpts.net = service::NetMode::Poll;
+      } else if (mode == "threaded") {
+        serverOpts.net = service::NetMode::Threaded;
+      } else {
+        std::fprintf(stderr,
+                     "serve: --net must be epoll, poll, or threaded\n");
+        return 2;
+      }
+    } else if (flag == "--idle-timeout") {
+      serverOpts.idleTimeoutMs = intArg("--idle-timeout");
+    } else if (flag == "--spill-dir") {
+      apiOpts.spillDir = strArg("--spill-dir");
+    } else if (flag == "--spill-after") {
+      apiOpts.spillAfterMs = intArg("--spill-after");
+    } else if (flag == "--spill-budget") {
+      apiOpts.maxResidentSessions =
+          static_cast<std::size_t>(intArg("--spill-budget"));
+    } else if (flag == "--shards") {
+      apiOpts.sessionShards = static_cast<std::size_t>(intArg("--shards"));
     } else {
       std::fprintf(stderr, "serve: unknown flag '%s'\n", flag.c_str());
       return 2;
@@ -646,6 +670,7 @@ int runServe(int argc, char** argv, int first) {
   api.install(router);
   service::HttpServer server(serverOpts, router, metrics);
   api.setDrainingProbe([&server] { return server.draining(); });
+  api.setOpenConnectionsProbe([&server] { return server.openConnections(); });
   if (serverOpts.tracing) {
     server.setIncidentLog(&api.incidents());
   }
@@ -653,9 +678,9 @@ int runServe(int argc, char** argv, int first) {
 
   // grep-able startup line: scripted drivers read the actual (possibly
   // ephemeral) port from here
-  std::printf("SERVE_READY port=%u workers=%zu max-sessions=%zu\n",
+  std::printf("SERVE_READY port=%u workers=%zu max-sessions=%zu net=%s\n",
               static_cast<unsigned>(server.port()), serverOpts.workers,
-              apiOpts.maxSessions);
+              apiOpts.maxSessions, server.netName());
   std::fflush(stdout);
 
   std::signal(SIGINT, onServeSignal);
@@ -744,7 +769,11 @@ int main(int argc, char** argv) {
                  "--obs\n"
                  "            --access-log FILE --incident-dir DIR "
                  "--max-incidents N\n"
-                 "            --slow-ms MS --no-tracing]\n"
+                 "            --slow-ms MS --no-tracing "
+                 "--net epoll|poll|threaded\n"
+                 "            --idle-timeout MS --spill-dir DIR "
+                 "--spill-after MS\n"
+                 "            --spill-budget N --shards N]\n"
                  "global flags: --stats (dump stats JSON), --out <file>\n"
                  "  (--out routes machine-readable JSON to <file>; without it,\n"
                  "   JSON goes to stderr and stdout stays human-readable)\n",

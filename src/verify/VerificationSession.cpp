@@ -98,6 +98,48 @@ bool VerificationSession::stepBack() {
   return true;
 }
 
+std::size_t VerificationSession::rewindToStart() {
+  std::size_t steps = 0;
+  while (stepBack()) {
+    ++steps;
+  }
+  if (posL > 0 || posR > 0) {
+    // snapshot history was dropped by a spill/restore cycle: jump straight
+    // back to the identity instead of replaying snapshots
+    const mEdge ident = pkg.makeIdent(left.numQubits());
+    pkg.incRef(ident);
+    pkg.decRef(current);
+    current = ident;
+    steps += posL + posR;
+    posL = 0;
+    posR = 0;
+    history.clear();
+    pressures.clear();
+  }
+  return steps;
+}
+
+void VerificationSession::restoreTo(const mEdge& state, std::size_t leftPos,
+                                    std::size_t rightPos,
+                                    std::size_t peakNodes) {
+  if (leftPos > left.size() || rightPos > right.size()) {
+    throw std::invalid_argument(
+        "VerificationSession::restoreTo: position beyond circuit end");
+  }
+  pkg.incRef(state);
+  pkg.decRef(current);
+  current = state;
+  for (const auto& snap : snapshots) {
+    pkg.decRef(snap.state);
+  }
+  snapshots.clear();
+  posL = leftPos;
+  posR = rightPos;
+  peak = std::max(peakNodes, Package::size(current));
+  history.clear();
+  pressures.clear();
+}
+
 std::size_t VerificationSession::runRightToBarrier() {
   std::size_t steps = 0;
   while (posR < right.size()) {

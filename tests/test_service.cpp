@@ -3,20 +3,29 @@
 // 408 with the work stopped at a gate boundary), TTL eviction, drain mode,
 // and concurrent session isolation.
 
+#include "qdd/dd/Package.hpp"
+#include "qdd/dd/Serialization.hpp"
+#include "qdd/ir/Builders.hpp"
 #include "qdd/obs/TraceCheck.hpp"
 #include "qdd/obs/TraceContext.hpp"
 #include "qdd/service/Api.hpp"
 #include "qdd/service/HttpServer.hpp"
 #include "qdd/service/Json.hpp"
 #include "qdd/service/Router.hpp"
+#include "qdd/service/SessionStore.hpp"
+#include "qdd/sim/SimulationSession.hpp"
 
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -738,6 +747,358 @@ TEST(ServiceTracingTest, AccessLogWritesOneJsonLinePerRequest) {
   // both lines belong to different traces
   EXPECT_NE(run.getString("traceId", ""), create.getString("traceId", ""));
   ::unlink(path.c_str());
+}
+
+// --- network core (reactor) --------------------------------------------------
+
+/// Raw TCP connect to the test server, with a receive timeout so a test
+/// can never hang on a dead connection.
+int rawConnect(std::uint16_t port, int recvTimeoutSec = 10) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  timeval tv{};
+  tv.tv_sec = recvTimeoutSec;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+TEST(ServiceNetTest, ReactorServesSessionLifecycle) {
+  service::ServerOptions serverOpts;
+  serverOpts.net = service::NetMode::Epoll; // poll fallback off-Linux
+  TestServer ts({}, serverOpts);
+  const std::string mode = ts.server->netName();
+  EXPECT_TRUE(mode == "epoll" || mode == "poll") << mode;
+  auto client = ts.client();
+  auto created = client.request("POST", "/v1/sessions",
+                                R"({"builder": {"name": "bell"}})");
+  ASSERT_EQ(created.status, 201);
+  EXPECT_EQ(client.request("POST", "/v1/sessions/s1/step", "{}").status, 200);
+  auto ran = client.request("POST", "/v1/sessions/s1/run", "{}");
+  ASSERT_EQ(ran.status, 200);
+  EXPECT_TRUE(parsed(ran).getBool("atEnd", false));
+  // keep-alive: the whole lifecycle rode one reactor connection
+  EXPECT_EQ(ts.server->openConnections(), 1U);
+  EXPECT_EQ(client.request("DELETE", "/v1/sessions/s1").status, 200);
+}
+
+TEST(ServiceNetTest, ThreadedModeStillServes) {
+  service::ServerOptions serverOpts;
+  serverOpts.net = service::NetMode::Threaded;
+  TestServer ts({}, serverOpts);
+  EXPECT_STREQ(ts.server->netName(), "threaded");
+  auto client = ts.client();
+  auto created = client.request("POST", "/v1/sessions",
+                                R"({"builder": {"name": "ghz", "qubits": 4}})");
+  ASSERT_EQ(created.status, 201);
+  auto ran = client.request("POST", "/v1/sessions/s1/run", "{}");
+  ASSERT_EQ(ran.status, 200);
+  EXPECT_TRUE(parsed(ran).getBool("atEnd", false));
+}
+
+TEST(ServiceNetTest, SilentClientDoesNotBlockOtherRequests) {
+  // One pool worker: under the old thread-per-connection model a silent
+  // client pinned a thread for the whole SO_RCVTIMEO window; the reactor
+  // must only hand *complete* requests to the pool, so the worker stays
+  // free for everyone else.
+  service::ServerOptions serverOpts;
+  serverOpts.net = service::NetMode::Epoll;
+  serverOpts.workers = 1;
+  TestServer ts({}, serverOpts);
+
+  // connection 1: opens, sends a request *prefix*, then goes silent
+  const int silent = rawConnect(ts.server->port());
+  const std::string partial =
+      "POST /v1/sessions HTTP/1.1\r\nContent-Length: 512\r\n\r\n{\"buil";
+  ASSERT_EQ(::send(silent, partial.data(), partial.size(), 0),
+            static_cast<ssize_t>(partial.size()));
+
+  // connection 2: a full lifecycle must complete while 1 stays parked
+  const auto t0 = std::chrono::steady_clock::now();
+  auto client = ts.client();
+  auto created = client.request("POST", "/v1/sessions",
+                                R"({"builder": {"name": "bell"}})");
+  ASSERT_EQ(created.status, 201);
+  ASSERT_EQ(client.request("POST", "/v1/sessions/s1/run", "{}").status, 200);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  // generous bound: failure mode is waiting out a read timeout (seconds)
+  EXPECT_LT(elapsed.count(), 5000);
+  ::close(silent);
+}
+
+TEST(ServiceNetTest, IdleTimeoutClosesSilentConnections) {
+  service::ServerOptions serverOpts;
+  serverOpts.net = service::NetMode::Epoll;
+  serverOpts.idleTimeoutMs = 100;
+  TestServer ts({}, serverOpts);
+  const int fd = rawConnect(ts.server->port());
+  // never send a byte; the reactor's idle sweep must close us (EOF)
+  char buf[16];
+  const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+  ::close(fd);
+  EXPECT_EQ(got, 0);
+  EXPECT_GE(ts.server->idleClosedConnections(), 1U);
+  EXPECT_EQ(ts.server->openConnections(), 0U);
+}
+
+// --- binary DD export --------------------------------------------------------
+
+TEST(ServiceApiTest, BinaryDdExportRoundTripsAgainstJson) {
+  TestServer ts;
+  auto client = ts.client();
+  auto created = client.request("POST", "/v1/sessions",
+                                R"({"builder": {"name": "ghz", "qubits": 3}})");
+  ASSERT_EQ(created.status, 201);
+  auto ran = client.request("POST", "/v1/sessions/s1/run", "{}");
+  ASSERT_EQ(ran.status, 200);
+  const auto nodes = static_cast<std::size_t>(parsed(ran).getNumber("nodes", 0));
+  ASSERT_GT(nodes, 0U);
+
+  auto bin = client.request("GET", "/v1/sessions/s1/dd?fmt=bin");
+  ASSERT_EQ(bin.status, 200);
+  EXPECT_EQ(bin.headers.at("content-type"), "application/x-qdd");
+  EXPECT_EQ(bin.headers.at("content-length"),
+            std::to_string(bin.body.size()));
+
+  // the payload re-interns into a fresh package as the same state
+  Package pkg(3);
+  const vEdge root = deserializeVectorFromString(pkg, bin.body);
+  EXPECT_EQ(Package::size(root), nodes);
+  EXPECT_EQ(serializeToString(root), bin.body); // byte-stable round trip
+
+  // and agrees with the JSON exporter's view of the same DD
+  auto jsonExport = client.request("GET", "/v1/sessions/s1/dd?fmt=json");
+  ASSERT_EQ(jsonExport.status, 200);
+  const Value graph = parsed(jsonExport);
+  ASSERT_NE(graph.find("nodes"), nullptr);
+  // both exporters walk the same DD: decision-node counts agree
+  EXPECT_EQ(graph.find("nodes")->asArray().size(), nodes);
+}
+
+// --- spill tier --------------------------------------------------------------
+
+std::string makeSpillDir(const char* tag) {
+  const std::string dir = ::testing::TempDir() + "qdd_spill_" + tag + "_" +
+                          std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+TEST(ServiceSpillTest, SpilledSessionRestoresIdentically) {
+  service::ApiOptions apiOpts;
+  apiOpts.spillDir = makeSpillDir("restore");
+  TestServer ts(apiOpts);
+  auto client = ts.client();
+  auto created = client.request("POST", "/v1/sessions",
+                                R"({"builder": {"name": "ghz", "qubits": 4}})");
+  ASSERT_EQ(created.status, 201);
+  ASSERT_EQ(client.request("POST", "/v1/sessions/s1/step", "{}").status, 200);
+  ASSERT_EQ(client.request("POST", "/v1/sessions/s1/step", "{}").status, 200);
+  const auto before = client.request("GET", "/v1/sessions/s1");
+  ASSERT_EQ(before.status, 200);
+  const std::string binBefore =
+      client.request("GET", "/v1/sessions/s1/dd?fmt=bin").body;
+
+  auto& store = ts.api->sessions();
+  ASSERT_TRUE(store.spillNow("s1"));
+  EXPECT_EQ(store.spilledCount(), 1U);
+  EXPECT_EQ(store.residentCount(), 0U);
+  EXPECT_EQ(store.spilledTotal(), 1U);
+  EXPECT_GT(store.spillBytesTotal(), 0U);
+
+  // the next touch transparently restores: same position, same state bytes
+  // (deserialization re-interns through the normalizing constructors, so
+  // the restored root serializes to the identical canonical form)
+  const auto after = client.request("GET", "/v1/sessions/s1");
+  ASSERT_EQ(after.status, 200);
+  EXPECT_EQ(parsed(after).getNumber("position", -1),
+            parsed(before).getNumber("position", -2));
+  EXPECT_EQ(parsed(after).getNumber("nodes", -1),
+            parsed(before).getNumber("nodes", -2));
+  EXPECT_EQ(client.request("GET", "/v1/sessions/s1/dd?fmt=bin").body,
+            binBefore);
+  EXPECT_EQ(store.restores(), 1U);
+  EXPECT_EQ(store.spilledCount(), 0U);
+  EXPECT_EQ(store.restoreFailures(), 0U);
+
+  // the restored session keeps working: step to the end, then rewind
+  auto ran = client.request("POST", "/v1/sessions/s1/run", "{}");
+  ASSERT_EQ(ran.status, 200);
+  EXPECT_TRUE(parsed(ran).getBool("atEnd", false));
+  EXPECT_EQ(client.request("POST", "/v1/sessions/s1/reset", "{}").status,
+            200);
+}
+
+TEST(ServiceSpillTest, VerificationSessionSurvivesSpill) {
+  service::ApiOptions apiOpts;
+  apiOpts.spillDir = makeSpillDir("verif");
+  TestServer ts(apiOpts);
+  auto client = ts.client();
+  const std::string spec =
+      R"({"kind": "verification",
+          "left": {"builder": {"name": "ghz", "qubits": 3}},
+          "right": {"builder": {"name": "ghz", "qubits": 3}}})";
+  auto created = client.request("POST", "/v1/sessions", spec);
+  ASSERT_EQ(created.status, 201);
+  ASSERT_EQ(client.request("POST", "/v1/sessions/s1/step",
+                           R"({"side": "left"})")
+                .status,
+            200);
+  ASSERT_TRUE(ts.api->sessions().spillNow("s1"));
+  auto ran = client.request("POST", "/v1/sessions/s1/run", "{}");
+  ASSERT_EQ(ran.status, 200);
+  EXPECT_EQ(parsed(ran).getString("equivalence", ""), "equivalent");
+  EXPECT_EQ(ts.api->sessions().restores(), 1U);
+}
+
+TEST(ServiceSpillTest, ConcurrentTouchesRestoreOnce) {
+  service::ApiOptions apiOpts;
+  apiOpts.spillDir = makeSpillDir("concurrent");
+  service::ServerOptions serverOpts;
+  serverOpts.workers = 4;
+  TestServer ts(apiOpts, serverOpts);
+  auto setup = ts.client();
+  ASSERT_EQ(setup
+                .request("POST", "/v1/sessions",
+                         R"({"builder": {"name": "ghz", "qubits": 4}})")
+                .status,
+            201);
+  ASSERT_EQ(setup.request("POST", "/v1/sessions/s1/run", "{}").status, 200);
+  ASSERT_TRUE(ts.api->sessions().spillNow("s1"));
+
+  constexpr std::size_t TOUCHES = 8;
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> ok{0};
+  for (std::size_t t = 0; t < TOUCHES; ++t) {
+    threads.emplace_back([&ts, &ok] {
+      try {
+        auto client = ts.client();
+        if (client.request("GET", "/v1/sessions/s1/dd?fmt=bin").status ==
+            200) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const std::exception&) {
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(ok.load(), TOUCHES);
+  // the entry mutex is the restore-once guard: 8 racing touches, 1 restore
+  EXPECT_EQ(ts.api->sessions().restores(), 1U);
+  EXPECT_EQ(ts.api->sessions().restoreFailures(), 0U);
+}
+
+TEST(ServiceSpillTest, BudgetSpillsColdestSessions) {
+  service::ApiOptions apiOpts;
+  apiOpts.spillDir = makeSpillDir("budget");
+  apiOpts.maxSessions = 32;
+  apiOpts.maxResidentSessions = 2;
+  TestServer ts(apiOpts);
+  auto client = ts.client();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(client
+                  .request("POST", "/v1/sessions",
+                           R"({"builder": {"name": "bell"}})")
+                  .status,
+              201);
+  }
+  auto& store = ts.api->sessions();
+  EXPECT_EQ(store.size(), 6U);
+  EXPECT_LE(store.residentCount(), 2U);
+  EXPECT_GE(store.spilledCount(), 4U);
+  // every session — spilled or not — still answers
+  for (int i = 1; i <= 6; ++i) {
+    const std::string id = "s" + std::to_string(i);
+    EXPECT_EQ(client.request("GET", "/v1/sessions/" + id).status, 200)
+        << id;
+  }
+}
+
+TEST(ServiceSpillTest, ShardedStoreSurvivesParallelChurn) {
+  // Direct store-level stress: create/publish/find/spill/restore/erase
+  // racing across shards. Run under TSan in CI (the per-shard mutexes,
+  // atomic LRU stamps, and the entry-mutex restore guard are the units
+  // under test).
+  service::SessionStoreOptions opts;
+  opts.maxSessions = 64;
+  opts.shards = 8;
+  opts.spillDir = makeSpillDir("churn");
+  opts.maxResident = 8;
+  service::SessionStore store(opts);
+
+  constexpr std::size_t THREADS = 4;
+  constexpr std::size_t ITERATIONS = 25;
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> failures{0};
+  for (std::size_t t = 0; t < THREADS; ++t) {
+    threads.emplace_back([&store, &failures] {
+      const ir::QuantumComputation circuit = ir::builders::bell();
+      for (std::size_t i = 0; i < ITERATIONS; ++i) {
+        auto entry = store.create("simulation");
+        if (entry == nullptr) {
+          store.evictExpired();
+          continue;
+        }
+        entry->qubits = circuit.numQubits();
+        entry->name = "bell";
+        entry->package = std::make_unique<Package>(entry->qubits);
+        entry->simulation = std::make_unique<sim::SimulationSession>(
+            circuit, *entry->package);
+        const std::string id = entry->id;
+        store.publish(entry);
+        entry.reset();
+
+        auto found = store.find(id);
+        if (found == nullptr) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        store.spillNow(id);
+        {
+          // touch: transparently restore, then advance one gate
+          const std::lock_guard<std::mutex> lock(found->mutex);
+          try {
+            store.ensureResident(*found);
+          } catch (const service::RestoreError&) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          if (found->simulation == nullptr ||
+              found->package == nullptr) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          found->simulation->stepForward();
+        }
+        found.reset();
+        if (i % 3 == 0) {
+          store.erase(id);
+        }
+        store.evictExpired();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0U);
+  EXPECT_EQ(store.residentCount() + store.spilledCount(), store.size());
+  EXPECT_EQ(store.shardSizes().size(), 8U);
+  std::size_t acrossShards = 0;
+  for (const std::size_t n : store.shardSizes()) {
+    acrossShards += n;
+  }
+  EXPECT_EQ(acrossShards, store.size());
+  // stats from every retired package were folded exactly once, never lost
+  EXPECT_GT(store.created(), 0U);
 }
 
 } // namespace
